@@ -1,0 +1,65 @@
+//! Exact brute-force K-NNG on the simulated device (FAISS-Flat stand-in).
+
+use wknng_core::kernels::distance::warp_sq_l2;
+use wknng_core::kernels::insert::warp_insert_exclusive;
+use wknng_core::kernels::DeviceState;
+use wknng_data::{Neighbor, VectorSet};
+use wknng_simt::{launch, DeviceConfig, LaunchReport};
+
+/// Warps per block.
+const WARPS_PER_BLOCK: usize = 4;
+
+/// Exact K-NNG by exhaustive scan: one warp per point, every other point is
+/// a candidate. This is the `GpuIndexFlat` reference both for correctness
+/// (it must equal `exact_knn`) and for the cost frontier (approximate
+/// methods must beat it in simulated cycles at high recall).
+pub fn brute_force_device(
+    vs: &VectorSet,
+    k: usize,
+    dev: &DeviceConfig,
+) -> (Vec<Vec<Neighbor>>, LaunchReport) {
+    let state = DeviceState::upload(vs, k);
+    let n = state.n;
+    let dim = state.dim;
+    let blocks = n.div_ceil(WARPS_PER_BLOCK);
+    let report = launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+        blk.each_warp(|w| {
+            let p = w.global_warp;
+            if p >= n {
+                return;
+            }
+            for q in 0..n {
+                if q == p {
+                    continue;
+                }
+                let d = warp_sq_l2(w, &state.points, dim, p, q);
+                warp_insert_exclusive(w, &state.slots, p, k, Neighbor::new(q as u32, d).pack());
+            }
+        });
+    });
+    (state.download(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::{exact_knn, DatasetSpec, Metric};
+
+    #[test]
+    fn matches_exact_knn() {
+        let vs = DatasetSpec::GaussianClusters { n: 40, dim: 6, clusters: 4, spread: 0.3 }
+            .generate(13)
+            .vectors;
+        let dev = DeviceConfig::test_tiny();
+        let (got, report) = brute_force_device(&vs, 5, &dev);
+        let want = exact_knn(&vs, 5, Metric::SquaredL2);
+        for (g, t) in got.iter().zip(&want) {
+            let gi: Vec<u32> = g.iter().map(|nb| nb.index).collect();
+            let ti: Vec<u32> = t.iter().map(|nb| nb.index).collect();
+            assert_eq!(gi, ti);
+        }
+        assert!(report.cycles > 0.0);
+        // n^2 pair scans dominate the traffic.
+        assert!(report.stats.global_load_transactions as usize >= 40 * 39);
+    }
+}

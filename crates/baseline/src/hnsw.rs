@@ -1,0 +1,293 @@
+//! HNSW (Hierarchical Navigable Small World, Malkov & Yashunin) — the
+//! graph-index family (HNSW/GGNN) that competes with RP-forest methods for
+//! K-NNG construction. Points are inserted one at a time into a hierarchy of
+//! navigable layers; an all-points K-NNG falls out of querying the finished
+//! index with every point.
+//!
+//! This is a faithful but deliberately plain implementation: exponential
+//! level assignment, beam search per layer, closest-`M` neighbor selection
+//! (the simple selection rule, not the pruning heuristic), bidirectional
+//! edges with degree capping. Insertion is inherently sequential; queries
+//! are parallel.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use wknng_core::KnnList;
+use wknng_data::{Metric, Neighbor, VectorSet};
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswParams {
+    /// Max degree on layers above 0 (`M`); layer 0 allows `2·M`.
+    pub m: usize,
+    /// Beam width during construction (`efConstruction`).
+    pub ef_construction: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// RNG seed for level assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams { m: 12, ef_construction: 64, metric: Metric::SquaredL2, seed: 0x4A57 }
+    }
+}
+
+/// A built HNSW index.
+pub struct Hnsw {
+    /// `layers[l][p]` = adjacency of point `p` on layer `l` (empty when `p`
+    /// does not reach layer `l`).
+    layers: Vec<Vec<Vec<u32>>>,
+    /// Top layer of each point.
+    levels: Vec<usize>,
+    /// Global entry point (highest-level point).
+    entry: u32,
+    params: HnswParams,
+}
+
+impl Hnsw {
+    /// Number of layers in the hierarchy.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Top layer assigned to point `p`.
+    pub fn level(&self, p: usize) -> usize {
+        self.levels[p]
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+
+    /// Build an index over `vs`. Deterministic in `params.seed`.
+    pub fn build(vs: &VectorSet, params: HnswParams) -> Self {
+        let n = vs.len();
+        let m = params.m.max(2);
+        let ml = 1.0 / (m as f64).ln();
+        let mut rng = SmallRng::seed_from_u64(params.seed ^ 0xB5AD_4ECE_DA1C_E2A9);
+        let levels: Vec<usize> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                ((-u.ln() * ml) as usize).min(16)
+            })
+            .collect();
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+        let mut index = Hnsw {
+            layers: (0..=max_level).map(|_| vec![Vec::new(); n]).collect(),
+            levels,
+            entry: 0,
+            params: HnswParams { m, ..params },
+        };
+        if n == 0 {
+            return index;
+        }
+        // Insert points in id order; the first point seeds the hierarchy.
+        let mut entry = 0u32;
+        let mut entry_level = index.levels[0];
+        for p in 1..n {
+            index.insert(vs, p, entry, entry_level);
+            if index.levels[p] > entry_level {
+                entry = p as u32;
+                entry_level = index.levels[p];
+            }
+        }
+        index.entry = entry;
+        index
+    }
+
+    fn dist(&self, vs: &VectorSet, a: &[f32], p: u32) -> f32 {
+        self.params.metric.eval(a, vs.row(p as usize))
+    }
+
+    /// Beam search within one layer, starting from `entries`.
+    fn search_layer(
+        &self,
+        vs: &VectorSet,
+        query: &[f32],
+        entries: &[Neighbor],
+        ef: usize,
+        layer: usize,
+    ) -> Vec<Neighbor> {
+        let mut visited = std::collections::HashSet::new();
+        let mut best = KnnList::new(ef.max(1));
+        let mut frontier: Vec<Neighbor> = Vec::new();
+        for &e in entries {
+            if visited.insert(e.index) {
+                best.insert(e);
+                frontier.push(e);
+            }
+        }
+        while let Some(pos) = frontier
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.key().partial_cmp(&b.key()).expect("finite"))
+            .map(|(i, _)| i)
+        {
+            let cur = frontier.swap_remove(pos);
+            if best.len() == best.capacity() {
+                if let Some(worst) = best.worst() {
+                    if cur.key() > worst.key() {
+                        break;
+                    }
+                }
+            }
+            for &nb in &self.layers[layer][cur.index as usize] {
+                if visited.insert(nb) {
+                    let cand = Neighbor::new(nb, self.dist(vs, query, nb));
+                    if best.insert(cand) {
+                        frontier.push(cand);
+                    }
+                }
+            }
+        }
+        best.into_vec()
+    }
+
+    /// Insert point `p` given the current global entry.
+    fn insert(&mut self, vs: &VectorSet, p: usize, entry: u32, entry_level: usize) {
+        let level = self.levels[p];
+        let row = vs.row(p).to_vec();
+        let mut ep = vec![Neighbor::new(entry, self.dist(vs, &row, entry))];
+        // Greedy descent through layers above the insertion level.
+        let mut l = entry_level;
+        while l > level {
+            ep = self.search_layer(vs, &row, &ep, 1, l);
+            l -= 1;
+        }
+        // Connect on layers min(entry_level, level)..0.
+        let m = self.params.m;
+        let mut l = level.min(entry_level);
+        loop {
+            let cands = self.search_layer(vs, &row, &ep, self.params.ef_construction, l);
+            let cap = if l == 0 { 2 * m } else { m };
+            let chosen: Vec<Neighbor> = cands.iter().take(cap).copied().collect();
+            for nb in &chosen {
+                self.layers[l][p].push(nb.index);
+                self.layers[l][nb.index as usize].push(p as u32);
+                // Cap the neighbor's degree, keeping its closest links.
+                if self.layers[l][nb.index as usize].len() > cap {
+                    let base = vs.row(nb.index as usize);
+                    let mut ranked: Vec<Neighbor> = self.layers[l][nb.index as usize]
+                        .iter()
+                        .map(|&q| Neighbor::new(q, self.params.metric.eval(base, vs.row(q as usize))))
+                        .collect();
+                    wknng_data::sort_neighbors(&mut ranked);
+                    ranked.truncate(cap);
+                    self.layers[l][nb.index as usize] = ranked.iter().map(|e| e.index).collect();
+                }
+            }
+            ep = cands;
+            if l == 0 {
+                break;
+            }
+            l -= 1;
+        }
+    }
+
+    /// K nearest indexed points to `query` with beam width `ef`.
+    pub fn search(&self, vs: &VectorSet, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
+        if vs.is_empty() {
+            return Vec::new();
+        }
+        let mut ep = vec![Neighbor::new(self.entry, self.dist(vs, query, self.entry))];
+        for l in (1..self.num_layers()).rev() {
+            ep = self.search_layer(vs, query, &ep, 1, l);
+        }
+        let mut res = self.search_layer(vs, query, &ep, ef.max(k), 0);
+        res.truncate(k);
+        res
+    }
+
+    /// All-points K-NNG by querying the index with every point (self
+    /// excluded) — how a search index is used for K-NNG construction.
+    pub fn knng(&self, vs: &VectorSet, k: usize, ef: usize) -> Vec<Vec<Neighbor>> {
+        (0..vs.len())
+            .into_par_iter()
+            .map(|p| {
+                let mut res = self.search(vs, vs.row(p), k + 1, ef.max(k + 1));
+                res.retain(|nb| nb.index as usize != p);
+                res.truncate(k);
+                res
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_core::recall;
+    use wknng_data::{exact_knn, DatasetSpec};
+
+    fn dataset(n: usize) -> VectorSet {
+        DatasetSpec::Manifold { n, ambient_dim: 32, intrinsic_dim: 4 }.generate(66).vectors
+    }
+
+    #[test]
+    fn hnsw_reaches_high_recall() {
+        let vs = dataset(400);
+        let index = Hnsw::build(&vs, HnswParams::default());
+        let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+        let got = index.knng(&vs, 8, 64);
+        let r = recall(&got, &truth);
+        assert!(r > 0.85, "hnsw recall {r:.3}");
+    }
+
+    #[test]
+    fn deterministic_build_and_search() {
+        let vs = dataset(150);
+        let a = Hnsw::build(&vs, HnswParams::default());
+        let b = Hnsw::build(&vs, HnswParams::default());
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.knng(&vs, 5, 32), b.knng(&vs, 5, 32));
+    }
+
+    #[test]
+    fn hierarchy_shape_is_sane() {
+        let vs = dataset(500);
+        let index = Hnsw::build(&vs, HnswParams::default());
+        assert!(index.num_layers() >= 1);
+        // Level population decays roughly geometrically.
+        let at_or_above = |l: usize| (0..500).filter(|&p| index.level(p) >= l).count();
+        assert_eq!(at_or_above(0), 500);
+        if index.num_layers() > 1 {
+            assert!(at_or_above(1) < 200, "layer 1 holds {} points", at_or_above(1));
+        }
+        // Degrees respect the caps.
+        let m = index.params().m;
+        for p in 0..500 {
+            assert!(index.layers[0][p].len() <= 2 * m);
+            for l in 1..index.num_layers() {
+                assert!(index.layers[l][p].len() <= m);
+            }
+        }
+    }
+
+    #[test]
+    fn search_finds_indexed_point() {
+        let vs = dataset(200);
+        let index = Hnsw::build(&vs, HnswParams::default());
+        for p in [0usize, 57, 199] {
+            let res = index.search(&vs, vs.row(p), 3, 32);
+            assert_eq!(res[0].index as usize, p, "query with point {p}");
+            assert_eq!(res[0].dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty = VectorSet::new(vec![], 4).unwrap();
+        let index = Hnsw::build(&empty, HnswParams::default());
+        assert!(index.knng(&empty, 3, 16).is_empty());
+        let two = DatasetSpec::UniformCube { n: 2, dim: 3 }.generate(1).vectors;
+        let index = Hnsw::build(&two, HnswParams::default());
+        let g = index.knng(&two, 1, 8);
+        assert_eq!(g[0][0].index, 1);
+        assert_eq!(g[1][0].index, 0);
+    }
+}

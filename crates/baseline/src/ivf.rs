@@ -1,0 +1,159 @@
+//! IVF-Flat — the FAISS configuration the paper compares against.
+//!
+//! An inverted-file index over a k-means coarse quantizer: each point is
+//! stored in the list of its nearest centroid; a query scans the `nprobe`
+//! nearest lists exhaustively. `nprobe` is the accuracy/time dial, exactly
+//! the mechanism behind FAISS's approximate K-NNG construction numbers.
+
+use rayon::prelude::*;
+
+use wknng_data::{sq_l2, Neighbor, VectorSet};
+
+use crate::kmeans::{train_kmeans, Kmeans};
+use wknng_core::KnnList;
+
+/// A built IVF-Flat index.
+pub struct IvfFlat {
+    quantizer: Kmeans,
+    /// Inverted lists: point ids per centroid.
+    lists: Vec<Vec<u32>>,
+}
+
+/// Parameters of the IVF baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfParams {
+    /// Number of inverted lists (centroids).
+    pub nlist: usize,
+    /// Quantizer training iterations.
+    pub train_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams { nlist: 64, train_iters: 10, seed: 0xFA155 }
+    }
+}
+
+impl IvfFlat {
+    /// Train the quantizer on `vs` and fill the inverted lists.
+    pub fn build(vs: &VectorSet, params: IvfParams) -> Self {
+        let quantizer = train_kmeans(vs, params.nlist, params.train_iters, params.seed);
+        IvfFlat::from_quantizer(quantizer)
+    }
+
+    /// Build the inverted lists from an already-trained quantizer (e.g. one
+    /// trained on the simulated device).
+    pub fn from_quantizer(quantizer: Kmeans) -> Self {
+        let mut lists = vec![Vec::new(); quantizer.nlist];
+        for (p, &c) in quantizer.assignment.iter().enumerate() {
+            lists[c as usize].push(p as u32);
+        }
+        IvfFlat { quantizer, lists }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The trained quantizer.
+    pub fn quantizer(&self) -> &Kmeans {
+        &self.quantizer
+    }
+
+    /// Inverted list of centroid `c`.
+    pub fn list(&self, c: usize) -> &[u32] {
+        &self.lists[c]
+    }
+
+    /// The `nprobe` centroids nearest to `row`, best first.
+    pub fn probe_order(&self, row: &[f32], nprobe: usize) -> Vec<usize> {
+        let mut by_dist: Vec<(f32, usize)> = (0..self.quantizer.nlist)
+            .map(|c| (sq_l2(row, self.quantizer.centroid(c)), c))
+            .collect();
+        by_dist.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        by_dist.into_iter().take(nprobe.max(1)).map(|(_, c)| c).collect()
+    }
+
+    /// K nearest neighbors of `row` among the probed lists (`exclude` drops
+    /// a self-match when querying with an indexed point).
+    pub fn search(&self, vs: &VectorSet, row: &[f32], k: usize, nprobe: usize, exclude: Option<u32>) -> Vec<Neighbor> {
+        let mut best = KnnList::new(k);
+        for c in self.probe_order(row, nprobe) {
+            for &p in &self.lists[c] {
+                if Some(p) == exclude {
+                    continue;
+                }
+                best.insert(Neighbor::new(p, sq_l2(row, vs.row(p as usize))));
+            }
+        }
+        best.into_vec()
+    }
+
+    /// All-points K-NNG by querying the index with every point — how FAISS
+    /// is used to construct an approximate K-NNG.
+    pub fn knng(&self, vs: &VectorSet, k: usize, nprobe: usize) -> Vec<Vec<Neighbor>> {
+        (0..vs.len())
+            .into_par_iter()
+            .map(|p| self.search(vs, vs.row(p), k, nprobe, Some(p as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_core::recall;
+    use wknng_data::{exact_knn, DatasetSpec, Metric};
+
+    fn dataset() -> VectorSet {
+        DatasetSpec::GaussianClusters { n: 200, dim: 8, clusters: 8, spread: 0.2 }
+            .generate(9)
+            .vectors
+    }
+
+    #[test]
+    fn full_probe_is_exact() {
+        let vs = dataset();
+        let ivf = IvfFlat::build(&vs, IvfParams { nlist: 10, ..IvfParams::default() });
+        let got = ivf.knng(&vs, 5, ivf.nlist());
+        let truth = exact_knn(&vs, 5, Metric::SquaredL2);
+        assert_eq!(recall(&got, &truth), 1.0);
+    }
+
+    #[test]
+    fn nprobe_trades_recall() {
+        let vs = dataset();
+        let ivf = IvfFlat::build(&vs, IvfParams { nlist: 16, ..IvfParams::default() });
+        let truth = exact_knn(&vs, 5, Metric::SquaredL2);
+        let r1 = recall(&ivf.knng(&vs, 5, 1), &truth);
+        let r4 = recall(&ivf.knng(&vs, 5, 4), &truth);
+        let r16 = recall(&ivf.knng(&vs, 5, 16), &truth);
+        assert!(r1 <= r4 + 1e-9, "{r1} vs {r4}");
+        assert!(r4 <= r16 + 1e-9);
+        assert_eq!(r16, 1.0);
+        assert!(r1 < 1.0, "nprobe=1 on 16 lists should miss something");
+    }
+
+    #[test]
+    fn inverted_lists_partition_points() {
+        let vs = dataset();
+        let ivf = IvfFlat::build(&vs, IvfParams { nlist: 12, ..IvfParams::default() });
+        let total: usize = (0..ivf.nlist()).map(|c| ivf.list(c).len()).sum();
+        assert_eq!(total, vs.len());
+    }
+
+    #[test]
+    fn search_excludes_self() {
+        let vs = dataset();
+        let ivf = IvfFlat::build(&vs, IvfParams::default());
+        let res = ivf.search(&vs, vs.row(3), 4, ivf.nlist(), Some(3));
+        assert!(res.iter().all(|nb| nb.index != 3));
+        // Without exclusion the self-match (distance 0) comes first.
+        let res = ivf.search(&vs, vs.row(3), 4, ivf.nlist(), None);
+        assert_eq!(res[0].index, 3);
+        assert_eq!(res[0].dist, 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! IVF-Flat search on the simulated device — the "FAISS on the same GPU"
+//! comparator for the cycle-level frontier (experiment E3).
+
+use wknng_core::kernels::distance::warp_sq_l2;
+use wknng_core::kernels::insert::warp_insert_exclusive;
+use wknng_core::kernels::DeviceState;
+use wknng_data::{Neighbor, VectorSet};
+use wknng_simt::{launch, DeviceBuffer, DeviceConfig, LaneVec, LaunchReport, Mask};
+
+use crate::ivf::IvfFlat;
+
+/// Warps per block.
+const WARPS_PER_BLOCK: usize = 4;
+
+/// All-points K-NNG from a pre-built IVF-Flat index, executed as a
+/// warp-centric device kernel: one warp per query point; the warp ranks the
+/// centroids, then exhaustively scans the `nprobe` nearest inverted lists.
+///
+/// Quantizer training is host-side (FAISS also trains its coarse quantizer
+/// once, off the critical path of each query batch); the returned report
+/// covers the search kernel only, so add a training cost separately when
+/// comparing end-to-end construction times.
+pub fn ivf_knng_device(
+    vs: &VectorSet,
+    ivf: &IvfFlat,
+    k: usize,
+    nprobe: usize,
+    dev: &DeviceConfig,
+) -> (Vec<Vec<Neighbor>>, LaunchReport) {
+    let state = DeviceState::upload(vs, k);
+    let n = state.n;
+    let dim = state.dim;
+    let nlist = ivf.nlist();
+    let nprobe = nprobe.clamp(1, nlist);
+
+    let centroids = DeviceBuffer::from_slice(ivf.quantizer().centroids.as_slice());
+    let mut members = Vec::with_capacity(n);
+    let mut offsets = Vec::with_capacity(nlist + 1);
+    offsets.push(0u32);
+    for c in 0..nlist {
+        members.extend_from_slice(ivf.list(c));
+        offsets.push(members.len() as u32);
+    }
+    let d_members = DeviceBuffer::from_slice(&members);
+    let d_offsets = DeviceBuffer::from_slice(&offsets);
+
+    let blocks = n.div_ceil(WARPS_PER_BLOCK);
+    let report = launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+        blk.each_warp(|w| {
+            let p = w.global_warp;
+            if p >= n {
+                return;
+            }
+            // Rank all centroids (distance per centroid, warp-cooperative).
+            let mut cd: Vec<(f32, usize)> = Vec::with_capacity(nlist);
+            for c in 0..nlist {
+                let d = warp_sq_l2_centroid(w, &state.points, &centroids, dim, p, c);
+                cd.push((d, c));
+            }
+            // Select the nprobe nearest by repeated min-scan; charge one
+            // compare instruction per centroid per pass (the selection loop
+            // a real kernel runs in registers).
+            for probe in 0..nprobe {
+                w.charge_alu(Mask::FULL, ((nlist - probe) / 32).max(1) as u64);
+                let (best_idx, _) = cd[probe..]
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+                    .expect("nonempty");
+                cd.swap(probe, probe + best_idx);
+            }
+            // Scan the probed lists.
+            let one = Mask::first(1);
+            for &(_, c) in &cd[..nprobe] {
+                let start = w.ld_global(&d_offsets, &LaneVec::splat(c), one).get(0) as usize;
+                let end = w.ld_global(&d_offsets, &LaneVec::splat(c + 1), one).get(0) as usize;
+                for pos in start..end {
+                    let q = w.ld_global(&d_members, &LaneVec::splat(pos), one).get(0) as usize;
+                    if q == p {
+                        continue;
+                    }
+                    let d = warp_sq_l2(w, &state.points, dim, p, q);
+                    warp_insert_exclusive(
+                        w,
+                        &state.slots,
+                        p,
+                        k,
+                        Neighbor::new(q as u32, d).pack(),
+                    );
+                }
+            }
+        });
+    });
+    (state.download(), report)
+}
+
+/// Distance from point `p` to centroid `c` (same strided-lane pattern as
+/// [`warp_sq_l2`], but mixing the point buffer with the centroid buffer).
+fn warp_sq_l2_centroid(
+    w: &mut wknng_simt::WarpCtx,
+    points: &DeviceBuffer<f32>,
+    centroids: &DeviceBuffer<f32>,
+    dim: usize,
+    p: usize,
+    c: usize,
+) -> f32 {
+    use wknng_simt::primitives::reduce_sum_f32;
+    use wknng_simt::WARP_LANES;
+    let mut acc = LaneVec::<f32>::zeroed();
+    let mut off = 0usize;
+    while off < dim {
+        let width = (dim - off).min(WARP_LANES);
+        let mask = Mask::first(width);
+        let pi = w.math_idx(mask, |l| p * dim + off + l);
+        let a = w.ld_global(points, &pi, mask);
+        let ci = w.math_idx(mask, |l| c * dim + off + l);
+        let b = w.ld_global(centroids, &ci, mask);
+        acc = w.math_keep(mask, &acc, |l| {
+            let d = a.get(l) - b.get(l);
+            acc.get(l) + d * d
+        });
+        off += WARP_LANES;
+    }
+    reduce_sum_f32(w, &acc, Mask::FULL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::IvfParams;
+    use wknng_core::recall;
+    use wknng_data::{exact_knn, DatasetSpec, Metric};
+
+    #[test]
+    fn device_ivf_matches_native_ivf() {
+        let vs = DatasetSpec::GaussianClusters { n: 120, dim: 10, clusters: 6, spread: 0.25 }
+            .generate(17)
+            .vectors;
+        let ivf = IvfFlat::build(&vs, IvfParams { nlist: 8, ..IvfParams::default() });
+        let dev = DeviceConfig::test_tiny();
+        for nprobe in [1usize, 2, 8] {
+            let native = ivf.knng(&vs, 4, nprobe);
+            let (device, report) = ivf_knng_device(&vs, &ivf, 4, nprobe, &dev);
+            let ni: Vec<Vec<u32>> =
+                native.iter().map(|l| l.iter().map(|n| n.index).collect()).collect();
+            let di: Vec<Vec<u32>> =
+                device.iter().map(|l| l.iter().map(|n| n.index).collect()).collect();
+            assert_eq!(ni, di, "nprobe {nprobe}");
+            assert!(report.cycles > 0.0);
+        }
+    }
+
+    #[test]
+    fn full_probe_device_is_exact() {
+        let vs = DatasetSpec::UniformCube { n: 50, dim: 6 }.generate(18).vectors;
+        let ivf = IvfFlat::build(&vs, IvfParams { nlist: 5, ..IvfParams::default() });
+        let dev = DeviceConfig::test_tiny();
+        let (lists, _) = ivf_knng_device(&vs, &ivf, 3, 5, &dev);
+        let truth = exact_knn(&vs, 3, Metric::SquaredL2);
+        assert_eq!(recall(&lists, &truth), 1.0);
+    }
+
+    #[test]
+    fn more_probes_cost_more_cycles() {
+        let vs = DatasetSpec::UniformCube { n: 80, dim: 12 }.generate(19).vectors;
+        let ivf = IvfFlat::build(&vs, IvfParams { nlist: 16, ..IvfParams::default() });
+        let dev = DeviceConfig::test_tiny();
+        let (_, r1) = ivf_knng_device(&vs, &ivf, 4, 1, &dev);
+        let (_, r8) = ivf_knng_device(&vs, &ivf, 4, 8, &dev);
+        assert!(r8.cycles > r1.cycles);
+    }
+}

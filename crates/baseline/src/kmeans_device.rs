@@ -1,0 +1,170 @@
+//! K-means on the simulated device: the assignment passes (the O(n·nlist·d)
+//! part of Lloyd iterations) run as warp-centric kernels, so the IVF-Flat
+//! baseline's *training* cost appears in device cycles alongside its search
+//! cost. Centroid updates (O(n·d) averaging) stay host-side, as they do in
+//! FAISS's GPU k-means too.
+
+use wknng_data::VectorSet;
+use wknng_simt::primitives::reduce_sum_f32;
+use wknng_simt::{launch, DeviceBuffer, DeviceConfig, LaneVec, LaunchReport, Mask, WARP_LANES};
+
+use crate::kmeans::Kmeans;
+
+/// Warps per block.
+const WARPS_PER_BLOCK: usize = 4;
+
+/// One assignment pass on the device: for every point, the nearest centroid.
+pub fn assign_device(
+    points: &DeviceBuffer<f32>,
+    n: usize,
+    dim: usize,
+    centroids: &[f32],
+    dev: &DeviceConfig,
+) -> (Vec<u32>, LaunchReport) {
+    let nlist = centroids.len() / dim.max(1);
+    let d_centroids = DeviceBuffer::from_slice(centroids);
+    let d_assign = DeviceBuffer::<u32>::zeroed(n);
+    let blocks = n.div_ceil(WARPS_PER_BLOCK);
+    let report = launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+        blk.each_warp(|w| {
+            let p = w.global_warp;
+            if p >= n {
+                return;
+            }
+            let mut best = (f32::INFINITY, 0u32);
+            for c in 0..nlist {
+                // Warp-cooperative distance to centroid c.
+                let mut acc = LaneVec::<f32>::zeroed();
+                let mut off = 0usize;
+                while off < dim {
+                    let width = (dim - off).min(WARP_LANES);
+                    let mask = Mask::first(width);
+                    let pi = w.math_idx(mask, |l| p * dim + off + l);
+                    let a = w.ld_global(points, &pi, mask);
+                    let ci = w.math_idx(mask, |l| c * dim + off + l);
+                    let b = w.ld_global(&d_centroids, &ci, mask);
+                    acc = w.math_keep(mask, &acc, |l| {
+                        let d = a.get(l) - b.get(l);
+                        acc.get(l) + d * d
+                    });
+                    off += WARP_LANES;
+                }
+                let d = reduce_sum_f32(w, &acc, Mask::FULL);
+                w.charge_alu(Mask::first(1), 1); // compare-and-keep
+                if d < best.0 {
+                    best = (d, c as u32);
+                }
+            }
+            w.st_global(&d_assign, &LaneVec::splat(p), &LaneVec::splat(best.1), Mask::first(1));
+        });
+    });
+    (d_assign.to_vec(), report)
+}
+
+/// Train k-means with device-side assignment passes. Same structure as
+/// [`crate::kmeans::train_kmeans`] (distinct random seeding, empty-cluster
+/// reseeding, change-count convergence); returns the model and the summed
+/// launch report of the assignment kernels.
+pub fn train_kmeans_device(
+    vs: &VectorSet,
+    nlist: usize,
+    max_iters: usize,
+    seed: u64,
+    dev: &DeviceConfig,
+) -> (Kmeans, LaunchReport) {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = vs.len();
+    let dim = vs.dim();
+    let nlist = nlist.clamp(1, n.max(1));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5851_F42D_4C95_7F2D);
+
+    let mut picks: Vec<usize> = Vec::with_capacity(nlist);
+    while picks.len() < nlist {
+        let c = rng.gen_range(0..n);
+        if !picks.contains(&c) {
+            picks.push(c);
+        }
+    }
+    let mut centroids: Vec<f32> =
+        picks.iter().flat_map(|&p| vs.row(p).iter().copied()).collect();
+    let mut assignment = vec![0u32; n];
+    let mut total = LaunchReport::default();
+    let points = DeviceBuffer::from_slice(vs.as_flat());
+    let mut iterations = 0usize;
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        let (next, report) = assign_device(&points, n, dim, &centroids, dev);
+        total += report;
+        let changed = next.iter().zip(&assignment).filter(|(a, b)| a != b).count();
+        assignment = next;
+
+        let mut sums = vec![0.0f64; nlist * dim];
+        let mut counts = vec![0usize; nlist];
+        for (p, &c) in assignment.iter().enumerate() {
+            counts[c as usize] += 1;
+            for (j, &v) in vs.row(p).iter().enumerate() {
+                sums[c as usize * dim + j] += v as f64;
+            }
+        }
+        for c in 0..nlist {
+            if counts[c] == 0 {
+                let p = rng.gen_range(0..n);
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(vs.row(p));
+            } else {
+                for j in 0..dim {
+                    centroids[c * dim + j] = (sums[c * dim + j] / counts[c] as f64) as f32;
+                }
+            }
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+
+    (Kmeans { centroids, dim, nlist, assignment, iterations }, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::train_kmeans;
+    use wknng_data::DatasetSpec;
+
+    #[test]
+    fn device_assignment_matches_host() {
+        let vs = DatasetSpec::GaussianClusters { n: 120, dim: 10, clusters: 5, spread: 0.2 }
+            .generate(77)
+            .vectors;
+        let km = train_kmeans(&vs, 5, 15, 9);
+        let dev = DeviceConfig::test_tiny();
+        let points = DeviceBuffer::from_slice(vs.as_flat());
+        let (assign, report) = assign_device(&points, vs.len(), vs.dim(), &km.centroids, &dev);
+        // The converged model: host assignments are the device's nearest
+        // centroids too (ties are vanishingly rare on gaussian data).
+        assert_eq!(assign, km.assignment);
+        assert!(report.cycles > 0.0);
+    }
+
+    #[test]
+    fn device_training_converges_like_host() {
+        let vs = DatasetSpec::GaussianClusters { n: 150, dim: 6, clusters: 3, spread: 0.05 }
+            .generate(78)
+            .vectors;
+        let dev = DeviceConfig::test_tiny();
+        let (km, report) = train_kmeans_device(&vs, 3, 25, 5, &dev);
+        // Well-separated blobs: the partition must match the generator's
+        // round-robin cluster assignment.
+        for p in 0..vs.len() {
+            assert_eq!(
+                km.assignment[p],
+                km.assignment[p % 3],
+                "point {p} split from its blob"
+            );
+        }
+        assert!(report.stats.launches as usize >= km.iterations);
+        assert!(report.cycles > 0.0);
+    }
+}

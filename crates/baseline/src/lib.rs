@@ -1,0 +1,45 @@
+//! # wknng-baseline — the comparison methods of the evaluation
+//!
+//! From-scratch implementations of every system w-KNNG is compared against:
+//!
+//! * [`brute_force_device`] — exact exhaustive K-NNG on the simulated
+//!   device (FAISS `GpuIndexFlat` stand-in);
+//! * [`IvfFlat`] — an inverted-file index over a k-means coarse quantizer
+//!   with an `nprobe` accuracy dial (FAISS `GpuIndexIVFFlat` stand-in, the
+//!   configuration behind the paper's headline comparison), runnable both
+//!   natively ([`IvfFlat::knng`]) and as a device kernel
+//!   ([`ivf_knng_device`]);
+//! * [`nn_descent`] — the classic local-join algorithm, positioning w-KNNG
+//!   against the non-forest family;
+//! * [`Hnsw`] — a hierarchical navigable-small-world index (the HNSW/GGNN
+//!   graph-index family), used as an additional K-NNG construction
+//!   competitor;
+//! * [`train_kmeans`] — the Lloyd quantizer substrate.
+//!
+//! ```
+//! use wknng_baseline::{IvfFlat, IvfParams};
+//! use wknng_data::DatasetSpec;
+//!
+//! let vs = DatasetSpec::sift_like(300).generate(5).vectors;
+//! let ivf = IvfFlat::build(&vs, IvfParams { nlist: 16, ..IvfParams::default() });
+//! let knng = ivf.knng(&vs, 10, 4); // nprobe = 4
+//! assert_eq!(knng.len(), 300);
+//! ```
+
+pub mod brute;
+pub mod hnsw;
+pub mod ivf;
+pub mod ivf_device;
+pub mod kmeans;
+pub mod kmeans_device;
+pub mod nndescent;
+pub mod warp_select;
+
+pub use brute::brute_force_device;
+pub use hnsw::{Hnsw, HnswParams};
+pub use ivf::{IvfFlat, IvfParams};
+pub use ivf_device::ivf_knng_device;
+pub use kmeans::{train_kmeans, Kmeans};
+pub use kmeans_device::{assign_device, train_kmeans_device};
+pub use nndescent::{nn_descent, NnDescentParams};
+pub use warp_select::brute_force_warpselect;

@@ -1,0 +1,163 @@
+//! NN-descent (Dong et al.) — the classic CPU baseline for approximate
+//! K-NNG construction, included to position w-KNNG against the
+//! non-forest family of algorithms.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wknng_core::KnnList;
+use wknng_data::{Metric, Neighbor, VectorSet};
+
+/// Parameters of an NN-descent run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnDescentParams {
+    /// Neighbors per point.
+    pub k: usize,
+    /// Maximum local-join iterations.
+    pub max_iters: usize,
+    /// Early-exit threshold: stop when fewer than `delta · n · k` list
+    /// updates happen in an iteration.
+    pub delta: f64,
+    /// Distance metric.
+    pub metric: Metric,
+    /// RNG seed for the random initial graph.
+    pub seed: u64,
+}
+
+impl Default for NnDescentParams {
+    fn default() -> Self {
+        NnDescentParams { k: 16, max_iters: 10, delta: 0.001, metric: Metric::SquaredL2, seed: 7 }
+    }
+}
+
+/// Build an approximate K-NNG with NN-descent local joins.
+///
+/// Returns the graph and the number of iterations executed. Deterministic in
+/// `params.seed`.
+pub fn nn_descent(vs: &VectorSet, params: &NnDescentParams) -> (Vec<Vec<Neighbor>>, usize) {
+    let n = vs.len();
+    let k = params.k.min(n.saturating_sub(1));
+    if n == 0 || k == 0 {
+        return (vec![Vec::new(); n], 0);
+    }
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x6A09_E667_F3BC_C909);
+
+    // Random initial graph.
+    let mut lists: Vec<KnnList> = (0..n).map(|_| KnnList::new(k)).collect();
+    let mut flags: Vec<Vec<u32>> = vec![Vec::new(); n]; // "new" entries per point
+    for p in 0..n {
+        while lists[p].len() < k {
+            let q = rng.gen_range(0..n);
+            if q != p {
+                let d = params.metric.eval(vs.row(p), vs.row(q));
+                if lists[p].insert(Neighbor::new(q as u32, d)) {
+                    flags[p].push(q as u32);
+                }
+            }
+        }
+    }
+
+    let mut iters = 0usize;
+    for _ in 0..params.max_iters {
+        iters += 1;
+        // Forward and reverse candidate sets, split new/old.
+        let mut new_c: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut old_c: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for p in 0..n {
+            for nb in lists[p].as_slice() {
+                let q = nb.index;
+                if flags[p].contains(&q) {
+                    new_c[p].push(q);
+                    new_c[q as usize].push(p as u32); // reverse new
+                } else {
+                    old_c[p].push(q);
+                    old_c[q as usize].push(p as u32); // reverse old
+                }
+            }
+        }
+        for p in 0..n {
+            new_c[p].sort_unstable();
+            new_c[p].dedup();
+            old_c[p].sort_unstable();
+            old_c[p].dedup();
+        }
+        flags.iter_mut().for_each(Vec::clear);
+
+        // Local joins: new × (new ∪ old).
+        let mut updates = 0usize;
+        for p in 0..n {
+            for (ai, &a) in new_c[p].iter().enumerate() {
+                for &b in new_c[p][ai + 1..].iter().chain(old_c[p].iter()) {
+                    if a == b {
+                        continue;
+                    }
+                    let d = params.metric.eval(vs.row(a as usize), vs.row(b as usize));
+                    if lists[a as usize].insert(Neighbor::new(b, d)) {
+                        flags[a as usize].push(b);
+                        updates += 1;
+                    }
+                    if lists[b as usize].insert(Neighbor::new(a, d)) {
+                        flags[b as usize].push(a);
+                        updates += 1;
+                    }
+                }
+            }
+        }
+        if (updates as f64) < params.delta * (n * k) as f64 {
+            break;
+        }
+    }
+
+    (lists.into_iter().map(KnnList::into_vec).collect(), iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_core::recall;
+    use wknng_data::{exact_knn, DatasetSpec};
+
+    #[test]
+    fn converges_to_high_recall_on_clusters() {
+        let vs = DatasetSpec::GaussianClusters { n: 300, dim: 10, clusters: 6, spread: 0.25 }
+            .generate(21)
+            .vectors;
+        let params = NnDescentParams { k: 8, ..NnDescentParams::default() };
+        let (lists, iters) = nn_descent(&vs, &params);
+        let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+        let r = recall(&lists, &truth);
+        assert!(r > 0.85, "nn-descent recall {r:.3} after {iters} iters");
+        assert!(iters >= 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let vs = DatasetSpec::UniformCube { n: 80, dim: 5 }.generate(22).vectors;
+        let params = NnDescentParams { k: 5, ..NnDescentParams::default() };
+        let (a, _) = nn_descent(&vs, &params);
+        let (b, _) = nn_descent(&vs, &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_shape_invariants() {
+        let vs = DatasetSpec::UniformCube { n: 50, dim: 4 }.generate(23).vectors;
+        let params = NnDescentParams { k: 6, max_iters: 3, ..NnDescentParams::default() };
+        let (lists, _) = nn_descent(&vs, &params);
+        for (p, list) in lists.iter().enumerate() {
+            assert_eq!(list.len(), 6);
+            assert!(list.iter().all(|nb| nb.index as usize != p));
+            for w in list.windows(2) {
+                assert!(w[0].key() < w[1].key());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let vs = DatasetSpec::UniformCube { n: 1, dim: 2 }.generate(24).vectors;
+        let (lists, _) = nn_descent(&vs, &NnDescentParams { k: 4, ..NnDescentParams::default() });
+        assert_eq!(lists.len(), 1);
+        assert!(lists[0].is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the baseline methods.
+
+use proptest::prelude::*;
+use wknng_baseline::{
+    brute_force_warpselect, nn_descent, train_kmeans, Hnsw, HnswParams, IvfFlat, IvfParams,
+    NnDescentParams,
+};
+use wknng_core::recall;
+use wknng_data::{exact_knn, DatasetSpec, Metric};
+use wknng_simt::DeviceConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn kmeans_always_partitions(n in 5usize..120, dim in 1usize..8, nlist in 1usize..10, seed in any::<u64>()) {
+        let vs = DatasetSpec::UniformCube { n, dim }.generate(seed).vectors;
+        let km = train_kmeans(&vs, nlist, 8, seed);
+        prop_assert_eq!(km.assignment.len(), n);
+        prop_assert!(km.nlist <= n);
+        for &a in &km.assignment {
+            prop_assert!((a as usize) < km.nlist);
+        }
+        prop_assert!(km.centroids.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ivf_full_probe_always_exact(n in 10usize..100, dim in 1usize..8, nlist in 1usize..8, seed in any::<u64>()) {
+        let k = 3.min(n - 1);
+        let vs = DatasetSpec::GaussianClusters { n, dim, clusters: 3, spread: 0.4 }
+            .generate(seed)
+            .vectors;
+        let ivf = IvfFlat::build(&vs, IvfParams { nlist, train_iters: 5, seed });
+        let got = ivf.knng(&vs, k, ivf.nlist());
+        let truth = exact_knn(&vs, k, Metric::SquaredL2);
+        prop_assert_eq!(recall(&got, &truth), 1.0);
+    }
+
+    #[test]
+    fn warpselect_exact_on_random_shapes(n in 5usize..80, dim in 1usize..20, k in 1usize..12, seed in any::<u64>()) {
+        let vs = DatasetSpec::UniformCube { n, dim }.generate(seed).vectors;
+        let dev = DeviceConfig::test_tiny();
+        let (got, _) = brute_force_warpselect(&vs, k, &dev);
+        let truth = exact_knn(&vs, k, Metric::SquaredL2);
+        for (g, t) in got.iter().zip(&truth) {
+            let gi: Vec<u32> = g.iter().map(|nb| nb.index).collect();
+            let ti: Vec<u32> = t.iter().map(|nb| nb.index).collect();
+            prop_assert_eq!(gi, ti);
+        }
+    }
+
+    #[test]
+    fn hnsw_graphs_are_well_formed(n in 10usize..100, seed in any::<u64>()) {
+        let k = 4.min(n - 1);
+        let vs = DatasetSpec::GaussianClusters { n, dim: 6, clusters: 3, spread: 0.3 }
+            .generate(seed)
+            .vectors;
+        let index = Hnsw::build(&vs, HnswParams { seed, ..HnswParams::default() });
+        let g = index.knng(&vs, k, 32);
+        prop_assert_eq!(g.len(), n);
+        for (p, list) in g.iter().enumerate() {
+            prop_assert!(list.len() <= k);
+            prop_assert!(list.iter().all(|nb| nb.index as usize != p));
+            for w in list.windows(2) {
+                prop_assert!(w[0].key() <= w[1].key());
+            }
+        }
+    }
+
+    #[test]
+    fn nn_descent_never_regresses_shape(n in 5usize..80, k in 1usize..8, seed in any::<u64>()) {
+        let vs = DatasetSpec::UniformCube { n, dim: 4 }.generate(seed).vectors;
+        let (lists, iters) = nn_descent(
+            &vs,
+            &NnDescentParams { k, max_iters: 4, seed, ..NnDescentParams::default() },
+        );
+        prop_assert!(iters <= 4);
+        let kk = k.min(n - 1);
+        for (p, list) in lists.iter().enumerate() {
+            prop_assert_eq!(list.len(), kk);
+            prop_assert!(list.iter().all(|nb| nb.index as usize != p));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion bench: the application-side costs built on the K-NN graph —
+//! t-SNE affinities, graph search, graph extension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wknng_core::{extend_graph, search, SearchParams, WknngBuilder};
+use wknng_data::DatasetSpec;
+use wknng_tsne::{affinities_from_knng, embed, TsneParams};
+
+fn bench_applications(c: &mut Criterion) {
+    let vs = DatasetSpec::Manifold { n: 1000, ambient_dim: 48, intrinsic_dim: 5 }
+        .generate(7)
+        .vectors;
+    let (graph, _) = WknngBuilder::new(12)
+        .trees(6)
+        .leaf_size(32)
+        .exploration(1)
+        .seed(8)
+        .build_native(&vs)
+        .expect("valid");
+
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10);
+
+    group.bench_function("tsne_affinities_n1000", |b| {
+        b.iter(|| affinities_from_knng(&graph.lists, 8.0))
+    });
+
+    let aff = affinities_from_knng(&graph.lists, 8.0);
+    group.bench_function("tsne_embed_20iters_n1000", |b| {
+        b.iter(|| embed(&aff, &TsneParams { iters: 20, ..TsneParams::default() }))
+    });
+
+    let query: Vec<f32> = vs.row(500).iter().map(|v| v + 1e-3).collect();
+    group.bench_function("graph_search_beam32", |b| {
+        b.iter(|| search(&vs, &graph, &query, &SearchParams::default()))
+    });
+
+    let new = DatasetSpec::Manifold { n: 50, ambient_dim: 48, intrinsic_dim: 5 }
+        .generate(9)
+        .vectors;
+    group.bench_function("extend_graph_50_points", |b| {
+        b.iter(|| extend_graph(&vs, &graph, &new, 0).expect("same dim"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_applications);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: RP-forest construction cost vs. trees and leaf size
+//! (the forest phase of experiments E2/E7/E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wknng_data::DatasetSpec;
+use wknng_forest::{build_forest, ForestParams, TreeParams};
+
+fn bench_forest(c: &mut Criterion) {
+    let vs = DatasetSpec::sift_like(2000).generate(1).vectors;
+    let mut group = c.benchmark_group("forest_build");
+    group.sample_size(10);
+    for trees in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("trees", trees), &trees, |b, &t| {
+            b.iter(|| {
+                build_forest(
+                    &vs,
+                    ForestParams { num_trees: t, tree: TreeParams { leaf_size: 32, ..TreeParams::default() } },
+                    7,
+                )
+                .expect("valid")
+            })
+        });
+    }
+    for leaf in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("leaf", leaf), &leaf, |b, &l| {
+            b.iter(|| {
+                build_forest(
+                    &vs,
+                    ForestParams { num_trees: 4, tree: TreeParams { leaf_size: l, ..TreeParams::default() } },
+                    7,
+                )
+                .expect("valid")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

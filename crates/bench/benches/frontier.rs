@@ -1,0 +1,46 @@
+//! Criterion bench: w-KNNG vs the baselines at comparable accuracy — the
+//! wall-clock competitors of experiment E3a.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wknng_baseline::{nn_descent, IvfFlat, IvfParams, NnDescentParams};
+use wknng_core::WknngBuilder;
+use wknng_data::{exact_knn, DatasetSpec, Metric};
+
+fn bench_frontier(c: &mut Criterion) {
+    let vs = DatasetSpec::Manifold { n: 2000, ambient_dim: 96, intrinsic_dim: 6 }
+        .generate(3)
+        .vectors;
+    let mut group = c.benchmark_group("frontier");
+    group.sample_size(10);
+
+    group.bench_function("wknng_t8_p2", |b| {
+        b.iter(|| {
+            WknngBuilder::new(10)
+                .trees(8)
+                .leaf_size(64)
+                .exploration(2)
+                .build_native(&vs)
+                .expect("valid")
+        })
+    });
+
+    group.bench_function("ivf_build_plus_knng_nprobe8", |b| {
+        b.iter(|| {
+            let ivf = IvfFlat::build(&vs, IvfParams { nlist: 45, train_iters: 8, seed: 5 });
+            ivf.knng(&vs, 10, 8)
+        })
+    });
+
+    group.bench_function("nn_descent_k10", |b| {
+        b.iter(|| nn_descent(&vs, &NnDescentParams { k: 10, ..NnDescentParams::default() }))
+    });
+
+    group.bench_function("exact_brute_force", |b| {
+        b.iter(|| exact_knn(&vs, 10, Metric::SquaredL2))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontier);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: simulator throughput per pipeline phase — how fast the
+//! host can *simulate* each device kernel (not the simulated device time;
+//! that is the `reproduce` binary's metric).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wknng_core::kernels::{run_basic, run_tiled, DeviceState, TreeLayout};
+use wknng_core::{KernelVariant, WknngBuilder};
+use wknng_data::DatasetSpec;
+use wknng_forest::{build_forest, ForestParams, TreeParams};
+use wknng_simt::DeviceConfig;
+
+fn bench_phases(c: &mut Criterion) {
+    let vs = DatasetSpec::GaussianClusters { n: 256, dim: 32, clusters: 8, spread: 0.3 }
+        .generate(4)
+        .vectors;
+    let dev = DeviceConfig::test_tiny();
+    let forest = build_forest(
+        &vs,
+        ForestParams { num_trees: 1, tree: TreeParams { leaf_size: 32, ..TreeParams::default() } },
+        9,
+    )
+    .expect("valid");
+    let layout = TreeLayout::upload(&forest.trees[0], vs.len());
+
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+    group.bench_function("bucket_kernel_basic", |b| {
+        b.iter(|| {
+            let state = DeviceState::upload(&vs, 8);
+            run_basic(&dev, &state, &layout)
+        })
+    });
+    group.bench_function("bucket_kernel_tiled", |b| {
+        b.iter(|| {
+            let state = DeviceState::upload(&vs, 8);
+            run_tiled(&dev, &state, &layout)
+        })
+    });
+    for variant in KernelVariant::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", variant.name()),
+            &variant,
+            |b, &v| {
+                b.iter(|| {
+                    WknngBuilder::new(8)
+                        .trees(1)
+                        .leaf_size(32)
+                        .exploration(0)
+                        .variant(v)
+                        .build_device(&vs, &dev)
+                        .expect("valid")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

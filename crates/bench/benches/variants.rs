@@ -1,0 +1,53 @@
+//! Criterion bench: native w-KNNG builds across the evaluation's main knobs
+//! (K, trees, exploration) — the wall-clock side of experiments E2/E5/E9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wknng_core::WknngBuilder;
+use wknng_data::DatasetSpec;
+
+fn bench_builds(c: &mut Criterion) {
+    let vs = DatasetSpec::sift_like(2000).generate(2).vectors;
+    let mut group = c.benchmark_group("wknng_native");
+    group.sample_size(10);
+
+    for k in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| {
+                WknngBuilder::new(k)
+                    .trees(4)
+                    .leaf_size(64)
+                    .exploration(0)
+                    .build_native(&vs)
+                    .expect("valid")
+            })
+        });
+    }
+    for trees in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("trees", trees), &trees, |b, &t| {
+            b.iter(|| {
+                WknngBuilder::new(10)
+                    .trees(t)
+                    .leaf_size(32)
+                    .exploration(0)
+                    .build_native(&vs)
+                    .expect("valid")
+            })
+        });
+    }
+    for explore in [0usize, 1, 2] {
+        group.bench_with_input(BenchmarkId::new("explore", explore), &explore, |b, &p| {
+            b.iter(|| {
+                WknngBuilder::new(10)
+                    .trees(2)
+                    .leaf_size(32)
+                    .exploration(p)
+                    .build_native(&vs)
+                    .expect("valid")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

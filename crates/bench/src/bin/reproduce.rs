@@ -1,0 +1,48 @@
+//! Regenerate the tables and figures of the w-KNNG evaluation.
+//!
+//! Usage:
+//! ```text
+//! reproduce [--quick] [all | e1 e2 ... e10]
+//! ```
+//! With no experiment ids, runs everything. `--quick` shrinks workloads to
+//! smoke-test size.
+
+use std::time::Instant;
+
+use wknng_bench::{run, Scale, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let mut ids: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with('-') && a != "all")
+        .map(|a| a.to_lowercase())
+        .collect();
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    let scale = Scale { quick };
+
+    println!(
+        "w-KNNG evaluation reproduction ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    let mut failed = false;
+    for id in &ids {
+        let t0 = Instant::now();
+        match run(id, scale) {
+            Some(report) => {
+                println!("{report}");
+                println!("[{} finished in {:.1}s]\n", id, t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {})", ALL_IDS.join(", "));
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

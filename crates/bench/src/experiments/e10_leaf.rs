@@ -1,0 +1,84 @@
+//! E10 — leaf (bucket) size sensitivity.
+
+use wknng_core::{recall, WknngBuilder};
+use wknng_data::{exact_knn, DatasetSpec, Metric};
+use wknng_simt::DeviceConfig;
+
+use crate::experiments::{timed, Scale};
+use crate::table::{cyc, f3, Table};
+
+/// Sweep the RP-tree leaf size; bigger buckets mean more all-pairs work but
+/// higher recall per tree.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+
+    let n = scale.pick(2000, 500);
+    let k = 10;
+    let ds = DatasetSpec::sift_like(n).generate(101);
+    let truth = exact_knn(&ds.vectors, k, Metric::SquaredL2);
+    let leaves: Vec<usize> = if scale.quick { vec![16, 64] } else { vec![16, 32, 64, 128, 256] };
+    let mut t = Table::new(
+        format!("E10a: native leaf-size sweep on {} (T=4, P=0)", ds.name).as_str(),
+        &["leaf", "recall@k", "build-ms"],
+    );
+    for &leaf in &leaves {
+        let ((g, _), ms) = timed(|| {
+            WknngBuilder::new(k)
+                .trees(4)
+                .leaf_size(leaf)
+                .exploration(0)
+                .seed(14)
+                .build_native(&ds.vectors)
+                .expect("valid params")
+        });
+        t.row(vec![leaf.to_string(), f3(recall(&g.lists, &truth)), f3(ms)]);
+    }
+    out.push_str(&t.render());
+
+    let n = scale.pick(384, 128);
+    let dev = DeviceConfig::scaled_gpu();
+    let ds = DatasetSpec::GaussianClusters { n, dim: 64, clusters: 8, spread: 0.3 }
+        .generate(102);
+    let truth = exact_knn(&ds.vectors, 8, Metric::SquaredL2);
+    let leaves: Vec<usize> = if scale.quick { vec![16, 64] } else { vec![8, 16, 32, 64, 128] };
+    let mut t = Table::new(
+        format!("E10b: device leaf-size sweep (n={n}, d=64, tiled, T=2)").as_str(),
+        &["leaf", "recall@k", "cycles"],
+    );
+    for &leaf in &leaves {
+        let (g, reports) = WknngBuilder::new(8)
+            .trees(2)
+            .leaf_size(leaf)
+            .exploration(0)
+            .seed(14)
+            .build_device(&ds.vectors, &dev)
+            .expect("valid params");
+        t.row(vec![
+            leaf.to_string(),
+            f3(recall(&g.lists, &truth)),
+            cyc(reports.total().cycles),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_sweep_renders_and_bigger_leaves_help_recall() {
+        let out = run(Scale { quick: true });
+        assert!(out.contains("E10a"));
+        assert!(out.contains("E10b"));
+        // Parse first table: recall at leaf 64 >= recall at leaf 16.
+        let lines: Vec<&str> = out.lines().collect();
+        let first_rows: Vec<&&str> =
+            lines.iter().skip(3).take(2).collect();
+        let rec = |l: &str| -> f64 {
+            l.split_whitespace().nth(1).unwrap().parse().unwrap()
+        };
+        assert!(rec(first_rows[1]) >= rec(first_rows[0]), "{out}");
+    }
+}

@@ -1,0 +1,77 @@
+//! E14 (extension) — device sensitivity: the same workload across simulated
+//! device classes.
+//!
+//! Shows which pipeline phases are bandwidth-sensitive vs compute-sensitive:
+//! a bandwidth-rich device accelerates the memory-bound variants far more
+//! than the compute-bound tiled kernel.
+
+use wknng_core::{KernelVariant, WknngBuilder};
+use wknng_data::DatasetSpec;
+use wknng_simt::DeviceConfig;
+
+use crate::experiments::Scale;
+use crate::table::{cyc, f3, Table};
+
+/// Run each variant on each device preset.
+pub fn run(scale: Scale) -> String {
+    let n = scale.pick(512, 160);
+    let dim = 64;
+    let k = 8;
+    let ds = DatasetSpec::GaussianClusters { n, dim, clusters: 8, spread: 0.3 }.generate(141);
+    // A bandwidth-doubled sibling of the scaled device isolates the memory
+    // roofline's contribution.
+    let scaled = DeviceConfig::scaled_gpu();
+    let wide = DeviceConfig {
+        name: "scaled-gpu-2x-bw (2 SM, 40 B/cycle)",
+        dram_bytes_per_cycle: scaled.dram_bytes_per_cycle * 2.0,
+        ..scaled.clone()
+    };
+    let devices = [scaled, wide];
+
+    let mut t = Table::new(
+        format!("E14: device sensitivity (n={n}, d={dim}, k={k}, leaf=32, T=2, bucket phase)")
+            .as_str(),
+        &["device", "variant", "cycles", "sim-ms", "memory-bound"],
+    );
+    for dev in &devices {
+        for variant in KernelVariant::ALL {
+            let (_, reports) = WknngBuilder::new(k)
+                .trees(2)
+                .leaf_size(32)
+                .exploration(0)
+                .variant(variant)
+                .seed(14)
+                .build_device(&ds.vectors, dev)
+                .expect("valid params");
+            let b = reports.bucket;
+            t.row(vec![
+                dev.name.into(),
+                variant.name().into(),
+                cyc(b.cycles),
+                f3(b.ms(dev)),
+                if b.memory_bound() { "yes" } else { "no" }.into(),
+            ]);
+        }
+    }
+    let mut out = t.render();
+    out.push_str(
+        "reading: doubling DRAM bandwidth helps the memory-bound basic/atomic kernels\n\
+         and leaves the compute-bound tiled kernel nearly unchanged — the signature\n\
+         of its shared-memory staging.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_helps_memory_bound_variants_more() {
+        let out = run(Scale { quick: true });
+        assert!(out.contains("E14"));
+        assert!(out.contains("2x-bw"));
+        // Six rows: 2 devices x 3 variants.
+        assert_eq!(out.lines().filter(|l| l.contains("w-knng-")).count(), 6);
+    }
+}

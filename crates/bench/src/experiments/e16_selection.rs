@@ -1,0 +1,75 @@
+//! E16 (extension) — k-selection ablation: WarpSelect vs slot-insert for the
+//! exhaustive (FAISS-Flat-style) scan.
+//!
+//! FAISS's GPU brute force owes much of its speed to WarpSelect (per-lane
+//! thread queues + threshold + warp merges) rather than offering every
+//! candidate to a shared k-NN structure. This ablation shows where each
+//! selection strategy pays.
+
+use wknng_baseline::{brute_force_device, brute_force_warpselect};
+use wknng_data::DatasetSpec;
+use wknng_simt::DeviceConfig;
+
+use crate::experiments::Scale;
+use crate::table::{cyc, Table};
+
+/// Sweep dimensionality for both exhaustive-scan selection strategies.
+pub fn run(scale: Scale) -> String {
+    let n = scale.pick(384, 128);
+    let k = 8;
+    // A bandwidth-rich sibling of the scaled device: exhaustive scans are
+    // DRAM-bound otherwise and the selection strategy would be invisible
+    // (FAISS avoids that bound with a GEMM-style distance decomposition this
+    // repo does not model).
+    let dev = DeviceConfig { dram_bytes_per_cycle: 160.0, ..DeviceConfig::scaled_gpu() };
+    let dims: Vec<usize> = if scale.quick { vec![8, 64] } else { vec![4, 8, 16, 32, 64, 128] };
+    let mut t = Table::new(
+        format!("E16: exact-scan k-selection ablation (n={n}, k={k}, bandwidth-rich device)")
+            .as_str(),
+        &["dim", "slot-insert", "warp-select", "cycle-speedup", "instr-ratio"],
+    );
+    for &dim in &dims {
+        let vs = DatasetSpec::GaussianClusters { n, dim, clusters: 8, spread: 0.3 }
+            .generate(161)
+            .vectors;
+        let (ga, ra) = brute_force_device(&vs, k, &dev);
+        let (gb, rb) = brute_force_warpselect(&vs, k, &dev);
+        // Both are exact: identical graphs.
+        assert_eq!(
+            ga.iter().map(|l| l.iter().map(|nb| nb.index).collect::<Vec<_>>()).collect::<Vec<_>>(),
+            gb.iter().map(|l| l.iter().map(|nb| nb.index).collect::<Vec<_>>()).collect::<Vec<_>>(),
+        );
+        t.row(vec![
+            dim.to_string(),
+            cyc(ra.cycles),
+            cyc(rb.cycles),
+            format!("{:.2}x", ra.cycles / rb.cycles),
+            format!(
+                "{:.2}x",
+                ra.stats.instructions as f64 / rb.stats.instructions as f64
+            ),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "reading: warp-select retires one candidate per lane per step instead of one per\n\
+         warp — a large instruction saving while distances are cheap; at high\n\
+         dimensionality per-lane gather loads erode the advantage (cf. the atomic\n\
+         bucket kernel), and on a bandwidth-starved device both strategies pin to the\n\
+         same DRAM roofline.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_ablation_renders_with_speedups() {
+        let out = run(Scale { quick: true });
+        assert!(out.contains("E16"));
+        assert!(out.contains("warp-select"));
+        assert!(out.contains('x'));
+    }
+}

@@ -1,0 +1,65 @@
+//! E1 — dataset inventory (the evaluation's "Table 1").
+
+use wknng_data::DatasetSpec;
+
+use crate::experiments::Scale;
+use crate::table::{f3, Table};
+
+/// The dataset roster used across the evaluation, at the evaluation's
+/// standard size.
+pub fn roster(scale: Scale) -> Vec<DatasetSpec> {
+    let n = scale.pick(2000, 400);
+    vec![
+        DatasetSpec::mnist_like(n),
+        DatasetSpec::sift_like(n),
+        DatasetSpec::UniformCube { n, dim: 16 },
+        DatasetSpec::HypersphereShell { n, dim: 64 },
+        DatasetSpec::Manifold { n, ambient_dim: 256, intrinsic_dim: 8 },
+    ]
+}
+
+/// Render the inventory with basic geometric statistics.
+pub fn run(scale: Scale) -> String {
+    let mut t = Table::new(
+        "E1: dataset inventory (synthetic stand-ins, see DESIGN.md)",
+        &["dataset", "n", "dim", "mean-norm", "role"],
+    );
+    let roles = [
+        "MNIST-like: high-d, few clusters",
+        "SIFT-like: mid-d, many clusters",
+        "structureless worst case",
+        "cosine-normalised embeddings",
+        "low intrinsic dim in high ambient",
+    ];
+    for (spec, role) in roster(scale).into_iter().zip(roles) {
+        let ds = spec.generate(1);
+        let mean_norm: f64 = ds
+            .vectors
+            .rows()
+            .map(|r| wknng_data::norm(r) as f64)
+            .sum::<f64>()
+            / ds.vectors.len() as f64;
+        t.row(vec![
+            ds.name.clone(),
+            ds.vectors.len().to_string(),
+            ds.vectors.dim().to_string(),
+            f3(mean_norm),
+            role.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_lists_five_datasets() {
+        let out = run(Scale { quick: true });
+        assert!(out.contains("E1"));
+        assert_eq!(out.matches('\n').count(), 8); // title + header + rule + 5 rows
+        assert!(out.contains("sphere"));
+        assert!(out.contains("manifold8"));
+    }
+}

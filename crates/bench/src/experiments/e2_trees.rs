@@ -1,0 +1,91 @@
+//! E2 — recall as a function of the number of RP trees.
+
+use wknng_core::{recall, WknngBuilder};
+use wknng_data::{exact_knn, DatasetSpec, Metric};
+use wknng_forest::{build_forest, pair_coverage, ForestParams, TreeParams};
+
+use crate::experiments::{timed, Scale};
+use crate::plot::{render, Series};
+use crate::table::{f3, Table};
+
+/// Sweep T for two datasets at fixed leaf size, no exploration.
+pub fn run(scale: Scale) -> String {
+    let n = scale.pick(2000, 400);
+    let k = 10.min(n / 4);
+    let specs = [
+        DatasetSpec::sift_like(n),
+        DatasetSpec::UniformCube { n, dim: 16 },
+    ];
+    let trees = if scale.quick { vec![1, 4, 16] } else { vec![1, 2, 4, 8, 16] };
+
+    let mut t = Table::new(
+        "E2: recall vs number of trees (leaf=32, no exploration)",
+        &["dataset", "trees", "recall@k", "pair-coverage", "build-ms"],
+    );
+    let mut curves: Vec<Series> = Vec::new();
+    for spec in specs {
+        let ds = spec.generate(11);
+        let truth = exact_knn(&ds.vectors, k, Metric::SquaredL2);
+        let mut curve = Vec::new();
+        for &tr in &trees {
+            let ((g, _), ms) = timed(|| {
+                WknngBuilder::new(k)
+                    .trees(tr)
+                    .leaf_size(32)
+                    .exploration(0)
+                    .seed(2)
+                    .build_native(&ds.vectors)
+                    .expect("valid params")
+            });
+            let r = recall(&g.lists, &truth);
+            curve.push((tr as f64, r));
+            // The forest's pair coverage upper-bounds what the bucket phase
+            // alone can recall.
+            let forest = build_forest(
+                &ds.vectors,
+                ForestParams { num_trees: tr, tree: TreeParams { leaf_size: 32, ..TreeParams::default() } },
+                2,
+            )
+            .expect("valid");
+            let cov = pair_coverage(&forest, ds.vectors.len());
+            t.row(vec![ds.name.clone(), tr.to_string(), f3(r), f3(cov), f3(ms)]);
+        }
+        curves.push(Series::new(&ds.name, curve));
+    }
+    let mut out = t.render();
+    out.push_str(&render(
+        "Figure E2: recall@k vs number of trees",
+        "trees (log2)",
+        "recall@k",
+        &curves,
+        44,
+        12,
+        true,
+        false,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_grows_with_trees() {
+        let out = run(Scale { quick: true });
+        // Extract the recall column for the first dataset and check
+        // monotone (non-strict) growth.
+        let recalls: Vec<f64> = out
+            .lines()
+            .skip(3)
+            .take(3)
+            .map(|l| {
+                // Row shape: <dataset> <trees> <recall> <coverage> <ms>
+                let cols: Vec<&str> = l.split_whitespace().collect();
+                cols[2].parse().unwrap()
+            })
+            .collect();
+        assert_eq!(recalls.len(), 3);
+        assert!(recalls[2] >= recalls[0], "{recalls:?}");
+    }
+}

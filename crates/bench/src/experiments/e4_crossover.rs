@@ -1,0 +1,117 @@
+//! E4 — the dimensionality crossover between the atomic and tiled variants.
+//!
+//! Abstract claim: "w-KNNG atomic is more successful when applied to a
+//! smaller number of dimensions, while the tiled w-KNNG approach was
+//! successful in general scenarios for higher dimensional points."
+//! This experiment sweeps the ambient dimension at fixed n/k/leaf and
+//! reports the **bucket-phase** simulated cycles of each variant (the
+//! variants share the forest and exploration phases).
+
+use wknng_core::{KernelVariant, WknngBuilder};
+use wknng_data::DatasetSpec;
+use wknng_simt::DeviceConfig;
+
+use crate::experiments::Scale;
+use crate::plot::{render, Series};
+use crate::table::{cyc, Table};
+
+/// Bucket-phase cycles per variant for one dimensionality.
+pub fn bucket_cycles(n: usize, dim: usize, k: usize) -> [(KernelVariant, f64); 3] {
+    let dev = DeviceConfig::scaled_gpu();
+    let ds = DatasetSpec::GaussianClusters { n, dim, clusters: 8, spread: 0.3 }.generate(41);
+    KernelVariant::ALL.map(|variant| {
+        let (_, reports) = WknngBuilder::new(k)
+            .trees(2)
+            .leaf_size(32)
+            .exploration(0)
+            .variant(variant)
+            .seed(9)
+            .build_device(&ds.vectors, &dev)
+            .expect("valid params");
+        (variant, reports.bucket.cycles)
+    })
+}
+
+/// Sweep dimensionality and report the per-variant cycle counts.
+pub fn run(scale: Scale) -> String {
+    let n = scale.pick(640, 192);
+    let k = 8;
+    let dims: Vec<usize> =
+        if scale.quick { vec![4, 32, 128] } else { vec![4, 8, 16, 32, 64, 128, 256] };
+
+    let mut t = Table::new(
+        format!("E4: bucket-phase cycles vs dimensionality (n={n}, k={k}, leaf=32, T=2)")
+            .as_str(),
+        &["dim", "basic", "atomic", "tiled", "winner"],
+    );
+    let mut crossover: Option<usize> = None;
+    let mut prev_atomic_wins = None;
+    let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
+    for &dim in &dims {
+        let cycles = bucket_cycles(n, dim, k);
+        let winner = cycles
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("three variants")
+            .0;
+        let atomic = cycles.iter().find(|(v, _)| *v == KernelVariant::Atomic).unwrap().1;
+        let tiled = cycles.iter().find(|(v, _)| *v == KernelVariant::Tiled).unwrap().1;
+        let basic = cycles.iter().find(|(v, _)| *v == KernelVariant::Basic).unwrap().1;
+        let atomic_wins = atomic < tiled;
+        if let Some(prev) = prev_atomic_wins {
+            if prev && !atomic_wins && crossover.is_none() {
+                crossover = Some(dim);
+            }
+        }
+        prev_atomic_wins = Some(atomic_wins);
+        curves[0].push((dim as f64, basic));
+        curves[1].push((dim as f64, atomic));
+        curves[2].push((dim as f64, tiled));
+        t.row(vec![
+            dim.to_string(),
+            cyc(basic),
+            cyc(atomic),
+            cyc(tiled),
+            winner.name().to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    let series: Vec<Series> = ["basic", "atomic", "tiled"]
+        .iter()
+        .zip(&curves)
+        .map(|(name, c)| Series::new(name, c.clone()))
+        .collect();
+    out.push_str(&render(
+        "Figure E4: bucket-phase cycles vs dimensionality (log-log)",
+        "dim (log2)",
+        "cycles (log2)",
+        &series,
+        48,
+        14,
+        true,
+        true,
+    ));
+    match crossover {
+        Some(d) => out.push_str(&format!(
+            "atomic->tiled crossover at dim ~{d} (atomic wins below, tiled above)\n"
+        )),
+        None => out.push_str("no atomic->tiled crossover inside the swept range\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiled_beats_basic_at_high_dim() {
+        let cycles = bucket_cycles(128, 128, 4);
+        let basic = cycles.iter().find(|(v, _)| *v == KernelVariant::Basic).unwrap().1;
+        let tiled = cycles.iter().find(|(v, _)| *v == KernelVariant::Tiled).unwrap().1;
+        assert!(
+            tiled < basic,
+            "tiled ({tiled}) must beat basic ({basic}) at dim 128"
+        );
+    }
+}

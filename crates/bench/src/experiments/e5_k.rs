@@ -1,0 +1,76 @@
+//! E5 — effect of the neighbor count K on build cost and recall.
+
+use wknng_core::{recall, WknngBuilder};
+use wknng_data::{exact_knn, DatasetSpec, Metric};
+use wknng_simt::DeviceConfig;
+
+use crate::experiments::{timed, Scale};
+use crate::table::{cyc, f3, Table};
+
+/// Sweep K natively (wall clock) and on the device (cycles).
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+
+    // Native sweep.
+    let n = scale.pick(3000, 600);
+    let ds = DatasetSpec::sift_like(n).generate(51);
+    let ks: Vec<usize> = if scale.quick { vec![4, 16, 64] } else { vec![4, 8, 16, 32, 64] };
+    let kmax = *ks.iter().max().expect("nonempty");
+    let truth_full = exact_knn(&ds.vectors, kmax, Metric::SquaredL2);
+    let mut t = Table::new(
+        format!("E5a: native build vs K on {} (T=4, P=1, leaf=64)", ds.name).as_str(),
+        &["k", "build-ms", "recall@k"],
+    );
+    for &k in &ks {
+        let ((g, _), ms) = timed(|| {
+            WknngBuilder::new(k)
+                .trees(4)
+                .leaf_size(64)
+                .exploration(1)
+                .seed(4)
+                .build_native(&ds.vectors)
+                .expect("valid params")
+        });
+        let truth: Vec<_> = truth_full
+            .iter()
+            .map(|l| l.iter().take(k).copied().collect::<Vec<_>>())
+            .collect();
+        t.row(vec![k.to_string(), f3(ms), f3(recall(&g.lists, &truth))]);
+    }
+    out.push_str(&t.render());
+
+    // Device sweep.
+    let n = scale.pick(512, 160);
+    let dev = DeviceConfig::scaled_gpu();
+    let ds = DatasetSpec::GaussianClusters { n, dim: 64, clusters: 8, spread: 0.3 }.generate(52);
+    let mut t = Table::new(
+        format!("E5b: simulated cycles vs K (n={n}, d=64, tiled, T=2)").as_str(),
+        &["k", "cycles", "sim-ms"],
+    );
+    let ks: Vec<usize> = if scale.quick { vec![4, 16] } else { vec![4, 8, 16, 32] };
+    for &k in &ks {
+        let (_, reports) = WknngBuilder::new(k)
+            .trees(2)
+            .leaf_size(32)
+            .exploration(0)
+            .seed(4)
+            .build_device(&ds.vectors, &dev)
+            .expect("valid params");
+        let total = reports.total();
+        t.row(vec![k.to_string(), cyc(total.cycles), f3(total.ms(&dev))]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_tables() {
+        let out = run(Scale { quick: true });
+        assert!(out.contains("E5a"));
+        assert!(out.contains("E5b"));
+    }
+}

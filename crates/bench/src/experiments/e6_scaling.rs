@@ -1,0 +1,97 @@
+//! E6 — scaling with the number of points N.
+
+use wknng_core::{recall, WknngBuilder};
+use wknng_data::{exact_knn, DatasetSpec, Metric};
+use wknng_simt::DeviceConfig;
+
+use crate::experiments::{timed, Scale};
+use crate::plot::{render, Series};
+use crate::table::{cyc, f3, Table};
+
+/// Sweep N at fixed dimensionality; report native build time against the
+/// exact-graph time, and simulated device cycles.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    let k = 10;
+    let sizes: Vec<usize> = if scale.quick {
+        vec![500, 1000, 2000]
+    } else {
+        vec![1000, 2000, 4000, 8000]
+    };
+
+    let mut t = Table::new(
+        "E6a: native scaling with N (d=32, k=10, T=4, P=1, leaf=64)",
+        &["n", "build-ms", "exact-ms", "ratio", "recall@k"],
+    );
+    let mut build_curve = Vec::new();
+    let mut exact_curve = Vec::new();
+    for &n in &sizes {
+        let ds = DatasetSpec::GaussianClusters { n, dim: 32, clusters: 16, spread: 0.3 }
+            .generate(61);
+        let ((g, _), build_ms) = timed(|| {
+            WknngBuilder::new(k)
+                .trees(4)
+                .leaf_size(64)
+                .exploration(1)
+                .seed(6)
+                .build_native(&ds.vectors)
+                .expect("valid params")
+        });
+        let (truth, exact_ms) = timed(|| exact_knn(&ds.vectors, k, Metric::SquaredL2));
+        build_curve.push((n as f64, build_ms));
+        exact_curve.push((n as f64, exact_ms));
+        t.row(vec![
+            n.to_string(),
+            f3(build_ms),
+            f3(exact_ms),
+            format!("{:.1}x", exact_ms / build_ms),
+            f3(recall(&g.lists, &truth)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&render(
+        "Figure E6: build time vs N (log-log) — near-linear vs quadratic",
+        "n (log2)",
+        "ms (log2)",
+        &[Series::new("w-KNNG", build_curve), Series::new("exact brute", exact_curve)],
+        48,
+        12,
+        true,
+        true,
+    ));
+
+    let dev = DeviceConfig::scaled_gpu();
+    let sizes: Vec<usize> = if scale.quick { vec![128, 256, 512] } else { vec![128, 256, 512, 1024] };
+    let mut t = Table::new(
+        "E6b: simulated cycles with N (d=64, k=8, tiled, T=2)",
+        &["n", "cycles", "cycles/point"],
+    );
+    for &n in &sizes {
+        let ds = DatasetSpec::GaussianClusters { n, dim: 64, clusters: 8, spread: 0.3 }
+            .generate(62);
+        let (_, reports) = WknngBuilder::new(8)
+            .trees(2)
+            .leaf_size(32)
+            .exploration(0)
+            .seed(6)
+            .build_device(&ds.vectors, &dev)
+            .expect("valid params");
+        let c = reports.total().cycles;
+        t.row(vec![n.to_string(), cyc(c), cyc(c / n as f64)]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_tables_render() {
+        let out = run(Scale { quick: true });
+        assert!(out.contains("E6a"));
+        assert!(out.contains("E6b"));
+        assert!(out.contains("ratio"));
+    }
+}

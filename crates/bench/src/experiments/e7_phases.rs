@@ -1,0 +1,80 @@
+//! E7 — pipeline phase breakdown (forest / bucket all-pairs / exploration).
+
+use wknng_core::WknngBuilder;
+use wknng_data::DatasetSpec;
+use wknng_simt::DeviceConfig;
+
+use crate::experiments::{Scale};
+use crate::table::{cyc, f3, Table};
+
+/// Break down the native wall clock and the simulated device cycles.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+
+    // Native breakdown.
+    let n = scale.pick(2000, 500);
+    let ds = DatasetSpec::sift_like(n).generate(71);
+    let (_, timings) = WknngBuilder::new(10)
+        .trees(4)
+        .leaf_size(48)
+        .exploration(1)
+        .seed(8)
+        .build_native(&ds.vectors)
+        .expect("valid params");
+    let total = timings.total_ms().max(1e-9);
+    let mut t = Table::new(
+        format!("E7a: native phase breakdown on {} (T=4, P=1, leaf=48)", ds.name).as_str(),
+        &["phase", "ms", "share"],
+    );
+    for (name, ms) in [
+        ("forest", timings.forest_ms),
+        ("bucket all-pairs", timings.bucket_ms),
+        ("exploration", timings.explore_ms),
+    ] {
+        t.row(vec![name.into(), f3(ms), format!("{:.1}%", 100.0 * ms / total)]);
+    }
+    t.row(vec!["total".into(), f3(total), "100.0%".into()]);
+    out.push_str(&t.render());
+
+    // Device breakdown.
+    let n = scale.pick(512, 192);
+    let dev = DeviceConfig::scaled_gpu();
+    let ds = DatasetSpec::GaussianClusters { n, dim: 128, clusters: 8, spread: 0.3 }
+        .generate(72);
+    let (_, reports) = WknngBuilder::new(8)
+        .trees(2)
+        .leaf_size(32)
+        .exploration(1)
+        .seed(8)
+        .build_device(&ds.vectors, &dev)
+        .expect("valid params");
+    let total = reports.total().cycles.max(1e-9);
+    let mut t = Table::new(
+        format!("E7b: simulated phase breakdown (n={n}, d=128, tiled)").as_str(),
+        &["phase", "cycles", "share"],
+    );
+    for (name, c) in [
+        ("forest", reports.forest.cycles),
+        ("bucket all-pairs", reports.bucket.cycles),
+        ("exploration", reports.explore.cycles),
+    ] {
+        t.row(vec![name.into(), cyc(c), format!("{:.1}%", 100.0 * c / total)]);
+    }
+    t.row(vec!["total".into(), cyc(total), "100.0%".into()]);
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_shares_sum_to_total() {
+        let out = run(Scale { quick: true });
+        assert!(out.contains("E7a"));
+        assert!(out.contains("E7b"));
+        assert!(out.contains("bucket all-pairs"));
+        assert!(out.contains("100.0%"));
+    }
+}

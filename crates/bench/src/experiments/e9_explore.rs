@@ -1,0 +1,89 @@
+//! E9 — effect of the neighbors-of-neighbors exploration depth.
+
+use wknng_core::{recall, WknngBuilder};
+use wknng_data::{exact_knn, DatasetSpec, Metric};
+use wknng_simt::DeviceConfig;
+
+use crate::experiments::{timed, Scale};
+use crate::plot::{render, Series};
+use crate::table::{cyc, f3, Table};
+
+/// Sweep exploration iterations; report recall and cost on both backends.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+
+    let n = scale.pick(2000, 500);
+    let k = 10;
+    let ds = DatasetSpec::sift_like(n).generate(91);
+    let truth = exact_knn(&ds.vectors, k, Metric::SquaredL2);
+    let iters: Vec<usize> = if scale.quick { vec![0, 1, 2] } else { vec![0, 1, 2, 3, 4] };
+    let mut t = Table::new(
+        format!("E9a: native exploration sweep on {} (T=2, leaf=32)", ds.name).as_str(),
+        &["explore-iters", "recall@k", "total-ms", "explore-ms"],
+    );
+    let mut curve = Vec::new();
+    for &p in &iters {
+        let ((g, timings), ms) = timed(|| {
+            WknngBuilder::new(k)
+                .trees(2)
+                .leaf_size(32)
+                .exploration(p)
+                .seed(12)
+                .build_native(&ds.vectors)
+                .expect("valid params")
+        });
+        let r = recall(&g.lists, &truth);
+        curve.push((p as f64, r));
+        t.row(vec![p.to_string(), f3(r), f3(ms), f3(timings.explore_ms)]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&render(
+        "Figure E9: recall vs exploration rounds (diminishing returns)",
+        "rounds",
+        "recall@k",
+        &[Series::new("w-KNNG T=2", curve)],
+        40,
+        10,
+        false,
+        false,
+    ));
+
+    let n = scale.pick(384, 128);
+    let dev = DeviceConfig::scaled_gpu();
+    let ds = DatasetSpec::GaussianClusters { n, dim: 32, clusters: 8, spread: 0.3 }
+        .generate(92);
+    let truth = exact_knn(&ds.vectors, 8, Metric::SquaredL2);
+    let mut t = Table::new(
+        format!("E9b: device exploration sweep (n={n}, d=32, tiled, T=2)").as_str(),
+        &["explore-iters", "recall@k", "cycles"],
+    );
+    for p in 0..=2usize {
+        let (g, reports) = WknngBuilder::new(8)
+            .trees(2)
+            .leaf_size(24)
+            .exploration(p)
+            .seed(12)
+            .build_device(&ds.vectors, &dev)
+            .expect("valid params");
+        t.row(vec![
+            p.to_string(),
+            f3(recall(&g.lists, &truth)),
+            cyc(reports.total().cycles),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exploration_sweep_renders() {
+        let out = run(Scale { quick: true });
+        assert!(out.contains("E9a"));
+        assert!(out.contains("E9b"));
+        assert!(out.contains("explore-iters"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # wknng-bench — the benchmark harness of the w-KNNG evaluation
+//!
+//! One module per experiment (tables/figures of the reconstructed
+//! evaluation, see `DESIGN.md` for the index and `EXPERIMENTS.md` for
+//! claimed-vs-measured). Everything is runnable through the `reproduce`
+//! binary:
+//!
+//! ```text
+//! cargo run --release -p wknng-bench --bin reproduce            # all experiments
+//! cargo run --release -p wknng-bench --bin reproduce -- e3 e4  # a subset
+//! cargo run --release -p wknng-bench --bin reproduce -- --quick all
+//! ```
+//!
+//! Criterion micro-benchmarks live under `benches/` (forest construction,
+//! native build variants, baselines, phase costs).
+
+pub mod experiments;
+pub mod plot;
+pub mod table;
+
+pub use experiments::{run, Scale, ALL_IDS};

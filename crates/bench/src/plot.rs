@@ -1,0 +1,149 @@
+//! ASCII figure rendering: line charts for the evaluation's figure-style
+//! results (recall curves, scaling curves, crossover plots).
+
+/// A named series of (x, y) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct a series.
+    pub fn new(name: &str, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.to_string(), points }
+    }
+}
+
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Render series as an ASCII scatter/line chart of `width × height`
+/// characters (plus axes). `log_x`/`log_y` switch the axes to log₂ scale
+/// (points with non-positive coordinates are dropped on log axes).
+pub fn render(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+) -> String {
+    let tx = |v: f64| if log_x { v.log2() } else { v };
+    let ty = |v: f64| if log_y { v.log2() } else { v };
+    let pts: Vec<(usize, f64, f64)> = series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| {
+            s.points
+                .iter()
+                .filter(|&&(x, y)| (!log_x || x > 0.0) && (!log_y || y > 0.0))
+                .map(move |&(x, y)| (si, tx(x), ty(y)))
+        })
+        .collect();
+    let mut out = format!("-- {title} --\n");
+    if pts.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for &(si, x, y) in &pts {
+        let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+        let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - cy;
+        let cell = &mut grid[row][cx.min(width - 1)];
+        // Later series overwrite; overlaps show the later glyph.
+        *cell = GLYPHS[si % GLYPHS.len()];
+    }
+    let unscale_y = |v: f64| if log_y { v.exp2() } else { v };
+    let unscale_x = |v: f64| if log_x { v.exp2() } else { v };
+    for (r, row) in grid.iter().enumerate() {
+        let yv = unscale_y(y1 - (y1 - y0) * r as f64 / (height - 1) as f64);
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{yv:>10.3} |{line}|\n"));
+    }
+    out.push_str(&format!(
+        "{:>10} +{}+\n{:>10}  {:<w$}{:>w2$}\n",
+        "",
+        "-".repeat(width),
+        "",
+        format!("{:.3}", unscale_x(x0)),
+        format!("{:.3} ({x_label})", unscale_x(x1)),
+        w = width / 2,
+        w2 = width - width / 2,
+    ));
+    out.push_str(&format!("{:>10}  y: {y_label} | ", ""));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{} = {}  ", GLYPHS[si % GLYPHS.len()], s.name));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_monotone_series_on_the_diagonal() {
+        let s = Series::new("line", (0..10).map(|i| (i as f64, i as f64)).collect());
+        let out = render("t", "x", "y", &[s], 20, 10, false, false);
+        assert!(out.contains("-- t --"));
+        assert!(out.contains("* = line"));
+        // Top row holds the max, bottom row the min.
+        let rows: Vec<&str> = out.lines().collect();
+        assert!(rows[1].trim_start().starts_with('9'));
+        assert!(rows[10].trim_start().starts_with('0'));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let a = Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let b = Series::new("b", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let out = render("t", "x", "y", &[a, b], 16, 8, false, false);
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("o = b"));
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive_points() {
+        let s = Series::new("s", vec![(0.0, 5.0), (1.0, 10.0), (1024.0, 100.0)]);
+        let out = render("t", "x", "y", &[s], 16, 6, true, true);
+        assert!(out.contains("1024"));
+        assert!(!out.contains("(no data)"));
+    }
+
+    #[test]
+    fn empty_series_render_gracefully() {
+        let out = render("t", "x", "y", &[], 10, 5, false, false);
+        assert!(out.contains("(no data)"));
+        let s = Series::new("s", vec![]);
+        let out = render("t", "x", "y", &[s], 10, 5, false, false);
+        assert!(out.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_do_not_divide_by_zero() {
+        let s = Series::new("flat", vec![(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)]);
+        let out = render("t", "x", "y", &[s], 12, 5, false, false);
+        assert!(out.contains("flat"));
+    }
+}

@@ -1,0 +1,189 @@
+//! The public entry point: a fluent builder over both backends.
+
+use wknng_data::{Metric, Neighbor, VectorSet};
+use wknng_simt::DeviceConfig;
+
+use crate::error::KnngError;
+use crate::native::{build_native, PhaseTimings};
+use crate::params::{ExplorationMode, KernelVariant, WknngParams};
+use crate::pipeline::{build_device, DeviceReports};
+
+/// A built approximate K-NNG plus the parameters that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knng {
+    /// Sorted neighbor lists, one per point.
+    pub lists: Vec<Vec<Neighbor>>,
+    /// Parameters of the build.
+    pub params: WknngParams,
+}
+
+impl Knng {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True when the graph covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Neighbor list of point `p`.
+    pub fn neighbors(&self, p: usize) -> &[Neighbor] {
+        &self.lists[p]
+    }
+
+    /// Total directed edges in the graph.
+    pub fn num_edges(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+}
+
+/// Fluent builder for w-KNNG construction.
+///
+/// ```
+/// use wknng_core::WknngBuilder;
+/// use wknng_data::DatasetSpec;
+///
+/// let vs = DatasetSpec::sift_like(300).generate(7).vectors;
+/// let (graph, timings) = WknngBuilder::new(10)
+///     .trees(4)
+///     .leaf_size(32)
+///     .exploration(1)
+///     .seed(99)
+///     .build_native(&vs)
+///     .unwrap();
+/// assert_eq!(graph.len(), 300);
+/// assert!(timings.total_ms() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WknngBuilder {
+    params: WknngParams,
+}
+
+impl WknngBuilder {
+    /// Start a builder for a `k`-NN graph.
+    pub fn new(k: usize) -> Self {
+        WknngBuilder { params: WknngParams { k, ..WknngParams::default() } }
+    }
+
+    /// Number of RP trees (default 4).
+    pub fn trees(mut self, t: usize) -> Self {
+        self.params.num_trees = t;
+        self
+    }
+
+    /// RP-tree leaf bucket size (default 64).
+    pub fn leaf_size(mut self, l: usize) -> Self {
+        self.params.leaf_size = l;
+        self
+    }
+
+    /// Neighbors-of-neighbors refinement iterations (default 1).
+    pub fn exploration(mut self, iters: usize) -> Self {
+        self.params.exploration_iters = iters;
+        self
+    }
+
+    /// Exploration candidate strategy (default [`ExplorationMode::Full`];
+    /// the incremental mode applies to native builds only).
+    pub fn exploration_mode(mut self, mode: ExplorationMode) -> Self {
+        self.params.exploration_mode = mode;
+        self
+    }
+
+    /// Split-direction distribution of the RP trees (default dense
+    /// Gaussian; sparse-sign projections are ablated in experiment E12).
+    pub fn projection(mut self, p: wknng_forest::ProjectionKind) -> Self {
+        self.params.projection = p;
+        self
+    }
+
+    /// Pick the kernel variant from the data's dimensionality (the paper's
+    /// practical guidance backed by experiment E4).
+    pub fn auto_variant(mut self, dim: usize) -> Self {
+        self.params.variant = KernelVariant::auto_for_dim(dim);
+        self
+    }
+
+    /// Kernel strategy for device builds (default tiled).
+    pub fn variant(mut self, v: KernelVariant) -> Self {
+        self.params.variant = v;
+        self
+    }
+
+    /// Distance metric (native backend only; device builds require the
+    /// default squared L2).
+    pub fn metric(mut self, m: Metric) -> Self {
+        self.params.metric = m;
+        self
+    }
+
+    /// RNG seed (default fixed; every build is deterministic).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.params.seed = s;
+        self
+    }
+
+    /// The resolved parameter set.
+    pub fn params(&self) -> WknngParams {
+        self.params
+    }
+
+    /// Build on the native (rayon) backend.
+    pub fn build_native(&self, vs: &VectorSet) -> Result<(Knng, PhaseTimings), KnngError> {
+        let (lists, timings) = build_native(vs, &self.params)?;
+        Ok((Knng { lists, params: self.params }, timings))
+    }
+
+    /// Build on the simulated GPU, returning per-phase launch reports.
+    pub fn build_device(
+        &self,
+        vs: &VectorSet,
+        dev: &DeviceConfig,
+    ) -> Result<(Knng, DeviceReports), KnngError> {
+        let (lists, reports) = build_device(vs, &self.params, dev)?;
+        Ok((Knng { lists, params: self.params }, reports))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::DatasetSpec;
+
+    #[test]
+    fn builder_threads_every_knob() {
+        let b = WknngBuilder::new(7)
+            .trees(3)
+            .leaf_size(24)
+            .exploration(2)
+            .variant(KernelVariant::Atomic)
+            .metric(Metric::Cosine)
+            .seed(5);
+        let p = b.params();
+        assert_eq!(p.k, 7);
+        assert_eq!(p.num_trees, 3);
+        assert_eq!(p.leaf_size, 24);
+        assert_eq!(p.exploration_iters, 2);
+        assert_eq!(p.variant, KernelVariant::Atomic);
+        assert_eq!(p.metric, Metric::Cosine);
+        assert_eq!(p.seed, 5);
+    }
+
+    #[test]
+    fn knng_accessors() {
+        let vs = DatasetSpec::UniformCube { n: 50, dim: 4 }.generate(1).vectors;
+        let (g, _) = WknngBuilder::new(3).trees(2).leaf_size(8).build_native(&vs).unwrap();
+        assert_eq!(g.len(), 50);
+        assert!(!g.is_empty());
+        assert!(g.num_edges() <= 150);
+        assert!(g.neighbors(0).len() <= 3);
+    }
+
+    #[test]
+    fn builder_surfaces_errors() {
+        let vs = DatasetSpec::UniformCube { n: 5, dim: 2 }.generate(0).vectors;
+        assert!(WknngBuilder::new(10).build_native(&vs).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Typed errors for w-KNNG construction.
+
+use std::fmt;
+
+use wknng_data::DataError;
+use wknng_forest::ForestError;
+
+/// Errors produced by the w-KNNG builders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KnngError {
+    /// `k` must be at least 1.
+    ZeroK,
+    /// `k` must be smaller than the number of points.
+    KTooLarge {
+        /// Requested k.
+        k: usize,
+        /// Number of points available.
+        n: usize,
+    },
+    /// The device kernels implement squared L2 only (the paper's metric).
+    UnsupportedDeviceMetric(wknng_data::Metric),
+    /// The tiled kernel must stage a whole bucket in shared memory; this
+    /// leaf size does not fit the selected device.
+    LeafTooLargeForTiled {
+        /// Requested leaf size.
+        leaf: usize,
+        /// Largest bucket the device's shared memory can stage.
+        max: usize,
+    },
+    /// Error from the data substrate.
+    Data(DataError),
+    /// Error from the forest substrate.
+    Forest(ForestError),
+}
+
+impl fmt::Display for KnngError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnngError::ZeroK => write!(f, "k must be at least 1"),
+            KnngError::KTooLarge { k, n } => {
+                write!(f, "k = {k} needs at least k + 1 = {} points, got {n}", k + 1)
+            }
+            KnngError::UnsupportedDeviceMetric(m) => {
+                write!(f, "device kernels support SquaredL2 only, got {m:?}")
+            }
+            KnngError::LeafTooLargeForTiled { leaf, max } => {
+                write!(f, "tiled kernel: leaf_size {leaf} exceeds shared-memory capacity ({max} points)")
+            }
+            KnngError::Data(e) => write!(f, "data error: {e}"),
+            KnngError::Forest(e) => write!(f, "forest error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KnngError {}
+
+impl From<DataError> for KnngError {
+    fn from(e: DataError) -> Self {
+        KnngError::Data(e)
+    }
+}
+
+impl From<ForestError> for KnngError {
+    fn from(e: ForestError) -> Self {
+        KnngError::Forest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(KnngError::ZeroK.to_string().contains("at least 1"));
+        assert!(KnngError::KTooLarge { k: 5, n: 3 }.to_string().contains("k = 5"));
+        assert!(KnngError::UnsupportedDeviceMetric(wknng_data::Metric::Cosine)
+            .to_string()
+            .contains("SquaredL2"));
+        let e: KnngError = DataError::ZeroDimension.into();
+        assert!(matches!(e, KnngError::Data(_)));
+        let e: KnngError = ForestError::NoTrees.into();
+        assert!(matches!(e, KnngError::Forest(_)));
+    }
+}

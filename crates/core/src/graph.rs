@@ -1,0 +1,162 @@
+//! K-NNG representations and conversions between host lists and the packed
+//! device slot arrays.
+
+use wknng_data::{sort_neighbors, Neighbor};
+
+use crate::heap::KnnList;
+
+/// The packed slot value meaning "no neighbor yet".
+///
+/// `u64::MAX` unpacks to a NaN distance with index `u32::MAX`; every real
+/// candidate (finite non-negative distance) packs strictly below it, so the
+/// max-replacement insertion protocols treat empty slots as the worst
+/// possible entry and fill them first.
+pub const EMPTY_SLOT: u64 = u64::MAX;
+
+/// A K-NN graph under construction on the host: one bounded candidate list
+/// per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnGraph {
+    k: usize,
+    lists: Vec<KnnList>,
+}
+
+impl KnnGraph {
+    /// An empty graph over `n` points with `k` neighbors per point.
+    pub fn new(n: usize, k: usize) -> Self {
+        KnnGraph { k, lists: (0..n).map(|_| KnnList::new(k)).collect() }
+    }
+
+    /// Neighbors-per-point bound.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True when the graph has no points.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The candidate list of point `p`.
+    pub fn list(&self, p: usize) -> &KnnList {
+        &self.lists[p]
+    }
+
+    /// Mutable access to every list (the native backend's parallel update
+    /// path).
+    pub fn lists_mut(&mut self) -> &mut [KnnList] {
+        &mut self.lists
+    }
+
+    /// Snapshot of the neighbor indices of every point (used by the
+    /// exploration phase).
+    pub fn index_snapshot(&self) -> Vec<Vec<u32>> {
+        self.lists.iter().map(|l| l.indices().collect()).collect()
+    }
+
+    /// Convert into plain sorted neighbor lists.
+    pub fn into_lists(self) -> Vec<Vec<Neighbor>> {
+        self.lists.into_iter().map(KnnList::into_vec).collect()
+    }
+}
+
+/// Decode a device slot buffer (`n × k` packed `u64`s) into sorted,
+/// deduplicated neighbor lists.
+///
+/// Kernels keep slots unsorted and may, under concurrent insertion races,
+/// leave a duplicate index; decoding sorts by `(dist, index)` and keeps the
+/// first occurrence of each index, exactly like FAISS post-processes its
+/// result heaps.
+pub fn slots_to_lists(slots: &[u64], n: usize, k: usize) -> Vec<Vec<Neighbor>> {
+    assert_eq!(slots.len(), n * k, "slot buffer shape mismatch");
+    (0..n)
+        .map(|p| {
+            let mut list: Vec<Neighbor> = slots[p * k..(p + 1) * k]
+                .iter()
+                .filter(|&&s| s != EMPTY_SLOT)
+                .map(|&s| Neighbor::unpack(s))
+                .filter(|nb| nb.dist.is_finite()) // decode is total even on garbage
+                .collect();
+            sort_neighbors(&mut list);
+            list.dedup_by_key(|nb| nb.index);
+            list
+        })
+        .collect()
+}
+
+/// Encode host lists into a fresh `n × k` packed slot vector (EMPTY-padded).
+pub fn lists_to_slots(lists: &[Vec<Neighbor>], k: usize) -> Vec<u64> {
+    let mut slots = vec![EMPTY_SLOT; lists.len() * k];
+    for (p, list) in lists.iter().enumerate() {
+        for (i, nb) in list.iter().take(k).enumerate() {
+            slots[p * k + i] = nb.pack();
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slot_is_worse_than_any_candidate() {
+        let far = Neighbor::new(u32::MAX, f32::MAX).pack();
+        assert!(far < EMPTY_SLOT);
+        let inf = Neighbor::new(0, f32::INFINITY).pack();
+        assert!(inf < EMPTY_SLOT);
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let mut g = KnnGraph::new(3, 2);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.k(), 2);
+        g.lists_mut()[0].insert(Neighbor::new(1, 1.0));
+        g.lists_mut()[0].insert(Neighbor::new(2, 0.5));
+        let snap = g.index_snapshot();
+        assert_eq!(snap[0], vec![2, 1]);
+        assert!(snap[1].is_empty());
+        let lists = g.into_lists();
+        assert_eq!(lists[0].len(), 2);
+    }
+
+    #[test]
+    fn slots_decode_sorts_and_dedups() {
+        let k = 4;
+        let slots = vec![
+            Neighbor::new(5, 2.0).pack(),
+            Neighbor::new(1, 1.0).pack(),
+            Neighbor::new(5, 2.0).pack(), // duplicate from an insertion race
+            EMPTY_SLOT,
+        ];
+        let lists = slots_to_lists(&slots, 1, k);
+        let idx: Vec<u32> = lists[0].iter().map(|n| n.index).collect();
+        assert_eq!(idx, vec![1, 5]);
+    }
+
+    #[test]
+    fn lists_encode_pads_with_empty() {
+        let lists = vec![vec![Neighbor::new(3, 1.5)], vec![]];
+        let slots = lists_to_slots(&lists, 2);
+        assert_eq!(slots.len(), 4);
+        assert_eq!(Neighbor::unpack(slots[0]).index, 3);
+        assert_eq!(slots[1], EMPTY_SLOT);
+        assert_eq!(slots[2], EMPTY_SLOT);
+        // Round trip.
+        let back = slots_to_lists(&slots, 2, 2);
+        assert_eq!(back[0], lists[0]);
+        assert!(back[1].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn slot_shape_is_checked() {
+        let _ = slots_to_lists(&[0u64; 5], 2, 3);
+    }
+}

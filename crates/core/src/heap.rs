@@ -1,0 +1,148 @@
+//! The bounded k-NN candidate list used by the native backend.
+
+use wknng_data::Neighbor;
+
+/// A capacity-bounded set of the best (smallest-distance) candidates seen so
+/// far, kept sorted ascending by `(dist, index)` and deduplicated by index.
+///
+/// For the k ≤ 64 regime of K-NNG construction a sorted array beats a binary
+/// heap: insertion is a `memmove` of a few dozen 8-byte records and the list
+/// doubles as the final sorted output. This is the host mirror of the packed
+/// `u64` slot arrays the device kernels maintain in global memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnList {
+    cap: usize,
+    entries: Vec<Neighbor>,
+}
+
+impl KnnList {
+    /// An empty list with room for `cap` neighbors.
+    pub fn new(cap: usize) -> Self {
+        KnnList { cap, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Capacity (the `k` of the graph).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of neighbors currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no neighbor has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current worst (largest) entry, if any.
+    pub fn worst(&self) -> Option<Neighbor> {
+        self.entries.last().copied()
+    }
+
+    /// Offer a candidate. Returns `true` if the list changed.
+    ///
+    /// Rejects candidates already present (by index) and, when full,
+    /// candidates not strictly better than the current worst under the
+    /// `(dist, index)` order.
+    pub fn insert(&mut self, cand: Neighbor) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        if self.entries.iter().any(|e| e.index == cand.index) {
+            return false;
+        }
+        let full = self.entries.len() == self.cap;
+        if full && cand.key() >= self.entries[self.cap - 1].key() {
+            return false;
+        }
+        let pos = self
+            .entries
+            .partition_point(|e| e.key() < cand.key());
+        if full {
+            self.entries.pop();
+        }
+        self.entries.insert(pos, cand);
+        true
+    }
+
+    /// The sorted neighbor slice.
+    pub fn as_slice(&self) -> &[Neighbor] {
+        &self.entries
+    }
+
+    /// Consume into the sorted neighbor vector.
+    pub fn into_vec(self) -> Vec<Neighbor> {
+        self.entries
+    }
+
+    /// Neighbor indices, ascending by `(dist, index)`.
+    pub fn indices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().map(|e| e.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest_sorted() {
+        let mut l = KnnList::new(3);
+        assert!(l.insert(Neighbor::new(1, 5.0)));
+        assert!(l.insert(Neighbor::new(2, 1.0)));
+        assert!(l.insert(Neighbor::new(3, 3.0)));
+        assert_eq!(l.len(), 3);
+        // 4 with dist 2.0 evicts (1, 5.0).
+        assert!(l.insert(Neighbor::new(4, 2.0)));
+        let idx: Vec<u32> = l.indices().collect();
+        assert_eq!(idx, vec![2, 4, 3]);
+        assert_eq!(l.worst(), Some(Neighbor::new(3, 3.0)));
+        // Worse than current worst: rejected.
+        assert!(!l.insert(Neighbor::new(9, 10.0)));
+    }
+
+    #[test]
+    fn rejects_duplicates_by_index() {
+        let mut l = KnnList::new(4);
+        assert!(l.insert(Neighbor::new(7, 2.0)));
+        assert!(!l.insert(Neighbor::new(7, 2.0)));
+        assert!(!l.insert(Neighbor::new(7, 1.0))); // same point, same metric => same dist in practice
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn tie_break_is_by_index() {
+        let mut l = KnnList::new(2);
+        l.insert(Neighbor::new(5, 1.0));
+        l.insert(Neighbor::new(3, 1.0));
+        let idx: Vec<u32> = l.indices().collect();
+        assert_eq!(idx, vec![3, 5]);
+        // Equal (dist, but larger index) than worst: rejected when full.
+        assert!(!l.insert(Neighbor::new(9, 1.0)));
+        // Smaller index at the same dist is strictly better: accepted.
+        assert!(l.insert(Neighbor::new(1, 1.0)));
+        let idx: Vec<u32> = l.indices().collect();
+        assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_swallows_everything() {
+        let mut l = KnnList::new(0);
+        assert!(!l.insert(Neighbor::new(1, 0.0)));
+        assert!(l.is_empty());
+        assert_eq!(l.worst(), None);
+    }
+
+    #[test]
+    fn into_vec_is_sorted() {
+        let mut l = KnnList::new(8);
+        for (i, d) in [(4u32, 4.0f32), (1, 1.0), (3, 3.0), (2, 2.0)] {
+            l.insert(Neighbor::new(i, d));
+        }
+        let v = l.into_vec();
+        let dists: Vec<f32> = v.iter().map(|n| n.dist).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,89 @@
+//! The **w-KNNG basic** kernel: one warp per point, exclusive slot updates.
+//!
+//! Each warp walks its point's bucket, computes the full distance row
+//! cooperatively and inserts candidates into *its own* k-NN slots only —
+//! no atomics needed, but every pairwise distance is computed twice (once by
+//! each endpoint's warp) and every coordinate row is re-read from global
+//! memory once per pair.
+
+use wknng_data::Neighbor;
+use wknng_simt::{launch, DeviceConfig, LaneVec, LaunchReport, Mask};
+
+use crate::kernels::distance::warp_sq_l2;
+use crate::kernels::insert::warp_insert_exclusive;
+use crate::kernels::layout::TreeLayout;
+use crate::kernels::state::DeviceState;
+
+/// Warps per block for the point-parallel kernels.
+pub(crate) const WARPS_PER_BLOCK: usize = 4;
+
+/// Run the basic kernel for one tree: every point scans its bucket.
+pub fn run_basic(dev: &DeviceConfig, state: &DeviceState, tree: &TreeLayout) -> LaunchReport {
+    let n = state.n;
+    let (dim, k) = (state.dim, state.k);
+    let blocks = n.div_ceil(WARPS_PER_BLOCK);
+    launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+        blk.each_warp(|w| {
+            let p = w.global_warp;
+            if p >= n {
+                return;
+            }
+            let one = Mask::first(1);
+            let b = w.ld_global(&tree.bucket_of, &LaneVec::splat(p), one).get(0) as usize;
+            let start = w.ld_global(&tree.offsets, &LaneVec::splat(b), one).get(0) as usize;
+            let end = w.ld_global(&tree.offsets, &LaneVec::splat(b + 1), one).get(0) as usize;
+            for pos in start..end {
+                let q = w.ld_global(&tree.members, &LaneVec::splat(pos), one).get(0) as usize;
+                if q == p {
+                    continue;
+                }
+                let d = warp_sq_l2(w, &state.points, dim, p, q);
+                warp_insert_exclusive(w, &state.slots, p, k, Neighbor::new(q as u32, d).pack());
+            }
+        });
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::{exact_knn, DatasetSpec, Metric};
+    use wknng_forest::RpTree;
+
+    #[test]
+    fn single_bucket_equals_exact_knn() {
+        let vs = DatasetSpec::UniformCube { n: 20, dim: 7 }.generate(1).vectors;
+        let state = DeviceState::upload(&vs, 4);
+        let tree = RpTree { buckets: vec![(0..20).collect()], depth: 0 };
+        let layout = TreeLayout::upload(&tree, 20);
+        let dev = DeviceConfig::test_tiny();
+        let report = run_basic(&dev, &state, &layout);
+        let got = state.download();
+        let want = exact_knn(&vs, 4, Metric::SquaredL2);
+        for (g, t) in got.iter().zip(&want) {
+            let gi: Vec<u32> = g.iter().map(|nb| nb.index).collect();
+            let ti: Vec<u32> = t.iter().map(|nb| nb.index).collect();
+            assert_eq!(gi, ti);
+        }
+        assert!(report.cycles > 0.0);
+        assert_eq!(report.stats.atomic_ops, 0, "basic never issues atomics");
+    }
+
+    #[test]
+    fn split_buckets_only_see_bucket_mates() {
+        let vs = DatasetSpec::UniformCube { n: 8, dim: 3 }.generate(2).vectors;
+        let state = DeviceState::upload(&vs, 7);
+        let tree = RpTree { buckets: vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]], depth: 1 };
+        let layout = TreeLayout::upload(&tree, 8);
+        let dev = DeviceConfig::test_tiny();
+        run_basic(&dev, &state, &layout);
+        let got = state.download();
+        for p in 0..4 {
+            assert_eq!(got[p].len(), 3);
+            assert!(got[p].iter().all(|nb| nb.index < 4));
+        }
+        for p in 4..8 {
+            assert!(got[p].iter().all(|nb| nb.index >= 4));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Warp-cooperative squared-L2 distance.
+
+use wknng_simt::primitives::reduce_sum_f32;
+use wknng_simt::{DeviceBuffer, LaneVec, Mask, WarpCtx, WARP_LANES};
+
+/// Squared Euclidean distance between points `p` and `q`, computed by the
+/// whole warp: lanes stride across the dimensions (coalesced row loads),
+/// accumulate per-lane partial sums, then a warp reduction combines them.
+///
+/// This is the distance subroutine of the *basic* and *atomic* kernels (the
+/// tiled kernel computes distances from shared-memory tiles instead).
+pub fn warp_sq_l2(
+    w: &mut WarpCtx,
+    points: &DeviceBuffer<f32>,
+    dim: usize,
+    p: usize,
+    q: usize,
+) -> f32 {
+    let mut acc = LaneVec::<f32>::zeroed();
+    let mut c = 0usize;
+    while c < dim {
+        let width = (dim - c).min(WARP_LANES);
+        let mask = Mask::first(width);
+        let pi = w.math_idx(mask, |l| p * dim + c + l);
+        let a = w.ld_global(points, &pi, mask);
+        let qi = w.math_idx(mask, |l| q * dim + c + l);
+        let b = w.ld_global(points, &qi, mask);
+        acc = w.math_keep(mask, &acc, |l| {
+            let d = a.get(l) - b.get(l);
+            acc.get(l) + d * d
+        });
+        c += WARP_LANES;
+    }
+    reduce_sum_f32(w, &acc, Mask::FULL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::{sq_l2, DatasetSpec};
+    use wknng_simt::{launch, DeviceConfig};
+
+    #[test]
+    fn matches_host_distance() {
+        for dim in [1usize, 5, 31, 32, 33, 64, 100] {
+            let vs = DatasetSpec::UniformCube { n: 4, dim }.generate(dim as u64).vectors;
+            let points = DeviceBuffer::from_slice(vs.as_flat());
+            let dev = DeviceConfig::test_tiny();
+            let mut got = 0.0f32;
+            launch(&dev, 1, 1, |blk| {
+                blk.each_warp(|w| {
+                    got = warp_sq_l2(w, &points, dim, 1, 3);
+                });
+            });
+            let want = sq_l2(vs.row(1), vs.row(3));
+            assert!(
+                (got - want).abs() <= 1e-4 * (1.0 + want),
+                "dim {dim}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let vs = DatasetSpec::UniformCube { n: 2, dim: 40 }.generate(7).vectors;
+        let points = DeviceBuffer::from_slice(vs.as_flat());
+        let dev = DeviceConfig::test_tiny();
+        let mut got = f32::NAN;
+        launch(&dev, 1, 1, |blk| {
+            blk.each_warp(|w| {
+                got = warp_sq_l2(w, &points, 40, 0, 0);
+            });
+        });
+        assert_eq!(got, 0.0);
+    }
+}

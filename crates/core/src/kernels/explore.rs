@@ -1,0 +1,248 @@
+//! The neighbors-of-neighbors exploration kernel.
+//!
+//! One warp per point `p`: for every current neighbor `q` of `p` and every
+//! neighbor `r` of `q`, compute `d(p, r)` and offer it to `p`'s slots. The
+//! pass reads a frozen index snapshot (uploaded by the pipeline) so it is
+//! order-independent; updates target only the owning warp's point, so the
+//! exclusive insertion protocol applies for every kernel variant.
+
+use wknng_data::Neighbor;
+use wknng_simt::{launch, DeviceConfig, DeviceBuffer, LaneVec, LaunchReport, Mask};
+
+use crate::kernels::basic::WARPS_PER_BLOCK;
+use crate::kernels::distance::warp_sq_l2;
+use crate::kernels::insert::warp_insert_exclusive;
+use crate::kernels::state::DeviceState;
+
+/// Padding value for absent snapshot entries.
+pub const NO_NEIGHBOR: u32 = u32::MAX;
+
+/// Run one exploration pass against the `n × k` snapshot buffer.
+pub fn run_explore(
+    dev: &DeviceConfig,
+    state: &DeviceState,
+    snapshot: &DeviceBuffer<u32>,
+) -> LaunchReport {
+    let n = state.n;
+    let (dim, k) = (state.dim, state.k);
+    assert_eq!(snapshot.len(), n * k, "snapshot shape mismatch");
+    let blocks = n.div_ceil(WARPS_PER_BLOCK);
+    launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+        blk.each_warp(|w| {
+            let p = w.global_warp;
+            if p >= n {
+                return;
+            }
+            let one = Mask::first(1);
+            for t in 0..k {
+                let q = w
+                    .ld_global(snapshot, &LaneVec::splat(p * k + t), one)
+                    .get(0);
+                if q == NO_NEIGHBOR {
+                    continue;
+                }
+                for s in 0..k {
+                    let r = w
+                        .ld_global(snapshot, &LaneVec::splat(q as usize * k + s), one)
+                        .get(0);
+                    if r == NO_NEIGHBOR || r as usize == p {
+                        continue;
+                    }
+                    let d = warp_sq_l2(w, &state.points, dim, p, r as usize);
+                    warp_insert_exclusive(w, &state.slots, p, k, Neighbor::new(r, d).pack());
+                }
+            }
+        });
+    })
+}
+
+/// Lane-parallel exploration (used by the **atomic** variant): one *lane*
+/// per point; each lane walks its own k² candidate paths with gather loads
+/// and commits through the lane-parallel CAS protocol. Mirrors the atomic
+/// bucket kernel's trade: far fewer instructions per candidate at small
+/// dimensionality, gather-heavy at large.
+pub fn run_explore_lane(
+    dev: &DeviceConfig,
+    state: &DeviceState,
+    snapshot: &DeviceBuffer<u32>,
+) -> LaunchReport {
+    use crate::kernels::insert::lane_insert_atomic;
+    use wknng_simt::WARP_LANES;
+
+    let n = state.n;
+    let (dim, k) = (state.dim, state.k);
+    assert_eq!(snapshot.len(), n * k, "snapshot shape mismatch");
+    let lanes_per_block = WARPS_PER_BLOCK * WARP_LANES;
+    let blocks = n.div_ceil(lanes_per_block);
+    launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+        blk.each_warp(|w| {
+            let base = w.global_warp * WARP_LANES;
+            if base >= n {
+                return;
+            }
+            let width = (n - base).min(WARP_LANES);
+            let mask = Mask::first(width);
+            let p = w.math_idx(mask, |l| base + l);
+            for t in 0..k {
+                let qi = w.math_idx(mask, |l| p.get(l) * k + t);
+                let q = w.ld_global(snapshot, &qi, mask);
+                let mq = w.pred(mask, |l| q.get(l) != NO_NEIGHBOR);
+                if mq.is_empty() {
+                    continue;
+                }
+                for s in 0..k {
+                    let ri = w.math_idx(mq, |l| q.get(l) as usize * k + s);
+                    let r = w.ld_global(snapshot, &ri, mq);
+                    let mr = w.pred(mq, |l| r.get(l) != NO_NEIGHBOR && r.get(l) as usize != p.get(l));
+                    if mr.is_empty() {
+                        continue;
+                    }
+                    // Per-lane distance p_l <-> r_l (gather register loop).
+                    let mut acc = LaneVec::<f32>::zeroed();
+                    for c in 0..dim {
+                        let ai = w.math_idx(mr, |l| p.get(l) * dim + c);
+                        let a = w.ld_global(&state.points, &ai, mr);
+                        let bi = w.math_idx(mr, |l| r.get(l) as usize * dim + c);
+                        let b = w.ld_global(&state.points, &bi, mr);
+                        acc = w.math_keep(mr, &acc, |l| {
+                            let d = a.get(l) - b.get(l);
+                            acc.get(l) + d * d
+                        });
+                    }
+                    let cands =
+                        w.math(mr, |l| Neighbor::new(r.get(l), acc.get(l)).pack());
+                    lane_insert_atomic(w, &state.slots, &p, k, &cands, mr);
+                }
+            }
+        });
+    })
+}
+
+/// Build the snapshot buffer from the current slots: for every point, its
+/// current neighbor indices (EMPTY slots → [`NO_NEIGHBOR`]).
+pub fn snapshot_from_state(state: &DeviceState) -> DeviceBuffer<u32> {
+    let lists = state.download();
+    let mut snap = vec![NO_NEIGHBOR; state.n * state.k];
+    for (p, list) in lists.iter().enumerate() {
+        for (i, nb) in list.iter().take(state.k).enumerate() {
+            snap[p * state.k + i] = nb.index;
+        }
+    }
+    DeviceBuffer::from_slice(&snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::basic::run_basic;
+    use crate::kernels::layout::TreeLayout;
+    use crate::recall::recall;
+    use wknng_data::{exact_knn, DatasetSpec, Metric};
+    use wknng_forest::{build_forest, ForestParams, TreeParams};
+
+    #[test]
+    fn exploration_improves_recall() {
+        let vs = DatasetSpec::GaussianClusters { n: 120, dim: 8, clusters: 4, spread: 0.3 }
+            .generate(8)
+            .vectors;
+        let truth = exact_knn(&vs, 5, Metric::SquaredL2);
+        let dev = DeviceConfig::test_tiny();
+        // Two trees: exploration can now bridge across partitions (with a
+        // single tree, neighbors-of-neighbors are all bucket mates and
+        // exploration is a no-op by construction).
+        let forest = build_forest(
+            &vs,
+            ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 12, ..TreeParams::default() } },
+            3,
+        )
+        .unwrap();
+        let state = DeviceState::upload(&vs, 5);
+        for tree in &forest.trees {
+            run_basic(&dev, &state, &TreeLayout::upload(tree, 120));
+        }
+        let r0 = recall(&state.download(), &truth);
+
+        let snap = snapshot_from_state(&state);
+        let report = run_explore(&dev, &state, &snap);
+        let r1 = recall(&state.download(), &truth);
+        assert!(r1 > r0, "exploration must help: {r0:.3} -> {r1:.3}");
+        assert!(report.cycles > 0.0);
+    }
+
+    #[test]
+    fn snapshot_pads_with_no_neighbor() {
+        let vs = DatasetSpec::UniformCube { n: 6, dim: 2 }.generate(1).vectors;
+        let state = DeviceState::upload(&vs, 3);
+        let snap = snapshot_from_state(&state);
+        assert!(snap.to_vec().iter().all(|&v| v == NO_NEIGHBOR));
+    }
+}
+
+#[cfg(test)]
+mod lane_tests {
+    use super::*;
+    use crate::kernels::basic::run_basic;
+    use crate::kernels::layout::TreeLayout;
+    use wknng_data::DatasetSpec;
+    use wknng_forest::{build_forest, ForestParams, TreeParams};
+
+    #[test]
+    fn lane_exploration_equals_warp_exploration() {
+        let n = 130;
+        let vs = DatasetSpec::GaussianClusters { n, dim: 7, clusters: 5, spread: 0.3 }
+            .generate(9)
+            .vectors;
+        let dev = DeviceConfig::test_tiny();
+        let forest = build_forest(
+            &vs,
+            ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 12, ..TreeParams::default() } },
+            4,
+        )
+        .unwrap();
+
+        let mk_state = || {
+            let state = DeviceState::upload(&vs, 5);
+            for tree in &forest.trees {
+                run_basic(&dev, &state, &TreeLayout::upload(tree, n));
+            }
+            state
+        };
+
+        let sa = mk_state();
+        let snap_a = snapshot_from_state(&sa);
+        run_explore(&dev, &sa, &snap_a);
+
+        let sb = mk_state();
+        let snap_b = snapshot_from_state(&sb);
+        let report = run_explore_lane(&dev, &sb, &snap_b);
+
+        assert_eq!(sa.download(), sb.download());
+        assert!(report.stats.atomic_ops > 0, "lane exploration commits via CAS");
+    }
+
+    #[test]
+    fn lane_exploration_handles_ragged_last_warp() {
+        // n not a multiple of 32 exercises the masked tail.
+        let n = 37;
+        let vs = DatasetSpec::UniformCube { n, dim: 4 }.generate(10).vectors;
+        let dev = DeviceConfig::test_tiny();
+        let forest = build_forest(
+            &vs,
+            ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 8, ..TreeParams::default() } },
+            5,
+        )
+        .unwrap();
+        let state = DeviceState::upload(&vs, 4);
+        for tree in &forest.trees {
+            run_basic(&dev, &state, &TreeLayout::upload(tree, n));
+        }
+        let before = state.download();
+        let snap = snapshot_from_state(&state);
+        run_explore_lane(&dev, &state, &snap);
+        let after = state.download();
+        // Exploration can only improve (or keep) each list.
+        for (b, a) in before.iter().zip(&after) {
+            assert!(a.len() >= b.len());
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Warp-cooperative insertion into the global-memory k-NN slot arrays.
+//!
+//! This is the heart of the paper: three strategies for *maintaining* k-NN
+//! sets that live in global memory (they are too large for shared memory at
+//! high dimensionality / realistic k).
+//!
+//! Both protocols implement **max-replacement**: the k slots hold the best
+//! candidates seen so far (unordered); inserting means locating the worst
+//! slot and overwriting it if the candidate is better. Packed
+//! `(dist, index)` `u64` keys make "better" a plain integer comparison and
+//! empty slots ([`EMPTY_SLOT`]) compare worse than everything.
+
+use wknng_simt::primitives::reduce_max_u64;
+use wknng_simt::{DeviceBuffer, LaneVec, Mask, WarpCtx, WARP_LANES};
+
+use crate::graph::EMPTY_SLOT;
+
+/// Result of a warp scan over one point's k slots.
+struct SlotScan {
+    /// A slot already holds this candidate's index.
+    present: bool,
+    /// Worst (max) packed value across the slots.
+    max_val: u64,
+    /// Flat buffer index of that worst slot.
+    max_slot: usize,
+}
+
+/// Warp-parallel scan of `point`'s `k` slots: finds the worst slot and
+/// checks whether `cand_index` is already present.
+fn warp_scan(
+    w: &mut WarpCtx,
+    slots: &DeviceBuffer<u64>,
+    point: usize,
+    k: usize,
+    cand_index: u32,
+) -> SlotScan {
+    let base = point * k;
+    let mut best: (u64, usize) = (0, base);
+    let mut present = false;
+    let mut c = 0usize;
+    while c < k {
+        let width = (k - c).min(WARP_LANES);
+        let mask = Mask::first(width);
+        let idx = w.math_idx(mask, |l| base + c + l);
+        let vals = w.ld_global(slots, &idx, mask);
+        let dup = w.pred(mask, |l| {
+            let v = vals.get(l);
+            v != EMPTY_SLOT && v as u32 == cand_index
+        });
+        if !dup.is_empty() {
+            present = true;
+        }
+        if let Some((v, lane)) = reduce_max_u64(w, &vals, mask) {
+            if v >= best.0 {
+                best = (v, base + c + lane);
+            }
+        }
+        c += WARP_LANES;
+    }
+    SlotScan { present, max_val: best.0, max_slot: best.1 }
+}
+
+/// Non-atomic insertion, valid when this warp is the **only** writer of
+/// `point`'s slots during the launch (basic/tiled kernels, exploration).
+/// Returns `true` if a slot was overwritten.
+pub fn warp_insert_exclusive(
+    w: &mut WarpCtx,
+    slots: &DeviceBuffer<u64>,
+    point: usize,
+    k: usize,
+    cand: u64,
+) -> bool {
+    let scan = warp_scan(w, slots, point, k, cand as u32);
+    if scan.present || cand >= scan.max_val {
+        return false;
+    }
+    let one = Mask::first(1);
+    w.st_global(slots, &LaneVec::splat(scan.max_slot), &LaneVec::splat(cand), one);
+    true
+}
+
+/// Atomic insertion (the *w-KNNG atomic* protocol): locate the worst slot,
+/// then `atomicCAS` it from the observed value to the candidate; on a lost
+/// race, rescan and retry. Safe under concurrent insertion from any number
+/// of warps. Returns `true` if a slot was overwritten.
+pub fn warp_insert_atomic(
+    w: &mut WarpCtx,
+    slots: &DeviceBuffer<u64>,
+    point: usize,
+    k: usize,
+    cand: u64,
+) -> bool {
+    loop {
+        let scan = warp_scan(w, slots, point, k, cand as u32);
+        if scan.present || cand >= scan.max_val {
+            return false;
+        }
+        let one = Mask::first(1);
+        let old = w
+            .atomic_cas_u64(
+                slots,
+                &LaneVec::splat(scan.max_slot),
+                &LaneVec::splat(scan.max_val),
+                &LaneVec::splat(cand),
+                one,
+            )
+            .get(0);
+        if old == scan.max_val {
+            return true;
+        }
+        // Another warp replaced the slot between scan and CAS; retry.
+        w.note_atomic_retries(1);
+    }
+}
+
+/// Lane-parallel atomic insertion — the key capability atomics buy.
+///
+/// Every **lane** independently inserts its own candidate `cands[lane]` into
+/// its own point `pts[lane]`'s slots: the warp issues `k` gather loads to
+/// scan all 32 slot arrays simultaneously, then a single `atomicCAS`
+/// instruction commits all 32 replacements. Lanes that lose a same-point
+/// race rescan and retry (counted in `atomic_retries`).
+///
+/// Compared to the warp-cooperative protocols this is up to 32× more
+/// issue-efficient per candidate, which is why the atomic kernel wins when
+/// distances are cheap (small dimensionality) and insertion throughput is
+/// the bottleneck.
+pub fn lane_insert_atomic(
+    w: &mut WarpCtx,
+    slots: &DeviceBuffer<u64>,
+    pts: &LaneVec<usize>,
+    k: usize,
+    cands: &LaneVec<u64>,
+    mask: Mask,
+) {
+    let mut active = mask;
+    while !active.is_empty() {
+        // Per-lane scan of the k slots (gather loads).
+        let mut best_val = LaneVec::<u64>::zeroed();
+        let mut best_slot = w.math_idx(active, |l| pts.get(l) * k);
+        let mut dup = Mask::NONE;
+        for s in 0..k {
+            let idx = w.math_idx(active, |l| pts.get(l) * k + s);
+            let vals = w.ld_global(slots, &idx, active);
+            let d = w.pred(active, |l| {
+                let v = vals.get(l);
+                v != EMPTY_SLOT && v as u32 == cands.get(l) as u32
+            });
+            dup = Mask(dup.0 | d.0);
+            let upd = w.pred(active, |l| vals.get(l) >= best_val.get(l));
+            best_val = w.math_keep(upd, &best_val, |l| vals.get(l));
+            best_slot = {
+                let prev = best_slot;
+                w.charge_alu(upd, 1);
+                LaneVec::from_fn(|l| if upd.active(l) { idx.get(l) } else { prev.get(l) })
+            };
+        }
+        let want = w.pred(active.and_not(dup), |l| cands.get(l) < best_val.get(l));
+        if want.is_empty() {
+            return;
+        }
+        let old = w.atomic_cas_u64(slots, &best_slot, &best_val, cands, want);
+        let failed = w.pred(want, |l| old.get(l) != best_val.get(l));
+        w.note_atomic_retries(failed.count() as u64);
+        active = failed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::slots_to_lists;
+    use crate::heap::KnnList;
+    use rand::{Rng, SeedableRng};
+    use wknng_data::Neighbor;
+    use wknng_simt::{launch, DeviceConfig};
+
+    fn run_inserts(k: usize, cands: &[Neighbor], atomic: bool) -> Vec<Neighbor> {
+        let slots = DeviceBuffer::filled(k, EMPTY_SLOT);
+        let dev = DeviceConfig::test_tiny();
+        launch(&dev, 1, 1, |blk| {
+            blk.each_warp(|w| {
+                for nb in cands {
+                    if atomic {
+                        warp_insert_atomic(w, &slots, 0, k, nb.pack());
+                    } else {
+                        warp_insert_exclusive(w, &slots, 0, k, nb.pack());
+                    }
+                }
+            });
+        });
+        slots_to_lists(&slots.to_vec(), 1, k).remove(0)
+    }
+
+    fn oracle(k: usize, cands: &[Neighbor]) -> Vec<Neighbor> {
+        let mut l = KnnList::new(k);
+        for &nb in cands {
+            l.insert(nb);
+        }
+        l.into_vec()
+    }
+
+    #[test]
+    fn insert_matches_host_oracle() {
+        let cands: Vec<Neighbor> = [
+            (3u32, 5.0f32),
+            (1, 2.0),
+            (9, 7.0),
+            (4, 1.0),
+            (6, 3.0),
+            (2, 0.5),
+            (8, 6.0),
+        ]
+        .iter()
+        .map(|&(i, d)| Neighbor::new(i, d))
+        .collect();
+        for k in [1usize, 2, 3, 5, 7, 16] {
+            let want = oracle(k, &cands);
+            assert_eq!(run_inserts(k, &cands, false), want, "exclusive k={k}");
+            assert_eq!(run_inserts(k, &cands, true), want, "atomic k={k}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_rejected_on_device() {
+        let cands = vec![
+            Neighbor::new(5, 1.0),
+            Neighbor::new(5, 1.0),
+            Neighbor::new(5, 1.0),
+        ];
+        let got = run_inserts(4, &cands, false);
+        assert_eq!(got.len(), 1);
+        let got = run_inserts(4, &cands, true);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn random_streams_match_oracle() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let k = rng.gen_range(1..40);
+            let cands: Vec<Neighbor> = (0..rng.gen_range(1..120))
+                .map(|_| Neighbor::new(rng.gen_range(0..60), rng.gen_range(0.0..100.0f32)))
+                .collect();
+            // The oracle dedups by index keeping the *first* distance seen;
+            // with random distances per index the device keeps the *best*.
+            // Feed unique-by-index streams to compare exactly.
+            let mut seen = std::collections::HashSet::new();
+            let cands: Vec<Neighbor> =
+                cands.into_iter().filter(|nb| seen.insert(nb.index)).collect();
+            let want = oracle(k, &cands);
+            assert_eq!(run_inserts(k, &cands, false), want, "trial {trial} k {k}");
+            assert_eq!(run_inserts(k, &cands, true), want, "trial {trial} k {k}");
+        }
+    }
+
+    #[test]
+    fn lane_insert_matches_oracle_per_point() {
+        // 32 lanes insert into 4 points (8 candidates each, same instruction
+        // stream) — heavy same-point contention inside single instructions.
+        let k = 3;
+        let n_points = 4;
+        let slots = DeviceBuffer::filled(n_points * k, EMPTY_SLOT);
+        let dev = DeviceConfig::test_tiny();
+        let pts = LaneVec::from_fn(|l| l % n_points);
+        let cands =
+            LaneVec::from_fn(|l| Neighbor::new(100 + l as u32, (l / n_points) as f32).pack());
+        let report = launch(&dev, 1, 1, |blk| {
+            blk.each_warp(|w| {
+                lane_insert_atomic(w, &slots, &pts, k, &cands, Mask::FULL);
+            });
+        });
+        let lists = slots_to_lists(&slots.to_vec(), n_points, k);
+        for (p, list) in lists.iter().enumerate() {
+            // Point p received candidates with dists 0..8 (one per "round"
+            // index); the k best are dists 0, 1, 2.
+            let mut want = KnnList::new(k);
+            for round in 0..8u32 {
+                want.insert(Neighbor::new(100 + round * 4 + p as u32, round as f32));
+            }
+            assert_eq!(list, &want.into_vec(), "point {p}");
+        }
+        // Same-point lanes inside one CAS instruction must have raced.
+        assert!(report.stats.atomic_retries > 0);
+    }
+
+    #[test]
+    fn lane_insert_respects_duplicates_and_mask() {
+        let k = 4;
+        let slots = DeviceBuffer::filled(k, EMPTY_SLOT);
+        let dev = DeviceConfig::test_tiny();
+        launch(&dev, 1, 1, |blk| {
+            blk.each_warp(|w| {
+                let pts = LaneVec::splat(0usize);
+                let cands = LaneVec::from_fn(|l| Neighbor::new(7, l as f32).pack());
+                // All 32 lanes offer index 7 with different distances; after
+                // the first wins, the rest are duplicates.
+                lane_insert_atomic(w, &slots, &pts, k, &cands, Mask::FULL);
+                // Masked-off lanes must do nothing.
+                let cands2 = LaneVec::splat(Neighbor::new(9, 0.0).pack());
+                lane_insert_atomic(w, &slots, &pts, k, &cands2, Mask::NONE);
+            });
+        });
+        let list = slots_to_lists(&slots.to_vec(), 1, k).remove(0);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].index, 7);
+    }
+
+    #[test]
+    fn k_larger_than_warp_scans_all_chunks() {
+        // 40 slots: worst candidate must be found in the second chunk too.
+        let mut cands: Vec<Neighbor> =
+            (0..40).map(|i| Neighbor::new(i, i as f32)).collect();
+        cands.push(Neighbor::new(100, 0.5)); // must evict (39, 39.0)
+        let got = run_inserts(40, &cands, false);
+        assert_eq!(got.len(), 40);
+        assert!(got.iter().any(|nb| nb.index == 100));
+        assert!(!got.iter().any(|nb| nb.index == 39));
+    }
+}

@@ -1,0 +1,75 @@
+//! Device layout of one RP tree's bucket partition (CSR form).
+
+use wknng_forest::RpTree;
+use wknng_simt::DeviceBuffer;
+
+/// One tree's buckets in CSR form plus per-point lookup tables, as the
+/// kernels consume them.
+pub struct TreeLayout {
+    /// Concatenated bucket members.
+    pub members: DeviceBuffer<u32>,
+    /// CSR offsets into `members` (len = buckets + 1).
+    pub offsets: DeviceBuffer<u32>,
+    /// For each point: which bucket it belongs to.
+    pub bucket_of: DeviceBuffer<u32>,
+    /// For each point: its position within `members` (used by the atomic
+    /// variant's upper-triangle pair split).
+    pub pos_of: DeviceBuffer<u32>,
+    /// Number of buckets.
+    pub num_buckets: usize,
+    /// Size of the largest bucket.
+    pub max_bucket: usize,
+}
+
+impl TreeLayout {
+    /// Upload `tree` (which must partition exactly `n` points).
+    pub fn upload(tree: &RpTree, n: usize) -> Self {
+        let mut members = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(tree.buckets.len() + 1);
+        let mut bucket_of = vec![u32::MAX; n];
+        let mut pos_of = vec![u32::MAX; n];
+        offsets.push(0u32);
+        for (b, bucket) in tree.buckets.iter().enumerate() {
+            for &p in bucket {
+                bucket_of[p as usize] = b as u32;
+                pos_of[p as usize] = members.len() as u32;
+                members.push(p);
+            }
+            offsets.push(members.len() as u32);
+        }
+        assert_eq!(members.len(), n, "tree must partition all points");
+        assert!(bucket_of.iter().all(|&b| b != u32::MAX));
+        TreeLayout {
+            members: DeviceBuffer::from_slice(&members),
+            offsets: DeviceBuffer::from_slice(&offsets),
+            bucket_of: DeviceBuffer::from_slice(&bucket_of),
+            pos_of: DeviceBuffer::from_slice(&pos_of),
+            num_buckets: tree.buckets.len(),
+            max_bucket: tree.max_bucket(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_layout_roundtrips() {
+        let tree = RpTree { buckets: vec![vec![2, 0], vec![1, 3, 4]], depth: 1 };
+        let layout = TreeLayout::upload(&tree, 5);
+        assert_eq!(layout.members.to_vec(), vec![2, 0, 1, 3, 4]);
+        assert_eq!(layout.offsets.to_vec(), vec![0, 2, 5]);
+        assert_eq!(layout.bucket_of.to_vec(), vec![0, 1, 0, 1, 1]);
+        assert_eq!(layout.pos_of.to_vec(), vec![1, 2, 0, 3, 4]);
+        assert_eq!(layout.num_buckets, 2);
+        assert_eq!(layout.max_bucket, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn incomplete_partition_is_rejected() {
+        let tree = RpTree { buckets: vec![vec![0, 1]], depth: 0 };
+        let _ = TreeLayout::upload(&tree, 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! The warp-centric device kernels of w-KNNG (executed on `wknng-simt`).
+//!
+//! * [`basic`] — one warp per point, exclusive updates, full redundancy;
+//! * [`atomic`] — upper-triangle pairs, atomic updates to both endpoints;
+//! * [`tiled`] — shared-memory coordinate tiles, one block per bucket;
+//! * [`explore`] — neighbors-of-neighbors refinement;
+//! * [`insert`] — the two global-memory slot-insertion protocols;
+//! * [`distance`] — warp-cooperative squared L2;
+//! * [`state`] / [`layout`] — device-resident graph state and bucket CSR.
+
+pub mod atomic;
+pub mod basic;
+pub mod distance;
+pub mod explore;
+pub mod insert;
+pub mod layout;
+pub mod sort;
+pub mod state;
+pub mod tiled;
+
+pub use atomic::run_atomic;
+pub use basic::run_basic;
+pub use explore::{run_explore, run_explore_lane, snapshot_from_state};
+pub use layout::TreeLayout;
+pub use sort::sort_slots_device;
+pub use state::DeviceState;
+pub use tiled::{max_tiled_bucket, run_tiled};

@@ -1,0 +1,105 @@
+//! Device-side ordering of the k-NN slot arrays.
+//!
+//! The construction kernels keep slots unordered (max-replacement does not
+//! need order). Pipelines that consume the graph on the device — e.g. a
+//! t-SNE affinity kernel or graph-search — want each list sorted by
+//! distance; this kernel does it in place with a warp bitonic network, one
+//! warp per point.
+
+use wknng_simt::primitives::bitonic_sort_u64;
+use wknng_simt::{launch, DeviceConfig, LaunchReport, Mask, WARP_LANES};
+
+use crate::kernels::basic::WARPS_PER_BLOCK;
+use crate::kernels::state::DeviceState;
+
+/// Sort every point's slots ascending by packed `(dist, index)` key, in
+/// place. Supports `k ≤ 32` (one warp-sort per point — the regime of the
+/// paper's graphs); larger `k` is left to host-side decoding.
+///
+/// Returns `None` without launching when `k > 32`.
+pub fn sort_slots_device(dev: &DeviceConfig, state: &DeviceState) -> Option<LaunchReport> {
+    let (n, k) = (state.n, state.k);
+    if k > WARP_LANES {
+        return None;
+    }
+    let blocks = n.div_ceil(WARPS_PER_BLOCK);
+    Some(launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+        blk.each_warp(|w| {
+            let p = w.global_warp;
+            if p >= n {
+                return;
+            }
+            let mask = Mask::first(k);
+            let idx = w.math_idx(mask, |l| p * k + l);
+            let vals = w.ld_global(&state.slots, &idx, mask);
+            let sorted = bitonic_sort_u64(w, &vals, mask);
+            w.st_global(&state.slots, &idx, &sorted, mask);
+        });
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EMPTY_SLOT;
+    use wknng_data::Neighbor;
+    use wknng_simt::DeviceBuffer;
+
+    fn state_with_slots(n: usize, k: usize, slots: Vec<u64>) -> DeviceState {
+        DeviceState {
+            points: DeviceBuffer::zeroed(n),
+            slots: DeviceBuffer::from_slice(&slots),
+            n,
+            dim: 1,
+            k,
+        }
+    }
+
+    #[test]
+    fn sorts_each_point_independently() {
+        let k = 4;
+        let slots = vec![
+            // point 0: shuffled
+            Neighbor::new(9, 3.0).pack(),
+            Neighbor::new(1, 1.0).pack(),
+            Neighbor::new(5, 2.0).pack(),
+            EMPTY_SLOT,
+            // point 1: already sorted
+            Neighbor::new(2, 0.5).pack(),
+            Neighbor::new(3, 0.75).pack(),
+            EMPTY_SLOT,
+            EMPTY_SLOT,
+        ];
+        let state = state_with_slots(2, k, slots);
+        let dev = DeviceConfig::test_tiny();
+        let report = sort_slots_device(&dev, &state).expect("k <= 32");
+        assert!(report.cycles > 0.0);
+        let out = state.slots.to_vec();
+        let p0: Vec<u32> = out[..3].iter().map(|&s| Neighbor::unpack(s).index).collect();
+        assert_eq!(p0, vec![1, 5, 9]);
+        assert_eq!(out[3], EMPTY_SLOT, "EMPTY sorts to the top");
+        assert_eq!(Neighbor::unpack(out[4]).index, 2);
+    }
+
+    #[test]
+    fn sorted_slots_decode_identically() {
+        use crate::graph::slots_to_lists;
+        let k = 8;
+        let raw: Vec<u64> = (0..2 * k)
+            .map(|i| Neighbor::new((97 * i % 16) as u32, ((31 * i) % 7) as f32).pack())
+            .collect();
+        let state = state_with_slots(2, k, raw.clone());
+        let before = slots_to_lists(&raw, 2, k);
+        let dev = DeviceConfig::test_tiny();
+        sort_slots_device(&dev, &state).unwrap();
+        let after = slots_to_lists(&state.slots.to_vec(), 2, k);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn large_k_is_declined() {
+        let state = state_with_slots(1, 40, vec![EMPTY_SLOT; 40]);
+        let dev = DeviceConfig::test_tiny();
+        assert!(sort_slots_device(&dev, &state).is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! Device-resident state shared by every w-KNNG kernel.
+
+use wknng_data::{Neighbor, VectorSet};
+use wknng_simt::DeviceBuffer;
+
+use crate::graph::{slots_to_lists, EMPTY_SLOT};
+
+/// The global-memory footprint of a w-KNNG build: the point coordinates and
+/// the `n × k` packed k-NN slot arrays the paper's kernels maintain there
+/// (high-dimensional k-NN sets do not fit in shared memory — the core
+/// observation of the paper).
+pub struct DeviceState {
+    /// Row-major `n × dim` coordinates.
+    pub points: DeviceBuffer<f32>,
+    /// `n × k` packed `(dist, index)` slots, unordered, EMPTY-initialised.
+    pub slots: DeviceBuffer<u64>,
+    /// Number of points.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Neighbors per point.
+    pub k: usize,
+}
+
+impl DeviceState {
+    /// Upload `vs` and allocate empty slot arrays for `k` neighbors.
+    pub fn upload(vs: &VectorSet, k: usize) -> Self {
+        DeviceState {
+            points: DeviceBuffer::from_slice(vs.as_flat()),
+            slots: DeviceBuffer::filled(vs.len() * k, EMPTY_SLOT),
+            n: vs.len(),
+            dim: vs.dim(),
+            k,
+        }
+    }
+
+    /// Download and decode the current graph.
+    pub fn download(&self) -> Vec<Vec<Neighbor>> {
+        slots_to_lists(&self.slots.to_vec(), self.n, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::DatasetSpec;
+
+    #[test]
+    fn upload_shapes_and_empty_download() {
+        let vs = DatasetSpec::UniformCube { n: 9, dim: 3 }.generate(0).vectors;
+        let st = DeviceState::upload(&vs, 4);
+        assert_eq!(st.points.len(), 27);
+        assert_eq!(st.slots.len(), 36);
+        assert_eq!(st.n, 9);
+        assert_eq!(st.dim, 3);
+        assert_eq!(st.k, 4);
+        let lists = st.download();
+        assert_eq!(lists.len(), 9);
+        assert!(lists.iter().all(|l| l.is_empty()));
+    }
+}

@@ -1,0 +1,227 @@
+//! The **tiled w-KNNG** kernel: bucket coordinates staged through shared
+//! memory.
+//!
+//! One thread block per bucket. The block streams the bucket's coordinate
+//! matrix through a shared-memory tile of 32 dimensions × `m` points, so
+//! every coordinate is read from global memory **once per bucket** instead of
+//! once per pair (the basic kernel) or once per pair-half (atomic). Each warp
+//! owns a strided subset of the bucket's points and accumulates, per lane,
+//! the partial squared distances to a group of 32 bucket mates; after the
+//! last tile the warp inserts its rows with exclusive (non-atomic) updates.
+//!
+//! The tile is padded to an odd row stride so that the column reads of a
+//! point's own coordinates are bank-conflict-free — the standard shared-
+//! memory padding trick.
+
+use wknng_data::Neighbor;
+use wknng_simt::{launch, DeviceConfig, LaneVec, LaunchReport, Mask, WARP_LANES};
+
+use crate::kernels::insert::warp_insert_exclusive;
+use crate::kernels::layout::TreeLayout;
+use crate::kernels::state::DeviceState;
+
+/// Warps per block for the tiled kernel (each block owns one bucket).
+const TILED_WARPS: usize = 4;
+
+/// Largest bucket the tiled kernel can stage given a shared-memory capacity
+/// in bytes: `32 dims × (m + 1) floats` must fit.
+pub fn max_tiled_bucket(shared_mem_bytes: u32) -> usize {
+    (shared_mem_bytes as usize / (WARP_LANES * 4)).saturating_sub(1)
+}
+
+/// Run the tiled kernel for one tree: one block per bucket.
+pub fn run_tiled(dev: &DeviceConfig, state: &DeviceState, tree: &TreeLayout) -> LaunchReport {
+    let (dim, k) = (state.dim, state.k);
+    // Host copies of the CSR metadata drive the block structure (a CUDA
+    // kernel reads the same values from its blockIdx; the loads are charged
+    // below by the leader warp).
+    let offsets = tree.offsets.to_vec();
+    let members_host = tree.members.to_vec();
+
+    launch(dev, tree.num_buckets, TILED_WARPS, |blk| {
+        let b = blk.block_idx;
+        let start = offsets[b] as usize;
+        let end = offsets[b + 1] as usize;
+        let m = end - start;
+        if m <= 1 {
+            return;
+        }
+        let members = &members_host[start..end];
+        let stride = m + 1; // odd-ish padding => conflict-free column reads
+        let tile = blk.shared_alloc::<f32>(WARP_LANES * stride);
+        let jgroups = m.div_ceil(WARP_LANES);
+        // Per-point partial distance rows, lane j of group jg = dist to
+        // bucket-mate jg*32 + j. These live in registers on hardware.
+        let mut partial: Vec<Vec<LaneVec<f32>>> = vec![vec![LaneVec::zeroed(); jgroups]; m];
+
+        // Leader warp charges the metadata loads (offsets + member ids).
+        blk.warp(0, |w| {
+            let one = Mask::first(1);
+            let _ = w.ld_global(&tree.offsets, &LaneVec::splat(b), one);
+            let _ = w.ld_global(&tree.offsets, &LaneVec::splat(b + 1), one);
+            let mut j0 = 0usize;
+            while j0 < m {
+                let width = (m - j0).min(WARP_LANES);
+                let mask = Mask::first(width);
+                let idx = w.math_idx(mask, |l| start + j0 + l);
+                let _ = w.ld_global(&tree.members, &idx, mask);
+                j0 += WARP_LANES;
+            }
+        });
+
+        let nchunks = dim.div_ceil(WARP_LANES);
+        for ch in 0..nchunks {
+            let cbase = ch * WARP_LANES;
+            let cwidth = (dim - cbase).min(WARP_LANES);
+
+            // Cooperative tile load: warps split the point groups.
+            blk.each_warp(|w| {
+                let wid = w.warp_in_block;
+                for jg in (wid..jgroups).step_by(TILED_WARPS) {
+                    let j0 = jg * WARP_LANES;
+                    let width = (m - j0).min(WARP_LANES);
+                    let mask = Mask::first(width);
+                    for c in 0..cwidth {
+                        let gidx =
+                            w.math_idx(mask, |l| members[j0 + l] as usize * dim + cbase + c);
+                        let vals = w.ld_global(&state.points, &gidx, mask);
+                        let sidx = w.math_idx(mask, |l| c * stride + j0 + l);
+                        w.sh_store(&tile, &sidx, &vals, mask);
+                    }
+                }
+            });
+            blk.sync();
+
+            // Compute phase: each warp accumulates its points' rows.
+            blk.each_warp(|w| {
+                let wid = w.warp_in_block;
+                let cmask = Mask::first(cwidth);
+                let mut i_local = wid;
+                while i_local < m {
+                    // Column read of point i's chunk (lane = dimension).
+                    let ci = w.math_idx(cmask, |c| c * stride + i_local);
+                    let xi = w.sh_load(&tile, &ci, cmask);
+                    for (jg, row) in partial[i_local].iter_mut().enumerate() {
+                        let j0 = jg * WARP_LANES;
+                        let width = (m - j0).min(WARP_LANES);
+                        let jmask = Mask::first(width);
+                        let mut acc = *row;
+                        for c in 0..cwidth {
+                            let xic = xi.get(c);
+                            let sj = w.math_idx(jmask, |l| c * stride + j0 + l);
+                            let xj = w.sh_load(&tile, &sj, jmask);
+                            acc = w.math_keep(jmask, &acc, |l| {
+                                let d = xj.get(l) - xic;
+                                acc.get(l) + d * d
+                            });
+                        }
+                        *row = acc;
+                    }
+                    i_local += TILED_WARPS;
+                }
+            });
+            blk.sync();
+        }
+
+        // Insertion phase: exclusive updates, each warp owns its points.
+        blk.each_warp(|w| {
+            let wid = w.warp_in_block;
+            let mut i_local = wid;
+            while i_local < m {
+                let p = members[i_local] as usize;
+                for (jg, row) in partial[i_local].iter().enumerate() {
+                    let j0 = jg * WARP_LANES;
+                    let width = (m - j0).min(WARP_LANES);
+                    for l in 0..width {
+                        let j_local = j0 + l;
+                        if j_local == i_local {
+                            continue;
+                        }
+                        let q = members[j_local];
+                        let cand = Neighbor::new(q, row.get(l)).pack();
+                        warp_insert_exclusive(w, &state.slots, p, k, cand);
+                    }
+                }
+                i_local += TILED_WARPS;
+            }
+        });
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::basic::run_basic;
+    use wknng_data::DatasetSpec;
+    use wknng_forest::RpTree;
+
+    #[test]
+    fn tiled_graph_equals_basic_graph() {
+        for (n, dim) in [(24usize, 5usize), (40, 33), (70, 64)] {
+            let vs = DatasetSpec::GaussianClusters { n, dim, clusters: 4, spread: 0.3 }
+                .generate(n as u64)
+                .vectors;
+            let dev = DeviceConfig::test_tiny();
+            let half = (n / 2) as u32;
+            let tree = RpTree {
+                buckets: vec![(0..half).collect(), (half..n as u32).collect()],
+                depth: 1,
+            };
+
+            let sa = DeviceState::upload(&vs, 6);
+            run_basic(&dev, &sa, &TreeLayout::upload(&tree, n));
+            let sb = DeviceState::upload(&vs, 6);
+            run_tiled(&dev, &sb, &TreeLayout::upload(&tree, n));
+
+            let (a, b) = (sa.download(), sb.download());
+            for (p, (la, lb)) in a.iter().zip(&b).enumerate() {
+                let ia: Vec<u32> = la.iter().map(|x| x.index).collect();
+                let ib: Vec<u32> = lb.iter().map(|x| x.index).collect();
+                assert_eq!(ia, ib, "n={n} dim={dim} point {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_reads_each_coordinate_once_per_bucket() {
+        // Coordinate traffic: tiled ~ m*dim loads per bucket; basic ~ 2*m^2*dim.
+        let n = 64usize;
+        let dim = 96usize;
+        let vs = DatasetSpec::UniformCube { n, dim }.generate(5).vectors;
+        let dev = DeviceConfig::test_tiny();
+        let tree = RpTree { buckets: vec![(0..n as u32).collect()], depth: 0 };
+
+        let sa = DeviceState::upload(&vs, 4);
+        let rb = run_basic(&dev, &sa, &TreeLayout::upload(&tree, n));
+        let sb = DeviceState::upload(&vs, 4);
+        let rt = run_tiled(&dev, &sb, &TreeLayout::upload(&tree, n));
+
+        assert!(
+            (rt.stats.dram_bytes as f64) < 0.25 * rb.stats.dram_bytes as f64,
+            "tiled {} vs basic {} dram bytes",
+            rt.stats.dram_bytes,
+            rb.stats.dram_bytes
+        );
+        assert!(rt.stats.shared_accesses > 0);
+        assert!(rt.stats.barriers > 0);
+    }
+
+    #[test]
+    fn max_tiled_bucket_matches_capacity() {
+        // 16 KiB: 16384 / 128 - 1 = 127 points.
+        assert_eq!(max_tiled_bucket(16 * 1024), 127);
+        assert_eq!(max_tiled_bucket(48 * 1024), 383);
+        assert_eq!(max_tiled_bucket(0), 0);
+    }
+
+    #[test]
+    fn trivial_buckets_are_skipped() {
+        let vs = DatasetSpec::UniformCube { n: 3, dim: 4 }.generate(6).vectors;
+        let dev = DeviceConfig::test_tiny();
+        let tree = RpTree { buckets: vec![vec![0], vec![1], vec![2]], depth: 2 };
+        let state = DeviceState::upload(&vs, 2);
+        let report = run_tiled(&dev, &state, &TreeLayout::upload(&tree, 3));
+        assert!(state.download().iter().all(|l| l.is_empty()));
+        assert_eq!(report.stats.shared_accesses, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! # wknng-core — Warp-centric K-Nearest-Neighbor-Graph construction
+//!
+//! The primary contribution of the reproduced paper: an all-points
+//! approximate K-NNG builder based on the Random Projection Forest method,
+//! with **three warp-centric strategies** for searching and maintaining the
+//! k-NN sets of high-dimensional points in GPU **global memory**:
+//!
+//! * **basic** ([`KernelVariant::Basic`]) — one warp per point, exclusive
+//!   slot updates, fully redundant pair computation;
+//! * **atomic** ([`KernelVariant::Atomic`]) — each pair computed once and
+//!   pushed into both endpoints' slots via an atomic CAS max-replacement
+//!   protocol (wins at small dimensionality);
+//! * **tiled** ([`KernelVariant::Tiled`]) — bucket coordinates staged
+//!   through shared-memory tiles (wins at higher dimensionality).
+//!
+//! Two execution backends share the identical logical algorithm:
+//!
+//! * [`WknngBuilder::build_native`] — rayon CPU execution with wall-clock
+//!   phase timings;
+//! * [`WknngBuilder::build_device`] — warp-accurate execution on the
+//!   `wknng-simt` simulator with cycle estimates and profiler counters
+//!   ([`DeviceReports`]).
+//!
+//! Quality is measured with [`recall()`](recall()) against `wknng_data::exact_knn`.
+//!
+//! ```
+//! use wknng_core::{recall, WknngBuilder};
+//! use wknng_data::{exact_knn, DatasetSpec, Metric};
+//!
+//! let vs = DatasetSpec::GaussianClusters { n: 250, dim: 16, clusters: 5, spread: 0.3 }
+//!     .generate(3)
+//!     .vectors;
+//! let (graph, _) = WknngBuilder::new(8).trees(6).leaf_size(24).build_native(&vs).unwrap();
+//! let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+//! assert!(recall(&graph.lists, &truth) > 0.8);
+//! ```
+
+pub mod builder;
+pub mod error;
+pub mod graph;
+pub mod heap;
+pub mod kernels;
+pub mod metrics;
+pub mod native;
+pub mod params;
+pub mod pipeline;
+pub mod recall;
+pub mod search;
+pub mod update;
+
+pub use builder::{Knng, WknngBuilder};
+pub use error::KnngError;
+pub use graph::{lists_to_slots, slots_to_lists, KnnGraph, EMPTY_SLOT};
+pub use heap::KnnList;
+pub use metrics::{graph_stats, symmetrize, GraphStats};
+pub use native::{build_native, PhaseTimings};
+pub use params::{ExplorationMode, KernelVariant, WknngParams};
+pub use pipeline::{build_device, DeviceReports};
+pub use recall::{mean_distance_ratio, recall};
+pub use search::{search, search_lists, SearchParams, SearchStats};
+pub use update::{extend_graph, Extended};

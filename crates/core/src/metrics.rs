@@ -1,0 +1,217 @@
+//! Structural quality metrics of a built K-NN graph.
+//!
+//! Recall measures agreement with the exact graph; these metrics measure
+//! properties downstream applications care about directly: a t-SNE affinity
+//! graph must be (nearly) connected, a navigable search graph must not have
+//! sink-heavy degree distributions, and symmetrization is the standard
+//! preprocessing step for both.
+
+use wknng_data::{sort_neighbors, Neighbor};
+
+/// Degree and connectivity statistics of a K-NN graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of points.
+    pub n: usize,
+    /// Total directed edges.
+    pub edges: usize,
+    /// Minimum out-degree.
+    pub min_degree: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Mean in-degree of the top 1% most-referenced points divided by k —
+    /// the *hubness* of the graph (≫1 means a few points absorb edges, a
+    /// known failure mode of high-dimensional K-NN graphs).
+    pub hubness: f64,
+    /// Weakly connected components (treating edges as undirected).
+    pub components: usize,
+    /// Fraction of directed edges whose reverse edge is also present.
+    pub symmetry: f64,
+}
+
+/// Compute [`GraphStats`] for neighbor lists.
+pub fn graph_stats(lists: &[Vec<Neighbor>]) -> GraphStats {
+    let n = lists.len();
+    let edges: usize = lists.iter().map(|l| l.len()).sum();
+    let min_degree = lists.iter().map(|l| l.len()).min().unwrap_or(0);
+    let max_degree = lists.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mean_degree = if n == 0 { 0.0 } else { edges as f64 / n as f64 };
+
+    // In-degrees and hubness.
+    let mut indeg = vec![0usize; n];
+    for list in lists {
+        for nb in list {
+            indeg[nb.index as usize] += 1;
+        }
+    }
+    let hubness = if n == 0 || mean_degree == 0.0 {
+        0.0
+    } else {
+        let mut sorted = indeg.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top = (n / 100).max(1);
+        let top_mean: f64 = sorted[..top].iter().sum::<usize>() as f64 / top as f64;
+        top_mean / mean_degree
+    };
+
+    // Weak connectivity via union-find.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (i, list) in lists.iter().enumerate() {
+        for nb in list {
+            let (a, b) = (find(&mut parent, i), find(&mut parent, nb.index as usize));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    let mut roots = std::collections::HashSet::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        roots.insert(r);
+    }
+
+    // Symmetry: fraction of edges with a reverse edge.
+    let mut mutual = 0usize;
+    for (i, list) in lists.iter().enumerate() {
+        for nb in list {
+            if lists[nb.index as usize].iter().any(|r| r.index as usize == i) {
+                mutual += 1;
+            }
+        }
+    }
+    let symmetry = if edges == 0 { 1.0 } else { mutual as f64 / edges as f64 };
+
+    GraphStats {
+        n,
+        edges,
+        min_degree,
+        max_degree,
+        mean_degree,
+        hubness,
+        components: roots.len(),
+        symmetry,
+    }
+}
+
+/// Symmetrize a directed K-NN graph: add every reverse edge, re-sort, and
+/// (optionally) cap each list at `max_degree` keeping the nearest. This is
+/// the standard preprocessing for t-SNE affinities and navigable graphs.
+pub fn symmetrize(lists: &[Vec<Neighbor>], max_degree: Option<usize>) -> Vec<Vec<Neighbor>> {
+    let n = lists.len();
+    let mut out: Vec<Vec<Neighbor>> = lists.to_vec();
+    for (i, list) in lists.iter().enumerate() {
+        for nb in list {
+            let j = nb.index as usize;
+            if !lists[j].iter().any(|r| r.index as usize == i)
+                && !out[j].iter().any(|r| r.index as usize == i)
+            {
+                out[j].push(Neighbor::new(i as u32, nb.dist));
+            }
+        }
+    }
+    for (i, list) in out.iter_mut().enumerate() {
+        sort_neighbors(list);
+        list.dedup_by_key(|nb| nb.index);
+        debug_assert!(list.iter().all(|nb| nb.index as usize != i));
+        if let Some(cap) = max_degree {
+            list.truncate(cap);
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(i: u32, d: f32) -> Neighbor {
+        Neighbor::new(i, d)
+    }
+
+    #[test]
+    fn stats_of_a_ring() {
+        // 0 -> 1 -> 2 -> 3 -> 0: one component, zero symmetry, degree 1.
+        let lists = vec![
+            vec![nb(1, 1.0)],
+            vec![nb(2, 1.0)],
+            vec![nb(3, 1.0)],
+            vec![nb(0, 1.0)],
+        ];
+        let s = graph_stats(&lists);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.symmetry, 0.0);
+        assert_eq!((s.min_degree, s.max_degree), (1, 1));
+        assert_eq!(s.mean_degree, 1.0);
+    }
+
+    #[test]
+    fn stats_of_disconnected_mutual_pairs() {
+        let lists = vec![
+            vec![nb(1, 1.0)],
+            vec![nb(0, 1.0)],
+            vec![nb(3, 1.0)],
+            vec![nb(2, 1.0)],
+        ];
+        let s = graph_stats(&lists);
+        assert_eq!(s.components, 2);
+        assert_eq!(s.symmetry, 1.0);
+    }
+
+    #[test]
+    fn hubness_detects_a_sink() {
+        // Everyone points at 0 (100 points => top 1% = point 0).
+        let n = 100;
+        let mut lists = vec![vec![nb(0, 1.0)]; n];
+        lists[0] = vec![nb(1, 1.0)];
+        let s = graph_stats(&lists);
+        assert!(s.hubness > 50.0, "hubness {}", s.hubness);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges() {
+        let lists = vec![vec![nb(1, 2.0)], vec![], vec![nb(0, 5.0)]];
+        let sym = symmetrize(&lists, None);
+        // 1 gained the reverse of 0->1; 0 gained the reverse of 2->0.
+        assert!(sym[1].iter().any(|e| e.index == 0 && e.dist == 2.0));
+        assert!(sym[0].iter().any(|e| e.index == 2 && e.dist == 5.0));
+        let s = graph_stats(&sym);
+        assert_eq!(s.symmetry, 1.0);
+    }
+
+    #[test]
+    fn symmetrize_respects_cap_and_keeps_nearest() {
+        let lists = vec![
+            vec![nb(1, 1.0), nb(2, 9.0)],
+            vec![nb(0, 1.0)],
+            vec![nb(1, 3.0)],
+        ];
+        let sym = symmetrize(&lists, Some(2));
+        for list in &sym {
+            assert!(list.len() <= 2);
+            for w in list.windows(2) {
+                assert!(w[0].key() <= w[1].key());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let s = graph_stats(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(s.symmetry, 1.0);
+        assert!(symmetrize(&[], Some(3)).is_empty());
+    }
+}

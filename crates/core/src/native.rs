@@ -1,0 +1,313 @@
+//! The native (multi-threaded CPU) backend.
+//!
+//! Implements the identical logical algorithm as the device kernels —
+//! RP-forest bucketing, per-bucket all-pairs candidate generation, then
+//! neighbors-of-neighbors exploration — parallelised with rayon over points.
+//! This backend provides the wall-clock numbers of the evaluation; the
+//! simulated device provides the GPU-shape numbers.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use wknng_data::{Neighbor, VectorSet};
+use wknng_forest::{build_forest, ForestParams, TreeParams};
+
+use crate::error::KnngError;
+use crate::graph::KnnGraph;
+use crate::params::WknngParams;
+
+/// Wall-clock milliseconds spent in each pipeline phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// RP-forest construction.
+    pub forest_ms: f64,
+    /// Per-bucket all-pairs candidate generation.
+    pub bucket_ms: f64,
+    /// Neighbors-of-neighbors exploration.
+    pub explore_ms: f64,
+}
+
+impl PhaseTimings {
+    /// Total build time.
+    pub fn total_ms(&self) -> f64 {
+        self.forest_ms + self.bucket_ms + self.explore_ms
+    }
+}
+
+/// Build an approximate K-NNG natively. Deterministic in `params.seed`.
+pub fn build_native(
+    vs: &VectorSet,
+    params: &WknngParams,
+) -> Result<(Vec<Vec<Neighbor>>, PhaseTimings), KnngError> {
+    params.validate(vs.len())?;
+    let n = vs.len();
+    let mut timings = PhaseTimings::default();
+
+    let t0 = Instant::now();
+    let forest = build_forest(
+        vs,
+        ForestParams {
+            num_trees: params.num_trees,
+            tree: TreeParams { leaf_size: params.leaf_size, projection: params.projection },
+        },
+        params.seed,
+    )?;
+    timings.forest_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let mut graph = KnnGraph::new(n, params.k);
+    for tree in &forest.trees {
+        // Map each point to its bucket within this tree, then update every
+        // point's own list in parallel — each list is touched by exactly one
+        // task, so the pass is race-free and deterministic.
+        let mut bucket_of = vec![u32::MAX; n];
+        for (b, bucket) in tree.buckets.iter().enumerate() {
+            for &p in bucket {
+                bucket_of[p as usize] = b as u32;
+            }
+        }
+        graph
+            .lists_mut()
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(p, list)| {
+                let bucket = &tree.buckets[bucket_of[p] as usize];
+                let row = vs.row(p);
+                for &q in bucket {
+                    if q as usize != p {
+                        let d = params.metric.eval(row, vs.row(q as usize));
+                        list.insert(Neighbor::new(q, d));
+                    }
+                }
+            });
+    }
+    timings.bucket_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let t2 = Instant::now();
+    match params.exploration_mode {
+        crate::params::ExplorationMode::Full => {
+            for _ in 0..params.exploration_iters {
+                explore_once(vs, params, &mut graph);
+            }
+        }
+        crate::params::ExplorationMode::Incremental => {
+            // Round 0 treats every current neighbor as fresh.
+            let mut fresh: Vec<Vec<u32>> = graph.index_snapshot();
+            for _ in 0..params.exploration_iters {
+                if fresh.iter().all(Vec::is_empty) {
+                    break; // converged: nothing new to join against
+                }
+                fresh = explore_once_incremental(vs, params, &mut graph, &fresh);
+            }
+        }
+    }
+    timings.explore_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    Ok((graph.into_lists(), timings))
+}
+
+/// One neighbors-of-neighbors pass: every point examines the neighbors of
+/// its current neighbors as candidates. Reads a frozen snapshot so the pass
+/// is order-independent and deterministic under parallelism.
+fn explore_once(vs: &VectorSet, params: &WknngParams, graph: &mut KnnGraph) {
+    let snapshot = graph.index_snapshot();
+    graph
+        .lists_mut()
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(p, list)| {
+            let row = vs.row(p);
+            for &q in &snapshot[p] {
+                for &r in &snapshot[q as usize] {
+                    if r as usize == p {
+                        continue;
+                    }
+                    // `insert` rejects duplicates, so no visited-set needed
+                    // at these k values.
+                    let d = params.metric.eval(row, vs.row(r as usize));
+                    list.insert(Neighbor::new(r, d));
+                }
+            }
+        });
+}
+
+/// One incremental exploration pass: only candidate paths `p → q → r` where
+/// the `p → q` edge or the `r` entry of `q`'s list is fresh (inserted last
+/// round) are examined. Returns the per-point indices inserted this round.
+fn explore_once_incremental(
+    vs: &VectorSet,
+    params: &WknngParams,
+    graph: &mut KnnGraph,
+    fresh: &[Vec<u32>],
+) -> Vec<Vec<u32>> {
+    let snapshot = graph.index_snapshot();
+    graph
+        .lists_mut()
+        .par_iter_mut()
+        .enumerate()
+        .map(|(p, list)| {
+            let row = vs.row(p);
+            let mut inserted = Vec::new();
+            let mut try_insert = |r: u32, list: &mut crate::heap::KnnList| {
+                if r as usize != p {
+                    let d = params.metric.eval(row, vs.row(r as usize));
+                    if list.insert(Neighbor::new(r, d)) {
+                        inserted.push(r);
+                    }
+                }
+            };
+            // Fresh forward edges: explore the whole list of the new neighbor.
+            for &q in &fresh[p] {
+                for &r in &snapshot[q as usize] {
+                    try_insert(r, list);
+                }
+            }
+            // Old forward edges: explore only the fresh entries of q's list.
+            for &q in &snapshot[p] {
+                if fresh[p].contains(&q) {
+                    continue; // already fully explored above
+                }
+                for &r in &fresh[q as usize] {
+                    try_insert(r, list);
+                }
+            }
+            inserted
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recall::recall;
+    use wknng_data::{exact_knn, DatasetSpec, Metric};
+
+    fn params(k: usize, trees: usize, leaf: usize, explore: usize) -> WknngParams {
+        WknngParams {
+            k,
+            num_trees: trees,
+            leaf_size: leaf,
+            exploration_iters: explore,
+            seed: 42,
+            ..WknngParams::default()
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let vs = DatasetSpec::UniformCube { n: 10, dim: 4 }.generate(0).vectors;
+        assert!(build_native(&vs, &params(0, 1, 8, 0)).is_err());
+        assert!(build_native(&vs, &params(10, 1, 8, 0)).is_err());
+    }
+
+    #[test]
+    fn single_bucket_tree_is_exact() {
+        // leaf_size >= n means every tree is one bucket: all-pairs = exact.
+        let vs = DatasetSpec::UniformCube { n: 40, dim: 5 }.generate(1).vectors;
+        let (lists, timings) = build_native(&vs, &params(5, 1, 64, 0)).unwrap();
+        let truth = exact_knn(&vs, 5, Metric::SquaredL2);
+        assert_eq!(recall(&lists, &truth), 1.0);
+        assert_eq!(lists, truth);
+        assert!(timings.total_ms() >= 0.0);
+    }
+
+    #[test]
+    fn more_trees_help_recall() {
+        let vs = DatasetSpec::GaussianClusters { n: 400, dim: 16, clusters: 8, spread: 0.3 }
+            .generate(3)
+            .vectors;
+        let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+        let (one, _) = build_native(&vs, &params(8, 1, 16, 0)).unwrap();
+        let (eight, _) = build_native(&vs, &params(8, 8, 16, 0)).unwrap();
+        let (r1, r8) = (recall(&one, &truth), recall(&eight, &truth));
+        assert!(r8 > r1, "recall with 8 trees ({r8:.3}) must beat 1 tree ({r1:.3})");
+        assert!(r8 > 0.5, "8 trees should recover most neighbors, got {r8:.3}");
+    }
+
+    #[test]
+    fn exploration_helps_recall() {
+        let vs = DatasetSpec::GaussianClusters { n: 400, dim: 16, clusters: 8, spread: 0.3 }
+            .generate(4)
+            .vectors;
+        let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+        let (no_exp, _) = build_native(&vs, &params(8, 2, 16, 0)).unwrap();
+        let (exp, _) = build_native(&vs, &params(8, 2, 16, 2)).unwrap();
+        let (r0, r2) = (recall(&no_exp, &truth), recall(&exp, &truth));
+        assert!(r2 > r0, "exploration must improve recall: {r0:.3} -> {r2:.3}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let vs = DatasetSpec::sift_like(150).generate(5).vectors;
+        let p = params(6, 3, 16, 1);
+        let (a, _) = build_native(&vs, &p).unwrap();
+        let (b, _) = build_native(&vs, &p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops_and_k_respected() {
+        let vs = DatasetSpec::UniformCube { n: 100, dim: 6 }.generate(6).vectors;
+        let (lists, _) = build_native(&vs, &params(7, 3, 12, 1)).unwrap();
+        for (p, list) in lists.iter().enumerate() {
+            assert!(list.len() <= 7);
+            assert!(list.iter().all(|nb| nb.index as usize != p));
+            // Sorted, unique.
+            for w in list.windows(2) {
+                assert!(w[0].key() < w[1].key());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_exploration_improves_over_none() {
+        let vs = DatasetSpec::GaussianClusters { n: 400, dim: 16, clusters: 8, spread: 0.3 }
+            .generate(44)
+            .vectors;
+        let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+        let base = params(8, 2, 16, 0);
+        let (none, _) = build_native(&vs, &base).unwrap();
+        let inc = WknngParams {
+            exploration_iters: 3,
+            exploration_mode: crate::params::ExplorationMode::Incremental,
+            ..base
+        };
+        let (inc_lists, _) = build_native(&vs, &inc).unwrap();
+        let full = WknngParams { exploration_iters: 3, ..base };
+        let (full_lists, _) = build_native(&vs, &full).unwrap();
+        let (r0, ri, rf) = (
+            recall(&none, &truth),
+            recall(&inc_lists, &truth),
+            recall(&full_lists, &truth),
+        );
+        assert!(ri > r0, "incremental must help: {r0:.3} -> {ri:.3}");
+        // Full explores a superset each round (not a strict theorem across
+        // rounds, so allow a hair of slack).
+        assert!(rf >= ri - 0.02, "full should not lose to incremental: {ri:.3} vs {rf:.3}");
+        assert!(ri > 0.85, "incremental recall too low: {ri:.3}");
+    }
+
+    #[test]
+    fn incremental_exploration_is_deterministic() {
+        let vs = DatasetSpec::sift_like(150).generate(45).vectors;
+        let p = WknngParams {
+            exploration_iters: 2,
+            exploration_mode: crate::params::ExplorationMode::Incremental,
+            ..params(6, 3, 16, 2)
+        };
+        let (a, _) = build_native(&vs, &p).unwrap();
+        let (b, _) = build_native(&vs, &p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn other_metrics_work_natively() {
+        let vs = DatasetSpec::HypersphereShell { n: 60, dim: 8 }.generate(7).vectors;
+        let p = WknngParams { metric: Metric::Cosine, ..params(4, 2, 64, 0) };
+        let (lists, _) = build_native(&vs, &p).unwrap();
+        let truth = exact_knn(&vs, 4, Metric::Cosine);
+        // leaf 64 with n=60: single bucket, exact.
+        assert_eq!(recall(&lists, &truth), 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Builder parameters for w-KNNG construction.
+
+use wknng_data::Metric;
+use wknng_forest::ProjectionKind;
+
+use crate::error::KnngError;
+
+/// The three warp-centric kernel strategies of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelVariant {
+    /// One warp per point; the warp computes its point's distance row and
+    /// updates only its own k-NN slots (no atomics, full redundancy: every
+    /// pair is computed twice).
+    Basic,
+    /// Pairs are computed once (upper triangle) and pushed into **both**
+    /// endpoints' slot arrays with an atomic max-replacement CAS protocol.
+    /// Halves distance work at the price of atomic contention — wins at
+    /// small dimensionality.
+    Atomic,
+    /// Bucket coordinates are staged through shared-memory tiles so each
+    /// coordinate is read from global memory once per bucket instead of once
+    /// per pair — wins at higher dimensionality, the general workhorse.
+    #[default]
+    Tiled,
+}
+
+impl KernelVariant {
+    /// All variants, in presentation order.
+    pub const ALL: [KernelVariant; 3] =
+        [KernelVariant::Basic, KernelVariant::Atomic, KernelVariant::Tiled];
+
+    /// The paper's practical guidance, backed by experiment E4: the atomic
+    /// kernel wins at small dimensionality, tiled everywhere else.
+    pub fn auto_for_dim(dim: usize) -> KernelVariant {
+        if dim <= 16 {
+            KernelVariant::Atomic
+        } else {
+            KernelVariant::Tiled
+        }
+    }
+
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelVariant::Basic => "w-knng-basic",
+            KernelVariant::Atomic => "w-knng-atomic",
+            KernelVariant::Tiled => "w-knng-tiled",
+        }
+    }
+}
+
+/// How the neighbors-of-neighbors exploration phase selects candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExplorationMode {
+    /// Every round examines all k² neighbor-of-neighbor candidates of every
+    /// point. Highest recall per round; what the device kernels implement.
+    #[default]
+    Full,
+    /// NN-descent-style incremental join: a round only examines candidate
+    /// paths that involve an edge inserted in the previous round. Much
+    /// cheaper on later rounds at a small recall cost per round
+    /// (ablated in experiment E13). Native backend only — device builds
+    /// always run [`ExplorationMode::Full`].
+    Incremental,
+}
+
+/// Full parameter set of a w-KNNG build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WknngParams {
+    /// Neighbors per point.
+    pub k: usize,
+    /// Number of RP trees.
+    pub num_trees: usize,
+    /// RP-tree leaf bucket size.
+    pub leaf_size: usize,
+    /// Neighbors-of-neighbors refinement iterations.
+    pub exploration_iters: usize,
+    /// Candidate selection strategy for the exploration phase.
+    pub exploration_mode: ExplorationMode,
+    /// Split-direction distribution of the RP trees.
+    pub projection: ProjectionKind,
+    /// Kernel strategy (device builds; the native backend is
+    /// variant-agnostic).
+    pub variant: KernelVariant,
+    /// Distance metric (device kernels require [`Metric::SquaredL2`]).
+    pub metric: Metric,
+    /// RNG seed for the forest.
+    pub seed: u64,
+}
+
+impl Default for WknngParams {
+    fn default() -> Self {
+        WknngParams {
+            k: 16,
+            num_trees: 4,
+            leaf_size: 64,
+            exploration_iters: 1,
+            exploration_mode: ExplorationMode::Full,
+            projection: ProjectionKind::DenseGaussian,
+            variant: KernelVariant::default(),
+            metric: Metric::SquaredL2,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl WknngParams {
+    /// Validate against a point set of `n` points.
+    pub fn validate(&self, n: usize) -> Result<(), KnngError> {
+        if self.k == 0 {
+            return Err(KnngError::ZeroK);
+        }
+        if n <= self.k {
+            return Err(KnngError::KTooLarge { k: self.k, n });
+        }
+        if self.leaf_size < 2 {
+            return Err(wknng_forest::ForestError::LeafTooSmall(self.leaf_size).into());
+        }
+        if self.num_trees == 0 {
+            return Err(wknng_forest::ForestError::NoTrees.into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        let p = WknngParams::default();
+        assert!(p.validate(1000).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let mut p = WknngParams::default();
+        p.k = 0;
+        assert_eq!(p.validate(100), Err(KnngError::ZeroK));
+        p.k = 100;
+        assert_eq!(p.validate(100), Err(KnngError::KTooLarge { k: 100, n: 100 }));
+        p = WknngParams { leaf_size: 1, ..WknngParams::default() };
+        assert!(matches!(p.validate(100), Err(KnngError::Forest(_))));
+        p = WknngParams { num_trees: 0, ..WknngParams::default() };
+        assert!(matches!(p.validate(100), Err(KnngError::Forest(_))));
+    }
+
+    #[test]
+    fn variant_names_are_distinct() {
+        let names: Vec<_> = KernelVariant::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.windows(2).all(|w| w[0] != w[1]));
+        assert_eq!(KernelVariant::default(), KernelVariant::Tiled);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn auto_variant_follows_the_crossover() {
+        assert_eq!(KernelVariant::auto_for_dim(4), KernelVariant::Atomic);
+        assert_eq!(KernelVariant::auto_for_dim(16), KernelVariant::Atomic);
+        assert_eq!(KernelVariant::auto_for_dim(17), KernelVariant::Tiled);
+        assert_eq!(KernelVariant::auto_for_dim(784), KernelVariant::Tiled);
+    }
+
+    #[test]
+    fn exploration_mode_defaults_to_full() {
+        assert_eq!(ExplorationMode::default(), ExplorationMode::Full);
+        assert_eq!(WknngParams::default().exploration_mode, ExplorationMode::Full);
+    }
+}

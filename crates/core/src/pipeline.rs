@@ -1,0 +1,176 @@
+//! The simulated-device build pipeline: forest → bucket kernels → exploration.
+
+use wknng_data::{Metric, Neighbor, VectorSet};
+use wknng_forest::{build_forest_device, ForestParams, TreeParams};
+use wknng_simt::{DeviceConfig, LaunchReport};
+
+use crate::error::KnngError;
+use crate::kernels::{
+    max_tiled_bucket, run_atomic, run_basic, run_explore, run_explore_lane, run_tiled,
+    snapshot_from_state, DeviceState, TreeLayout,
+};
+use crate::params::{KernelVariant, WknngParams};
+
+/// Per-phase simulated launch reports of a device build.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceReports {
+    /// RP-forest projection kernels.
+    pub forest: LaunchReport,
+    /// Bucket all-pairs kernels (one launch per tree).
+    pub bucket: LaunchReport,
+    /// Exploration kernels (one launch per iteration).
+    pub explore: LaunchReport,
+}
+
+impl DeviceReports {
+    /// Whole-pipeline report (sequential composition of the phases).
+    pub fn total(&self) -> LaunchReport {
+        let mut t = self.forest;
+        t += self.bucket;
+        t += self.explore;
+        t
+    }
+
+    /// Whole-pipeline simulated milliseconds on `dev`.
+    pub fn total_ms(&self, dev: &DeviceConfig) -> f64 {
+        self.total().ms(dev)
+    }
+}
+
+/// Build an approximate K-NNG on the simulated device using the configured
+/// kernel variant. Deterministic in `params.seed`.
+pub fn build_device(
+    vs: &VectorSet,
+    params: &WknngParams,
+    dev: &DeviceConfig,
+) -> Result<(Vec<Vec<Neighbor>>, DeviceReports), KnngError> {
+    params.validate(vs.len())?;
+    if params.metric != Metric::SquaredL2 {
+        return Err(KnngError::UnsupportedDeviceMetric(params.metric));
+    }
+    if params.variant == KernelVariant::Tiled {
+        let max = max_tiled_bucket(dev.shared_mem_bytes);
+        if params.leaf_size > max {
+            return Err(KnngError::LeafTooLargeForTiled { leaf: params.leaf_size, max });
+        }
+    }
+
+    let mut reports = DeviceReports::default();
+
+    let (forest, forest_report) = build_forest_device(
+        vs,
+        ForestParams {
+            num_trees: params.num_trees,
+            tree: TreeParams { leaf_size: params.leaf_size, projection: params.projection },
+        },
+        params.seed,
+        dev,
+    )?;
+    reports.forest = forest_report;
+
+    let state = DeviceState::upload(vs, params.k);
+    for tree in &forest.trees {
+        let layout = TreeLayout::upload(tree, vs.len());
+        let rep = match params.variant {
+            KernelVariant::Basic => run_basic(dev, &state, &layout),
+            KernelVariant::Atomic => run_atomic(dev, &state, &layout),
+            KernelVariant::Tiled => run_tiled(dev, &state, &layout),
+        };
+        reports.bucket += rep;
+    }
+
+    for _ in 0..params.exploration_iters {
+        let snap = snapshot_from_state(&state);
+        // The warp-centric strategy applies to the whole search-and-maintain
+        // machinery: the atomic variant explores lane-parallel as well.
+        reports.explore += match params.variant {
+            KernelVariant::Atomic => run_explore_lane(dev, &state, &snap),
+            _ => run_explore(dev, &state, &snap),
+        };
+    }
+
+    Ok((state.download(), reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::build_native;
+    use crate::recall::recall;
+    use wknng_data::{exact_knn, DatasetSpec};
+
+    fn params(variant: KernelVariant) -> WknngParams {
+        WknngParams {
+            k: 5,
+            num_trees: 2,
+            leaf_size: 16,
+            exploration_iters: 1,
+            variant,
+            seed: 21,
+            ..WknngParams::default()
+        }
+    }
+
+    #[test]
+    fn all_variants_produce_identical_graphs() {
+        let vs = DatasetSpec::GaussianClusters { n: 90, dim: 10, clusters: 5, spread: 0.3 }
+            .generate(10)
+            .vectors;
+        let dev = DeviceConfig::test_tiny();
+        let (basic, _) = build_device(&vs, &params(KernelVariant::Basic), &dev).unwrap();
+        let (atomic, _) = build_device(&vs, &params(KernelVariant::Atomic), &dev).unwrap();
+        let (tiled, _) = build_device(&vs, &params(KernelVariant::Tiled), &dev).unwrap();
+        let idx = |lists: &Vec<Vec<Neighbor>>| -> Vec<Vec<u32>> {
+            lists.iter().map(|l| l.iter().map(|n| n.index).collect()).collect()
+        };
+        assert_eq!(idx(&basic), idx(&atomic));
+        assert_eq!(idx(&basic), idx(&tiled));
+    }
+
+    #[test]
+    fn device_matches_native_backend() {
+        // Same seed => same forest => same candidate sets => same graph.
+        let vs = DatasetSpec::sift_like(80).generate(11).vectors;
+        let p = params(KernelVariant::Basic);
+        let dev = DeviceConfig::test_tiny();
+        let (device, reports) = build_device(&vs, &p, &dev).unwrap();
+        let (native, _) = build_native(&vs, &p).unwrap();
+        let idx = |lists: &Vec<Vec<Neighbor>>| -> Vec<Vec<u32>> {
+            lists.iter().map(|l| l.iter().map(|n| n.index).collect()).collect()
+        };
+        assert_eq!(idx(&device), idx(&native));
+        assert!(reports.forest.cycles > 0.0);
+        assert!(reports.bucket.cycles > 0.0);
+        assert!(reports.explore.cycles > 0.0);
+        assert!(reports.total().cycles >= reports.bucket.cycles);
+    }
+
+    #[test]
+    fn device_build_reaches_good_recall() {
+        let vs = DatasetSpec::GaussianClusters { n: 150, dim: 12, clusters: 6, spread: 0.25 }
+            .generate(12)
+            .vectors;
+        let truth = exact_knn(&vs, 5, wknng_data::Metric::SquaredL2);
+        let dev = DeviceConfig::test_tiny();
+        let p = WknngParams { num_trees: 4, ..params(KernelVariant::Tiled) };
+        let (lists, _) = build_device(&vs, &p, &dev).unwrap();
+        let r = recall(&lists, &truth);
+        assert!(r > 0.7, "device build recall too low: {r:.3}");
+    }
+
+    #[test]
+    fn rejects_unsupported_configs() {
+        let vs = DatasetSpec::UniformCube { n: 50, dim: 4 }.generate(0).vectors;
+        let dev = DeviceConfig::test_tiny();
+        let p = WknngParams { metric: Metric::Cosine, ..params(KernelVariant::Basic) };
+        assert!(matches!(
+            build_device(&vs, &p, &dev),
+            Err(KnngError::UnsupportedDeviceMetric(_))
+        ));
+        let p = WknngParams { leaf_size: 10_000, k: 5, ..params(KernelVariant::Tiled) };
+        assert!(matches!(
+            build_device(&vs, &p, &dev),
+            Err(KnngError::LeafTooLargeForTiled { .. })
+        ));
+    }
+}

@@ -1,0 +1,99 @@
+//! Recall@K — the accuracy metric of the evaluation.
+
+use wknng_data::Neighbor;
+
+/// Fraction of true K-nearest neighbors recovered by the approximate graph,
+/// averaged over all points: `|approx ∩ truth| / |truth|`.
+///
+/// Matching is by neighbor **index**; distances are ignored (two methods may
+/// report the same neighbor with differently-rounded distances).
+pub fn recall(approx: &[Vec<Neighbor>], truth: &[Vec<Neighbor>]) -> f64 {
+    assert_eq!(approx.len(), truth.len(), "graphs must cover the same points");
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (a, t) in approx.iter().zip(truth) {
+        total += t.len();
+        for nb in t {
+            if a.iter().any(|x| x.index == nb.index) {
+                hit += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+/// Mean distance error: average over points of
+/// `(sum approx dists − sum true dists) / (1 + sum true dists)` — a
+/// complementary quality signal that catches graphs which find *near* but
+/// not *nearest* neighbors.
+pub fn mean_distance_ratio(approx: &[Vec<Neighbor>], truth: &[Vec<Neighbor>]) -> f64 {
+    assert_eq!(approx.len(), truth.len());
+    let mut acc = 0.0f64;
+    let mut count = 0usize;
+    for (a, t) in approx.iter().zip(truth) {
+        if t.is_empty() {
+            continue;
+        }
+        let ta: f64 = t.iter().map(|n| n.dist as f64).sum();
+        let aa: f64 = a.iter().take(t.len()).map(|n| n.dist as f64).sum();
+        acc += (aa - ta) / (1.0 + ta);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        acc / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(i: u32, d: f32) -> Neighbor {
+        Neighbor::new(i, d)
+    }
+
+    #[test]
+    fn perfect_recall_is_one() {
+        let t = vec![vec![nb(1, 1.0), nb(2, 2.0)], vec![nb(0, 1.0)]];
+        assert_eq!(recall(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_partial_overlap() {
+        let truth = vec![vec![nb(1, 1.0), nb(2, 2.0)], vec![nb(0, 1.0), nb(2, 3.0)]];
+        let approx = vec![vec![nb(1, 1.0), nb(9, 9.0)], vec![nb(2, 3.0), nb(7, 4.0)]];
+        assert!((recall(&approx, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_is_trivially_recalled() {
+        let truth: Vec<Vec<Neighbor>> = vec![vec![], vec![]];
+        let approx = vec![vec![nb(1, 1.0)], vec![]];
+        assert_eq!(recall(&approx, &truth), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn mismatched_lengths_panic() {
+        let _ = recall(&[vec![]], &[vec![], vec![]]);
+    }
+
+    #[test]
+    fn distance_ratio_zero_when_exact() {
+        let t = vec![vec![nb(1, 1.0), nb(2, 2.0)]];
+        assert_eq!(mean_distance_ratio(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn distance_ratio_positive_when_worse() {
+        let truth = vec![vec![nb(1, 1.0)]];
+        let approx = vec![vec![nb(3, 2.0)]];
+        assert!(mean_distance_ratio(&approx, &truth) > 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Greedy best-first search over a built K-NN graph.
+//!
+//! A K-NN graph doubles as a navigable index: out-of-sample queries descend
+//! the graph from an entry point, expanding the most promising nodes. This
+//! is the "similarity search" application family the paper's abstract
+//! motivates, and the standard way K-NNG construction output is consumed by
+//! systems like NN-descent-based search or HNSW's layer 0.
+
+use wknng_data::{Metric, Neighbor, VectorSet};
+
+use crate::builder::Knng;
+use crate::heap::KnnList;
+
+/// Parameters of a graph search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchParams {
+    /// Result size.
+    pub k: usize,
+    /// Beam width (candidate pool); larger = more accurate, slower. Clamped
+    /// up to `k`.
+    pub beam: usize,
+    /// Entry points: the search starts from `entries` scrambled point ids.
+    /// Greedy descent cannot leave a weakly connected component, so graphs
+    /// over strongly clustered data (check `graph_stats(...).components`)
+    /// need at least one entry per component — raise this value or
+    /// symmetrize/augment the graph for such data.
+    pub entries: usize,
+    /// Distance metric (must match the metric the graph was built with to
+    /// be meaningful).
+    pub metric: Metric,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams { k: 10, beam: 32, entries: 2, metric: Metric::SquaredL2 }
+    }
+}
+
+/// Statistics of one search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Points whose distance to the query was evaluated.
+    pub distance_evals: usize,
+    /// Nodes expanded (neighbor lists read).
+    pub expansions: usize,
+}
+
+/// Greedy beam search for the `k` nearest indexed points to `query`.
+///
+/// Returns the result list (sorted ascending) and the work counters.
+pub fn search(
+    vs: &VectorSet,
+    graph: &Knng,
+    query: &[f32],
+    params: &SearchParams,
+) -> (Vec<Neighbor>, SearchStats) {
+    search_lists(vs, &graph.lists, query, params)
+}
+
+/// [`search`] over raw neighbor lists (no [`Knng`] wrapper) — the working
+/// form used by incremental graph extension.
+pub fn search_lists(
+    vs: &VectorSet,
+    lists: &[Vec<Neighbor>],
+    query: &[f32],
+    params: &SearchParams,
+) -> (Vec<Neighbor>, SearchStats) {
+    let n = vs.len();
+    assert_eq!(query.len(), vs.dim(), "query dimensionality mismatch");
+    let beam_width = params.beam.max(params.k).max(1);
+    let mut stats = SearchStats { distance_evals: 0, expansions: 0 };
+    if n == 0 || lists.len() != n {
+        return (Vec::new(), stats);
+    }
+
+    let mut visited = vec![false; n];
+    let mut beam = KnnList::new(beam_width);
+    // Frontier of candidates worth expanding, best-first.
+    let mut frontier: Vec<Neighbor> = Vec::new();
+
+    let entries = params.entries.clamp(1, n);
+    for e in 0..entries {
+        // Fibonacci-hash scramble: deterministic, but avoids the regular
+        // stride aliasing with structured point orders (e.g. round-robin
+        // cluster assignment) that a plain `e * n / entries` suffers from.
+        let p = ((e as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as usize;
+        if !visited[p] {
+            visited[p] = true;
+            let d = params.metric.eval(query, vs.row(p));
+            stats.distance_evals += 1;
+            let nb = Neighbor::new(p as u32, d);
+            beam.insert(nb);
+            frontier.push(nb);
+        }
+    }
+
+    while let Some(pos) = frontier
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.key().partial_cmp(&b.key()).expect("finite"))
+        .map(|(i, _)| i)
+    {
+        let cur = frontier.swap_remove(pos);
+        // Stop expanding once the best frontier entry cannot improve a full
+        // beam (the standard greedy termination).
+        if beam.len() == beam_width {
+            if let Some(worst) = beam.worst() {
+                if cur.key() > worst.key() {
+                    break;
+                }
+            }
+        }
+        stats.expansions += 1;
+        for nb in &lists[cur.index as usize] {
+            let j = nb.index as usize;
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            let d = params.metric.eval(query, vs.row(j));
+            stats.distance_evals += 1;
+            let cand = Neighbor::new(j as u32, d);
+            if beam.insert(cand) {
+                frontier.push(cand);
+            }
+        }
+    }
+
+    let mut result = beam.into_vec();
+    result.truncate(params.k);
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WknngBuilder;
+    use crate::recall::recall;
+    use wknng_data::{exact_knn, DatasetSpec};
+
+    fn indexed(n: usize) -> (VectorSet, Knng) {
+        // Manifold data gives a *connected* K-NN graph; greedy search cannot
+        // cross components (see the doc note on `entries`).
+        let vs = DatasetSpec::Manifold { n, ambient_dim: 24, intrinsic_dim: 3 }
+            .generate(55)
+            .vectors;
+        let (g, _) = WknngBuilder::new(12)
+            .trees(6)
+            .leaf_size(24)
+            .exploration(2)
+            .seed(56)
+            .build_native(&vs)
+            .expect("valid");
+        (vs, g)
+    }
+
+    #[test]
+    fn finds_indexed_points_exactly() {
+        let (vs, g) = indexed(300);
+        // Query with an indexed point: it must come back first at distance 0.
+        let (res, stats) = search(&vs, &g, vs.row(17), &SearchParams::default());
+        assert_eq!(res[0].index, 17);
+        assert_eq!(res[0].dist, 0.0);
+        assert!(stats.distance_evals < 300, "search must not scan everything");
+        assert!(stats.expansions > 0);
+    }
+
+    #[test]
+    fn out_of_sample_queries_reach_high_recall() {
+        let (vs, g) = indexed(400);
+        let mut hits = 0;
+        let mut total = 0;
+        for q in 0..30 {
+            let base: Vec<f32> =
+                vs.row(q * 13 % 400).iter().map(|v| v + 1e-3).collect();
+            let (res, _) = search(&vs, &g, &base, &SearchParams::default());
+            // Exact answer.
+            let mut all: Vec<Neighbor> = (0..400)
+                .map(|j| Neighbor::new(j as u32, Metric::SquaredL2.eval(&base, vs.row(j))))
+                .collect();
+            wknng_data::sort_neighbors(&mut all);
+            all.truncate(10);
+            total += all.len();
+            for e in &all {
+                if res.iter().any(|r| r.index == e.index) {
+                    hits += 1;
+                }
+            }
+        }
+        let r = hits as f64 / total as f64;
+        assert!(r > 0.9, "graph-search recall {r:.3}");
+    }
+
+    #[test]
+    fn beam_width_trades_work_for_accuracy() {
+        let (vs, g) = indexed(400);
+        let q: Vec<f32> = vs.row(123).iter().map(|v| v + 5e-3).collect();
+        let narrow = SearchParams { beam: 10, ..SearchParams::default() };
+        let wide = SearchParams { beam: 64, ..SearchParams::default() };
+        let (_, sn) = search(&vs, &g, &q, &narrow);
+        let (_, sw) = search(&vs, &g, &q, &wide);
+        assert!(sw.distance_evals > sn.distance_evals);
+    }
+
+    #[test]
+    fn search_results_agree_with_graph_recall() {
+        let (vs, g) = indexed(300);
+        let truth = exact_knn(&vs, 12, Metric::SquaredL2);
+        assert!(recall(&g.lists, &truth) > 0.9, "precondition: good graph");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_query_dim_panics() {
+        let (vs, g) = indexed(50);
+        let _ = search(&vs, &g, &[0.0; 3], &SearchParams::default());
+    }
+
+    #[test]
+    fn degenerate_graph_returns_empty() {
+        let vs = DatasetSpec::UniformCube { n: 10, dim: 2 }.generate(1).vectors;
+        let g = Knng { lists: vec![], params: crate::params::WknngParams::default() };
+        let (res, _) = search(&vs, &g, vs.row(0), &SearchParams::default());
+        assert!(res.is_empty());
+    }
+}

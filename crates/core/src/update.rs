@@ -1,0 +1,225 @@
+//! Incremental graph extension: add points to a built K-NN graph without
+//! rebuilding the forest.
+//!
+//! Each new point is located with a greedy graph search over the current
+//! graph (the HNSW-style insertion idiom), adopts the search results as its
+//! neighbor list, and pushes reverse edges into those neighbors' bounded
+//! lists. Useful for streaming corpora where a full rebuild per batch is too
+//! expensive; quality degrades slowly with the ratio of inserted to original
+//! points, so rebuild periodically.
+
+use wknng_data::{Neighbor, VectorSet};
+
+use crate::builder::Knng;
+use crate::error::KnngError;
+use crate::heap::KnnList;
+use crate::search::{search_lists, SearchParams};
+
+/// Result of a graph extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extended {
+    /// The combined point set (originals first, then the new points).
+    pub vectors: VectorSet,
+    /// The extended graph over the combined set.
+    pub graph: Knng,
+}
+
+/// Insert `new_points` into `graph` (built over `base`).
+///
+/// `beam` controls insertion search accuracy (defaults to `4·k` when 0).
+/// Deterministic; new points are inserted in order.
+pub fn extend_graph(
+    base: &VectorSet,
+    graph: &Knng,
+    new_points: &VectorSet,
+    beam: usize,
+) -> Result<Extended, KnngError> {
+    if base.dim() != new_points.dim() {
+        return Err(KnngError::Data(wknng_data::DataError::RaggedBuffer {
+            len: new_points.dim(),
+            dim: base.dim(),
+        }));
+    }
+    if graph.len() != base.len() {
+        return Err(KnngError::KTooLarge { k: graph.len(), n: base.len() });
+    }
+    let k = graph.params.k;
+    let metric = graph.params.metric;
+
+    // Combined coordinates.
+    let mut data = base.as_flat().to_vec();
+    data.extend_from_slice(new_points.as_flat());
+    let vectors = VectorSet::new(data, base.dim())?;
+
+    // Working lists as bounded heaps.
+    let mut lists: Vec<KnnList> = graph
+        .lists
+        .iter()
+        .map(|l| {
+            let mut h = KnnList::new(k);
+            for &nb in l {
+                h.insert(nb);
+            }
+            h
+        })
+        .collect();
+
+    let params = SearchParams {
+        k,
+        beam: if beam == 0 { 4 * k } else { beam },
+        entries: 4,
+        metric,
+    };
+
+    for i in 0..new_points.len() {
+        let id = (base.len() + i) as u32;
+        let row = new_points.row(i);
+        // Snapshot view for the search (sorted lists), padded with empty
+        // lists for the points not inserted yet so it matches the combined
+        // coordinate set.
+        let mut view: Vec<Vec<Neighbor>> =
+            lists.iter().map(|h| h.as_slice().to_vec()).collect();
+        view.resize(vectors.len(), Vec::new());
+        let (found, _) = search_lists(
+            &vectors,
+            &view,
+            row,
+            &SearchParams { k: params.beam, ..params },
+        );
+        let mut own = KnnList::new(k);
+        for nb in found.iter() {
+            if nb.index == id {
+                continue; // the query point itself (already in `vectors`)
+            }
+            own.insert(*nb);
+            // Reverse edge into the found point's bounded list. The search
+            // may surface a not-yet-inserted point (its entry points are
+            // drawn from the whole combined set); its list does not exist
+            // yet, and it will discover `id` itself via its own search or
+            // the polish pass.
+            if (nb.index as usize) < lists.len() {
+                lists[nb.index as usize].insert(Neighbor::new(id, nb.dist));
+            }
+        }
+        lists.push(own);
+    }
+
+    // One neighbors-of-neighbors pass over the combined graph: newly added
+    // edges propagate to original points whose true neighborhoods shifted.
+    let snapshot: Vec<Vec<u32>> =
+        lists.iter().map(|h| h.indices().collect()).collect();
+    for p in 0..lists.len() {
+        let row = vectors.row(p);
+        for &q in &snapshot[p] {
+            for &r in &snapshot[q as usize] {
+                if r as usize != p {
+                    let d = metric.eval(row, vectors.row(r as usize));
+                    lists[p].insert(Neighbor::new(r, d));
+                }
+            }
+        }
+    }
+
+    let lists: Vec<Vec<Neighbor>> = lists.into_iter().map(KnnList::into_vec).collect();
+    Ok(Extended { vectors, graph: Knng { lists, params: graph.params } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WknngBuilder;
+    use crate::recall::recall;
+    use wknng_data::{exact_knn, DatasetSpec, Metric};
+
+    fn split(n_base: usize, n_new: usize) -> (VectorSet, VectorSet, VectorSet) {
+        let all = DatasetSpec::Manifold {
+            n: n_base + n_new,
+            ambient_dim: 24,
+            intrinsic_dim: 4,
+        }
+        .generate(77)
+        .vectors;
+        let base = all.gather(&(0..n_base).collect::<Vec<_>>());
+        let new = all.gather(&(n_base..n_base + n_new).collect::<Vec<_>>());
+        (all, base, new)
+    }
+
+    #[test]
+    fn extension_keeps_recall_high() {
+        let (all, base, new) = split(400, 60);
+        let (graph, _) = WknngBuilder::new(10)
+            .trees(6)
+            .leaf_size(24)
+            .exploration(1)
+            .seed(3)
+            .build_native(&base)
+            .expect("valid");
+        let ext = extend_graph(&base, &graph, &new, 0).expect("same dim");
+        assert_eq!(ext.vectors.len(), 460);
+        assert_eq!(ext.vectors.as_flat(), all.as_flat());
+        assert_eq!(ext.graph.len(), 460);
+
+        let truth = exact_knn(&ext.vectors, 10, Metric::SquaredL2);
+        let r = recall(&ext.graph.lists, &truth);
+        assert!(r > 0.7, "extended-graph recall {r:.3}");
+        // The new points themselves must have found good neighborhoods.
+        let new_truth = &truth[400..];
+        let new_lists = &ext.graph.lists[400..];
+        let rn = recall(new_lists, new_truth);
+        assert!(rn > 0.7, "new-point recall {rn:.3}");
+        // Context: a full rebuild is the quality ceiling; extension must be
+        // within striking distance of it.
+        let (rebuilt, _) = WknngBuilder::new(10)
+            .trees(6)
+            .leaf_size(24)
+            .exploration(1)
+            .seed(3)
+            .build_native(&ext.vectors)
+            .expect("valid");
+        let rr = recall(&rebuilt.lists, &truth);
+        assert!(r > rr - 0.2, "extension {r:.3} too far below rebuild {rr:.3}");
+    }
+
+    #[test]
+    fn graph_shape_invariants_after_extension() {
+        let (_, base, new) = split(150, 30);
+        let (graph, _) = WknngBuilder::new(6)
+            .trees(4)
+            .leaf_size(16)
+            .exploration(1)
+            .seed(4)
+            .build_native(&base)
+            .expect("valid");
+        let ext = extend_graph(&base, &graph, &new, 24).expect("same dim");
+        for (p, list) in ext.graph.lists.iter().enumerate() {
+            assert!(list.len() <= 6);
+            assert!(list.iter().all(|nb| nb.index as usize != p));
+            assert!(list.iter().all(|nb| (nb.index as usize) < 180));
+            for w in list.windows(2) {
+                assert!(w[0].key() < w[1].key());
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let base = DatasetSpec::UniformCube { n: 30, dim: 4 }.generate(1).vectors;
+        let (graph, _) =
+            WknngBuilder::new(3).trees(2).leaf_size(8).build_native(&base).expect("valid");
+        let wrong = DatasetSpec::UniformCube { n: 5, dim: 6 }.generate(1).vectors;
+        assert!(extend_graph(&base, &graph, &wrong, 0).is_err());
+    }
+
+    #[test]
+    fn empty_extension_only_improves_the_graph() {
+        let base = DatasetSpec::UniformCube { n: 40, dim: 4 }.generate(2).vectors;
+        let (graph, _) =
+            WknngBuilder::new(4).trees(2).leaf_size(8).build_native(&base).expect("valid");
+        let empty = VectorSet::new(vec![], 4).unwrap();
+        let ext = extend_graph(&base, &graph, &empty, 0).expect("same dim");
+        assert_eq!(ext.vectors, base);
+        // The polish pass may refine lists, never degrade them.
+        let truth = exact_knn(&base, 4, Metric::SquaredL2);
+        assert!(recall(&ext.graph.lists, &truth) >= recall(&graph.lists, &truth));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: insertion protocols, graph invariants and backend parity.
+
+use proptest::prelude::*;
+use wknng_core::{recall, slots_to_lists, KernelVariant, KnnList, WknngBuilder, EMPTY_SLOT};
+use wknng_data::{exact_knn, DatasetSpec, Metric, Neighbor};
+use wknng_simt::DeviceConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn knn_list_equals_sort_truncate_oracle(
+        cap in 1usize..20,
+        cands in prop::collection::vec((0u32..50, 0.0f32..100.0), 0..80),
+    ) {
+        // Unique-by-index stream (the algorithm never offers the same index
+        // with two different distances inside one build).
+        let mut seen = std::collections::HashSet::new();
+        let cands: Vec<Neighbor> = cands
+            .into_iter()
+            .filter(|(i, _)| seen.insert(*i))
+            .map(|(i, d)| Neighbor::new(i, d))
+            .collect();
+        let mut list = KnnList::new(cap);
+        for &c in &cands {
+            list.insert(c);
+        }
+        let mut oracle = cands.clone();
+        oracle.sort_by(|a, b| a.key().partial_cmp(&b.key()).unwrap());
+        oracle.truncate(cap);
+        prop_assert_eq!(list.into_vec(), oracle);
+    }
+
+    #[test]
+    fn native_graph_invariants(
+        n in 10usize..120,
+        dim in 2usize..12,
+        k in 1usize..8,
+        trees in 1usize..4,
+        explore in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k < n);
+        let vs = DatasetSpec::UniformCube { n, dim }.generate(seed).vectors;
+        let (g, _) = WknngBuilder::new(k)
+            .trees(trees)
+            .leaf_size(8)
+            .exploration(explore)
+            .seed(seed)
+            .build_native(&vs)
+            .unwrap();
+        prop_assert_eq!(g.len(), n);
+        for (p, list) in g.lists.iter().enumerate() {
+            prop_assert!(list.len() <= k);
+            prop_assert!(!list.is_empty(), "every point sees >= 1 bucket mate");
+            for w in list.windows(2) {
+                prop_assert!(w[0].key() < w[1].key(), "sorted, unique");
+            }
+            for nb in list {
+                prop_assert!(nb.index as usize != p, "no self loops");
+                prop_assert!((nb.index as usize) < n);
+                prop_assert!(nb.dist >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn device_variants_agree_with_native(
+        n in 20usize..60,
+        dim in 2usize..24,
+        k in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let vs = DatasetSpec::GaussianClusters { n, dim, clusters: 3, spread: 0.4 }
+            .generate(seed)
+            .vectors;
+        let dev = DeviceConfig::test_tiny();
+        let base = WknngBuilder::new(k).trees(2).leaf_size(8).exploration(1).seed(seed);
+        let (native, _) = base.build_native(&vs).unwrap();
+        let native_idx: Vec<Vec<u32>> = native
+            .lists
+            .iter()
+            .map(|l| l.iter().map(|nb| nb.index).collect())
+            .collect();
+        for v in KernelVariant::ALL {
+            let (device, _) = base.variant(v).build_device(&vs, &dev).unwrap();
+            let device_idx: Vec<Vec<u32>> = device
+                .lists
+                .iter()
+                .map(|l| l.iter().map(|nb| nb.index).collect())
+                .collect();
+            prop_assert_eq!(&device_idx, &native_idx, "variant {:?}", v);
+        }
+    }
+
+    #[test]
+    fn exact_when_single_bucket(n in 5usize..60, dim in 1usize..8, seed in any::<u64>()) {
+        let k = (n / 3).max(1);
+        let vs = DatasetSpec::UniformCube { n, dim }.generate(seed).vectors;
+        let (g, _) = WknngBuilder::new(k)
+            .trees(1)
+            .leaf_size(n.max(2))
+            .exploration(0)
+            .seed(seed)
+            .build_native(&vs)
+            .unwrap();
+        let truth = exact_knn(&vs, k, Metric::SquaredL2);
+        prop_assert_eq!(recall(&g.lists, &truth), 1.0);
+    }
+
+    #[test]
+    fn slots_decode_never_panics(raw in prop::collection::vec(any::<u64>(), 0..64), k in 1usize..8) {
+        let n = raw.len() / k;
+        let slots: Vec<u64> = raw.into_iter().take(n * k).collect();
+        let lists = slots_to_lists(&slots, n, k);
+        for list in lists {
+            prop_assert!(list.len() <= k);
+            for nb in &list {
+                prop_assert!(nb.pack() != EMPTY_SLOT);
+            }
+        }
+    }
+}

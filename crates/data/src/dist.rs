@@ -1,0 +1,131 @@
+//! Distance kernels.
+//!
+//! w-KNNG (like FAISS) works with **squared Euclidean distance**: monotone in
+//! L2, cheaper (no square root), and exactly what the GPU kernels accumulate.
+//! Inner-product and cosine variants are provided for the similarity-search
+//! example.
+
+/// Distance/similarity metric selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Metric {
+    /// Squared Euclidean distance (the paper's metric).
+    #[default]
+    SquaredL2,
+    /// Negative inner product (so that smaller = closer, like a distance).
+    NegativeDot,
+    /// Cosine distance, `1 − cos(a, b)`.
+    Cosine,
+}
+
+impl Metric {
+    /// Evaluate the metric between two equal-length slices.
+    #[inline]
+    pub fn eval(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::SquaredL2 => sq_l2(a, b),
+            Metric::NegativeDot => -dot(a, b),
+            Metric::Cosine => cosine_distance(a, b),
+        }
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// Accumulates in chunks of 8 so LLVM vectorises the loop.
+#[inline]
+pub fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let (pa, pb) = (&a[c * 8..c * 8 + 8], &b[c * 8..c * 8 + 8]);
+        for i in 0..8 {
+            let d = pa[i] - pb[i];
+            acc[i] += d * d;
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in chunks * 8..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Inner product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let (pa, pb) = (&a[c * 8..c * 8 + 8], &b[c * 8..c * 8 + 8]);
+        for i in 0..8 {
+            acc[i] += pa[i] * pb[i];
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in chunks * 8..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine distance `1 − cos(a, b)`; zero vectors are treated as orthogonal to
+/// everything (distance 1).
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot(a, b) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sq_l2_basics() {
+        assert_eq!(sq_l2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_l2(&[1.0; 17], &[1.0; 17]), 0.0);
+        // Length 17 exercises the remainder path.
+        let a: Vec<f32> = (0..17).map(|i| i as f32).collect();
+        let b = vec![0.0f32; 17];
+        let want: f32 = (0..17).map(|i| (i * i) as f32).sum();
+        assert_eq!(sq_l2(&a, &b), want);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        let a: Vec<f32> = (1..=16).map(|i| i as f32).collect();
+        assert_eq!(dot(&a, &a), (1..=16).map(|i| i * i).sum::<i32>() as f32);
+    }
+
+    #[test]
+    fn cosine_identities() {
+        assert!((cosine_distance(&[1.0, 0.0], &[2.0, 0.0])).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 5.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn metric_eval_dispatch() {
+        let (a, b) = ([1.0, 1.0], [2.0, 3.0]);
+        assert_eq!(Metric::SquaredL2.eval(&a, &b), 5.0);
+        assert_eq!(Metric::NegativeDot.eval(&a, &b), -5.0);
+        assert!(Metric::Cosine.eval(&a, &a).abs() < 1e-6);
+        assert_eq!(Metric::default(), Metric::SquaredL2);
+    }
+}

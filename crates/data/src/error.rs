@@ -1,0 +1,71 @@
+//! Typed errors for dataset construction and validation.
+
+use std::fmt;
+
+/// Errors produced while building or validating vector sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// The dimensionality was zero.
+    ZeroDimension,
+    /// The flat buffer length is not a multiple of the dimensionality.
+    RaggedBuffer {
+        /// Buffer length supplied.
+        len: usize,
+        /// Dimensionality supplied.
+        dim: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFinite {
+        /// Point index containing the offending value.
+        point: usize,
+        /// Coordinate index within the point.
+        coord: usize,
+    },
+    /// An I/O wrapper error (message form, to stay `PartialEq`).
+    Io(String),
+    /// A file had the wrong magic number or a corrupt header.
+    Format(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ZeroDimension => write!(f, "vector sets need dimensionality >= 1"),
+            DataError::RaggedBuffer { len, dim } => {
+                write!(f, "buffer of {len} floats is not a multiple of dim {dim}")
+            }
+            DataError::NonFinite { point, coord } => {
+                write!(f, "non-finite coordinate at point {point}, coord {coord}")
+            }
+            DataError::Io(m) => write!(f, "i/o error: {m}"),
+            DataError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DataError::ZeroDimension.to_string().contains("dimensionality"));
+        assert!(DataError::RaggedBuffer { len: 7, dim: 3 }.to_string().contains("7"));
+        assert!(DataError::NonFinite { point: 2, coord: 5 }.to_string().contains("point 2"));
+        assert!(DataError::Format("bad magic".into()).to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

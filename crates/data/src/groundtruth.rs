@@ -1,0 +1,99 @@
+//! Exact K-NN ground truth, used to score every approximate method.
+
+use rayon::prelude::*;
+
+use crate::dist::Metric;
+use crate::neighbor::{sort_neighbors, Neighbor};
+use crate::vecs::VectorSet;
+
+/// Exact K-nearest-neighbor lists for every point (self excluded), each
+/// sorted ascending by `(dist, index)`.
+///
+/// O(n² d) brute force, parallelised over query points; this is the oracle
+/// the recall metric compares against, so it must be exact.
+pub fn exact_knn(vs: &VectorSet, k: usize, metric: Metric) -> Vec<Vec<Neighbor>> {
+    let n = vs.len();
+    let k = k.min(n.saturating_sub(1));
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let qi = vs.row(i);
+            let mut all: Vec<Neighbor> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| Neighbor::new(j as u32, metric.eval(qi, vs.row(j))))
+                .collect();
+            if all.len() > k {
+                all.select_nth_unstable_by(k - 1, |a, b| {
+                    a.key().partial_cmp(&b.key()).expect("finite distances")
+                });
+                all.truncate(k);
+            }
+            sort_neighbors(&mut all);
+            all
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid4() -> VectorSet {
+        // Four collinear points at 0, 1, 3, 7.
+        VectorSet::from_rows(&[vec![0.0], vec![1.0], vec![3.0], vec![7.0]]).unwrap()
+    }
+
+    #[test]
+    fn exact_knn_on_a_line() {
+        let vs = grid4();
+        let g = exact_knn(&vs, 2, Metric::SquaredL2);
+        assert_eq!(g[0].iter().map(|n| n.index).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(g[1].iter().map(|n| n.index).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(g[2].iter().map(|n| n.index).collect::<Vec<_>>(), vec![1, 0]);
+        assert_eq!(g[3].iter().map(|n| n.index).collect::<Vec<_>>(), vec![2, 1]);
+        assert_eq!(g[0][0].dist, 1.0);
+        assert_eq!(g[0][1].dist, 9.0);
+    }
+
+    #[test]
+    fn lists_are_sorted_and_self_free() {
+        let vs = crate::synth::DatasetSpec::UniformCube { n: 40, dim: 5 }
+            .generate(3)
+            .vectors;
+        let g = exact_knn(&vs, 6, Metric::SquaredL2);
+        for (i, list) in g.iter().enumerate() {
+            assert_eq!(list.len(), 6);
+            for w in list.windows(2) {
+                assert!(w[0].key() <= w[1].key());
+            }
+            assert!(list.iter().all(|n| n.index as usize != i));
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_to_n_minus_one() {
+        let vs = grid4();
+        let g = exact_knn(&vs, 99, Metric::SquaredL2);
+        assert!(g.iter().all(|l| l.len() == 3));
+    }
+
+    #[test]
+    fn single_point_has_empty_list() {
+        let vs = VectorSet::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let g = exact_knn(&vs, 5, Metric::SquaredL2);
+        assert_eq!(g.len(), 1);
+        assert!(g[0].is_empty());
+    }
+
+    #[test]
+    fn works_with_other_metrics() {
+        let vs = VectorSet::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let g = exact_knn(&vs, 1, Metric::Cosine);
+        assert_eq!(g[0][0].index, 1); // most cosine-similar to point 0
+    }
+}

@@ -1,0 +1,164 @@
+//! Compact binary persistence for vector sets and neighbor lists.
+//!
+//! A tiny hand-rolled little-endian format (magic + header + payload) —
+//! sufficient to cache ground truth between benchmark runs without pulling a
+//! serialization framework into the dependency tree (see `DESIGN.md`).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::DataError;
+use crate::neighbor::Neighbor;
+use crate::vecs::VectorSet;
+
+const VEC_MAGIC: u32 = 0x574B_5631; // "WKV1"
+const KNN_MAGIC: u32 = 0x574B_4B31; // "WKK1"
+
+fn write_u32(w: &mut impl Write, v: u32) -> Result<(), DataError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, DataError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> Result<(), DataError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_f32(r: &mut impl Read) -> Result<f32, DataError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Save a [`VectorSet`] to `path`.
+pub fn save_vectors(vs: &VectorSet, path: &Path) -> Result<(), DataError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_u32(&mut w, VEC_MAGIC)?;
+    write_u32(&mut w, vs.len() as u32)?;
+    write_u32(&mut w, vs.dim() as u32)?;
+    for &v in vs.as_flat() {
+        write_f32(&mut w, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a [`VectorSet`] from `path`.
+pub fn load_vectors(path: &Path) -> Result<VectorSet, DataError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    if read_u32(&mut r)? != VEC_MAGIC {
+        return Err(DataError::Format(format!("{} is not a WKV1 vector file", path.display())));
+    }
+    let n = read_u32(&mut r)? as usize;
+    let dim = read_u32(&mut r)? as usize;
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        data.push(read_f32(&mut r)?);
+    }
+    VectorSet::new(data, dim)
+}
+
+/// Save per-point neighbor lists (e.g. ground truth) to `path`.
+pub fn save_knn(lists: &[Vec<Neighbor>], path: &Path) -> Result<(), DataError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_u32(&mut w, KNN_MAGIC)?;
+    write_u32(&mut w, lists.len() as u32)?;
+    for list in lists {
+        write_u32(&mut w, list.len() as u32)?;
+        for nb in list {
+            write_u32(&mut w, nb.index)?;
+            write_f32(&mut w, nb.dist)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Load per-point neighbor lists from `path`.
+pub fn load_knn(path: &Path) -> Result<Vec<Vec<Neighbor>>, DataError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    if read_u32(&mut r)? != KNN_MAGIC {
+        return Err(DataError::Format(format!("{} is not a WKK1 knn file", path.display())));
+    }
+    let n = read_u32(&mut r)? as usize;
+    let mut lists = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = read_u32(&mut r)? as usize;
+        let mut list = Vec::with_capacity(k);
+        for _ in 0..k {
+            let index = read_u32(&mut r)?;
+            let dist = read_f32(&mut r)?;
+            list.push(Neighbor::new(index, dist));
+        }
+        lists.push(list);
+    }
+    Ok(lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::DatasetSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wknng-io-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn vectors_roundtrip() {
+        let vs = DatasetSpec::UniformCube { n: 17, dim: 5 }.generate(1).vectors;
+        let p = tmp("vec");
+        save_vectors(&vs, &p).unwrap();
+        let back = load_vectors(&p).unwrap();
+        assert_eq!(back, vs);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn knn_roundtrip() {
+        let lists = vec![
+            vec![Neighbor::new(1, 0.5), Neighbor::new(2, 1.5)],
+            vec![],
+            vec![Neighbor::new(0, 0.25)],
+        ];
+        let p = tmp("knn");
+        save_knn(&lists, &p).unwrap();
+        let back = load_knn(&p).unwrap();
+        assert_eq!(back, lists);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_a_format_error() {
+        let p = tmp("magic");
+        std::fs::write(&p, [0u8; 16]).unwrap();
+        assert!(matches!(load_vectors(&p), Err(DataError::Format(_))));
+        assert!(matches!(load_knn(&p), Err(DataError::Format(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let p = tmp("missing-never-created");
+        assert!(matches!(load_vectors(&p), Err(DataError::Io(_))));
+    }
+
+    #[test]
+    fn truncated_file_fails_cleanly() {
+        let vs = DatasetSpec::UniformCube { n: 8, dim: 3 }.generate(2).vectors;
+        let p = tmp("trunc");
+        save_vectors(&vs, &p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(load_vectors(&p), Err(DataError::Io(_))));
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,81 @@
+//! The neighbor record shared by every K-NNG representation in the workspace.
+
+/// One directed K-NNG edge: a candidate neighbor and its distance.
+///
+/// Ordering is by `(dist, index)` ascending — the deterministic tie-break that
+/// keeps every backend (native, simulated-GPU, baselines) bit-comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the neighboring point.
+    pub index: u32,
+    /// Distance from the owning point (metric-dependent; squared L2 by
+    /// default).
+    pub dist: f32,
+}
+
+impl Neighbor {
+    /// Construct a neighbor record.
+    pub fn new(index: u32, dist: f32) -> Self {
+        Neighbor { index, dist }
+    }
+
+    /// The packed `(dist, index)` key used by the GPU kernels: distance bits
+    /// in the high word so `u64` ordering equals `(dist, index)` ordering for
+    /// non-negative finite distances.
+    pub fn pack(&self) -> u64 {
+        ((self.dist.to_bits() as u64) << 32) | self.index as u64
+    }
+
+    /// Inverse of [`Neighbor::pack`].
+    pub fn unpack(bits: u64) -> Self {
+        Neighbor { index: bits as u32, dist: f32::from_bits((bits >> 32) as u32) }
+    }
+
+    /// Total order by `(dist, index)`.
+    pub fn key(&self) -> (f32, u32) {
+        (self.dist, self.index)
+    }
+}
+
+/// Sort a neighbor list by `(dist, index)` ascending.
+pub fn sort_neighbors(list: &mut [Neighbor]) {
+    list.sort_by(|a, b| a.key().partial_cmp(&b.key()).expect("finite distances"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_preserves_order_for_nonnegative_dists() {
+        let a = Neighbor::new(7, 0.5);
+        let b = Neighbor::new(3, 1.5);
+        let c = Neighbor::new(9, 1.5);
+        assert!(a.pack() < b.pack());
+        assert!(b.pack() < c.pack()); // same dist, larger index
+        assert_eq!(Neighbor::unpack(a.pack()), a);
+        assert_eq!(Neighbor::unpack(c.pack()), c);
+        // Zero distance packs below everything positive.
+        assert!(Neighbor::new(0, 0.0).pack() < a.pack());
+    }
+
+    #[test]
+    fn sort_orders_by_dist_then_index() {
+        let mut v = vec![
+            Neighbor::new(5, 2.0),
+            Neighbor::new(1, 1.0),
+            Neighbor::new(0, 2.0),
+        ];
+        sort_neighbors(&mut v);
+        assert_eq!(
+            v,
+            vec![Neighbor::new(1, 1.0), Neighbor::new(0, 2.0), Neighbor::new(5, 2.0)]
+        );
+    }
+
+    #[test]
+    fn pack_roundtrips_max_values() {
+        let n = Neighbor::new(u32::MAX, f32::MAX);
+        assert_eq!(Neighbor::unpack(n.pack()), n);
+    }
+}

@@ -1,0 +1,179 @@
+//! SQ8 scalar quantization: 8-bit codes per coordinate, FAISS-`SQ8`-style.
+//!
+//! High-dimensional point sets are global-memory-resident (the paper's core
+//! constraint); quantizing coordinates to one byte cuts that footprint and
+//! traffic 4×. This module provides the codec and the direct code-domain
+//! distance; the quantization ablation (experiment E15) measures what the
+//! rounding costs in K-NNG recall.
+
+use crate::error::DataError;
+use crate::vecs::VectorSet;
+
+/// An SQ8-quantized point set: per-dimension affine codec
+/// `value ≈ min[d] + code · step[d]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedSet {
+    codes: Vec<u8>,
+    mins: Vec<f32>,
+    steps: Vec<f32>,
+    n: usize,
+    dim: usize,
+}
+
+impl QuantizedSet {
+    /// Quantize `vs` with per-dimension min/max calibration.
+    pub fn quantize(vs: &VectorSet) -> Result<Self, DataError> {
+        let (n, dim) = (vs.len(), vs.dim());
+        if dim == 0 {
+            return Err(DataError::ZeroDimension);
+        }
+        let mut mins = vec![f32::INFINITY; dim];
+        let mut maxs = vec![f32::NEG_INFINITY; dim];
+        for row in vs.rows() {
+            for (d, &v) in row.iter().enumerate() {
+                mins[d] = mins[d].min(v);
+                maxs[d] = maxs[d].max(v);
+            }
+        }
+        if n == 0 {
+            mins.iter_mut().for_each(|m| *m = 0.0);
+            maxs.iter_mut().for_each(|m| *m = 0.0);
+        }
+        let steps: Vec<f32> =
+            mins.iter().zip(&maxs).map(|(&lo, &hi)| ((hi - lo) / 255.0).max(0.0)).collect();
+        let mut codes = Vec::with_capacity(n * dim);
+        for row in vs.rows() {
+            for (d, &v) in row.iter().enumerate() {
+                let code = if steps[d] == 0.0 {
+                    0.0
+                } else {
+                    ((v - mins[d]) / steps[d]).round().clamp(0.0, 255.0)
+                };
+                codes.push(code as u8);
+            }
+        }
+        Ok(QuantizedSet { codes, mins, steps, n, dim })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the set holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Code row of point `i`.
+    pub fn codes(&self, i: usize) -> &[u8] {
+        &self.codes[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Bytes used by the codes (the device-resident footprint).
+    pub fn code_bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Squared L2 distance computed directly in the code domain:
+    /// `Σ ((a_d − b_d) · step_d)²`. Exactly the distance a `u8` device
+    /// kernel would produce.
+    pub fn sq_l2_codes(&self, a: usize, b: usize) -> f32 {
+        let (ca, cb) = (self.codes(a), self.codes(b));
+        let mut acc = 0.0f32;
+        for d in 0..self.dim {
+            let diff = (ca[d] as i32 - cb[d] as i32) as f32 * self.steps[d];
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Decode the whole set back to `f32` (for feeding quantized coordinates
+    /// through the standard build pipeline).
+    pub fn decode(&self) -> VectorSet {
+        let mut data = Vec::with_capacity(self.n * self.dim);
+        for i in 0..self.n {
+            for (d, &c) in self.codes(i).iter().enumerate() {
+                data.push(self.mins[d] + c as f32 * self.steps[d]);
+            }
+        }
+        VectorSet::new(data, self.dim).expect("decoded values are finite")
+    }
+
+    /// Worst-case absolute rounding error per dimension (`step/2`).
+    pub fn max_error(&self) -> f32 {
+        self.steps.iter().fold(0.0f32, |a, &s| a.max(s / 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::sq_l2;
+    use crate::synth::DatasetSpec;
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_step() {
+        let vs = DatasetSpec::UniformCube { n: 50, dim: 6 }.generate(1).vectors;
+        let q = QuantizedSet::quantize(&vs).unwrap();
+        let back = q.decode();
+        for i in 0..50 {
+            for (a, b) in vs.row(i).iter().zip(back.row(i)) {
+                assert!((a - b).abs() <= q.max_error() + 1e-6);
+            }
+        }
+        assert_eq!(q.code_bytes(), 50 * 6);
+        assert_eq!(q.code_bytes() * 4, vs.as_flat().len() * 4); // 4x smaller than f32
+    }
+
+    #[test]
+    fn code_distance_approximates_true_distance() {
+        let vs = DatasetSpec::GaussianClusters { n: 60, dim: 16, clusters: 4, spread: 0.3 }
+            .generate(2)
+            .vectors;
+        let q = QuantizedSet::quantize(&vs).unwrap();
+        for (a, b) in [(0usize, 1usize), (5, 40), (59, 3)] {
+            let exact = sq_l2(vs.row(a), vs.row(b));
+            let coded = q.sq_l2_codes(a, b);
+            assert!(
+                (exact - coded).abs() <= 0.05 * (1.0 + exact),
+                "pair ({a},{b}): {exact} vs {coded}"
+            );
+        }
+    }
+
+    #[test]
+    fn code_distance_equals_decoded_distance() {
+        let vs = DatasetSpec::UniformCube { n: 30, dim: 5 }.generate(3).vectors;
+        let q = QuantizedSet::quantize(&vs).unwrap();
+        let dec = q.decode();
+        for (a, b) in [(0usize, 29usize), (10, 11)] {
+            let coded = q.sq_l2_codes(a, b);
+            let decoded = sq_l2(dec.row(a), dec.row(b));
+            assert!((coded - decoded).abs() <= 1e-3 * (1.0 + coded));
+        }
+    }
+
+    #[test]
+    fn constant_dimension_quantizes_to_zero_step() {
+        let vs = VectorSet::from_rows(&[vec![3.0, 1.0], vec![3.0, 2.0], vec![3.0, 0.0]]).unwrap();
+        let q = QuantizedSet::quantize(&vs).unwrap();
+        assert_eq!(q.sq_l2_codes(0, 1) > 0.0, true);
+        // The constant dimension contributes nothing.
+        let dec = q.decode();
+        assert!(dec.rows().all(|r| (r[0] - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn empty_set_is_fine() {
+        let vs = VectorSet::new(vec![], 4).unwrap();
+        let q = QuantizedSet::quantize(&vs).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.decode().len(), 0);
+    }
+}

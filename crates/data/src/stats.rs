@@ -1,0 +1,143 @@
+//! Dataset geometry statistics — the knobs that govern approximate-KNN
+//! difficulty.
+
+use rayon::prelude::*;
+
+use crate::dist::sq_l2;
+use crate::vecs::VectorSet;
+
+/// Levina–Bickel maximum-likelihood estimate of the local intrinsic
+/// dimensionality, averaged over `sample` points (deterministically strided
+/// through the set). `k` is the neighborhood size of the estimator (≥ 3).
+///
+/// Low intrinsic dimension (regardless of ambient dimension) is what makes
+/// RP-forest bucketing effective; the estimator quantifies the "difficulty"
+/// column of the dataset-inventory experiment (E11).
+pub fn intrinsic_dim_mle(vs: &VectorSet, k: usize, sample: usize) -> f64 {
+    let n = vs.len();
+    if n < 3 || sample == 0 {
+        return 0.0;
+    }
+    let k = k.clamp(3, n - 1);
+    let sample = sample.min(n);
+    let stride = (n / sample).max(1);
+    let estimates: Vec<f64> = (0..n)
+        .step_by(stride)
+        .take(sample)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .filter_map(|i| {
+            let row = vs.row(i);
+            // Distances to the k nearest (L2, not squared, for the MLE).
+            let mut d: Vec<f64> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (sq_l2(row, vs.row(j)) as f64).sqrt())
+                .collect();
+            d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            d.truncate(k);
+            let tk = *d.last()?;
+            if tk <= 0.0 {
+                return None; // duplicate-heavy neighborhood: undefined
+            }
+            let s: f64 = d[..k - 1]
+                .iter()
+                .filter(|&&t| t > 0.0)
+                .map(|&t| (tk / t).ln())
+                .sum();
+            if s <= 0.0 {
+                None
+            } else {
+                Some((k as f64 - 1.0) / s)
+            }
+        })
+        .collect();
+    if estimates.is_empty() {
+        0.0
+    } else {
+        estimates.iter().sum::<f64>() / estimates.len() as f64
+    }
+}
+
+/// Mean distance to the nearest neighbor over `sample` strided points —
+/// the density scale of the set.
+pub fn mean_nn_distance(vs: &VectorSet, sample: usize) -> f64 {
+    let n = vs.len();
+    if n < 2 || sample == 0 {
+        return 0.0;
+    }
+    let sample = sample.min(n);
+    let stride = (n / sample).max(1);
+    let sum: f64 = (0..n)
+        .step_by(stride)
+        .take(sample)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|i| {
+            let row = vs.row(i);
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| sq_l2(row, vs.row(j)) as f64)
+                .fold(f64::INFINITY, f64::min)
+                .sqrt()
+        })
+        .sum();
+    sum / sample as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::DatasetSpec;
+    use crate::vecs::VectorSet;
+
+    #[test]
+    fn manifold_intrinsic_dim_is_recovered_approximately() {
+        // 4-d latent manifold in 64-d ambient space: the estimate must land
+        // far below the ambient dimension and in the latent neighborhood.
+        let vs = DatasetSpec::Manifold { n: 600, ambient_dim: 64, intrinsic_dim: 4 }
+            .generate(1)
+            .vectors;
+        let d = intrinsic_dim_mle(&vs, 12, 100);
+        assert!(d > 1.5 && d < 12.0, "estimated intrinsic dim {d:.2}");
+    }
+
+    #[test]
+    fn uniform_cube_estimate_tracks_ambient_dim() {
+        let lo = intrinsic_dim_mle(
+            &DatasetSpec::UniformCube { n: 500, dim: 3 }.generate(2).vectors,
+            12,
+            80,
+        );
+        let hi = intrinsic_dim_mle(
+            &DatasetSpec::UniformCube { n: 500, dim: 12 }.generate(2).vectors,
+            12,
+            80,
+        );
+        assert!(lo < hi, "3-d ({lo:.2}) must estimate below 12-d ({hi:.2})");
+        assert!(lo > 1.0 && lo < 6.0, "cube-3 estimate {lo:.2}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        let one = VectorSet::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert_eq!(intrinsic_dim_mle(&one, 5, 10), 0.0);
+        assert_eq!(mean_nn_distance(&one, 10), 0.0);
+        let dup = VectorSet::new(vec![0.5; 30], 3).unwrap();
+        // All duplicates: estimator undefined everywhere -> 0.
+        assert_eq!(intrinsic_dim_mle(&dup, 4, 5), 0.0);
+        assert_eq!(mean_nn_distance(&dup, 5), 0.0);
+    }
+
+    #[test]
+    fn nn_distance_scales_with_spread() {
+        let tight = DatasetSpec::GaussianClusters { n: 200, dim: 8, clusters: 4, spread: 0.01 }
+            .generate(3)
+            .vectors;
+        let loose = DatasetSpec::GaussianClusters { n: 200, dim: 8, clusters: 4, spread: 0.5 }
+            .generate(3)
+            .vectors;
+        let (dt, dl) = (mean_nn_distance(&tight, 50), mean_nn_distance(&loose, 50));
+        assert!(dt < dl, "tight {dt:.4} vs loose {dl:.4}");
+        assert!(dt > 0.0);
+    }
+}

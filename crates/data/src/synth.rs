@@ -1,0 +1,279 @@
+//! Seeded synthetic dataset generators.
+//!
+//! The original evaluation uses real high-dimensional ML feature sets; none
+//! are available offline, so these generators span the axes that govern
+//! approximate-KNN difficulty instead: ambient dimensionality, cluster
+//! structure, and intrinsic dimensionality (see `DESIGN.md`, substitution
+//! table). Every generator is deterministic in its seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vecs::VectorSet;
+
+/// A named point set produced by a [`DatasetSpec`].
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name (spec + shape), used in experiment tables.
+    pub name: String,
+    /// The points.
+    pub vectors: VectorSet,
+}
+
+/// Specification of a synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DatasetSpec {
+    /// Isotropic Gaussian blobs around uniformly placed centers — the
+    /// cluster structure typical of learned feature embeddings.
+    GaussianClusters {
+        /// Number of points.
+        n: usize,
+        /// Ambient dimensionality.
+        dim: usize,
+        /// Number of mixture components.
+        clusters: usize,
+        /// Standard deviation of each blob.
+        spread: f32,
+    },
+    /// Uniform points in the unit hypercube — the hardest (structureless)
+    /// case for approximate methods.
+    UniformCube {
+        /// Number of points.
+        n: usize,
+        /// Ambient dimensionality.
+        dim: usize,
+    },
+    /// Points on the unit hypersphere shell (normalised Gaussians) — the
+    /// geometry of cosine-normalised embeddings.
+    HypersphereShell {
+        /// Number of points.
+        n: usize,
+        /// Ambient dimensionality.
+        dim: usize,
+    },
+    /// A smooth low-intrinsic-dimension manifold embedded in a high ambient
+    /// dimension via random Fourier features — image-like data.
+    Manifold {
+        /// Number of points.
+        n: usize,
+        /// Ambient dimensionality.
+        ambient_dim: usize,
+        /// Latent (intrinsic) dimensionality.
+        intrinsic_dim: usize,
+    },
+}
+
+impl DatasetSpec {
+    /// An MNIST-shaped stand-in: 784-d, 10 clusters.
+    pub fn mnist_like(n: usize) -> Self {
+        DatasetSpec::GaussianClusters { n, dim: 784, clusters: 10, spread: 0.18 }
+    }
+
+    /// A SIFT-shaped stand-in: 128-d, 64 clusters.
+    pub fn sift_like(n: usize) -> Self {
+        DatasetSpec::GaussianClusters { n, dim: 128, clusters: 64, spread: 0.2 }
+    }
+
+    /// Number of points this spec will generate.
+    pub fn n(&self) -> usize {
+        match *self {
+            DatasetSpec::GaussianClusters { n, .. }
+            | DatasetSpec::UniformCube { n, .. }
+            | DatasetSpec::HypersphereShell { n, .. }
+            | DatasetSpec::Manifold { n, .. } => n,
+        }
+    }
+
+    /// Ambient dimensionality this spec will generate.
+    pub fn dim(&self) -> usize {
+        match *self {
+            DatasetSpec::GaussianClusters { dim, .. }
+            | DatasetSpec::UniformCube { dim, .. }
+            | DatasetSpec::HypersphereShell { dim, .. } => dim,
+            DatasetSpec::Manifold { ambient_dim, .. } => ambient_dim,
+        }
+    }
+
+    /// Short name used in report tables.
+    pub fn name(&self) -> String {
+        match *self {
+            DatasetSpec::GaussianClusters { n, dim, clusters, .. } => {
+                format!("gauss{clusters}(n={n},d={dim})")
+            }
+            DatasetSpec::UniformCube { n, dim } => format!("uniform(n={n},d={dim})"),
+            DatasetSpec::HypersphereShell { n, dim } => format!("sphere(n={n},d={dim})"),
+            DatasetSpec::Manifold { n, ambient_dim, intrinsic_dim } => {
+                format!("manifold{intrinsic_dim}(n={n},d={ambient_dim})")
+            }
+        }
+    }
+
+    /// Generate the dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let data = match *self {
+            DatasetSpec::GaussianClusters { n, dim, clusters, spread } => {
+                gaussian_clusters(&mut rng, n, dim, clusters.max(1), spread)
+            }
+            DatasetSpec::UniformCube { n, dim } => {
+                (0..n * dim).map(|_| rng.gen_range(0.0..1.0)).collect()
+            }
+            DatasetSpec::HypersphereShell { n, dim } => hypersphere(&mut rng, n, dim),
+            DatasetSpec::Manifold { n, ambient_dim, intrinsic_dim } => {
+                manifold(&mut rng, n, ambient_dim, intrinsic_dim.max(1))
+            }
+        };
+        let vectors = VectorSet::new(data, self.dim()).expect("generators produce finite data");
+        Dataset { name: self.name(), vectors }
+    }
+}
+
+/// Standard-normal sample via the Box–Muller transform (avoids a `rand_distr`
+/// dependency).
+pub fn normal(rng: &mut SmallRng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let v = r * (2.0 * std::f32::consts::PI * u2).cos();
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+fn gaussian_clusters(rng: &mut SmallRng, n: usize, dim: usize, clusters: usize, spread: f32) -> Vec<f32> {
+    let centers: Vec<f32> = (0..clusters * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut data = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        let c = i % clusters; // balanced assignment keeps bucket sizes comparable
+        let center = &centers[c * dim..(c + 1) * dim];
+        for &cv in center {
+            data.push(cv + spread * normal(rng));
+        }
+    }
+    data
+}
+
+fn hypersphere(rng: &mut SmallRng, n: usize, dim: usize) -> Vec<f32> {
+    let mut data = Vec::with_capacity(n * dim);
+    let mut row = vec![0.0f32; dim];
+    for _ in 0..n {
+        loop {
+            let mut sq = 0.0f32;
+            for v in row.iter_mut() {
+                *v = normal(rng);
+                sq += *v * *v;
+            }
+            if sq > 1e-12 {
+                let inv = sq.sqrt().recip();
+                data.extend(row.iter().map(|v| v * inv));
+                break;
+            }
+        }
+    }
+    data
+}
+
+fn manifold(rng: &mut SmallRng, n: usize, ambient: usize, intrinsic: usize) -> Vec<f32> {
+    // Random Fourier feature map: x_j = sin(w_j · z + b_j), z ~ N(0, I_m).
+    let w: Vec<f32> = (0..ambient * intrinsic).map(|_| normal(rng)).collect();
+    let b: Vec<f32> = (0..ambient).map(|_| rng.gen_range(0.0..std::f32::consts::TAU)).collect();
+    let mut data = Vec::with_capacity(n * ambient);
+    let mut z = vec![0.0f32; intrinsic];
+    for _ in 0..n {
+        for zi in z.iter_mut() {
+            *zi = normal(rng);
+        }
+        for j in 0..ambient {
+            let wj = &w[j * intrinsic..(j + 1) * intrinsic];
+            let phase: f32 = wj.iter().zip(&z).map(|(a, b)| a * b).sum::<f32>() + b[j];
+            data.push(phase.sin());
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for spec in [
+            DatasetSpec::GaussianClusters { n: 50, dim: 8, clusters: 3, spread: 0.1 },
+            DatasetSpec::UniformCube { n: 50, dim: 8 },
+            DatasetSpec::HypersphereShell { n: 50, dim: 8 },
+            DatasetSpec::Manifold { n: 50, ambient_dim: 16, intrinsic_dim: 3 },
+        ] {
+            let a = spec.generate(7);
+            let b = spec.generate(7);
+            assert_eq!(a.vectors, b.vectors, "{}", spec.name());
+            let c = spec.generate(8);
+            assert_ne!(a.vectors, c.vectors, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn shapes_match_spec() {
+        let spec = DatasetSpec::Manifold { n: 33, ambient_dim: 20, intrinsic_dim: 2 };
+        let ds = spec.generate(1);
+        assert_eq!(ds.vectors.len(), 33);
+        assert_eq!(ds.vectors.dim(), 20);
+        assert_eq!(spec.n(), 33);
+        assert_eq!(spec.dim(), 20);
+    }
+
+    #[test]
+    fn sphere_points_have_unit_norm() {
+        let ds = DatasetSpec::HypersphereShell { n: 20, dim: 6 }.generate(3);
+        for row in ds.vectors.rows() {
+            let n2: f32 = row.iter().map(|v| v * v).sum();
+            assert!((n2 - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_cube() {
+        let ds = DatasetSpec::UniformCube { n: 100, dim: 4 }.generate(5);
+        for v in ds.vectors.as_flat() {
+            assert!((0.0..1.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn clusters_have_bounded_spread() {
+        let spec = DatasetSpec::GaussianClusters { n: 300, dim: 4, clusters: 3, spread: 0.01 };
+        let ds = spec.generate(11);
+        // Points assigned to the same cluster (i % 3) must be mutually close.
+        let a = ds.vectors.row(0);
+        let b = ds.vectors.row(3);
+        let d: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!(d < 0.1, "same-cluster distance {d} too large");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let samples: Vec<f32> = (0..20_000).map(|_| normal(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var: f32 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / samples.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn presets_have_expected_shapes() {
+        assert_eq!(DatasetSpec::mnist_like(10).dim(), 784);
+        assert_eq!(DatasetSpec::sift_like(10).dim(), 128);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            DatasetSpec::UniformCube { n: 5, dim: 2 }.name(),
+            "uniform(n=5,d=2)"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Readers/writers for the TexMex vector formats (`.fvecs`, `.bvecs`,
+//! `.ivecs`) used by the standard ANN benchmark datasets (SIFT1M, GIST1M,
+//! Deep1B, …) — the data the original paper evaluates on. With these, a
+//! downstream user points the library at the real files; this repository's
+//! experiments use the synthetic generators because no downloads are
+//! available offline (see `DESIGN.md`).
+//!
+//! Format: every vector is `dim: i32 (LE)` followed by `dim` components —
+//! `f32` for `.fvecs`, `u8` for `.bvecs`, `i32` for `.ivecs` (ground-truth
+//! id lists).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::DataError;
+use crate::vecs::VectorSet;
+
+fn read_i32(r: &mut impl Read) -> Result<Option<i32>, DataError> {
+    let mut b = [0u8; 4];
+    match r.read_exact(&mut b) {
+        Ok(()) => Ok(Some(i32::from_le_bytes(b))),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn check_dim(dim: i32, path: &Path) -> Result<usize, DataError> {
+    if dim <= 0 || dim > 1_000_000 {
+        return Err(DataError::Format(format!(
+            "{}: implausible vector dimension {dim}",
+            path.display()
+        )));
+    }
+    Ok(dim as usize)
+}
+
+/// Load an `.fvecs` file. `limit` caps the number of vectors read
+/// (`None` = all) — the standard way to work with a prefix of SIFT1M.
+pub fn load_fvecs(path: &Path, limit: Option<usize>) -> Result<VectorSet, DataError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut data = Vec::new();
+    let mut dim0: Option<usize> = None;
+    let mut count = 0usize;
+    while let Some(d) = read_i32(&mut r)? {
+        let dim = check_dim(d, path)?;
+        match dim0 {
+            None => dim0 = Some(dim),
+            Some(d0) if d0 != dim => {
+                return Err(DataError::Format(format!(
+                    "{}: vector {count} has dim {dim}, expected {d0}",
+                    path.display()
+                )))
+            }
+            _ => {}
+        }
+        let mut buf = vec![0u8; dim * 4];
+        r.read_exact(&mut buf)?;
+        for c in buf.chunks_exact(4) {
+            data.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+        }
+        count += 1;
+        if limit.is_some_and(|l| count >= l) {
+            break;
+        }
+    }
+    VectorSet::new(data, dim0.unwrap_or(1))
+}
+
+/// Load a `.bvecs` file (byte components, e.g. SIFT descriptors), widening
+/// to `f32`.
+pub fn load_bvecs(path: &Path, limit: Option<usize>) -> Result<VectorSet, DataError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut data = Vec::new();
+    let mut dim0: Option<usize> = None;
+    let mut count = 0usize;
+    while let Some(d) = read_i32(&mut r)? {
+        let dim = check_dim(d, path)?;
+        match dim0 {
+            None => dim0 = Some(dim),
+            Some(d0) if d0 != dim => {
+                return Err(DataError::Format(format!(
+                    "{}: vector {count} has dim {dim}, expected {d0}",
+                    path.display()
+                )))
+            }
+            _ => {}
+        }
+        let mut buf = vec![0u8; dim];
+        r.read_exact(&mut buf)?;
+        data.extend(buf.iter().map(|&b| b as f32));
+        count += 1;
+        if limit.is_some_and(|l| count >= l) {
+            break;
+        }
+    }
+    VectorSet::new(data, dim0.unwrap_or(1))
+}
+
+/// Load an `.ivecs` file as id lists (the TexMex ground-truth format).
+pub fn load_ivecs(path: &Path, limit: Option<usize>) -> Result<Vec<Vec<u32>>, DataError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut lists = Vec::new();
+    while let Some(d) = read_i32(&mut r)? {
+        let dim = check_dim(d, path)?;
+        let mut list = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            let v = read_i32(&mut r)?.ok_or_else(|| {
+                DataError::Format(format!("{}: truncated ivecs record", path.display()))
+            })?;
+            if v < 0 {
+                return Err(DataError::Format(format!(
+                    "{}: negative id {v} in ivecs",
+                    path.display()
+                )));
+            }
+            list.push(v as u32);
+        }
+        lists.push(list);
+        if limit.is_some_and(|l| lists.len() >= l) {
+            break;
+        }
+    }
+    Ok(lists)
+}
+
+/// Write a [`VectorSet`] as `.fvecs` (round-trip/testing and interop).
+pub fn save_fvecs(vs: &VectorSet, path: &Path) -> Result<(), DataError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for row in vs.rows() {
+        w.write_all(&(vs.dim() as i32).to_le_bytes())?;
+        for &v in row {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::DatasetSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wknng-texmex-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn fvecs_roundtrip_and_limit() {
+        let vs = DatasetSpec::UniformCube { n: 9, dim: 5 }.generate(1).vectors;
+        let p = tmp("rt.fvecs");
+        save_fvecs(&vs, &p).unwrap();
+        let back = load_fvecs(&p, None).unwrap();
+        assert_eq!(back, vs);
+        let first3 = load_fvecs(&p, Some(3)).unwrap();
+        assert_eq!(first3.len(), 3);
+        assert_eq!(first3.row(2), vs.row(2));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bvecs_reads_byte_vectors() {
+        let p = tmp("b.bvecs");
+        let mut bytes = Vec::new();
+        for v in [[1u8, 2, 3], [200, 0, 255]] {
+            bytes.extend((3i32).to_le_bytes());
+            bytes.extend(v);
+        }
+        std::fs::write(&p, &bytes).unwrap();
+        let vs = load_bvecs(&p, None).unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(vs.row(1), &[200.0, 0.0, 255.0]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn ivecs_reads_ground_truth_lists() {
+        let p = tmp("g.ivecs");
+        let mut bytes = Vec::new();
+        for list in [vec![5i32, 2, 9], vec![0i32, 1, 4]] {
+            bytes.extend((list.len() as i32).to_le_bytes());
+            for v in list {
+                bytes.extend(v.to_le_bytes());
+            }
+        }
+        std::fs::write(&p, &bytes).unwrap();
+        let lists = load_ivecs(&p, None).unwrap();
+        assert_eq!(lists, vec![vec![5, 2, 9], vec![0, 1, 4]]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let p = tmp("bad.fvecs");
+        // Implausible dimension header.
+        std::fs::write(&p, (-5i32).to_le_bytes()).unwrap();
+        assert!(matches!(load_fvecs(&p, None), Err(DataError::Format(_))));
+        // Truncated payload.
+        let mut bytes = Vec::new();
+        bytes.extend((4i32).to_le_bytes());
+        bytes.extend(1.0f32.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(load_fvecs(&p, None).is_err());
+        // Ragged dimensions.
+        let mut bytes = Vec::new();
+        bytes.extend((1i32).to_le_bytes());
+        bytes.extend(1.0f32.to_le_bytes());
+        bytes.extend((2i32).to_le_bytes());
+        bytes.extend(1.0f32.to_le_bytes());
+        bytes.extend(2.0f32.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(load_fvecs(&p, None), Err(DataError::Format(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_loads_as_empty_set() {
+        let p = tmp("empty.fvecs");
+        std::fs::write(&p, []).unwrap();
+        let vs = load_fvecs(&p, None).unwrap();
+        assert!(vs.is_empty());
+        assert!(load_ivecs(&p, None).unwrap().is_empty());
+        std::fs::remove_file(&p).ok();
+    }
+}

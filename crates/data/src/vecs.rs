@@ -1,0 +1,148 @@
+//! Dense row-major vector sets — the point collections a K-NNG is built over.
+
+use crate::error::DataError;
+
+/// An `n × d` set of `f32` points stored row-major in one flat allocation
+/// (the layout GPU kernels and cache-friendly CPU loops both want).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorSet {
+    data: Vec<f32>,
+    n: usize,
+    dim: usize,
+}
+
+impl VectorSet {
+    /// Build from a flat row-major buffer. Validates shape and finiteness.
+    pub fn new(data: Vec<f32>, dim: usize) -> Result<Self, DataError> {
+        if dim == 0 {
+            return Err(DataError::ZeroDimension);
+        }
+        if data.len() % dim != 0 {
+            return Err(DataError::RaggedBuffer { len: data.len(), dim });
+        }
+        for (i, v) in data.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(DataError::NonFinite { point: i / dim, coord: i % dim });
+            }
+        }
+        let n = data.len() / dim;
+        Ok(VectorSet { data, n, dim })
+    }
+
+    /// Build from explicit rows; every row must have the same length.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self, DataError> {
+        let dim = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for r in rows {
+            if r.len() != dim {
+                return Err(DataError::RaggedBuffer { len: r.len(), dim });
+            }
+            data.extend_from_slice(r);
+        }
+        VectorSet::new(data, dim.max(1))
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the set holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality of every point.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// A new set containing the given rows of `self`, in order.
+    pub fn gather(&self, indices: &[usize]) -> VectorSet {
+        let mut data = Vec::with_capacity(indices.len() * self.dim);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        VectorSet { data, n: indices.len(), dim: self.dim }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_shape() {
+        assert_eq!(VectorSet::new(vec![1.0; 6], 0).unwrap_err(), DataError::ZeroDimension);
+        assert_eq!(
+            VectorSet::new(vec![1.0; 7], 3).unwrap_err(),
+            DataError::RaggedBuffer { len: 7, dim: 3 }
+        );
+        let vs = VectorSet::new(vec![1.0; 6], 3).unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs.dim(), 3);
+    }
+
+    #[test]
+    fn new_rejects_non_finite() {
+        let mut data = vec![0.0f32; 6];
+        data[4] = f32::NAN;
+        assert_eq!(
+            VectorSet::new(data, 3).unwrap_err(),
+            DataError::NonFinite { point: 1, coord: 1 }
+        );
+        let mut data = vec![0.0f32; 4];
+        data[0] = f32::INFINITY;
+        assert_eq!(
+            VectorSet::new(data, 2).unwrap_err(),
+            DataError::NonFinite { point: 0, coord: 0 }
+        );
+    }
+
+    #[test]
+    fn from_rows_and_row_access() {
+        let vs = VectorSet::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(vs.row(0), &[1.0, 2.0]);
+        assert_eq!(vs.row(1), &[3.0, 4.0]);
+        assert_eq!(vs.as_flat(), &[1.0, 2.0, 3.0, 4.0]);
+        let rows: Vec<_> = vs.rows().collect();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = VectorSet::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(err, DataError::RaggedBuffer { .. }));
+    }
+
+    #[test]
+    fn empty_set_is_fine() {
+        let vs = VectorSet::new(vec![], 5).unwrap();
+        assert!(vs.is_empty());
+        assert_eq!(vs.dim(), 5);
+    }
+
+    #[test]
+    fn gather_picks_rows_in_order() {
+        let vs = VectorSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let g = vs.gather(&[3, 1, 1]);
+        assert_eq!(g.as_flat(), &[3.0, 1.0, 1.0]);
+        assert_eq!(g.len(), 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for distances, packing and the exact-KNN oracle.
+
+use proptest::prelude::*;
+use wknng_data::{exact_knn, sort_neighbors, sq_l2, Metric, Neighbor, VectorSet};
+
+fn naive_sq_l2(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sq_l2_matches_naive(len in 1usize..70, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..len).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let b: Vec<f32> = (0..len).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let got = sq_l2(&a, &b) as f64;
+        let want = naive_sq_l2(&a, &b);
+        prop_assert!((got - want).abs() <= 1e-3 * (1.0 + want), "{got} vs {want}");
+    }
+
+    #[test]
+    fn pack_order_matches_key_order(
+        d1 in 0.0f32..1e30, i1 in any::<u32>(),
+        d2 in 0.0f32..1e30, i2 in any::<u32>(),
+    ) {
+        let a = Neighbor::new(i1, d1);
+        let b = Neighbor::new(i2, d2);
+        let key_cmp = a.key().partial_cmp(&b.key()).unwrap();
+        let pack_cmp = a.pack().cmp(&b.pack());
+        prop_assert_eq!(key_cmp, pack_cmp);
+    }
+
+    #[test]
+    fn exact_knn_matches_full_sort(n in 2usize..30, dim in 1usize..6, k in 1usize..8, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let vs = VectorSet::new(data, dim).unwrap();
+        let got = exact_knn(&vs, k, Metric::SquaredL2);
+        for i in 0..n {
+            let mut all: Vec<Neighbor> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| Neighbor::new(j as u32, sq_l2(vs.row(i), vs.row(j))))
+                .collect();
+            sort_neighbors(&mut all);
+            all.truncate(k.min(n - 1));
+            prop_assert_eq!(&got[i], &all, "point {}", i);
+        }
+    }
+
+    #[test]
+    fn gather_matches_row_lookup(n in 1usize..20, dim in 1usize..5, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let vs = VectorSet::new(data, dim).unwrap();
+        let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        let g = vs.gather(&idx);
+        for (pos, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(pos), vs.row(i));
+        }
+    }
+}

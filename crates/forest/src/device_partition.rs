@@ -1,0 +1,224 @@
+//! Simulated-GPU partition pass: scatter each node's points to the left or
+//! right of its median projection.
+//!
+//! Together with [`crate::device_project`] this makes the whole tree level
+//! device-side: project → (host median select) → partition-scatter. The
+//! kernel is the canonical ballot/prefix-sum stream compaction: every warp
+//! classifies 32 points, computes left/right ranks with warp scans, and
+//! reserves space in the output with two atomic counters per node.
+
+use wknng_simt::primitives::compact_ranks;
+use wknng_simt::{launch, DeviceBuffer, DeviceConfig, LaneVec, LaunchReport, Mask, WARP_LANES};
+
+/// Warps per block.
+const WARPS_PER_BLOCK: usize = 4;
+
+/// Partition one level of nodes on the device.
+///
+/// For node `i`, the points `order[ranges[i].0 .. ranges[i].1]` are written
+/// back into the same range with those satisfying
+/// `proj[p] < pivot[i] || (proj[p] == pivot[i] && tie-break)` on the left.
+/// To match the host builder's `select_nth_unstable` semantics exactly, the
+/// caller passes `left_count[i]` (how many go left) and the kernel assigns
+/// equal-to-pivot points to the left until that quota is filled, by point-id
+/// order — the same deterministic tie-break the host uses.
+pub fn partition_level(
+    dev: &DeviceConfig,
+    order: &mut [u32],
+    ranges: &[(usize, usize)],
+    proj: &[f32],
+    pivots: &[f32],
+    left_counts: &[usize],
+) -> LaunchReport {
+    let n_points: usize = ranges.iter().map(|&(s, e)| e - s).sum();
+    if n_points == 0 {
+        return LaunchReport::default();
+    }
+    let d_order = DeviceBuffer::from_slice(order);
+    let d_proj = DeviceBuffer::from_slice(proj);
+    let d_out = DeviceBuffer::<u32>::zeroed(order.len());
+    // Two cursors per node: next left slot, next right slot.
+    let cursors = DeviceBuffer::<u32>::zeroed(ranges.len() * 2);
+    for (i, &(s, _)) in ranges.iter().enumerate() {
+        cursors.write(i * 2, s as u32);
+        cursors.write(i * 2 + 1, (s + left_counts[i]) as u32);
+    }
+    // Points outside any active range copy through untouched.
+    let mut in_range = vec![false; order.len()];
+    for &(s, e) in ranges {
+        for f in in_range.iter_mut().take(e).skip(s) {
+            *f = true;
+        }
+    }
+    for (pos, &p) in order.iter().enumerate() {
+        if !in_range[pos] {
+            d_out.write(pos, p);
+        }
+    }
+
+    // The tie-break quota: points equal to the pivot go left in ascending
+    // point-id order until the left half is full. Precompute the id
+    // threshold per node (host-side metadata, O(node size)).
+    let mut tie_threshold = vec![u32::MAX; ranges.len()];
+    for (i, &(s, e)) in ranges.iter().enumerate() {
+        let pivot = pivots[i];
+        let below = order[s..e].iter().filter(|&&p| proj[p as usize] < pivot).count();
+        let quota = left_counts[i].saturating_sub(below);
+        let mut ties: Vec<u32> = order[s..e]
+            .iter()
+            .copied()
+            .filter(|&p| proj[p as usize] == pivot)
+            .collect();
+        ties.sort_unstable();
+        if quota == 0 {
+            tie_threshold[i] = 0;
+        } else if quota <= ties.len() {
+            tie_threshold[i] = ties[quota - 1] + 1; // ids < threshold go left
+        }
+    }
+
+    // One launch per level; blocks stride over the flattened active points.
+    let mut flat: Vec<(u32, usize)> = Vec::with_capacity(n_points); // (node, pos)
+    for (i, &(s, e)) in ranges.iter().enumerate() {
+        for pos in s..e {
+            flat.push((i as u32, pos));
+        }
+    }
+    let blocks = n_points.div_ceil(WARPS_PER_BLOCK * WARP_LANES);
+    let report = launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+        blk.each_warp(|w| {
+            let base = w.global_warp * WARP_LANES;
+            if base >= n_points {
+                return;
+            }
+            let width = (n_points - base).min(WARP_LANES);
+            let mask = Mask::first(width);
+            let pos = w.math_idx(mask, |l| flat[base + l].1);
+            let node = LaneVec::from_fn(|l| if l < width { flat[base + l].0 } else { 0 });
+            let pts = w.ld_global(&d_order, &pos, mask);
+            let pr = {
+                let pidx = w.math_idx(mask, |l| pts.get(l) as usize);
+                w.ld_global(&d_proj, &pidx, mask)
+            };
+            // Classify left/right (pivot + tie threshold are per-node
+            // scalars; one compare instruction).
+            let left = w.pred(mask, |l| {
+                let nd = node.get(l) as usize;
+                let v = pr.get(l);
+                v < pivots[nd] || (v == pivots[nd] && pts.get(l) < tie_threshold[nd])
+            });
+            let right = mask.and_not(left);
+            // Warps of one node dominate a batch in this flattened layout;
+            // reserve output slots with per-node atomic adds, then compute
+            // in-warp ranks for coalesced-ish scatters.
+            for (side_mask, side) in [(left, 0usize), (right, 1usize)] {
+                if side_mask.is_empty() {
+                    continue;
+                }
+                let (ranks, _) = compact_ranks(w, side_mask, mask);
+                // Group lanes by node for the atomic reservation.
+                let cur_idx = w.math_idx(side_mask, |l| node.get(l) as usize * 2 + side);
+                let ones = LaneVec::splat(1u32);
+                let old = w.atomic_add_u32(&cursors, &cur_idx, &ones, side_mask);
+                // `old` is each lane's reserved slot (lanes of the same node
+                // serialize within the atomic, giving consecutive slots).
+                let dst = w.math_idx(side_mask, |l| old.get(l) as usize);
+                let _ = ranks; // ranks drive the shared-memory staging on HW
+                w.st_global(&d_out, &dst, &pts, side_mask);
+            }
+        });
+    });
+
+    order.copy_from_slice(&d_out.to_vec());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host_partition(
+        order: &mut [u32],
+        ranges: &[(usize, usize)],
+        proj: &[f32],
+    ) -> (Vec<f32>, Vec<usize>) {
+        // Reference: the host builder's median split.
+        let mut pivots = Vec::new();
+        let mut lefts = Vec::new();
+        for &(s, e) in ranges {
+            let slice = &mut order[s..e];
+            let mid = slice.len() / 2;
+            slice.select_nth_unstable_by(mid, |&a, &b| {
+                proj[a as usize]
+                    .partial_cmp(&proj[b as usize])
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            pivots.push(proj[slice[mid] as usize]);
+            lefts.push(mid);
+        }
+        (pivots, lefts)
+    }
+
+    #[test]
+    fn device_partition_matches_host_membership() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let n = 200;
+        let proj: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let ranges = vec![(0usize, 120usize), (120, 200)];
+
+        // Host reference.
+        let mut host_order: Vec<u32> = (0..n as u32).collect();
+        let (pivots, lefts) = host_partition(&mut host_order, &ranges, &proj);
+
+        // Device run from the same starting order.
+        let mut dev_order: Vec<u32> = (0..n as u32).collect();
+        let dev = DeviceConfig::test_tiny();
+        let report =
+            partition_level(&dev, &mut dev_order, &ranges, &proj, &pivots, &lefts);
+        assert!(report.cycles > 0.0);
+        assert!(report.stats.atomic_ops > 0);
+
+        // Same membership on each side of each split (order within a side is
+        // unspecified on both paths).
+        for (i, &(s, e)) in ranges.iter().enumerate() {
+            let mid = s + lefts[i];
+            let mut h: Vec<u32> = host_order[s..mid].to_vec();
+            let mut d: Vec<u32> = dev_order[s..mid].to_vec();
+            h.sort_unstable();
+            d.sort_unstable();
+            assert_eq!(h, d, "left side of node {i}");
+            let mut h: Vec<u32> = host_order[mid..e].to_vec();
+            let mut d: Vec<u32> = dev_order[mid..e].to_vec();
+            h.sort_unstable();
+            d.sort_unstable();
+            assert_eq!(h, d, "right side of node {i}");
+        }
+    }
+
+    #[test]
+    fn heavy_ties_respect_the_quota() {
+        let n = 64;
+        let proj = vec![0.5f32; n]; // all equal: pure tie-break territory
+        let ranges = vec![(0usize, n)];
+        let mut host_order: Vec<u32> = (0..n as u32).collect();
+        let (pivots, lefts) = host_partition(&mut host_order, &ranges, &proj);
+        let mut dev_order: Vec<u32> = (0..n as u32).collect();
+        let dev = DeviceConfig::test_tiny();
+        partition_level(&dev, &mut dev_order, &ranges, &proj, &pivots, &lefts);
+        let mut left: Vec<u32> = dev_order[..lefts[0]].to_vec();
+        left.sort_unstable();
+        // Ascending-id tie-break: the left half is exactly ids 0..mid.
+        assert_eq!(left, (0..lefts[0] as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_level_is_free() {
+        let dev = DeviceConfig::test_tiny();
+        let mut order: Vec<u32> = vec![3, 1];
+        let report = partition_level(&dev, &mut order, &[], &[], &[], &[]);
+        assert_eq!(report, LaunchReport::default());
+        assert_eq!(order, vec![3, 1]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Simulated-GPU implementation of the per-level projection pass.
+//!
+//! One warp per point: lanes stride across the dimensions computing the
+//! partial dot product with the owning node's direction, then a warp
+//! reduction produces the projection. This is the forest-phase kernel whose
+//! simulated cycles feed the phase-breakdown experiment (E7).
+
+use wknng_simt::primitives::reduce_sum_f32;
+use wknng_simt::{launch, DeviceBuffer, DeviceConfig, LaneVec, LaunchReport, Mask, WARP_LANES};
+
+/// Warps per block used by the projection kernel.
+const WARPS_PER_BLOCK: usize = 4;
+
+/// Project every point of every active node onto its node's direction using
+/// the simulated device; writes `proj[point_id]` and returns the launch
+/// report.
+///
+/// `points` is the row-major `n × dim` coordinate buffer already resident on
+/// the device; `ranges[i]` (over `order`) lists node `i`'s points and
+/// `dirs[i]` its direction.
+pub fn project_level(
+    dev: &DeviceConfig,
+    points: &DeviceBuffer<f32>,
+    dim: usize,
+    order: &[u32],
+    ranges: &[(usize, usize)],
+    dirs: &[Vec<f32>],
+    proj: &mut [f32],
+) -> LaunchReport {
+    // Flatten the level: position -> (point id, node id).
+    let mut pts: Vec<u32> = Vec::new();
+    let mut node_of: Vec<u32> = Vec::new();
+    for (node, &(s, e)) in ranges.iter().enumerate() {
+        for &p in &order[s..e] {
+            pts.push(p);
+            node_of.push(node as u32);
+        }
+    }
+    let m = pts.len();
+    if m == 0 {
+        return LaunchReport::default();
+    }
+
+    let dirs_flat: Vec<f32> = dirs.iter().flat_map(|d| d.iter().copied()).collect();
+    let d_pts = DeviceBuffer::from_slice(&pts);
+    let d_nodes = DeviceBuffer::from_slice(&node_of);
+    let d_dirs = DeviceBuffer::from_slice(&dirs_flat);
+    let d_proj = DeviceBuffer::<f32>::zeroed(m);
+
+    let blocks = m.div_ceil(WARPS_PER_BLOCK);
+    let report = launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+        blk.each_warp(|w| {
+            let pos = w.global_warp;
+            if pos >= m {
+                return;
+            }
+            let one = Mask::first(1);
+            // Leader lane fetches the point and node ids for the warp.
+            let p = w.ld_global(&d_pts, &LaneVec::splat(pos), one).get(0) as usize;
+            let node = w.ld_global(&d_nodes, &LaneVec::splat(pos), one).get(0) as usize;
+
+            let mut acc = LaneVec::<f32>::zeroed();
+            let mut c = 0usize;
+            while c < dim {
+                let width = (dim - c).min(WARP_LANES);
+                let mask = Mask::first(width);
+                let pidx = w.math_idx(mask, |l| p * dim + c + l);
+                let x = w.ld_global(points, &pidx, mask);
+                let didx = w.math_idx(mask, |l| node * dim + c + l);
+                let dv = w.ld_global(&d_dirs, &didx, mask);
+                acc = w.math_keep(mask, &acc, |l| acc.get(l) + x.get(l) * dv.get(l));
+                c += WARP_LANES;
+            }
+            let total = reduce_sum_f32(w, &acc, Mask::FULL);
+            w.st_global(&d_proj, &LaneVec::splat(pos), &LaneVec::splat(total), one);
+        });
+    });
+
+    let out = d_proj.to_vec();
+    for (pos, &p) in pts.iter().enumerate() {
+        proj[p as usize] = out[pos];
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::{DatasetSpec, VectorSet};
+
+    #[test]
+    fn matches_native_projection() {
+        let vs = DatasetSpec::UniformCube { n: 37, dim: 45 }.generate(2).vectors;
+        let order: Vec<u32> = (0..37).rev().collect();
+        let ranges = vec![(0usize, 20usize), (20, 37)];
+        let dirs = vec![
+            (0..45).map(|i| (i as f32 * 0.1).sin()).collect::<Vec<f32>>(),
+            (0..45).map(|i| (i as f32 * 0.2).cos()).collect::<Vec<f32>>(),
+        ];
+
+        let mut native = vec![0.0f32; 37];
+        crate::native_project::project_level(&vs, &order, &ranges, &dirs, &mut native);
+
+        let dev = DeviceConfig::test_tiny();
+        let d_points = DeviceBuffer::from_slice(vs.as_flat());
+        let mut device = vec![0.0f32; 37];
+        let report =
+            project_level(&dev, &d_points, 45, &order, &ranges, &dirs, &mut device);
+
+        for i in 0..37 {
+            assert!(
+                (native[i] - device[i]).abs() < 1e-4,
+                "point {i}: {} vs {}",
+                native[i],
+                device[i]
+            );
+        }
+        assert!(report.cycles > 0.0);
+        assert!(report.stats.global_load_transactions > 0);
+    }
+
+    #[test]
+    fn empty_level_is_free() {
+        let dev = DeviceConfig::test_tiny();
+        let vs = VectorSet::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let d_points = DeviceBuffer::from_slice(vs.as_flat());
+        let mut proj = vec![0.0f32; 1];
+        let report = project_level(&dev, &d_points, 2, &[0], &[], &[], &mut proj);
+        assert_eq!(report, LaunchReport::default());
+        assert_eq!(proj[0], 0.0);
+    }
+
+    #[test]
+    fn dim_smaller_than_warp_works() {
+        let vs = VectorSet::from_rows(&[vec![2.0, 3.0], vec![-1.0, 4.0]]).unwrap();
+        let dev = DeviceConfig::test_tiny();
+        let d_points = DeviceBuffer::from_slice(vs.as_flat());
+        let order = vec![0u32, 1];
+        let dirs = vec![vec![1.0f32, 1.0]];
+        let mut proj = vec![0.0f32; 2];
+        project_level(&dev, &d_points, 2, &order, &[(0, 2)], &dirs, &mut proj);
+        assert_eq!(proj, vec![5.0, 3.0]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Typed errors for forest construction.
+
+use std::fmt;
+
+/// Errors produced while building RP trees/forests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForestError {
+    /// `leaf_size` must be at least 2 so a median split always makes
+    /// progress.
+    LeafTooSmall(usize),
+    /// The point set was empty.
+    EmptyInput,
+    /// `num_trees` must be at least 1.
+    NoTrees,
+}
+
+impl fmt::Display for ForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestError::LeafTooSmall(s) => write!(f, "leaf_size {s} < 2 cannot terminate"),
+            ForestError::EmptyInput => write!(f, "cannot build a forest over zero points"),
+            ForestError::NoTrees => write!(f, "a forest needs at least one tree"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_problem() {
+        assert!(ForestError::LeafTooSmall(1).to_string().contains("leaf_size 1"));
+        assert!(ForestError::EmptyInput.to_string().contains("zero points"));
+        assert!(ForestError::NoTrees.to_string().contains("one tree"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Random-projection forests: many independent trees.
+
+use rayon::prelude::*;
+
+use wknng_data::VectorSet;
+use wknng_simt::{DeviceConfig, LaunchReport};
+
+use crate::error::ForestError;
+use crate::tree::{build_tree, ProjectionBackend, RpTree, TreeParams};
+
+/// Parameters of an RP forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestParams {
+    /// Number of trees; each tree contributes one partition of the points.
+    pub num_trees: usize,
+    /// Per-tree leaf bucket size.
+    pub tree: TreeParams,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams { num_trees: 4, tree: TreeParams::default() }
+    }
+}
+
+/// A built RP forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpForest {
+    /// The independent trees.
+    pub trees: Vec<RpTree>,
+}
+
+impl RpForest {
+    /// Iterator over every bucket of every tree.
+    pub fn buckets(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.trees.iter().flat_map(|t| t.buckets.iter().map(|b| b.as_slice()))
+    }
+
+    /// Total number of buckets across all trees.
+    pub fn num_buckets(&self) -> usize {
+        self.trees.iter().map(|t| t.buckets.len()).sum()
+    }
+}
+
+/// Build a forest natively (rayon across trees). Deterministic in `seed`.
+pub fn build_forest(
+    vs: &VectorSet,
+    params: ForestParams,
+    seed: u64,
+) -> Result<RpForest, ForestError> {
+    if params.num_trees == 0 {
+        return Err(ForestError::NoTrees);
+    }
+    let trees: Result<Vec<RpTree>, ForestError> = (0..params.num_trees)
+        .into_par_iter()
+        .map(|t| {
+            build_tree(vs, params.tree, seed.wrapping_add(t as u64), ProjectionBackend::Native)
+                .map(|(tree, _)| tree)
+        })
+        .collect();
+    Ok(RpForest { trees: trees? })
+}
+
+/// Build a forest with the projection passes executed on the simulated
+/// device; returns the forest and the summed launch report (forest-phase
+/// cost for experiment E7). Trees are simulated sequentially so the report
+/// composes deterministically.
+pub fn build_forest_device(
+    vs: &VectorSet,
+    params: ForestParams,
+    seed: u64,
+    dev: &DeviceConfig,
+) -> Result<(RpForest, LaunchReport), ForestError> {
+    if params.num_trees == 0 {
+        return Err(ForestError::NoTrees);
+    }
+    let mut trees = Vec::with_capacity(params.num_trees);
+    let mut total = LaunchReport::default();
+    for t in 0..params.num_trees {
+        let (tree, rep) = build_tree(
+            vs,
+            params.tree,
+            seed.wrapping_add(t as u64),
+            ProjectionBackend::Device(dev),
+        )?;
+        if let Some(r) = rep {
+            total += r;
+        }
+        trees.push(tree);
+    }
+    Ok((RpForest { trees }, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::DatasetSpec;
+
+    #[test]
+    fn forest_builds_independent_trees() {
+        let vs = DatasetSpec::UniformCube { n: 120, dim: 8 }.generate(1).vectors;
+        let params = ForestParams { num_trees: 3, tree: TreeParams { leaf_size: 16, ..TreeParams::default() } };
+        let forest = build_forest(&vs, params, 77).unwrap();
+        assert_eq!(forest.trees.len(), 3);
+        // Trees drawn with different seeds should differ.
+        assert_ne!(forest.trees[0], forest.trees[1]);
+        for t in &forest.trees {
+            assert_eq!(t.len(), 120);
+        }
+        assert_eq!(forest.num_buckets(), forest.buckets().count());
+    }
+
+    #[test]
+    fn zero_trees_rejected() {
+        let vs = DatasetSpec::UniformCube { n: 10, dim: 2 }.generate(1).vectors;
+        let params = ForestParams { num_trees: 0, tree: TreeParams::default() };
+        assert!(matches!(build_forest(&vs, params, 0), Err(ForestError::NoTrees)));
+        let dev = DeviceConfig::test_tiny();
+        assert!(matches!(
+            build_forest_device(&vs, params, 0, &dev),
+            Err(ForestError::NoTrees)
+        ));
+    }
+
+    #[test]
+    fn device_forest_matches_shape_and_reports_cycles() {
+        let vs = DatasetSpec::UniformCube { n: 90, dim: 12 }.generate(4).vectors;
+        let params = ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 12, ..TreeParams::default() } };
+        let dev = DeviceConfig::test_tiny();
+        let (forest, report) = build_forest_device(&vs, params, 5, &dev).unwrap();
+        assert_eq!(forest.trees.len(), 2);
+        for t in &forest.trees {
+            assert_eq!(t.len(), 90);
+            assert!(t.max_bucket() <= 12);
+        }
+        assert!(report.cycles > 0.0);
+        assert!(report.stats.launches >= 2);
+    }
+
+    #[test]
+    fn forest_determinism() {
+        let vs = DatasetSpec::sift_like(64).generate(2).vectors;
+        let params = ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 8, ..TreeParams::default() } };
+        let a = build_forest(&vs, params, 11).unwrap();
+        let b = build_forest(&vs, params, 11).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! # wknng-forest — random-projection tree/forest construction
+//!
+//! The bucketing substrate of w-KNNG: each RP tree recursively median-splits
+//! the point set along random directions until buckets of at most
+//! `leaf_size` points remain; a forest of `T` independent trees yields `T`
+//! partitions whose buckets feed the all-pairs kernels in `wknng-core`.
+//!
+//! Projection passes (the compute-heavy part of construction) run either
+//! natively (rayon) or as warp-centric kernels on the `wknng-simt` device,
+//! so the forest phase contributes simulated cycles to the phase-breakdown
+//! experiment.
+//!
+//! ```
+//! use wknng_data::DatasetSpec;
+//! use wknng_forest::{build_forest, ForestParams, TreeParams};
+//!
+//! let vs = DatasetSpec::sift_like(300).generate(1).vectors;
+//! let params = ForestParams { num_trees: 4, tree: TreeParams { leaf_size: 32, ..TreeParams::default() } };
+//! let forest = build_forest(&vs, params, 42).unwrap();
+//! assert_eq!(forest.trees.len(), 4);
+//! assert!(forest.trees.iter().all(|t| t.max_bucket() <= 32));
+//! ```
+
+pub mod device_partition;
+pub mod device_project;
+pub mod error;
+pub mod forest;
+pub mod native_project;
+pub mod stats;
+pub mod tree;
+
+pub use error::ForestError;
+pub use forest::{build_forest, build_forest_device, ForestParams, RpForest};
+pub use stats::{pair_coverage, tree_stats, TreeStats};
+pub use tree::{build_tree, ProjectionBackend, ProjectionKind, RpTree, TreeParams};

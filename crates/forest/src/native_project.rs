@@ -1,0 +1,65 @@
+//! Host (rayon) implementation of the per-level projection pass.
+
+use rayon::prelude::*;
+
+use wknng_data::{dot, VectorSet};
+
+/// Project every point of every active node onto its node's direction,
+/// writing `proj[point_id]`.
+///
+/// `ranges[i]` is the half-open slice of `order` owned by node `i`, whose
+/// direction is `dirs[i]`.
+pub fn project_level(
+    vs: &VectorSet,
+    order: &[u32],
+    ranges: &[(usize, usize)],
+    dirs: &[Vec<f32>],
+    proj: &mut [f32],
+) {
+    // Compute (point, projection) pairs in parallel, then scatter serially —
+    // `proj` is indexed by point id while work is grouped by node.
+    let updates: Vec<(u32, f32)> = ranges
+        .par_iter()
+        .zip(dirs.par_iter())
+        .flat_map_iter(|(&(s, e), dir)| {
+            order[s..e]
+                .iter()
+                .map(move |&p| (p, dot(vs.row(p as usize), dir)))
+        })
+        .collect();
+    for (p, v) in updates {
+        proj[p as usize] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::VectorSet;
+
+    #[test]
+    fn projects_each_node_with_its_own_direction() {
+        let vs = VectorSet::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, -1.0],
+        ])
+        .unwrap();
+        let order = vec![0u32, 1, 2, 3];
+        let ranges = vec![(0, 2), (2, 4)];
+        let dirs = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut proj = vec![0.0; 4];
+        project_level(&vs, &order, &ranges, &dirs, &mut proj);
+        assert_eq!(proj, vec![1.0, 0.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn untouched_points_keep_their_value() {
+        let vs = VectorSet::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let order = vec![0u32, 1];
+        let mut proj = vec![9.0, 9.0];
+        project_level(&vs, &order, &[(1, 2)], &[vec![1.0]], &mut proj);
+        assert_eq!(proj, vec![9.0, 2.0]);
+    }
+}

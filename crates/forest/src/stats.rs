@@ -1,0 +1,117 @@
+//! Structural statistics of trees and forests — the knobs behind bucket
+//! quality (experiments E2/E10).
+
+use crate::forest::RpForest;
+use crate::tree::RpTree;
+
+/// Bucket-size distribution of one tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Number of leaf buckets.
+    pub buckets: usize,
+    /// Smallest bucket.
+    pub min_bucket: usize,
+    /// Largest bucket.
+    pub max_bucket: usize,
+    /// Mean bucket size.
+    pub mean_bucket: f64,
+    /// Split levels.
+    pub depth: usize,
+    /// Number of candidate pairs the bucket phase will evaluate for this
+    /// tree: `Σ m·(m−1)/2` over buckets.
+    pub candidate_pairs: usize,
+}
+
+/// Compute [`TreeStats`].
+pub fn tree_stats(tree: &RpTree) -> TreeStats {
+    let sizes: Vec<usize> = tree.buckets.iter().map(|b| b.len()).collect();
+    let buckets = sizes.len();
+    let total: usize = sizes.iter().sum();
+    TreeStats {
+        buckets,
+        min_bucket: sizes.iter().copied().min().unwrap_or(0),
+        max_bucket: sizes.iter().copied().max().unwrap_or(0),
+        mean_bucket: if buckets == 0 { 0.0 } else { total as f64 / buckets as f64 },
+        depth: tree.depth,
+        candidate_pairs: sizes.iter().map(|&m| m * (m - 1) / 2).sum(),
+    }
+}
+
+/// Fraction of the `n·(n−1)/2` point pairs that co-occur in at least one
+/// bucket of the forest — the forest's *pair coverage*, an upper bound on
+/// the bucket-phase recall before exploration.
+pub fn pair_coverage(forest: &RpForest, n: usize) -> f64 {
+    if n < 2 {
+        return 1.0;
+    }
+    // Bitset over the pair triangle.
+    let total = n * (n - 1) / 2;
+    let mut seen = vec![false; total];
+    let idx = |a: usize, b: usize| -> usize {
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        i * (2 * n - i - 1) / 2 + (j - i - 1)
+    };
+    let mut covered = 0usize;
+    for bucket in forest.buckets() {
+        for (x, &a) in bucket.iter().enumerate() {
+            for &b in &bucket[x + 1..] {
+                let t = idx(a as usize, b as usize);
+                if !seen[t] {
+                    seen[t] = true;
+                    covered += 1;
+                }
+            }
+        }
+    }
+    covered as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{build_forest, ForestParams};
+    use crate::tree::TreeParams;
+    use wknng_data::DatasetSpec;
+
+    #[test]
+    fn tree_stats_report_shape() {
+        let tree = RpTree { buckets: vec![vec![0, 1, 2], vec![3, 4]], depth: 1 };
+        let s = tree_stats(&tree);
+        assert_eq!(s.buckets, 2);
+        assert_eq!((s.min_bucket, s.max_bucket), (2, 3));
+        assert!((s.mean_bucket - 2.5).abs() < 1e-12);
+        assert_eq!(s.candidate_pairs, 3 + 1);
+    }
+
+    #[test]
+    fn coverage_grows_with_trees() {
+        let vs = DatasetSpec::UniformCube { n: 128, dim: 8 }.generate(5).vectors;
+        let mk = |t: usize| {
+            build_forest(
+                &vs,
+                ForestParams { num_trees: t, tree: TreeParams { leaf_size: 16, ..TreeParams::default() } },
+                3,
+            )
+            .unwrap()
+        };
+        let c1 = pair_coverage(&mk(1), 128);
+        let c4 = pair_coverage(&mk(4), 128);
+        let c8 = pair_coverage(&mk(8), 128);
+        assert!(c1 < c4 && c4 < c8, "{c1:.3} {c4:.3} {c8:.3}");
+        // Single 16-point buckets over 128 points cover ~ 15/127 of pairs.
+        assert!((c1 - 15.0 / 127.0).abs() < 0.02, "c1 = {c1:.4}");
+    }
+
+    #[test]
+    fn full_bucket_covers_everything() {
+        let vs = DatasetSpec::UniformCube { n: 40, dim: 4 }.generate(1).vectors;
+        let forest = build_forest(
+            &vs,
+            ForestParams { num_trees: 1, tree: TreeParams { leaf_size: 64, ..TreeParams::default() } },
+            1,
+        )
+        .unwrap();
+        assert_eq!(pair_coverage(&forest, 40), 1.0);
+        assert_eq!(pair_coverage(&forest, 1), 1.0);
+    }
+}

@@ -1,0 +1,412 @@
+//! Random-projection tree construction.
+//!
+//! A tree recursively splits the point set: each node draws a random unit
+//! direction, projects its points onto it and splits at the median, stopping
+//! once a node holds at most `leaf_size` points. Each leaf ("bucket") is a
+//! set of points likely to be mutual near neighbors — the candidate pool the
+//! w-KNNG kernels do all-pairs work inside.
+//!
+//! The builder is **level-synchronous**: every node of one depth projects in
+//! one pass, which is what makes the projection phase expressible as a single
+//! device kernel per level (see [`crate::device_project`]).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use wknng_data::{normal, VectorSet};
+use wknng_simt::LaunchReport;
+
+use crate::error::ForestError;
+
+/// How split directions are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProjectionKind {
+    /// Dense Gaussian unit directions (classic RP trees).
+    DenseGaussian,
+    /// Achlioptas-style sparse sign directions: each coordinate is ±1 with
+    /// probability `density` and 0 otherwise. Projections cost
+    /// `O(density · d)` instead of `O(d)`, trading a little split quality
+    /// for construction speed (ablated in experiment E12).
+    SparseSign {
+        /// Probability of a nonzero coordinate, clamped to `(0, 1]`.
+        density: f32,
+    },
+}
+
+impl Eq for ProjectionKind {}
+
+/// Parameters of a random-projection tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Maximum number of points in a leaf bucket (≥ 2).
+    pub leaf_size: usize,
+    /// Split-direction distribution.
+    pub projection: ProjectionKind,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { leaf_size: 64, projection: ProjectionKind::DenseGaussian }
+    }
+}
+
+/// A built random-projection tree: a partition of `0..n` into leaf buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpTree {
+    /// Leaf buckets; together they contain every point exactly once.
+    pub buckets: Vec<Vec<u32>>,
+    /// Tree depth reached (number of split levels).
+    pub depth: usize,
+}
+
+impl RpTree {
+    /// Total number of points across buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    /// True when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Size of the largest bucket.
+    pub fn max_bucket(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).max().unwrap_or(0)
+    }
+}
+
+/// How to execute the projection passes.
+pub enum ProjectionBackend<'a> {
+    /// Host execution (rayon-parallel over points).
+    Native,
+    /// Simulated-GPU execution; cycle/counter reports accumulate into the
+    /// returned [`LaunchReport`].
+    Device(&'a wknng_simt::DeviceConfig),
+}
+
+/// A node being processed at the current level: a range of the global order
+/// array.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    start: usize,
+    end: usize,
+}
+
+/// Draw a random direction of dimensionality `dim` for the given projection
+/// kind. Directions are unit-normalised for the dense case; sparse sign
+/// directions are left at ±1 (only the projection *order* matters for the
+/// median split).
+fn random_direction(rng: &mut SmallRng, dim: usize, kind: ProjectionKind) -> Vec<f32> {
+    match kind {
+        ProjectionKind::DenseGaussian => loop {
+            let v: Vec<f32> = (0..dim).map(|_| normal(rng)).collect();
+            let n2: f32 = v.iter().map(|x| x * x).sum();
+            if n2 > 1e-12 {
+                let inv = n2.sqrt().recip();
+                return v.iter().map(|x| x * inv).collect();
+            }
+        },
+        ProjectionKind::SparseSign { density } => {
+            use rand::Rng;
+            let density = if density.is_finite() { density.clamp(1e-3, 1.0) } else { 1.0 };
+            loop {
+                let v: Vec<f32> = (0..dim)
+                    .map(|_| {
+                        if rng.gen_range(0.0f32..1.0) < density {
+                            if rng.gen_bool(0.5) {
+                                1.0
+                            } else {
+                                -1.0
+                            }
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                if v.iter().any(|&x| x != 0.0) {
+                    return v;
+                }
+            }
+        }
+    }
+}
+
+/// Build one RP tree over `vs`.
+///
+/// Deterministic in `seed`. Returns the tree and, when the device backend is
+/// used, the accumulated simulated launch report of the projection kernels.
+pub fn build_tree(
+    vs: &VectorSet,
+    params: TreeParams,
+    seed: u64,
+    backend: ProjectionBackend<'_>,
+) -> Result<(RpTree, Option<LaunchReport>), ForestError> {
+    if params.leaf_size < 2 {
+        return Err(ForestError::LeafTooSmall(params.leaf_size));
+    }
+    let n = vs.len();
+    if n == 0 {
+        return Err(ForestError::EmptyInput);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
+
+    if n <= params.leaf_size {
+        return Ok((RpTree { buckets: vec![(0..n as u32).collect()], depth: 0 }, None));
+    }
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut active = vec![Node { start: 0, end: n }];
+    let mut buckets = Vec::new();
+    let mut proj = vec![0.0f32; n];
+    let mut depth = 0usize;
+    let mut report: Option<LaunchReport> = None;
+
+    // Device-side copy of the points, uploaded once per tree.
+    let dev_points = match &backend {
+        ProjectionBackend::Device(_) => {
+            Some(wknng_simt::DeviceBuffer::from_slice(vs.as_flat()))
+        }
+        ProjectionBackend::Native => None,
+    };
+
+    while !active.is_empty() {
+        depth += 1;
+        // One random direction per active node.
+        let dirs: Vec<Vec<f32>> = active
+            .iter()
+            .map(|_| random_direction(&mut rng, vs.dim(), params.projection))
+            .collect();
+
+        match &backend {
+            ProjectionBackend::Native => {
+                crate::native_project::project_level(vs, &order, &active_ranges(&active), &dirs, &mut proj);
+            }
+            ProjectionBackend::Device(dev) => {
+                let r = crate::device_project::project_level(
+                    dev,
+                    dev_points.as_ref().expect("uploaded"),
+                    vs.dim(),
+                    &order,
+                    &active_ranges(&active),
+                    &dirs,
+                    &mut proj,
+                );
+                match report.as_mut() {
+                    Some(acc) => *acc += r,
+                    None => report = Some(r),
+                }
+            }
+        }
+
+        match &backend {
+            ProjectionBackend::Native => {
+                for node in &active {
+                    let slice = &mut order[node.start..node.end];
+                    let mid = slice.len() / 2;
+                    slice.select_nth_unstable_by(mid, |&a, &b| {
+                        let (pa, pb) = (proj[a as usize], proj[b as usize]);
+                        pa.partial_cmp(&pb)
+                            .expect("projections are finite")
+                            .then(a.cmp(&b))
+                    });
+                }
+            }
+            ProjectionBackend::Device(dev) => {
+                // Device path: the host only selects the pivots (GPU builds
+                // use a radix-select; modelling it adds nothing to the
+                // bucket-phase comparisons), the scatter runs as a kernel.
+                let mut pivots = Vec::with_capacity(active.len());
+                let mut lefts = Vec::with_capacity(active.len());
+                let mut scratch = Vec::new();
+                for node in &active {
+                    scratch.clear();
+                    scratch.extend_from_slice(&order[node.start..node.end]);
+                    let mid = scratch.len() / 2;
+                    scratch.select_nth_unstable_by(mid, |&a, &b| {
+                        let (pa, pb) = (proj[a as usize], proj[b as usize]);
+                        pa.partial_cmp(&pb)
+                            .expect("projections are finite")
+                            .then(a.cmp(&b))
+                    });
+                    pivots.push(proj[scratch[mid] as usize]);
+                    lefts.push(mid);
+                }
+                let r = crate::device_partition::partition_level(
+                    dev,
+                    &mut order,
+                    &active_ranges(&active),
+                    &proj,
+                    &pivots,
+                    &lefts,
+                );
+                match report.as_mut() {
+                    Some(acc) => *acc += r,
+                    None => report = Some(r),
+                }
+            }
+        }
+
+        let mut next = Vec::new();
+        for node in &active {
+            let mid = (node.end - node.start) / 2;
+            for (s, e) in [(node.start, node.start + mid), (node.start + mid, node.end)] {
+                if e - s <= params.leaf_size {
+                    buckets.push(order[s..e].to_vec());
+                } else {
+                    next.push(Node { start: s, end: e });
+                }
+            }
+        }
+        active = next;
+    }
+
+    Ok((RpTree { buckets, depth }, report))
+}
+
+fn active_ranges(active: &[Node]) -> Vec<(usize, usize)> {
+    active.iter().map(|n| (n.start, n.end)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::DatasetSpec;
+
+    fn small_set(n: usize, dim: usize) -> VectorSet {
+        DatasetSpec::UniformCube { n, dim }.generate(9).vectors
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let vs = small_set(10, 3);
+        assert!(matches!(
+            build_tree(&vs, TreeParams { leaf_size: 1, ..TreeParams::default() }, 0, ProjectionBackend::Native),
+            Err(ForestError::LeafTooSmall(1))
+        ));
+        let empty = VectorSet::new(vec![], 3).unwrap();
+        assert!(matches!(
+            build_tree(&empty, TreeParams::default(), 0, ProjectionBackend::Native),
+            Err(ForestError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn buckets_partition_the_points() {
+        let vs = small_set(257, 6);
+        let (tree, rep) =
+            build_tree(&vs, TreeParams { leaf_size: 16, ..TreeParams::default() }, 5, ProjectionBackend::Native).unwrap();
+        assert!(rep.is_none());
+        assert_eq!(tree.len(), 257);
+        let mut seen = vec![false; 257];
+        for b in &tree.buckets {
+            assert!(b.len() <= 16, "bucket of {} exceeds leaf size", b.len());
+            assert!(!b.is_empty());
+            for &p in b {
+                assert!(!seen[p as usize], "point {p} appears twice");
+                seen[p as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(tree.depth >= 5); // 257 points / leaf 16 needs >= 5 splits
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let vs = small_set(100, 4);
+        let p = TreeParams { leaf_size: 8, ..TreeParams::default() };
+        let (a, _) = build_tree(&vs, p, 3, ProjectionBackend::Native).unwrap();
+        let (b, _) = build_tree(&vs, p, 3, ProjectionBackend::Native).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = build_tree(&vs, p, 4, ProjectionBackend::Native).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tiny_input_is_one_bucket() {
+        let vs = small_set(5, 3);
+        let (tree, _) =
+            build_tree(&vs, TreeParams { leaf_size: 8, ..TreeParams::default() }, 0, ProjectionBackend::Native).unwrap();
+        assert_eq!(tree.buckets.len(), 1);
+        assert_eq!(tree.depth, 0);
+        assert_eq!(tree.max_bucket(), 5);
+    }
+
+    #[test]
+    fn duplicate_points_still_terminate() {
+        let vs = VectorSet::new(vec![1.0; 64 * 3], 3).unwrap();
+        let (tree, _) =
+            build_tree(&vs, TreeParams { leaf_size: 4, ..TreeParams::default() }, 1, ProjectionBackend::Native).unwrap();
+        assert_eq!(tree.len(), 64);
+        assert!(tree.max_bucket() <= 4);
+    }
+
+    #[test]
+    fn clustered_data_lands_together() {
+        // Two far-apart blobs: buckets should almost never mix them.
+        let mut rows = Vec::new();
+        for i in 0..64 {
+            let off = if i % 2 == 0 { 0.0 } else { 100.0 };
+            rows.push(vec![off + (i as f32) * 1e-3, off]);
+        }
+        let vs = VectorSet::from_rows(&rows).unwrap();
+        let (tree, _) =
+            build_tree(&vs, TreeParams { leaf_size: 8, ..TreeParams::default() }, 7, ProjectionBackend::Native).unwrap();
+        let mut mixed = 0;
+        for b in &tree.buckets {
+            let evens = b.iter().filter(|&&p| p % 2 == 0).count();
+            if evens != 0 && evens != b.len() {
+                mixed += 1;
+            }
+        }
+        assert_eq!(mixed, 0, "random projections should separate distant blobs");
+    }
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+    use wknng_data::DatasetSpec;
+
+    #[test]
+    fn sparse_trees_partition_and_terminate() {
+        let vs = DatasetSpec::UniformCube { n: 200, dim: 32 }.generate(3).vectors;
+        for density in [0.05f32, 0.3, 1.0] {
+            let params = TreeParams {
+                leaf_size: 16,
+                projection: ProjectionKind::SparseSign { density },
+            };
+            let (tree, _) = build_tree(&vs, params, 8, ProjectionBackend::Native).unwrap();
+            assert_eq!(tree.len(), 200, "density {density}");
+            assert!(tree.max_bucket() <= 16);
+        }
+    }
+
+    #[test]
+    fn sparse_is_deterministic_and_differs_from_dense() {
+        let vs = DatasetSpec::sift_like(100).generate(4).vectors;
+        let sparse = TreeParams {
+            leaf_size: 8,
+            projection: ProjectionKind::SparseSign { density: 0.2 },
+        };
+        let (a, _) = build_tree(&vs, sparse, 9, ProjectionBackend::Native).unwrap();
+        let (b, _) = build_tree(&vs, sparse, 9, ProjectionBackend::Native).unwrap();
+        assert_eq!(a, b);
+        let dense = TreeParams { leaf_size: 8, ..TreeParams::default() };
+        let (c, _) = build_tree(&vs, dense, 9, ProjectionBackend::Native).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_density_is_clamped() {
+        let vs = DatasetSpec::UniformCube { n: 50, dim: 8 }.generate(5).vectors;
+        for density in [0.0f32, -1.0, f32::NAN, 2.0] {
+            let params = TreeParams {
+                leaf_size: 8,
+                projection: ProjectionKind::SparseSign { density },
+            };
+            let (tree, _) = build_tree(&vs, params, 1, ProjectionBackend::Native).unwrap();
+            assert_eq!(tree.len(), 50);
+        }
+    }
+}

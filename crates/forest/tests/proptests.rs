@@ -1,0 +1,75 @@
+//! Property tests: RP-tree partitions and device/native projection parity.
+
+use proptest::prelude::*;
+use wknng_data::{DatasetSpec, VectorSet};
+use wknng_forest::{build_forest, build_tree, ForestParams, ProjectionBackend, TreeParams};
+use wknng_simt::DeviceConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_is_a_partition(n in 2usize..200, dim in 1usize..10, leaf in 2usize..32, seed in any::<u64>()) {
+        let vs = DatasetSpec::UniformCube { n, dim }.generate(seed).vectors;
+        let (tree, _) = build_tree(&vs, TreeParams { leaf_size: leaf, ..TreeParams::default() }, seed, ProjectionBackend::Native).unwrap();
+        let mut seen = vec![false; n];
+        for b in &tree.buckets {
+            prop_assert!(b.len() <= leaf);
+            prop_assert!(!b.is_empty());
+            for &p in b {
+                prop_assert!(!seen[p as usize]);
+                seen[p as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn device_tree_equals_native_tree(n in 2usize..80, dim in 1usize..40, leaf in 2usize..16, seed in any::<u64>()) {
+        // Same seed => same directions => identical partitions regardless of
+        // which backend computed the projections (up to f32 summation order,
+        // which both backends perform in ascending-dimension order).
+        let vs = DatasetSpec::GaussianClusters { n, dim, clusters: 3, spread: 0.3 }.generate(seed).vectors;
+        let params = TreeParams { leaf_size: leaf, ..TreeParams::default() };
+        let (native, _) = build_tree(&vs, params, seed, ProjectionBackend::Native).unwrap();
+        let dev = DeviceConfig::test_tiny();
+        let (device, _) = build_tree(&vs, params, seed, ProjectionBackend::Device(&dev)).unwrap();
+        // The two backends sum f32 in different orders, so a projection that
+        // lands exactly on the median boundary may flip sides; the structure
+        // (a full partition with identical bucket-size profile) must match.
+        prop_assert_eq!(native.depth, device.depth);
+        let sizes = |t: &wknng_forest::RpTree| {
+            let mut s: Vec<usize> = t.buckets.iter().map(|b| b.len()).collect();
+            s.sort_unstable();
+            s
+        };
+        prop_assert_eq!(sizes(&native), sizes(&device));
+        let mut seen = vec![false; n];
+        for b in &device.buckets {
+            for &p in b {
+                prop_assert!(!seen[p as usize]);
+                seen[p as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn forest_covers_all_points_every_tree(n in 2usize..120, trees in 1usize..5, seed in any::<u64>()) {
+        let vs = DatasetSpec::UniformCube { n, dim: 6 }.generate(seed).vectors;
+        let params = ForestParams { num_trees: trees, tree: TreeParams { leaf_size: 8, ..TreeParams::default() } };
+        let forest = build_forest(&vs, params, seed).unwrap();
+        prop_assert_eq!(forest.trees.len(), trees);
+        for t in &forest.trees {
+            prop_assert_eq!(t.len(), n);
+        }
+    }
+
+    #[test]
+    fn duplicates_never_hang(n in 2usize..100, leaf in 2usize..8, seed in any::<u64>()) {
+        let vs = VectorSet::new(vec![0.5f32; n * 3], 3).unwrap();
+        let (tree, _) = build_tree(&vs, TreeParams { leaf_size: leaf, ..TreeParams::default() }, seed, ProjectionBackend::Native).unwrap();
+        prop_assert_eq!(tree.len(), n);
+        prop_assert!(tree.max_bucket() <= leaf);
+    }
+}

@@ -1,0 +1,179 @@
+//! The thread-block execution context.
+
+use crate::cache::L2Cache;
+use crate::device::DeviceConfig;
+use crate::memory::Pod;
+use crate::shared::{SharedArray, SharedMem};
+use crate::stats::Stats;
+use crate::warp::WarpCtx;
+
+/// Execution context of one thread block.
+///
+/// Kernels receive a `BlockCtx` per block. Block-level code alternates
+/// per-warp phases ([`BlockCtx::each_warp`]) with barriers ([`BlockCtx::sync`]),
+/// mirroring the `compute; __syncthreads(); compute;` structure of CUDA
+/// kernels. Warps inside one `each_warp` phase execute independently (their
+/// cycle counts advance separately and the block pays the maximum).
+pub struct BlockCtx<'a> {
+    /// Device being simulated.
+    pub device: &'a DeviceConfig,
+    /// Index of this block within the grid.
+    pub block_idx: usize,
+    /// Number of warps in this block.
+    pub warps_per_block: usize,
+    shared: SharedMem,
+    stats: Stats,
+    warp_cycles: Vec<f64>,
+    atomic_log: Vec<(u64, u64)>,
+    l2: &'a mut L2Cache,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub(crate) fn new(
+        device: &'a DeviceConfig,
+        block_idx: usize,
+        warps_per_block: usize,
+        l2: &'a mut L2Cache,
+    ) -> Self {
+        BlockCtx {
+            device,
+            block_idx,
+            warps_per_block,
+            shared: SharedMem::new(device.shared_mem_bytes as usize),
+            stats: Stats::new(),
+            warp_cycles: vec![0.0; warps_per_block],
+            atomic_log: Vec::new(),
+            l2,
+        }
+    }
+
+    /// Allocate a shared-memory array visible to every warp of the block.
+    pub fn shared_alloc<T: Pod>(&self, len: usize) -> SharedArray<T> {
+        self.shared.alloc(len)
+    }
+
+    /// Reset the shared-memory arena (reuse between independent phases).
+    pub fn shared_reset(&self) {
+        self.shared.reset();
+    }
+
+    /// Run `f` once per warp of the block.
+    pub fn each_warp(&mut self, mut f: impl FnMut(&mut WarpCtx)) {
+        for w in 0..self.warps_per_block {
+            self.warp(w, &mut f);
+        }
+    }
+
+    /// Run `f` for a single warp of the block.
+    pub fn warp(&mut self, warp_in_block: usize, mut f: impl FnMut(&mut WarpCtx)) {
+        assert!(warp_in_block < self.warps_per_block);
+        let mut ctx = WarpCtx {
+            device: self.device,
+            block_idx: self.block_idx,
+            warp_in_block,
+            global_warp: self.block_idx * self.warps_per_block + warp_in_block,
+            shared: &self.shared,
+            stats: &mut self.stats,
+            cycles: 0.0,
+            atomic_log: &mut self.atomic_log,
+            l2: self.l2,
+        };
+        f(&mut ctx);
+        let used = ctx.cycles;
+        self.warp_cycles[warp_in_block] += used;
+    }
+
+    /// Block-wide barrier: all warps advance to the slowest warp's cycle
+    /// count plus the barrier cost.
+    pub fn sync(&mut self) {
+        self.stats.barriers += 1;
+        let max = self
+            .warp_cycles
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max)
+            + self.device.sync_cycles;
+        for c in &mut self.warp_cycles {
+            *c = max;
+        }
+    }
+
+    /// Cycle count of the block so far (slowest warp).
+    pub fn block_cycles(&self) -> f64 {
+        self.warp_cycles.iter().cloned().fold(0.0_f64, f64::max)
+    }
+
+    pub(crate) fn finish(self) -> (Stats, f64, Vec<(u64, u64)>) {
+        let cycles = self.block_cycles();
+        (self.stats, cycles, self.atomic_log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::Mask;
+
+    fn cache() -> L2Cache {
+        L2Cache::new(1024)
+    }
+
+    #[test]
+    fn warps_accumulate_independently_until_sync() {
+        let dev = DeviceConfig::test_tiny();
+        let mut l2 = cache();
+        let mut blk = BlockCtx::new(&dev, 0, 2, &mut l2);
+        blk.warp(0, |w| {
+            w.charge_alu(Mask::FULL, 10);
+        });
+        blk.warp(1, |w| {
+            w.charge_alu(Mask::FULL, 4);
+        });
+        assert_eq!(blk.block_cycles(), 10.0);
+        blk.sync();
+        // Both warps now sit at 10 + sync cost.
+        assert_eq!(blk.block_cycles(), 10.0 + dev.sync_cycles);
+        blk.warp(1, |w| {
+            w.charge_alu(Mask::FULL, 1);
+        });
+        assert_eq!(blk.block_cycles(), 11.0 + dev.sync_cycles);
+    }
+
+    #[test]
+    fn finish_reports_stats_and_cycles() {
+        let dev = DeviceConfig::test_tiny();
+        let mut l2 = cache();
+        let mut blk = BlockCtx::new(&dev, 3, 1, &mut l2);
+        blk.each_warp(|w| {
+            assert_eq!(w.block_idx, 3);
+            assert_eq!(w.global_warp, 3);
+            w.charge_alu(Mask::first(16), 2);
+        });
+        let (stats, cycles, _) = blk.finish();
+        assert_eq!(stats.instructions, 2);
+        assert_eq!(stats.lane_ops, 32);
+        assert_eq!(stats.inactive_lane_slots, 32);
+        assert_eq!(cycles, 2.0);
+    }
+
+    #[test]
+    fn shared_alloc_is_block_scoped() {
+        let dev = DeviceConfig::test_tiny();
+        let mut l2 = cache();
+        let blk = BlockCtx::new(&dev, 0, 1, &mut l2);
+        let arr = blk.shared_alloc::<f32>(64);
+        assert_eq!(arr.len(), 64);
+        blk.shared_reset();
+        let again = blk.shared_alloc::<f32>(64);
+        assert_eq!(again.len(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_warp_panics() {
+        let dev = DeviceConfig::test_tiny();
+        let mut l2 = cache();
+        let mut blk = BlockCtx::new(&dev, 0, 2, &mut l2);
+        blk.warp(2, |_| {});
+    }
+}

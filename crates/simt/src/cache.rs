@@ -1,0 +1,111 @@
+//! A sector-granular L2 cache model (FIFO replacement).
+//!
+//! Every global-memory transaction consults the launch-wide cache: hits cost
+//! [`crate::DeviceConfig::l2_hit_cycles`] and move no DRAM bytes; misses pay
+//! the full transaction cost and count against the bandwidth roofline. FIFO
+//! replacement is deliberately simple — the model only needs to separate
+//! "small hot working set" (k-NN slots, bucket members, centroids) from
+//! "streaming through a large array" (point coordinates at scale), which any
+//! capacity-bounded policy does.
+
+use std::collections::{HashMap, VecDeque};
+
+/// One cached line is identified by `(buffer id, sector index)`.
+pub type SectorKey = (u64, u64);
+
+/// FIFO sector cache.
+#[derive(Debug)]
+pub struct L2Cache {
+    resident: HashMap<SectorKey, ()>,
+    order: VecDeque<SectorKey>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl L2Cache {
+    /// Cache with room for `capacity` sectors (0 disables caching: every
+    /// access misses).
+    pub fn new(capacity: usize) -> Self {
+        L2Cache {
+            resident: HashMap::with_capacity(capacity.min(1 << 20)),
+            order: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access one sector; returns `true` on a hit.
+    pub fn access(&mut self, key: SectorKey) -> bool {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return false;
+        }
+        if self.resident.contains_key(&key) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.order.len() == self.capacity {
+            if let Some(victim) = self.order.pop_front() {
+                self.resident.remove(&victim);
+            }
+        }
+        self.order.push_back(key);
+        self.resident.insert(key, ());
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = L2Cache::new(4);
+        assert!(!c.access((1, 0)));
+        assert!(c.access((1, 0)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_buffers_do_not_collide() {
+        let mut c = L2Cache::new(4);
+        assert!(!c.access((1, 0)));
+        assert!(!c.access((2, 0)));
+        assert!(c.access((1, 0)));
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut c = L2Cache::new(2);
+        c.access((0, 0));
+        c.access((0, 1));
+        c.access((0, 2)); // evicts (0,0)
+        assert!(!c.access((0, 0)));
+        // (0,1) was evicted by the re-insertion of (0,0).
+        assert!(!c.access((0, 1)));
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut c = L2Cache::new(0);
+        assert!(!c.access((0, 0)));
+        assert!(!c.access((0, 0)));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-warp SIMD values: a 32-wide lane vector and an active-lane mask.
+
+use crate::device::WARP_LANES;
+
+/// A predicate over the 32 lanes of a warp, stored as a bitmask.
+///
+/// Bit `i` set means lane `i` participates in the instruction. Warp-centric
+/// kernels thread a `Mask` through every operation, exactly like the implicit
+/// active mask of real SIMT hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mask(pub u32);
+
+impl Mask {
+    /// All 32 lanes active.
+    pub const FULL: Mask = Mask(u32::MAX);
+    /// No lane active.
+    pub const NONE: Mask = Mask(0);
+
+    /// Mask with the first `n` lanes active (`n` is clamped to 32).
+    pub fn first(n: usize) -> Mask {
+        if n >= WARP_LANES {
+            Mask::FULL
+        } else {
+            Mask((1u32 << n) - 1)
+        }
+    }
+
+    /// Mask built from a per-lane predicate.
+    pub fn from_fn(mut f: impl FnMut(usize) -> bool) -> Mask {
+        let mut bits = 0u32;
+        for lane in 0..WARP_LANES {
+            if f(lane) {
+                bits |= 1 << lane;
+            }
+        }
+        Mask(bits)
+    }
+
+    /// Is lane `lane` active?
+    #[inline]
+    pub fn active(&self, lane: usize) -> bool {
+        debug_assert!(lane < WARP_LANES);
+        self.0 & (1 << lane) != 0
+    }
+
+    /// Number of active lanes.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no lane is active.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Lowest active lane index, if any.
+    pub fn leader(&self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterator over active lane indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..WARP_LANES).filter(move |&l| self.active(l))
+    }
+
+    /// Intersection of two masks.
+    #[inline]
+    pub fn and(&self, other: Mask) -> Mask {
+        Mask(self.0 & other.0)
+    }
+
+    /// Lanes active in `self` but not in `other`.
+    #[inline]
+    pub fn and_not(&self, other: Mask) -> Mask {
+        Mask(self.0 & !other.0)
+    }
+}
+
+/// A value replicated across the 32 lanes of a warp — the register file view
+/// of one SIMT variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneVec<T>(pub [T; WARP_LANES]);
+
+impl<T: Copy + Default> LaneVec<T> {
+    /// All lanes hold `v`.
+    pub fn splat(v: T) -> Self {
+        LaneVec([v; WARP_LANES])
+    }
+
+    /// All lanes hold `T::default()`.
+    pub fn zeroed() -> Self {
+        LaneVec([T::default(); WARP_LANES])
+    }
+
+    /// Per-lane initialisation.
+    pub fn from_fn(mut f: impl FnMut(usize) -> T) -> Self {
+        let mut a = [T::default(); WARP_LANES];
+        for (lane, slot) in a.iter_mut().enumerate() {
+            *slot = f(lane);
+        }
+        LaneVec(a)
+    }
+
+    /// Value held by `lane`.
+    #[inline]
+    pub fn get(&self, lane: usize) -> T {
+        self.0[lane]
+    }
+
+    /// Overwrite the value held by `lane`.
+    #[inline]
+    pub fn set(&mut self, lane: usize, v: T) {
+        self.0[lane] = v;
+    }
+
+    /// Apply `f` lane-wise, producing a new lane vector.
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> LaneVec<U> {
+        LaneVec::from_fn(|l| f(self.0[l]))
+    }
+
+    /// Combine two lane vectors lane-wise.
+    pub fn zip_map<U: Copy + Default, V: Copy + Default>(
+        &self,
+        other: &LaneVec<U>,
+        mut f: impl FnMut(T, U) -> V,
+    ) -> LaneVec<V> {
+        LaneVec::from_fn(|l| f(self.0[l], other.0[l]))
+    }
+
+    /// Values of the active lanes, in lane order.
+    pub fn active_values(&self, mask: Mask) -> Vec<T> {
+        mask.iter().map(|l| self.0[l]).collect()
+    }
+}
+
+/// The canonical lane-index vector `[0, 1, …, 31]`.
+pub fn lane_ids() -> LaneVec<usize> {
+    LaneVec::from_fn(|l| l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_first_clamps() {
+        assert_eq!(Mask::first(0), Mask::NONE);
+        assert_eq!(Mask::first(1).count(), 1);
+        assert_eq!(Mask::first(32), Mask::FULL);
+        assert_eq!(Mask::first(99), Mask::FULL);
+    }
+
+    #[test]
+    fn mask_leader_is_lowest_active() {
+        assert_eq!(Mask::NONE.leader(), None);
+        assert_eq!(Mask::FULL.leader(), Some(0));
+        assert_eq!(Mask(0b1000_0100).leader(), Some(2));
+    }
+
+    #[test]
+    fn mask_iter_matches_active() {
+        let m = Mask::from_fn(|l| l % 3 == 0);
+        let lanes: Vec<_> = m.iter().collect();
+        assert_eq!(lanes, vec![0, 3, 6, 9, 12, 15, 18, 21, 24, 27, 30]);
+        assert_eq!(m.count(), lanes.len());
+    }
+
+    #[test]
+    fn mask_set_ops() {
+        let a = Mask::first(8);
+        let b = Mask::from_fn(|l| l >= 4);
+        assert_eq!(a.and(b), Mask::from_fn(|l| (4..8).contains(&l)));
+        assert_eq!(a.and_not(b), Mask::first(4));
+    }
+
+    #[test]
+    fn lanevec_roundtrip() {
+        let mut v = LaneVec::<u32>::splat(7);
+        assert_eq!(v.get(31), 7);
+        v.set(3, 11);
+        assert_eq!(v.get(3), 11);
+        let doubled = v.map(|x| x * 2);
+        assert_eq!(doubled.get(3), 22);
+        assert_eq!(doubled.get(0), 14);
+    }
+
+    #[test]
+    fn lanevec_zip_and_active_values() {
+        let a = lane_ids();
+        let b = LaneVec::<usize>::splat(100);
+        let s = a.zip_map(&b, |x, y| x + y);
+        assert_eq!(s.get(5), 105);
+        assert_eq!(s.active_values(Mask::first(3)), vec![100, 101, 102]);
+    }
+}

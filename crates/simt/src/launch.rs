@@ -1,0 +1,243 @@
+//! Grid launch, block-to-SM scheduling and the roofline aggregation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::ops::AddAssign;
+
+use crate::block::BlockCtx;
+use crate::cache::L2Cache;
+use crate::device::DeviceConfig;
+use crate::stats::Stats;
+
+/// Result of simulating one kernel launch (or a merged sequence of them).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LaunchReport {
+    /// Aggregated hardware counters.
+    pub stats: Stats,
+    /// Estimated device cycles for the launch: the maximum of the scheduled
+    /// compute time, the DRAM-bandwidth roofline and the hot-sector atomic
+    /// throughput bound.
+    pub cycles: f64,
+    /// Portion of `cycles` attributable to the bandwidth roofline (equal to
+    /// `cycles` when the kernel is memory-bound).
+    pub memory_cycles: f64,
+    /// Portion of `cycles` attributable to the atomic hot-sector bound.
+    pub atomic_cycles: f64,
+    /// Atomics issued to the single most contended 32-byte sector (max over
+    /// launches when reports are merged).
+    pub atomic_hot_sector: u64,
+    /// Cross-warp same-sector atomic conflicts across the launch:
+    /// `Σ_sector (ops − 1)`.
+    pub atomic_cross_conflicts: u64,
+    /// Blocks launched.
+    pub blocks: u64,
+}
+
+impl LaunchReport {
+    /// Convert to milliseconds on `device`.
+    pub fn ms(&self, device: &DeviceConfig) -> f64 {
+        device.cycles_to_ms(self.cycles)
+    }
+
+    /// True when the bandwidth roofline, not compute, set the cycle count.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_cycles >= self.cycles
+    }
+}
+
+impl AddAssign for LaunchReport {
+    /// Sequential composition: a pipeline of launches takes the sum of their
+    /// times and the union of their counters.
+    fn add_assign(&mut self, rhs: LaunchReport) {
+        self.stats += rhs.stats;
+        self.cycles += rhs.cycles;
+        self.memory_cycles += rhs.memory_cycles;
+        self.atomic_cycles += rhs.atomic_cycles;
+        self.atomic_hot_sector = self.atomic_hot_sector.max(rhs.atomic_hot_sector);
+        self.atomic_cross_conflicts += rhs.atomic_cross_conflicts;
+        self.blocks += rhs.blocks;
+    }
+}
+
+/// Non-NaN f64 ordered wrapper for the scheduling heap.
+#[derive(PartialEq, PartialOrd)]
+struct Finish(f64);
+impl Eq for Finish {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Finish {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("cycle counts are never NaN")
+    }
+}
+
+/// Greedy list-scheduling of per-block cycle counts onto the device's
+/// concurrent block slots; returns the makespan.
+fn schedule(block_cycles: &[f64], slots: u32) -> f64 {
+    let slots = slots.max(1) as usize;
+    if block_cycles.is_empty() {
+        return 0.0;
+    }
+    let mut heap: BinaryHeap<Reverse<Finish>> = (0..slots.min(block_cycles.len()))
+        .map(|_| Reverse(Finish(0.0)))
+        .collect();
+    let mut makespan = 0.0_f64;
+    for &c in block_cycles {
+        let Reverse(Finish(start)) = heap.pop().expect("heap sized > 0");
+        let finish = start + c;
+        makespan = makespan.max(finish);
+        heap.push(Reverse(Finish(finish)));
+    }
+    makespan
+}
+
+/// Simulate a kernel launch of `blocks` thread blocks of `warps_per_block`
+/// warps each. `kernel` runs once per block, in block order, deterministically.
+///
+/// The returned cycle estimate combines:
+/// 1. the makespan of greedily scheduling the per-block cycle counts onto
+///    `device.concurrent_blocks(warps_per_block)` slots, and
+/// 2. a DRAM roofline, `dram_bytes / dram_bytes_per_cycle`,
+/// taking the maximum — a memory-bound kernel is pinned to the roofline.
+pub fn launch(
+    device: &DeviceConfig,
+    blocks: usize,
+    warps_per_block: usize,
+    mut kernel: impl FnMut(&mut BlockCtx),
+) -> LaunchReport {
+    assert!(warps_per_block > 0, "a block needs at least one warp");
+    let mut stats = Stats::new();
+    let mut block_cycles = Vec::with_capacity(blocks);
+    let mut sector_counts: std::collections::HashMap<(u64, u64), u64> =
+        std::collections::HashMap::new();
+    // Blocks are simulated sequentially but run concurrently on hardware,
+    // sharing the L2; give each block its proportional share of the cache so
+    // a kernel cannot pretend the whole L2 is private to one bucket.
+    let resident = (device.concurrent_blocks(warps_per_block as u32) as usize).min(blocks.max(1));
+    let l2_sectors =
+        device.l2_bytes as usize / crate::device::SECTOR_BYTES / resident.max(1);
+    let mut l2 = L2Cache::new(l2_sectors);
+    for b in 0..blocks {
+        let mut ctx = BlockCtx::new(device, b, warps_per_block, &mut l2);
+        kernel(&mut ctx);
+        let (s, c, log) = ctx.finish();
+        stats += s;
+        block_cycles.push(c);
+        for key in log {
+            *sector_counts.entry(key).or_insert(0) += 1;
+        }
+    }
+    stats.launches = 1;
+    let slots = device.concurrent_blocks(warps_per_block as u32);
+    let compute = schedule(&block_cycles, slots);
+    let memory = stats.dram_bytes as f64 / device.dram_bytes_per_cycle;
+    // Cross-warp atomic contention: a 32-byte sector serializes the atomics
+    // that target it, device-wide, at roughly one per atomic_base cycles.
+    let hot = sector_counts.values().copied().max().unwrap_or(0);
+    let cross: u64 = sector_counts.values().map(|&c| c - 1).sum();
+    let atomic_bound = hot as f64 * device.atomic_base_cycles;
+    LaunchReport {
+        stats,
+        cycles: compute.max(memory).max(atomic_bound),
+        memory_cycles: memory,
+        atomic_cycles: atomic_bound,
+        atomic_hot_sector: hot,
+        atomic_cross_conflicts: cross,
+        blocks: blocks as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::Mask;
+
+    #[test]
+    fn schedule_single_slot_sums() {
+        assert_eq!(schedule(&[3.0, 4.0, 5.0], 1), 12.0);
+    }
+
+    #[test]
+    fn schedule_many_slots_takes_max() {
+        assert_eq!(schedule(&[3.0, 4.0, 5.0], 8), 5.0);
+    }
+
+    #[test]
+    fn schedule_balances_greedily() {
+        // Two slots, blocks [4, 3, 3]: slot0=4, slot1=3+3=6.
+        assert_eq!(schedule(&[4.0, 3.0, 3.0], 2), 6.0);
+        assert_eq!(schedule(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn launch_runs_every_block_in_order() {
+        let dev = DeviceConfig::test_tiny();
+        let mut seen = Vec::new();
+        let report = launch(&dev, 5, 2, |blk| {
+            seen.push(blk.block_idx);
+            blk.each_warp(|w| w.charge_alu(Mask::FULL, 1));
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(report.blocks, 5);
+        assert_eq!(report.stats.instructions, 10);
+        assert_eq!(report.stats.launches, 1);
+        assert!(report.cycles > 0.0);
+    }
+
+    #[test]
+    fn roofline_binds_memory_heavy_kernels() {
+        // A deliberately bandwidth-starved device: per-warp transaction cost
+        // says 8 B/cycle/warp, but the device can only sink 4 B/cycle total,
+        // so any occupancy > 1 warp pins the kernel to the DRAM roofline.
+        let dev = DeviceConfig {
+            dram_bytes_per_cycle: 4.0,
+            ..DeviceConfig::test_tiny()
+        };
+        let buf = crate::memory::DeviceBuffer::<f32>::zeroed(1 << 16);
+        let report = launch(&dev, 8, 1, |blk| {
+            let base = blk.block_idx * 32 * 64;
+            blk.each_warp(|w| {
+                for i in 0..64usize {
+                    let idx = crate::lane::LaneVec::from_fn(|l| base + i * 32 + l);
+                    let _ = w.ld_global(&buf, &idx, Mask::FULL);
+                }
+            });
+        });
+        assert!(report.memory_bound());
+        // 8 blocks x 64 fully-coalesced 128-byte loads = 4 sectors each.
+        assert_eq!(report.stats.global_load_transactions, 8 * 64 * 4);
+        assert_eq!(report.stats.dram_bytes, 8 * 64 * 4 * 32);
+    }
+
+    #[test]
+    fn compute_bound_kernel_ignores_roofline() {
+        let dev = DeviceConfig::test_tiny();
+        let report = launch(&dev, 4, 1, |blk| {
+            blk.each_warp(|w| w.charge_alu(Mask::FULL, 1000));
+        });
+        assert!(!report.memory_bound());
+        assert_eq!(report.cycles, 1000.0); // 4 blocks fit in 8 slots
+    }
+
+    #[test]
+    fn reports_compose_sequentially() {
+        let dev = DeviceConfig::test_tiny();
+        let mk = || {
+            launch(&dev, 2, 1, |blk| {
+                blk.each_warp(|w| w.charge_alu(Mask::FULL, 3));
+            })
+        };
+        let a = mk();
+        let mut total = a;
+        total += mk();
+        assert_eq!(total.cycles, 2.0 * a.cycles);
+        assert_eq!(total.stats.instructions, 2 * a.stats.instructions);
+        assert_eq!(total.stats.launches, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn zero_warp_blocks_rejected() {
+        let dev = DeviceConfig::test_tiny();
+        let _ = launch(&dev, 1, 0, |_| {});
+    }
+}

@@ -1,0 +1,247 @@
+//! Simulated global (device) memory.
+
+use std::cell::{Ref, RefCell, RefMut};
+
+/// Marker for plain-old-data element types that may live in device memory.
+///
+/// `SIZE`/`to_bits`/`from_bits` give the simulator a safe, allocation-free way
+/// to move values through the byte-addressed shared-memory arena and to
+/// compute byte addresses for the coalescing and bank-conflict models.
+///
+/// # Safety
+/// Implementors must be `Copy`, `SIZE` must equal `size_of::<Self>()`, and
+/// `from_bits(to_bits(v))` must reproduce `v` exactly.
+pub unsafe trait Pod: Copy + Default + 'static {
+    /// Element size in bytes (1, 2, 4 or 8).
+    const SIZE: usize;
+    /// Reinterpret the value as little-endian bits in a `u64`.
+    fn to_bits64(self) -> u64;
+    /// Inverse of [`Pod::to_bits64`].
+    fn from_bits64(bits: u64) -> Self;
+}
+
+macro_rules! impl_pod_int {
+    ($t:ty, $size:expr) => {
+        unsafe impl Pod for $t {
+            const SIZE: usize = $size;
+            fn to_bits64(self) -> u64 {
+                self as u64
+            }
+            fn from_bits64(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    };
+}
+
+impl_pod_int!(u8, 1);
+impl_pod_int!(u16, 2);
+impl_pod_int!(u32, 4);
+impl_pod_int!(u64, 8);
+
+unsafe impl Pod for i32 {
+    const SIZE: usize = 4;
+    fn to_bits64(self) -> u64 {
+        self as u32 as u64
+    }
+    fn from_bits64(bits: u64) -> Self {
+        bits as u32 as i32
+    }
+}
+
+unsafe impl Pod for i64 {
+    const SIZE: usize = 8;
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+    fn from_bits64(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+unsafe impl Pod for f32 {
+    const SIZE: usize = 4;
+    fn to_bits64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    fn from_bits64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+unsafe impl Pod for f64 {
+    const SIZE: usize = 8;
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_bits64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+/// A linear allocation in simulated global memory.
+///
+/// Host code creates buffers, uploads data, launches kernels that read/write
+/// them through [`crate::warp::WarpCtx`] accessors (which account coalescing
+/// costs), then downloads results. Interior mutability mirrors the fact that
+/// device memory is shared mutable state; the simulator executes blocks
+/// sequentially and deterministically, so `RefCell` suffices and every data
+/// race a real GPU would allow becomes a deterministic last-writer-wins.
+#[derive(Debug)]
+pub struct DeviceBuffer<T: Pod> {
+    data: RefCell<Vec<T>>,
+    /// Unique id used by the cost model to tell buffers apart when grouping
+    /// lane addresses into memory transactions.
+    id: u64,
+}
+
+fn next_buffer_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl<T: Pod> DeviceBuffer<T> {
+    /// Allocate `len` zero-initialised elements.
+    pub fn zeroed(len: usize) -> Self {
+        DeviceBuffer {
+            data: RefCell::new(vec![T::default(); len]),
+            id: next_buffer_id(),
+        }
+    }
+
+    /// Allocate and fill with `value`.
+    pub fn filled(len: usize, value: T) -> Self {
+        DeviceBuffer {
+            data: RefCell::new(vec![value; len]),
+            id: next_buffer_id(),
+        }
+    }
+
+    /// Upload a host slice.
+    pub fn from_slice(host: &[T]) -> Self {
+        DeviceBuffer {
+            data: RefCell::new(host.to_vec()),
+            id: next_buffer_id(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Identity used by the coalescing model.
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Download the whole buffer to the host.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.borrow().clone()
+    }
+
+    /// Host-side read of one element (no cost accounting — host transfers
+    /// are outside the kernel cost model).
+    pub fn read(&self, idx: usize) -> T {
+        self.data.borrow()[idx]
+    }
+
+    /// Host-side write of one element.
+    pub fn write(&self, idx: usize, v: T) {
+        self.data.borrow_mut()[idx] = v;
+    }
+
+    /// Host-side bulk overwrite; `host.len()` must equal `self.len()`.
+    pub fn copy_from_slice(&self, host: &[T]) {
+        self.data.borrow_mut().copy_from_slice(host);
+    }
+
+    /// Borrow the backing storage immutably (kernel-internal).
+    pub(crate) fn borrow(&self) -> Ref<'_, Vec<T>> {
+        self.data.borrow()
+    }
+
+    /// Borrow the backing storage mutably (kernel-internal).
+    pub(crate) fn borrow_mut(&self) -> RefMut<'_, Vec<T>> {
+        self.data.borrow_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_filled() {
+        let z = DeviceBuffer::<f32>::zeroed(4);
+        assert_eq!(z.to_vec(), vec![0.0; 4]);
+        let f = DeviceBuffer::<u32>::filled(3, 9);
+        assert_eq!(f.to_vec(), vec![9, 9, 9]);
+        assert!(!f.is_empty());
+        assert!(DeviceBuffer::<u32>::zeroed(0).is_empty());
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let host = vec![1u64, 2, 3, 4, 5];
+        let buf = DeviceBuffer::from_slice(&host);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf.to_vec(), host);
+    }
+
+    #[test]
+    fn host_read_write() {
+        let buf = DeviceBuffer::<i32>::zeroed(2);
+        buf.write(1, -7);
+        assert_eq!(buf.read(1), -7);
+        assert_eq!(buf.read(0), 0);
+        buf.copy_from_slice(&[5, 6]);
+        assert_eq!(buf.to_vec(), vec![5, 6]);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = DeviceBuffer::<u8>::zeroed(1);
+        let b = DeviceBuffer::<u8>::zeroed(1);
+        assert_ne!(a.id(), b.id());
+    }
+}
+
+#[cfg(test)]
+mod pod_tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip_all_types() {
+        assert_eq!(u8::from_bits64(0xABu8.to_bits64()), 0xAB);
+        assert_eq!(u16::from_bits64(0xBEEFu16.to_bits64()), 0xBEEF);
+        assert_eq!(u32::from_bits64(0xDEADBEEFu32.to_bits64()), 0xDEADBEEF);
+        assert_eq!(u64::from_bits64(u64::MAX.to_bits64()), u64::MAX);
+        assert_eq!(i32::from_bits64((-42i32).to_bits64()), -42);
+        assert_eq!(i64::from_bits64((-42i64).to_bits64()), -42);
+        assert_eq!(f32::from_bits64(3.25f32.to_bits64()), 3.25);
+        assert_eq!(f64::from_bits64((-0.5f64).to_bits64()), -0.5);
+        // Negative zero and NaN payloads must survive bit transport.
+        assert_eq!(f32::from_bits64((-0.0f32).to_bits64()).to_bits(), (-0.0f32).to_bits());
+        let nan = f32::from_bits(0x7FC0_0001);
+        assert_eq!(f32::from_bits64(nan.to_bits64()).to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn sizes_match_layout() {
+        assert_eq!(<u8 as Pod>::SIZE, std::mem::size_of::<u8>());
+        assert_eq!(<u16 as Pod>::SIZE, std::mem::size_of::<u16>());
+        assert_eq!(<u32 as Pod>::SIZE, std::mem::size_of::<u32>());
+        assert_eq!(<u64 as Pod>::SIZE, std::mem::size_of::<u64>());
+        assert_eq!(<i32 as Pod>::SIZE, std::mem::size_of::<i32>());
+        assert_eq!(<i64 as Pod>::SIZE, std::mem::size_of::<i64>());
+        assert_eq!(<f32 as Pod>::SIZE, std::mem::size_of::<f32>());
+        assert_eq!(<f64 as Pod>::SIZE, std::mem::size_of::<f64>());
+    }
+}

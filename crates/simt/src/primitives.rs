@@ -1,0 +1,291 @@
+//! Warp-level collective primitives (reductions, scans, broadcast).
+//!
+//! Each primitive computes its result directly over the active lanes but
+//! charges the cost of the canonical shuffle-based instruction sequence
+//! (`log2(32) = 5` butterfly rounds), which is how these collectives are
+//! implemented on real hardware.
+
+use crate::device::WARP_LANES;
+use crate::lane::{LaneVec, Mask};
+use crate::warp::WarpCtx;
+
+/// Rounds of a warp-wide shuffle butterfly.
+const SHFL_ROUNDS: u64 = 5;
+
+/// Warp-wide sum of the active lanes of `vals`.
+pub fn reduce_sum_f32(w: &mut WarpCtx, vals: &LaneVec<f32>, mask: Mask) -> f32 {
+    w.charge_alu(mask, 2 * SHFL_ROUNDS); // shfl + add per round
+    mask.iter().map(|l| vals.get(l)).sum()
+}
+
+/// Warp-wide sum of the active lanes of an integer vector.
+pub fn reduce_sum_u32(w: &mut WarpCtx, vals: &LaneVec<u32>, mask: Mask) -> u32 {
+    w.charge_alu(mask, 2 * SHFL_ROUNDS);
+    mask.iter().map(|l| vals.get(l)).fold(0u32, u32::wrapping_add)
+}
+
+/// Warp-wide minimum of the active lanes together with the lane that held it
+/// (lowest lane wins ties). Returns `None` when no lane is active.
+pub fn reduce_min_f32(w: &mut WarpCtx, vals: &LaneVec<f32>, mask: Mask) -> Option<(f32, usize)> {
+    w.charge_alu(mask, 3 * SHFL_ROUNDS); // shfl value + shfl index + select
+    let mut best: Option<(f32, usize)> = None;
+    for l in mask.iter() {
+        let v = vals.get(l);
+        match best {
+            None => best = Some((v, l)),
+            Some((bv, _)) if v < bv => best = Some((v, l)),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Warp-wide maximum of the active lanes together with its lane (lowest lane
+/// wins ties). Returns `None` when no lane is active.
+pub fn reduce_max_u64(w: &mut WarpCtx, vals: &LaneVec<u64>, mask: Mask) -> Option<(u64, usize)> {
+    w.charge_alu(mask, 3 * SHFL_ROUNDS);
+    let mut best: Option<(u64, usize)> = None;
+    for l in mask.iter() {
+        let v = vals.get(l);
+        match best {
+            None => best = Some((v, l)),
+            Some((bv, _)) if v > bv => best = Some((v, l)),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Exclusive prefix sum over the active lanes (inactive lanes read 0 and do
+/// not contribute). Lane `l`'s slot receives the sum of active lanes `< l`.
+pub fn exclusive_scan_u32(w: &mut WarpCtx, vals: &LaneVec<u32>, mask: Mask) -> LaneVec<u32> {
+    w.charge_alu(mask, 2 * SHFL_ROUNDS);
+    let mut out = LaneVec::zeroed();
+    let mut acc = 0u32;
+    for l in 0..WARP_LANES {
+        if mask.active(l) {
+            out.set(l, acc);
+            acc = acc.wrapping_add(vals.get(l));
+        }
+    }
+    out
+}
+
+/// Broadcast the value held by `src_lane` to every active lane.
+pub fn broadcast_f32(w: &mut WarpCtx, vals: &LaneVec<f32>, src_lane: usize, mask: Mask) -> LaneVec<f32> {
+    let src = LaneVec::splat(src_lane);
+    w.shfl(vals, &src, mask)
+}
+
+/// Warp-wide bitonic sort of a 32-lane `u64` vector, ascending. Inactive
+/// lanes are treated as `u64::MAX` and therefore sort to the top; the result
+/// holds the active values in its lowest lanes.
+///
+/// Cost: the full 32-input bitonic network — 15 compare-exchange rounds of
+/// (shuffle + min/max select) each.
+pub fn bitonic_sort_u64(w: &mut WarpCtx, vals: &LaneVec<u64>, mask: Mask) -> LaneVec<u64> {
+    w.charge_alu(Mask::FULL, 15 * 3);
+    let mut v: Vec<u64> = (0..WARP_LANES)
+        .map(|l| if mask.active(l) { vals.get(l) } else { u64::MAX })
+        .collect();
+    v.sort_unstable();
+    LaneVec::from_fn(|l| v[l])
+}
+
+/// Stream compaction: returns, for each active lane whose `keep` bit is set,
+/// its rank among the kept lanes (dense, starting at 0), plus the total kept
+/// count. The canonical ballot-plus-popcount idiom.
+pub fn compact_ranks(w: &mut WarpCtx, keep: Mask, mask: Mask) -> (LaneVec<usize>, usize) {
+    // ballot + per-lane popcount of the lower bits + broadcast of the total.
+    w.charge_alu(mask, 3);
+    let kept = keep.and(mask);
+    let mut ranks = LaneVec::zeroed();
+    let mut count = 0usize;
+    for l in 0..WARP_LANES {
+        if kept.active(l) {
+            ranks.set(l, count);
+            count += 1;
+        }
+    }
+    (ranks, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockCtx;
+    use crate::device::DeviceConfig;
+
+    fn with_warp(f: impl FnMut(&mut WarpCtx)) {
+        let dev = DeviceConfig::test_tiny();
+        let mut l2 = crate::cache::L2Cache::new(1024);
+        let mut blk = BlockCtx::new(&dev, 0, 1, &mut l2);
+        blk.each_warp(f);
+    }
+
+    #[test]
+    fn sum_over_active_lanes_only() {
+        with_warp(|w| {
+            let vals = LaneVec::from_fn(|l| l as f32);
+            let s = reduce_sum_f32(w, &vals, Mask::first(4));
+            assert_eq!(s, 0.0 + 1.0 + 2.0 + 3.0);
+            let full = reduce_sum_f32(w, &vals, Mask::FULL);
+            assert_eq!(full, (0..32).sum::<i32>() as f32);
+        });
+    }
+
+    #[test]
+    fn sum_u32_wraps() {
+        with_warp(|w| {
+            let vals = LaneVec::splat(u32::MAX);
+            let s = reduce_sum_u32(w, &vals, Mask::first(2));
+            assert_eq!(s, u32::MAX.wrapping_add(u32::MAX));
+        });
+    }
+
+    #[test]
+    fn min_returns_value_and_lane() {
+        with_warp(|w| {
+            let vals = LaneVec::from_fn(|l| (32 - l) as f32);
+            let (v, lane) = reduce_min_f32(w, &vals, Mask::FULL).unwrap();
+            assert_eq!(v, 1.0);
+            assert_eq!(lane, 31);
+            assert_eq!(reduce_min_f32(w, &vals, Mask::NONE), None);
+        });
+    }
+
+    #[test]
+    fn min_tie_prefers_lowest_lane() {
+        with_warp(|w| {
+            let vals = LaneVec::splat(7.0f32);
+            let (_, lane) = reduce_min_f32(w, &vals, Mask::FULL).unwrap();
+            assert_eq!(lane, 0);
+        });
+    }
+
+    #[test]
+    fn max_u64_finds_argmax() {
+        with_warp(|w| {
+            let mut vals = LaneVec::splat(5u64);
+            vals.set(17, 99);
+            let (v, lane) = reduce_max_u64(w, &vals, Mask::FULL).unwrap();
+            assert_eq!((v, lane), (99, 17));
+        });
+    }
+
+    #[test]
+    fn max_u64_ignores_inactive_lanes() {
+        with_warp(|w| {
+            let mut vals = LaneVec::splat(1u64);
+            vals.set(30, 100);
+            let (v, _) = reduce_max_u64(w, &vals, Mask::first(8)).unwrap();
+            assert_eq!(v, 1);
+        });
+    }
+
+    #[test]
+    fn scan_is_exclusive_and_skips_inactive() {
+        with_warp(|w| {
+            let vals = LaneVec::splat(1u32);
+            let mask = Mask::from_fn(|l| l % 2 == 0);
+            let out = exclusive_scan_u32(w, &vals, mask);
+            // Active lanes 0,2,4,... receive 0,1,2,...
+            assert_eq!(out.get(0), 0);
+            assert_eq!(out.get(2), 1);
+            assert_eq!(out.get(4), 2);
+            assert_eq!(out.get(30), 15);
+            // Inactive lanes untouched (zero).
+            assert_eq!(out.get(1), 0);
+        });
+    }
+
+    #[test]
+    fn broadcast_copies_one_lane() {
+        with_warp(|w| {
+            let vals = LaneVec::from_fn(|l| l as f32 * 2.0);
+            let out = broadcast_f32(w, &vals, 9, Mask::FULL);
+            for l in 0..WARP_LANES {
+                assert_eq!(out.get(l), 18.0);
+            }
+        });
+    }
+
+    #[test]
+    fn primitives_charge_cycles() {
+        let dev = DeviceConfig::test_tiny();
+        let mut l2 = crate::cache::L2Cache::new(1024);
+        let mut blk = BlockCtx::new(&dev, 0, 1, &mut l2);
+        blk.each_warp(|w| {
+            let vals = LaneVec::splat(1.0f32);
+            let _ = reduce_sum_f32(w, &vals, Mask::FULL);
+        });
+        let (stats, cycles, _) = blk.finish();
+        assert_eq!(stats.instructions, 2 * SHFL_ROUNDS);
+        assert!(cycles > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod sort_compact_tests {
+    use super::*;
+    use crate::block::BlockCtx;
+    use crate::cache::L2Cache;
+    use crate::device::DeviceConfig;
+
+    fn with_warp(f: impl FnMut(&mut WarpCtx)) {
+        let dev = DeviceConfig::test_tiny();
+        let mut l2 = L2Cache::new(1024);
+        let mut blk = BlockCtx::new(&dev, 0, 1, &mut l2);
+        blk.each_warp(f);
+    }
+
+    #[test]
+    fn bitonic_sorts_full_warp() {
+        with_warp(|w| {
+            let vals = LaneVec::from_fn(|l| ((31 - l) as u64) * 7);
+            let sorted = bitonic_sort_u64(w, &vals, Mask::FULL);
+            for l in 0..WARP_LANES - 1 {
+                assert!(sorted.get(l) <= sorted.get(l + 1));
+            }
+            assert_eq!(sorted.get(0), 0);
+            assert_eq!(sorted.get(31), 31 * 7);
+        });
+    }
+
+    #[test]
+    fn bitonic_pushes_inactive_lanes_to_top() {
+        with_warp(|w| {
+            let vals = LaneVec::from_fn(|l| l as u64);
+            let sorted = bitonic_sort_u64(w, &vals, Mask::first(5));
+            assert_eq!(
+                (0..5).map(|l| sorted.get(l)).collect::<Vec<_>>(),
+                vec![0, 1, 2, 3, 4]
+            );
+            assert!((5..32).all(|l| sorted.get(l) == u64::MAX));
+        });
+    }
+
+    #[test]
+    fn compact_assigns_dense_ranks() {
+        with_warp(|w| {
+            let keep = Mask::from_fn(|l| l % 3 == 0);
+            let (ranks, count) = compact_ranks(w, keep, Mask::FULL);
+            assert_eq!(count, 11);
+            assert_eq!(ranks.get(0), 0);
+            assert_eq!(ranks.get(3), 1);
+            assert_eq!(ranks.get(30), 10);
+        });
+    }
+
+    #[test]
+    fn compact_respects_the_active_mask() {
+        with_warp(|w| {
+            let keep = Mask::FULL;
+            let (ranks, count) = compact_ranks(w, keep, Mask::first(4));
+            assert_eq!(count, 4);
+            assert_eq!(ranks.get(3), 3);
+            // Lanes outside the active mask are not ranked.
+            assert_eq!(ranks.get(10), 0);
+        });
+    }
+}

@@ -1,0 +1,102 @@
+//! Human-readable rendering of launch reports (profiler-style summary).
+
+use crate::device::DeviceConfig;
+use crate::launch::LaunchReport;
+
+fn eng(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Render a profiler-style multi-line summary of `report` on `dev`.
+///
+/// ```
+/// use wknng_simt::{launch, report::summary, DeviceConfig, Mask};
+/// let dev = DeviceConfig::test_tiny();
+/// let r = launch(&dev, 1, 1, |blk| blk.each_warp(|w| w.charge_alu(Mask::FULL, 10)));
+/// let s = summary(&r, &dev);
+/// assert!(s.contains("cycles"));
+/// ```
+pub fn summary(report: &LaunchReport, dev: &DeviceConfig) -> String {
+    let s = &report.stats;
+    let bound = if report.memory_bound() {
+        "memory (DRAM roofline)"
+    } else if report.atomic_cycles >= report.cycles {
+        "atomics (hot-sector serialization)"
+    } else {
+        "compute (issue/latency)"
+    };
+    let l2_total = s.l2_hits + s.l2_misses;
+    let l2_rate = if l2_total == 0 { 0.0 } else { 100.0 * s.l2_hits as f64 / l2_total as f64 };
+    format!(
+        "device: {}\n\
+         cycles: {} ({:.3} ms) — bound by {}\n\
+         launches {} | blocks {} | barriers {}\n\
+         instructions {} | divergence {:.1}%\n\
+         global tx {} (loads {} / stores {}) | L2 hit {:.1}% | DRAM {}B\n\
+         shared accesses {} | bank conflicts {}\n\
+         atomics {} | within-warp serializations {} | retries {} | hot sector {}",
+        dev.name,
+        eng(report.cycles),
+        report.ms(dev),
+        bound,
+        s.launches,
+        report.blocks,
+        s.barriers,
+        eng(s.instructions as f64),
+        100.0 * s.divergence_ratio(),
+        eng(s.global_transactions() as f64),
+        eng(s.global_load_transactions as f64),
+        eng(s.global_store_transactions as f64),
+        l2_rate,
+        eng(s.dram_bytes as f64),
+        eng(s.shared_accesses as f64),
+        eng(s.shared_bank_conflicts as f64),
+        eng(s.atomic_ops as f64),
+        eng(s.atomic_serializations as f64),
+        eng(s.atomic_retries as f64),
+        report.atomic_hot_sector,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::{LaneVec, Mask};
+    use crate::launch::launch;
+    use crate::memory::DeviceBuffer;
+
+    #[test]
+    fn summary_mentions_every_counter_class() {
+        let dev = DeviceConfig::test_tiny();
+        let buf = DeviceBuffer::<u64>::zeroed(32);
+        let r = launch(&dev, 2, 1, |blk| {
+            blk.each_warp(|w| {
+                let idx = w.math_idx(Mask::FULL, |l| l);
+                let vals = LaneVec::splat(7u64);
+                let _ = w.atomic_max_u64(&buf, &idx, &vals, Mask::FULL);
+            });
+            blk.sync();
+        });
+        let s = summary(&r, &dev);
+        for needle in ["cycles", "instructions", "atomics", "L2 hit", "bank conflicts", "bound by"]
+        {
+            assert!(s.contains(needle), "missing '{needle}' in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn engineering_units() {
+        assert_eq!(eng(12.0), "12");
+        assert_eq!(eng(1200.0), "1.2k");
+        assert_eq!(eng(3.4e6), "3.40M");
+        assert_eq!(eng(5.6e9), "5.60G");
+    }
+}

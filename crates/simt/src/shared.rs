@@ -1,0 +1,209 @@
+//! Per-block shared memory: a bump-allocated, byte-addressed scratchpad with
+//! bank-conflict accounting hooks.
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+
+use crate::device::SHARED_BANKS;
+use crate::memory::Pod;
+
+/// A typed view into a block's shared-memory arena.
+///
+/// Obtained from [`crate::block::BlockCtx::shared_alloc`]; all loads/stores go
+/// through [`crate::warp::WarpCtx`] so the bank-conflict model sees the lane
+/// address pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedArray<T: Pod> {
+    pub(crate) byte_offset: usize,
+    pub(crate) len: usize,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Pod> SharedArray<T> {
+    /// Number of elements in the array.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of element `idx` within the arena.
+    pub(crate) fn byte_addr(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.len, "shared-memory index {idx} out of bounds (len {})", self.len);
+        self.byte_offset + idx * T::SIZE
+    }
+}
+
+/// The shared-memory scratchpad of one thread block.
+#[derive(Debug)]
+pub struct SharedMem {
+    bytes: RefCell<Vec<u8>>,
+    next: Cell<usize>,
+    capacity: usize,
+}
+
+impl SharedMem {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SharedMem {
+            bytes: RefCell::new(vec![0u8; capacity]),
+            next: Cell::new(0),
+            capacity,
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.next.get()
+    }
+
+    /// Arena capacity in bytes (the device's per-block shared memory).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bump-allocate `len` elements of `T`, aligned to `T::SIZE`.
+    ///
+    /// # Panics
+    /// Panics if the block's shared-memory capacity would be exceeded — the
+    /// same condition that makes a real CUDA launch fail.
+    pub(crate) fn alloc<T: Pod>(&self, len: usize) -> SharedArray<T> {
+        let align = T::SIZE.max(1);
+        let start = (self.next.get() + align - 1) / align * align;
+        let end = start + len * T::SIZE;
+        assert!(
+            end <= self.capacity,
+            "shared memory overflow: need {end} bytes, capacity {}",
+            self.capacity
+        );
+        self.next.set(end);
+        SharedArray {
+            byte_offset: start,
+            len,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Reset the arena (between logically independent kernel phases).
+    pub(crate) fn reset(&self) {
+        self.next.set(0);
+    }
+
+    pub(crate) fn load<T: Pod>(&self, arr: &SharedArray<T>, idx: usize) -> T {
+        let addr = arr.byte_addr(idx);
+        let bytes = self.bytes.borrow();
+        let mut bits = 0u64;
+        for i in 0..T::SIZE {
+            bits |= (bytes[addr + i] as u64) << (8 * i);
+        }
+        T::from_bits64(bits)
+    }
+
+    pub(crate) fn store<T: Pod>(&self, arr: &SharedArray<T>, idx: usize, v: T) {
+        let addr = arr.byte_addr(idx);
+        let mut bytes = self.bytes.borrow_mut();
+        let bits = v.to_bits64();
+        for i in 0..T::SIZE {
+            bytes[addr + i] = (bits >> (8 * i)) as u8;
+        }
+    }
+}
+
+/// Number of shared-memory replays needed to satisfy the given active byte
+/// addresses (1 = conflict-free). Lanes touching the same 4-byte word
+/// broadcast and cost nothing extra; distinct words mapping to the same bank
+/// serialize.
+pub(crate) fn bank_replays(addrs: &[usize]) -> u64 {
+    let mut words_per_bank: [Vec<usize>; SHARED_BANKS] = std::array::from_fn(|_| Vec::new());
+    for &addr in addrs {
+        let word = addr / 4;
+        let bank = word % SHARED_BANKS;
+        if !words_per_bank[bank].contains(&word) {
+            words_per_bank[bank].push(word);
+        }
+    }
+    words_per_bank
+        .iter()
+        .map(|w| w.len() as u64)
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_bounded() {
+        let sm = SharedMem::new(64);
+        let a = sm.alloc::<u8>(3);
+        assert_eq!(a.byte_offset, 0);
+        let b = sm.alloc::<f32>(4);
+        assert_eq!(b.byte_offset % 4, 0);
+        assert_eq!(sm.used(), b.byte_offset + 16);
+        assert_eq!(sm.capacity(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory overflow")]
+    fn alloc_overflow_panics() {
+        let sm = SharedMem::new(16);
+        let _ = sm.alloc::<u64>(3);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let sm = SharedMem::new(256);
+        let arr = sm.alloc::<f32>(8);
+        sm.store(&arr, 3, -1.5f32);
+        assert_eq!(sm.load::<f32>(&arr, 3), -1.5);
+        assert_eq!(sm.load::<f32>(&arr, 0), 0.0);
+        let ints = sm.alloc::<u64>(2);
+        sm.store(&ints, 1, u64::MAX - 7);
+        assert_eq!(sm.load::<u64>(&ints, 1), u64::MAX - 7);
+    }
+
+    #[test]
+    fn reset_reclaims_space() {
+        let sm = SharedMem::new(32);
+        let _ = sm.alloc::<u64>(4);
+        sm.reset();
+        let again = sm.alloc::<u64>(4);
+        assert_eq!(again.byte_offset, 0);
+    }
+
+    #[test]
+    fn conflict_free_unit_stride() {
+        // Lanes access consecutive f32 words: one replay.
+        let addrs: Vec<usize> = (0..32).map(|l| l * 4).collect();
+        assert_eq!(bank_replays(&addrs), 1);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        let addrs = vec![100usize; 32];
+        assert_eq!(bank_replays(&addrs), 1);
+    }
+
+    #[test]
+    fn stride_two_words_conflicts() {
+        // Stride of 2 words: lanes 0 and 16 hit bank 0 with distinct words.
+        let addrs: Vec<usize> = (0..32).map(|l| l * 8).collect();
+        assert_eq!(bank_replays(&addrs), 2);
+    }
+
+    #[test]
+    fn worst_case_same_bank() {
+        // 32 distinct words, all in bank 0.
+        let addrs: Vec<usize> = (0..32).map(|l| l * 4 * SHARED_BANKS).collect();
+        assert_eq!(bank_replays(&addrs), 32);
+    }
+
+    #[test]
+    fn empty_access_counts_one_replay() {
+        assert_eq!(bank_replays(&[]), 1);
+    }
+}

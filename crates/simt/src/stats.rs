@@ -1,0 +1,175 @@
+//! Hardware-counter style statistics collected while simulating a kernel.
+
+use std::ops::{Add, AddAssign};
+
+/// Counters accumulated during simulated kernel execution.
+///
+/// These mirror the profiler counters a CUDA developer would inspect
+/// (`nvprof`/`ncu` style): warp instructions issued, global-memory
+/// transactions, shared-memory bank-conflict replays, atomic serializations
+/// and barrier counts. The w-KNNG evaluation uses them to explain *why* each
+/// kernel variant wins in its regime (experiment E8 in `DESIGN.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Stats {
+    /// Warp-level instructions issued (one per 32-lane SIMT operation).
+    pub instructions: u64,
+    /// Individual lane operations executed (active lanes only).
+    pub lane_ops: u64,
+    /// Lane slots that were predicated off while their warp issued an
+    /// instruction. High values indicate branch divergence.
+    pub inactive_lane_slots: u64,
+    /// 32-byte global-memory load transactions after coalescing.
+    pub global_load_transactions: u64,
+    /// 32-byte global-memory store transactions after coalescing.
+    pub global_store_transactions: u64,
+    /// Total bytes moved to/from simulated DRAM (L2 misses × 32B).
+    pub dram_bytes: u64,
+    /// Global transactions served by the L2 cache.
+    pub l2_hits: u64,
+    /// Global transactions that missed L2 and went to DRAM.
+    pub l2_misses: u64,
+    /// Shared-memory accesses (warp-level).
+    pub shared_accesses: u64,
+    /// Extra shared-memory replays caused by bank conflicts.
+    pub shared_bank_conflicts: u64,
+    /// Atomic operations executed (per active lane).
+    pub atomic_ops: u64,
+    /// Lane-atomics that had to serialize behind another lane targeting the
+    /// same address within one warp-level atomic instruction.
+    pub atomic_serializations: u64,
+    /// CAS operations that failed and were retried by the caller.
+    pub atomic_retries: u64,
+    /// Block-wide barriers executed.
+    pub barriers: u64,
+    /// Kernel launches merged into this record.
+    pub launches: u64,
+}
+
+impl Stats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total global transactions (loads + stores).
+    pub fn global_transactions(&self) -> u64 {
+        self.global_load_transactions + self.global_store_transactions
+    }
+
+    /// Fraction of issued lane slots that were predicated off, in `[0, 1)`.
+    ///
+    /// `0.0` means perfectly converged execution; values approaching `1.0`
+    /// mean most of the machine was idle due to divergence.
+    pub fn divergence_ratio(&self) -> f64 {
+        let issued = self.lane_ops + self.inactive_lane_slots;
+        if issued == 0 {
+            0.0
+        } else {
+            self.inactive_lane_slots as f64 / issued as f64
+        }
+    }
+
+    /// Average number of serialized extra rounds per atomic instruction.
+    pub fn atomic_contention(&self) -> f64 {
+        if self.atomic_ops == 0 {
+            0.0
+        } else {
+            self.atomic_serializations as f64 / self.atomic_ops as f64
+        }
+    }
+}
+
+impl Add for Stats {
+    type Output = Stats;
+    fn add(mut self, rhs: Stats) -> Stats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Stats {
+    fn add_assign(&mut self, rhs: Stats) {
+        self.instructions += rhs.instructions;
+        self.lane_ops += rhs.lane_ops;
+        self.inactive_lane_slots += rhs.inactive_lane_slots;
+        self.global_load_transactions += rhs.global_load_transactions;
+        self.global_store_transactions += rhs.global_store_transactions;
+        self.dram_bytes += rhs.dram_bytes;
+        self.l2_hits += rhs.l2_hits;
+        self.l2_misses += rhs.l2_misses;
+        self.shared_accesses += rhs.shared_accesses;
+        self.shared_bank_conflicts += rhs.shared_bank_conflicts;
+        self.atomic_ops += rhs.atomic_ops;
+        self.atomic_serializations += rhs.atomic_serializations;
+        self.atomic_retries += rhs.atomic_retries;
+        self.barriers += rhs.barriers;
+        self.launches += rhs.launches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_by_default() {
+        let s = Stats::new();
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.global_transactions(), 0);
+        assert_eq!(s.divergence_ratio(), 0.0);
+        assert_eq!(s.atomic_contention(), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates_every_field() {
+        let mut a = Stats::new();
+        a.instructions = 1;
+        a.lane_ops = 2;
+        a.inactive_lane_slots = 3;
+        a.global_load_transactions = 4;
+        a.global_store_transactions = 5;
+        a.dram_bytes = 6;
+        a.shared_accesses = 7;
+        a.shared_bank_conflicts = 8;
+        a.atomic_ops = 9;
+        a.atomic_serializations = 10;
+        a.atomic_retries = 11;
+        a.barriers = 12;
+        a.launches = 13;
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.instructions, 2);
+        assert_eq!(c.lane_ops, 4);
+        assert_eq!(c.inactive_lane_slots, 6);
+        assert_eq!(c.global_load_transactions, 8);
+        assert_eq!(c.global_store_transactions, 10);
+        assert_eq!(c.dram_bytes, 12);
+        assert_eq!(c.shared_accesses, 14);
+        assert_eq!(c.shared_bank_conflicts, 16);
+        assert_eq!(c.atomic_ops, 18);
+        assert_eq!(c.atomic_serializations, 20);
+        assert_eq!(c.atomic_retries, 22);
+        assert_eq!(c.barriers, 24);
+        assert_eq!(c.launches, 26);
+    }
+
+    #[test]
+    fn divergence_ratio_counts_inactive_share() {
+        let s = Stats {
+            lane_ops: 24,
+            inactive_lane_slots: 8,
+            ..Stats::default()
+        };
+        assert!((s.divergence_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_contention_is_serializations_per_op() {
+        let s = Stats {
+            atomic_ops: 10,
+            atomic_serializations: 5,
+            ..Stats::default()
+        };
+        assert!((s.atomic_contention() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,368 @@
+//! The warp execution context: every SIMT instruction a kernel can issue.
+
+use crate::cache::L2Cache;
+use crate::device::{DeviceConfig, SECTOR_BYTES, WARP_LANES};
+use crate::lane::{LaneVec, Mask};
+use crate::memory::{DeviceBuffer, Pod};
+use crate::shared::{bank_replays, SharedArray, SharedMem};
+use crate::stats::Stats;
+
+/// Execution context of one warp inside a block.
+///
+/// Every method models one (or a fixed short sequence of) SIMT instruction(s):
+/// it performs the architectural effect *and* charges the cost model. Kernels
+/// are written against this context exactly the way warp-centric CUDA kernels
+/// are written against `__shfl_sync`/`atomicCAS`/shared tiles.
+pub struct WarpCtx<'a> {
+    /// Device being simulated.
+    pub device: &'a DeviceConfig,
+    /// Index of the owning block within the grid.
+    pub block_idx: usize,
+    /// Warp index within the block.
+    pub warp_in_block: usize,
+    /// Flat warp index within the grid.
+    pub global_warp: usize,
+    pub(crate) shared: &'a SharedMem,
+    pub(crate) stats: &'a mut Stats,
+    pub(crate) cycles: f64,
+    /// `(buffer id, 32-byte sector)` of every lane-atomic issued; the launch
+    /// aggregates this into the cross-warp contention model.
+    pub(crate) atomic_log: &'a mut Vec<(u64, u64)>,
+    /// Launch-wide L2 cache consulted by every global transaction.
+    pub(crate) l2: &'a mut L2Cache,
+}
+
+impl<'a> WarpCtx<'a> {
+    /// Cycles this warp has accumulated so far in the current phase.
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    #[inline]
+    fn charge_issue(&mut self, mask: Mask, n: u64) {
+        let active = mask.count() as u64;
+        self.stats.instructions += n;
+        self.stats.lane_ops += active * n;
+        self.stats.inactive_lane_slots += (WARP_LANES as u64 - active) * n;
+        self.cycles += self.device.alu_cycles * n as f64;
+    }
+
+    /// Charge `n` ALU instructions without an architectural effect. Used by
+    /// composite primitives whose semantics are computed directly but whose
+    /// hardware cost is a known instruction sequence.
+    pub fn charge_alu(&mut self, mask: Mask, n: u64) {
+        self.charge_issue(mask, n);
+    }
+
+    /// One ALU instruction: apply `f` on each active lane.
+    ///
+    /// Inactive lanes hold `T::default()` in the result, mirroring a
+    /// predicated-off register write.
+    pub fn math<T: Pod>(&mut self, mask: Mask, mut f: impl FnMut(usize) -> T) -> LaneVec<T> {
+        self.charge_issue(mask, 1);
+        LaneVec::from_fn(|l| if mask.active(l) { f(l) } else { T::default() })
+    }
+
+    /// One ALU instruction with **predicated write-back**: active lanes
+    /// receive `f(lane)`, inactive lanes keep their value from `prev`. This
+    /// is how a masked accumulator update behaves on hardware — use it for
+    /// any loop-carried register, or partial sums silently vanish on the
+    /// ragged last iteration.
+    pub fn math_keep<T: Pod>(
+        &mut self,
+        mask: Mask,
+        prev: &LaneVec<T>,
+        mut f: impl FnMut(usize) -> T,
+    ) -> LaneVec<T> {
+        self.charge_issue(mask, 1);
+        LaneVec::from_fn(|l| if mask.active(l) { f(l) } else { prev.get(l) })
+    }
+
+    /// Like [`WarpCtx::math`] for index-typed values (`usize` is not `Pod`
+    /// because it never lives in device memory).
+    pub fn math_idx(&mut self, mask: Mask, mut f: impl FnMut(usize) -> usize) -> LaneVec<usize> {
+        self.charge_issue(mask, 1);
+        LaneVec::from_fn(|l| if mask.active(l) { f(l) } else { 0 })
+    }
+
+    /// One predicate instruction: evaluate `f` on active lanes, returning the
+    /// sub-mask of lanes where it held.
+    pub fn pred(&mut self, mask: Mask, mut f: impl FnMut(usize) -> bool) -> Mask {
+        self.charge_issue(mask, 1);
+        Mask::from_fn(|l| mask.active(l) && f(l))
+    }
+
+    // ---------------------------------------------------------------- global
+
+    /// Group the active lane addresses into 32-byte sectors, consult the L2
+    /// cache for each, and charge the memory-path costs. Returns the number
+    /// of transactions issued.
+    fn access_global<T: Pod>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: &LaneVec<usize>,
+        mask: Mask,
+    ) -> u64 {
+        let mut sectors: Vec<(u64, u64)> = Vec::with_capacity(mask.count());
+        for lane in mask.iter() {
+            let byte = idx.get(lane) * T::SIZE;
+            let sector = (buf.id(), (byte / SECTOR_BYTES) as u64);
+            if !sectors.contains(&sector) {
+                sectors.push(sector);
+            }
+        }
+        for &sector in &sectors {
+            if self.l2.access(sector) {
+                self.stats.l2_hits += 1;
+                self.cycles += self.device.l2_hit_cycles;
+            } else {
+                self.stats.l2_misses += 1;
+                self.stats.dram_bytes += SECTOR_BYTES as u64;
+                self.cycles += self.device.global_tx_cycles;
+            }
+        }
+        sectors.len() as u64
+    }
+
+    /// Coalesced global load: each active lane reads `buf[idx[lane]]`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices of active lanes (a kernel bug, like a
+    /// CUDA illegal memory access).
+    pub fn ld_global<T: Pod>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: &LaneVec<usize>,
+        mask: Mask,
+    ) -> LaneVec<T> {
+        let tx = self.access_global(buf, idx, mask);
+        self.charge_issue(mask, 1);
+        self.stats.global_load_transactions += tx;
+        let data = buf.borrow();
+        LaneVec::from_fn(|l| if mask.active(l) { data[idx.get(l)] } else { T::default() })
+    }
+
+    /// Coalesced global store: each active lane writes `vals[lane]` to
+    /// `buf[idx[lane]]`. Lanes writing the same address resolve to the
+    /// highest active lane (deterministic stand-in for the hardware's
+    /// unspecified winner).
+    pub fn st_global<T: Pod>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: &LaneVec<usize>,
+        vals: &LaneVec<T>,
+        mask: Mask,
+    ) {
+        let tx = self.access_global(buf, idx, mask);
+        self.charge_issue(mask, 1);
+        self.stats.global_store_transactions += tx;
+        let mut data = buf.borrow_mut();
+        for lane in mask.iter() {
+            data[idx.get(lane)] = vals.get(lane);
+        }
+    }
+
+    // --------------------------------------------------------------- atomics
+
+    fn charge_atomic<T: Pod>(&mut self, buf: &DeviceBuffer<T>, idx: &LaneVec<usize>, mask: Mask) {
+        let active = mask.count() as u64;
+        self.stats.atomic_ops += active;
+        for lane in mask.iter() {
+            let sector = (idx.get(lane) * T::SIZE / SECTOR_BYTES) as u64;
+            self.atomic_log.push((buf.id(), sector));
+        }
+        // Serialization: lanes grouped by target address; each extra lane in
+        // a group replays.
+        let mut groups: Vec<(usize, u64)> = Vec::new();
+        for lane in mask.iter() {
+            let a = idx.get(lane);
+            if let Some(g) = groups.iter_mut().find(|(addr, _)| *addr == a) {
+                g.1 += 1;
+            } else {
+                groups.push((a, 1));
+            }
+        }
+        let serialized: u64 = groups.iter().map(|&(_, c)| c - 1).sum();
+        self.stats.atomic_serializations += serialized;
+        self.stats.global_store_transactions += groups.len() as u64;
+        // Atomics resolve in L2; only misses touch DRAM.
+        for &(a, _) in &groups {
+            let sector = (buf.id(), (a * T::SIZE / SECTOR_BYTES) as u64);
+            if self.l2.access(sector) {
+                self.stats.l2_hits += 1;
+            } else {
+                self.stats.l2_misses += 1;
+                self.stats.dram_bytes += SECTOR_BYTES as u64;
+                self.cycles += self.device.global_tx_cycles;
+            }
+        }
+        self.charge_issue(mask, 1);
+        self.cycles += self.device.atomic_base_cycles
+            + serialized as f64 * self.device.atomic_conflict_cycles;
+    }
+
+    /// Per-lane `atomicCAS` on a `u64` buffer. Lanes execute in ascending
+    /// lane order (deterministic). Returns the value observed before the
+    /// lane's own operation (the CUDA `atomicCAS` return value).
+    pub fn atomic_cas_u64(
+        &mut self,
+        buf: &DeviceBuffer<u64>,
+        idx: &LaneVec<usize>,
+        compare: &LaneVec<u64>,
+        new: &LaneVec<u64>,
+        mask: Mask,
+    ) -> LaneVec<u64> {
+        self.charge_atomic(buf, idx, mask);
+        let mut data = buf.borrow_mut();
+        let mut old = LaneVec::zeroed();
+        for lane in mask.iter() {
+            let a = idx.get(lane);
+            let cur = data[a];
+            old.set(lane, cur);
+            if cur == compare.get(lane) {
+                data[a] = new.get(lane);
+            }
+        }
+        old
+    }
+
+    /// Per-lane `atomicMax` on a `u64` buffer; returns pre-operation values.
+    pub fn atomic_max_u64(
+        &mut self,
+        buf: &DeviceBuffer<u64>,
+        idx: &LaneVec<usize>,
+        vals: &LaneVec<u64>,
+        mask: Mask,
+    ) -> LaneVec<u64> {
+        self.charge_atomic(buf, idx, mask);
+        let mut data = buf.borrow_mut();
+        let mut old = LaneVec::zeroed();
+        for lane in mask.iter() {
+            let a = idx.get(lane);
+            old.set(lane, data[a]);
+            data[a] = data[a].max(vals.get(lane));
+        }
+        old
+    }
+
+    /// Per-lane `atomicMin` on a `u64` buffer; returns pre-operation values.
+    pub fn atomic_min_u64(
+        &mut self,
+        buf: &DeviceBuffer<u64>,
+        idx: &LaneVec<usize>,
+        vals: &LaneVec<u64>,
+        mask: Mask,
+    ) -> LaneVec<u64> {
+        self.charge_atomic(buf, idx, mask);
+        let mut data = buf.borrow_mut();
+        let mut old = LaneVec::zeroed();
+        for lane in mask.iter() {
+            let a = idx.get(lane);
+            old.set(lane, data[a]);
+            data[a] = data[a].min(vals.get(lane));
+        }
+        old
+    }
+
+    /// Per-lane `atomicAdd` on a `u32` buffer; returns pre-operation values.
+    pub fn atomic_add_u32(
+        &mut self,
+        buf: &DeviceBuffer<u32>,
+        idx: &LaneVec<usize>,
+        vals: &LaneVec<u32>,
+        mask: Mask,
+    ) -> LaneVec<u32> {
+        self.charge_atomic(buf, idx, mask);
+        let mut data = buf.borrow_mut();
+        let mut old = LaneVec::zeroed();
+        for lane in mask.iter() {
+            let a = idx.get(lane);
+            old.set(lane, data[a]);
+            data[a] = data[a].wrapping_add(vals.get(lane));
+        }
+        old
+    }
+
+    /// Record `n` failed-and-retried CAS attempts (callers implementing CAS
+    /// loops report their retries so E8 can expose contention).
+    pub fn note_atomic_retries(&mut self, n: u64) {
+        self.stats.atomic_retries += n;
+    }
+
+    // --------------------------------------------------------------- shuffle
+
+    /// `__shfl_sync`: every active lane reads the register of `src[lane]`.
+    /// Reading from an inactive source lane yields that lane's current value
+    /// (matching hardware, where the register still exists).
+    pub fn shfl<T: Pod>(
+        &mut self,
+        vals: &LaneVec<T>,
+        src: &LaneVec<usize>,
+        mask: Mask,
+    ) -> LaneVec<T> {
+        self.charge_issue(mask, 1);
+        LaneVec::from_fn(|l| {
+            if mask.active(l) {
+                vals.get(src.get(l) % WARP_LANES)
+            } else {
+                T::default()
+            }
+        })
+    }
+
+    /// `__ballot_sync`: bitmask of active lanes whose value is `true`.
+    pub fn ballot(&mut self, pred: &LaneVec<bool>, mask: Mask) -> u32 {
+        self.charge_issue(mask, 1);
+        let mut bits = 0u32;
+        for lane in mask.iter() {
+            if pred.get(lane) {
+                bits |= 1 << lane;
+            }
+        }
+        bits
+    }
+
+    // ---------------------------------------------------------------- shared
+
+    /// Shared-memory load with bank-conflict accounting.
+    pub fn sh_load<T: Pod>(
+        &mut self,
+        arr: &SharedArray<T>,
+        idx: &LaneVec<usize>,
+        mask: Mask,
+    ) -> LaneVec<T> {
+        let addrs: Vec<usize> = mask.iter().map(|l| arr.byte_addr(idx.get(l))).collect();
+        let replays = bank_replays(&addrs);
+        self.charge_issue(mask, 1);
+        self.stats.shared_accesses += 1;
+        self.stats.shared_bank_conflicts += replays - 1;
+        self.cycles += replays as f64 * self.device.shared_cycles;
+        LaneVec::from_fn(|l| {
+            if mask.active(l) {
+                self.shared.load(arr, idx.get(l))
+            } else {
+                T::default()
+            }
+        })
+    }
+
+    /// Shared-memory store with bank-conflict accounting. Same-address lanes
+    /// resolve to the highest active lane.
+    pub fn sh_store<T: Pod>(
+        &mut self,
+        arr: &SharedArray<T>,
+        idx: &LaneVec<usize>,
+        vals: &LaneVec<T>,
+        mask: Mask,
+    ) {
+        let addrs: Vec<usize> = mask.iter().map(|l| arr.byte_addr(idx.get(l))).collect();
+        let replays = bank_replays(&addrs);
+        self.charge_issue(mask, 1);
+        self.stats.shared_accesses += 1;
+        self.stats.shared_bank_conflicts += replays - 1;
+        self.cycles += replays as f64 * self.device.shared_cycles;
+        for lane in mask.iter() {
+            self.shared.store(arr, idx.get(lane), vals.get(lane));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests: the simulator's collectives and memory model against
+//! scalar oracles.
+
+use proptest::prelude::*;
+use wknng_simt::primitives::{exclusive_scan_u32, reduce_max_u64, reduce_min_f32, reduce_sum_u32};
+use wknng_simt::{launch, DeviceBuffer, DeviceConfig, LaneVec, Mask, WARP_LANES};
+
+/// Run `f` inside a single simulated warp and return what it produces.
+fn in_warp<T: Send + 'static>(f: impl FnMut(&mut wknng_simt::WarpCtx) -> T) -> T {
+    let dev = DeviceConfig::test_tiny();
+    let mut f = f;
+    let mut out = None;
+    launch(&dev, 1, 1, |blk| {
+        blk.each_warp(|w| {
+            out = Some(f(w));
+        });
+    });
+    out.expect("warp ran")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reduce_sum_matches_scalar(vals in prop::array::uniform32(0u32..1000), bits in any::<u32>()) {
+        let mask = Mask(bits);
+        let lv = LaneVec(vals.map(|v| v));
+        let got = in_warp(|w| reduce_sum_u32(w, &lv, mask));
+        let want: u32 = (0..WARP_LANES).filter(|&l| mask.active(l)).map(|l| vals[l]).sum();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reduce_min_matches_scalar(vals in prop::array::uniform32(-1e6f32..1e6), bits in any::<u32>()) {
+        let mask = Mask(bits);
+        let lv = LaneVec(vals);
+        let got = in_warp(|w| reduce_min_f32(w, &lv, mask));
+        match got {
+            None => prop_assert!(mask.is_empty()),
+            Some((v, lane)) => {
+                prop_assert!(mask.active(lane));
+                prop_assert_eq!(v, vals[lane]);
+                for l in mask.iter() {
+                    prop_assert!(vals[l] >= v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_max_matches_scalar(vals in prop::array::uniform32(any::<u64>()), bits in any::<u32>()) {
+        let mask = Mask(bits);
+        let lv = LaneVec(vals);
+        let got = in_warp(|w| reduce_max_u64(w, &lv, mask));
+        let want = mask.iter().map(|l| vals[l]).max();
+        prop_assert_eq!(got.map(|(v, _)| v), want);
+    }
+
+    #[test]
+    fn scan_matches_scalar(vals in prop::array::uniform32(0u32..1000), bits in any::<u32>()) {
+        let mask = Mask(bits);
+        let lv = LaneVec(vals);
+        let got = in_warp(|w| exclusive_scan_u32(w, &lv, mask));
+        let mut acc = 0u32;
+        for l in 0..WARP_LANES {
+            if mask.active(l) {
+                prop_assert_eq!(got.get(l), acc);
+                acc += vals[l];
+            }
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip(data in prop::collection::vec(any::<u32>(), 32..256)) {
+        let n = data.len();
+        let src = DeviceBuffer::from_slice(&data);
+        let dst = DeviceBuffer::<u32>::zeroed(n);
+        let dev = DeviceConfig::test_tiny();
+        let warps = n.div_ceil(WARP_LANES);
+        launch(&dev, 1, warps, |blk| {
+            blk.each_warp(|w| {
+                let base = w.warp_in_block * WARP_LANES;
+                let count = n.saturating_sub(base).min(WARP_LANES);
+                let mask = Mask::first(count);
+                let idx = w.math_idx(mask, |l| base + l);
+                let v = w.ld_global(&src, &idx, mask);
+                w.st_global(&dst, &idx, &v, mask);
+            });
+        });
+        prop_assert_eq!(dst.to_vec(), data);
+    }
+
+    #[test]
+    fn coalesced_load_transaction_bounds(start in 0usize..64, stride in 1usize..9) {
+        // A full-warp strided f32 load touches between 4 (unit stride) and 32
+        // (stride >= 8) sectors.
+        let buf = DeviceBuffer::<f32>::zeroed(start + 32 * stride + 32);
+        let dev = DeviceConfig::test_tiny();
+        let report = launch(&dev, 1, 1, |blk| {
+            blk.each_warp(|w| {
+                let idx = w.math_idx(Mask::FULL, |l| start + l * stride);
+                let _ = w.ld_global(&buf, &idx, Mask::FULL);
+            });
+        });
+        let tx = report.stats.global_load_transactions;
+        prop_assert!((4..=32).contains(&tx), "tx = {tx}");
+        if stride == 1 && start % 8 == 0 {
+            prop_assert_eq!(tx, 4);
+        }
+        if stride >= 8 {
+            prop_assert_eq!(tx, 32);
+        }
+    }
+
+    #[test]
+    fn atomic_max_is_running_max(vals in prop::collection::vec(any::<u64>(), 1..128)) {
+        let buf = DeviceBuffer::<u64>::zeroed(1);
+        let dev = DeviceConfig::test_tiny();
+        let vals2 = vals.clone();
+        launch(&dev, 1, 1, |blk| {
+            blk.each_warp(|w| {
+                for chunk in vals2.chunks(WARP_LANES) {
+                    let mask = Mask::first(chunk.len());
+                    let idx = LaneVec::splat(0usize);
+                    let mut lv = LaneVec::zeroed();
+                    for (l, &v) in chunk.iter().enumerate() {
+                        lv.set(l, v);
+                    }
+                    let _ = w.atomic_max_u64(&buf, &idx, &lv, mask);
+                }
+            });
+        });
+        prop_assert_eq!(buf.read(0), vals.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn shfl_is_a_gather(vals in prop::array::uniform32(any::<u32>()), srcs in prop::array::uniform32(0usize..32)) {
+        let lv = LaneVec(vals);
+        let sv = LaneVec(srcs);
+        let got = in_warp(|w| w.shfl(&lv, &sv, Mask::FULL));
+        for l in 0..WARP_LANES {
+            prop_assert_eq!(got.get(l), vals[srcs[l]]);
+        }
+    }
+}
+
+#[test]
+fn deterministic_replay() {
+    // Identical launches must produce identical reports, bit for bit.
+    let run = || {
+        let dev = DeviceConfig::pascal_like();
+        let buf = DeviceBuffer::<u64>::zeroed(64);
+        let report = launch(&dev, 4, 2, |blk| {
+            blk.each_warp(|w| {
+                let warp = w.global_warp;
+                let block = w.block_idx;
+                let idx = w.math_idx(Mask::FULL, |l| (l * 7 + warp) % 64);
+                let vals = w.math(Mask::FULL, |l| (l as u64) << block);
+                let _ = w.atomic_max_u64(&buf, &idx, &vals, Mask::FULL);
+            });
+            blk.sync();
+        });
+        (report, buf.to_vec())
+    };
+    let (r1, m1) = run();
+    let (r2, m2) = run();
+    assert_eq!(r1, r2);
+    assert_eq!(m1, m2);
+}
+
+#[test]
+fn atomic_contention_counts_same_address_lanes() {
+    let dev = DeviceConfig::test_tiny();
+    let buf = DeviceBuffer::<u64>::zeroed(4);
+    let report = launch(&dev, 1, 1, |blk| {
+        blk.each_warp(|w| {
+            // All 32 lanes hit address 0: 31 serializations.
+            let idx = LaneVec::splat(0usize);
+            let vals = LaneVec::from_fn(|l| l as u64);
+            let _ = w.atomic_max_u64(&buf, &idx, &vals, Mask::FULL);
+        });
+    });
+    assert_eq!(report.stats.atomic_ops, 32);
+    assert_eq!(report.stats.atomic_serializations, 31);
+    assert_eq!(buf.read(0), 31);
+}
+
+#[test]
+fn spread_atomics_do_not_serialize() {
+    let dev = DeviceConfig::test_tiny();
+    let buf = DeviceBuffer::<u64>::zeroed(32);
+    let report = launch(&dev, 1, 1, |blk| {
+        blk.each_warp(|w| {
+            let idx = w.math_idx(Mask::FULL, |l| l);
+            let vals = LaneVec::splat(5u64);
+            let _ = w.atomic_max_u64(&buf, &idx, &vals, Mask::FULL);
+        });
+    });
+    assert_eq!(report.stats.atomic_serializations, 0);
+}

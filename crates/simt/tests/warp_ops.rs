@@ -1,0 +1,227 @@
+//! Architectural semantics of every `WarpCtx` operation: predication,
+//! masking, tie resolution, out-of-bounds behaviour and counter accounting.
+
+use wknng_simt::{launch, DeviceBuffer, DeviceConfig, LaneVec, Mask, WARP_LANES};
+
+fn one_warp(mut f: impl FnMut(&mut wknng_simt::WarpCtx)) -> wknng_simt::LaunchReport {
+    launch(&DeviceConfig::test_tiny(), 1, 1, |blk| blk.each_warp(&mut f))
+}
+
+#[test]
+fn math_writes_default_to_inactive_lanes() {
+    one_warp(|w| {
+        let v = w.math(Mask::first(4), |l| (l + 1) as f32);
+        assert_eq!(v.get(3), 4.0);
+        assert_eq!(v.get(4), 0.0, "predicated-off lanes read the type default");
+        assert_eq!(v.get(31), 0.0);
+    });
+}
+
+#[test]
+fn math_keep_preserves_inactive_lanes() {
+    one_warp(|w| {
+        let init = w.math(Mask::FULL, |l| l as f32);
+        let upd = w.math_keep(Mask::first(2), &init, |l| 100.0 + l as f32);
+        assert_eq!(upd.get(0), 100.0);
+        assert_eq!(upd.get(1), 101.0);
+        assert_eq!(upd.get(2), 2.0, "inactive lanes keep the previous value");
+        assert_eq!(upd.get(31), 31.0);
+    });
+}
+
+#[test]
+fn pred_produces_a_submask_of_the_active_mask() {
+    one_warp(|w| {
+        let m = w.pred(Mask::first(8), |l| l % 2 == 0);
+        assert_eq!(m.count(), 4);
+        assert!(m.active(0) && m.active(6));
+        assert!(!m.active(8), "lanes outside the input mask never activate");
+        assert!(!m.active(10));
+    });
+}
+
+#[test]
+fn store_same_address_resolves_to_highest_lane() {
+    let buf = DeviceBuffer::<u32>::zeroed(1);
+    one_warp(|w| {
+        let idx = LaneVec::splat(0usize);
+        let vals = w.math(Mask::first(5), |l| l as u32 + 10);
+        w.st_global(&buf, &idx, &vals, Mask::first(5));
+    });
+    assert_eq!(buf.read(0), 14, "highest active lane wins the write");
+}
+
+#[test]
+fn load_ignores_out_of_bounds_addresses_on_inactive_lanes() {
+    let buf = DeviceBuffer::<f32>::from_slice(&[7.0, 8.0]);
+    one_warp(|w| {
+        // Lanes 2.. point far out of bounds but are masked off.
+        let idx = LaneVec::from_fn(|l| if l < 2 { l } else { 1_000_000 });
+        let v = w.ld_global(&buf, &idx, Mask::first(2));
+        assert_eq!(v.get(0), 7.0);
+        assert_eq!(v.get(1), 8.0);
+        assert_eq!(v.get(2), 0.0);
+    });
+}
+
+#[test]
+#[should_panic]
+fn load_out_of_bounds_on_active_lane_is_a_kernel_fault() {
+    let buf = DeviceBuffer::<f32>::zeroed(4);
+    one_warp(|w| {
+        let idx = LaneVec::splat(99usize);
+        let _ = w.ld_global(&buf, &idx, Mask::first(1));
+    });
+}
+
+#[test]
+fn shfl_wraps_source_lane_and_reads_inactive_registers() {
+    one_warp(|w| {
+        let vals = w.math(Mask::FULL, |l| l as u32);
+        // Source 33 wraps to lane 1; reading an inactive lane's register is
+        // allowed (the register exists).
+        let src = LaneVec::splat(33usize);
+        let out = w.shfl(&vals, &src, Mask::first(4));
+        assert_eq!(out.get(0), 1);
+        assert_eq!(out.get(3), 1);
+        assert_eq!(out.get(4), 0, "inactive destination lanes get default");
+    });
+}
+
+#[test]
+fn ballot_reports_only_active_true_lanes() {
+    one_warp(|w| {
+        let pred = LaneVec::from_fn(|l| l % 2 == 0);
+        let bits = w.ballot(&pred, Mask::first(6));
+        assert_eq!(bits, 0b010101);
+    });
+}
+
+#[test]
+fn atomic_cas_success_and_failure_return_observed_values() {
+    let buf = DeviceBuffer::<u64>::from_slice(&[5, 5]);
+    one_warp(|w| {
+        let idx = LaneVec::from_fn(|l| l % 2);
+        let cmp = LaneVec::from_fn(|l| if l == 0 { 5u64 } else { 999 });
+        let new = LaneVec::splat(42u64);
+        let old = w.atomic_cas_u64(&buf, &idx, &cmp, &new, Mask::first(2));
+        assert_eq!(old.get(0), 5, "successful CAS returns the prior value");
+        assert_eq!(old.get(1), 5, "failed CAS also returns the observed value");
+    });
+    assert_eq!(buf.read(0), 42);
+    assert_eq!(buf.read(1), 5, "mismatched compare leaves memory untouched");
+}
+
+#[test]
+fn same_instruction_cas_to_one_address_serializes_in_lane_order() {
+    let buf = DeviceBuffer::<u64>::zeroed(1);
+    one_warp(|w| {
+        let idx = LaneVec::splat(0usize);
+        let cmp = LaneVec::splat(0u64);
+        let new = LaneVec::from_fn(|l| l as u64 + 1);
+        let old = w.atomic_cas_u64(&buf, &idx, &cmp, &new, Mask::first(3));
+        // Lane 0 wins; lanes 1 and 2 observe its value and fail.
+        assert_eq!(old.get(0), 0);
+        assert_eq!(old.get(1), 1);
+        assert_eq!(old.get(2), 1);
+    });
+    assert_eq!(buf.read(0), 1);
+}
+
+#[test]
+fn atomic_add_accumulates_across_lanes_and_returns_prefixes() {
+    let buf = DeviceBuffer::<u32>::zeroed(1);
+    one_warp(|w| {
+        let idx = LaneVec::splat(0usize);
+        let vals = LaneVec::splat(2u32);
+        let old = w.atomic_add_u32(&buf, &idx, &vals, Mask::first(4));
+        assert_eq!(
+            (0..4).map(|l| old.get(l)).collect::<Vec<_>>(),
+            vec![0, 2, 4, 6],
+            "pre-values form the exclusive prefix in lane order"
+        );
+    });
+    assert_eq!(buf.read(0), 8);
+}
+
+#[test]
+fn atomic_min_max_pre_values() {
+    let buf = DeviceBuffer::<u64>::from_slice(&[10]);
+    one_warp(|w| {
+        let idx = LaneVec::splat(0usize);
+        let old = w.atomic_max_u64(&buf, &idx, &LaneVec::splat(3u64), Mask::first(1));
+        assert_eq!(old.get(0), 10);
+        let old = w.atomic_min_u64(&buf, &idx, &LaneVec::splat(4u64), Mask::first(1));
+        assert_eq!(old.get(0), 10);
+    });
+    assert_eq!(buf.read(0), 4);
+}
+
+#[test]
+fn counters_track_instructions_lanes_and_divergence() {
+    let report = one_warp(|w| {
+        w.charge_alu(Mask::FULL, 3);
+        let _ = w.math(Mask::first(8), |_| 0u32);
+    });
+    let s = report.stats;
+    assert_eq!(s.instructions, 4);
+    assert_eq!(s.lane_ops, 3 * 32 + 8);
+    assert_eq!(s.inactive_lane_slots, 24);
+    assert!(s.divergence_ratio() > 0.0);
+}
+
+#[test]
+fn l2_counters_split_hits_and_misses() {
+    let buf = DeviceBuffer::<f32>::zeroed(64);
+    let report = one_warp(|w| {
+        let idx = w.math_idx(Mask::FULL, |l| l);
+        let _ = w.ld_global(&buf, &idx, Mask::FULL); // 4 cold sectors
+        let _ = w.ld_global(&buf, &idx, Mask::FULL); // 4 hits
+    });
+    assert_eq!(report.stats.l2_misses, 4);
+    assert_eq!(report.stats.l2_hits, 4);
+    assert_eq!(report.stats.dram_bytes, 4 * 32);
+    assert_eq!(report.stats.global_load_transactions, 8);
+}
+
+#[test]
+fn shared_memory_store_load_with_mask_resolution() {
+    let report = launch(&DeviceConfig::test_tiny(), 1, 1, |blk| {
+        let arr = blk.shared_alloc::<u32>(8);
+        blk.each_warp(|w| {
+            // Two active lanes write the same shared slot: highest wins.
+            let idx = LaneVec::splat(3usize);
+            let vals = w.math(Mask::first(2), |l| l as u32 + 50);
+            w.sh_store(&arr, &idx, &vals, Mask::first(2));
+            let back = w.sh_load(&arr, &idx, Mask::first(1));
+            assert_eq!(back.get(0), 51);
+        });
+    });
+    assert_eq!(report.stats.shared_accesses, 2);
+}
+
+#[test]
+fn empty_masks_execute_without_architectural_effects() {
+    let buf = DeviceBuffer::<u64>::from_slice(&[9]);
+    one_warp(|w| {
+        let idx = LaneVec::splat(0usize);
+        w.st_global(&buf, &idx, &LaneVec::splat(1u64), Mask::NONE);
+        let _ = w.atomic_max_u64(&buf, &idx, &LaneVec::splat(99u64), Mask::NONE);
+    });
+    assert_eq!(buf.read(0), 9);
+}
+
+#[test]
+fn warp_identities_are_consistent_across_the_grid() {
+    let mut seen = Vec::new();
+    launch(&DeviceConfig::test_tiny(), 3, 2, |blk| {
+        blk.each_warp(|w| {
+            seen.push((w.block_idx, w.warp_in_block, w.global_warp));
+        });
+    });
+    assert_eq!(seen.len(), 6);
+    for (b, wi, g) in &seen {
+        assert_eq!(*g, b * 2 + wi);
+    }
+    assert_eq!(WARP_LANES, 32);
+}

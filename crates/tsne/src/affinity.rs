@@ -1,0 +1,199 @@
+//! Sparse high-dimensional affinities from a K-NN graph.
+//!
+//! t-SNE's input side: per-point Gaussian kernels calibrated to a target
+//! perplexity over the K nearest neighbors, then symmetrised and normalised.
+//! Using the approximate K-NNG here (instead of all n² pairs) is exactly the
+//! role the paper builds w-KNNG for.
+
+use rayon::prelude::*;
+
+use wknng_data::Neighbor;
+
+/// A symmetric sparse affinity matrix in row lists: `rows[i]` holds
+/// `(j, p_ij)` with `Σ p_ij = 1` over the whole matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Affinities {
+    /// Per-row `(column, probability)` entries.
+    pub rows: Vec<Vec<(u32, f64)>>,
+}
+
+impl Affinities {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total probability mass (≈ 1 after construction).
+    pub fn total_mass(&self) -> f64 {
+        self.rows.iter().flatten().map(|&(_, p)| p).sum()
+    }
+}
+
+/// Binary-search the Gaussian precision `beta` so the conditional
+/// distribution over `dists` has entropy `ln(perplexity)`; returns the
+/// normalised probabilities. Distances are squared (the t-SNE convention).
+pub fn calibrate_row(dists: &[f32], perplexity: f64) -> Vec<f64> {
+    let m = dists.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    if m == 1 {
+        return vec![1.0];
+    }
+    let target = perplexity.clamp(1.0 + 1e-9, m as f64).ln();
+    // Stabilise by shifting with the minimum distance (exp overflow guard).
+    let dmin = dists.iter().cloned().fold(f32::INFINITY, f32::min) as f64;
+    let mut beta = 1.0f64;
+    let (mut lo, mut hi) = (0.0f64, f64::INFINITY);
+    let mut probs = vec![0.0f64; m];
+    for _ in 0..100 {
+        let mut sum = 0.0;
+        for (p, &d) in probs.iter_mut().zip(dists) {
+            *p = (-(d as f64 - dmin) * beta).exp();
+            sum += *p;
+        }
+        let mut entropy = 0.0;
+        for p in probs.iter_mut() {
+            *p /= sum;
+            if *p > 1e-300 {
+                entropy -= *p * p.ln();
+            }
+        }
+        if (entropy - target).abs() < 1e-7 {
+            break;
+        }
+        if entropy > target {
+            // Distribution too flat: sharpen.
+            lo = beta;
+            beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+        } else {
+            hi = beta;
+            beta = (beta + lo) / 2.0;
+        }
+    }
+    probs
+}
+
+/// Build symmetric normalised affinities from neighbor lists.
+///
+/// `P = (P|cond + P|condᵀ) / (2n)` restricted to the K-NNG sparsity pattern —
+/// the standard Barnes-Hut/FIt-SNE input construction.
+pub fn affinities_from_knng(lists: &[Vec<Neighbor>], perplexity: f64) -> Affinities {
+    let n = lists.len();
+    let conditional: Vec<Vec<(u32, f64)>> = lists
+        .par_iter()
+        .map(|list| {
+            let dists: Vec<f32> = list.iter().map(|nb| nb.dist).collect();
+            let probs = calibrate_row(&dists, perplexity);
+            list.iter().zip(probs).map(|(nb, p)| (nb.index, p)).collect()
+        })
+        .collect();
+
+    let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let scale = 1.0 / (2.0 * n.max(1) as f64);
+    for (i, row) in conditional.iter().enumerate() {
+        for &(j, p) in row {
+            rows[i].push((j, p * scale));
+            rows[j as usize].push((i as u32, p * scale));
+        }
+    }
+    // Merge duplicate (i, j) contributions.
+    for row in &mut rows {
+        row.sort_unstable_by_key(|&(j, _)| j);
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(row.len());
+        for &(j, p) in row.iter() {
+            match merged.last_mut() {
+                Some((lj, lp)) if *lj == j => *lp += p,
+                _ => merged.push((j, p)),
+            }
+        }
+        *row = merged;
+    }
+    // Renormalise to total mass 1 (rows with empty neighbor lists contribute
+    // nothing, so the 1/2n prefactor alone can undershoot on degenerate
+    // graphs).
+    let total: f64 = rows.iter().flatten().map(|&(_, p)| p).sum();
+    if total > 0.0 {
+        let inv = 1.0 / total;
+        for row in &mut rows {
+            for (_, p) in row.iter_mut() {
+                *p *= inv;
+            }
+        }
+    }
+    Affinities { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_the_target_entropy() {
+        let dists: Vec<f32> = (1..=20).map(|i| i as f32).collect();
+        for perp in [2.0f64, 5.0, 10.0] {
+            let probs = calibrate_row(&dists, perp);
+            let sum: f64 = probs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            let entropy: f64 = -probs.iter().filter(|&&p| p > 0.0).map(|p| p * p.ln()).sum::<f64>();
+            assert!(
+                (entropy - perp.ln()).abs() < 1e-3,
+                "perplexity {perp}: entropy {entropy} vs target {}",
+                perp.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn closer_neighbors_get_more_mass() {
+        let probs = calibrate_row(&[1.0, 4.0, 9.0, 16.0], 2.0);
+        for w in probs.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn degenerate_rows() {
+        assert!(calibrate_row(&[], 5.0).is_empty());
+        let one = calibrate_row(&[3.0], 5.0);
+        assert_eq!(one, vec![1.0]);
+        // All-equal distances: uniform.
+        let flat = calibrate_row(&[2.0; 8], 4.0);
+        for p in &flat {
+            assert!((p - 0.125).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn affinities_are_symmetric_and_normalised() {
+        let lists = vec![
+            vec![Neighbor::new(1, 1.0), Neighbor::new(2, 4.0)],
+            vec![Neighbor::new(0, 1.0)],
+            vec![Neighbor::new(0, 4.0), Neighbor::new(1, 2.0)],
+        ];
+        let aff = affinities_from_knng(&lists, 2.0);
+        assert_eq!(aff.len(), 3);
+        assert!((aff.total_mass() - 1.0).abs() < 1e-9);
+        // Symmetry: p_ij == p_ji.
+        let get = |i: usize, j: u32| -> f64 {
+            aff.rows[i].iter().find(|&&(c, _)| c == j).map(|&(_, p)| p).unwrap_or(0.0)
+        };
+        for i in 0..3 {
+            for j in 0..3u32 {
+                assert!((get(i, j) - get(j as usize, i as u32)).abs() < 1e-12);
+            }
+        }
+        // No self affinities, no duplicate columns.
+        for (i, row) in aff.rows.iter().enumerate() {
+            assert!(row.iter().all(|&(j, _)| j as usize != i));
+            let mut cols: Vec<u32> = row.iter().map(|&(j, _)| j).collect();
+            cols.dedup();
+            assert_eq!(cols.len(), row.len());
+        }
+    }
+}

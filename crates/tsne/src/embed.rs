@@ -1,0 +1,249 @@
+//! The t-SNE gradient-descent engine (exact repulsion, suitable for the
+//! 10²–10⁴-point regime of this repository's experiments).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::affinity::Affinities;
+
+/// t-SNE optimisation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsneParams {
+    /// Output dimensionality (2 or 3 for visualisation).
+    pub out_dim: usize,
+    /// Gradient-descent iterations.
+    pub iters: usize,
+    /// Learning rate (η).
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// Seed for the initial embedding.
+    pub seed: u64,
+}
+
+impl Default for TsneParams {
+    fn default() -> Self {
+        TsneParams {
+            out_dim: 2,
+            iters: 300,
+            learning_rate: 100.0,
+            momentum: 0.8,
+            exaggeration: 12.0,
+            seed: 0x75EE,
+        }
+    }
+}
+
+/// A finished embedding plus convergence diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    /// Row-major `n × out_dim` coordinates.
+    pub coords: Vec<f64>,
+    /// Output dimensionality.
+    pub out_dim: usize,
+    /// KL divergence at the start and end of the (post-exaggeration) run.
+    pub kl_initial: f64,
+    /// Final KL divergence.
+    pub kl_final: f64,
+}
+
+impl Embedding {
+    /// Point `i`'s embedded coordinates.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.out_dim..(i + 1) * self.out_dim]
+    }
+
+    /// Number of embedded points.
+    pub fn len(&self) -> usize {
+        if self.out_dim == 0 {
+            0
+        } else {
+            self.coords.len() / self.out_dim
+        }
+    }
+
+    /// True when the embedding holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+/// Run t-SNE over the affinity matrix.
+///
+/// Exact O(n²) repulsion per iteration; deterministic in `params.seed`.
+pub fn embed(aff: &Affinities, params: &TsneParams) -> Embedding {
+    let n = aff.len();
+    let d = params.out_dim.max(1);
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x0DE5_16E0);
+    let mut y: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-1e-4..1e-4)).collect();
+    let mut vel = vec![0.0f64; n * d];
+    let mut kl_initial = f64::NAN;
+    let mut kl_final = f64::NAN;
+    if n == 0 {
+        return Embedding { coords: y, out_dim: d, kl_initial: 0.0, kl_final: 0.0 };
+    }
+
+    let exag_end = params.iters / 4;
+    for it in 0..params.iters {
+        let exaggeration = if it < exag_end { params.exaggeration } else { 1.0 };
+
+        // Student-t kernel normaliser Z = Σ_{i≠j} (1 + |y_i - y_j|²)⁻¹.
+        let mut z = 0.0f64;
+        let mut q_unnorm = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let mut dist2 = 0.0;
+                for c in 0..d {
+                    let diff = y[i * d + c] - y[j * d + c];
+                    dist2 += diff * diff;
+                }
+                let q = 1.0 / (1.0 + dist2);
+                q_unnorm[i * n + j] = q;
+                z += 2.0 * q;
+            }
+        }
+        let z = z.max(1e-300);
+
+        let mut grad = vec![0.0f64; n * d];
+        // Attraction over the sparse affinities.
+        for (i, row) in aff.rows.iter().enumerate() {
+            for &(j, p) in row {
+                let j = j as usize;
+                let mut dist2 = 0.0;
+                for c in 0..d {
+                    let diff = y[i * d + c] - y[j * d + c];
+                    dist2 += diff * diff;
+                }
+                let q = 1.0 / (1.0 + dist2);
+                for c in 0..d {
+                    let diff = y[i * d + c] - y[j * d + c];
+                    grad[i * d + c] += 4.0 * exaggeration * p * q * diff;
+                }
+            }
+        }
+        // Repulsion over all pairs.
+        for i in 0..n {
+            for j in i + 1..n {
+                let q = q_unnorm[i * n + j];
+                let f = 4.0 * (q / z) * q;
+                for c in 0..d {
+                    let diff = y[i * d + c] - y[j * d + c];
+                    grad[i * d + c] -= f * diff;
+                    grad[j * d + c] += f * diff;
+                }
+            }
+        }
+
+        for (yi, (v, g)) in y.iter_mut().zip(vel.iter_mut().zip(&grad)) {
+            *v = params.momentum * *v - params.learning_rate * g;
+            *yi += *v;
+        }
+
+        // KL diagnostics without the exaggeration factor.
+        if it == exag_end || it + 1 == params.iters {
+            let mut kl = 0.0f64;
+            for (i, row) in aff.rows.iter().enumerate() {
+                for &(j, p) in row {
+                    let j = j as usize;
+                    let (a, b) = if i < j { (i, j) } else { (j, i) };
+                    let q = (q_unnorm[a * n + b] / z).max(1e-300);
+                    if p > 0.0 {
+                        kl += p * (p / q).ln();
+                    }
+                }
+            }
+            if it == exag_end {
+                kl_initial = kl;
+            } else {
+                kl_final = kl;
+            }
+        }
+    }
+
+    Embedding { coords: y, out_dim: d, kl_initial, kl_final }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::affinities_from_knng;
+    use wknng_core::WknngBuilder;
+    use wknng_data::DatasetSpec;
+
+    fn cluster_affinities(n: usize) -> (Affinities, usize) {
+        let clusters = 5;
+        let vs = DatasetSpec::GaussianClusters { n, dim: 32, clusters, spread: 0.1 }
+            .generate(123)
+            .vectors;
+        let (g, _) = WknngBuilder::new(10)
+            .trees(6)
+            .leaf_size(24)
+            .exploration(1)
+            .seed(7)
+            .build_native(&vs)
+            .expect("valid");
+        (affinities_from_knng(&g.lists, 5.0), clusters)
+    }
+
+    #[test]
+    fn embedding_separates_clusters_and_reduces_kl() {
+        let n = 250;
+        let (aff, clusters) = cluster_affinities(n);
+        let emb = embed(&aff, &TsneParams { iters: 200, ..TsneParams::default() });
+        assert_eq!(emb.len(), n);
+        assert!(
+            emb.kl_final < emb.kl_initial,
+            "KL must decrease: {} -> {}",
+            emb.kl_initial,
+            emb.kl_final
+        );
+        // Same-cluster pairs closer than cross-cluster pairs, on average.
+        let (mut same, mut same_n, mut cross, mut cross_n) = (0.0, 0u64, 0.0, 0u64);
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = emb.point(i)[0] - emb.point(j)[0];
+                let dy = emb.point(i)[1] - emb.point(j)[1];
+                let dist = (dx * dx + dy * dy).sqrt();
+                if i % clusters == j % clusters {
+                    same += dist;
+                    same_n += 1;
+                } else {
+                    cross += dist;
+                    cross_n += 1;
+                }
+            }
+        }
+        let ratio = (cross / cross_n as f64) / (same / same_n as f64);
+        assert!(ratio > 1.5, "separation ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (aff, _) = cluster_affinities(80);
+        let p = TsneParams { iters: 50, ..TsneParams::default() };
+        let a = embed(&aff, &p);
+        let b = embed(&aff, &p);
+        assert_eq!(a, b);
+        let c = embed(&aff, &TsneParams { seed: 9, ..p });
+        assert_ne!(a.coords, c.coords);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let emb = embed(&Affinities { rows: vec![] }, &TsneParams::default());
+        assert!(emb.is_empty());
+    }
+
+    #[test]
+    fn three_dimensional_output() {
+        let (aff, _) = cluster_affinities(60);
+        let emb = embed(
+            &aff,
+            &TsneParams { out_dim: 3, iters: 30, ..TsneParams::default() },
+        );
+        assert_eq!(emb.point(0).len(), 3);
+        assert_eq!(emb.len(), 60);
+    }
+}

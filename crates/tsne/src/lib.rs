@@ -1,0 +1,65 @@
+//! # wknng-tsne — t-SNE over approximate K-NN-graph affinities
+//!
+//! The motivating application named in the paper's abstract: t-SNE needs,
+//! for every point, a sparse set of high-dimensional affinities over its K
+//! nearest neighbors, and K-NNG construction dominates its preprocessing at
+//! scale. This crate supplies the application side:
+//!
+//! * [`affinities_from_knng`] — perplexity-calibrated, symmetrised sparse
+//!   affinities from any neighbor lists ([`calibrate_row`] is the standard
+//!   per-point entropy binary search);
+//! * [`embed()`](embed()) — the gradient-descent engine (momentum, early exaggeration,
+//!   Student-t kernel, exact repulsion) with KL diagnostics;
+//! * [`tsne_via_wknng`] — the whole pipeline in one call.
+//!
+//! ```
+//! use wknng_data::DatasetSpec;
+//! use wknng_tsne::{tsne_via_wknng, TsneParams};
+//!
+//! let vs = DatasetSpec::GaussianClusters { n: 120, dim: 16, clusters: 4, spread: 0.1 }
+//!     .generate(1)
+//!     .vectors;
+//! let emb = tsne_via_wknng(&vs, 10, 5.0, &TsneParams { iters: 60, ..TsneParams::default() })
+//!     .unwrap();
+//! assert_eq!(emb.len(), 120);
+//! assert!(emb.kl_final.is_finite());
+//! ```
+
+pub mod affinity;
+pub mod embed;
+
+pub use affinity::{affinities_from_knng, calibrate_row, Affinities};
+pub use embed::{embed, Embedding, TsneParams};
+
+use wknng_core::{KnngError, WknngBuilder};
+use wknng_data::VectorSet;
+
+/// End-to-end pipeline: build the approximate K-NNG with w-KNNG, calibrate
+/// affinities at `perplexity`, and run the embedding.
+pub fn tsne_via_wknng(
+    vs: &VectorSet,
+    k: usize,
+    perplexity: f64,
+    params: &TsneParams,
+) -> Result<Embedding, KnngError> {
+    let (graph, _) = WknngBuilder::new(k)
+        .trees(6)
+        .leaf_size((4 * k).max(16))
+        .exploration(1)
+        .seed(params.seed)
+        .build_native(vs)?;
+    let aff = affinities_from_knng(&graph.lists, perplexity);
+    Ok(embed(&aff, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::DatasetSpec;
+
+    #[test]
+    fn pipeline_surfaces_graph_errors() {
+        let vs = DatasetSpec::UniformCube { n: 5, dim: 2 }.generate(0).vectors;
+        assert!(tsne_via_wknng(&vs, 10, 5.0, &TsneParams::default()).is_err());
+    }
+}

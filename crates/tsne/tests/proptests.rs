@@ -1,0 +1,66 @@
+//! Property tests for the t-SNE affinity construction.
+
+use proptest::prelude::*;
+use wknng_data::Neighbor;
+use wknng_tsne::{affinities_from_knng, calibrate_row};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn calibration_is_a_distribution(
+        dists in prop::collection::vec(0.0f32..100.0, 1..40),
+        perp in 1.5f64..30.0,
+    ) {
+        let probs = calibrate_row(&dists, perp);
+        prop_assert_eq!(probs.len(), dists.len());
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+        prop_assert!(probs.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+    }
+
+    #[test]
+    fn calibration_is_monotone_in_distance(
+        mut dists in prop::collection::vec(0.0f32..100.0, 2..30),
+        perp in 1.5f64..10.0,
+    ) {
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let probs = calibrate_row(&dists, perp);
+        for w in probs.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn affinities_always_symmetric(n in 2usize..30, k in 1usize..5, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let lists: Vec<Vec<Neighbor>> = (0..n)
+            .map(|i| {
+                let mut list = Vec::new();
+                for _ in 0..k {
+                    let j = rng.gen_range(0..n) as u32;
+                    if j as usize != i && !list.iter().any(|nb: &Neighbor| nb.index == j) {
+                        list.push(Neighbor::new(j, rng.gen_range(0.0..10.0f32)));
+                    }
+                }
+                list.sort_by(|a, b| a.key().partial_cmp(&b.key()).unwrap());
+                list
+            })
+            .collect();
+        let aff = affinities_from_knng(&lists, 3.0);
+        let total = aff.total_mass();
+        let has_edges = lists.iter().any(|l| !l.is_empty());
+        if has_edges {
+            prop_assert!((total - 1.0).abs() < 1e-9, "mass {}", total);
+        }
+        let get = |i: usize, j: u32| -> f64 {
+            aff.rows[i].iter().find(|&&(c, _)| c == j).map(|&(_, p)| p).unwrap_or(0.0)
+        };
+        for i in 0..n {
+            for &(j, _) in &aff.rows[i] {
+                prop_assert!((get(i, j) - get(j as usize, i as u32)).abs() < 1e-12);
+            }
+        }
+    }
+}

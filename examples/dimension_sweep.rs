@@ -1,0 +1,50 @@
+//! Sweep the three warp-centric kernel variants across dimensionality on the
+//! simulated GPU — a user-sized version of experiment E4, showing the
+//! atomic/tiled crossover claimed by the paper's abstract.
+//!
+//! ```text
+//! cargo run --release --example dimension_sweep
+//! ```
+
+use wknng::prelude::*;
+
+fn main() {
+    let n = 512;
+    let k = 8;
+    let dev = DeviceConfig::scaled_gpu();
+    println!("device: {} | n = {n}, k = {k}, leaf = 32, T = 2", dev.name);
+    println!("{:>5}  {:>12}  {:>12}  {:>12}  winner", "dim", "basic", "atomic", "tiled");
+
+    for dim in [4usize, 8, 16, 32, 64, 128] {
+        let vs = DatasetSpec::GaussianClusters { n, dim, clusters: 8, spread: 0.3 }
+            .generate(dim as u64)
+            .vectors;
+        let mut cycles = Vec::new();
+        for variant in KernelVariant::ALL {
+            let (_, reports) = WknngBuilder::new(k)
+                .trees(2)
+                .leaf_size(32)
+                .exploration(0)
+                .variant(variant)
+                .seed(6)
+                .build_device(&vs, &dev)
+                .expect("valid parameters");
+            cycles.push((variant, reports.bucket.cycles));
+        }
+        let winner = cycles
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("three variants")
+            .0;
+        println!(
+            "{:>5}  {:>12.0}  {:>12.0}  {:>12.0}  {}",
+            dim,
+            cycles[0].1,
+            cycles[1].1,
+            cycles[2].1,
+            winner.name()
+        );
+    }
+    println!("\nexpected shape: atomic competitive at small dim, tiled dominant at large dim,");
+    println!("basic always worst (it re-reads every coordinate once per pair).");
+}

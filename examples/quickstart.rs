@@ -1,0 +1,60 @@
+//! Quickstart: build an approximate K-NN graph, score it, and compare the
+//! native backend with a simulated-GPU build.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wknng::prelude::*;
+
+fn main() {
+    // A SIFT-shaped synthetic dataset: 2000 points in 128 dimensions.
+    let ds = DatasetSpec::sift_like(2000).generate(42);
+    let vs = &ds.vectors;
+    println!("dataset: {} ({} x {})", ds.name, vs.len(), vs.dim());
+
+    let k = 10;
+
+    // Exact ground truth (the oracle the recall metric compares against).
+    let t0 = std::time::Instant::now();
+    let truth = exact_knn(vs, k, Metric::SquaredL2);
+    println!("exact brute force: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    // Native (multi-threaded CPU) build.
+    let builder = WknngBuilder::new(k).trees(8).leaf_size(32).exploration(1).seed(1);
+    let (graph, timings) = builder.build_native(vs).expect("valid parameters");
+    println!(
+        "w-KNNG native:     {:.1} ms (forest {:.1} + buckets {:.1} + explore {:.1}), recall@{k} = {:.3}",
+        timings.total_ms(),
+        timings.forest_ms,
+        timings.bucket_ms,
+        timings.explore_ms,
+        recall(&graph.lists, &truth),
+    );
+
+    // Simulated-GPU build with the tiled warp-centric kernel.
+    let dev = DeviceConfig::pascal_like();
+    let (g2, reports) = builder
+        .variant(KernelVariant::Tiled)
+        .build_device(vs, &dev)
+        .expect("valid parameters");
+    let total = reports.total();
+    println!(
+        "w-KNNG device:     {:.3} simulated ms on {} ({:.1}M cycles, {:.1}% divergence), recall@{k} = {:.3}",
+        total.ms(&dev),
+        dev.name,
+        total.cycles / 1e6,
+        100.0 * total.stats.divergence_ratio(),
+        recall(&g2.lists, &truth),
+    );
+
+    // Inspect one neighborhood.
+    let p = 0;
+    let nbs: Vec<String> = graph
+        .neighbors(p)
+        .iter()
+        .take(5)
+        .map(|nb| format!("{}({:.3})", nb.index, nb.dist))
+        .collect();
+    println!("point {p}: nearest 5 of {k}: {}", nbs.join(", "));
+}

@@ -1,0 +1,79 @@
+//! t-SNE pipeline: the motivating application named in the paper's abstract.
+//!
+//! t-SNE needs, for every point, its K nearest neighbors to build the sparse
+//! high-dimensional affinity matrix; K-NNG construction dominates t-SNE
+//! preprocessing time at scale. This example runs the `wknng-tsne` crate's
+//! full pipeline — approximate K-NNG → perplexity-calibrated affinities →
+//! 2-D embedding — and verifies the embedding recovers the clusters.
+//!
+//! ```text
+//! cargo run --release --example tsne_pipeline
+//! ```
+
+use wknng::prelude::*;
+use wknng::tsne::{affinities_from_knng, embed, TsneParams};
+
+fn main() {
+    let n = 900;
+    let clusters = 6;
+    let ds = DatasetSpec::GaussianClusters { n, dim: 64, clusters, spread: 0.12 }.generate(5);
+    let vs = &ds.vectors;
+    let k = 15;
+    println!("dataset: {} — embedding {n} points into 2-D", ds.name);
+
+    // 1. K-NNG via w-KNNG (the step the paper accelerates).
+    let t0 = std::time::Instant::now();
+    let (graph, _) = WknngBuilder::new(k)
+        .trees(6)
+        .leaf_size(48)
+        .exploration(1)
+        .seed(9)
+        .build_native(vs)
+        .expect("valid parameters");
+    println!("k-NN graph: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    // 2. Sparse affinities at perplexity 5.
+    let t1 = std::time::Instant::now();
+    let aff = affinities_from_knng(&graph.lists, 5.0);
+    println!(
+        "affinities: {:.1} ms ({} nonzeros, mass {:.4})",
+        t1.elapsed().as_secs_f64() * 1e3,
+        aff.rows.iter().map(|r| r.len()).sum::<usize>(),
+        aff.total_mass()
+    );
+
+    // 3. Gradient descent.
+    let t2 = std::time::Instant::now();
+    let emb = embed(&aff, &TsneParams { iters: 250, learning_rate: 150.0, ..TsneParams::default() });
+    println!(
+        "embedding: {:.1} ms, KL {:.3} -> {:.3}",
+        t2.elapsed().as_secs_f64() * 1e3,
+        emb.kl_initial,
+        emb.kl_final
+    );
+
+    // 4. Validate: same-cluster pairs should be closer in 2-D than
+    // cross-cluster pairs (cluster of point i is i % clusters).
+    let (mut same, mut same_n, mut cross, mut cross_n) = (0.0f64, 0u64, 0.0f64, 0u64);
+    for i in 0..n {
+        for j in i + 1..n {
+            let dx = emb.point(i)[0] - emb.point(j)[0];
+            let dy = emb.point(i)[1] - emb.point(j)[1];
+            let d = (dx * dx + dy * dy).sqrt();
+            if i % clusters == j % clusters {
+                same += d;
+                same_n += 1;
+            } else {
+                cross += d;
+                cross_n += 1;
+            }
+        }
+    }
+    let (same, cross) = (same / same_n as f64, cross / cross_n as f64);
+    println!("mean 2-D distance: same-cluster {same:.3}, cross-cluster {cross:.3}");
+    let ratio = cross / same;
+    println!("separation ratio: {ratio:.2}x (>1.5x means the embedding recovered the clusters)");
+    assert!(ratio > 1.5, "t-SNE on the approximate K-NNG failed to separate clusters");
+    assert!(emb.kl_final < emb.kl_initial, "optimisation must reduce KL");
+    println!("ok: approximate K-NNG preserved the structure t-SNE needs");
+}

@@ -1,0 +1,13 @@
+//! Command-line front end for the w-KNNG library; see `wknng::cli::USAGE`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = wknng::cli::Args::parse(&argv).and_then(|args| wknng::cli::dispatch(&args));
+    match result {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

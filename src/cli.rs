@@ -1,0 +1,381 @@
+//! Implementation of the `wknng-cli` binary: dataset generation, graph
+//! construction, scoring and inspection over the on-disk formats of
+//! [`wknng_data::io`].
+//!
+//! The argument grammar is deliberately tiny (flag–value pairs, no external
+//! parser); every subcommand is a plain function so the logic is unit-tested
+//! without spawning processes.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::prelude::*;
+use wknng_data::io;
+
+/// A parsed command line: subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand name.
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut it = argv.iter();
+        let command = it.next().ok_or("missing subcommand")?.clone();
+        let mut flags = HashMap::new();
+        while let Some(f) = it.next() {
+            let key = f.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {f}"))?;
+            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), val.clone());
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// Fetch a flag value parsed as `T`, or the default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Fetch a required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.flags.get(key).map(|s| s.as_str()).ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+/// `generate`: write a synthetic dataset to `--out`.
+pub fn cmd_generate(args: &Args) -> Result<String, String> {
+    let n = args.get("n", 1000usize)?;
+    let dim = args.get("dim", 32usize)?;
+    let seed = args.get("seed", 42u64)?;
+    let kind: String = args.get("kind", "clusters".to_string())?;
+    let out = args.require("out")?;
+    let spec = match kind.as_str() {
+        "clusters" => DatasetSpec::GaussianClusters {
+            n,
+            dim,
+            clusters: args.get("clusters", 8usize)?,
+            spread: args.get("spread", 0.25f32)?,
+        },
+        "uniform" => DatasetSpec::UniformCube { n, dim },
+        "sphere" => DatasetSpec::HypersphereShell { n, dim },
+        "manifold" => DatasetSpec::Manifold {
+            n,
+            ambient_dim: dim,
+            intrinsic_dim: args.get("intrinsic", 6usize)?,
+        },
+        other => return Err(format!("unknown --kind '{other}' (clusters|uniform|sphere|manifold)")),
+    };
+    let ds = spec.generate(seed);
+    io::save_vectors(&ds.vectors, Path::new(out)).map_err(|e| e.to_string())?;
+    Ok(format!("wrote {} ({} x {}) to {out}", ds.name, n, dim))
+}
+
+/// `build`: construct a K-NN graph from `--input`, write it to `--out`.
+pub fn cmd_build(args: &Args) -> Result<String, String> {
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let k = args.get("k", 10usize)?;
+    let vs = io::load_vectors(Path::new(input)).map_err(|e| e.to_string())?;
+    let builder = WknngBuilder::new(k)
+        .trees(args.get("trees", 8usize)?)
+        .leaf_size(args.get("leaf", 64usize)?)
+        .exploration(args.get("explore", 1usize)?)
+        .seed(args.get("seed", 1u64)?);
+    let device: String = args.get("device", "native".to_string())?;
+    let (lists, summary) = match device.as_str() {
+        "native" => {
+            let (g, timings) = builder.build_native(&vs).map_err(|e| e.to_string())?;
+            (g.lists, format!("{:.1} ms native", timings.total_ms()))
+        }
+        "sim" => {
+            let dev = DeviceConfig::pascal_like();
+            let (g, reports) = builder
+                .auto_variant(vs.dim())
+                .build_device(&vs, &dev)
+                .map_err(|e| e.to_string())?;
+            let profile = wknng_simt::report::summary(&reports.total(), &dev);
+            (g.lists, format!("{:.3} simulated ms\n{profile}", reports.total_ms(&dev)))
+        }
+        other => return Err(format!("unknown --device '{other}' (native|sim)")),
+    };
+    io::save_knn(&lists, Path::new(out)).map_err(|e| e.to_string())?;
+    Ok(format!("built {k}-NN graph over {} points in {summary}; wrote {out}", vs.len()))
+}
+
+/// `recall`: score `--graph` against exact ground truth of `--input`.
+pub fn cmd_recall(args: &Args) -> Result<String, String> {
+    let input = args.require("input")?;
+    let graph = args.require("graph")?;
+    let vs = io::load_vectors(Path::new(input)).map_err(|e| e.to_string())?;
+    let lists = io::load_knn(Path::new(graph)).map_err(|e| e.to_string())?;
+    if lists.len() != vs.len() {
+        return Err(format!("graph covers {} points, dataset has {}", lists.len(), vs.len()));
+    }
+    let k = lists.iter().map(|l| l.len()).max().unwrap_or(0);
+    if k == 0 {
+        return Err("graph is empty".into());
+    }
+    let truth = exact_knn(&vs, k, Metric::SquaredL2);
+    Ok(format!("recall@{k} = {:.4}", recall(&lists, &truth)))
+}
+
+/// `stats`: structural statistics of a stored graph.
+pub fn cmd_stats(args: &Args) -> Result<String, String> {
+    let graph = args.require("graph")?;
+    let lists = io::load_knn(Path::new(graph)).map_err(|e| e.to_string())?;
+    let s = graph_stats(&lists);
+    Ok(format!(
+        "points {}  edges {}  degree {}..{} (mean {:.2})  components {}  hubness {:.2}  symmetry {:.2}",
+        s.n, s.edges, s.min_degree, s.max_degree, s.mean_degree, s.components, s.hubness, s.symmetry
+    ))
+}
+
+/// `info`: dataset shape and geometry estimates.
+pub fn cmd_info(args: &Args) -> Result<String, String> {
+    let input = args.require("input")?;
+    let vs = io::load_vectors(Path::new(input)).map_err(|e| e.to_string())?;
+    let id = wknng_data::intrinsic_dim_mle(&vs, 12, 200.min(vs.len()));
+    let nn = wknng_data::mean_nn_distance(&vs, 200.min(vs.len()));
+    Ok(format!(
+        "{} points x {} dims | intrinsic dim (MLE) {:.1} | mean nn distance {:.4}",
+        vs.len(),
+        vs.dim(),
+        id,
+        nn
+    ))
+}
+
+/// `search`: query a stored graph with one of its own points (smoke query)
+/// or the point at `--query <id>` perturbed — prints the neighbor ids.
+pub fn cmd_search(args: &Args) -> Result<String, String> {
+    let input = args.require("input")?;
+    let graph_path = args.require("graph")?;
+    let qid = args.get("query", 0usize)?;
+    let k = args.get("k", 10usize)?;
+    let beam = args.get("beam", 48usize)?;
+    let vs = io::load_vectors(Path::new(input)).map_err(|e| e.to_string())?;
+    let lists = io::load_knn(Path::new(graph_path)).map_err(|e| e.to_string())?;
+    if qid >= vs.len() {
+        return Err(format!("--query {qid} out of range (n = {})", vs.len()));
+    }
+    if lists.len() != vs.len() {
+        return Err(format!("graph covers {} points, dataset has {}", lists.len(), vs.len()));
+    }
+    let graph = Knng { lists, params: WknngBuilder::new(k).params() };
+    let params = SearchParams { k, beam, entries: 4, metric: Metric::SquaredL2 };
+    let (res, stats) = search(&vs, &graph, vs.row(qid), &params);
+    let hits: Vec<String> =
+        res.iter().map(|nb| format!("{}({:.4})", nb.index, nb.dist)).collect();
+    Ok(format!(
+        "query {qid}: [{}] in {} distance evals / {} expansions",
+        hits.join(", "),
+        stats.distance_evals,
+        stats.expansions
+    ))
+}
+
+/// `extend`: add the points of `--new` to a stored dataset + graph pair.
+pub fn cmd_extend(args: &Args) -> Result<String, String> {
+    let input = args.require("input")?;
+    let graph_path = args.require("graph")?;
+    let new_path = args.require("new")?;
+    let out_vecs = args.require("out-vectors")?;
+    let out_graph = args.require("out-graph")?;
+    let vs = io::load_vectors(Path::new(input)).map_err(|e| e.to_string())?;
+    let lists = io::load_knn(Path::new(graph_path)).map_err(|e| e.to_string())?;
+    let new = io::load_vectors(Path::new(new_path)).map_err(|e| e.to_string())?;
+    let k = lists.iter().map(|l| l.len()).max().unwrap_or(0);
+    if k == 0 {
+        return Err("graph is empty".into());
+    }
+    let graph = Knng { lists, params: WknngBuilder::new(k).params() };
+    let ext = extend_graph(&vs, &graph, &new, args.get("beam", 0usize)?)
+        .map_err(|e| e.to_string())?;
+    io::save_vectors(&ext.vectors, Path::new(out_vecs)).map_err(|e| e.to_string())?;
+    io::save_knn(&ext.graph.lists, Path::new(out_graph)).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "extended {} + {} points -> {out_vecs}, {out_graph}",
+        vs.len(),
+        new.len()
+    ))
+}
+
+/// Dispatch a parsed command; returns the report line(s) for stdout.
+pub fn dispatch(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "build" => cmd_build(args),
+        "recall" => cmd_recall(args),
+        "stats" => cmd_stats(args),
+        "info" => cmd_info(args),
+        "search" => cmd_search(args),
+        "extend" => cmd_extend(args),
+        "help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+wknng-cli — approximate K-NN graphs from the command line
+
+  generate --out d.wkv [--kind clusters|uniform|sphere|manifold] [--n 1000]
+           [--dim 32] [--clusters 8] [--spread 0.25] [--intrinsic 6] [--seed 42]
+  build    --input d.wkv --out g.wkk [--k 10] [--trees 8] [--leaf 64]
+           [--explore 1] [--seed 1] [--device native|sim]
+  recall   --input d.wkv --graph g.wkk
+  stats    --graph g.wkk
+  info     --input d.wkv
+  search   --input d.wkv --graph g.wkk [--query 0] [--k 10] [--beam 48]
+  extend   --input d.wkv --graph g.wkk --new more.wkv
+           --out-vectors d2.wkv --out-graph g2.wkk [--beam 0]
+  help";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Args {
+        let argv: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
+        Args::parse(&argv).expect("parse")
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wknng-cli-test-{name}-{}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parse_flags_and_defaults() {
+        let a = args("build --input x.wkv --out y.wkk --k 7");
+        assert_eq!(a.command, "build");
+        assert_eq!(a.require("input").unwrap(), "x.wkv");
+        assert_eq!(a.get("k", 10usize).unwrap(), 7);
+        assert_eq!(a.get("trees", 8usize).unwrap(), 8);
+        assert!(a.require("missing").is_err());
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&["x".into(), "notaflag".into()]).is_err());
+    }
+
+    #[test]
+    fn generate_build_recall_stats_roundtrip() {
+        let vecs = tmp("roundtrip.wkv");
+        let graph = tmp("roundtrip.wkk");
+        let out = dispatch(&args(&format!(
+            "generate --out {vecs} --kind manifold --n 300 --dim 24 --intrinsic 4 --seed 3"
+        )))
+        .unwrap();
+        assert!(out.contains("300"));
+
+        let out = dispatch(&args(&format!(
+            "build --input {vecs} --out {graph} --k 6 --trees 4 --leaf 24 --explore 1"
+        )))
+        .unwrap();
+        assert!(out.contains("6-NN graph"));
+
+        let out = dispatch(&args(&format!("recall --input {vecs} --graph {graph}"))).unwrap();
+        let r: f64 = out.split('=').nth(1).unwrap().trim().parse().unwrap();
+        assert!(r > 0.7, "{out}");
+
+        let out = dispatch(&args(&format!("stats --graph {graph}"))).unwrap();
+        assert!(out.contains("points 300"));
+
+        let out = dispatch(&args(&format!("info --input {vecs}"))).unwrap();
+        assert!(out.contains("300 points x 24 dims"));
+
+        std::fs::remove_file(&vecs).ok();
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn simulated_build_via_cli() {
+        let vecs = tmp("sim.wkv");
+        let graph = tmp("sim.wkk");
+        dispatch(&args(&format!("generate --out {vecs} --kind uniform --n 80 --dim 8"))).unwrap();
+        let out = dispatch(&args(&format!(
+            "build --input {vecs} --out {graph} --k 4 --trees 2 --leaf 16 --device sim"
+        )))
+        .unwrap();
+        assert!(out.contains("simulated"));
+        std::fs::remove_file(&vecs).ok();
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn bad_inputs_are_reported_not_panicked() {
+        assert!(dispatch(&args("recall --input /no/such.wkv --graph /no/such.wkk")).is_err());
+        assert!(dispatch(&args("generate --out /no/such/dir/x.wkv")).is_err());
+        assert!(dispatch(&args("frobnicate")).is_err());
+        assert!(dispatch(&args("build --input x --out y --device warp9")).is_err());
+        assert!(dispatch(&args("help")).unwrap().contains("wknng-cli"));
+    }
+}
+
+#[cfg(test)]
+mod extended_cli_tests {
+    use super::*;
+
+    fn args(line: &str) -> Args {
+        let argv: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
+        Args::parse(&argv).expect("parse")
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wknng-cli-ext-{name}-{}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn search_and_extend_roundtrip() {
+        let vecs = tmp("a.wkv");
+        let graph = tmp("a.wkk");
+        let more = tmp("b.wkv");
+        let vecs2 = tmp("c.wkv");
+        let graph2 = tmp("c.wkk");
+
+        dispatch(&args(&format!(
+            "generate --out {vecs} --kind manifold --n 250 --dim 16 --intrinsic 3 --seed 4"
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "build --input {vecs} --out {graph} --k 6 --trees 4 --leaf 16"
+        )))
+        .unwrap();
+
+        // Searching with an indexed point finds it at distance ~0 first.
+        let out = dispatch(&args(&format!(
+            "search --input {vecs} --graph {graph} --query 7 --k 3"
+        )))
+        .unwrap();
+        assert!(out.starts_with("query 7: [7(0.0000)"), "{out}");
+        // Out-of-range query id is a clean error.
+        assert!(dispatch(&args(&format!(
+            "search --input {vecs} --graph {graph} --query 9999"
+        )))
+        .is_err());
+
+        dispatch(&args(&format!(
+            "generate --out {more} --kind manifold --n 40 --dim 16 --intrinsic 3 --seed 5"
+        )))
+        .unwrap();
+        let out = dispatch(&args(&format!(
+            "extend --input {vecs} --graph {graph} --new {more} --out-vectors {vecs2} --out-graph {graph2}"
+        )))
+        .unwrap();
+        assert!(out.contains("250 + 40"));
+        let out = dispatch(&args(&format!("stats --graph {graph2}"))).unwrap();
+        assert!(out.contains("points 290"), "{out}");
+
+        for f in [&vecs, &graph, &more, &vecs2, &graph2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! # wknng — Warp-centric K-Nearest-Neighbor-Graph construction
+//!
+//! A from-scratch Rust reproduction of *"Warp-centric K-Nearest Neighbor
+//! Graphs construction on GPU"* (Meyer, Pozo, Zola — ICPP 2021 workshops):
+//! an all-points approximate K-NNG builder based on Random Projection
+//! Forests, with three warp-centric strategies for maintaining k-NN sets in
+//! GPU global memory, evaluated against FAISS-style baselines.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`simt`] | deterministic SIMT (GPU) execution simulator + cost model |
+//! | [`data`] | vector sets, synthetic datasets, distances, exact ground truth |
+//! | [`forest`] | random-projection tree/forest construction |
+//! | [`core`] | the w-KNNG algorithm: kernels, backends, builder API, recall |
+//! | [`baseline`] | brute force (+WarpSelect), k-means, IVF-Flat (FAISS stand-in), NN-descent, HNSW |
+//! | [`tsne`] | the motivating application: t-SNE over K-NNG affinities |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wknng::prelude::*;
+//!
+//! // 1. Points (bring your own, or generate a benchmark set).
+//! let vs = DatasetSpec::sift_like(500).generate(42).vectors;
+//!
+//! // 2. Build the approximate 10-NN graph.
+//! let (graph, timings) = WknngBuilder::new(10)
+//!     .trees(8)
+//!     .leaf_size(32)
+//!     .exploration(1)
+//!     .build_native(&vs)
+//!     .unwrap();
+//!
+//! // 3. Score it against exact ground truth.
+//! let truth = exact_knn(&vs, 10, Metric::SquaredL2);
+//! let r = recall(&graph.lists, &truth);
+//! assert!(r > 0.9, "recall {r:.3}");
+//! assert!(timings.total_ms() >= 0.0);
+//! ```
+//!
+//! ## Simulated-GPU builds
+//!
+//! ```
+//! use wknng::prelude::*;
+//!
+//! let vs = DatasetSpec::sift_like(300).generate(7).vectors;
+//! let dev = DeviceConfig::pascal_like();
+//! let (graph, reports) = WknngBuilder::new(8)
+//!     .trees(2)
+//!     .variant(KernelVariant::Tiled)
+//!     .build_device(&vs, &dev)
+//!     .unwrap();
+//! assert_eq!(graph.len(), 300);
+//! println!("simulated: {:.3} ms", reports.total_ms(&dev));
+//! ```
+
+pub mod cli;
+
+pub use wknng_baseline as baseline;
+pub use wknng_core as core;
+pub use wknng_data as data;
+pub use wknng_forest as forest;
+pub use wknng_simt as simt;
+pub use wknng_tsne as tsne;
+
+/// The commonly used names in one import.
+pub mod prelude {
+    pub use wknng_baseline::{
+        brute_force_device, brute_force_warpselect, ivf_knng_device, nn_descent,
+        train_kmeans, Hnsw, HnswParams, IvfFlat, IvfParams, NnDescentParams,
+    };
+    pub use wknng_core::{
+        build_device, build_native, extend_graph, graph_stats, mean_distance_ratio, recall,
+        search, symmetrize, DeviceReports, ExplorationMode, Extended, GraphStats,
+        KernelVariant, Knng, KnngError, PhaseTimings, SearchParams, SearchStats,
+        WknngBuilder, WknngParams,
+    };
+    pub use wknng_data::{
+        exact_knn, sq_l2, Dataset, DatasetSpec, Metric, Neighbor, VectorSet,
+    };
+    pub use wknng_forest::{build_forest, ForestParams, ProjectionKind, RpForest, TreeParams};
+    pub use wknng_simt::{DeviceConfig, LaunchReport, Stats};
+    pub use wknng_tsne::{affinities_from_knng, tsne_via_wknng, Embedding, TsneParams};
+}

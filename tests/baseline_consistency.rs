@@ -1,0 +1,100 @@
+//! Baseline consistency: the comparison methods must behave like the systems
+//! they stand in for, or the evaluation's conclusions are meaningless.
+
+use wknng::prelude::*;
+
+fn clustered(n: usize, seed: u64) -> VectorSet {
+    DatasetSpec::GaussianClusters { n, dim: 12, clusters: 6, spread: 0.25 }
+        .generate(seed)
+        .vectors
+}
+
+#[test]
+fn ivf_recall_is_monotone_in_nprobe() {
+    let vs = clustered(300, 1);
+    let truth = exact_knn(&vs, 6, Metric::SquaredL2);
+    let ivf = IvfFlat::build(&vs, IvfParams { nlist: 18, ..IvfParams::default() });
+    let mut prev = -1.0f64;
+    for nprobe in [1usize, 2, 4, 9, 18] {
+        let r = recall(&ivf.knng(&vs, 6, nprobe), &truth);
+        assert!(r + 1e-9 >= prev, "recall regressed at nprobe={nprobe}: {prev:.3} -> {r:.3}");
+        prev = r;
+    }
+    assert_eq!(prev, 1.0, "full probe must be exact");
+}
+
+#[test]
+fn ivf_device_equals_ivf_native() {
+    let vs = clustered(200, 2);
+    let ivf = IvfFlat::build(&vs, IvfParams { nlist: 10, ..IvfParams::default() });
+    let dev = DeviceConfig::test_tiny();
+    for nprobe in [1usize, 3, 10] {
+        let native = ivf.knng(&vs, 5, nprobe);
+        let (device, _) = ivf_knng_device(&vs, &ivf, 5, nprobe, &dev);
+        let ni: Vec<Vec<u32>> =
+            native.iter().map(|l| l.iter().map(|n| n.index).collect()).collect();
+        let di: Vec<Vec<u32>> =
+            device.iter().map(|l| l.iter().map(|n| n.index).collect()).collect();
+        assert_eq!(ni, di, "nprobe {nprobe}");
+    }
+}
+
+#[test]
+fn brute_device_equals_exact_oracle() {
+    let vs = clustered(150, 3);
+    let truth = exact_knn(&vs, 7, Metric::SquaredL2);
+    let dev = DeviceConfig::test_tiny();
+    let (brute, report) = brute_force_device(&vs, 7, &dev);
+    let bi: Vec<Vec<u32>> = brute.iter().map(|l| l.iter().map(|n| n.index).collect()).collect();
+    let ti: Vec<Vec<u32>> = truth.iter().map(|l| l.iter().map(|n| n.index).collect()).collect();
+    assert_eq!(bi, ti);
+    assert!(report.cycles > 0.0);
+}
+
+#[test]
+fn nn_descent_converges_and_is_deterministic() {
+    let vs = clustered(250, 4);
+    let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+    let params = NnDescentParams { k: 8, ..NnDescentParams::default() };
+    let (a, iters_a) = nn_descent(&vs, &params);
+    let (b, iters_b) = nn_descent(&vs, &params);
+    assert_eq!(a, b);
+    assert_eq!(iters_a, iters_b);
+    assert!(recall(&a, &truth) > 0.85);
+}
+
+#[test]
+fn kmeans_quantizer_is_usable_by_ivf() {
+    let vs = clustered(240, 5);
+    let km = train_kmeans(&vs, 6, 25, 9);
+    // Every centroid is finite and assignments are self-consistent.
+    assert!(km.centroids.iter().all(|v| v.is_finite()));
+    let counts = {
+        let mut c = vec![0usize; km.nlist];
+        for &a in &km.assignment {
+            c[a as usize] += 1;
+        }
+        c
+    };
+    assert_eq!(counts.iter().sum::<usize>(), vs.len());
+    assert!(counts.iter().all(|&c| c > 0), "no empty clusters after reseeding: {counts:?}");
+}
+
+#[test]
+fn wknng_beats_nn_descent_or_matches_it_with_less_work() {
+    // Not a strict dominance claim — just that the forest approach lands in
+    // the same recall league as the classic algorithm on clustered data.
+    let vs = clustered(400, 6);
+    let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+    let (g, _) = WknngBuilder::new(8)
+        .trees(6)
+        .leaf_size(24)
+        .exploration(1)
+        .seed(7)
+        .build_native(&vs)
+        .expect("valid");
+    let (nd, _) = nn_descent(&vs, &NnDescentParams { k: 8, ..NnDescentParams::default() });
+    let (rw, rn) = (recall(&g.lists, &truth), recall(&nd, &truth));
+    assert!(rw > 0.9, "w-KNNG {rw:.3}");
+    assert!(rn > 0.85, "nn-descent {rn:.3}");
+}

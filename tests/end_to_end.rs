@@ -1,0 +1,141 @@
+//! Cross-crate integration: every generator × every kernel variant × both
+//! backends, with recall floors and determinism.
+
+use wknng::prelude::*;
+
+fn generators(n: usize) -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec::GaussianClusters { n, dim: 24, clusters: 6, spread: 0.3 },
+        DatasetSpec::UniformCube { n, dim: 8 },
+        DatasetSpec::HypersphereShell { n, dim: 16 },
+        DatasetSpec::Manifold { n, ambient_dim: 48, intrinsic_dim: 4 },
+    ]
+}
+
+#[test]
+fn native_build_reaches_recall_floor_on_every_generator() {
+    for spec in generators(300) {
+        let vs = spec.generate(1).vectors;
+        let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+        let (g, _) = WknngBuilder::new(8)
+            .trees(6)
+            .leaf_size(24)
+            .exploration(1)
+            .seed(2)
+            .build_native(&vs)
+            .expect("valid parameters");
+        let r = recall(&g.lists, &truth);
+        assert!(r > 0.7, "{}: recall {r:.3}", spec.name());
+    }
+}
+
+#[test]
+fn every_variant_matches_native_on_every_generator() {
+    let dev = DeviceConfig::test_tiny();
+    for spec in generators(120) {
+        let vs = spec.generate(3).vectors;
+        let builder = WknngBuilder::new(5).trees(2).leaf_size(12).exploration(1).seed(5);
+        let (native, _) = builder.build_native(&vs).expect("valid");
+        let nidx: Vec<Vec<u32>> = native
+            .lists
+            .iter()
+            .map(|l| l.iter().map(|nb| nb.index).collect())
+            .collect();
+        for variant in KernelVariant::ALL {
+            let (device, reports) =
+                builder.variant(variant).build_device(&vs, &dev).expect("valid");
+            let didx: Vec<Vec<u32>> = device
+                .lists
+                .iter()
+                .map(|l| l.iter().map(|nb| nb.index).collect())
+                .collect();
+            assert_eq!(didx, nidx, "{} / {:?}", spec.name(), variant);
+            assert!(reports.total().cycles > 0.0);
+        }
+    }
+}
+
+#[test]
+fn builds_are_deterministic_across_runs() {
+    let vs = DatasetSpec::sift_like(200).generate(7).vectors;
+    let builder = WknngBuilder::new(6).trees(3).leaf_size(16).exploration(1).seed(11);
+    let (a, _) = builder.build_native(&vs).expect("valid");
+    let (b, _) = builder.build_native(&vs).expect("valid");
+    assert_eq!(a.lists, b.lists);
+
+    let dev = DeviceConfig::test_tiny();
+    let (da, ra) = builder.build_device(&vs, &dev).expect("valid");
+    let (db, rb) = builder.build_device(&vs, &dev).expect("valid");
+    assert_eq!(da.lists, db.lists);
+    assert_eq!(ra.total(), rb.total(), "cycle estimates must replay exactly");
+}
+
+#[test]
+fn device_baselines_are_exact_where_promised() {
+    let vs = DatasetSpec::UniformCube { n: 90, dim: 10 }.generate(9).vectors;
+    let truth = exact_knn(&vs, 6, Metric::SquaredL2);
+    let dev = DeviceConfig::test_tiny();
+
+    let (brute, _) = brute_force_device(&vs, 6, &dev);
+    assert_eq!(recall(&brute, &truth), 1.0);
+
+    let ivf = IvfFlat::build(&vs, IvfParams { nlist: 6, ..IvfParams::default() });
+    let (full, _) = ivf_knng_device(&vs, &ivf, 6, 6, &dev);
+    assert_eq!(recall(&full, &truth), 1.0);
+}
+
+#[test]
+fn approximate_methods_beat_their_cost_budgets() {
+    // The point of the paper: at matched recall, w-KNNG needs fewer cycles
+    // than the IVF baseline on the same (simulated) hardware.
+    let vs = DatasetSpec::Manifold { n: 320, ambient_dim: 64, intrinsic_dim: 5 }
+        .generate(13)
+        .vectors;
+    let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+    let dev = DeviceConfig::scaled_gpu();
+
+    let (g, reports) = WknngBuilder::new(8)
+        .trees(4)
+        .leaf_size(32)
+        .exploration(1)
+        .seed(3)
+        .build_device(&vs, &dev)
+        .expect("valid");
+    let our_recall = recall(&g.lists, &truth);
+    let our_cycles = reports.total().cycles;
+
+    // Find the cheapest IVF configuration reaching the same recall.
+    let ivf = IvfFlat::build(&vs, IvfParams { nlist: 16, ..IvfParams::default() });
+    let mut ivf_cycles = None;
+    for nprobe in 1..=16usize {
+        let (lists, rep) = ivf_knng_device(&vs, &ivf, 8, nprobe, &dev);
+        if recall(&lists, &truth) + 0.01 >= our_recall {
+            ivf_cycles = Some(rep.cycles);
+            break;
+        }
+    }
+    let ivf_cycles = ivf_cycles.expect("IVF reaches the recall with enough probes");
+    assert!(
+        our_cycles < ivf_cycles,
+        "w-KNNG ({our_cycles:.0}) must beat IVF ({ivf_cycles:.0}) at recall {our_recall:.3}"
+    );
+}
+
+#[test]
+fn exploration_and_trees_improve_recall_monotonically_enough() {
+    let vs = DatasetSpec::GaussianClusters { n: 400, dim: 16, clusters: 8, spread: 0.3 }
+        .generate(17)
+        .vectors;
+    let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+    let base = WknngBuilder::new(8).leaf_size(16).seed(19);
+    let r = |trees: usize, explore: usize| {
+        let (g, _) = base.trees(trees).exploration(explore).build_native(&vs).expect("valid");
+        recall(&g.lists, &truth)
+    };
+    let r1 = r(1, 0);
+    let r4 = r(4, 0);
+    let r4e = r(4, 2);
+    assert!(r4 > r1, "{r1:.3} -> {r4:.3}");
+    assert!(r4e > r4, "{r4:.3} -> {r4e:.3}");
+    assert!(r4e > 0.9, "final recall too low: {r4e:.3}");
+}

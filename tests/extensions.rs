@@ -1,0 +1,148 @@
+//! Integration coverage for the extension features: graph metrics and
+//! symmetrization, graph search, HNSW, sparse projections, quantization and
+//! the device slot-sorting kernel.
+
+use wknng::core::kernels::{sort_slots_device, DeviceState, TreeLayout};
+use wknng::core::kernels::run_basic;
+use wknng::prelude::*;
+
+fn manifold(n: usize, seed: u64) -> VectorSet {
+    DatasetSpec::Manifold { n, ambient_dim: 32, intrinsic_dim: 4 }.generate(seed).vectors
+}
+
+#[test]
+fn symmetrized_graph_connects_and_searches_better() {
+    let vs = manifold(400, 1);
+    let (g, _) = WknngBuilder::new(8)
+        .trees(4)
+        .leaf_size(16)
+        .exploration(1)
+        .seed(2)
+        .build_native(&vs)
+        .expect("valid");
+    let before = graph_stats(&g.lists);
+    let sym = symmetrize(&g.lists, None);
+    let after = graph_stats(&sym);
+    assert_eq!(after.symmetry, 1.0, "uncapped symmetrization is exact");
+    assert!(after.components <= before.components);
+    assert!(after.edges >= before.edges);
+    // A capped symmetrization bounds degrees but may drop some reverse edges.
+    let capped = symmetrize(&g.lists, Some(10));
+    let cs = graph_stats(&capped);
+    assert!(cs.max_degree <= 10);
+    assert!(cs.symmetry >= before.symmetry);
+}
+
+#[test]
+fn graph_search_beats_scanning() {
+    let vs = manifold(600, 3);
+    let (g, _) = WknngBuilder::new(12)
+        .trees(6)
+        .leaf_size(24)
+        .exploration(2)
+        .seed(4)
+        .build_native(&vs)
+        .expect("valid");
+    let q: Vec<f32> = vs.row(100).iter().map(|v| v + 2e-3).collect();
+    let (res, stats) = search(&vs, &g, &q, &SearchParams::default());
+    assert_eq!(res[0].index, 100);
+    assert!(
+        stats.distance_evals * 3 < 600,
+        "search evaluated {} of 600 points",
+        stats.distance_evals
+    );
+}
+
+#[test]
+fn hnsw_and_wknng_build_comparable_graphs() {
+    let vs = manifold(350, 5);
+    let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+    let (g, _) = WknngBuilder::new(8)
+        .trees(8)
+        .leaf_size(24)
+        .exploration(2)
+        .seed(6)
+        .build_native(&vs)
+        .expect("valid");
+    let hnsw = Hnsw::build(&vs, HnswParams::default());
+    let hg = hnsw.knng(&vs, 8, 64);
+    let (rw, rh) = (recall(&g.lists, &truth), recall(&hg, &truth));
+    assert!(rw > 0.85, "w-KNNG {rw:.3}");
+    assert!(rh > 0.85, "HNSW {rh:.3}");
+}
+
+#[test]
+fn sparse_projection_builds_match_quality_of_dense() {
+    let vs = DatasetSpec::sift_like(400).generate(7).vectors;
+    let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+    let base = WknngBuilder::new(8).trees(6).leaf_size(24).exploration(1).seed(8);
+    let (dense, _) = base.build_native(&vs).expect("valid");
+    let (sparse, _) = base
+        .projection(ProjectionKind::SparseSign { density: 0.2 })
+        .build_native(&vs)
+        .expect("valid");
+    let (rd, rs) = (recall(&dense.lists, &truth), recall(&sparse.lists, &truth));
+    assert!(rs > rd - 0.1, "sparse {rs:.3} vs dense {rd:.3}");
+}
+
+#[test]
+fn quantized_build_preserves_most_recall() {
+    let vs = DatasetSpec::sift_like(400).generate(9).vectors;
+    let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+    let q = wknng::data::QuantizedSet::quantize(&vs).expect("valid");
+    assert_eq!(q.code_bytes(), 400 * 128);
+    let decoded = q.decode();
+    let (g, _) = WknngBuilder::new(8)
+        .trees(8)
+        .leaf_size(32)
+        .exploration(1)
+        .seed(10)
+        .build_native(&decoded)
+        .expect("valid");
+    let r = recall(&g.lists, &truth);
+    assert!(r > 0.85, "sq8 recall {r:.3}");
+}
+
+#[test]
+fn device_sorted_slots_decode_to_the_same_graph() {
+    let vs = manifold(100, 11);
+    let dev = DeviceConfig::test_tiny();
+    let forest = build_forest(
+        &vs,
+        ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 16, ..TreeParams::default() } },
+        12,
+    )
+    .expect("valid");
+    let state = DeviceState::upload(&vs, 6);
+    for tree in &forest.trees {
+        run_basic(&dev, &state, &TreeLayout::upload(tree, 100));
+    }
+    let before = state.download();
+    let report = sort_slots_device(&dev, &state).expect("k <= 32");
+    assert!(report.cycles > 0.0);
+    let after = state.download();
+    assert_eq!(before, after, "sorting must not change graph content");
+    // And the raw slot order is now ascending per point.
+    let slots = state.slots.to_vec();
+    for p in 0..100 {
+        let row = &slots[p * 6..(p + 1) * 6];
+        for w in row.windows(2) {
+            assert!(w[0] <= w[1], "point {p} slots unsorted");
+        }
+    }
+}
+
+#[test]
+fn incremental_mode_is_usable_through_the_prelude() {
+    let vs = manifold(200, 13);
+    let (g, _) = WknngBuilder::new(6)
+        .trees(3)
+        .leaf_size(16)
+        .exploration(3)
+        .exploration_mode(ExplorationMode::Incremental)
+        .seed(14)
+        .build_native(&vs)
+        .expect("valid");
+    let truth = exact_knn(&vs, 6, Metric::SquaredL2);
+    assert!(recall(&g.lists, &truth) > 0.85);
+}

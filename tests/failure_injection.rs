@@ -1,0 +1,113 @@
+//! Failure injection: poisoned inputs must produce typed errors, not panics
+//! or silent garbage.
+
+use wknng::prelude::*;
+
+#[test]
+fn nan_coordinates_are_rejected_at_the_boundary() {
+    let mut data = vec![0.0f32; 30];
+    data[17] = f32::NAN;
+    let err = VectorSet::new(data, 3).unwrap_err();
+    assert!(err.to_string().contains("non-finite"));
+
+    let mut data = vec![0.0f32; 30];
+    data[5] = f32::NEG_INFINITY;
+    assert!(VectorSet::new(data, 3).is_err());
+}
+
+#[test]
+fn zero_dimension_is_rejected() {
+    assert!(VectorSet::new(vec![], 0).is_err());
+}
+
+#[test]
+fn k_out_of_range_is_a_typed_error() {
+    let vs = DatasetSpec::UniformCube { n: 20, dim: 4 }.generate(0).vectors;
+    let err = WknngBuilder::new(0).build_native(&vs).unwrap_err();
+    assert!(matches!(err, KnngError::ZeroK));
+    let err = WknngBuilder::new(20).build_native(&vs).unwrap_err();
+    assert!(matches!(err, KnngError::KTooLarge { k: 20, n: 20 }));
+    let err = WknngBuilder::new(25).build_native(&vs).unwrap_err();
+    assert!(matches!(err, KnngError::KTooLarge { .. }));
+}
+
+#[test]
+fn degenerate_forest_parameters_are_rejected() {
+    let vs = DatasetSpec::UniformCube { n: 20, dim: 4 }.generate(0).vectors;
+    assert!(matches!(
+        WknngBuilder::new(3).trees(0).build_native(&vs),
+        Err(KnngError::Forest(_))
+    ));
+    assert!(matches!(
+        WknngBuilder::new(3).leaf_size(1).build_native(&vs),
+        Err(KnngError::Forest(_))
+    ));
+}
+
+#[test]
+fn device_constraints_are_typed() {
+    let vs = DatasetSpec::UniformCube { n: 50, dim: 4 }.generate(0).vectors;
+    let dev = DeviceConfig::test_tiny();
+    // Non-L2 metric on device.
+    let err = WknngBuilder::new(3)
+        .metric(Metric::Cosine)
+        .build_device(&vs, &dev)
+        .unwrap_err();
+    assert!(matches!(err, KnngError::UnsupportedDeviceMetric(_)));
+    // Tiled bucket beyond shared-memory capacity.
+    let err = WknngBuilder::new(3)
+        .variant(KernelVariant::Tiled)
+        .leaf_size(100_000)
+        .build_device(&vs, &dev)
+        .unwrap_err();
+    assert!(matches!(err, KnngError::LeafTooLargeForTiled { .. }));
+    // The same leaf size is fine for non-tiled variants (clamped by n).
+    assert!(WknngBuilder::new(3)
+        .variant(KernelVariant::Basic)
+        .leaf_size(100_000)
+        .build_device(&vs, &dev)
+        .is_ok());
+}
+
+#[test]
+fn duplicate_points_build_successfully() {
+    // All-identical points: distances are all zero; the graph must still be
+    // well-formed (k distinct neighbors, no self loops, no hang).
+    let vs = VectorSet::new(vec![1.0; 60 * 4], 4).unwrap();
+    let (g, _) = WknngBuilder::new(5)
+        .trees(2)
+        .leaf_size(8)
+        .exploration(1)
+        .build_native(&vs)
+        .expect("duplicates are valid input");
+    for (p, list) in g.lists.iter().enumerate() {
+        assert!(list.len() <= 5);
+        assert!(list.iter().all(|nb| nb.index as usize != p));
+        assert!(list.iter().all(|nb| nb.dist == 0.0));
+        let mut idx: Vec<u32> = list.iter().map(|nb| nb.index).collect();
+        idx.dedup();
+        assert_eq!(idx.len(), list.len(), "duplicate neighbor at point {p}");
+    }
+}
+
+#[test]
+fn tiny_inputs_work_on_both_backends() {
+    // n = k + 1 is the smallest legal instance.
+    let vs = DatasetSpec::UniformCube { n: 4, dim: 2 }.generate(1).vectors;
+    let builder = WknngBuilder::new(3).trees(1).leaf_size(4).exploration(1);
+    let (g, _) = builder.build_native(&vs).expect("valid");
+    assert!(g.lists.iter().all(|l| l.len() == 3));
+    let dev = DeviceConfig::test_tiny();
+    let (gd, _) = builder.build_device(&vs, &dev).expect("valid");
+    assert_eq!(g.lists, gd.lists);
+}
+
+#[test]
+fn corrupt_files_fail_cleanly() {
+    let dir = std::env::temp_dir();
+    let p = dir.join(format!("wknng-corrupt-{}", std::process::id()));
+    std::fs::write(&p, b"definitely not a wknng file").unwrap();
+    assert!(wknng::data::io::load_vectors(&p).is_err());
+    assert!(wknng::data::io::load_knn(&p).is_err());
+    std::fs::remove_file(&p).ok();
+}
