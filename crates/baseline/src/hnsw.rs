@@ -174,7 +174,9 @@ impl Hnsw {
                     let base = vs.row(nb.index as usize);
                     let mut ranked: Vec<Neighbor> = self.layers[l][nb.index as usize]
                         .iter()
-                        .map(|&q| Neighbor::new(q, self.params.metric.eval(base, vs.row(q as usize))))
+                        .map(|&q| {
+                            Neighbor::new(q, self.params.metric.eval(base, vs.row(q as usize)))
+                        })
                         .collect();
                     wknng_data::sort_neighbors(&mut ranked);
                     ranked.truncate(cap);

@@ -79,7 +79,14 @@ impl IvfFlat {
 
     /// K nearest neighbors of `row` among the probed lists (`exclude` drops
     /// a self-match when querying with an indexed point).
-    pub fn search(&self, vs: &VectorSet, row: &[f32], k: usize, nprobe: usize, exclude: Option<u32>) -> Vec<Neighbor> {
+    pub fn search(
+        &self,
+        vs: &VectorSet,
+        row: &[f32],
+        k: usize,
+        nprobe: usize,
+        exclude: Option<u32>,
+    ) -> Vec<Neighbor> {
         let mut best = KnnList::new(k);
         for c in self.probe_order(row, nprobe) {
             for &p in &self.lists[c] {

@@ -80,13 +80,7 @@ pub fn ivf_knng_device(
                         continue;
                     }
                     let d = warp_sq_l2(w, &state.points, dim, p, q);
-                    warp_insert_exclusive(
-                        w,
-                        &state.slots,
-                        p,
-                        k,
-                        Neighbor::new(q as u32, d).pack(),
-                    );
+                    warp_insert_exclusive(w, &state.slots, p, k, Neighbor::new(q as u32, d).pack());
                 }
             }
         });

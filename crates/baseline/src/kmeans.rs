@@ -78,11 +78,7 @@ pub fn train_kmeans(vs: &VectorSet, nlist: usize, max_iters: usize, seed: u64) -
                 best.1
             })
             .collect();
-        let changed = next
-            .iter()
-            .zip(&assignment)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = next.iter().zip(&assignment).filter(|(a, b)| a != b).count();
         assignment = next;
 
         // Update.

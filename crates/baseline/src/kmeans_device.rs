@@ -87,8 +87,7 @@ pub fn train_kmeans_device(
             picks.push(c);
         }
     }
-    let mut centroids: Vec<f32> =
-        picks.iter().flat_map(|&p| vs.row(p).iter().copied()).collect();
+    let mut centroids: Vec<f32> = picks.iter().flat_map(|&p| vs.row(p).iter().copied()).collect();
     let mut assignment = vec![0u32; n];
     let mut total = LaunchReport::default();
     let points = DeviceBuffer::from_slice(vs.as_flat());
@@ -158,11 +157,7 @@ mod tests {
         // Well-separated blobs: the partition must match the generator's
         // round-robin cluster assignment.
         for p in 0..vs.len() {
-            assert_eq!(
-                km.assignment[p],
-                km.assignment[p % 3],
-                "point {p} split from its blob"
-            );
+            assert_eq!(km.assignment[p], km.assignment[p % 3], "point {p} split from its blob");
         }
         assert!(report.stats.launches as usize >= km.iterations);
         assert!(report.cycles > 0.0);

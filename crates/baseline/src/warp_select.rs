@@ -47,7 +47,8 @@ pub fn brute_force_warpselect(
             // rejected with one compare; a full thread queue triggers a
             // warp-wide sort-merge that refreshes the threshold. Nothing
             // below the threshold is ever dropped, so the result is exact.
-            let mut queues: Vec<Vec<u64>> = vec![Vec::with_capacity(t); WARP_LANES];
+            let mut queues: Vec<Vec<u64>> =
+                (0..WARP_LANES).map(|_| Vec::with_capacity(t)).collect();
             let mut warp_best: Vec<u64> = Vec::with_capacity(k);
             let mut threshold = EMPTY_SLOT;
 
@@ -91,8 +92,8 @@ pub fn brute_force_warpselect(
                     let rounds = queues.iter().map(|q| q.len()).max().unwrap_or(0);
                     for chunk in 0..rounds {
                         let mut lv = LaneVec::splat(EMPTY_SLOT);
-                        for l in 0..WARP_LANES {
-                            if let Some(&v) = queues[l].get(chunk) {
+                        for (l, queue) in queues.iter().enumerate() {
+                            if let Some(&v) = queue.get(chunk) {
                                 lv.set(l, v);
                             }
                         }
@@ -100,7 +101,7 @@ pub fn brute_force_warpselect(
                     }
                     w.charge_alu(Mask::FULL, (k.div_ceil(WARP_LANES) * 10) as u64); // merge pass
                     for q in &mut queues {
-                        warp_best.extend(q.drain(..));
+                        warp_best.append(q);
                     }
                     warp_best.sort_unstable();
                     warp_best.truncate(k);
@@ -120,13 +121,7 @@ pub fn brute_force_warpselect(
                 let step = (width - c).min(WARP_LANES);
                 let mask = Mask::first(step);
                 let idx = w.math_idx(mask, |l| p * k + c + l);
-                let vals = LaneVec::from_fn(|l| {
-                    if l < step {
-                        all[c + l]
-                    } else {
-                        EMPTY_SLOT
-                    }
-                });
+                let vals = LaneVec::from_fn(|l| if l < step { all[c + l] } else { EMPTY_SLOT });
                 w.st_global(&slots, &idx, &vals, mask);
                 c += WARP_LANES;
             }

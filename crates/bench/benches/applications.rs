@@ -7,9 +7,8 @@ use wknng_data::DatasetSpec;
 use wknng_tsne::{affinities_from_knng, embed, TsneParams};
 
 fn bench_applications(c: &mut Criterion) {
-    let vs = DatasetSpec::Manifold { n: 1000, ambient_dim: 48, intrinsic_dim: 5 }
-        .generate(7)
-        .vectors;
+    let vs =
+        DatasetSpec::Manifold { n: 1000, ambient_dim: 48, intrinsic_dim: 5 }.generate(7).vectors;
     let (graph, _) = WknngBuilder::new(12)
         .trees(6)
         .leaf_size(32)
@@ -35,9 +34,8 @@ fn bench_applications(c: &mut Criterion) {
         b.iter(|| search(&vs, &graph, &query, &SearchParams::default()))
     });
 
-    let new = DatasetSpec::Manifold { n: 50, ambient_dim: 48, intrinsic_dim: 5 }
-        .generate(9)
-        .vectors;
+    let new =
+        DatasetSpec::Manifold { n: 50, ambient_dim: 48, intrinsic_dim: 5 }.generate(9).vectors;
     group.bench_function("extend_graph_50_points", |b| {
         b.iter(|| extend_graph(&vs, &graph, &new, 0).expect("same dim"))
     });

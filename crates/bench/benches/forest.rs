@@ -14,7 +14,10 @@ fn bench_forest(c: &mut Criterion) {
             b.iter(|| {
                 build_forest(
                     &vs,
-                    ForestParams { num_trees: t, tree: TreeParams { leaf_size: 32, ..TreeParams::default() } },
+                    ForestParams {
+                        num_trees: t,
+                        tree: TreeParams { leaf_size: 32, ..TreeParams::default() },
+                    },
                     7,
                 )
                 .expect("valid")
@@ -26,7 +29,10 @@ fn bench_forest(c: &mut Criterion) {
             b.iter(|| {
                 build_forest(
                     &vs,
-                    ForestParams { num_trees: 4, tree: TreeParams { leaf_size: l, ..TreeParams::default() } },
+                    ForestParams {
+                        num_trees: 4,
+                        tree: TreeParams { leaf_size: l, ..TreeParams::default() },
+                    },
                     7,
                 )
                 .expect("valid")

@@ -7,9 +7,8 @@ use wknng_core::WknngBuilder;
 use wknng_data::{exact_knn, DatasetSpec, Metric};
 
 fn bench_frontier(c: &mut Criterion) {
-    let vs = DatasetSpec::Manifold { n: 2000, ambient_dim: 96, intrinsic_dim: 6 }
-        .generate(3)
-        .vectors;
+    let vs =
+        DatasetSpec::Manifold { n: 2000, ambient_dim: 96, intrinsic_dim: 6 }.generate(3).vectors;
     let mut group = c.benchmark_group("frontier");
     group.sample_size(10);
 
@@ -35,9 +34,7 @@ fn bench_frontier(c: &mut Criterion) {
         b.iter(|| nn_descent(&vs, &NnDescentParams { k: 10, ..NnDescentParams::default() }))
     });
 
-    group.bench_function("exact_brute_force", |b| {
-        b.iter(|| exact_knn(&vs, 10, Metric::SquaredL2))
-    });
+    group.bench_function("exact_brute_force", |b| b.iter(|| exact_knn(&vs, 10, Metric::SquaredL2)));
 
     group.finish();
 }

@@ -27,13 +27,13 @@ fn bench_phases(c: &mut Criterion) {
     group.bench_function("bucket_kernel_basic", |b| {
         b.iter(|| {
             let state = DeviceState::upload(&vs, 8);
-            run_basic(&dev, &state, &layout)
+            run_basic(&dev, &state, &layout).expect("no fault plan installed")
         })
     });
     group.bench_function("bucket_kernel_tiled", |b| {
         b.iter(|| {
             let state = DeviceState::upload(&vs, 8);
-            run_tiled(&dev, &state, &layout)
+            run_tiled(&dev, &state, &layout).expect("no fault plan installed")
         })
     });
     for variant in KernelVariant::ALL {

@@ -24,10 +24,7 @@ fn main() {
     }
     let scale = Scale { quick };
 
-    println!(
-        "w-KNNG evaluation reproduction ({} mode)\n",
-        if quick { "quick" } else { "full" }
-    );
+    println!("w-KNNG evaluation reproduction ({} mode)\n", if quick { "quick" } else { "full" });
     let mut failed = false;
     for id in &ids {
         let t0 = Instant::now();

@@ -37,8 +37,7 @@ pub fn run(scale: Scale) -> String {
 
     let n = scale.pick(384, 128);
     let dev = DeviceConfig::scaled_gpu();
-    let ds = DatasetSpec::GaussianClusters { n, dim: 64, clusters: 8, spread: 0.3 }
-        .generate(102);
+    let ds = DatasetSpec::GaussianClusters { n, dim: 64, clusters: 8, spread: 0.3 }.generate(102);
     let truth = exact_knn(&ds.vectors, 8, Metric::SquaredL2);
     let leaves: Vec<usize> = if scale.quick { vec![16, 64] } else { vec![8, 16, 32, 64, 128] };
     let mut t = Table::new(
@@ -53,11 +52,7 @@ pub fn run(scale: Scale) -> String {
             .seed(14)
             .build_device(&ds.vectors, &dev)
             .expect("valid params");
-        t.row(vec![
-            leaf.to_string(),
-            f3(recall(&g.lists, &truth)),
-            cyc(reports.total().cycles),
-        ]);
+        t.row(vec![leaf.to_string(), f3(recall(&g.lists, &truth)), cyc(reports.total().cycles)]);
     }
     out.push_str(&t.render());
     out
@@ -74,11 +69,8 @@ mod tests {
         assert!(out.contains("E10b"));
         // Parse first table: recall at leaf 64 >= recall at leaf 16.
         let lines: Vec<&str> = out.lines().collect();
-        let first_rows: Vec<&&str> =
-            lines.iter().skip(3).take(2).collect();
-        let rec = |l: &str| -> f64 {
-            l.split_whitespace().nth(1).unwrap().parse().unwrap()
-        };
+        let first_rows: Vec<&&str> = lines.iter().skip(3).take(2).collect();
+        let rec = |l: &str| -> f64 { l.split_whitespace().nth(1).unwrap().parse().unwrap() };
         assert!(rec(first_rows[1]) >= rec(first_rows[0]), "{out}");
     }
 }

@@ -38,12 +38,7 @@ pub fn run(scale: Scale) -> String {
                 .build_native(&ds.vectors)
                 .expect("valid params")
         });
-        t.row(vec![
-            name.into(),
-            f3(recall(&g.lists, &truth)),
-            f3(timings.forest_ms),
-            f3(ms),
-        ]);
+        t.row(vec![name.into(), f3(recall(&g.lists, &truth)), f3(timings.forest_ms), f3(ms)]);
     }
     let mut out = t.render();
     out.push_str(

@@ -23,10 +23,9 @@ pub fn run(scale: Scale) -> String {
         format!("E15: SQ8 quantization ablation (T=8, P=1, leaf=32, k={k})").as_str(),
         &["dataset", "coordinates", "recall@k", "footprint"],
     );
-    for spec in [
-        DatasetSpec::sift_like(n),
-        DatasetSpec::Manifold { n, ambient_dim: 96, intrinsic_dim: 6 },
-    ] {
+    for spec in
+        [DatasetSpec::sift_like(n), DatasetSpec::Manifold { n, ambient_dim: 96, intrinsic_dim: 6 }]
+    {
         let ds = spec.generate(151);
         let vs = &ds.vectors;
         let truth = exact_knn(vs, k, Metric::SquaredL2);
@@ -57,8 +56,7 @@ pub fn run(scale: Scale) -> String {
     // quarter-dimensional proxy set carrying the same bucket structure).
     let dev = DeviceConfig::scaled_gpu();
     let n = scale.pick(512, 160);
-    let ds = DatasetSpec::GaussianClusters { n, dim: 64, clusters: 8, spread: 0.3 }
-        .generate(152);
+    let ds = DatasetSpec::GaussianClusters { n, dim: 64, clusters: 8, spread: 0.3 }.generate(152);
     let (_, full) = WknngBuilder::new(8)
         .trees(2)
         .leaf_size(32)

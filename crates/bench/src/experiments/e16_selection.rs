@@ -44,10 +44,7 @@ pub fn run(scale: Scale) -> String {
             cyc(ra.cycles),
             cyc(rb.cycles),
             format!("{:.2}x", ra.cycles / rb.cycles),
-            format!(
-                "{:.2}x",
-                ra.stats.instructions as f64 / rb.stats.instructions as f64
-            ),
+            format!("{:.2}x", ra.stats.instructions as f64 / rb.stats.instructions as f64),
         ]);
     }
     let mut out = t.render();

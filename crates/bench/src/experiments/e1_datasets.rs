@@ -33,11 +33,7 @@ pub fn run(scale: Scale) -> String {
     ];
     for (spec, role) in roster(scale).into_iter().zip(roles) {
         let ds = spec.generate(1);
-        let mean_norm: f64 = ds
-            .vectors
-            .rows()
-            .map(|r| wknng_data::norm(r) as f64)
-            .sum::<f64>()
+        let mean_norm: f64 = ds.vectors.rows().map(|r| wknng_data::norm(r) as f64).sum::<f64>()
             / ds.vectors.len() as f64;
         t.row(vec![
             ds.name.clone(),

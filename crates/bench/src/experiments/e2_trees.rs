@@ -12,10 +12,7 @@ use crate::table::{f3, Table};
 pub fn run(scale: Scale) -> String {
     let n = scale.pick(2000, 400);
     let k = 10.min(n / 4);
-    let specs = [
-        DatasetSpec::sift_like(n),
-        DatasetSpec::UniformCube { n, dim: 16 },
-    ];
+    let specs = [DatasetSpec::sift_like(n), DatasetSpec::UniformCube { n, dim: 16 }];
     let trees = if scale.quick { vec![1, 4, 16] } else { vec![1, 2, 4, 8, 16] };
 
     let mut t = Table::new(
@@ -43,7 +40,10 @@ pub fn run(scale: Scale) -> String {
             // alone can recall.
             let forest = build_forest(
                 &ds.vectors,
-                ForestParams { num_trees: tr, tree: TreeParams { leaf_size: 32, ..TreeParams::default() } },
+                ForestParams {
+                    num_trees: tr,
+                    tree: TreeParams { leaf_size: 32, ..TreeParams::default() },
+                },
                 2,
             )
             .expect("valid");

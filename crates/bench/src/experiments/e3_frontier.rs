@@ -19,8 +19,7 @@ use crate::experiments::{speedup_at_matched_recall, timed, OperatingPoint, Scale
 use crate::table::{cyc, f3, Table};
 
 /// The w-KNNG configurations swept on the frontier: (trees, exploration).
-const WKNNG_CONFIGS: [(usize, usize); 6] =
-    [(2, 0), (4, 1), (8, 1), (8, 2), (8, 3), (16, 3)];
+const WKNNG_CONFIGS: [(usize, usize); 6] = [(2, 0), (4, 1), (8, 1), (8, 2), (8, 3), (16, 3)];
 
 /// Native wall-clock frontier.
 fn native_frontier(scale: Scale, out: &mut String) {
@@ -48,11 +47,7 @@ fn native_frontier(scale: Scale, out: &mut String) {
                 .expect("valid params")
         });
         let r = recall(&g.lists, &truth);
-        ours.push(OperatingPoint {
-            label: format!("T={trees},P={explore}"),
-            cost: ms,
-            recall: r,
-        });
+        ours.push(OperatingPoint { label: format!("T={trees},P={explore}"), cost: ms, recall: r });
         t.row(vec!["w-KNNG".into(), format!("T={trees},P={explore}"), f3(ms), f3(r)]);
     }
 
@@ -65,12 +60,7 @@ fn native_frontier(scale: Scale, out: &mut String) {
         let r = recall(&lists, &truth);
         let cost = train_ms + ms;
         base.push(OperatingPoint { label: format!("nprobe={nprobe}"), cost, recall: r });
-        t.row(vec![
-            "IVF-Flat".into(),
-            format!("nlist={nlist},nprobe={nprobe}"),
-            f3(cost),
-            f3(r),
-        ]);
+        t.row(vec!["IVF-Flat".into(), format!("nlist={nlist},nprobe={nprobe}"), f3(cost), f3(r)]);
     }
     // Context rows: the other K-NNG construction families.
     let ((hnsw_lists, hnsw_build_ms), hnsw_knng_ms) = timed(|| {
@@ -100,7 +90,11 @@ fn native_frontier(scale: Scale, out: &mut String) {
         s.row(vec![label.clone(), sp.map(|v| format!("{v:.2}x")).unwrap_or_else(|| "-".into())]);
     }
     out.push_str(&s.render());
-    if let Some(best) = matched.iter().filter_map(|(_, sp)| *sp).fold(None, |a: Option<f64>, v| Some(a.map_or(v, |x| x.max(v)))) {
+    if let Some(best) = matched
+        .iter()
+        .filter_map(|(_, sp)| *sp)
+        .fold(None, |a: Option<f64>, v| Some(a.map_or(v, |x| x.max(v))))
+    {
         out.push_str(&format!("headline: up to {best:.2}x faster than IVF-Flat at equivalent accuracy (paper: up to 6.39x)\n"));
     }
 }
@@ -140,13 +134,7 @@ fn device_frontier(scale: Scale, out: &mut String) {
         let r = recall(&g.lists, &truth);
         let label = format!("{},T={trees},P={explore}", variant.name());
         ours.push(OperatingPoint { label: label.clone(), cost: total.cycles, recall: r });
-        t.row(vec![
-            "w-KNNG".into(),
-            label,
-            cyc(total.cycles),
-            f3(total.ms(&dev)),
-            f3(r),
-        ]);
+        t.row(vec!["w-KNNG".into(), label, cyc(total.cycles), f3(total.ms(&dev)), f3(r)]);
     }
 
     let nlist = 32.min(n / 8).max(2);
@@ -165,7 +153,8 @@ fn device_frontier(scale: Scale, out: &mut String) {
         "-".into(),
     ]);
     let mut base = Vec::new();
-    let probes: Vec<usize> = if scale.quick { vec![1, 4, nlist] } else { vec![1, 2, 4, 8, 16, nlist] };
+    let probes: Vec<usize> =
+        if scale.quick { vec![1, 4, nlist] } else { vec![1, 2, 4, 8, 16, nlist] };
     for nprobe in probes {
         let (lists, report) = ivf_knng_device(&ds.vectors, &ivf, k, nprobe, &dev);
         let r = recall(&lists, &truth);
@@ -209,7 +198,11 @@ fn device_frontier(scale: Scale, out: &mut String) {
         s.row(vec![label.clone(), sp.map(|v| format!("{v:.2}x")).unwrap_or_else(|| "-".into())]);
     }
     out.push_str(&s.render());
-    if let Some(best) = matched.iter().filter_map(|(_, sp)| *sp).fold(None, |a: Option<f64>, v| Some(a.map_or(v, |x| x.max(v)))) {
+    if let Some(best) = matched
+        .iter()
+        .filter_map(|(_, sp)| *sp)
+        .fold(None, |a: Option<f64>, v| Some(a.map_or(v, |x| x.max(v))))
+    {
         out.push_str(&format!("headline: up to {best:.2}x faster than IVF-Flat at equivalent accuracy (paper: up to 6.39x)\n"));
     }
 }

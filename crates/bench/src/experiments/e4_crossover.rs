@@ -40,8 +40,7 @@ pub fn run(scale: Scale) -> String {
         if scale.quick { vec![4, 32, 128] } else { vec![4, 8, 16, 32, 64, 128, 256] };
 
     let mut t = Table::new(
-        format!("E4: bucket-phase cycles vs dimensionality (n={n}, k={k}, leaf=32, T=2)")
-            .as_str(),
+        format!("E4: bucket-phase cycles vs dimensionality (n={n}, k={k}, leaf=32, T=2)").as_str(),
         &["dim", "basic", "atomic", "tiled", "winner"],
     );
     let mut crossover: Option<usize> = None;
@@ -109,9 +108,6 @@ mod tests {
         let cycles = bucket_cycles(128, 128, 4);
         let basic = cycles.iter().find(|(v, _)| *v == KernelVariant::Basic).unwrap().1;
         let tiled = cycles.iter().find(|(v, _)| *v == KernelVariant::Tiled).unwrap().1;
-        assert!(
-            tiled < basic,
-            "tiled ({tiled}) must beat basic ({basic}) at dim 128"
-        );
+        assert!(tiled < basic, "tiled ({tiled}) must beat basic ({basic}) at dim 128");
     }
 }

@@ -31,10 +31,8 @@ pub fn run(scale: Scale) -> String {
                 .build_native(&ds.vectors)
                 .expect("valid params")
         });
-        let truth: Vec<_> = truth_full
-            .iter()
-            .map(|l| l.iter().take(k).copied().collect::<Vec<_>>())
-            .collect();
+        let truth: Vec<_> =
+            truth_full.iter().map(|l| l.iter().take(k).copied().collect::<Vec<_>>()).collect();
         t.row(vec![k.to_string(), f3(ms), f3(recall(&g.lists, &truth))]);
     }
     out.push_str(&t.render());

@@ -13,11 +13,8 @@ use crate::table::{cyc, f3, Table};
 pub fn run(scale: Scale) -> String {
     let mut out = String::new();
     let k = 10;
-    let sizes: Vec<usize> = if scale.quick {
-        vec![500, 1000, 2000]
-    } else {
-        vec![1000, 2000, 4000, 8000]
-    };
+    let sizes: Vec<usize> =
+        if scale.quick { vec![500, 1000, 2000] } else { vec![1000, 2000, 4000, 8000] };
 
     let mut t = Table::new(
         "E6a: native scaling with N (d=32, k=10, T=4, P=1, leaf=64)",
@@ -26,8 +23,8 @@ pub fn run(scale: Scale) -> String {
     let mut build_curve = Vec::new();
     let mut exact_curve = Vec::new();
     for &n in &sizes {
-        let ds = DatasetSpec::GaussianClusters { n, dim: 32, clusters: 16, spread: 0.3 }
-            .generate(61);
+        let ds =
+            DatasetSpec::GaussianClusters { n, dim: 32, clusters: 16, spread: 0.3 }.generate(61);
         let ((g, _), build_ms) = timed(|| {
             WknngBuilder::new(k)
                 .trees(4)
@@ -61,14 +58,15 @@ pub fn run(scale: Scale) -> String {
     ));
 
     let dev = DeviceConfig::scaled_gpu();
-    let sizes: Vec<usize> = if scale.quick { vec![128, 256, 512] } else { vec![128, 256, 512, 1024] };
+    let sizes: Vec<usize> =
+        if scale.quick { vec![128, 256, 512] } else { vec![128, 256, 512, 1024] };
     let mut t = Table::new(
         "E6b: simulated cycles with N (d=64, k=8, tiled, T=2)",
         &["n", "cycles", "cycles/point"],
     );
     for &n in &sizes {
-        let ds = DatasetSpec::GaussianClusters { n, dim: 64, clusters: 8, spread: 0.3 }
-            .generate(62);
+        let ds =
+            DatasetSpec::GaussianClusters { n, dim: 64, clusters: 8, spread: 0.3 }.generate(62);
         let (_, reports) = WknngBuilder::new(8)
             .trees(2)
             .leaf_size(32)

@@ -4,7 +4,7 @@ use wknng_core::WknngBuilder;
 use wknng_data::DatasetSpec;
 use wknng_simt::DeviceConfig;
 
-use crate::experiments::{Scale};
+use crate::experiments::Scale;
 use crate::table::{cyc, f3, Table};
 
 /// Break down the native wall clock and the simulated device cycles.
@@ -39,8 +39,7 @@ pub fn run(scale: Scale) -> String {
     // Device breakdown.
     let n = scale.pick(512, 192);
     let dev = DeviceConfig::scaled_gpu();
-    let ds = DatasetSpec::GaussianClusters { n, dim: 128, clusters: 8, spread: 0.3 }
-        .generate(72);
+    let ds = DatasetSpec::GaussianClusters { n, dim: 128, clusters: 8, spread: 0.3 }.generate(72);
     let (_, reports) = WknngBuilder::new(8)
         .trees(2)
         .leaf_size(32)

@@ -18,8 +18,7 @@ pub fn run(scale: Scale) -> String {
     let ds = DatasetSpec::GaussianClusters { n, dim, clusters: 8, spread: 0.3 }.generate(81);
 
     let mut t = Table::new(
-        format!("E8: bucket-phase device counters (n={n}, d={dim}, k={k}, leaf=32, T=2)")
-            .as_str(),
+        format!("E8: bucket-phase device counters (n={n}, d={dim}, k={k}, leaf=32, T=2)").as_str(),
         &[
             "counter",
             KernelVariant::Basic.name(),
@@ -43,12 +42,11 @@ pub fn run(scale: Scale) -> String {
         })
         .collect();
 
-    let row =
-        |name: &str, f: &dyn Fn(&wknng_simt::LaunchReport) -> String| -> Vec<String> {
-            let mut cells = vec![name.to_string()];
-            cells.extend(reports.iter().map(|r| f(r)));
-            cells
-        };
+    let row = |name: &str, f: &dyn Fn(&wknng_simt::LaunchReport) -> String| -> Vec<String> {
+        let mut cells = vec![name.to_string()];
+        cells.extend(reports.iter().map(f));
+        cells
+    };
     t.row(row("cycles", &|r| cyc(r.cycles)));
     t.row(row("warp instructions", &|r| cyc(r.stats.instructions as f64)));
     t.row(row("divergence", &|r| format!("{:.1}%", 100.0 * r.stats.divergence_ratio())));
@@ -57,7 +55,11 @@ pub fn run(scale: Scale) -> String {
     t.row(row("DRAM bytes", &|r| cyc(r.stats.dram_bytes as f64)));
     t.row(row("L2 hit rate", &|r| {
         let total = r.stats.l2_hits + r.stats.l2_misses;
-        if total == 0 { "-".into() } else { format!("{:.1}%", 100.0 * r.stats.l2_hits as f64 / total as f64) }
+        if total == 0 {
+            "-".into()
+        } else {
+            format!("{:.1}%", 100.0 * r.stats.l2_hits as f64 / total as f64)
+        }
     }));
     t.row(row("shared accesses", &|r| cyc(r.stats.shared_accesses as f64)));
     t.row(row("bank conflicts", &|r| cyc(r.stats.shared_bank_conflicts as f64)));

@@ -50,8 +50,7 @@ pub fn run(scale: Scale) -> String {
 
     let n = scale.pick(384, 128);
     let dev = DeviceConfig::scaled_gpu();
-    let ds = DatasetSpec::GaussianClusters { n, dim: 32, clusters: 8, spread: 0.3 }
-        .generate(92);
+    let ds = DatasetSpec::GaussianClusters { n, dim: 32, clusters: 8, spread: 0.3 }.generate(92);
     let truth = exact_knn(&ds.vectors, 8, Metric::SquaredL2);
     let mut t = Table::new(
         format!("E9b: device exploration sweep (n={n}, d=32, tiled, T=2)").as_str(),
@@ -65,11 +64,7 @@ pub fn run(scale: Scale) -> String {
             .seed(12)
             .build_device(&ds.vectors, &dev)
             .expect("valid params");
-        t.row(vec![
-            p.to_string(),
-            f3(recall(&g.lists, &truth)),
-            cyc(reports.total().cycles),
-        ]);
+        t.row(vec![p.to_string(), f3(recall(&g.lists, &truth)), cyc(reports.total().cycles)]);
     }
     out.push_str(&t.render());
     out

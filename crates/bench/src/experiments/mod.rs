@@ -85,8 +85,8 @@ pub fn speedup_at_matched_recall(
 /// All experiment ids, in order. E1–E10 reconstruct the paper's evaluation;
 /// E11–E14 are extension ablations documented in `DESIGN.md`.
 pub const ALL_IDS: [&str; 16] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Dispatch an experiment by id; returns the rendered report.
@@ -143,7 +143,7 @@ mod tests {
         assert_eq!(s[0].0, "a");
         assert_eq!(s[0].1, Some(3.0)); // 30 / 10: p1 already matches 0.9
         assert_eq!(s[1].1, None); // baseline never reaches 0.99
-        // With a generous tolerance the 0.95 baseline counts for 0.99.
+                                  // With a generous tolerance the 0.95 baseline counts for 0.99.
         let s = speedup_at_matched_recall(&ours, &base, 0.05);
         assert_eq!(s[1].1, Some(12.0)); // 60 / 5
     }

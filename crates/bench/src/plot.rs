@@ -22,6 +22,7 @@ const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
 /// Render series as an ASCII scatter/line chart of `width × height`
 /// characters (plus axes). `log_x`/`log_y` switch the axes to log₂ scale
 /// (points with non-positive coordinates are dropped on log axes).
+#[allow(clippy::too_many_arguments)]
 pub fn render(
     title: &str,
     x_label: &str,

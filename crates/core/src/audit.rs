@@ -1,0 +1,369 @@
+//! Post-build graph integrity auditing and bounded brute-force repair.
+//!
+//! The paper's kernels maintain k-NN sets as packed `(dist, index)` slots in
+//! global memory — exactly the state that silently corrupts when a kernel
+//! misbehaves or a memory cell flips. This module validates the invariants
+//! that state must satisfy and re-derives lists that lost them.
+//!
+//! Two audit surfaces exist because decoding hides corruption:
+//! [`slots_to_lists`](crate::graph::slots_to_lists) filters non-finite
+//! distances and deduplicates, so a flipped bit can vanish from the decoded
+//! graph while still poisoning the slot array every later kernel reads.
+//! [`audit_slots`] therefore inspects the **raw** slot buffer (what device
+//! code sees); [`audit_graph`] checks a decoded host graph (what callers
+//! see, e.g. one loaded from disk).
+//!
+//! Not every violation is corruption. The atomic insertion protocol can
+//! legitimately race two lanes into duplicate entries (decoding dedups
+//! them), and a sparse bucket legitimately under-fills its lists — those are
+//! recorded as informational. Corruption is what no correct execution can
+//! produce: a self edge, an index outside the point set, a non-finite or
+//! negative distance in an occupied slot, or a stored distance that
+//! disagrees with the recomputed one.
+
+use std::collections::BTreeSet;
+
+use wknng_data::{sort_neighbors, Metric, Neighbor, VectorSet};
+
+use crate::graph::EMPTY_SLOT;
+
+/// Relative tolerance for stored-vs-recomputed distances: the device warp
+/// reduction and the host kernel accumulate in different orders, so f32
+/// results differ in the last bits, never by parts per thousand.
+const DIST_RTOL: f32 = 1e-3;
+
+/// One invariant a k-NN list can violate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A point lists itself as its own neighbor.
+    SelfEdge,
+    /// A neighbor index at or beyond the number of points.
+    IndexOutOfRange,
+    /// A NaN or infinite distance in an occupied slot.
+    NonFinite,
+    /// A negative distance (impossible for squared L2).
+    NegativeDistance,
+    /// The stored distance disagrees with the recomputed one.
+    DistanceMismatch,
+    /// The same neighbor index appears more than once (informational for
+    /// raw slots: atomic insertion races can duplicate legitimately).
+    DuplicateEdge,
+    /// Fewer than `k` entries (informational for raw slots: sparse buckets
+    /// legitimately under-fill).
+    ShortList,
+    /// A decoded list's distances are not sorted ascending.
+    Unsorted,
+}
+
+impl ViolationKind {
+    /// True when no correct execution can produce this violation in a raw
+    /// slot array — the triggers for repair.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            ViolationKind::SelfEdge
+                | ViolationKind::IndexOutOfRange
+                | ViolationKind::NonFinite
+                | ViolationKind::NegativeDistance
+                | ViolationKind::DistanceMismatch
+        )
+    }
+}
+
+/// One audit finding, attributed to a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AuditViolation {
+    /// The point whose list violates the invariant.
+    pub point: usize,
+    /// What is wrong with it.
+    pub kind: ViolationKind,
+}
+
+/// Everything an audit pass found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// All findings, in point order.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Total findings, informational ones included.
+    pub fn total(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// True when nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Points with at least one corruption-class violation, deduplicated.
+    pub fn corrupted_points(&self) -> BTreeSet<usize> {
+        self.violations.iter().filter(|v| v.kind.is_corruption()).map(|v| v.point).collect()
+    }
+
+    /// Number of corruption-class findings.
+    pub fn corruption_count(&self) -> usize {
+        self.violations.iter().filter(|v| v.kind.is_corruption()).count()
+    }
+}
+
+/// Audit a raw `n × k` packed slot buffer against the point set that
+/// produced it. Empty slots (`EMPTY_SLOT` exactly) are skipped; everything
+/// else must decode to a valid edge whose distance matches a recomputation.
+pub fn audit_slots(slots: &[u64], vs: &VectorSet, k: usize, metric: Metric) -> AuditReport {
+    let n = vs.len();
+    assert_eq!(slots.len(), n * k, "slot buffer shape mismatch");
+    let mut report = AuditReport::default();
+    for p in 0..n {
+        let row = &slots[p * k..(p + 1) * k];
+        let mut seen = BTreeSet::new();
+        let mut filled = 0usize;
+        for &slot in row {
+            if slot == EMPTY_SLOT {
+                continue;
+            }
+            filled += 1;
+            let nb = Neighbor::unpack(slot);
+            if nb.index as usize >= n {
+                report
+                    .violations
+                    .push(AuditViolation { point: p, kind: ViolationKind::IndexOutOfRange });
+                continue;
+            }
+            if nb.index as usize == p {
+                report.violations.push(AuditViolation { point: p, kind: ViolationKind::SelfEdge });
+                continue;
+            }
+            if !nb.dist.is_finite() {
+                report.violations.push(AuditViolation { point: p, kind: ViolationKind::NonFinite });
+                continue;
+            }
+            if nb.dist < 0.0 {
+                report
+                    .violations
+                    .push(AuditViolation { point: p, kind: ViolationKind::NegativeDistance });
+                continue;
+            }
+            let actual = metric.eval(vs.row(p), vs.row(nb.index as usize));
+            if (nb.dist - actual).abs() > DIST_RTOL * actual.abs().max(1.0) {
+                report
+                    .violations
+                    .push(AuditViolation { point: p, kind: ViolationKind::DistanceMismatch });
+                continue;
+            }
+            if !seen.insert(nb.index) {
+                report
+                    .violations
+                    .push(AuditViolation { point: p, kind: ViolationKind::DuplicateEdge });
+            }
+        }
+        if filled < k {
+            report.violations.push(AuditViolation { point: p, kind: ViolationKind::ShortList });
+        }
+    }
+    report
+}
+
+/// Audit a decoded host graph: per-list, indices in range and not self,
+/// distances finite, non-negative and sorted ascending, no duplicates, at
+/// most `k` entries counted as full. Distance recomputation is skipped —
+/// decoded graphs may come from disk without their vectors.
+pub fn audit_graph(lists: &[Vec<Neighbor>], n: usize, k: usize) -> AuditReport {
+    let mut report = AuditReport::default();
+    for (p, list) in lists.iter().enumerate() {
+        let mut seen = BTreeSet::new();
+        for nb in list {
+            if nb.index as usize >= n {
+                report
+                    .violations
+                    .push(AuditViolation { point: p, kind: ViolationKind::IndexOutOfRange });
+            } else if nb.index as usize == p {
+                report.violations.push(AuditViolation { point: p, kind: ViolationKind::SelfEdge });
+            }
+            if !nb.dist.is_finite() {
+                report.violations.push(AuditViolation { point: p, kind: ViolationKind::NonFinite });
+            } else if nb.dist < 0.0 {
+                report
+                    .violations
+                    .push(AuditViolation { point: p, kind: ViolationKind::NegativeDistance });
+            }
+            if !seen.insert(nb.index) {
+                report
+                    .violations
+                    .push(AuditViolation { point: p, kind: ViolationKind::DuplicateEdge });
+            }
+        }
+        if list.windows(2).any(|w| w[0].dist > w[1].dist) {
+            report.violations.push(AuditViolation { point: p, kind: ViolationKind::Unsorted });
+        }
+        if list.len() < k {
+            report.violations.push(AuditViolation { point: p, kind: ViolationKind::ShortList });
+        }
+    }
+    report
+}
+
+/// Re-derive point `p`'s neighbor list by brute force over `candidates`
+/// (typically the union of `p`'s forest buckets): recompute every distance,
+/// drop self edges and duplicates, sort by `(dist, index)` and keep the best
+/// `k`. The result satisfies every invariant [`audit_slots`] checks.
+pub fn repair_list(
+    vs: &VectorSet,
+    p: usize,
+    k: usize,
+    candidates: &[u32],
+    metric: Metric,
+) -> Vec<Neighbor> {
+    let mut seen = BTreeSet::new();
+    let mut list: Vec<Neighbor> = candidates
+        .iter()
+        .copied()
+        .filter(|&q| (q as usize) < vs.len() && q as usize != p && seen.insert(q))
+        .map(|q| Neighbor::new(q, metric.eval(vs.row(p), vs.row(q as usize))))
+        .filter(|nb| nb.dist.is_finite())
+        .collect();
+    sort_neighbors(&mut list);
+    list.truncate(k);
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::DatasetSpec;
+
+    fn tiny_vs() -> VectorSet {
+        DatasetSpec::UniformCube { n: 10, dim: 4 }.generate(3).vectors
+    }
+
+    fn clean_slots(vs: &VectorSet, k: usize) -> Vec<u64> {
+        // Exact k-NN packed into slots — a maximally well-formed buffer.
+        let truth = wknng_data::exact_knn(vs, k, Metric::SquaredL2);
+        let mut slots = vec![EMPTY_SLOT; vs.len() * k];
+        for (p, list) in truth.iter().enumerate() {
+            for (i, nb) in list.iter().enumerate() {
+                slots[p * k + i] = nb.pack();
+            }
+        }
+        slots
+    }
+
+    #[test]
+    fn clean_slots_audit_clean() {
+        let vs = tiny_vs();
+        let slots = clean_slots(&vs, 3);
+        let report = audit_slots(&slots, &vs, 3, Metric::SquaredL2);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.corrupted_points().is_empty());
+    }
+
+    #[test]
+    fn audit_flags_each_corruption_kind() {
+        let vs = tiny_vs();
+        let k = 3;
+        let mut slots = clean_slots(&vs, k);
+        slots[0] = Neighbor::new(0, 1.0).pack(); // self edge at point 0
+        slots[k] = Neighbor::new(99, 1.0).pack(); // out of range at point 1
+        slots[2 * k] = Neighbor::new(5, f32::NAN).pack(); // non-finite at point 2
+        slots[3 * k] = Neighbor::new(5, -1.0).pack(); // negative at point 3
+        let wrong = Neighbor::unpack(slots[4 * k]);
+        slots[4 * k] = Neighbor::new(wrong.index, wrong.dist + 10.0).pack(); // mismatch at 4
+        let report = audit_slots(&slots, &vs, k, Metric::SquaredL2);
+        let kinds: Vec<(usize, ViolationKind)> =
+            report.violations.iter().map(|v| (v.point, v.kind)).collect();
+        assert!(kinds.contains(&(0, ViolationKind::SelfEdge)));
+        assert!(kinds.contains(&(1, ViolationKind::IndexOutOfRange)));
+        assert!(kinds.contains(&(2, ViolationKind::NonFinite)));
+        assert!(kinds.contains(&(3, ViolationKind::NegativeDistance)));
+        assert!(kinds.contains(&(4, ViolationKind::DistanceMismatch)));
+        assert_eq!(report.corrupted_points(), BTreeSet::from([0, 1, 2, 3, 4]));
+        assert_eq!(report.corruption_count(), 5);
+    }
+
+    #[test]
+    fn duplicates_and_short_lists_are_informational() {
+        let vs = tiny_vs();
+        let k = 3;
+        let mut slots = clean_slots(&vs, k);
+        slots[1] = slots[2]; // duplicate index in point 0's row
+        slots[k] = EMPTY_SLOT; // short list at point 1
+        let report = audit_slots(&slots, &vs, k, Metric::SquaredL2);
+        assert!(!report.is_clean());
+        assert!(report.corrupted_points().is_empty(), "neither finding is corruption");
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.point == 0 && v.kind == ViolationKind::DuplicateEdge));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.point == 1 && v.kind == ViolationKind::ShortList));
+    }
+
+    #[test]
+    fn corrupted_empty_slot_is_caught() {
+        // A bit flip on an EMPTY slot leaves index 0xFFFFFFFF: out of range.
+        let vs = tiny_vs();
+        let k = 3;
+        let mut slots = vec![EMPTY_SLOT; vs.len() * k];
+        slots[5] ^= 1 << 61;
+        let report = audit_slots(&slots, &vs, k, Metric::SquaredL2);
+        assert_eq!(report.corrupted_points(), BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn graph_audit_checks_order_and_duplicates() {
+        let n = 6;
+        let mut lists = vec![
+            vec![Neighbor::new(1, 0.5), Neighbor::new(2, 1.0)],
+            vec![Neighbor::new(2, 2.0), Neighbor::new(3, 1.0)], // unsorted
+            vec![Neighbor::new(4, 1.0), Neighbor::new(4, 1.0)], // duplicate
+            vec![Neighbor::new(3, 1.0)],                        // self edge
+            vec![Neighbor::new(9, 1.0)],                        // out of range
+            vec![Neighbor::new(0, f32::INFINITY)],              // non-finite
+        ];
+        let report = audit_graph(&lists, n, 2);
+        let has = |p: usize, kind: ViolationKind| {
+            report.violations.iter().any(|v| v.point == p && v.kind == kind)
+        };
+        assert!(!has(0, ViolationKind::Unsorted));
+        assert!(has(1, ViolationKind::Unsorted));
+        assert!(has(2, ViolationKind::DuplicateEdge));
+        assert!(has(3, ViolationKind::SelfEdge));
+        assert!(has(4, ViolationKind::IndexOutOfRange));
+        assert!(has(5, ViolationKind::NonFinite));
+        // Lists shorter than k are flagged.
+        assert!(has(3, ViolationKind::ShortList));
+        lists.truncate(1);
+        assert!(audit_graph(&lists, n, 2).is_clean());
+    }
+
+    #[test]
+    fn repair_rebuilds_the_exact_list_over_its_candidates() {
+        let vs = tiny_vs();
+        let k = 3;
+        let candidates: Vec<u32> = (0..vs.len() as u32).collect();
+        let repaired = repair_list(&vs, 2, k, &candidates, Metric::SquaredL2);
+        let truth = wknng_data::exact_knn(&vs, k, Metric::SquaredL2);
+        assert_eq!(repaired, truth[2]);
+        // Repaired lists pass their own audit.
+        let mut slots = vec![EMPTY_SLOT; vs.len() * k];
+        for (i, nb) in repaired.iter().enumerate() {
+            slots[2 * k + i] = nb.pack();
+        }
+        let report = audit_slots(&slots, &vs, k, Metric::SquaredL2);
+        assert!(report.corrupted_points().is_empty());
+    }
+
+    #[test]
+    fn repair_tolerates_junk_candidates() {
+        let vs = tiny_vs();
+        // Self, duplicates and out-of-range candidates are all dropped.
+        let candidates = vec![2, 2, 99, 1, 1, 3];
+        let repaired = repair_list(&vs, 2, 4, &candidates, Metric::SquaredL2);
+        let indices: Vec<u32> = repaired.iter().map(|nb| nb.index).collect();
+        assert_eq!(indices.len(), 2);
+        assert!(indices.contains(&1) && indices.contains(&3));
+    }
+}

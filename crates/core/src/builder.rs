@@ -4,9 +4,10 @@ use wknng_data::{Metric, Neighbor, VectorSet};
 use wknng_simt::DeviceConfig;
 
 use crate::error::KnngError;
+use crate::events::BuildEvents;
 use crate::native::{build_native, PhaseTimings};
-use crate::params::{ExplorationMode, KernelVariant, WknngParams};
-use crate::pipeline::{build_device, DeviceReports};
+use crate::params::{BuildPolicy, ExplorationMode, KernelVariant, WknngParams};
+use crate::pipeline::{build_device_with_policy, DeviceReports};
 
 /// A built approximate K-NNG plus the parameters that produced it.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,12 +60,16 @@ impl Knng {
 #[derive(Debug, Clone, Copy)]
 pub struct WknngBuilder {
     params: WknngParams,
+    policy: BuildPolicy,
 }
 
 impl WknngBuilder {
     /// Start a builder for a `k`-NN graph.
     pub fn new(k: usize) -> Self {
-        WknngBuilder { params: WknngParams { k, ..WknngParams::default() } }
+        WknngBuilder {
+            params: WknngParams { k, ..WknngParams::default() },
+            policy: BuildPolicy::default(),
+        }
     }
 
     /// Number of RP trees (default 4).
@@ -125,9 +130,27 @@ impl WknngBuilder {
         self
     }
 
+    /// Degraded-execution policy for device builds (default: retry,
+    /// degrade, audit and repair).
+    pub fn policy(mut self, p: BuildPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Shorthand for [`BuildPolicy::strict()`]: fail fast on any fault
+    /// instead of recovering.
+    pub fn strict(self) -> Self {
+        self.policy(BuildPolicy::strict())
+    }
+
     /// The resolved parameter set.
     pub fn params(&self) -> WknngParams {
         self.params
+    }
+
+    /// The resolved build policy.
+    pub fn build_policy(&self) -> BuildPolicy {
+        self.policy
     }
 
     /// Build on the native (rayon) backend.
@@ -142,8 +165,21 @@ impl WknngBuilder {
         vs: &VectorSet,
         dev: &DeviceConfig,
     ) -> Result<(Knng, DeviceReports), KnngError> {
-        let (lists, reports) = build_device(vs, &self.params, dev)?;
-        Ok((Knng { lists, params: self.params }, reports))
+        let (knng, reports, _) = self.build_device_audited(vs, dev)?;
+        Ok((knng, reports))
+    }
+
+    /// Build on the simulated GPU, additionally returning the
+    /// [`BuildEvents`] log of every retry, degradation and repair the
+    /// policy performed.
+    pub fn build_device_audited(
+        &self,
+        vs: &VectorSet,
+        dev: &DeviceConfig,
+    ) -> Result<(Knng, DeviceReports, BuildEvents), KnngError> {
+        let (lists, reports, events) =
+            build_device_with_policy(vs, &self.params, &self.policy, dev)?;
+        Ok((Knng { lists, params: self.params }, reports, events))
     }
 }
 
@@ -169,6 +205,8 @@ mod tests {
         assert_eq!(p.variant, KernelVariant::Atomic);
         assert_eq!(p.metric, Metric::Cosine);
         assert_eq!(p.seed, 5);
+        assert_eq!(b.build_policy(), BuildPolicy::default());
+        assert_eq!(b.strict().build_policy(), BuildPolicy::strict());
     }
 
     #[test]

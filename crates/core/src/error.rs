@@ -5,6 +5,8 @@ use std::fmt;
 use wknng_data::DataError;
 use wknng_forest::ForestError;
 
+use crate::events::BuildPhase;
+
 /// Errors produced by the w-KNNG builders.
 #[derive(Debug, Clone, PartialEq)]
 pub enum KnngError {
@@ -20,12 +22,30 @@ pub enum KnngError {
     /// The device kernels implement squared L2 only (the paper's metric).
     UnsupportedDeviceMetric(wknng_data::Metric),
     /// The tiled kernel must stage a whole bucket in shared memory; this
-    /// leaf size does not fit the selected device.
+    /// leaf size does not fit the selected device. Only reachable when
+    /// degradation is disabled ([`crate::params::BuildPolicy::strict()`]) —
+    /// the default policy falls back to the atomic kernel instead.
     LeafTooLargeForTiled {
         /// Requested leaf size.
         leaf: usize,
         /// Largest bucket the device's shared memory can stage.
         max: usize,
+    },
+    /// A kernel launch kept failing after exhausting the retry budget of the
+    /// active [`crate::params::BuildPolicy`].
+    LaunchFailed {
+        /// Pipeline phase the launch belonged to.
+        phase: BuildPhase,
+        /// Launch attempts made before giving up.
+        attempts: u32,
+    },
+    /// The post-build audit found corrupted slot data and the policy does
+    /// not repair ([`crate::params::AuditLevel::Check`]).
+    AuditFailed {
+        /// Invariant violations found.
+        violations: usize,
+        /// Lists repaired before giving up (always 0 under `Check`).
+        repaired: usize,
     },
     /// Error from the data substrate.
     Data(DataError),
@@ -44,8 +64,18 @@ impl fmt::Display for KnngError {
                 write!(f, "device kernels support SquaredL2 only, got {m:?}")
             }
             KnngError::LeafTooLargeForTiled { leaf, max } => {
-                write!(f, "tiled kernel: leaf_size {leaf} exceeds shared-memory capacity ({max} points)")
+                write!(
+                    f,
+                    "tiled kernel: leaf_size {leaf} exceeds shared-memory capacity ({max} points)"
+                )
             }
+            KnngError::LaunchFailed { phase, attempts } => {
+                write!(f, "{phase} kernel launch failed after {attempts} attempts")
+            }
+            KnngError::AuditFailed { violations, repaired } => write!(
+                f,
+                "graph audit failed: {violations} invariant violations ({repaired} lists repaired)"
+            ),
             KnngError::Data(e) => write!(f, "data error: {e}"),
             KnngError::Forest(e) => write!(f, "forest error: {e}"),
         }
@@ -81,5 +111,23 @@ mod tests {
         assert!(matches!(e, KnngError::Data(_)));
         let e: KnngError = ForestError::NoTrees.into();
         assert!(matches!(e, KnngError::Forest(_)));
+    }
+
+    #[test]
+    fn display_names_failure_phase_and_attempts() {
+        let e = KnngError::LaunchFailed { phase: BuildPhase::Bucket, attempts: 4 };
+        let s = e.to_string();
+        assert!(s.contains("bucket"), "{s}");
+        assert!(s.contains("4 attempts"), "{s}");
+        let e = KnngError::LaunchFailed { phase: BuildPhase::Explore, attempts: 1 };
+        assert!(e.to_string().contains("explore"));
+    }
+
+    #[test]
+    fn display_counts_audit_outcome() {
+        let e = KnngError::AuditFailed { violations: 3, repaired: 0 };
+        let s = e.to_string();
+        assert!(s.contains("3 invariant violations"), "{s}");
+        assert!(s.contains("0 lists repaired"), "{s}");
     }
 }

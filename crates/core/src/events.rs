@@ -1,0 +1,233 @@
+//! Structured log of what the degraded-execution policy did during a build.
+//!
+//! A device build under a [`crate::params::BuildPolicy`] can retry transient
+//! launch failures, fall back to a cheaper kernel variant, absorb injected
+//! memory corruption and repair the graph afterwards. None of that should be
+//! silent: every recovery action is recorded as a [`BuildEvent`] and the full
+//! [`BuildEvents`] log is returned alongside the launch reports, so callers
+//! (and tests) can assert exactly which faults occurred and how they were
+//! handled.
+
+use std::fmt;
+
+use crate::params::KernelVariant;
+
+/// The pipeline phase a recovery action happened in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuildPhase {
+    /// RP-forest construction.
+    Forest,
+    /// Per-tree bucket all-pairs kernels.
+    Bucket,
+    /// Neighbors-of-neighbors exploration kernels.
+    Explore,
+}
+
+impl fmt::Display for BuildPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildPhase::Forest => write!(f, "forest"),
+            BuildPhase::Bucket => write!(f, "bucket"),
+            BuildPhase::Explore => write!(f, "explore"),
+        }
+    }
+}
+
+/// One recovery action taken by the build pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BuildEvent {
+    /// A transient launch failure was retried after a simulated backoff.
+    LaunchRetried {
+        /// Phase the failing launch belonged to.
+        phase: BuildPhase,
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Simulated cycles charged to the phase for the backoff.
+        backoff_cycles: u64,
+    },
+    /// The kernel variant was degraded to a less resource-hungry one.
+    VariantDegraded {
+        /// Phase in which the degradation was decided.
+        phase: BuildPhase,
+        /// Variant that could not run.
+        from: KernelVariant,
+        /// Variant the build continues with.
+        to: KernelVariant,
+    },
+    /// An injected single-bit upset was applied to the slot array.
+    BitFlipApplied {
+        /// Flipped word index within the `n × k` slot buffer.
+        word: usize,
+        /// Flipped bit position within the word.
+        bit: u8,
+    },
+    /// The post-build audit finished.
+    AuditCompleted {
+        /// Total invariant violations found (including informational ones).
+        violations: usize,
+        /// Points whose slot data was actually corrupted.
+        corrupted: usize,
+    },
+    /// A corrupted neighbor list was re-derived by brute force.
+    ListRepaired {
+        /// The point whose list was rebuilt.
+        point: usize,
+    },
+}
+
+impl fmt::Display for BuildEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildEvent::LaunchRetried { phase, attempt, backoff_cycles } => write!(
+                f,
+                "retried {phase} launch (attempt {attempt}, backoff {backoff_cycles} cycles)"
+            ),
+            BuildEvent::VariantDegraded { phase, from, to } => {
+                write!(f, "degraded {phase} kernel {} -> {}", from.name(), to.name())
+            }
+            BuildEvent::BitFlipApplied { word, bit } => {
+                write!(f, "bit flip applied to slot word {word} bit {bit}")
+            }
+            BuildEvent::AuditCompleted { violations, corrupted } => {
+                write!(f, "audit found {violations} violations ({corrupted} corrupted points)")
+            }
+            BuildEvent::ListRepaired { point } => {
+                write!(f, "repaired neighbor list of point {point}")
+            }
+        }
+    }
+}
+
+/// Ordered log of every recovery action of one build.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuildEvents {
+    events: Vec<BuildEvent>,
+}
+
+impl BuildEvents {
+    /// An empty log.
+    pub fn new() -> Self {
+        BuildEvents::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, e: BuildEvent) {
+        self.events.push(e);
+    }
+
+    /// The events, in the order they happened.
+    pub fn as_slice(&self) -> &[BuildEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the build needed no recovery at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of transient-launch retries.
+    pub fn retries(&self) -> usize {
+        self.count(|e| matches!(e, BuildEvent::LaunchRetried { .. }))
+    }
+
+    /// Number of kernel-variant degradations.
+    pub fn degradations(&self) -> usize {
+        self.count(|e| matches!(e, BuildEvent::VariantDegraded { .. }))
+    }
+
+    /// Number of bit flips absorbed.
+    pub fn bit_flips(&self) -> usize {
+        self.count(|e| matches!(e, BuildEvent::BitFlipApplied { .. }))
+    }
+
+    /// Number of neighbor lists repaired.
+    pub fn repairs(&self) -> usize {
+        self.count(|e| matches!(e, BuildEvent::ListRepaired { .. }))
+    }
+
+    fn count(&self, pred: impl Fn(&BuildEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+
+    /// One-line summary for CLI output, e.g.
+    /// `2 events: 1 retry, 0 degradations, 0 bit flips, 1 repair`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} events: {} retries, {} degradations, {} bit flips, {} repairs",
+            self.len(),
+            self.retries(),
+            self.degradations(),
+            self.bit_flips(),
+            self.repairs()
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a BuildEvents {
+    type Item = &'a BuildEvent;
+    type IntoIter = std::slice::Iter<'a, BuildEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_partition_the_log() {
+        let mut ev = BuildEvents::new();
+        assert!(ev.is_empty());
+        ev.push(BuildEvent::LaunchRetried {
+            phase: BuildPhase::Bucket,
+            attempt: 1,
+            backoff_cycles: 100,
+        });
+        ev.push(BuildEvent::VariantDegraded {
+            phase: BuildPhase::Bucket,
+            from: KernelVariant::Tiled,
+            to: KernelVariant::Atomic,
+        });
+        ev.push(BuildEvent::BitFlipApplied { word: 7, bit: 61 });
+        ev.push(BuildEvent::AuditCompleted { violations: 2, corrupted: 1 });
+        ev.push(BuildEvent::ListRepaired { point: 3 });
+        assert_eq!(ev.len(), 5);
+        assert_eq!(ev.retries(), 1);
+        assert_eq!(ev.degradations(), 1);
+        assert_eq!(ev.bit_flips(), 1);
+        assert_eq!(ev.repairs(), 1);
+        assert_eq!(ev.summary(), "5 events: 1 retries, 1 degradations, 1 bit flips, 1 repairs");
+        assert_eq!((&ev).into_iter().count(), 5);
+    }
+
+    #[test]
+    fn events_and_phases_display() {
+        assert_eq!(BuildPhase::Forest.to_string(), "forest");
+        assert_eq!(BuildPhase::Bucket.to_string(), "bucket");
+        assert_eq!(BuildPhase::Explore.to_string(), "explore");
+        let e = BuildEvent::LaunchRetried {
+            phase: BuildPhase::Explore,
+            attempt: 2,
+            backoff_cycles: 512,
+        };
+        assert!(e.to_string().contains("attempt 2"));
+        let e = BuildEvent::VariantDegraded {
+            phase: BuildPhase::Bucket,
+            from: KernelVariant::Tiled,
+            to: KernelVariant::Atomic,
+        };
+        assert!(e.to_string().contains("w-knng-tiled"));
+        assert!(e.to_string().contains("w-knng-atomic"));
+        assert!(BuildEvent::BitFlipApplied { word: 1, bit: 2 }.to_string().contains("bit 2"));
+        assert!(BuildEvent::AuditCompleted { violations: 0, corrupted: 0 }
+            .to_string()
+            .contains("0 violations"));
+        assert!(BuildEvent::ListRepaired { point: 9 }.to_string().contains("point 9"));
+    }
+}

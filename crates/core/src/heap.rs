@@ -57,9 +57,7 @@ impl KnnList {
         if full && cand.key() >= self.entries[self.cap - 1].key() {
             return false;
         }
-        let pos = self
-            .entries
-            .partition_point(|e| e.key() < cand.key());
+        let pos = self.entries.partition_point(|e| e.key() < cand.key());
         if full {
             self.entries.pop();
         }

@@ -18,7 +18,7 @@
 //!   coordinate once per bucket through shared memory → tiled wins.
 
 use wknng_data::Neighbor;
-use wknng_simt::{launch, DeviceConfig, LaneVec, LaunchReport, Mask, WARP_LANES};
+use wknng_simt::{try_launch, DeviceConfig, LaneVec, LaunchFault, LaunchReport, Mask, WARP_LANES};
 
 use crate::kernels::insert::lane_insert_atomic;
 use crate::kernels::layout::TreeLayout;
@@ -48,12 +48,20 @@ pub(crate) fn unrank_pair(t: usize, m: usize) -> (usize, usize) {
 
 /// Run the atomic kernel for one tree: one block per bucket, one lane per
 /// candidate pair.
-pub fn run_atomic(dev: &DeviceConfig, state: &DeviceState, tree: &TreeLayout) -> LaunchReport {
+///
+/// Fault-aware: consults the thread's installed
+/// [`wknng_simt::FaultScope`] (if any) and surfaces injected launch
+/// failures; without one, it never fails.
+pub fn run_atomic(
+    dev: &DeviceConfig,
+    state: &DeviceState,
+    tree: &TreeLayout,
+) -> Result<LaunchReport, LaunchFault> {
     let (dim, k) = (state.dim, state.k);
     let offsets = tree.offsets.to_vec();
     let members_host = tree.members.to_vec();
 
-    launch(dev, tree.num_buckets, ATOMIC_WARPS, |blk| {
+    try_launch(dev, tree.num_buckets, ATOMIC_WARPS, |blk| {
         let b = blk.block_idx;
         let start = offsets[b] as usize;
         let end = offsets[b + 1] as usize;
@@ -156,9 +164,9 @@ mod tests {
         let tree = two_bucket_tree(30);
 
         let sa = DeviceState::upload(&vs, 5);
-        run_basic(&dev, &sa, &TreeLayout::upload(&tree, 30));
+        run_basic(&dev, &sa, &TreeLayout::upload(&tree, 30)).unwrap();
         let sb = DeviceState::upload(&vs, 5);
-        run_atomic(&dev, &sb, &TreeLayout::upload(&tree, 30));
+        run_atomic(&dev, &sb, &TreeLayout::upload(&tree, 30)).unwrap();
 
         let (a, b) = (sa.download(), sb.download());
         for (p, (la, lb)) in a.iter().zip(&b).enumerate() {
@@ -175,9 +183,9 @@ mod tests {
         let tree = RpTree { buckets: vec![(0..64).collect()], depth: 0 };
 
         let sa = DeviceState::upload(&vs, 4);
-        let rb = run_basic(&dev, &sa, &TreeLayout::upload(&tree, 64));
+        let rb = run_basic(&dev, &sa, &TreeLayout::upload(&tree, 64)).unwrap();
         let sb = DeviceState::upload(&vs, 4);
-        let ra = run_atomic(&dev, &sb, &TreeLayout::upload(&tree, 64));
+        let ra = run_atomic(&dev, &sb, &TreeLayout::upload(&tree, 64)).unwrap();
 
         assert_eq!(rb.stats.atomic_ops, 0);
         assert!(ra.stats.atomic_ops > 0);

@@ -7,7 +7,7 @@
 //! memory once per pair.
 
 use wknng_data::Neighbor;
-use wknng_simt::{launch, DeviceConfig, LaneVec, LaunchReport, Mask};
+use wknng_simt::{try_launch, DeviceConfig, LaneVec, LaunchFault, LaunchReport, Mask};
 
 use crate::kernels::distance::warp_sq_l2;
 use crate::kernels::insert::warp_insert_exclusive;
@@ -18,11 +18,19 @@ use crate::kernels::state::DeviceState;
 pub(crate) const WARPS_PER_BLOCK: usize = 4;
 
 /// Run the basic kernel for one tree: every point scans its bucket.
-pub fn run_basic(dev: &DeviceConfig, state: &DeviceState, tree: &TreeLayout) -> LaunchReport {
+///
+/// Fault-aware: consults the thread's installed
+/// [`wknng_simt::FaultScope`] (if any) and surfaces injected launch
+/// failures; without one, it never fails.
+pub fn run_basic(
+    dev: &DeviceConfig,
+    state: &DeviceState,
+    tree: &TreeLayout,
+) -> Result<LaunchReport, LaunchFault> {
     let n = state.n;
     let (dim, k) = (state.dim, state.k);
     let blocks = n.div_ceil(WARPS_PER_BLOCK);
-    launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+    try_launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
         blk.each_warp(|w| {
             let p = w.global_warp;
             if p >= n {
@@ -57,7 +65,7 @@ mod tests {
         let tree = RpTree { buckets: vec![(0..20).collect()], depth: 0 };
         let layout = TreeLayout::upload(&tree, 20);
         let dev = DeviceConfig::test_tiny();
-        let report = run_basic(&dev, &state, &layout);
+        let report = run_basic(&dev, &state, &layout).unwrap();
         let got = state.download();
         let want = exact_knn(&vs, 4, Metric::SquaredL2);
         for (g, t) in got.iter().zip(&want) {
@@ -76,7 +84,7 @@ mod tests {
         let tree = RpTree { buckets: vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]], depth: 1 };
         let layout = TreeLayout::upload(&tree, 8);
         let dev = DeviceConfig::test_tiny();
-        run_basic(&dev, &state, &layout);
+        run_basic(&dev, &state, &layout).unwrap();
         let got = state.download();
         for p in 0..4 {
             assert_eq!(got[p].len(), 3);

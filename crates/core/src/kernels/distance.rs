@@ -53,10 +53,7 @@ mod tests {
                 });
             });
             let want = sq_l2(vs.row(1), vs.row(3));
-            assert!(
-                (got - want).abs() <= 1e-4 * (1.0 + want),
-                "dim {dim}: {got} vs {want}"
-            );
+            assert!((got - want).abs() <= 1e-4 * (1.0 + want), "dim {dim}: {got} vs {want}");
         }
     }
 

@@ -7,7 +7,9 @@
 //! exclusive insertion protocol applies for every kernel variant.
 
 use wknng_data::Neighbor;
-use wknng_simt::{launch, DeviceConfig, DeviceBuffer, LaneVec, LaunchReport, Mask};
+use wknng_simt::{
+    try_launch, DeviceBuffer, DeviceConfig, LaneVec, LaunchFault, LaunchReport, Mask,
+};
 
 use crate::kernels::basic::WARPS_PER_BLOCK;
 use crate::kernels::distance::warp_sq_l2;
@@ -18,16 +20,20 @@ use crate::kernels::state::DeviceState;
 pub const NO_NEIGHBOR: u32 = u32::MAX;
 
 /// Run one exploration pass against the `n × k` snapshot buffer.
+///
+/// Fault-aware: consults the thread's installed
+/// [`wknng_simt::FaultScope`] (if any) and surfaces injected launch
+/// failures; without one, it never fails.
 pub fn run_explore(
     dev: &DeviceConfig,
     state: &DeviceState,
     snapshot: &DeviceBuffer<u32>,
-) -> LaunchReport {
+) -> Result<LaunchReport, LaunchFault> {
     let n = state.n;
     let (dim, k) = (state.dim, state.k);
     assert_eq!(snapshot.len(), n * k, "snapshot shape mismatch");
     let blocks = n.div_ceil(WARPS_PER_BLOCK);
-    launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+    try_launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
         blk.each_warp(|w| {
             let p = w.global_warp;
             if p >= n {
@@ -35,16 +41,12 @@ pub fn run_explore(
             }
             let one = Mask::first(1);
             for t in 0..k {
-                let q = w
-                    .ld_global(snapshot, &LaneVec::splat(p * k + t), one)
-                    .get(0);
+                let q = w.ld_global(snapshot, &LaneVec::splat(p * k + t), one).get(0);
                 if q == NO_NEIGHBOR {
                     continue;
                 }
                 for s in 0..k {
-                    let r = w
-                        .ld_global(snapshot, &LaneVec::splat(q as usize * k + s), one)
-                        .get(0);
+                    let r = w.ld_global(snapshot, &LaneVec::splat(q as usize * k + s), one).get(0);
                     if r == NO_NEIGHBOR || r as usize == p {
                         continue;
                     }
@@ -65,7 +67,7 @@ pub fn run_explore_lane(
     dev: &DeviceConfig,
     state: &DeviceState,
     snapshot: &DeviceBuffer<u32>,
-) -> LaunchReport {
+) -> Result<LaunchReport, LaunchFault> {
     use crate::kernels::insert::lane_insert_atomic;
     use wknng_simt::WARP_LANES;
 
@@ -74,7 +76,7 @@ pub fn run_explore_lane(
     assert_eq!(snapshot.len(), n * k, "snapshot shape mismatch");
     let lanes_per_block = WARPS_PER_BLOCK * WARP_LANES;
     let blocks = n.div_ceil(lanes_per_block);
-    launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+    try_launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
         blk.each_warp(|w| {
             let base = w.global_warp * WARP_LANES;
             if base >= n {
@@ -93,7 +95,8 @@ pub fn run_explore_lane(
                 for s in 0..k {
                     let ri = w.math_idx(mq, |l| q.get(l) as usize * k + s);
                     let r = w.ld_global(snapshot, &ri, mq);
-                    let mr = w.pred(mq, |l| r.get(l) != NO_NEIGHBOR && r.get(l) as usize != p.get(l));
+                    let mr =
+                        w.pred(mq, |l| r.get(l) != NO_NEIGHBOR && r.get(l) as usize != p.get(l));
                     if mr.is_empty() {
                         continue;
                     }
@@ -109,8 +112,7 @@ pub fn run_explore_lane(
                             acc.get(l) + d * d
                         });
                     }
-                    let cands =
-                        w.math(mr, |l| Neighbor::new(r.get(l), acc.get(l)).pack());
+                    let cands = w.math(mr, |l| Neighbor::new(r.get(l), acc.get(l)).pack());
                     lane_insert_atomic(w, &state.slots, &p, k, &cands, mr);
                 }
             }
@@ -152,18 +154,21 @@ mod tests {
         // exploration is a no-op by construction).
         let forest = build_forest(
             &vs,
-            ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 12, ..TreeParams::default() } },
+            ForestParams {
+                num_trees: 2,
+                tree: TreeParams { leaf_size: 12, ..TreeParams::default() },
+            },
             3,
         )
         .unwrap();
         let state = DeviceState::upload(&vs, 5);
         for tree in &forest.trees {
-            run_basic(&dev, &state, &TreeLayout::upload(tree, 120));
+            run_basic(&dev, &state, &TreeLayout::upload(tree, 120)).unwrap();
         }
         let r0 = recall(&state.download(), &truth);
 
         let snap = snapshot_from_state(&state);
-        let report = run_explore(&dev, &state, &snap);
+        let report = run_explore(&dev, &state, &snap).unwrap();
         let r1 = recall(&state.download(), &truth);
         assert!(r1 > r0, "exploration must help: {r0:.3} -> {r1:.3}");
         assert!(report.cycles > 0.0);
@@ -195,7 +200,10 @@ mod lane_tests {
         let dev = DeviceConfig::test_tiny();
         let forest = build_forest(
             &vs,
-            ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 12, ..TreeParams::default() } },
+            ForestParams {
+                num_trees: 2,
+                tree: TreeParams { leaf_size: 12, ..TreeParams::default() },
+            },
             4,
         )
         .unwrap();
@@ -203,18 +211,18 @@ mod lane_tests {
         let mk_state = || {
             let state = DeviceState::upload(&vs, 5);
             for tree in &forest.trees {
-                run_basic(&dev, &state, &TreeLayout::upload(tree, n));
+                run_basic(&dev, &state, &TreeLayout::upload(tree, n)).unwrap();
             }
             state
         };
 
         let sa = mk_state();
         let snap_a = snapshot_from_state(&sa);
-        run_explore(&dev, &sa, &snap_a);
+        run_explore(&dev, &sa, &snap_a).unwrap();
 
         let sb = mk_state();
         let snap_b = snapshot_from_state(&sb);
-        let report = run_explore_lane(&dev, &sb, &snap_b);
+        let report = run_explore_lane(&dev, &sb, &snap_b).unwrap();
 
         assert_eq!(sa.download(), sb.download());
         assert!(report.stats.atomic_ops > 0, "lane exploration commits via CAS");
@@ -228,17 +236,20 @@ mod lane_tests {
         let dev = DeviceConfig::test_tiny();
         let forest = build_forest(
             &vs,
-            ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 8, ..TreeParams::default() } },
+            ForestParams {
+                num_trees: 2,
+                tree: TreeParams { leaf_size: 8, ..TreeParams::default() },
+            },
             5,
         )
         .unwrap();
         let state = DeviceState::upload(&vs, 4);
         for tree in &forest.trees {
-            run_basic(&dev, &state, &TreeLayout::upload(tree, n));
+            run_basic(&dev, &state, &TreeLayout::upload(tree, n)).unwrap();
         }
         let before = state.download();
         let snap = snapshot_from_state(&state);
-        run_explore_lane(&dev, &state, &snap);
+        run_explore_lane(&dev, &state, &snap).unwrap();
         let after = state.download();
         // Exploration can only improve (or keep) each list.
         for (b, a) in before.iter().zip(&after) {

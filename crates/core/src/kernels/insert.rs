@@ -202,18 +202,11 @@ mod tests {
 
     #[test]
     fn insert_matches_host_oracle() {
-        let cands: Vec<Neighbor> = [
-            (3u32, 5.0f32),
-            (1, 2.0),
-            (9, 7.0),
-            (4, 1.0),
-            (6, 3.0),
-            (2, 0.5),
-            (8, 6.0),
-        ]
-        .iter()
-        .map(|&(i, d)| Neighbor::new(i, d))
-        .collect();
+        let cands: Vec<Neighbor> =
+            [(3u32, 5.0f32), (1, 2.0), (9, 7.0), (4, 1.0), (6, 3.0), (2, 0.5), (8, 6.0)]
+                .iter()
+                .map(|&(i, d)| Neighbor::new(i, d))
+                .collect();
         for k in [1usize, 2, 3, 5, 7, 16] {
             let want = oracle(k, &cands);
             assert_eq!(run_inserts(k, &cands, false), want, "exclusive k={k}");
@@ -223,11 +216,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_rejected_on_device() {
-        let cands = vec![
-            Neighbor::new(5, 1.0),
-            Neighbor::new(5, 1.0),
-            Neighbor::new(5, 1.0),
-        ];
+        let cands = vec![Neighbor::new(5, 1.0), Neighbor::new(5, 1.0), Neighbor::new(5, 1.0)];
         let got = run_inserts(4, &cands, false);
         assert_eq!(got.len(), 1);
         let got = run_inserts(4, &cands, true);
@@ -309,8 +298,7 @@ mod tests {
     #[test]
     fn k_larger_than_warp_scans_all_chunks() {
         // 40 slots: worst candidate must be found in the second chunk too.
-        let mut cands: Vec<Neighbor> =
-            (0..40).map(|i| Neighbor::new(i, i as f32)).collect();
+        let mut cands: Vec<Neighbor> = (0..40).map(|i| Neighbor::new(i, i as f32)).collect();
         cands.push(Neighbor::new(100, 0.5)); // must evict (39, 39.0)
         let got = run_inserts(40, &cands, false);
         assert_eq!(got.len(), 40);

@@ -14,7 +14,7 @@
 //! memory padding trick.
 
 use wknng_data::Neighbor;
-use wknng_simt::{launch, DeviceConfig, LaneVec, LaunchReport, Mask, WARP_LANES};
+use wknng_simt::{try_launch, DeviceConfig, LaneVec, LaunchFault, LaunchReport, Mask, WARP_LANES};
 
 use crate::kernels::insert::warp_insert_exclusive;
 use crate::kernels::layout::TreeLayout;
@@ -30,7 +30,15 @@ pub fn max_tiled_bucket(shared_mem_bytes: u32) -> usize {
 }
 
 /// Run the tiled kernel for one tree: one block per bucket.
-pub fn run_tiled(dev: &DeviceConfig, state: &DeviceState, tree: &TreeLayout) -> LaunchReport {
+///
+/// Fault-aware: consults the thread's installed
+/// [`wknng_simt::FaultScope`] (if any) and surfaces injected launch
+/// failures; without one, it never fails.
+pub fn run_tiled(
+    dev: &DeviceConfig,
+    state: &DeviceState,
+    tree: &TreeLayout,
+) -> Result<LaunchReport, LaunchFault> {
     let (dim, k) = (state.dim, state.k);
     // Host copies of the CSR metadata drive the block structure (a CUDA
     // kernel reads the same values from its blockIdx; the loads are charged
@@ -38,7 +46,7 @@ pub fn run_tiled(dev: &DeviceConfig, state: &DeviceState, tree: &TreeLayout) -> 
     let offsets = tree.offsets.to_vec();
     let members_host = tree.members.to_vec();
 
-    launch(dev, tree.num_buckets, TILED_WARPS, |blk| {
+    try_launch(dev, tree.num_buckets, TILED_WARPS, |blk| {
         let b = blk.block_idx;
         let start = offsets[b] as usize;
         let end = offsets[b + 1] as usize;
@@ -82,8 +90,7 @@ pub fn run_tiled(dev: &DeviceConfig, state: &DeviceState, tree: &TreeLayout) -> 
                     let width = (m - j0).min(WARP_LANES);
                     let mask = Mask::first(width);
                     for c in 0..cwidth {
-                        let gidx =
-                            w.math_idx(mask, |l| members[j0 + l] as usize * dim + cbase + c);
+                        let gidx = w.math_idx(mask, |l| members[j0 + l] as usize * dim + cbase + c);
                         let vals = w.ld_global(&state.points, &gidx, mask);
                         let sidx = w.math_idx(mask, |l| c * stride + j0 + l);
                         w.sh_store(&tile, &sidx, &vals, mask);
@@ -163,15 +170,13 @@ mod tests {
                 .vectors;
             let dev = DeviceConfig::test_tiny();
             let half = (n / 2) as u32;
-            let tree = RpTree {
-                buckets: vec![(0..half).collect(), (half..n as u32).collect()],
-                depth: 1,
-            };
+            let tree =
+                RpTree { buckets: vec![(0..half).collect(), (half..n as u32).collect()], depth: 1 };
 
             let sa = DeviceState::upload(&vs, 6);
-            run_basic(&dev, &sa, &TreeLayout::upload(&tree, n));
+            run_basic(&dev, &sa, &TreeLayout::upload(&tree, n)).unwrap();
             let sb = DeviceState::upload(&vs, 6);
-            run_tiled(&dev, &sb, &TreeLayout::upload(&tree, n));
+            run_tiled(&dev, &sb, &TreeLayout::upload(&tree, n)).unwrap();
 
             let (a, b) = (sa.download(), sb.download());
             for (p, (la, lb)) in a.iter().zip(&b).enumerate() {
@@ -192,9 +197,9 @@ mod tests {
         let tree = RpTree { buckets: vec![(0..n as u32).collect()], depth: 0 };
 
         let sa = DeviceState::upload(&vs, 4);
-        let rb = run_basic(&dev, &sa, &TreeLayout::upload(&tree, n));
+        let rb = run_basic(&dev, &sa, &TreeLayout::upload(&tree, n)).unwrap();
         let sb = DeviceState::upload(&vs, 4);
-        let rt = run_tiled(&dev, &sb, &TreeLayout::upload(&tree, n));
+        let rt = run_tiled(&dev, &sb, &TreeLayout::upload(&tree, n)).unwrap();
 
         assert!(
             (rt.stats.dram_bytes as f64) < 0.25 * rb.stats.dram_bytes as f64,
@@ -220,7 +225,7 @@ mod tests {
         let dev = DeviceConfig::test_tiny();
         let tree = RpTree { buckets: vec![vec![0], vec![1], vec![2]], depth: 2 };
         let state = DeviceState::upload(&vs, 2);
-        let report = run_tiled(&dev, &state, &TreeLayout::upload(&tree, 3));
+        let report = run_tiled(&dev, &state, &TreeLayout::upload(&tree, 3)).unwrap();
         assert!(state.download().iter().all(|l| l.is_empty()));
         assert_eq!(report.stats.shared_accesses, 0);
     }

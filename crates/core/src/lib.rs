@@ -35,8 +35,10 @@
 //! assert!(recall(&graph.lists, &truth) > 0.8);
 //! ```
 
+pub mod audit;
 pub mod builder;
 pub mod error;
+pub mod events;
 pub mod graph;
 pub mod heap;
 pub mod kernels;
@@ -48,14 +50,18 @@ pub mod recall;
 pub mod search;
 pub mod update;
 
+pub use audit::{
+    audit_graph, audit_slots, repair_list, AuditReport, AuditViolation, ViolationKind,
+};
 pub use builder::{Knng, WknngBuilder};
 pub use error::KnngError;
+pub use events::{BuildEvent, BuildEvents, BuildPhase};
 pub use graph::{lists_to_slots, slots_to_lists, KnnGraph, EMPTY_SLOT};
 pub use heap::KnnList;
 pub use metrics::{graph_stats, symmetrize, GraphStats};
 pub use native::{build_native, PhaseTimings};
-pub use params::{ExplorationMode, KernelVariant, WknngParams};
-pub use pipeline::{build_device, DeviceReports};
+pub use params::{AuditLevel, BuildPolicy, ExplorationMode, KernelVariant, WknngParams};
+pub use pipeline::{build_device, build_device_with_policy, DeviceReports};
 pub use recall::{mean_distance_ratio, recall};
 pub use search::{search, search_lists, SearchParams, SearchStats};
 pub use update::{extend_graph, Extended};

@@ -141,12 +141,7 @@ mod tests {
     #[test]
     fn stats_of_a_ring() {
         // 0 -> 1 -> 2 -> 3 -> 0: one component, zero symmetry, degree 1.
-        let lists = vec![
-            vec![nb(1, 1.0)],
-            vec![nb(2, 1.0)],
-            vec![nb(3, 1.0)],
-            vec![nb(0, 1.0)],
-        ];
+        let lists = vec![vec![nb(1, 1.0)], vec![nb(2, 1.0)], vec![nb(3, 1.0)], vec![nb(0, 1.0)]];
         let s = graph_stats(&lists);
         assert_eq!(s.n, 4);
         assert_eq!(s.edges, 4);
@@ -158,12 +153,7 @@ mod tests {
 
     #[test]
     fn stats_of_disconnected_mutual_pairs() {
-        let lists = vec![
-            vec![nb(1, 1.0)],
-            vec![nb(0, 1.0)],
-            vec![nb(3, 1.0)],
-            vec![nb(2, 1.0)],
-        ];
+        let lists = vec![vec![nb(1, 1.0)], vec![nb(0, 1.0)], vec![nb(3, 1.0)], vec![nb(2, 1.0)]];
         let s = graph_stats(&lists);
         assert_eq!(s.components, 2);
         assert_eq!(s.symmetry, 1.0);
@@ -192,11 +182,7 @@ mod tests {
 
     #[test]
     fn symmetrize_respects_cap_and_keeps_nearest() {
-        let lists = vec![
-            vec![nb(1, 1.0), nb(2, 9.0)],
-            vec![nb(0, 1.0)],
-            vec![nb(1, 3.0)],
-        ];
+        let lists = vec![vec![nb(1, 1.0), nb(2, 9.0)], vec![nb(0, 1.0)], vec![nb(1, 3.0)]];
         let sym = symmetrize(&lists, Some(2));
         for list in &sym {
             assert!(list.len() <= 2);

@@ -67,20 +67,16 @@ pub fn build_native(
                 bucket_of[p as usize] = b as u32;
             }
         }
-        graph
-            .lists_mut()
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(p, list)| {
-                let bucket = &tree.buckets[bucket_of[p] as usize];
-                let row = vs.row(p);
-                for &q in bucket {
-                    if q as usize != p {
-                        let d = params.metric.eval(row, vs.row(q as usize));
-                        list.insert(Neighbor::new(q, d));
-                    }
+        graph.lists_mut().par_iter_mut().enumerate().for_each(|(p, list)| {
+            let bucket = &tree.buckets[bucket_of[p] as usize];
+            let row = vs.row(p);
+            for &q in bucket {
+                if q as usize != p {
+                    let d = params.metric.eval(row, vs.row(q as usize));
+                    list.insert(Neighbor::new(q, d));
                 }
-            });
+            }
+        });
     }
     timings.bucket_ms = t1.elapsed().as_secs_f64() * 1e3;
 
@@ -112,24 +108,20 @@ pub fn build_native(
 /// is order-independent and deterministic under parallelism.
 fn explore_once(vs: &VectorSet, params: &WknngParams, graph: &mut KnnGraph) {
     let snapshot = graph.index_snapshot();
-    graph
-        .lists_mut()
-        .par_iter_mut()
-        .enumerate()
-        .for_each(|(p, list)| {
-            let row = vs.row(p);
-            for &q in &snapshot[p] {
-                for &r in &snapshot[q as usize] {
-                    if r as usize == p {
-                        continue;
-                    }
-                    // `insert` rejects duplicates, so no visited-set needed
-                    // at these k values.
-                    let d = params.metric.eval(row, vs.row(r as usize));
-                    list.insert(Neighbor::new(r, d));
+    graph.lists_mut().par_iter_mut().enumerate().for_each(|(p, list)| {
+        let row = vs.row(p);
+        for &q in &snapshot[p] {
+            for &r in &snapshot[q as usize] {
+                if r as usize == p {
+                    continue;
                 }
+                // `insert` rejects duplicates, so no visited-set needed
+                // at these k values.
+                let d = params.metric.eval(row, vs.row(r as usize));
+                list.insert(Neighbor::new(r, d));
             }
-        });
+        }
+    });
 }
 
 /// One incremental exploration pass: only candidate paths `p → q → r` where
@@ -276,11 +268,8 @@ mod tests {
         let (inc_lists, _) = build_native(&vs, &inc).unwrap();
         let full = WknngParams { exploration_iters: 3, ..base };
         let (full_lists, _) = build_native(&vs, &full).unwrap();
-        let (r0, ri, rf) = (
-            recall(&none, &truth),
-            recall(&inc_lists, &truth),
-            recall(&full_lists, &truth),
-        );
+        let (r0, ri, rf) =
+            (recall(&none, &truth), recall(&inc_lists, &truth), recall(&full_lists, &truth));
         assert!(ri > r0, "incremental must help: {r0:.3} -> {ri:.3}");
         // Full explores a superset each round (not a strict theorem across
         // rounds, so allow a hair of slack).

@@ -47,6 +47,18 @@ impl KernelVariant {
             KernelVariant::Tiled => "w-knng-tiled",
         }
     }
+
+    /// The next variant down the degradation chain, ordered by resource
+    /// appetite: tiled (needs a whole bucket in shared memory) → atomic
+    /// (needs CAS throughput) → basic (needs nothing beyond global loads).
+    /// `None` from basic — there is nothing simpler to fall back to.
+    pub fn degraded(&self) -> Option<KernelVariant> {
+        match self {
+            KernelVariant::Tiled => Some(KernelVariant::Atomic),
+            KernelVariant::Atomic => Some(KernelVariant::Basic),
+            KernelVariant::Basic => None,
+        }
+    }
 }
 
 /// How the neighbors-of-neighbors exploration phase selects candidates.
@@ -62,6 +74,76 @@ pub enum ExplorationMode {
     /// (ablated in experiment E13). Native backend only — device builds
     /// always run [`ExplorationMode::Full`].
     Incremental,
+}
+
+/// How thoroughly a device build checks its own output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AuditLevel {
+    /// No post-build validation.
+    Off,
+    /// Audit the slot arrays; corruption is a typed
+    /// [`KnngError::AuditFailed`] error.
+    Check,
+    /// Audit, then re-derive corrupted lists by brute force (bounded by
+    /// [`BuildPolicy::repair_limit`]) before returning.
+    #[default]
+    Repair,
+}
+
+/// Degraded-execution policy of a device build: how hard the pipeline tries
+/// to finish when kernel launches fail or memory corrupts, instead of
+/// aborting at the first fault.
+///
+/// The default policy retries transient launch failures with bounded
+/// exponential backoff, falls back down the kernel chain
+/// tiled → atomic → basic when a launch configuration cannot run (for
+/// example, a bucket that does not fit shared memory), and audits-and-repairs
+/// the finished graph. [`BuildPolicy::strict()`] disables all of that:
+/// any fault or oversized configuration surfaces as a typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BuildPolicy {
+    /// Transient-failure retries allowed per kernel launch.
+    pub max_retries: u32,
+    /// Total launch attempts allowed per phase (retries included) — a
+    /// circuit breaker against a permanently failing device.
+    pub launch_budget: u32,
+    /// Allow falling back down the kernel chain instead of hard-failing.
+    pub degrade: bool,
+    /// Simulated cycles charged for the first backoff; doubles per retry.
+    pub backoff_cycles: u64,
+    /// Post-build validation level.
+    pub audit: AuditLevel,
+    /// Most corrupted lists the repair pass will rebuild in one build.
+    pub repair_limit: usize,
+}
+
+impl Default for BuildPolicy {
+    fn default() -> Self {
+        BuildPolicy {
+            max_retries: 3,
+            launch_budget: 64,
+            degrade: true,
+            backoff_cycles: 1 << 10,
+            audit: AuditLevel::Repair,
+            repair_limit: 64,
+        }
+    }
+}
+
+impl BuildPolicy {
+    /// Fail-fast policy: no retries, no degradation, audit without repair.
+    /// Any fault — including a leaf size too large for the tiled kernel —
+    /// becomes a typed error instead of a fallback.
+    pub fn strict() -> Self {
+        BuildPolicy {
+            max_retries: 0,
+            launch_budget: 64,
+            degrade: false,
+            backoff_cycles: 0,
+            audit: AuditLevel::Check,
+            repair_limit: 0,
+        }
+    }
 }
 
 /// Full parameter set of a w-KNNG build.
@@ -171,5 +253,27 @@ mod extension_tests {
     fn exploration_mode_defaults_to_full() {
         assert_eq!(ExplorationMode::default(), ExplorationMode::Full);
         assert_eq!(WknngParams::default().exploration_mode, ExplorationMode::Full);
+    }
+
+    #[test]
+    fn degradation_chain_ends_at_basic() {
+        assert_eq!(KernelVariant::Tiled.degraded(), Some(KernelVariant::Atomic));
+        assert_eq!(KernelVariant::Atomic.degraded(), Some(KernelVariant::Basic));
+        assert_eq!(KernelVariant::Basic.degraded(), None);
+    }
+
+    #[test]
+    fn default_policy_recovers_strict_policy_fails_fast() {
+        let d = BuildPolicy::default();
+        assert!(d.max_retries > 0);
+        assert!(d.degrade);
+        assert_eq!(d.audit, AuditLevel::Repair);
+        assert!(d.repair_limit > 0);
+        assert!(d.launch_budget as usize > d.max_retries as usize);
+        let s = BuildPolicy::strict();
+        assert_eq!(s.max_retries, 0);
+        assert!(!s.degrade);
+        assert_eq!(s.audit, AuditLevel::Check);
+        assert_eq!(s.repair_limit, 0);
     }
 }

@@ -1,15 +1,21 @@
-//! The simulated-device build pipeline: forest → bucket kernels → exploration.
+//! The simulated-device build pipeline: forest → bucket kernels → exploration,
+//! executed under a degraded-execution policy with post-build auditing.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use wknng_data::{Metric, Neighbor, VectorSet};
-use wknng_forest::{build_forest_device, ForestParams, TreeParams};
-use wknng_simt::{DeviceConfig, LaunchReport};
+use wknng_forest::{build_forest_device, ForestParams, RpForest, TreeParams};
+use wknng_simt::{take_due_flips, DeviceConfig, LaunchFault, LaunchReport};
 
+use crate::audit::{audit_slots, repair_list};
 use crate::error::KnngError;
+use crate::events::{BuildEvent, BuildEvents, BuildPhase};
+use crate::graph::EMPTY_SLOT;
 use crate::kernels::{
     max_tiled_bucket, run_atomic, run_basic, run_explore, run_explore_lane, run_tiled,
     snapshot_from_state, DeviceState, TreeLayout,
 };
-use crate::params::{KernelVariant, WknngParams};
+use crate::params::{AuditLevel, BuildPolicy, KernelVariant, WknngParams};
 
 /// Per-phase simulated launch reports of a device build.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -38,20 +44,51 @@ impl DeviceReports {
 }
 
 /// Build an approximate K-NNG on the simulated device using the configured
-/// kernel variant. Deterministic in `params.seed`.
+/// kernel variant and the default [`BuildPolicy`] (retry, degrade, audit and
+/// repair). Deterministic in `params.seed`.
 pub fn build_device(
     vs: &VectorSet,
     params: &WknngParams,
     dev: &DeviceConfig,
 ) -> Result<(Vec<Vec<Neighbor>>, DeviceReports), KnngError> {
+    let (lists, reports, _) = build_device_with_policy(vs, params, &BuildPolicy::default(), dev)?;
+    Ok((lists, reports))
+}
+
+/// [`build_device`] under an explicit policy, additionally returning the
+/// [`BuildEvents`] log of every recovery action taken.
+///
+/// Under the default policy, transient launch failures are retried with
+/// exponential backoff (charged to the phase's simulated cycles),
+/// launch-configuration failures degrade the kernel variant
+/// tiled → atomic → basic, and the finished slot array is audited; corrupted
+/// lists are re-derived by brute force over the point's forest buckets.
+/// Under [`BuildPolicy::strict()`] every fault is a typed [`KnngError`].
+pub fn build_device_with_policy(
+    vs: &VectorSet,
+    params: &WknngParams,
+    policy: &BuildPolicy,
+    dev: &DeviceConfig,
+) -> Result<(Vec<Vec<Neighbor>>, DeviceReports, BuildEvents), KnngError> {
     params.validate(vs.len())?;
     if params.metric != Metric::SquaredL2 {
         return Err(KnngError::UnsupportedDeviceMetric(params.metric));
     }
-    if params.variant == KernelVariant::Tiled {
+    let mut events = BuildEvents::new();
+    let mut variant = params.variant;
+    if variant == KernelVariant::Tiled {
         let max = max_tiled_bucket(dev.shared_mem_bytes);
         if params.leaf_size > max {
-            return Err(KnngError::LeafTooLargeForTiled { leaf: params.leaf_size, max });
+            if !policy.degrade {
+                return Err(KnngError::LeafTooLargeForTiled { leaf: params.leaf_size, max });
+            }
+            let to = variant.degraded().expect("tiled has a fallback");
+            events.push(BuildEvent::VariantDegraded {
+                phase: BuildPhase::Bucket,
+                from: variant,
+                to,
+            });
+            variant = to;
         }
     }
 
@@ -69,27 +106,182 @@ pub fn build_device(
     reports.forest = forest_report;
 
     let state = DeviceState::upload(vs, params.k);
+    let mut bucket_attempts = 0u32;
     for tree in &forest.trees {
         let layout = TreeLayout::upload(tree, vs.len());
-        let rep = match params.variant {
-            KernelVariant::Basic => run_basic(dev, &state, &layout),
-            KernelVariant::Atomic => run_atomic(dev, &state, &layout),
-            KernelVariant::Tiled => run_tiled(dev, &state, &layout),
-        };
-        reports.bucket += rep;
+        reports.bucket += run_recovered(
+            BuildPhase::Bucket,
+            policy,
+            &mut variant,
+            &mut bucket_attempts,
+            &mut events,
+            |v| match v {
+                KernelVariant::Basic => run_basic(dev, &state, &layout),
+                KernelVariant::Atomic => run_atomic(dev, &state, &layout),
+                KernelVariant::Tiled => run_tiled(dev, &state, &layout),
+            },
+        )?;
+        apply_due_flips(&state, &mut events);
     }
 
+    let mut explore_attempts = 0u32;
     for _ in 0..params.exploration_iters {
         let snap = snapshot_from_state(&state);
         // The warp-centric strategy applies to the whole search-and-maintain
         // machinery: the atomic variant explores lane-parallel as well.
-        reports.explore += match params.variant {
-            KernelVariant::Atomic => run_explore_lane(dev, &state, &snap),
-            _ => run_explore(dev, &state, &snap),
-        };
+        reports.explore += run_recovered(
+            BuildPhase::Explore,
+            policy,
+            &mut variant,
+            &mut explore_attempts,
+            &mut events,
+            |v| match v {
+                KernelVariant::Atomic => run_explore_lane(dev, &state, &snap),
+                _ => run_explore(dev, &state, &snap),
+            },
+        )?;
+        apply_due_flips(&state, &mut events);
     }
 
-    Ok((state.download(), reports))
+    if policy.audit != AuditLevel::Off {
+        audit_and_repair(vs, params, policy, &forest, &state, &mut events)?;
+    }
+
+    Ok((state.download(), reports, events))
+}
+
+/// Run one kernel under the policy's retry/degrade rules. `variant` is
+/// shared across the build: once degraded, later launches stay degraded.
+fn run_recovered(
+    phase: BuildPhase,
+    policy: &BuildPolicy,
+    variant: &mut KernelVariant,
+    phase_attempts: &mut u32,
+    events: &mut BuildEvents,
+    mut run: impl FnMut(KernelVariant) -> Result<LaunchReport, LaunchFault>,
+) -> Result<LaunchReport, KnngError> {
+    let mut retries = 0u32;
+    let mut attempts = 0u32;
+    let mut backoff_total = 0u64;
+    loop {
+        if *phase_attempts >= policy.launch_budget {
+            return Err(KnngError::LaunchFailed { phase, attempts });
+        }
+        attempts += 1;
+        *phase_attempts += 1;
+        match run(*variant) {
+            Ok(mut rep) => {
+                // Backoff is simulated device idle time, charged to the phase.
+                rep.cycles += backoff_total as f64;
+                return Ok(rep);
+            }
+            Err(LaunchFault::Transient { .. }) => {
+                if retries >= policy.max_retries {
+                    return Err(KnngError::LaunchFailed { phase, attempts });
+                }
+                retries += 1;
+                let backoff = policy.backoff_cycles << (retries - 1);
+                backoff_total += backoff;
+                events.push(BuildEvent::LaunchRetried {
+                    phase,
+                    attempt: retries,
+                    backoff_cycles: backoff,
+                });
+            }
+            Err(LaunchFault::SharedAllocFailed { .. }) => {
+                // A launch-configuration failure: retrying the same shape
+                // cannot help, fall down the kernel chain instead.
+                let next = if policy.degrade { variant.degraded() } else { None };
+                let Some(next) = next else {
+                    return Err(KnngError::LaunchFailed { phase, attempts });
+                };
+                events.push(BuildEvent::VariantDegraded { phase, from: *variant, to: next });
+                *variant = next;
+            }
+        }
+    }
+}
+
+/// Deliver any injected bit flips that became due to the slot array — the
+/// global-memory state the paper's kernels maintain, and the place where
+/// silent corruption actually hurts.
+fn apply_due_flips(state: &DeviceState, events: &mut BuildEvents) {
+    for flip in take_due_flips() {
+        let word = (flip.word_seed % state.slots.len() as u64) as usize;
+        state.slots.corrupt_bit(word, flip.bit as u32);
+        events.push(BuildEvent::BitFlipApplied { word, bit: flip.bit });
+    }
+}
+
+/// Audit the raw slot array; under [`AuditLevel::Repair`] re-derive every
+/// corrupted list (bounded by the policy's repair limit), otherwise surface
+/// corruption as [`KnngError::AuditFailed`].
+fn audit_and_repair(
+    vs: &VectorSet,
+    params: &WknngParams,
+    policy: &BuildPolicy,
+    forest: &RpForest,
+    state: &DeviceState,
+    events: &mut BuildEvents,
+) -> Result<(), KnngError> {
+    let k = params.k;
+    let slots = state.slots.to_vec();
+    let report = audit_slots(&slots, vs, k, params.metric);
+    let corrupted = report.corrupted_points();
+    events.push(BuildEvent::AuditCompleted {
+        violations: report.total(),
+        corrupted: corrupted.len(),
+    });
+    if corrupted.is_empty() {
+        return Ok(());
+    }
+    if policy.audit != AuditLevel::Repair || corrupted.len() > policy.repair_limit {
+        return Err(KnngError::AuditFailed { violations: report.corruption_count(), repaired: 0 });
+    }
+    let buckets = bucket_candidates(forest, &corrupted);
+    for &p in &corrupted {
+        // Brute-force candidates: the union of p's forest buckets plus the
+        // still-valid entries of its current row (exploration may have added
+        // edges outside any shared bucket; keep them).
+        let mut cands: Vec<u32> =
+            buckets.get(&p).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        for &slot in &slots[p * k..(p + 1) * k] {
+            if slot != EMPTY_SLOT {
+                let nb = Neighbor::unpack(slot);
+                if (nb.index as usize) < vs.len() && nb.dist.is_finite() {
+                    cands.push(nb.index);
+                }
+            }
+        }
+        let list = repair_list(vs, p, k, &cands, params.metric);
+        for i in 0..k {
+            let v = list.get(i).map(|nb| nb.pack()).unwrap_or(EMPTY_SLOT);
+            state.slots.write(p * k + i, v);
+        }
+        events.push(BuildEvent::ListRepaired { point: p });
+    }
+    Ok(())
+}
+
+/// For every corrupted point, the union of the members of every forest
+/// bucket that contains it — the same candidate set the bucket kernels drew
+/// from.
+fn bucket_candidates(
+    forest: &RpForest,
+    corrupted: &BTreeSet<usize>,
+) -> BTreeMap<usize, BTreeSet<u32>> {
+    let mut out: BTreeMap<usize, BTreeSet<u32>> =
+        corrupted.iter().map(|&p| (p, BTreeSet::new())).collect();
+    for tree in &forest.trees {
+        for bucket in &tree.buckets {
+            for &m in bucket {
+                if let Some(set) = out.get_mut(&(m as usize)) {
+                    set.extend(bucket.iter().copied());
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -163,14 +355,54 @@ mod tests {
         let vs = DatasetSpec::UniformCube { n: 50, dim: 4 }.generate(0).vectors;
         let dev = DeviceConfig::test_tiny();
         let p = WknngParams { metric: Metric::Cosine, ..params(KernelVariant::Basic) };
-        assert!(matches!(
-            build_device(&vs, &p, &dev),
-            Err(KnngError::UnsupportedDeviceMetric(_))
-        ));
+        assert!(matches!(build_device(&vs, &p, &dev), Err(KnngError::UnsupportedDeviceMetric(_))));
+        // Oversized tiled leaves are a typed error only under strict();
+        // the default policy degrades to the atomic kernel instead.
         let p = WknngParams { leaf_size: 10_000, k: 5, ..params(KernelVariant::Tiled) };
         assert!(matches!(
-            build_device(&vs, &p, &dev),
+            build_device_with_policy(&vs, &p, &BuildPolicy::strict(), &dev),
             Err(KnngError::LeafTooLargeForTiled { .. })
         ));
+    }
+
+    #[test]
+    fn oversized_tiled_leaf_degrades_to_atomic() {
+        let vs = DatasetSpec::UniformCube { n: 60, dim: 4 }.generate(2).vectors;
+        let dev = DeviceConfig::test_tiny();
+        let p = WknngParams { leaf_size: 10_000, k: 5, ..params(KernelVariant::Tiled) };
+        let (lists, _, events) =
+            build_device_with_policy(&vs, &p, &BuildPolicy::default(), &dev).unwrap();
+        assert_eq!(lists.len(), 60);
+        assert_eq!(events.degradations(), 1);
+        assert!(matches!(
+            events.as_slice()[0],
+            BuildEvent::VariantDegraded {
+                phase: BuildPhase::Bucket,
+                from: KernelVariant::Tiled,
+                to: KernelVariant::Atomic,
+            }
+        ));
+        // The degraded build matches a build configured atomic from the start.
+        let pa = WknngParams { variant: KernelVariant::Atomic, ..p };
+        let (atomic_lists, _) = build_device(&vs, &pa, &dev).unwrap();
+        assert_eq!(lists, atomic_lists);
+    }
+
+    #[test]
+    fn clean_builds_log_only_the_audit() {
+        let vs = DatasetSpec::UniformCube { n: 60, dim: 6 }.generate(3).vectors;
+        let dev = DeviceConfig::test_tiny();
+        let (_, _, events) = build_device_with_policy(
+            &vs,
+            &params(KernelVariant::Tiled),
+            &BuildPolicy::default(),
+            &dev,
+        )
+        .unwrap();
+        assert_eq!(events.retries() + events.degradations() + events.repairs(), 0);
+        assert!(events
+            .as_slice()
+            .iter()
+            .any(|e| matches!(e, BuildEvent::AuditCompleted { corrupted: 0, .. })));
     }
 }

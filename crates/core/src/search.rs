@@ -141,9 +141,8 @@ mod tests {
     fn indexed(n: usize) -> (VectorSet, Knng) {
         // Manifold data gives a *connected* K-NN graph; greedy search cannot
         // cross components (see the doc note on `entries`).
-        let vs = DatasetSpec::Manifold { n, ambient_dim: 24, intrinsic_dim: 3 }
-            .generate(55)
-            .vectors;
+        let vs =
+            DatasetSpec::Manifold { n, ambient_dim: 24, intrinsic_dim: 3 }.generate(55).vectors;
         let (g, _) = WknngBuilder::new(12)
             .trees(6)
             .leaf_size(24)
@@ -171,8 +170,7 @@ mod tests {
         let mut hits = 0;
         let mut total = 0;
         for q in 0..30 {
-            let base: Vec<f32> =
-                vs.row(q * 13 % 400).iter().map(|v| v + 1e-3).collect();
+            let base: Vec<f32> = vs.row(q * 13 % 400).iter().map(|v| v + 1e-3).collect();
             let (res, _) = search(&vs, &g, &base, &SearchParams::default());
             // Exact answer.
             let mut all: Vec<Neighbor> = (0..400)

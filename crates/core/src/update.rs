@@ -64,12 +64,7 @@ pub fn extend_graph(
         })
         .collect();
 
-    let params = SearchParams {
-        k,
-        beam: if beam == 0 { 4 * k } else { beam },
-        entries: 4,
-        metric,
-    };
+    let params = SearchParams { k, beam: if beam == 0 { 4 * k } else { beam }, entries: 4, metric };
 
     for i in 0..new_points.len() {
         let id = (base.len() + i) as u32;
@@ -77,15 +72,10 @@ pub fn extend_graph(
         // Snapshot view for the search (sorted lists), padded with empty
         // lists for the points not inserted yet so it matches the combined
         // coordinate set.
-        let mut view: Vec<Vec<Neighbor>> =
-            lists.iter().map(|h| h.as_slice().to_vec()).collect();
+        let mut view: Vec<Vec<Neighbor>> = lists.iter().map(|h| h.as_slice().to_vec()).collect();
         view.resize(vectors.len(), Vec::new());
-        let (found, _) = search_lists(
-            &vectors,
-            &view,
-            row,
-            &SearchParams { k: params.beam, ..params },
-        );
+        let (found, _) =
+            search_lists(&vectors, &view, row, &SearchParams { k: params.beam, ..params });
         let mut own = KnnList::new(k);
         for nb in found.iter() {
             if nb.index == id {
@@ -106,8 +96,7 @@ pub fn extend_graph(
 
     // One neighbors-of-neighbors pass over the combined graph: newly added
     // edges propagate to original points whose true neighborhoods shifted.
-    let snapshot: Vec<Vec<u32>> =
-        lists.iter().map(|h| h.indices().collect()).collect();
+    let snapshot: Vec<Vec<u32>> = lists.iter().map(|h| h.indices().collect()).collect();
     for p in 0..lists.len() {
         let row = vectors.row(p);
         for &q in &snapshot[p] {
@@ -132,13 +121,9 @@ mod tests {
     use wknng_data::{exact_knn, DatasetSpec, Metric};
 
     fn split(n_base: usize, n_new: usize) -> (VectorSet, VectorSet, VectorSet) {
-        let all = DatasetSpec::Manifold {
-            n: n_base + n_new,
-            ambient_dim: 24,
-            intrinsic_dim: 4,
-        }
-        .generate(77)
-        .vectors;
+        let all = DatasetSpec::Manifold { n: n_base + n_new, ambient_dim: 24, intrinsic_dim: 4 }
+            .generate(77)
+            .vectors;
         let base = all.gather(&(0..n_base).collect::<Vec<_>>());
         let new = all.gather(&(n_base..n_base + n_new).collect::<Vec<_>>());
         (all, base, new)

@@ -25,6 +25,21 @@ pub enum DataError {
     Io(String),
     /// A file had the wrong magic number or a corrupt header.
     Format(String),
+    /// A file ended before its header-declared payload length.
+    Truncated {
+        /// Payload bytes the header promised.
+        expected: u64,
+        /// Payload bytes actually present.
+        got: u64,
+    },
+    /// The payload checksum does not match the header — the file's bytes
+    /// were corrupted after writing.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -39,6 +54,13 @@ impl fmt::Display for DataError {
             }
             DataError::Io(m) => write!(f, "i/o error: {m}"),
             DataError::Format(m) => write!(f, "format error: {m}"),
+            DataError::Truncated { expected, got } => {
+                write!(f, "truncated file: expected {expected} payload bytes, got {got}")
+            }
+            DataError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
         }
     }
 }
@@ -61,6 +83,11 @@ mod tests {
         assert!(DataError::RaggedBuffer { len: 7, dim: 3 }.to_string().contains("7"));
         assert!(DataError::NonFinite { point: 2, coord: 5 }.to_string().contains("point 2"));
         assert!(DataError::Format("bad magic".into()).to_string().contains("bad magic"));
+        let t = DataError::Truncated { expected: 100, got: 40 };
+        assert!(t.to_string().contains("expected 100"));
+        assert!(t.to_string().contains("got 40"));
+        let c = DataError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(c.to_string().contains("checksum mismatch"));
     }
 
     #[test]

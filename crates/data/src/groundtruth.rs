@@ -57,9 +57,7 @@ mod tests {
 
     #[test]
     fn lists_are_sorted_and_self_free() {
-        let vs = crate::synth::DatasetSpec::UniformCube { n: 40, dim: 5 }
-            .generate(3)
-            .vectors;
+        let vs = crate::synth::DatasetSpec::UniformCube { n: 40, dim: 5 }.generate(3).vectors;
         let g = exact_knn(&vs, 6, Metric::SquaredL2);
         for (i, list) in g.iter().enumerate() {
             assert_eq!(list.len(), 6);
@@ -87,12 +85,7 @@ mod tests {
 
     #[test]
     fn works_with_other_metrics() {
-        let vs = VectorSet::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.9, 0.1],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let vs = VectorSet::from_rows(&[vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]]).unwrap();
         let g = exact_knn(&vs, 1, Metric::Cosine);
         assert_eq!(g[0][0].index, 1); // most cosine-similar to point 0
     }

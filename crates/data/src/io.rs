@@ -1,8 +1,15 @@
 //! Compact binary persistence for vector sets and neighbor lists.
 //!
-//! A tiny hand-rolled little-endian format (magic + header + payload) —
-//! sufficient to cache ground truth between benchmark runs without pulling a
-//! serialization framework into the dependency tree (see `DESIGN.md`).
+//! A tiny hand-rolled little-endian format — sufficient to cache ground
+//! truth between benchmark runs without pulling a serialization framework
+//! into the dependency tree (see `DESIGN.md`).
+//!
+//! Writers emit the **v2** layout: `magic, shape header, payload length
+//! (u64), FNV-1a 64 checksum (u64), payload`. The length makes truncation a
+//! typed [`DataError::Truncated`] instead of garbage, and the checksum makes
+//! any other byte corruption a typed [`DataError::ChecksumMismatch`].
+//! Readers still accept the legacy v1 headerless layout (`magic, shape,
+//! payload`), so files written before the header existed keep loading.
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -11,8 +18,10 @@ use crate::error::DataError;
 use crate::neighbor::Neighbor;
 use crate::vecs::VectorSet;
 
-const VEC_MAGIC: u32 = 0x574B_5631; // "WKV1"
-const KNN_MAGIC: u32 = 0x574B_4B31; // "WKK1"
+const VEC_MAGIC_V1: u32 = 0x574B_5631; // "WKV1"
+const KNN_MAGIC_V1: u32 = 0x574B_4B31; // "WKK1"
+const VEC_MAGIC_V2: u32 = 0x574B_5632; // "WKV2"
+const KNN_MAGIC_V2: u32 = 0x574B_4B32; // "WKK2"
 
 fn write_u32(w: &mut impl Write, v: u32) -> Result<(), DataError> {
     w.write_all(&v.to_le_bytes())?;
@@ -23,6 +32,17 @@ fn read_u32(r: &mut impl Read) -> Result<u32, DataError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> Result<(), DataError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, DataError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
 }
 
 fn write_f32(w: &mut impl Write, v: f32) -> Result<(), DataError> {
@@ -36,69 +56,145 @@ fn read_f32(r: &mut impl Read) -> Result<f32, DataError> {
     Ok(f32::from_le_bytes(b))
 }
 
-/// Save a [`VectorSet`] to `path`.
+/// FNV-1a 64 over a byte slice — small, allocation-free, and plenty to catch
+/// file corruption (this is an integrity check, not a cryptographic one).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Read the `payload_len`/`checksum` pair, then the payload itself,
+/// verifying both: short files are [`DataError::Truncated`], wrong bytes are
+/// [`DataError::ChecksumMismatch`], trailing bytes are a format error.
+fn read_checked_payload(r: &mut impl Read, path: &Path) -> Result<Vec<u8>, DataError> {
+    let expected_len = read_u64(r)?;
+    let expected_sum = read_u64(r)?;
+    let mut payload = Vec::new();
+    r.read_to_end(&mut payload)?;
+    if (payload.len() as u64) < expected_len {
+        return Err(DataError::Truncated { expected: expected_len, got: payload.len() as u64 });
+    }
+    if payload.len() as u64 > expected_len {
+        return Err(DataError::Format(format!(
+            "{} has {} trailing bytes after its payload",
+            path.display(),
+            payload.len() as u64 - expected_len
+        )));
+    }
+    let actual_sum = fnv1a64(&payload);
+    if actual_sum != expected_sum {
+        return Err(DataError::ChecksumMismatch { expected: expected_sum, actual: actual_sum });
+    }
+    Ok(payload)
+}
+
+/// Save a [`VectorSet`] to `path` (v2 layout: length + checksum header).
 pub fn save_vectors(vs: &VectorSet, path: &Path) -> Result<(), DataError> {
+    let mut payload = Vec::with_capacity(vs.len() * vs.dim() * 4);
+    for &v in vs.as_flat() {
+        write_f32(&mut payload, v)?;
+    }
     let mut w = BufWriter::new(std::fs::File::create(path)?);
-    write_u32(&mut w, VEC_MAGIC)?;
+    write_u32(&mut w, VEC_MAGIC_V2)?;
     write_u32(&mut w, vs.len() as u32)?;
     write_u32(&mut w, vs.dim() as u32)?;
-    for &v in vs.as_flat() {
-        write_f32(&mut w, v)?;
-    }
+    write_u64(&mut w, payload.len() as u64)?;
+    write_u64(&mut w, fnv1a64(&payload))?;
+    w.write_all(&payload)?;
     w.flush()?;
     Ok(())
 }
 
-/// Load a [`VectorSet`] from `path`.
+/// Load a [`VectorSet`] from `path` (v2 with integrity checks, or legacy
+/// v1 without them).
 pub fn load_vectors(path: &Path) -> Result<VectorSet, DataError> {
     let mut r = BufReader::new(std::fs::File::open(path)?);
-    if read_u32(&mut r)? != VEC_MAGIC {
-        return Err(DataError::Format(format!("{} is not a WKV1 vector file", path.display())));
-    }
+    let magic = read_u32(&mut r)?;
     let n = read_u32(&mut r)? as usize;
     let dim = read_u32(&mut r)? as usize;
-    let mut data = Vec::with_capacity(n * dim);
-    for _ in 0..n * dim {
-        data.push(read_f32(&mut r)?);
+    match magic {
+        VEC_MAGIC_V2 => {
+            let payload = read_checked_payload(&mut r, path)?;
+            if payload.len() != n * dim * 4 {
+                return Err(DataError::Format(format!(
+                    "{}: payload holds {} bytes, shape {n}x{dim} needs {}",
+                    path.display(),
+                    payload.len(),
+                    n * dim * 4
+                )));
+            }
+            let mut cur = payload.as_slice();
+            let mut data = Vec::with_capacity(n * dim);
+            for _ in 0..n * dim {
+                data.push(read_f32(&mut cur)?);
+            }
+            VectorSet::new(data, dim)
+        }
+        VEC_MAGIC_V1 => {
+            let mut data = Vec::with_capacity(n * dim);
+            for _ in 0..n * dim {
+                data.push(read_f32(&mut r)?);
+            }
+            VectorSet::new(data, dim)
+        }
+        _ => Err(DataError::Format(format!("{} is not a WKV vector file", path.display()))),
     }
-    VectorSet::new(data, dim)
 }
 
-/// Save per-point neighbor lists (e.g. ground truth) to `path`.
+/// Save per-point neighbor lists (e.g. ground truth) to `path` (v2 layout:
+/// length + checksum header).
 pub fn save_knn(lists: &[Vec<Neighbor>], path: &Path) -> Result<(), DataError> {
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
-    write_u32(&mut w, KNN_MAGIC)?;
-    write_u32(&mut w, lists.len() as u32)?;
+    let mut payload = Vec::new();
     for list in lists {
-        write_u32(&mut w, list.len() as u32)?;
+        write_u32(&mut payload, list.len() as u32)?;
         for nb in list {
-            write_u32(&mut w, nb.index)?;
-            write_f32(&mut w, nb.dist)?;
+            write_u32(&mut payload, nb.index)?;
+            write_f32(&mut payload, nb.dist)?;
         }
     }
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_u32(&mut w, KNN_MAGIC_V2)?;
+    write_u32(&mut w, lists.len() as u32)?;
+    write_u64(&mut w, payload.len() as u64)?;
+    write_u64(&mut w, fnv1a64(&payload))?;
+    w.write_all(&payload)?;
     w.flush()?;
     Ok(())
 }
 
-/// Load per-point neighbor lists from `path`.
-pub fn load_knn(path: &Path) -> Result<Vec<Vec<Neighbor>>, DataError> {
-    let mut r = BufReader::new(std::fs::File::open(path)?);
-    if read_u32(&mut r)? != KNN_MAGIC {
-        return Err(DataError::Format(format!("{} is not a WKK1 knn file", path.display())));
-    }
-    let n = read_u32(&mut r)? as usize;
+fn read_knn_lists(r: &mut impl Read, n: usize) -> Result<Vec<Vec<Neighbor>>, DataError> {
     let mut lists = Vec::with_capacity(n);
     for _ in 0..n {
-        let k = read_u32(&mut r)? as usize;
+        let k = read_u32(r)? as usize;
         let mut list = Vec::with_capacity(k);
         for _ in 0..k {
-            let index = read_u32(&mut r)?;
-            let dist = read_f32(&mut r)?;
+            let index = read_u32(r)?;
+            let dist = read_f32(r)?;
             list.push(Neighbor::new(index, dist));
         }
         lists.push(list);
     }
     Ok(lists)
+}
+
+/// Load per-point neighbor lists from `path` (v2 with integrity checks, or
+/// legacy v1 without them).
+pub fn load_knn(path: &Path) -> Result<Vec<Vec<Neighbor>>, DataError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let magic = read_u32(&mut r)?;
+    let n = read_u32(&mut r)? as usize;
+    match magic {
+        KNN_MAGIC_V2 => {
+            let payload = read_checked_payload(&mut r, path)?;
+            read_knn_lists(&mut payload.as_slice(), n)
+        }
+        KNN_MAGIC_V1 => read_knn_lists(&mut r, n),
+        _ => Err(DataError::Format(format!("{} is not a WKK knn file", path.display()))),
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +235,7 @@ mod tests {
     #[test]
     fn wrong_magic_is_a_format_error() {
         let p = tmp("magic");
-        std::fs::write(&p, [0u8; 16]).unwrap();
+        std::fs::write(&p, [0u8; 32]).unwrap();
         assert!(matches!(load_vectors(&p), Err(DataError::Format(_))));
         assert!(matches!(load_knn(&p), Err(DataError::Format(_))));
         std::fs::remove_file(&p).ok();
@@ -152,13 +248,86 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_fails_cleanly() {
+    fn truncated_file_is_a_typed_error() {
         let vs = DatasetSpec::UniformCube { n: 8, dim: 3 }.generate(2).vectors;
         let p = tmp("trunc");
         save_vectors(&vs, &p).unwrap();
         let bytes = std::fs::read(&p).unwrap();
         std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
-        assert!(matches!(load_vectors(&p), Err(DataError::Io(_))));
+        match load_vectors(&p) {
+            Err(DataError::Truncated { expected, got }) => {
+                assert_eq!(expected, 8 * 3 * 4);
+                assert!(got < expected);
+            }
+            other => panic!("want Truncated, got {other:?}"),
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_checksum_error() {
+        let vs = DatasetSpec::UniformCube { n: 8, dim: 3 }.generate(2).vectors;
+        let p = tmp("cksum");
+        save_vectors(&vs, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40; // single-bit flip in the payload
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(load_vectors(&p), Err(DataError::ChecksumMismatch { .. })));
+        std::fs::remove_file(&p).ok();
+
+        let lists = vec![vec![Neighbor::new(1, 0.5)]];
+        let p = tmp("cksum-knn");
+        save_knn(&lists, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(load_knn(&p), Err(DataError::ChecksumMismatch { .. })));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn trailing_bytes_are_a_format_error() {
+        let vs = DatasetSpec::UniformCube { n: 4, dim: 2 }.generate(3).vectors;
+        let p = tmp("trailing");
+        save_vectors(&vs, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes.push(0xAA);
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(load_vectors(&p), Err(DataError::Format(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        // Hand-write v1 layouts (magic, shape, raw payload, no header).
+        let p = tmp("legacy-vec");
+        let mut w = Vec::new();
+        write_u32(&mut w, VEC_MAGIC_V1).unwrap();
+        write_u32(&mut w, 2).unwrap(); // n
+        write_u32(&mut w, 3).unwrap(); // dim
+        for v in [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            write_f32(&mut w, v).unwrap();
+        }
+        std::fs::write(&p, &w).unwrap();
+        let vs = load_vectors(&p).unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs.row(1), &[4.0, 5.0, 6.0]);
+        std::fs::remove_file(&p).ok();
+
+        let p = tmp("legacy-knn");
+        let mut w = Vec::new();
+        write_u32(&mut w, KNN_MAGIC_V1).unwrap();
+        write_u32(&mut w, 1).unwrap(); // n lists
+        write_u32(&mut w, 2).unwrap(); // k of list 0
+        for nb in [Neighbor::new(4, 0.5), Neighbor::new(7, 1.0)] {
+            write_u32(&mut w, nb.index).unwrap();
+            write_f32(&mut w, nb.dist).unwrap();
+        }
+        std::fs::write(&p, &w).unwrap();
+        let lists = load_knn(&p).unwrap();
+        assert_eq!(lists, vec![vec![Neighbor::new(4, 0.5), Neighbor::new(7, 1.0)]]);
         std::fs::remove_file(&p).ok();
     }
 }

@@ -61,16 +61,9 @@ mod tests {
 
     #[test]
     fn sort_orders_by_dist_then_index() {
-        let mut v = vec![
-            Neighbor::new(5, 2.0),
-            Neighbor::new(1, 1.0),
-            Neighbor::new(0, 2.0),
-        ];
+        let mut v = vec![Neighbor::new(5, 2.0), Neighbor::new(1, 1.0), Neighbor::new(0, 2.0)];
         sort_neighbors(&mut v);
-        assert_eq!(
-            v,
-            vec![Neighbor::new(1, 1.0), Neighbor::new(0, 2.0), Neighbor::new(5, 2.0)]
-        );
+        assert_eq!(v, vec![Neighbor::new(1, 1.0), Neighbor::new(0, 2.0), Neighbor::new(5, 2.0)]);
     }
 
     #[test]

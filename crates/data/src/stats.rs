@@ -29,21 +29,15 @@ pub fn intrinsic_dim_mle(vs: &VectorSet, k: usize, sample: usize) -> f64 {
         .filter_map(|i| {
             let row = vs.row(i);
             // Distances to the k nearest (L2, not squared, for the MLE).
-            let mut d: Vec<f64> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| (sq_l2(row, vs.row(j)) as f64).sqrt())
-                .collect();
+            let mut d: Vec<f64> =
+                (0..n).filter(|&j| j != i).map(|j| (sq_l2(row, vs.row(j)) as f64).sqrt()).collect();
             d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             d.truncate(k);
             let tk = *d.last()?;
             if tk <= 0.0 {
                 return None; // duplicate-heavy neighborhood: undefined
             }
-            let s: f64 = d[..k - 1]
-                .iter()
-                .filter(|&&t| t > 0.0)
-                .map(|&t| (tk / t).ln())
-                .sum();
+            let s: f64 = d[..k - 1].iter().filter(|&&t| t > 0.0).map(|&t| (tk / t).ln()).sum();
             if s <= 0.0 {
                 None
             } else {
@@ -94,9 +88,8 @@ mod tests {
     fn manifold_intrinsic_dim_is_recovered_approximately() {
         // 4-d latent manifold in 64-d ambient space: the estimate must land
         // far below the ambient dimension and in the latent neighborhood.
-        let vs = DatasetSpec::Manifold { n: 600, ambient_dim: 64, intrinsic_dim: 4 }
-            .generate(1)
-            .vectors;
+        let vs =
+            DatasetSpec::Manifold { n: 600, ambient_dim: 64, intrinsic_dim: 4 }.generate(1).vectors;
         let d = intrinsic_dim_mle(&vs, 12, 100);
         assert!(d > 1.5 && d < 12.0, "estimated intrinsic dim {d:.2}");
     }

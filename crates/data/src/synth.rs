@@ -142,7 +142,13 @@ pub fn normal(rng: &mut SmallRng) -> f32 {
     }
 }
 
-fn gaussian_clusters(rng: &mut SmallRng, n: usize, dim: usize, clusters: usize, spread: f32) -> Vec<f32> {
+fn gaussian_clusters(
+    rng: &mut SmallRng,
+    n: usize,
+    dim: usize,
+    clusters: usize,
+    spread: f32,
+) -> Vec<f32> {
     let centers: Vec<f32> = (0..clusters * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let mut data = Vec::with_capacity(n * dim);
     for i in 0..n {
@@ -257,8 +263,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(42);
         let samples: Vec<f32> = (0..20_000).map(|_| normal(&mut rng)).collect();
         let mean: f32 = samples.iter().sum::<f32>() / samples.len() as f32;
-        let var: f32 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / samples.len() as f32;
+        let var: f32 =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / samples.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }
@@ -271,9 +277,6 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(
-            DatasetSpec::UniformCube { n: 5, dim: 2 }.name(),
-            "uniform(n=5,d=2)"
-        );
+        assert_eq!(DatasetSpec::UniformCube { n: 5, dim: 2 }.name(), "uniform(n=5,d=2)");
     }
 }

@@ -17,7 +17,7 @@ impl VectorSet {
         if dim == 0 {
             return Err(DataError::ZeroDimension);
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(DataError::RaggedBuffer { len: data.len(), dim });
         }
         for (i, v) in data.iter().enumerate() {

@@ -64,11 +64,8 @@ pub fn partition_level(
         let pivot = pivots[i];
         let below = order[s..e].iter().filter(|&&p| proj[p as usize] < pivot).count();
         let quota = left_counts[i].saturating_sub(below);
-        let mut ties: Vec<u32> = order[s..e]
-            .iter()
-            .copied()
-            .filter(|&p| proj[p as usize] == pivot)
-            .collect();
+        let mut ties: Vec<u32> =
+            order[s..e].iter().copied().filter(|&p| proj[p as usize] == pivot).collect();
         ties.sort_unstable();
         if quota == 0 {
             tie_threshold[i] = 0;
@@ -149,10 +146,7 @@ mod tests {
             let slice = &mut order[s..e];
             let mid = slice.len() / 2;
             slice.select_nth_unstable_by(mid, |&a, &b| {
-                proj[a as usize]
-                    .partial_cmp(&proj[b as usize])
-                    .unwrap()
-                    .then(a.cmp(&b))
+                proj[a as usize].partial_cmp(&proj[b as usize]).unwrap().then(a.cmp(&b))
             });
             pivots.push(proj[slice[mid] as usize]);
             lefts.push(mid);
@@ -175,8 +169,7 @@ mod tests {
         // Device run from the same starting order.
         let mut dev_order: Vec<u32> = (0..n as u32).collect();
         let dev = DeviceConfig::test_tiny();
-        let report =
-            partition_level(&dev, &mut dev_order, &ranges, &proj, &pivots, &lefts);
+        let report = partition_level(&dev, &mut dev_order, &ranges, &proj, &pivots, &lefts);
         assert!(report.cycles > 0.0);
         assert!(report.stats.atomic_ops > 0);
 

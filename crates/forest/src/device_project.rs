@@ -104,8 +104,7 @@ mod tests {
         let dev = DeviceConfig::test_tiny();
         let d_points = DeviceBuffer::from_slice(vs.as_flat());
         let mut device = vec![0.0f32; 37];
-        let report =
-            project_level(&dev, &d_points, 45, &order, &ranges, &dirs, &mut device);
+        let report = project_level(&dev, &d_points, 45, &order, &ranges, &dirs, &mut device);
 
         for i in 0..37 {
             assert!(

@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn forest_builds_independent_trees() {
         let vs = DatasetSpec::UniformCube { n: 120, dim: 8 }.generate(1).vectors;
-        let params = ForestParams { num_trees: 3, tree: TreeParams { leaf_size: 16, ..TreeParams::default() } };
+        let params = ForestParams {
+            num_trees: 3,
+            tree: TreeParams { leaf_size: 16, ..TreeParams::default() },
+        };
         let forest = build_forest(&vs, params, 77).unwrap();
         assert_eq!(forest.trees.len(), 3);
         // Trees drawn with different seeds should differ.
@@ -116,16 +119,16 @@ mod tests {
         let params = ForestParams { num_trees: 0, tree: TreeParams::default() };
         assert!(matches!(build_forest(&vs, params, 0), Err(ForestError::NoTrees)));
         let dev = DeviceConfig::test_tiny();
-        assert!(matches!(
-            build_forest_device(&vs, params, 0, &dev),
-            Err(ForestError::NoTrees)
-        ));
+        assert!(matches!(build_forest_device(&vs, params, 0, &dev), Err(ForestError::NoTrees)));
     }
 
     #[test]
     fn device_forest_matches_shape_and_reports_cycles() {
         let vs = DatasetSpec::UniformCube { n: 90, dim: 12 }.generate(4).vectors;
-        let params = ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 12, ..TreeParams::default() } };
+        let params = ForestParams {
+            num_trees: 2,
+            tree: TreeParams { leaf_size: 12, ..TreeParams::default() },
+        };
         let dev = DeviceConfig::test_tiny();
         let (forest, report) = build_forest_device(&vs, params, 5, &dev).unwrap();
         assert_eq!(forest.trees.len(), 2);
@@ -140,7 +143,10 @@ mod tests {
     #[test]
     fn forest_determinism() {
         let vs = DatasetSpec::sift_like(64).generate(2).vectors;
-        let params = ForestParams { num_trees: 2, tree: TreeParams { leaf_size: 8, ..TreeParams::default() } };
+        let params = ForestParams {
+            num_trees: 2,
+            tree: TreeParams { leaf_size: 8, ..TreeParams::default() },
+        };
         let a = build_forest(&vs, params, 11).unwrap();
         let b = build_forest(&vs, params, 11).unwrap();
         assert_eq!(a, b);

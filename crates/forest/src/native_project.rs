@@ -22,9 +22,7 @@ pub fn project_level(
         .par_iter()
         .zip(dirs.par_iter())
         .flat_map_iter(|(&(s, e), dir)| {
-            order[s..e]
-                .iter()
-                .map(move |&p| (p, dot(vs.row(p as usize), dir)))
+            order[s..e].iter().map(move |&p| (p, dot(vs.row(p as usize), dir)))
         })
         .collect();
     for (p, v) in updates {

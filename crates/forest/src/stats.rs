@@ -89,7 +89,10 @@ mod tests {
         let mk = |t: usize| {
             build_forest(
                 &vs,
-                ForestParams { num_trees: t, tree: TreeParams { leaf_size: 16, ..TreeParams::default() } },
+                ForestParams {
+                    num_trees: t,
+                    tree: TreeParams { leaf_size: 16, ..TreeParams::default() },
+                },
                 3,
             )
             .unwrap()
@@ -107,7 +110,10 @@ mod tests {
         let vs = DatasetSpec::UniformCube { n: 40, dim: 4 }.generate(1).vectors;
         let forest = build_forest(
             &vs,
-            ForestParams { num_trees: 1, tree: TreeParams { leaf_size: 64, ..TreeParams::default() } },
+            ForestParams {
+                num_trees: 1,
+                tree: TreeParams { leaf_size: 64, ..TreeParams::default() },
+            },
             1,
         )
         .unwrap();

@@ -164,9 +164,7 @@ pub fn build_tree(
 
     // Device-side copy of the points, uploaded once per tree.
     let dev_points = match &backend {
-        ProjectionBackend::Device(_) => {
-            Some(wknng_simt::DeviceBuffer::from_slice(vs.as_flat()))
-        }
+        ProjectionBackend::Device(_) => Some(wknng_simt::DeviceBuffer::from_slice(vs.as_flat())),
         ProjectionBackend::Native => None,
     };
 
@@ -180,7 +178,13 @@ pub fn build_tree(
 
         match &backend {
             ProjectionBackend::Native => {
-                crate::native_project::project_level(vs, &order, &active_ranges(&active), &dirs, &mut proj);
+                crate::native_project::project_level(
+                    vs,
+                    &order,
+                    &active_ranges(&active),
+                    &dirs,
+                    &mut proj,
+                );
             }
             ProjectionBackend::Device(dev) => {
                 let r = crate::device_project::project_level(
@@ -206,9 +210,7 @@ pub fn build_tree(
                     let mid = slice.len() / 2;
                     slice.select_nth_unstable_by(mid, |&a, &b| {
                         let (pa, pb) = (proj[a as usize], proj[b as usize]);
-                        pa.partial_cmp(&pb)
-                            .expect("projections are finite")
-                            .then(a.cmp(&b))
+                        pa.partial_cmp(&pb).expect("projections are finite").then(a.cmp(&b))
                     });
                 }
             }
@@ -225,9 +227,7 @@ pub fn build_tree(
                     let mid = scratch.len() / 2;
                     scratch.select_nth_unstable_by(mid, |&a, &b| {
                         let (pa, pb) = (proj[a as usize], proj[b as usize]);
-                        pa.partial_cmp(&pb)
-                            .expect("projections are finite")
-                            .then(a.cmp(&b))
+                        pa.partial_cmp(&pb).expect("projections are finite").then(a.cmp(&b))
                     });
                     pivots.push(proj[scratch[mid] as usize]);
                     lefts.push(mid);
@@ -281,7 +281,12 @@ mod tests {
     fn rejects_bad_params() {
         let vs = small_set(10, 3);
         assert!(matches!(
-            build_tree(&vs, TreeParams { leaf_size: 1, ..TreeParams::default() }, 0, ProjectionBackend::Native),
+            build_tree(
+                &vs,
+                TreeParams { leaf_size: 1, ..TreeParams::default() },
+                0,
+                ProjectionBackend::Native
+            ),
             Err(ForestError::LeafTooSmall(1))
         ));
         let empty = VectorSet::new(vec![], 3).unwrap();
@@ -294,8 +299,13 @@ mod tests {
     #[test]
     fn buckets_partition_the_points() {
         let vs = small_set(257, 6);
-        let (tree, rep) =
-            build_tree(&vs, TreeParams { leaf_size: 16, ..TreeParams::default() }, 5, ProjectionBackend::Native).unwrap();
+        let (tree, rep) = build_tree(
+            &vs,
+            TreeParams { leaf_size: 16, ..TreeParams::default() },
+            5,
+            ProjectionBackend::Native,
+        )
+        .unwrap();
         assert!(rep.is_none());
         assert_eq!(tree.len(), 257);
         let mut seen = vec![false; 257];
@@ -325,8 +335,13 @@ mod tests {
     #[test]
     fn tiny_input_is_one_bucket() {
         let vs = small_set(5, 3);
-        let (tree, _) =
-            build_tree(&vs, TreeParams { leaf_size: 8, ..TreeParams::default() }, 0, ProjectionBackend::Native).unwrap();
+        let (tree, _) = build_tree(
+            &vs,
+            TreeParams { leaf_size: 8, ..TreeParams::default() },
+            0,
+            ProjectionBackend::Native,
+        )
+        .unwrap();
         assert_eq!(tree.buckets.len(), 1);
         assert_eq!(tree.depth, 0);
         assert_eq!(tree.max_bucket(), 5);
@@ -335,8 +350,13 @@ mod tests {
     #[test]
     fn duplicate_points_still_terminate() {
         let vs = VectorSet::new(vec![1.0; 64 * 3], 3).unwrap();
-        let (tree, _) =
-            build_tree(&vs, TreeParams { leaf_size: 4, ..TreeParams::default() }, 1, ProjectionBackend::Native).unwrap();
+        let (tree, _) = build_tree(
+            &vs,
+            TreeParams { leaf_size: 4, ..TreeParams::default() },
+            1,
+            ProjectionBackend::Native,
+        )
+        .unwrap();
         assert_eq!(tree.len(), 64);
         assert!(tree.max_bucket() <= 4);
     }
@@ -350,8 +370,13 @@ mod tests {
             rows.push(vec![off + (i as f32) * 1e-3, off]);
         }
         let vs = VectorSet::from_rows(&rows).unwrap();
-        let (tree, _) =
-            build_tree(&vs, TreeParams { leaf_size: 8, ..TreeParams::default() }, 7, ProjectionBackend::Native).unwrap();
+        let (tree, _) = build_tree(
+            &vs,
+            TreeParams { leaf_size: 8, ..TreeParams::default() },
+            7,
+            ProjectionBackend::Native,
+        )
+        .unwrap();
         let mut mixed = 0;
         for b in &tree.buckets {
             let evens = b.iter().filter(|&&p| p % 2 == 0).count();
@@ -372,10 +397,8 @@ mod sparse_tests {
     fn sparse_trees_partition_and_terminate() {
         let vs = DatasetSpec::UniformCube { n: 200, dim: 32 }.generate(3).vectors;
         for density in [0.05f32, 0.3, 1.0] {
-            let params = TreeParams {
-                leaf_size: 16,
-                projection: ProjectionKind::SparseSign { density },
-            };
+            let params =
+                TreeParams { leaf_size: 16, projection: ProjectionKind::SparseSign { density } };
             let (tree, _) = build_tree(&vs, params, 8, ProjectionBackend::Native).unwrap();
             assert_eq!(tree.len(), 200, "density {density}");
             assert!(tree.max_bucket() <= 16);
@@ -385,10 +408,8 @@ mod sparse_tests {
     #[test]
     fn sparse_is_deterministic_and_differs_from_dense() {
         let vs = DatasetSpec::sift_like(100).generate(4).vectors;
-        let sparse = TreeParams {
-            leaf_size: 8,
-            projection: ProjectionKind::SparseSign { density: 0.2 },
-        };
+        let sparse =
+            TreeParams { leaf_size: 8, projection: ProjectionKind::SparseSign { density: 0.2 } };
         let (a, _) = build_tree(&vs, sparse, 9, ProjectionBackend::Native).unwrap();
         let (b, _) = build_tree(&vs, sparse, 9, ProjectionBackend::Native).unwrap();
         assert_eq!(a, b);
@@ -401,10 +422,8 @@ mod sparse_tests {
     fn degenerate_density_is_clamped() {
         let vs = DatasetSpec::UniformCube { n: 50, dim: 8 }.generate(5).vectors;
         for density in [0.0f32, -1.0, f32::NAN, 2.0] {
-            let params = TreeParams {
-                leaf_size: 8,
-                projection: ProjectionKind::SparseSign { density },
-            };
+            let params =
+                TreeParams { leaf_size: 8, projection: ProjectionKind::SparseSign { density } };
             let (tree, _) = build_tree(&vs, params, 1, ProjectionBackend::Native).unwrap();
             assert_eq!(tree.len(), 50);
         }

@@ -87,12 +87,8 @@ impl<'a> BlockCtx<'a> {
     /// count plus the barrier cost.
     pub fn sync(&mut self) {
         self.stats.barriers += 1;
-        let max = self
-            .warp_cycles
-            .iter()
-            .cloned()
-            .fold(0.0_f64, f64::max)
-            + self.device.sync_cycles;
+        let max =
+            self.warp_cycles.iter().cloned().fold(0.0_f64, f64::max) + self.device.sync_cycles;
         for c in &mut self.warp_cycles {
             *c = max;
         }

@@ -164,11 +164,9 @@ mod tests {
 
     #[test]
     fn presets_are_sane() {
-        for dev in [
-            DeviceConfig::pascal_like(),
-            DeviceConfig::volta_like(),
-            DeviceConfig::test_tiny(),
-        ] {
+        for dev in
+            [DeviceConfig::pascal_like(), DeviceConfig::volta_like(), DeviceConfig::test_tiny()]
+        {
             assert!(dev.sm_count >= 1);
             assert!(dev.max_warps_per_sm >= 1);
             assert!(dev.clock_ghz > 0.0);

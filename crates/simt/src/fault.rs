@@ -1,0 +1,294 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! A [`FaultPlan`] schedules faults by *fault-aware launch index*: every call
+//! to [`crate::launch::try_launch`] made while a [`FaultScope`] is installed
+//! on the current thread consumes one index. Plain [`crate::launch::launch`]
+//! calls never consult the plan, so substrate code that has no recovery path
+//! (e.g. forest construction) is unaffected. Three fault kinds are modelled:
+//!
+//! * **transient launch failures** — the launch fails at entry with
+//!   [`LaunchFault::Transient`] and has no side effects, like a sporadic
+//!   `cudaErrorLaunchFailure`; retrying the same kernel consumes the next
+//!   index and (unless that one is also scheduled) succeeds;
+//! * **shared-memory allocation failures** — the launch is rejected with
+//!   [`LaunchFault::SharedAllocFailed`], modelling a launch-configuration
+//!   error (`cudaErrorLaunchOutOfResources`). Retrying the same
+//!   configuration cannot help; the caller must degrade to a kernel that
+//!   requests less shared memory;
+//! * **single-bit memory flips** — after a scheduled launch completes, one
+//!   bit of one word of device global memory is flipped (an ECC-style
+//!   upset). The flip is delivered through [`take_due_flips`]: the pipeline
+//!   that owns the global-memory state polls after each kernel and applies
+//!   the flip with [`crate::memory::DeviceBuffer::corrupt_bit`] at a word
+//!   position derived from the plan seed.
+//!
+//! Everything is deterministic: the same plan against the same build produces
+//! the same injected faults in the same places, which is what makes recovery
+//! unit-testable.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Why a fault-aware launch was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchFault {
+    /// A transient, side-effect-free launch failure; retrying may succeed.
+    Transient {
+        /// Fault-aware launch index that failed.
+        launch: u64,
+    },
+    /// The launch configuration could not allocate its shared memory;
+    /// retrying the same configuration will fail again.
+    SharedAllocFailed {
+        /// Fault-aware launch index that failed.
+        launch: u64,
+    },
+}
+
+impl fmt::Display for LaunchFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchFault::Transient { launch } => {
+                write!(f, "transient launch failure (launch {launch})")
+            }
+            LaunchFault::SharedAllocFailed { launch } => {
+                write!(f, "shared-memory allocation failed (launch {launch})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchFault {}
+
+/// A scheduled bit flip that has become due: the owner of the device state
+/// applies it to a buffer of its choosing at `word_seed % len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingFlip {
+    /// Seeded value used to derive the target word index.
+    pub word_seed: u64,
+    /// Bit position to flip (modulo the element width).
+    pub bit: u8,
+}
+
+/// A reproducible schedule of device faults, addressed by fault-aware launch
+/// index (see the module docs for the numbering rules).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    launch_failures: BTreeSet<u64>,
+    shared_alloc_failures: BTreeSet<u64>,
+    bit_flips: BTreeMap<u64, u8>,
+}
+
+impl FaultPlan {
+    /// An empty plan; `seed` determines where scheduled bit flips land.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// Schedule a transient failure at fault-aware launch `launch`.
+    pub fn fail_launch(mut self, launch: u64) -> Self {
+        self.launch_failures.insert(launch);
+        self
+    }
+
+    /// Schedule a shared-memory allocation failure at launch `launch`.
+    pub fn fail_shared_alloc(mut self, launch: u64) -> Self {
+        self.shared_alloc_failures.insert(launch);
+        self
+    }
+
+    /// Schedule a single-bit flip of device memory after launch `launch`
+    /// completes successfully (flips scheduled on a failing launch are
+    /// dropped — the kernel never ran).
+    pub fn flip_bit(mut self, launch: u64, bit: u8) -> Self {
+        self.bit_flips.insert(launch, bit);
+        self
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.launch_failures.is_empty()
+            && self.shared_alloc_failures.is_empty()
+            && self.bit_flips.is_empty()
+    }
+}
+
+/// One fault actually delivered by an installed [`FaultScope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// A transient launch failure was delivered.
+    TransientLaunch {
+        /// Launch index it hit.
+        launch: u64,
+    },
+    /// A shared-memory allocation failure was delivered.
+    SharedAllocFailure {
+        /// Launch index it hit.
+        launch: u64,
+    },
+    /// A bit flip was queued after this launch.
+    BitFlip {
+        /// Launch index it followed.
+        launch: u64,
+        /// Bit position flipped.
+        bit: u8,
+    },
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    next_launch: u64,
+    due: Vec<PendingFlip>,
+    log: Vec<InjectedFault>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<FaultState>> = const { RefCell::new(None) };
+}
+
+/// RAII guard that arms a [`FaultPlan`] on the current thread. Dropping the
+/// scope disarms injection and discards any undelivered faults.
+///
+/// `!Send` by construction: the plan is thread-local state.
+pub struct FaultScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl FaultScope {
+    /// Install `plan` on the current thread.
+    ///
+    /// # Panics
+    /// Panics if a scope is already installed (plans do not nest).
+    pub fn install(plan: FaultPlan) -> FaultScope {
+        ACTIVE.with(|a| {
+            let mut a = a.borrow_mut();
+            assert!(a.is_none(), "a FaultScope is already installed on this thread");
+            *a = Some(FaultState { plan, next_launch: 0, due: Vec::new(), log: Vec::new() });
+        });
+        FaultScope { _not_send: PhantomData }
+    }
+
+    /// Every fault delivered so far (ground truth for tests).
+    pub fn log(&self) -> Vec<InjectedFault> {
+        ACTIVE.with(|a| a.borrow().as_ref().map(|s| s.log.clone()).unwrap_or_default())
+    }
+
+    /// Number of fault-aware launches observed so far.
+    pub fn launches(&self) -> u64 {
+        ACTIVE.with(|a| a.borrow().as_ref().map(|s| s.next_launch).unwrap_or(0))
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = None);
+    }
+}
+
+/// SplitMix64 — the standard 64-bit seed scrambler; used to derive flip
+/// positions deterministically from (plan seed, launch index).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Called by [`crate::launch::try_launch`] at entry: consumes one launch
+/// index and delivers any fault scheduled there. No scope installed → `Ok`.
+pub(crate) fn begin_launch() -> Result<(), LaunchFault> {
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        let Some(s) = a.as_mut() else { return Ok(()) };
+        let idx = s.next_launch;
+        s.next_launch += 1;
+        if s.plan.shared_alloc_failures.contains(&idx) {
+            s.log.push(InjectedFault::SharedAllocFailure { launch: idx });
+            return Err(LaunchFault::SharedAllocFailed { launch: idx });
+        }
+        if s.plan.launch_failures.contains(&idx) {
+            s.log.push(InjectedFault::TransientLaunch { launch: idx });
+            return Err(LaunchFault::Transient { launch: idx });
+        }
+        if let Some(&bit) = s.plan.bit_flips.get(&idx) {
+            s.due.push(PendingFlip { word_seed: splitmix64(s.plan.seed ^ idx), bit });
+            s.log.push(InjectedFault::BitFlip { launch: idx, bit });
+        }
+        Ok(())
+    })
+}
+
+/// Drain the bit flips that became due since the last call. The caller
+/// applies each to the device buffer holding the state under test.
+pub fn take_due_flips() -> Vec<PendingFlip> {
+    ACTIVE.with(|a| a.borrow_mut().as_mut().map(|s| std::mem::take(&mut s.due)).unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_scope_means_no_faults() {
+        assert_eq!(begin_launch(), Ok(()));
+        assert!(take_due_flips().is_empty());
+    }
+
+    #[test]
+    fn plan_delivers_scheduled_faults_in_order() {
+        let plan = FaultPlan::new(7).fail_launch(1).flip_bit(2, 61).fail_shared_alloc(3);
+        assert!(!plan.is_empty());
+        let scope = FaultScope::install(plan);
+        assert_eq!(begin_launch(), Ok(())); // launch 0
+        assert_eq!(begin_launch(), Err(LaunchFault::Transient { launch: 1 }));
+        assert_eq!(begin_launch(), Ok(())); // launch 2, queues the flip
+        let flips = take_due_flips();
+        assert_eq!(flips.len(), 1);
+        assert_eq!(flips[0].bit, 61);
+        assert_eq!(flips[0].word_seed, splitmix64(7 ^ 2));
+        assert!(take_due_flips().is_empty(), "flips are drained once");
+        assert_eq!(begin_launch(), Err(LaunchFault::SharedAllocFailed { launch: 3 }));
+        assert_eq!(
+            scope.log(),
+            vec![
+                InjectedFault::TransientLaunch { launch: 1 },
+                InjectedFault::BitFlip { launch: 2, bit: 61 },
+                InjectedFault::SharedAllocFailure { launch: 3 },
+            ]
+        );
+        assert_eq!(scope.launches(), 4);
+    }
+
+    #[test]
+    fn dropping_the_scope_disarms_injection() {
+        {
+            let _scope = FaultScope::install(FaultPlan::new(0).fail_launch(0));
+        }
+        assert_eq!(begin_launch(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "already installed")]
+    fn scopes_do_not_nest() {
+        let _a = FaultScope::install(FaultPlan::new(0));
+        let _b = FaultScope::install(FaultPlan::new(1));
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        assert_ne!(splitmix64(0), 0);
+    }
+
+    #[test]
+    fn display_names_the_fault() {
+        let t = LaunchFault::Transient { launch: 5 };
+        assert!(t.to_string().contains("transient"));
+        let s = LaunchFault::SharedAllocFailed { launch: 6 };
+        assert!(s.to_string().contains("shared-memory"));
+    }
+}

@@ -7,6 +7,7 @@ use std::ops::AddAssign;
 use crate::block::BlockCtx;
 use crate::cache::L2Cache;
 use crate::device::DeviceConfig;
+use crate::fault::{self, LaunchFault};
 use crate::stats::Stats;
 
 /// Result of simulating one kernel launch (or a merged sequence of them).
@@ -77,9 +78,8 @@ fn schedule(block_cycles: &[f64], slots: u32) -> f64 {
     if block_cycles.is_empty() {
         return 0.0;
     }
-    let mut heap: BinaryHeap<Reverse<Finish>> = (0..slots.min(block_cycles.len()))
-        .map(|_| Reverse(Finish(0.0)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<Finish>> =
+        (0..slots.min(block_cycles.len())).map(|_| Reverse(Finish(0.0))).collect();
     let mut makespan = 0.0_f64;
     for &c in block_cycles {
         let Reverse(Finish(start)) = heap.pop().expect("heap sized > 0");
@@ -97,8 +97,33 @@ fn schedule(block_cycles: &[f64], slots: u32) -> f64 {
 /// 1. the makespan of greedily scheduling the per-block cycle counts onto
 ///    `device.concurrent_blocks(warps_per_block)` slots, and
 /// 2. a DRAM roofline, `dram_bytes / dram_bytes_per_cycle`,
+///
 /// taking the maximum — a memory-bound kernel is pinned to the roofline.
 pub fn launch(
+    device: &DeviceConfig,
+    blocks: usize,
+    warps_per_block: usize,
+    kernel: impl FnMut(&mut BlockCtx),
+) -> LaunchReport {
+    simulate(device, blocks, warps_per_block, kernel)
+}
+
+/// Fault-aware variant of [`launch`]: consults the thread's installed
+/// [`crate::fault::FaultScope`] (if any) before simulating. Each call consumes
+/// one fault-aware launch index; a scheduled fault at that index makes the
+/// launch fail *at entry*, with no side effects on device memory, mirroring a
+/// CUDA launch error. Without an installed scope this is exactly [`launch`].
+pub fn try_launch(
+    device: &DeviceConfig,
+    blocks: usize,
+    warps_per_block: usize,
+    kernel: impl FnMut(&mut BlockCtx),
+) -> Result<LaunchReport, LaunchFault> {
+    fault::begin_launch()?;
+    Ok(simulate(device, blocks, warps_per_block, kernel))
+}
+
+fn simulate(
     device: &DeviceConfig,
     blocks: usize,
     warps_per_block: usize,
@@ -113,8 +138,7 @@ pub fn launch(
     // sharing the L2; give each block its proportional share of the cache so
     // a kernel cannot pretend the whole L2 is private to one bucket.
     let resident = (device.concurrent_blocks(warps_per_block as u32) as usize).min(blocks.max(1));
-    let l2_sectors =
-        device.l2_bytes as usize / crate::device::SECTOR_BYTES / resident.max(1);
+    let l2_sectors = device.l2_bytes as usize / crate::device::SECTOR_BYTES / resident.max(1);
     let mut l2 = L2Cache::new(l2_sectors);
     for b in 0..blocks {
         let mut ctx = BlockCtx::new(device, b, warps_per_block, &mut l2);
@@ -188,10 +212,7 @@ mod tests {
         // A deliberately bandwidth-starved device: per-warp transaction cost
         // says 8 B/cycle/warp, but the device can only sink 4 B/cycle total,
         // so any occupancy > 1 warp pins the kernel to the DRAM roofline.
-        let dev = DeviceConfig {
-            dram_bytes_per_cycle: 4.0,
-            ..DeviceConfig::test_tiny()
-        };
+        let dev = DeviceConfig { dram_bytes_per_cycle: 4.0, ..DeviceConfig::test_tiny() };
         let buf = crate::memory::DeviceBuffer::<f32>::zeroed(1 << 16);
         let report = launch(&dev, 8, 1, |blk| {
             let base = blk.block_idx * 32 * 64;
@@ -239,5 +260,48 @@ mod tests {
     fn zero_warp_blocks_rejected() {
         let dev = DeviceConfig::test_tiny();
         let _ = launch(&dev, 1, 0, |_| {});
+    }
+
+    #[test]
+    fn try_launch_without_scope_matches_launch() {
+        let dev = DeviceConfig::test_tiny();
+        let body = |blk: &mut BlockCtx| {
+            blk.each_warp(|w| w.charge_alu(Mask::FULL, 7));
+        };
+        let plain = launch(&dev, 3, 2, body);
+        let faulty = try_launch(&dev, 3, 2, body).expect("no scope installed");
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn try_launch_fails_at_entry_without_side_effects() {
+        use crate::fault::{FaultPlan, FaultScope, LaunchFault};
+        let dev = DeviceConfig::test_tiny();
+        let buf = crate::memory::DeviceBuffer::<u32>::zeroed(32);
+        let _scope = FaultScope::install(FaultPlan::new(1).fail_launch(0));
+        let body = |blk: &mut BlockCtx| {
+            blk.each_warp(|w| {
+                let idx = w.math_idx(Mask::FULL, |l| l);
+                let vals = w.math(Mask::FULL, |_| 1u32);
+                w.st_global(&buf, &idx, &vals, Mask::FULL);
+            });
+        };
+        assert_eq!(try_launch(&dev, 1, 1, body), Err(LaunchFault::Transient { launch: 0 }));
+        assert_eq!(buf.to_vec(), vec![0u32; 32], "failed launch must not touch memory");
+        // The retry consumes the next (clean) index and succeeds.
+        assert!(try_launch(&dev, 1, 1, body).is_ok());
+        assert_eq!(buf.to_vec(), vec![1u32; 32]);
+    }
+
+    #[test]
+    fn plain_launch_ignores_installed_plan() {
+        use crate::fault::{FaultPlan, FaultScope};
+        let dev = DeviceConfig::test_tiny();
+        let scope = FaultScope::install(FaultPlan::new(0).fail_launch(0));
+        let report = launch(&dev, 1, 1, |blk| {
+            blk.each_warp(|w| w.charge_alu(Mask::FULL, 1));
+        });
+        assert_eq!(report.blocks, 1);
+        assert_eq!(scope.launches(), 0, "plain launch is not fault-aware");
     }
 }

@@ -48,6 +48,7 @@
 pub mod block;
 pub mod cache;
 pub mod device;
+pub mod fault;
 pub mod lane;
 pub mod launch;
 pub mod memory;
@@ -59,8 +60,11 @@ pub mod warp;
 
 pub use block::BlockCtx;
 pub use device::{DeviceConfig, SECTOR_BYTES, SHARED_BANKS, WARP_LANES};
+pub use fault::{
+    splitmix64, take_due_flips, FaultPlan, FaultScope, InjectedFault, LaunchFault, PendingFlip,
+};
 pub use lane::{lane_ids, LaneVec, Mask};
-pub use launch::{launch, LaunchReport};
+pub use launch::{launch, try_launch, LaunchReport};
 pub use memory::{DeviceBuffer, Pod};
 pub use shared::SharedArray;
 pub use stats::Stats;

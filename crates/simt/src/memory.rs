@@ -104,26 +104,17 @@ fn next_buffer_id() -> u64 {
 impl<T: Pod> DeviceBuffer<T> {
     /// Allocate `len` zero-initialised elements.
     pub fn zeroed(len: usize) -> Self {
-        DeviceBuffer {
-            data: RefCell::new(vec![T::default(); len]),
-            id: next_buffer_id(),
-        }
+        DeviceBuffer { data: RefCell::new(vec![T::default(); len]), id: next_buffer_id() }
     }
 
     /// Allocate and fill with `value`.
     pub fn filled(len: usize, value: T) -> Self {
-        DeviceBuffer {
-            data: RefCell::new(vec![value; len]),
-            id: next_buffer_id(),
-        }
+        DeviceBuffer { data: RefCell::new(vec![value; len]), id: next_buffer_id() }
     }
 
     /// Upload a host slice.
     pub fn from_slice(host: &[T]) -> Self {
-        DeviceBuffer {
-            data: RefCell::new(host.to_vec()),
-            id: next_buffer_id(),
-        }
+        DeviceBuffer { data: RefCell::new(host.to_vec()), id: next_buffer_id() }
     }
 
     /// Number of elements.
@@ -160,6 +151,16 @@ impl<T: Pod> DeviceBuffer<T> {
     /// Host-side bulk overwrite; `host.len()` must equal `self.len()`.
     pub fn copy_from_slice(&self, host: &[T]) {
         self.data.borrow_mut().copy_from_slice(host);
+    }
+
+    /// Flip one bit of the element at `idx`, modelling an uncorrected
+    /// ECC-style memory upset. `bit` is taken modulo the element width, so
+    /// any `u8` names a valid bit. Used by the fault-injection harness; the
+    /// flip is a plain bit operation with no cost accounting.
+    pub fn corrupt_bit(&self, idx: usize, bit: u32) {
+        let mut data = self.data.borrow_mut();
+        let bits = data[idx].to_bits64() ^ (1u64 << (bit as usize % (T::SIZE * 8)));
+        data[idx] = T::from_bits64(bits);
     }
 
     /// Borrow the backing storage immutably (kernel-internal).
@@ -203,6 +204,19 @@ mod tests {
         assert_eq!(buf.read(0), 0);
         buf.copy_from_slice(&[5, 6]);
         assert_eq!(buf.to_vec(), vec![5, 6]);
+    }
+
+    #[test]
+    fn corrupt_bit_flips_exactly_one_bit() {
+        let buf = DeviceBuffer::<u64>::zeroed(4);
+        buf.corrupt_bit(2, 61);
+        assert_eq!(buf.read(2), 1u64 << 61);
+        buf.corrupt_bit(2, 61);
+        assert_eq!(buf.read(2), 0, "flipping twice restores the word");
+        // Bit positions wrap modulo the element width.
+        let small = DeviceBuffer::<u32>::zeroed(1);
+        small.corrupt_bit(0, 33);
+        assert_eq!(small.read(0), 1u32 << 1);
     }
 
     #[test]

@@ -72,7 +72,12 @@ pub fn exclusive_scan_u32(w: &mut WarpCtx, vals: &LaneVec<u32>, mask: Mask) -> L
 }
 
 /// Broadcast the value held by `src_lane` to every active lane.
-pub fn broadcast_f32(w: &mut WarpCtx, vals: &LaneVec<f32>, src_lane: usize, mask: Mask) -> LaneVec<f32> {
+pub fn broadcast_f32(
+    w: &mut WarpCtx,
+    vals: &LaneVec<f32>,
+    src_lane: usize,
+    mask: Mask,
+) -> LaneVec<f32> {
     let src = LaneVec::splat(src_lane);
     w.shfl(vals, &src, mask)
 }
@@ -85,9 +90,8 @@ pub fn broadcast_f32(w: &mut WarpCtx, vals: &LaneVec<f32>, src_lane: usize, mask
 /// (shuffle + min/max select) each.
 pub fn bitonic_sort_u64(w: &mut WarpCtx, vals: &LaneVec<u64>, mask: Mask) -> LaneVec<u64> {
     w.charge_alu(Mask::FULL, 15 * 3);
-    let mut v: Vec<u64> = (0..WARP_LANES)
-        .map(|l| if mask.active(l) { vals.get(l) } else { u64::MAX })
-        .collect();
+    let mut v: Vec<u64> =
+        (0..WARP_LANES).map(|l| if mask.active(l) { vals.get(l) } else { u64::MAX }).collect();
     v.sort_unstable();
     LaneVec::from_fn(|l| v[l])
 }
@@ -257,10 +261,7 @@ mod sort_compact_tests {
         with_warp(|w| {
             let vals = LaneVec::from_fn(|l| l as u64);
             let sorted = bitonic_sort_u64(w, &vals, Mask::first(5));
-            assert_eq!(
-                (0..5).map(|l| sorted.get(l)).collect::<Vec<_>>(),
-                vec![0, 1, 2, 3, 4]
-            );
+            assert_eq!((0..5).map(|l| sorted.get(l)).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
             assert!((5..32).all(|l| sorted.get(l) == u64::MAX));
         });
     }

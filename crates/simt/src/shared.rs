@@ -47,11 +47,7 @@ pub struct SharedMem {
 
 impl SharedMem {
     pub(crate) fn new(capacity: usize) -> Self {
-        SharedMem {
-            bytes: RefCell::new(vec![0u8; capacity]),
-            next: Cell::new(0),
-            capacity,
-        }
+        SharedMem { bytes: RefCell::new(vec![0u8; capacity]), next: Cell::new(0), capacity }
     }
 
     /// Bytes currently allocated.
@@ -71,7 +67,7 @@ impl SharedMem {
     /// same condition that makes a real CUDA launch fail.
     pub(crate) fn alloc<T: Pod>(&self, len: usize) -> SharedArray<T> {
         let align = T::SIZE.max(1);
-        let start = (self.next.get() + align - 1) / align * align;
+        let start = self.next.get().div_ceil(align) * align;
         let end = start + len * T::SIZE;
         assert!(
             end <= self.capacity,
@@ -79,11 +75,7 @@ impl SharedMem {
             self.capacity
         );
         self.next.set(end);
-        SharedArray {
-            byte_offset: start,
-            len,
-            _elem: PhantomData,
-        }
+        SharedArray { byte_offset: start, len, _elem: PhantomData }
     }
 
     /// Reset the arena (between logically independent kernel phases).
@@ -124,12 +116,7 @@ pub(crate) fn bank_replays(addrs: &[usize]) -> u64 {
             words_per_bank[bank].push(word);
         }
     }
-    words_per_bank
-        .iter()
-        .map(|w| w.len() as u64)
-        .max()
-        .unwrap_or(0)
-        .max(1)
+    words_per_bank.iter().map(|w| w.len() as u64).max().unwrap_or(0).max(1)
 }
 
 #[cfg(test)]

@@ -155,21 +155,13 @@ mod tests {
 
     #[test]
     fn divergence_ratio_counts_inactive_share() {
-        let s = Stats {
-            lane_ops: 24,
-            inactive_lane_slots: 8,
-            ..Stats::default()
-        };
+        let s = Stats { lane_ops: 24, inactive_lane_slots: 8, ..Stats::default() };
         assert!((s.divergence_ratio() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn atomic_contention_is_serializations_per_op() {
-        let s = Stats {
-            atomic_ops: 10,
-            atomic_serializations: 5,
-            ..Stats::default()
-        };
+        let s = Stats { atomic_ops: 10, atomic_serializations: 5, ..Stats::default() };
         assert!((s.atomic_contention() - 0.5).abs() < 1e-12);
     }
 }

@@ -197,8 +197,8 @@ impl<'a> WarpCtx<'a> {
             }
         }
         self.charge_issue(mask, 1);
-        self.cycles += self.device.atomic_base_cycles
-            + serialized as f64 * self.device.atomic_conflict_cycles;
+        self.cycles +=
+            self.device.atomic_base_cycles + serialized as f64 * self.device.atomic_conflict_cycles;
     }
 
     /// Per-lane `atomicCAS` on a `u64` buffer. Lanes execute in ascending

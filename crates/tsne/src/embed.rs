@@ -57,11 +57,7 @@ impl Embedding {
 
     /// Number of embedded points.
     pub fn len(&self) -> usize {
-        if self.out_dim == 0 {
-            0
-        } else {
-            self.coords.len() / self.out_dim
-        }
+        self.coords.len().checked_div(self.out_dim).unwrap_or(0)
     }
 
     /// True when the embedding holds no points.
@@ -239,10 +235,7 @@ mod tests {
     #[test]
     fn three_dimensional_output() {
         let (aff, _) = cluster_affinities(60);
-        let emb = embed(
-            &aff,
-            &TsneParams { out_dim: 3, iters: 30, ..TsneParams::default() },
-        );
+        let emb = embed(&aff, &TsneParams { out_dim: 3, iters: 30, ..TsneParams::default() });
         assert_eq!(emb.point(0).len(), 3);
         assert_eq!(emb.len(), 60);
     }

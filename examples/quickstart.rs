@@ -34,10 +34,8 @@ fn main() {
 
     // Simulated-GPU build with the tiled warp-centric kernel.
     let dev = DeviceConfig::pascal_like();
-    let (g2, reports) = builder
-        .variant(KernelVariant::Tiled)
-        .build_device(vs, &dev)
-        .expect("valid parameters");
+    let (g2, reports) =
+        builder.variant(KernelVariant::Tiled).build_device(vs, &dev).expect("valid parameters");
     let total = reports.total();
     println!(
         "w-KNNG device:     {:.3} simulated ms on {} ({:.1}M cycles, {:.1}% divergence), recall@{k} = {:.3}",

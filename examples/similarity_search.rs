@@ -51,9 +51,8 @@ fn main() {
         let (approx, sstats) = search(vs, &graph, q, &params);
         evals += sstats.distance_evals;
         // Exact answer by brute force for scoring.
-        let mut exact: Vec<Neighbor> = (0..n)
-            .map(|j| Neighbor::new(j as u32, sq_l2(q, vs.row(j))))
-            .collect();
+        let mut exact: Vec<Neighbor> =
+            (0..n).map(|j| Neighbor::new(j as u32, sq_l2(q, vs.row(j)))).collect();
         exact.sort_by(|a, b| a.key().partial_cmp(&b.key()).expect("finite"));
         exact.truncate(k);
         total += k;

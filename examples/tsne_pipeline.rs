@@ -44,7 +44,8 @@ fn main() {
 
     // 3. Gradient descent.
     let t2 = std::time::Instant::now();
-    let emb = embed(&aff, &TsneParams { iters: 250, learning_rate: 150.0, ..TsneParams::default() });
+    let emb =
+        embed(&aff, &TsneParams { iters: 250, learning_rate: 150.0, ..TsneParams::default() });
     println!(
         "embedding: {:.1} ms, KL {:.3} -> {:.3}",
         t2.elapsed().as_secs_f64() * 1e3,

@@ -21,24 +21,34 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parse `argv` (without the program name).
+    /// Parse `argv` (without the program name). A flag followed by another
+    /// flag (or by nothing) is a boolean switch and stores `"true"`, so
+    /// `--strict` and `--strict true` are equivalent.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         let command = it.next().ok_or("missing subcommand")?.clone();
         let mut flags = HashMap::new();
         while let Some(f) = it.next() {
             let key = f.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {f}"))?;
-            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-            flags.insert(key.to_string(), val.clone());
+            let val = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(key.to_string(), val);
         }
         Ok(Args { command, flags })
     }
 
     /// Fetch a flag value parsed as `T`, or the default.
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        self.get_opt(key).map(|v| v.unwrap_or(default))
+    }
+
+    /// Fetch a flag value parsed as `T`, or `None` when absent.
+    pub fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
         match self.flags.get(key) {
-            None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("--{key}: cannot parse '{v}'")),
         }
     }
 
@@ -69,7 +79,9 @@ pub fn cmd_generate(args: &Args) -> Result<String, String> {
             ambient_dim: dim,
             intrinsic_dim: args.get("intrinsic", 6usize)?,
         },
-        other => return Err(format!("unknown --kind '{other}' (clusters|uniform|sphere|manifold)")),
+        other => {
+            return Err(format!("unknown --kind '{other}' (clusters|uniform|sphere|manifold)"))
+        }
     };
     let ds = spec.generate(seed);
     io::save_vectors(&ds.vectors, Path::new(out)).map_err(|e| e.to_string())?;
@@ -77,16 +89,30 @@ pub fn cmd_generate(args: &Args) -> Result<String, String> {
 }
 
 /// `build`: construct a K-NN graph from `--input`, write it to `--out`.
+///
+/// Device builds accept a failure policy (`--strict` fails fast on any
+/// fault, `--degrade` — the default — retries and falls back) and
+/// deterministic fault injection for exercising it: `--fail-launch N`
+/// injects one transient failure at fault-aware launch `N`, `--flip-launch N
+/// [--flip-bit B]` flips one slot bit after launch `N`.
 pub fn cmd_build(args: &Args) -> Result<String, String> {
     let input = args.require("input")?;
     let out = args.require("out")?;
     let k = args.get("k", 10usize)?;
+    let seed = args.get("seed", 1u64)?;
+    let strict = args.get("strict", false)?;
+    if strict && args.get("degrade", false)? {
+        return Err("--strict and --degrade are mutually exclusive".into());
+    }
     let vs = io::load_vectors(Path::new(input)).map_err(|e| e.to_string())?;
-    let builder = WknngBuilder::new(k)
+    let mut builder = WknngBuilder::new(k)
         .trees(args.get("trees", 8usize)?)
         .leaf_size(args.get("leaf", 64usize)?)
         .exploration(args.get("explore", 1usize)?)
-        .seed(args.get("seed", 1u64)?);
+        .seed(seed);
+    if strict {
+        builder = builder.strict();
+    }
     let device: String = args.get("device", "native".to_string())?;
     let (lists, summary) = match device.as_str() {
         "native" => {
@@ -94,13 +120,28 @@ pub fn cmd_build(args: &Args) -> Result<String, String> {
             (g.lists, format!("{:.1} ms native", timings.total_ms()))
         }
         "sim" => {
+            let mut plan = FaultPlan::new(args.get("fault-seed", seed)?);
+            if let Some(l) = args.get_opt::<u64>("fail-launch")? {
+                plan = plan.fail_launch(l);
+            }
+            if let Some(l) = args.get_opt::<u64>("flip-launch")? {
+                plan = plan.flip_bit(l, args.get("flip-bit", 61u8)?);
+            }
+            let _scope = (!plan.is_empty()).then(|| FaultScope::install(plan));
             let dev = DeviceConfig::pascal_like();
-            let (g, reports) = builder
+            let (g, reports, events) = builder
                 .auto_variant(vs.dim())
-                .build_device(&vs, &dev)
+                .build_device_audited(&vs, &dev)
                 .map_err(|e| e.to_string())?;
             let profile = wknng_simt::report::summary(&reports.total(), &dev);
-            (g.lists, format!("{:.3} simulated ms\n{profile}", reports.total_ms(&dev)))
+            (
+                g.lists,
+                format!(
+                    "{:.3} simulated ms [{}]\n{profile}",
+                    reports.total_ms(&dev),
+                    events.summary()
+                ),
+            )
         }
         other => return Err(format!("unknown --device '{other}' (native|sim)")),
     };
@@ -170,8 +211,7 @@ pub fn cmd_search(args: &Args) -> Result<String, String> {
     let graph = Knng { lists, params: WknngBuilder::new(k).params() };
     let params = SearchParams { k, beam, entries: 4, metric: Metric::SquaredL2 };
     let (res, stats) = search(&vs, &graph, vs.row(qid), &params);
-    let hits: Vec<String> =
-        res.iter().map(|nb| format!("{}({:.4})", nb.index, nb.dist)).collect();
+    let hits: Vec<String> = res.iter().map(|nb| format!("{}({:.4})", nb.index, nb.dist)).collect();
     Ok(format!(
         "query {qid}: [{}] in {} distance evals / {} expansions",
         hits.join(", "),
@@ -195,14 +235,42 @@ pub fn cmd_extend(args: &Args) -> Result<String, String> {
         return Err("graph is empty".into());
     }
     let graph = Knng { lists, params: WknngBuilder::new(k).params() };
-    let ext = extend_graph(&vs, &graph, &new, args.get("beam", 0usize)?)
-        .map_err(|e| e.to_string())?;
+    let ext =
+        extend_graph(&vs, &graph, &new, args.get("beam", 0usize)?).map_err(|e| e.to_string())?;
     io::save_vectors(&ext.vectors, Path::new(out_vecs)).map_err(|e| e.to_string())?;
     io::save_knn(&ext.graph.lists, Path::new(out_graph)).map_err(|e| e.to_string())?;
+    Ok(format!("extended {} + {} points -> {out_vecs}, {out_graph}", vs.len(), new.len()))
+}
+
+/// `audit`: check a stored graph's structural invariants. With `--input`
+/// the stored distances are also verified against a recomputation.
+pub fn cmd_audit(args: &Args) -> Result<String, String> {
+    let graph = args.require("graph")?;
+    let lists = io::load_knn(Path::new(graph)).map_err(|e| e.to_string())?;
+    let k = lists.iter().map(|l| l.len()).max().unwrap_or(0);
+    let report = match args.get_opt::<String>("input")? {
+        None => audit_graph(&lists, lists.len(), k),
+        Some(input) => {
+            let vs = io::load_vectors(Path::new(&input)).map_err(|e| e.to_string())?;
+            if lists.len() != vs.len() {
+                return Err(format!(
+                    "graph covers {} points, dataset has {}",
+                    lists.len(),
+                    vs.len()
+                ));
+            }
+            let slots = lists_to_slots(&lists, k);
+            audit_slots(&slots, &vs, k, Metric::SquaredL2)
+        }
+    };
+    let corrupted = report.corrupted_points();
+    let verdict = if corrupted.is_empty() { "OK" } else { "CORRUPT" };
     Ok(format!(
-        "extended {} + {} points -> {out_vecs}, {out_graph}",
-        vs.len(),
-        new.len()
+        "{verdict}: {} points, {} findings ({} corruption-class, {} corrupted points)",
+        lists.len(),
+        report.total(),
+        report.corruption_count(),
+        corrupted.len()
     ))
 }
 
@@ -216,6 +284,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "info" => cmd_info(args),
         "search" => cmd_search(args),
         "extend" => cmd_extend(args),
+        "audit" => cmd_audit(args),
         "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     }
@@ -229,9 +298,12 @@ wknng-cli — approximate K-NN graphs from the command line
            [--dim 32] [--clusters 8] [--spread 0.25] [--intrinsic 6] [--seed 42]
   build    --input d.wkv --out g.wkk [--k 10] [--trees 8] [--leaf 64]
            [--explore 1] [--seed 1] [--device native|sim]
+           [--strict | --degrade] [--fault-seed S] [--fail-launch N]
+           [--flip-launch N] [--flip-bit 61]
   recall   --input d.wkv --graph g.wkk
   stats    --graph g.wkk
   info     --input d.wkv
+  audit    --graph g.wkk [--input d.wkv]
   search   --input d.wkv --graph g.wkk [--query 0] [--k 10] [--beam 48]
   extend   --input d.wkv --graph g.wkk --new more.wkv
            --out-vectors d2.wkv --out-graph g2.wkk [--beam 0]
@@ -259,9 +331,23 @@ mod tests {
         assert_eq!(a.require("input").unwrap(), "x.wkv");
         assert_eq!(a.get("k", 10usize).unwrap(), 7);
         assert_eq!(a.get("trees", 8usize).unwrap(), 8);
+        assert_eq!(a.get_opt::<usize>("trees").unwrap(), None);
         assert!(a.require("missing").is_err());
         assert!(Args::parse(&[]).is_err());
         assert!(Args::parse(&["x".into(), "notaflag".into()]).is_err());
+    }
+
+    #[test]
+    fn boolean_switches_need_no_value() {
+        // Trailing switch, switch followed by another flag, explicit value.
+        let a = args("build --strict --input x.wkv --degrade false --verbose");
+        assert_eq!(a.get("strict", false).unwrap(), true);
+        assert_eq!(a.get("degrade", true).unwrap(), false);
+        assert_eq!(a.get("verbose", false).unwrap(), true);
+        assert_eq!(a.require("input").unwrap(), "x.wkv");
+        // A junk value is still a parse error, not silently true.
+        let a = args("build --strict maybe");
+        assert!(a.get("strict", false).is_err());
     }
 
     #[test]
@@ -304,6 +390,60 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("simulated"));
+        assert!(out.contains("0 retries"), "{out}");
+        std::fs::remove_file(&vecs).ok();
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn fault_injected_build_recovers_and_reports() {
+        let vecs = tmp("fault.wkv");
+        let graph = tmp("fault.wkk");
+        dispatch(&args(&format!("generate --out {vecs} --kind uniform --n 60 --dim 6"))).unwrap();
+        // Default (degraded) policy rides through an injected transient
+        // launch failure and reports the retry in the event summary.
+        let out = dispatch(&args(&format!(
+            "build --input {vecs} --out {graph} --k 4 --trees 2 --leaf 16 \
+             --device sim --degrade --fail-launch 0"
+        )))
+        .unwrap();
+        assert!(out.contains("1 retries"), "{out}");
+        // The same fault under --strict is a typed error, not a panic.
+        let err = dispatch(&args(&format!(
+            "build --input {vecs} --out {graph} --k 4 --trees 2 --leaf 16 \
+             --device sim --strict --fail-launch 0"
+        )))
+        .unwrap_err();
+        assert!(err.contains("launch failed"), "{err}");
+        // The two policies are mutually exclusive.
+        assert!(dispatch(&args(&format!(
+            "build --input {vecs} --out {graph} --device sim --strict --degrade"
+        )))
+        .is_err());
+        std::fs::remove_file(&vecs).ok();
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn audit_subcommand_reports_verdicts() {
+        let vecs = tmp("audit.wkv");
+        let graph = tmp("audit.wkk");
+        dispatch(&args(&format!("generate --out {vecs} --kind uniform --n 50 --dim 5"))).unwrap();
+        dispatch(&args(&format!("build --input {vecs} --out {graph} --k 4 --trees 3 --leaf 12")))
+            .unwrap();
+        // A freshly built graph audits clean, with and without the vectors.
+        let out = dispatch(&args(&format!("audit --graph {graph}"))).unwrap();
+        assert!(out.starts_with("OK"), "{out}");
+        let out = dispatch(&args(&format!("audit --graph {graph} --input {vecs}"))).unwrap();
+        assert!(out.starts_with("OK"), "{out}");
+        // Corrupt one stored distance: structural audit still passes, the
+        // distance-verifying audit catches it.
+        let mut lists = io::load_knn(Path::new(&graph)).unwrap();
+        lists[3][0].dist += 100.0;
+        io::save_knn(&lists, Path::new(&graph)).unwrap();
+        let out = dispatch(&args(&format!("audit --graph {graph} --input {vecs}"))).unwrap();
+        assert!(out.starts_with("CORRUPT"), "{out}");
+        assert!(out.contains("1 corrupted points"), "{out}");
         std::fs::remove_file(&vecs).ok();
         std::fs::remove_file(&graph).ok();
     }
@@ -345,22 +485,17 @@ mod extended_cli_tests {
             "generate --out {vecs} --kind manifold --n 250 --dim 16 --intrinsic 3 --seed 4"
         )))
         .unwrap();
-        dispatch(&args(&format!(
-            "build --input {vecs} --out {graph} --k 6 --trees 4 --leaf 16"
-        )))
-        .unwrap();
+        dispatch(&args(&format!("build --input {vecs} --out {graph} --k 6 --trees 4 --leaf 16")))
+            .unwrap();
 
         // Searching with an indexed point finds it at distance ~0 first.
-        let out = dispatch(&args(&format!(
-            "search --input {vecs} --graph {graph} --query 7 --k 3"
-        )))
-        .unwrap();
+        let out =
+            dispatch(&args(&format!("search --input {vecs} --graph {graph} --query 7 --k 3")))
+                .unwrap();
         assert!(out.starts_with("query 7: [7(0.0000)"), "{out}");
         // Out-of-range query id is a clean error.
-        assert!(dispatch(&args(&format!(
-            "search --input {vecs} --graph {graph} --query 9999"
-        )))
-        .is_err());
+        assert!(dispatch(&args(&format!("search --input {vecs} --graph {graph} --query 9999")))
+            .is_err());
 
         dispatch(&args(&format!(
             "generate --out {more} --kind manifold --n 40 --dim 16 --intrinsic 3 --seed 5"

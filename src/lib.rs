@@ -68,19 +68,23 @@ pub use wknng_tsne as tsne;
 /// The commonly used names in one import.
 pub mod prelude {
     pub use wknng_baseline::{
-        brute_force_device, brute_force_warpselect, ivf_knng_device, nn_descent,
-        train_kmeans, Hnsw, HnswParams, IvfFlat, IvfParams, NnDescentParams,
+        brute_force_device, brute_force_warpselect, ivf_knng_device, nn_descent, train_kmeans,
+        Hnsw, HnswParams, IvfFlat, IvfParams, NnDescentParams,
     };
     pub use wknng_core::{
-        build_device, build_native, extend_graph, graph_stats, mean_distance_ratio, recall,
-        search, symmetrize, DeviceReports, ExplorationMode, Extended, GraphStats,
-        KernelVariant, Knng, KnngError, PhaseTimings, SearchParams, SearchStats,
-        WknngBuilder, WknngParams,
+        audit_graph, audit_slots, build_device, build_device_with_policy, build_native,
+        extend_graph, graph_stats, lists_to_slots, mean_distance_ratio, recall, repair_list,
+        search, symmetrize, AuditLevel, AuditReport, BuildEvent, BuildEvents, BuildPhase,
+        BuildPolicy, DeviceReports, ExplorationMode, Extended, GraphStats, KernelVariant, Knng,
+        KnngError, PhaseTimings, SearchParams, SearchStats, ViolationKind, WknngBuilder,
+        WknngParams,
     };
     pub use wknng_data::{
-        exact_knn, sq_l2, Dataset, DatasetSpec, Metric, Neighbor, VectorSet,
+        exact_knn, sq_l2, DataError, Dataset, DatasetSpec, Metric, Neighbor, VectorSet,
     };
     pub use wknng_forest::{build_forest, ForestParams, ProjectionKind, RpForest, TreeParams};
-    pub use wknng_simt::{DeviceConfig, LaunchReport, Stats};
+    pub use wknng_simt::{
+        DeviceConfig, FaultPlan, FaultScope, InjectedFault, LaunchFault, LaunchReport, Stats,
+    };
     pub use wknng_tsne::{affinities_from_knng, tsne_via_wknng, Embedding, TsneParams};
 }

@@ -4,9 +4,7 @@
 use wknng::prelude::*;
 
 fn clustered(n: usize, seed: u64) -> VectorSet {
-    DatasetSpec::GaussianClusters { n, dim: 12, clusters: 6, spread: 0.25 }
-        .generate(seed)
-        .vectors
+    DatasetSpec::GaussianClusters { n, dim: 12, clusters: 6, spread: 0.25 }.generate(seed).vectors
 }
 
 #[test]

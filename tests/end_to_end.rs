@@ -36,19 +36,13 @@ fn every_variant_matches_native_on_every_generator() {
         let vs = spec.generate(3).vectors;
         let builder = WknngBuilder::new(5).trees(2).leaf_size(12).exploration(1).seed(5);
         let (native, _) = builder.build_native(&vs).expect("valid");
-        let nidx: Vec<Vec<u32>> = native
-            .lists
-            .iter()
-            .map(|l| l.iter().map(|nb| nb.index).collect())
-            .collect();
+        let nidx: Vec<Vec<u32>> =
+            native.lists.iter().map(|l| l.iter().map(|nb| nb.index).collect()).collect();
         for variant in KernelVariant::ALL {
             let (device, reports) =
                 builder.variant(variant).build_device(&vs, &dev).expect("valid");
-            let didx: Vec<Vec<u32>> = device
-                .lists
-                .iter()
-                .map(|l| l.iter().map(|nb| nb.index).collect())
-                .collect();
+            let didx: Vec<Vec<u32>> =
+                device.lists.iter().map(|l| l.iter().map(|nb| nb.index).collect()).collect();
             assert_eq!(didx, nidx, "{} / {:?}", spec.name(), variant);
             assert!(reports.total().cycles > 0.0);
         }
@@ -88,9 +82,8 @@ fn device_baselines_are_exact_where_promised() {
 fn approximate_methods_beat_their_cost_budgets() {
     // The point of the paper: at matched recall, w-KNNG needs fewer cycles
     // than the IVF baseline on the same (simulated) hardware.
-    let vs = DatasetSpec::Manifold { n: 320, ambient_dim: 64, intrinsic_dim: 5 }
-        .generate(13)
-        .vectors;
+    let vs =
+        DatasetSpec::Manifold { n: 320, ambient_dim: 64, intrinsic_dim: 5 }.generate(13).vectors;
     let truth = exact_knn(&vs, 8, Metric::SquaredL2);
     let dev = DeviceConfig::scaled_gpu();
 

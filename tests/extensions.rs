@@ -2,8 +2,8 @@
 //! symmetrization, graph search, HNSW, sparse projections, quantization and
 //! the device slot-sorting kernel.
 
-use wknng::core::kernels::{sort_slots_device, DeviceState, TreeLayout};
 use wknng::core::kernels::run_basic;
+use wknng::core::kernels::{sort_slots_device, DeviceState, TreeLayout};
 use wknng::prelude::*;
 
 fn manifold(n: usize, seed: u64) -> VectorSet {
@@ -115,7 +115,7 @@ fn device_sorted_slots_decode_to_the_same_graph() {
     .expect("valid");
     let state = DeviceState::upload(&vs, 6);
     for tree in &forest.trees {
-        run_basic(&dev, &state, &TreeLayout::upload(tree, 100));
+        run_basic(&dev, &state, &TreeLayout::upload(tree, 100)).expect("no fault plan installed");
     }
     let before = state.download();
     let report = sort_slots_device(&dev, &state).expect("k <= 32");

@@ -34,10 +34,7 @@ fn k_out_of_range_is_a_typed_error() {
 #[test]
 fn degenerate_forest_parameters_are_rejected() {
     let vs = DatasetSpec::UniformCube { n: 20, dim: 4 }.generate(0).vectors;
-    assert!(matches!(
-        WknngBuilder::new(3).trees(0).build_native(&vs),
-        Err(KnngError::Forest(_))
-    ));
+    assert!(matches!(WknngBuilder::new(3).trees(0).build_native(&vs), Err(KnngError::Forest(_))));
     assert!(matches!(
         WknngBuilder::new(3).leaf_size(1).build_native(&vs),
         Err(KnngError::Forest(_))
@@ -49,18 +46,22 @@ fn device_constraints_are_typed() {
     let vs = DatasetSpec::UniformCube { n: 50, dim: 4 }.generate(0).vectors;
     let dev = DeviceConfig::test_tiny();
     // Non-L2 metric on device.
-    let err = WknngBuilder::new(3)
-        .metric(Metric::Cosine)
-        .build_device(&vs, &dev)
-        .unwrap_err();
+    let err = WknngBuilder::new(3).metric(Metric::Cosine).build_device(&vs, &dev).unwrap_err();
     assert!(matches!(err, KnngError::UnsupportedDeviceMetric(_)));
-    // Tiled bucket beyond shared-memory capacity.
+    // Tiled bucket beyond shared-memory capacity: a typed error under the
+    // strict policy; the default policy degrades to the atomic kernel.
     let err = WknngBuilder::new(3)
         .variant(KernelVariant::Tiled)
         .leaf_size(100_000)
+        .strict()
         .build_device(&vs, &dev)
         .unwrap_err();
     assert!(matches!(err, KnngError::LeafTooLargeForTiled { .. }));
+    assert!(WknngBuilder::new(3)
+        .variant(KernelVariant::Tiled)
+        .leaf_size(100_000)
+        .build_device(&vs, &dev)
+        .is_ok());
     // The same leaf size is fine for non-tiled variants (clamped by n).
     assert!(WknngBuilder::new(3)
         .variant(KernelVariant::Basic)
@@ -102,6 +103,164 @@ fn tiny_inputs_work_on_both_backends() {
     assert_eq!(g.lists, gd.lists);
 }
 
+// ---------------------------------------------------------------------------
+// Injected device faults: the FaultPlan / BuildPolicy / audit machinery.
+//
+// Fault-aware launch indices cover the bucket and exploration kernels only
+// (forest construction and slot sorting use the plain infallible launcher):
+// index 0..num_trees-1 are the per-tree bucket launches, exploration
+// follows, and every retry attempt consumes an index of its own.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transient_launch_failures_recover_within_budget() {
+    let vs = DatasetSpec::UniformCube { n: 80, dim: 6 }.generate(9).vectors;
+    let dev = DeviceConfig::test_tiny();
+    let builder = WknngBuilder::new(5).trees(2).leaf_size(16).exploration(1).seed(7);
+    let (clean, _) = builder.build_device(&vs, &dev).unwrap();
+
+    // Two consecutive transient failures on the first bucket launch: the
+    // first attempt (index 0) and its first retry (index 1) both fail.
+    let scope = FaultScope::install(FaultPlan::new(1).fail_launch(0).fail_launch(1));
+    let (faulty, _, events) = builder.build_device_audited(&vs, &dev).unwrap();
+    drop(scope);
+
+    assert_eq!(events.retries(), 2, "{}", events.summary());
+    assert!(events.as_slice().iter().all(|e| !matches!(e, BuildEvent::VariantDegraded { .. })));
+    // Failures happen at launch entry, before any side effect: the recovered
+    // build is identical to the fault-free one.
+    assert_eq!(faulty.lists, clean.lists);
+}
+
+#[test]
+fn exhausted_retry_budget_is_a_typed_error() {
+    let vs = DatasetSpec::UniformCube { n: 40, dim: 4 }.generate(2).vectors;
+    let dev = DeviceConfig::test_tiny();
+    // Default policy allows 3 retries; 4 consecutive transients exceed it.
+    let plan = (0..=3).fold(FaultPlan::new(1), |p, l| p.fail_launch(l));
+    let _scope = FaultScope::install(plan);
+    let err = WknngBuilder::new(3).trees(2).leaf_size(8).build_device(&vs, &dev).unwrap_err();
+    assert!(matches!(err, KnngError::LaunchFailed { attempts: 4, .. }), "{err}");
+}
+
+#[test]
+fn bit_flip_is_audited_and_repaired() {
+    let vs = DatasetSpec::UniformCube { n: 80, dim: 6 }.generate(9).vectors;
+    let dev = DeviceConfig::test_tiny();
+    let builder = WknngBuilder::new(5).trees(2).leaf_size(16).exploration(1).seed(7);
+
+    // Flip an exponent bit of one packed slot after the final fault-aware
+    // launch (2 bucket trees = indices 0..1, exploration = index 2), so no
+    // later kernel can overwrite the corruption before the audit sees it.
+    let scope = FaultScope::install(FaultPlan::new(33).flip_bit(2, 61));
+    let (healed, _, events) = builder.build_device_audited(&vs, &dev).unwrap();
+    drop(scope);
+
+    assert_eq!(events.bit_flips(), 1, "{}", events.summary());
+    assert_eq!(events.repairs(), 1, "{}", events.summary());
+    assert!(events
+        .as_slice()
+        .iter()
+        .any(|e| matches!(e, BuildEvent::AuditCompleted { corrupted: 1, .. })));
+    // The healed slot array audits clean end to end.
+    let slots = lists_to_slots(&healed.lists, 5);
+    let report = audit_slots(&slots, &vs, 5, Metric::SquaredL2);
+    assert!(report.corrupted_points().is_empty());
+}
+
+#[test]
+fn shared_alloc_failure_degrades_tiled_to_atomic() {
+    let vs = DatasetSpec::UniformCube { n: 80, dim: 6 }.generate(4).vectors;
+    let dev = DeviceConfig::test_tiny();
+    let builder = WknngBuilder::new(5)
+        .trees(2)
+        .leaf_size(16)
+        .exploration(1)
+        .seed(3)
+        .variant(KernelVariant::Tiled);
+    let (clean_atomic, _) = builder.variant(KernelVariant::Atomic).build_device(&vs, &dev).unwrap();
+
+    // A shared-memory allocation failure on the first tiled launch is not
+    // retryable: the policy falls down the kernel chain instead.
+    let scope = FaultScope::install(FaultPlan::new(5).fail_shared_alloc(0));
+    let (degraded, _, events) = builder.build_device_audited(&vs, &dev).unwrap();
+    drop(scope);
+
+    assert_eq!(events.degradations(), 1, "{}", events.summary());
+    assert!(events.as_slice().iter().any(|e| matches!(
+        e,
+        BuildEvent::VariantDegraded { from: KernelVariant::Tiled, to: KernelVariant::Atomic, .. }
+    )));
+    // All three variants maintain identical k-NN sets, so the degraded build
+    // matches a clean atomic-from-the-start build exactly — recall included.
+    assert_eq!(degraded.lists, clean_atomic.lists);
+}
+
+#[test]
+fn strict_policy_turns_faults_into_typed_errors_not_panics() {
+    let vs = DatasetSpec::UniformCube { n: 60, dim: 5 }.generate(6).vectors;
+    let dev = DeviceConfig::test_tiny();
+    let builder = WknngBuilder::new(4).trees(2).leaf_size(12).exploration(1).strict();
+
+    let scope = FaultScope::install(FaultPlan::new(1).fail_launch(0));
+    let err = builder.build_device(&vs, &dev).unwrap_err();
+    drop(scope);
+    assert!(matches!(err, KnngError::LaunchFailed { attempts: 1, .. }), "{err}");
+
+    // A bit flip under strict (audit without repair) is an audit failure.
+    let scope = FaultScope::install(FaultPlan::new(8).flip_bit(2, 61));
+    let err = builder.build_device(&vs, &dev).unwrap_err();
+    drop(scope);
+    assert!(matches!(err, KnngError::AuditFailed { repaired: 0, .. }), "{err}");
+}
+
+#[test]
+fn acceptance_one_transient_plus_one_flip_under_default_policy() {
+    // The issue's acceptance scenario: one transient launch failure plus one
+    // bit flip, fixed seeds throughout. The default policy must complete,
+    // log exactly the expected recovery events, and land within 0.01 recall
+    // of the fault-free build.
+    let vs = DatasetSpec::GaussianClusters { n: 120, dim: 8, clusters: 6, spread: 0.3 }
+        .generate(13)
+        .vectors;
+    let dev = DeviceConfig::test_tiny();
+    let builder = WknngBuilder::new(5).trees(3).leaf_size(16).exploration(1).seed(17);
+    let (clean, _) = builder.build_device(&vs, &dev).unwrap();
+
+    // Index 0 fails and retries (consuming index 1); trees occupy 1..=3;
+    // exploration is index 4 — flip one slot bit right after it.
+    let plan = FaultPlan::new(99).fail_launch(0).flip_bit(4, 61);
+    let scope = FaultScope::install(plan);
+    let (recovered, _, events) = builder.build_device_audited(&vs, &dev).unwrap();
+    drop(scope);
+
+    // Exactly one retry, one flip, one audit, one repair — nothing else.
+    assert_eq!(events.retries(), 1, "{}", events.summary());
+    assert_eq!(events.bit_flips(), 1, "{}", events.summary());
+    assert_eq!(events.repairs(), 1, "{}", events.summary());
+    assert_eq!(events.degradations(), 0, "{}", events.summary());
+    assert_eq!(events.len(), 4, "{}", events.summary());
+    assert!(matches!(
+        events.as_slice()[0],
+        BuildEvent::LaunchRetried { phase: BuildPhase::Bucket, attempt: 1, .. }
+    ));
+    assert!(matches!(events.as_slice()[2], BuildEvent::AuditCompleted { corrupted: 1, .. }));
+
+    let truth = exact_knn(&vs, 5, Metric::SquaredL2);
+    let r_clean = recall(&clean.lists, &truth);
+    let r_recovered = recall(&recovered.lists, &truth);
+    assert!(
+        (r_clean - r_recovered).abs() <= 0.01,
+        "recall drifted: clean {r_clean:.4} vs recovered {r_recovered:.4}"
+    );
+
+    // The same plan under strict() is a typed error, never a panic.
+    let scope = FaultScope::install(FaultPlan::new(99).fail_launch(0).flip_bit(4, 61));
+    let err = builder.strict().build_device(&vs, &dev).unwrap_err();
+    drop(scope);
+    assert!(matches!(err, KnngError::LaunchFailed { .. }), "{err}");
+}
+
 #[test]
 fn corrupt_files_fail_cleanly() {
     let dir = std::env::temp_dir();
@@ -109,5 +268,17 @@ fn corrupt_files_fail_cleanly() {
     std::fs::write(&p, b"definitely not a wknng file").unwrap();
     assert!(wknng::data::io::load_vectors(&p).is_err());
     assert!(wknng::data::io::load_knn(&p).is_err());
+
+    // Truncation and byte corruption of a real file are *typed* errors.
+    let vs = DatasetSpec::UniformCube { n: 10, dim: 4 }.generate(1).vectors;
+    wknng::data::io::save_vectors(&vs, &p).unwrap();
+    let bytes = std::fs::read(&p).unwrap();
+    std::fs::write(&p, &bytes[..bytes.len() - 7]).unwrap();
+    assert!(matches!(wknng::data::io::load_vectors(&p), Err(DataError::Truncated { .. })));
+    let mut bytes = bytes;
+    let mid = bytes.len() - 3;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&p, &bytes).unwrap();
+    assert!(matches!(wknng::data::io::load_vectors(&p), Err(DataError::ChecksumMismatch { .. })));
     std::fs::remove_file(&p).ok();
 }
