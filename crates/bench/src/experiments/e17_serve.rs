@@ -1,0 +1,116 @@
+//! E17 (extension) — serving-engine sweep: batch size × shard count.
+//!
+//! The build experiments (E1–E16) measure graph *construction*; this one
+//! measures the other half of the ROADMAP's north star — answering a query
+//! stream against a built graph. An out-of-sample stream is replayed
+//! through [`wknng_serve::ServeEngine`] at each operating point and the
+//! engine's own [`wknng_serve::ServeReport`] supplies the numbers: batching
+//! amortises per-batch overhead (larger `batch` → higher throughput, higher
+//! p95), sharding adds parallelism until the queue, not the workers, is the
+//! bottleneck.
+
+use std::time::Duration;
+
+use wknng_core::{SearchParams, WknngBuilder};
+use wknng_data::{DatasetSpec, VectorSet};
+use wknng_serve::{ServeConfig, ServeEngine, ServeError, ServeIndex, Ticket};
+
+use crate::experiments::Scale;
+use crate::table::{f3, Table};
+
+/// Replay every query through `engine`, waiting out transient overload.
+fn replay(engine: &ServeEngine, queries: &VectorSet) -> usize {
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(queries.len());
+    for q in 0..queries.len() {
+        loop {
+            match engine.submit(queries.row(q).to_vec()) {
+                Ok(t) => break tickets.push(t),
+                Err(ServeError::Overloaded { .. }) => {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) => panic!("replay failed: {e}"),
+            }
+        }
+    }
+    tickets.into_iter().filter_map(|t| t.wait().ok()).count()
+}
+
+/// Sweep batch size × shard count over one index and query stream.
+pub fn run(scale: Scale) -> String {
+    let n = scale.pick(4000, 300);
+    let nq = scale.pick(1000, 60);
+    let dim = 16;
+    let all = DatasetSpec::Manifold { n: n + nq, ambient_dim: dim, intrinsic_dim: 3 }
+        .generate(171)
+        .vectors;
+    let vs = VectorSet::new(all.as_flat()[..n * dim].to_vec(), dim).expect("well-formed split");
+    let queries =
+        VectorSet::new(all.as_flat()[n * dim..].to_vec(), dim).expect("well-formed split");
+    let (graph, _) = WknngBuilder::new(10)
+        .trees(6)
+        .leaf_size(32)
+        .exploration(2)
+        .seed(172)
+        .build_native(&vs)
+        .expect("valid build");
+
+    let shard_counts: Vec<usize> = if scale.quick { vec![1, 2] } else { vec![1, 2, 4] };
+    let batch_sizes: Vec<usize> = if scale.quick { vec![1, 16] } else { vec![1, 8, 32, 128] };
+    let mut t = Table::new(
+        format!("E17: serving sweep (n={n}, {nq} out-of-sample queries, k=10)").as_str(),
+        &["shards", "batch", "qps", "p50-us", "p95-us", "mean-batch", "evals/q"],
+    );
+    for &shards in &shard_counts {
+        for &batch in &batch_sizes {
+            let index = ServeIndex::from_parts(vs.clone(), graph.lists.clone())
+                .expect("index matches vectors");
+            let engine = ServeEngine::start(
+                index,
+                ServeConfig {
+                    shards,
+                    batch_size: batch,
+                    linger: Duration::from_micros(200),
+                    queue_capacity: 4096,
+                    params: SearchParams::default(),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("valid config");
+            let served = replay(&engine, &queries);
+            let report = engine.shutdown();
+            assert_eq!(served, nq, "every query must be answered");
+            t.row(vec![
+                shards.to_string(),
+                batch.to_string(),
+                format!("{:.0}", report.throughput_qps),
+                format!("{:.0}", report.latency_p(50.0).as_secs_f64() * 1e6),
+                format!("{:.0}", report.latency_p(95.0).as_secs_f64() * 1e6),
+                f3(report.mean_batch),
+                format!("{:.0}", report.mean_distance_evals),
+            ]);
+        }
+    }
+    let mut out = t.render();
+    out.push_str(
+        "reading: throughput is wall-clock (host threads), latency is per-query\n\
+         submit-to-answer; batch=1 minimises p50 while large batches trade queueing\n\
+         delay for coalescing — the same latency/throughput frontier a GPU server\n\
+         rides when packing one query per warp. evals/q is identical everywhere:\n\
+         batching never changes the answers, only the schedule.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_sweep_renders_all_operating_points() {
+        let out = run(Scale { quick: true });
+        assert!(out.contains("E17"));
+        assert!(out.contains("qps"));
+        // 2 shard counts x 2 batch sizes, plus title/header/reading lines.
+        assert!(out.lines().filter(|l| l.starts_with(|c: char| c.is_ascii_digit())).count() >= 4);
+    }
+}

@@ -21,6 +21,15 @@ pub enum KnngError {
     },
     /// The device kernels implement squared L2 only (the paper's metric).
     UnsupportedDeviceMetric(wknng_data::Metric),
+    /// A search beam narrower than `k` cannot hold a full result list.
+    BeamTooNarrow {
+        /// Requested beam width.
+        beam: usize,
+        /// Requested result size.
+        k: usize,
+    },
+    /// A search needs at least one entry point.
+    ZeroEntries,
     /// The tiled kernel must stage a whole bucket in shared memory; this
     /// leaf size does not fit the selected device. Only reachable when
     /// degradation is disabled ([`crate::params::BuildPolicy::strict()`]) —
@@ -63,6 +72,10 @@ impl fmt::Display for KnngError {
             KnngError::UnsupportedDeviceMetric(m) => {
                 write!(f, "device kernels support SquaredL2 only, got {m:?}")
             }
+            KnngError::BeamTooNarrow { beam, k } => {
+                write!(f, "search beam {beam} is narrower than k = {k}")
+            }
+            KnngError::ZeroEntries => write!(f, "search needs at least one entry point"),
             KnngError::LeafTooLargeForTiled { leaf, max } => {
                 write!(
                     f,
@@ -111,6 +124,13 @@ mod tests {
         assert!(matches!(e, KnngError::Data(_)));
         let e: KnngError = ForestError::NoTrees.into();
         assert!(matches!(e, KnngError::Forest(_)));
+    }
+
+    #[test]
+    fn display_covers_search_param_variants() {
+        let e = KnngError::BeamTooNarrow { beam: 4, k: 10 };
+        assert!(e.to_string().contains("beam 4"), "{e}");
+        assert!(KnngError::ZeroEntries.to_string().contains("entry point"));
     }
 
     #[test]

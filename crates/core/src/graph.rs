@@ -89,6 +89,50 @@ pub fn slots_to_lists(slots: &[u64], n: usize, k: usize) -> Vec<Vec<Neighbor>> {
         .collect()
 }
 
+/// Add the reverse of every directed edge so greedy descent can escape weak
+/// components (the caveat documented on
+/// [`crate::search::SearchParams::entries`]), keeping each point's
+/// *existing* neighbors and filling the remaining capacity (up to
+/// `max_degree`, default `2k`) with the nearest reverse edges.
+///
+/// This differs from [`crate::metrics::symmetrize`], which caps by keeping
+/// the globally nearest edges and may therefore *drop* forward edges of
+/// hub-adjacent points: a navigable graph must keep its forward (out-)edges
+/// — they are the descent directions — and only *add* escape routes. The
+/// serve loader applies this as an opt-in preprocessing step.
+pub fn augment_reverse(lists: &[Vec<Neighbor>], max_degree: Option<usize>) -> Vec<Vec<Neighbor>> {
+    let k = lists.iter().map(|l| l.len()).max().unwrap_or(0);
+    let cap = max_degree.unwrap_or(2 * k).max(k);
+    // Collect the reverse edges per point, skipping ones already mutual.
+    let mut reverse: Vec<Vec<Neighbor>> = vec![Vec::new(); lists.len()];
+    for (i, list) in lists.iter().enumerate() {
+        for nb in list {
+            let j = nb.index as usize;
+            if !lists[j].iter().any(|r| r.index as usize == i) {
+                reverse[j].push(Neighbor::new(i as u32, nb.dist));
+            }
+        }
+    }
+    lists
+        .iter()
+        .zip(reverse)
+        .map(|(fwd, mut rev)| {
+            let mut out = fwd.clone();
+            // Unique by construction: each point contributes at most one
+            // directed edge to `j`, so `rev` holds distinct indices.
+            sort_neighbors(&mut rev);
+            for nb in rev {
+                if out.len() >= cap {
+                    break;
+                }
+                out.push(nb);
+            }
+            sort_neighbors(&mut out);
+            out
+        })
+        .collect()
+}
+
 /// Encode host lists into a fresh `n × k` packed slot vector (EMPTY-padded).
 pub fn lists_to_slots(lists: &[Vec<Neighbor>], k: usize) -> Vec<u64> {
     let mut slots = vec![EMPTY_SLOT; lists.len() * k];
@@ -158,5 +202,59 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn slot_shape_is_checked() {
         let _ = slots_to_lists(&[0u64; 5], 2, 3);
+    }
+
+    #[test]
+    fn augment_adds_reverse_edges_without_dropping_forward_ones() {
+        // 2 -> 0 with a large distance: symmetrize-with-cap would evict it
+        // from 0's list; augment must keep 0's own forward edge AND add the
+        // escape edge 0 -> 2 in the spare capacity.
+        let lists = vec![
+            vec![Neighbor::new(1, 1.0)],
+            vec![Neighbor::new(0, 1.0)],
+            vec![Neighbor::new(0, 50.0)],
+        ];
+        let aug = augment_reverse(&lists, Some(2));
+        assert!(aug[0].iter().any(|e| e.index == 1), "forward edge kept");
+        assert!(aug[0].iter().any(|e| e.index == 2 && e.dist == 50.0), "reverse edge added");
+        assert!(aug[2].iter().any(|e| e.index == 0), "2's forward edge kept");
+        for list in &aug {
+            assert!(list.len() <= 2);
+            for w in list.windows(2) {
+                assert!(w[0].key() <= w[1].key(), "lists stay sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn augment_fills_capacity_nearest_first_and_skips_mutual_edges() {
+        // Everyone points at 0; 0 has one forward edge (to 1, mutual).
+        let lists = vec![
+            vec![Neighbor::new(1, 1.0)],
+            vec![Neighbor::new(0, 1.0)],
+            vec![Neighbor::new(0, 3.0)],
+            vec![Neighbor::new(0, 2.0)],
+            vec![Neighbor::new(0, 9.0)],
+        ];
+        let aug = augment_reverse(&lists, Some(3));
+        // 0 keeps its forward edge and gains the two *nearest* reverse
+        // edges (3 at 2.0, 2 at 3.0); 4 at 9.0 does not fit.
+        let idx: Vec<u32> = aug[0].iter().map(|e| e.index).collect();
+        assert_eq!(idx, vec![1, 3, 2]);
+        // The mutual pair 0 <-> 1 must not be duplicated.
+        assert_eq!(aug[1].len(), 1);
+    }
+
+    #[test]
+    fn augment_connects_a_ring_and_tolerates_empty_graphs() {
+        let lists = vec![
+            vec![Neighbor::new(1, 1.0)],
+            vec![Neighbor::new(2, 1.0)],
+            vec![Neighbor::new(0, 1.0)],
+        ];
+        let aug = augment_reverse(&lists, None);
+        let s = crate::metrics::graph_stats(&aug);
+        assert_eq!(s.symmetry, 1.0);
+        assert!(augment_reverse(&[], None).is_empty());
     }
 }

@@ -1,0 +1,404 @@
+//! Batched beam search: the query-serving kernel.
+//!
+//! One warp per **query** (where construction kernels run one warp per
+//! *point*): each warp descends the built graph from the scrambled entry
+//! points, keeps its beam in a packed `u64` slot row (the same
+//! max-replacement protocol as construction, via
+//! [`warp_insert_exclusive`]), and expands frontier nodes by loading
+//! adjacency rows warp-wide and evaluating candidate distances one lane per
+//! candidate.
+//!
+//! The kernel is a *bit-exact* mirror of the host reference
+//! [`crate::search::search_lists`]: the entry scramble-and-probe sequence,
+//! the frontier pop order, the insertion order (adjacency-list order), the
+//! greedy termination test, and — crucially — the floating-point summation
+//! order of the distance (`lane_query_dists` replicates `sq_l2`'s 8-wide
+//! blocked accumulation per lane) are all identical. Batching therefore
+//! cannot change any individual result, which is the invariant the serving
+//! engine's tests pin down.
+
+use wknng_data::{Metric, Neighbor, VectorSet};
+use wknng_simt::{
+    try_launch, DeviceBuffer, DeviceConfig, LaneVec, LaunchFault, LaunchReport, Mask, WarpCtx,
+    WARP_LANES,
+};
+
+use crate::graph::{slots_to_lists, EMPTY_SLOT};
+use crate::kernels::basic::WARPS_PER_BLOCK;
+use crate::kernels::explore::NO_NEIGHBOR;
+use crate::kernels::insert::warp_insert_exclusive;
+use crate::search::{entry_point, SearchParams, SearchStats};
+use wknng_simt::primitives::reduce_max_u64;
+
+/// A device-resident searchable index: the point coordinates plus the
+/// adjacency rows of a *finished* graph (row-major `n × deg`,
+/// [`NO_NEIGHBOR`]-padded, list order preserved).
+#[derive(Debug)]
+pub struct SearchIndex {
+    /// Point coordinates, row-major `n × dim`.
+    pub points: DeviceBuffer<f32>,
+    /// Adjacency rows, `n × deg`.
+    pub adj: DeviceBuffer<u32>,
+    /// Number of indexed points.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Padded neighbor-row width (max list length).
+    pub deg: usize,
+}
+
+impl SearchIndex {
+    /// Upload a vector set and its neighbor lists.
+    ///
+    /// The adjacency width is the longest list (so augmented graphs — see
+    /// [`crate::graph::augment_reverse`] — upload without truncation).
+    pub fn upload(vs: &VectorSet, lists: &[Vec<Neighbor>]) -> SearchIndex {
+        assert_eq!(lists.len(), vs.len(), "graph/vector count mismatch");
+        let n = vs.len();
+        let deg = lists.iter().map(|l| l.len()).max().unwrap_or(0).max(1);
+        let mut adj = vec![NO_NEIGHBOR; n * deg];
+        for (p, list) in lists.iter().enumerate() {
+            for (i, nb) in list.iter().enumerate() {
+                adj[p * deg + i] = nb.index;
+            }
+        }
+        SearchIndex {
+            points: DeviceBuffer::from_slice(vs.as_flat()),
+            adj: DeviceBuffer::from_slice(&adj),
+            n,
+            dim: vs.dim(),
+            deg,
+        }
+    }
+}
+
+/// Result of one batched search launch.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-query ranked results (ascending `(dist, index)`, length ≤ `k`).
+    pub results: Vec<Vec<Neighbor>>,
+    /// Per-query work counters.
+    pub stats: Vec<SearchStats>,
+    /// Simulated launch report (cycles, memory traffic).
+    pub report: LaunchReport,
+}
+
+/// Per-lane query↔point squared-L2 distances, bit-exact with the host
+/// [`wknng_data::sq_l2`]: each active lane accumulates its own candidate's
+/// distance in the host's exact order (eight interleaved partials over the
+/// 8-aligned prefix, partials summed left-to-right, then the tail terms in
+/// order). Loads gather one coordinate per candidate per instruction; the
+/// query row is a broadcast load.
+fn lane_query_dists(
+    w: &mut WarpCtx,
+    points: &DeviceBuffer<f32>,
+    queries: &DeviceBuffer<f32>,
+    dim: usize,
+    q: usize,
+    pts: &LaneVec<usize>,
+    mask: Mask,
+) -> LaneVec<f32> {
+    let mut acc = [LaneVec::<f32>::zeroed(); 8];
+    let chunks = dim / 8;
+    for c in 0..chunks {
+        for (i, slot) in acc.iter_mut().enumerate() {
+            let col = c * 8 + i;
+            let qi = w.math_idx(mask, |_| q * dim + col);
+            let a = w.ld_global(queries, &qi, mask);
+            let pi = w.math_idx(mask, |l| pts.get(l) * dim + col);
+            let b = w.ld_global(points, &pi, mask);
+            let prev = *slot;
+            *slot = w.math_keep(mask, &prev, |l| {
+                let d = a.get(l) - b.get(l);
+                prev.get(l) + d * d
+            });
+        }
+    }
+    let mut sum = acc[0];
+    for p in &acc[1..] {
+        sum = w.math_keep(mask, &sum, |l| sum.get(l) + p.get(l));
+    }
+    for col in chunks * 8..dim {
+        let qi = w.math_idx(mask, |_| q * dim + col);
+        let a = w.ld_global(queries, &qi, mask);
+        let pi = w.math_idx(mask, |l| pts.get(l) * dim + col);
+        let b = w.ld_global(points, &pi, mask);
+        sum = w.math_keep(mask, &sum, |l| {
+            let d = a.get(l) - b.get(l);
+            sum.get(l) + d * d
+        });
+    }
+    sum
+}
+
+/// Warp-parallel max over query `q`'s beam row — the current worst beam
+/// entry (only meaningful once the beam is full; empty slots pack as
+/// [`EMPTY_SLOT`] = `u64::MAX` and would dominate).
+fn warp_worst(w: &mut WarpCtx, beams: &DeviceBuffer<u64>, q: usize, bw: usize) -> u64 {
+    let base = q * bw;
+    let mut worst = 0u64;
+    let mut c = 0usize;
+    while c < bw {
+        let width = (bw - c).min(WARP_LANES);
+        let mask = Mask::first(width);
+        let idx = w.math_idx(mask, |l| base + c + l);
+        let vals = w.ld_global(beams, &idx, mask);
+        if let Some((v, _)) = reduce_max_u64(w, &vals, mask) {
+            worst = worst.max(v);
+        }
+        c += WARP_LANES;
+    }
+    worst
+}
+
+/// Run one batch of queries through the graph, one query per warp.
+///
+/// `params` follows the same normalization as [`crate::search::search_lists`]
+/// (beam clamped up to `k`, entries clamped to `1..=n`); pass
+/// pre-[`SearchParams::validated`] parameters to get typed errors instead.
+/// Squared L2 only — the serving layer rejects other metrics with
+/// [`crate::error::KnngError::UnsupportedDeviceMetric`] before reaching the
+/// kernel.
+///
+/// Fault-aware like the construction kernels: an injected launch fault
+/// surfaces as `Err` and leaves no partial results (buffers are private to
+/// the call).
+pub fn run_search_batch(
+    dev: &DeviceConfig,
+    ix: &SearchIndex,
+    queries: &VectorSet,
+    params: &SearchParams,
+) -> Result<BatchResult, LaunchFault> {
+    assert_eq!(params.metric, Metric::SquaredL2, "device beam search supports SquaredL2 only");
+    assert_eq!(queries.dim(), ix.dim, "query dimensionality mismatch");
+    let (n, deg) = (ix.n, ix.deg);
+    let nq = queries.len();
+    let bw = params.beam.max(params.k).max(1);
+    if nq == 0 || n == 0 {
+        return Ok(BatchResult {
+            results: vec![Vec::new(); nq],
+            stats: vec![SearchStats { distance_evals: 0, expansions: 0 }; nq],
+            report: LaunchReport::default(),
+        });
+    }
+    let entries = params.entries.clamp(1, n);
+
+    let qbuf = DeviceBuffer::from_slice(queries.as_flat());
+    let beams = DeviceBuffer::filled(nq * bw, EMPTY_SLOT);
+    let visited = DeviceBuffer::filled(nq * n, 0u32);
+    let mut stats = vec![SearchStats { distance_evals: 0, expansions: 0 }; nq];
+
+    let blocks = nq.div_ceil(WARPS_PER_BLOCK);
+    let report = try_launch(dev, blocks, WARPS_PER_BLOCK, |blk| {
+        blk.each_warp(|w| {
+            let q = w.global_warp;
+            if q >= nq {
+                return;
+            }
+            let vbase = q * n;
+            let one = Mask::first(1);
+            let mut st = SearchStats { distance_evals: 0, expansions: 0 };
+            let mut beam_len = 0usize;
+            let mut frontier: Vec<Neighbor> = Vec::new();
+
+            // Entry phase: the probe sequence depends only on the visited
+            // flags (not on distances), so seed all entry points first, then
+            // evaluate their distances lane-parallel.
+            let mut seeds = Vec::with_capacity(entries);
+            for e in 0..entries {
+                let mut p = entry_point(e, n);
+                while w.ld_global(&visited, &LaneVec::splat(vbase + p), one).get(0) != 0 {
+                    p = (p + 1) % n;
+                }
+                w.st_global(&visited, &LaneVec::splat(vbase + p), &LaneVec::splat(1u32), one);
+                seeds.push(p);
+            }
+            for chunk in seeds.chunks(WARP_LANES) {
+                let mask = Mask::first(chunk.len());
+                let pts = w.math_idx(mask, |l| chunk[l]);
+                let d = lane_query_dists(w, &ix.points, &qbuf, ix.dim, q, &pts, mask);
+                for (l, &pt) in chunk.iter().enumerate() {
+                    st.distance_evals += 1;
+                    let nb = Neighbor::new(pt as u32, d.get(l));
+                    if warp_insert_exclusive(w, &beams, q, bw, nb.pack()) && beam_len < bw {
+                        beam_len += 1;
+                    }
+                    // The host reference pushes entry points unconditionally.
+                    frontier.push(nb);
+                }
+            }
+
+            // Greedy descent, best-first.
+            while let Some(pos) = frontier
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.key().partial_cmp(&b.key()).expect("finite"))
+                .map(|(i, _)| i)
+            {
+                let cur = frontier.swap_remove(pos);
+                if beam_len == bw && cur.pack() > warp_worst(w, &beams, q, bw) {
+                    break;
+                }
+                st.expansions += 1;
+                let abase = cur.index as usize * deg;
+                let mut c = 0usize;
+                while c < deg {
+                    let width = (deg - c).min(WARP_LANES);
+                    let mask = Mask::first(width);
+                    let ai = w.math_idx(mask, |l| abase + c + l);
+                    let nbr = w.ld_global(&ix.adj, &ai, mask);
+                    let real = w.pred(mask, |l| nbr.get(l) != NO_NEIGHBOR);
+                    if real.is_empty() {
+                        break; // rows are padded at the tail only
+                    }
+                    let vi = w.math_idx(real, |l| vbase + nbr.get(l) as usize);
+                    let seen = w.ld_global(&visited, &vi, real);
+                    let fresh = w.pred(real, |l| seen.get(l) == 0);
+                    if !fresh.is_empty() {
+                        w.st_global(&visited, &vi, &LaneVec::splat(1u32), fresh);
+                        let pts = w.math_idx(fresh, |l| nbr.get(l) as usize);
+                        let d = lane_query_dists(w, &ix.points, &qbuf, ix.dim, q, &pts, fresh);
+                        // Offer in adjacency-list (lane) order, exactly like
+                        // the host walks the list.
+                        for l in 0..width {
+                            if !fresh.active(l) {
+                                continue;
+                            }
+                            st.distance_evals += 1;
+                            let cand = Neighbor::new(nbr.get(l), d.get(l));
+                            if warp_insert_exclusive(w, &beams, q, bw, cand.pack()) {
+                                if beam_len < bw {
+                                    beam_len += 1;
+                                }
+                                frontier.push(cand);
+                            }
+                        }
+                    }
+                    c += WARP_LANES;
+                }
+            }
+            stats[q] = st;
+        });
+    })?;
+
+    let mut results = slots_to_lists(&beams.to_vec(), nq, bw);
+    for r in &mut results {
+        r.truncate(params.k);
+    }
+    Ok(BatchResult { results, stats, report })
+}
+
+/// Convenience upload for tests and the serving loader: encode + decode
+/// round-trip sanity (`lists_to_slots`/`slots_to_lists`) lives in
+/// [`crate::graph`]; this module only reads indices.
+pub fn adjacency_row(ix: &SearchIndex, p: usize) -> Vec<u32> {
+    let row = ix.adj.to_vec();
+    row[p * ix.deg..(p + 1) * ix.deg].iter().copied().filter(|&r| r != NO_NEIGHBOR).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{Knng, WknngBuilder};
+    use crate::graph::lists_to_slots;
+    use crate::search::{search_batch, search_lists};
+    use wknng_data::DatasetSpec;
+
+    fn indexed(n: usize, dim: usize, seed: u64) -> (VectorSet, Knng) {
+        let vs =
+            DatasetSpec::Manifold { n, ambient_dim: dim, intrinsic_dim: 3 }.generate(seed).vectors;
+        let (g, _) = WknngBuilder::new(8)
+            .trees(4)
+            .leaf_size(24)
+            .exploration(2)
+            .seed(seed + 1)
+            .build_native(&vs)
+            .expect("valid");
+        (vs, g)
+    }
+
+    #[test]
+    fn device_batch_matches_host_reference_exactly() {
+        let (vs, g) = indexed(220, 24, 31);
+        let queries =
+            DatasetSpec::Manifold { n: 20, ambient_dim: 24, intrinsic_dim: 3 }.generate(32).vectors;
+        let params = SearchParams { k: 8, beam: 24, entries: 3, metric: Metric::SquaredL2 };
+        let dev = DeviceConfig::test_tiny();
+        let ix = SearchIndex::upload(&vs, &g.lists);
+        let got = run_search_batch(&dev, &ix, &queries, &params).unwrap();
+        let want = search_batch(&vs, &g, &queries, &params);
+        assert_eq!(got.results.len(), 20);
+        for (qi, (res, st)) in want.iter().enumerate() {
+            assert_eq!(&got.results[qi], res, "query {qi} results");
+            assert_eq!(&got.stats[qi], st, "query {qi} stats");
+        }
+        assert!(got.report.cycles > 0.0);
+    }
+
+    #[test]
+    fn ragged_batch_and_odd_dim_still_agree() {
+        // 7 queries (ragged last warp group), dim 13 (tail path of the
+        // blocked distance), beam == k (tightest termination).
+        let (vs, g) = indexed(150, 13, 77);
+        let queries =
+            DatasetSpec::Manifold { n: 7, ambient_dim: 13, intrinsic_dim: 3 }.generate(78).vectors;
+        let params = SearchParams { k: 6, beam: 6, entries: 2, metric: Metric::SquaredL2 };
+        let dev = DeviceConfig::test_tiny();
+        let ix = SearchIndex::upload(&vs, &g.lists);
+        let got = run_search_batch(&dev, &ix, &queries, &params).unwrap();
+        for qi in 0..queries.len() {
+            let (res, st) = search_lists(&vs, &g.lists, queries.row(qi), &params);
+            assert_eq!(got.results[qi], res, "query {qi}");
+            assert_eq!(got.stats[qi], st, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn indexed_queries_come_back_at_distance_zero() {
+        // Greedy descent can miss a few self-queries (beam-bounded), but it
+        // must miss them *identically* to the host; and the overwhelming
+        // majority must come back first at distance zero.
+        let (vs, g) = indexed(120, 16, 5);
+        let queries = vs.clone();
+        let params = SearchParams { k: 4, beam: 16, entries: 2, metric: Metric::SquaredL2 };
+        let dev = DeviceConfig::test_tiny();
+        let ix = SearchIndex::upload(&vs, &g.lists);
+        let got = run_search_batch(&dev, &ix, &queries, &params).unwrap();
+        let mut exact = 0;
+        for (qi, res) in got.results.iter().enumerate() {
+            let (host, _) = search_lists(&vs, &g.lists, vs.row(qi), &params);
+            assert_eq!(res, &host, "query {qi}");
+            if res[0].index as usize == qi && res[0].dist == 0.0 {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 110, "only {exact}/120 self-queries hit exactly");
+    }
+
+    #[test]
+    fn empty_batch_and_empty_index_are_total() {
+        let (vs, g) = indexed(60, 8, 9);
+        let dev = DeviceConfig::test_tiny();
+        let ix = SearchIndex::upload(&vs, &g.lists);
+        let none = VectorSet::new(Vec::new(), 8).unwrap();
+        let r = run_search_batch(&dev, &ix, &none, &SearchParams::default()).unwrap();
+        assert!(r.results.is_empty());
+    }
+
+    #[test]
+    fn upload_preserves_list_order_and_pads() {
+        let vs = DatasetSpec::UniformCube { n: 4, dim: 2 }.generate(3).vectors;
+        let lists = vec![
+            vec![Neighbor::new(2, 0.5), Neighbor::new(1, 1.0)],
+            vec![Neighbor::new(0, 1.0)],
+            vec![],
+            vec![Neighbor::new(0, 2.0), Neighbor::new(1, 2.5)],
+        ];
+        let ix = SearchIndex::upload(&vs, &lists);
+        assert_eq!(ix.deg, 2);
+        assert_eq!(adjacency_row(&ix, 0), vec![2, 1]);
+        assert_eq!(adjacency_row(&ix, 1), vec![0]);
+        assert!(adjacency_row(&ix, 2).is_empty());
+        let _ = lists_to_slots(&lists, 2); // graph encode stays usable on the same lists
+    }
+}

@@ -4,12 +4,14 @@
 //! * [`atomic`] — upper-triangle pairs, atomic updates to both endpoints;
 //! * [`tiled`] — shared-memory coordinate tiles, one block per bucket;
 //! * [`explore`] — neighbors-of-neighbors refinement;
+//! * [`beam`] — batched graph search (one warp per query, the serving path);
 //! * [`insert`] — the two global-memory slot-insertion protocols;
 //! * [`distance`] — warp-cooperative squared L2;
 //! * [`state`] / [`layout`] — device-resident graph state and bucket CSR.
 
 pub mod atomic;
 pub mod basic;
+pub mod beam;
 pub mod distance;
 pub mod explore;
 pub mod insert;
@@ -20,6 +22,7 @@ pub mod tiled;
 
 pub use atomic::run_atomic;
 pub use basic::run_basic;
+pub use beam::{run_search_batch, BatchResult, SearchIndex};
 pub use explore::{run_explore, run_explore_lane, snapshot_from_state};
 pub use layout::TreeLayout;
 pub use sort::sort_slots_device;

@@ -56,12 +56,13 @@ pub use audit::{
 pub use builder::{Knng, WknngBuilder};
 pub use error::KnngError;
 pub use events::{BuildEvent, BuildEvents, BuildPhase};
-pub use graph::{lists_to_slots, slots_to_lists, KnnGraph, EMPTY_SLOT};
+pub use graph::{augment_reverse, lists_to_slots, slots_to_lists, KnnGraph, EMPTY_SLOT};
 pub use heap::KnnList;
+pub use kernels::beam::{run_search_batch, BatchResult, SearchIndex};
 pub use metrics::{graph_stats, symmetrize, GraphStats};
 pub use native::{build_native, PhaseTimings};
 pub use params::{AuditLevel, BuildPolicy, ExplorationMode, KernelVariant, WknngParams};
 pub use pipeline::{build_device, build_device_with_policy, DeviceReports};
 pub use recall::{mean_distance_ratio, recall};
-pub use search::{search, search_lists, SearchParams, SearchStats};
+pub use search::{search, search_batch, search_checked, search_lists, SearchParams, SearchStats};
 pub use update::{extend_graph, Extended};

@@ -9,6 +9,7 @@
 use wknng_data::{Metric, Neighbor, VectorSet};
 
 use crate::builder::Knng;
+use crate::error::KnngError;
 use crate::heap::KnnList;
 
 /// Parameters of a graph search.
@@ -22,8 +23,9 @@ pub struct SearchParams {
     /// Entry points: the search starts from `entries` scrambled point ids.
     /// Greedy descent cannot leave a weakly connected component, so graphs
     /// over strongly clustered data (check `graph_stats(...).components`)
-    /// need at least one entry per component — raise this value or
-    /// symmetrize/augment the graph for such data.
+    /// need at least one entry per component — raise this value or add
+    /// reverse edges with [`crate::graph::augment_reverse`] (what the serve
+    /// loader's augment option does) for such data.
     pub entries: usize,
     /// Distance metric (must match the metric the graph was built with to
     /// be meaningful).
@@ -34,6 +36,38 @@ impl Default for SearchParams {
     fn default() -> Self {
         SearchParams { k: 10, beam: 32, entries: 2, metric: Metric::SquaredL2 }
     }
+}
+
+impl SearchParams {
+    /// Check the parameters against an index of `n` points, returning the
+    /// normalized form: `k >= 1`, `beam >= k` and `entries >= 1` are typed
+    /// errors (instead of the silent clamping [`search`] applies for
+    /// backward compatibility), and `entries > n` — where the scrambled
+    /// entry selection used to alias and silently seed fewer points than
+    /// requested — is clamped to `n`, which turns the search into a full
+    /// scan.
+    pub fn validated(mut self, n: usize) -> Result<SearchParams, KnngError> {
+        if self.k == 0 {
+            return Err(KnngError::ZeroK);
+        }
+        if self.beam < self.k {
+            return Err(KnngError::BeamTooNarrow { beam: self.beam, k: self.k });
+        }
+        if self.entries == 0 {
+            return Err(KnngError::ZeroEntries);
+        }
+        self.entries = self.entries.min(n.max(1));
+        Ok(self)
+    }
+}
+
+/// The scrambled `e`-th entry point over `n` points (Fibonacci-hash
+/// scramble): deterministic, but avoids the regular stride aliasing with
+/// structured point orders (e.g. round-robin cluster assignment) that a
+/// plain `e * n / entries` suffers from. Shared by the host search and the
+/// batched device kernel so both seed identical descents.
+pub(crate) fn entry_point(e: usize, n: usize) -> usize {
+    ((e as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as usize
 }
 
 /// Statistics of one search.
@@ -80,18 +114,21 @@ pub fn search_lists(
 
     let entries = params.entries.clamp(1, n);
     for e in 0..entries {
-        // Fibonacci-hash scramble: deterministic, but avoids the regular
-        // stride aliasing with structured point orders (e.g. round-robin
-        // cluster assignment) that a plain `e * n / entries` suffers from.
-        let p = ((e as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as usize;
-        if !visited[p] {
-            visited[p] = true;
-            let d = params.metric.eval(query, vs.row(p));
-            stats.distance_evals += 1;
-            let nb = Neighbor::new(p as u32, d);
-            beam.insert(nb);
-            frontier.push(nb);
+        // The scramble can alias (distinct `e` mapping to one point,
+        // guaranteed once `entries` approaches `n`); probing forward to the
+        // next unseeded point keeps the number of distinct entry points
+        // exactly as requested. Terminates: fewer than `n` points are
+        // visited when the probe starts.
+        let mut p = entry_point(e, n);
+        while visited[p] {
+            p = (p + 1) % n;
         }
+        visited[p] = true;
+        let d = params.metric.eval(query, vs.row(p));
+        stats.distance_evals += 1;
+        let nb = Neighbor::new(p as u32, d);
+        beam.insert(nb);
+        frontier.push(nb);
     }
 
     while let Some(pos) = frontier
@@ -129,6 +166,40 @@ pub fn search_lists(
     let mut result = beam.into_vec();
     result.truncate(params.k);
     (result, stats)
+}
+
+/// [`search`] with parameter validation: rejects malformed
+/// [`SearchParams`] and dimension mismatches with typed errors instead of
+/// clamping or panicking. This is the entry point serving layers should use.
+pub fn search_checked(
+    vs: &VectorSet,
+    graph: &Knng,
+    query: &[f32],
+    params: &SearchParams,
+) -> Result<(Vec<Neighbor>, SearchStats), KnngError> {
+    if query.len() != vs.dim() {
+        return Err(KnngError::Data(wknng_data::DataError::RaggedBuffer {
+            len: query.len(),
+            dim: vs.dim(),
+        }));
+    }
+    let params = params.validated(vs.len())?;
+    Ok(search_lists(vs, &graph.lists, query, &params))
+}
+
+/// Search one batch of queries sequentially through [`search_lists`].
+///
+/// This is the host reference the batched device kernel
+/// ([`crate::kernels::beam`]) and the serving engine are validated against:
+/// queries are independent, so batching cannot change any individual result.
+pub fn search_batch(
+    vs: &VectorSet,
+    graph: &Knng,
+    queries: &VectorSet,
+    params: &SearchParams,
+) -> Vec<(Vec<Neighbor>, SearchStats)> {
+    assert_eq!(queries.dim(), vs.dim(), "query dimensionality mismatch");
+    (0..queries.len()).map(|q| search_lists(vs, &graph.lists, queries.row(q), params)).collect()
 }
 
 #[cfg(test)]
@@ -212,6 +283,65 @@ mod tests {
     fn wrong_query_dim_panics() {
         let (vs, g) = indexed(50);
         let _ = search(&vs, &g, &[0.0; 3], &SearchParams::default());
+    }
+
+    #[test]
+    fn validated_rejects_malformed_params() {
+        use crate::error::KnngError;
+        let p = SearchParams::default();
+        assert!(matches!(SearchParams { k: 0, ..p }.validated(100), Err(KnngError::ZeroK)));
+        assert!(matches!(
+            SearchParams { k: 10, beam: 4, ..p }.validated(100),
+            Err(KnngError::BeamTooNarrow { beam: 4, k: 10 })
+        ));
+        assert!(matches!(
+            SearchParams { entries: 0, ..p }.validated(100),
+            Err(KnngError::ZeroEntries)
+        ));
+        // entries > n clamps to n (full scan), the fixed edge case.
+        let v = SearchParams { entries: 500, ..p }.validated(100).unwrap();
+        assert_eq!(v.entries, 100);
+        // Well-formed params normalize to themselves.
+        assert_eq!(p.validated(100).unwrap(), p);
+    }
+
+    #[test]
+    fn entries_equal_to_n_seed_every_point() {
+        // With entries == n the search must degenerate into a full scan:
+        // every point evaluated exactly once despite scramble collisions.
+        let (vs, g) = indexed(300);
+        let params = SearchParams { entries: 300, ..SearchParams::default() };
+        let (res, stats) = search(&vs, &g, vs.row(5), &params);
+        assert_eq!(stats.distance_evals, 300);
+        assert_eq!(res[0].index, 5);
+        assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn checked_search_rejects_bad_inputs_with_typed_errors() {
+        let (vs, g) = indexed(80);
+        let q = vs.row(3).to_vec();
+        let ok = search_checked(&vs, &g, &q, &SearchParams::default()).unwrap();
+        assert_eq!(ok.0[0].index, 3);
+        let bad_dim = search_checked(&vs, &g, &[0.0; 2], &SearchParams::default());
+        assert!(matches!(bad_dim, Err(crate::error::KnngError::Data(_))));
+        let bad_beam = SearchParams { k: 8, beam: 2, ..SearchParams::default() };
+        assert!(search_checked(&vs, &g, &q, &bad_beam).is_err());
+    }
+
+    #[test]
+    fn batched_search_equals_sequential_searches() {
+        let (vs, g) = indexed(250);
+        let queries =
+            DatasetSpec::Manifold { n: 40, ambient_dim: 24, intrinsic_dim: 3 }.generate(77).vectors;
+        let params = SearchParams::default();
+        let batched = search_batch(&vs, &g, &queries, &params);
+        assert_eq!(batched.len(), 40);
+        for q in 0..queries.len() {
+            let (res, stats) = search(&vs, &g, queries.row(q), &params);
+            assert_eq!(batched[q].0, res, "query {q}");
+            assert_eq!(batched[q].1, stats, "query {q}");
+        }
     }
 
     #[test]

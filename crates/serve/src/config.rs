@@ -1,0 +1,108 @@
+//! Serving-engine configuration.
+
+use std::time::Duration;
+
+use wknng_core::SearchParams;
+use wknng_simt::DeviceConfig;
+
+use crate::error::ServeError;
+
+/// Execution backend for batch search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backend {
+    /// Host execution: each shard runs the reference `search_lists` per
+    /// query. The default.
+    Native,
+    /// Warp-batched execution on the `wknng-simt` device: each shard uploads
+    /// its own copy of the index and runs the one-query-per-warp beam
+    /// kernel. Bit-identical results to [`Backend::Native`].
+    Device(DeviceConfig),
+}
+
+/// Reverse-edge augmentation applied when the engine takes ownership of the
+/// index (see [`wknng_core::augment_reverse`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Augment {
+    /// Serve the graph exactly as built.
+    #[default]
+    Off,
+    /// Add reverse edges up to `max_degree` per point (`None` = `2k`), so
+    /// greedy descent can escape weakly connected components.
+    On {
+        /// Per-point degree cap after augmentation.
+        max_degree: Option<usize>,
+    },
+}
+
+/// Configuration of a [`crate::ServeEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads, each owning a full copy (`Arc`) of the index. `0`
+    /// builds an inert engine that admits queries but never answers them —
+    /// useful for testing admission control deterministically.
+    pub shards: usize,
+    /// Maximum queries coalesced into one batch (≥ 1).
+    pub batch_size: usize,
+    /// How long a shard holds an under-full batch open waiting for more
+    /// queries, measured from the oldest pending query's arrival.
+    /// `Duration::ZERO` dispatches whatever is queued immediately.
+    pub linger: Duration,
+    /// Bounded submission-queue capacity (≥ 1); a full queue rejects with
+    /// [`ServeError::Overloaded`] instead of blocking.
+    pub queue_capacity: usize,
+    /// Search parameters, validated against the index at engine start.
+    pub params: SearchParams,
+    /// Reverse-edge augmentation policy.
+    pub augment: Augment,
+    /// Execution backend.
+    pub backend: Backend,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 1,
+            batch_size: 32,
+            linger: Duration::from_millis(1),
+            queue_capacity: 1024,
+            params: SearchParams::default(),
+            augment: Augment::Off,
+            backend: Backend::Native,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Check the engine-level fields (search parameters are validated
+    /// separately against the index size).
+    pub fn check(&self) -> Result<(), ServeError> {
+        if self.batch_size == 0 {
+            return Err(ServeError::Config("batch_size must be >= 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::Config("queue_capacity must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServeConfig::default().check().is_ok());
+    }
+
+    #[test]
+    fn zero_fields_are_rejected() {
+        let c = ServeConfig { batch_size: 0, ..ServeConfig::default() };
+        assert!(matches!(c.check(), Err(ServeError::Config(_))));
+        let c = ServeConfig { queue_capacity: 0, ..ServeConfig::default() };
+        assert!(matches!(c.check(), Err(ServeError::Config(_))));
+        // shards = 0 is legal: the inert admission-control engine.
+        let c = ServeConfig { shards: 0, ..ServeConfig::default() };
+        assert!(c.check().is_ok());
+    }
+}

@@ -1,0 +1,395 @@
+//! The sharded, batching query-serving engine.
+//!
+//! Architecture (see DESIGN.md "Serving architecture"):
+//!
+//! * **Admission** — a single bounded queue guarded by a mutex + condvar;
+//!   [`ServeEngine::submit`] never blocks: a full queue answers
+//!   [`ServeError::Overloaded`] immediately, which callers treat as a
+//!   back-off signal.
+//! * **Batching** — each shard pulls up to `batch_size` queries; an
+//!   under-full batch is held open until `linger` elapses from the *oldest*
+//!   pending query's arrival, trading a bounded latency tax for
+//!   warp-occupancy on the device backend.
+//! * **Sharding** — worker threads sharing the `Arc`-owned index. The device
+//!   backend uploads one [`SearchIndex`] per shard (device buffers are
+//!   thread-local by design).
+//! * **Drain** — [`ServeEngine::shutdown`] stops admission, lets shards
+//!   finish every queued query, joins them, and returns the merged
+//!   [`ServeReport`].
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wknng_core::kernels::beam::{run_search_batch, SearchIndex};
+use wknng_core::{augment_reverse, search_lists, KnngError, SearchParams, SearchStats};
+use wknng_data::io::{load_knn, load_vectors};
+use wknng_data::{Metric, Neighbor, VectorSet};
+
+use crate::config::{Augment, Backend, ServeConfig};
+use crate::error::ServeError;
+use crate::histogram::LatencyHistogram;
+use crate::report::ServeReport;
+
+/// A loaded, servable index: vectors plus the finished neighbor lists.
+#[derive(Debug, Clone)]
+pub struct ServeIndex {
+    /// Indexed point coordinates.
+    pub vectors: VectorSet,
+    /// Neighbor lists, one per point.
+    pub lists: Vec<Vec<Neighbor>>,
+}
+
+impl ServeIndex {
+    /// Wrap an in-memory build.
+    pub fn from_parts(vectors: VectorSet, lists: Vec<Vec<Neighbor>>) -> Result<Self, ServeError> {
+        if lists.len() != vectors.len() {
+            return Err(ServeError::Search(KnngError::Data(wknng_data::DataError::RaggedBuffer {
+                len: lists.len(),
+                dim: vectors.len(),
+            })));
+        }
+        Ok(ServeIndex { vectors, lists })
+    }
+
+    /// Load a built `.wkv`/`.wkk` pair from disk.
+    pub fn load(
+        vec_path: &std::path::Path,
+        knn_path: &std::path::Path,
+    ) -> Result<Self, ServeError> {
+        let vectors = load_vectors(vec_path)?;
+        let lists = load_knn(knn_path)?;
+        ServeIndex::from_parts(vectors, lists)
+    }
+}
+
+/// One answered query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Ranked neighbors, ascending `(dist, index)`, length ≤ `k`.
+    pub neighbors: Vec<Neighbor>,
+    /// Work counters of this query's search.
+    pub stats: SearchStats,
+    /// End-to-end latency (submission to batch completion).
+    pub latency: Duration,
+}
+
+/// Handle to one in-flight query.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<QueryResult>,
+}
+
+impl Ticket {
+    /// Block until the query is answered. Returns
+    /// [`ServeError::Shutdown`] if the engine drained away without
+    /// answering (only possible for queries pending in an inert `shards: 0`
+    /// engine, or after a persistent launch fault).
+    pub fn wait(self) -> Result<QueryResult, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Shutdown)
+    }
+}
+
+struct Job {
+    query: Vec<f32>,
+    at: Instant,
+    tx: mpsc::Sender<QueryResult>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: VecDeque<Job>,
+    shut_down: bool,
+    submitted: u64,
+    rejected: u64,
+    max_depth: usize,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    notify: Condvar,
+    vectors: VectorSet,
+    lists: Vec<Vec<Neighbor>>,
+    params: SearchParams,
+    batch_size: usize,
+    linger: Duration,
+    capacity: usize,
+    backend: Backend,
+}
+
+#[derive(Default)]
+struct ShardStats {
+    served: u64,
+    batches: u64,
+    distance_evals: u64,
+    expansions: u64,
+    latency: Option<LatencyHistogram>,
+    launch_faults: u64,
+}
+
+/// The serving engine. Construct with [`ServeEngine::start`], submit with
+/// [`ServeEngine::submit`]/[`ServeEngine::query`], finish with
+/// [`ServeEngine::shutdown`].
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<ShardStats>>,
+    started: Instant,
+}
+
+impl ServeEngine {
+    /// Validate the configuration against the index, apply the augmentation
+    /// policy, and spawn the shard workers.
+    pub fn start(index: ServeIndex, cfg: ServeConfig) -> Result<ServeEngine, ServeError> {
+        cfg.check()?;
+        let params = cfg.params.validated(index.vectors.len())?;
+        if matches!(cfg.backend, Backend::Device(_)) && params.metric != Metric::SquaredL2 {
+            return Err(ServeError::Search(KnngError::UnsupportedDeviceMetric(params.metric)));
+        }
+        let lists = match cfg.augment {
+            Augment::Off => index.lists,
+            Augment::On { max_degree } => augment_reverse(&index.lists, max_degree),
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            notify: Condvar::new(),
+            vectors: index.vectors,
+            lists,
+            params,
+            batch_size: cfg.batch_size,
+            linger: cfg.linger,
+            capacity: cfg.queue_capacity,
+            backend: cfg.backend,
+        });
+        let workers = (0..cfg.shards)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wknng-serve-{i}"))
+                    .spawn(move || worker(shared))
+                    .expect("spawn shard")
+            })
+            .collect();
+        Ok(ServeEngine { shared, workers, started: Instant::now() })
+    }
+
+    /// Dimensionality queries must have.
+    pub fn dim(&self) -> usize {
+        self.shared.vectors.dim()
+    }
+
+    /// Current submission-queue depth (for load shedding / monitoring).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").pending.len()
+    }
+
+    /// Submit one query without blocking. A full queue answers
+    /// [`ServeError::Overloaded`]; a draining engine answers
+    /// [`ServeError::Shutdown`].
+    pub fn submit(&self, query: Vec<f32>) -> Result<Ticket, ServeError> {
+        if query.len() != self.dim() {
+            return Err(ServeError::Search(KnngError::Data(wknng_data::DataError::RaggedBuffer {
+                len: query.len(),
+                dim: self.dim(),
+            })));
+        }
+        if let Some(c) = query.iter().position(|v| !v.is_finite()) {
+            return Err(ServeError::Search(KnngError::Data(wknng_data::DataError::NonFinite {
+                point: 0,
+                coord: c,
+            })));
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        if q.shut_down {
+            return Err(ServeError::Shutdown);
+        }
+        if q.pending.len() >= self.shared.capacity {
+            q.rejected += 1;
+            return Err(ServeError::Overloaded {
+                depth: q.pending.len(),
+                capacity: self.shared.capacity,
+            });
+        }
+        q.pending.push_back(Job { query, at: Instant::now(), tx });
+        q.submitted += 1;
+        q.max_depth = q.max_depth.max(q.pending.len());
+        drop(q);
+        self.shared.notify.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submit and wait — the blocking convenience wrapper.
+    pub fn query(&self, query: Vec<f32>) -> Result<QueryResult, ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Stop admission, drain every queued query, join the shards, and
+    /// return the merged report.
+    pub fn shutdown(mut self) -> ServeReport {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shut_down = true;
+        }
+        self.shared.notify.notify_all();
+        let shards = self.workers.len();
+        let mut merged = ShardStats::default();
+        let mut latency = LatencyHistogram::new();
+        for h in std::mem::take(&mut self.workers) {
+            let s = h.join().expect("shard panicked");
+            merged.served += s.served;
+            merged.batches += s.batches;
+            merged.distance_evals += s.distance_evals;
+            merged.expansions += s.expansions;
+            merged.launch_faults += s.launch_faults;
+            if let Some(hist) = s.latency {
+                latency.merge(&hist);
+            }
+        }
+        let elapsed = self.started.elapsed();
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        // Inert engines (shards = 0) may still hold pending jobs; dropping
+        // them closes their channels, so waiting tickets observe `Shutdown`.
+        q.pending.clear();
+        let served = merged.served;
+        ServeReport {
+            served,
+            submitted: q.submitted,
+            rejected: q.rejected,
+            shards,
+            batches: merged.batches,
+            mean_batch: if merged.batches > 0 {
+                served as f64 / merged.batches as f64
+            } else {
+                0.0
+            },
+            max_queue_depth: q.max_depth,
+            elapsed,
+            throughput_qps: if elapsed.as_secs_f64() > 0.0 {
+                served as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency,
+            mean_distance_evals: if served > 0 {
+                merged.distance_evals as f64 / served as f64
+            } else {
+                0.0
+            },
+            mean_expansions: if served > 0 {
+                merged.expansions as f64 / served as f64
+            } else {
+                0.0
+            },
+            launch_faults: merged.launch_faults,
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // A dropped (not shut down) engine must still unblock its shards.
+        if let Ok(mut q) = self.shared.queue.lock() {
+            q.shut_down = true;
+        }
+        self.shared.notify.notify_all();
+    }
+}
+
+/// Shard main loop: pull a batch (respecting the linger deadline), search
+/// it, respond, repeat until drained.
+fn worker(shared: Arc<Shared>) -> ShardStats {
+    let mut stats = ShardStats { latency: Some(LatencyHistogram::new()), ..Default::default() };
+    // The device backend keeps one thread-local index upload per shard.
+    let dev_ix = match &shared.backend {
+        Backend::Device(_) => Some(SearchIndex::upload(&shared.vectors, &shared.lists)),
+        Backend::Native => None,
+    };
+    loop {
+        let (batch, drained) = next_batch(&shared);
+        if batch.is_empty() {
+            if drained {
+                return stats;
+            }
+            continue;
+        }
+        serve_batch(&shared, dev_ix.as_ref(), batch, &mut stats);
+    }
+}
+
+/// Block until a batch is ready: a full `batch_size`, the linger deadline of
+/// the oldest pending query, or shutdown (which flushes whatever is left).
+/// Returns `(batch, drained)`; `drained` means shutdown with an empty queue.
+fn next_batch(shared: &Shared) -> (Vec<Job>, bool) {
+    let mut q = shared.queue.lock().expect("queue lock");
+    loop {
+        if q.shut_down || q.pending.len() >= shared.batch_size {
+            break;
+        }
+        match q.pending.front().map(|j| j.at) {
+            None => q = shared.notify.wait(q).expect("queue lock"),
+            Some(oldest) => {
+                let deadline = oldest + shared.linger;
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                q = shared.notify.wait_timeout(q, deadline - now).expect("queue lock").0;
+            }
+        }
+    }
+    if q.pending.is_empty() {
+        return (Vec::new(), q.shut_down);
+    }
+    let take = q.pending.len().min(shared.batch_size);
+    (q.pending.drain(..take).collect(), false)
+}
+
+fn serve_batch(
+    shared: &Shared,
+    dev_ix: Option<&SearchIndex>,
+    batch: Vec<Job>,
+    st: &mut ShardStats,
+) {
+    let results: Vec<(Vec<Neighbor>, SearchStats)> = match (&shared.backend, dev_ix) {
+        (Backend::Device(dev), Some(ix)) => {
+            let mut flat = Vec::with_capacity(batch.len() * shared.vectors.dim());
+            for j in &batch {
+                flat.extend_from_slice(&j.query);
+            }
+            let qs = VectorSet::new(flat, shared.vectors.dim()).expect("validated at submit");
+            let mut attempts = 0;
+            loop {
+                match run_search_batch(dev, ix, &qs, &shared.params) {
+                    Ok(b) => break b.results.into_iter().zip(b.stats).collect(),
+                    Err(_fault) if attempts < 3 => {
+                        attempts += 1;
+                        st.launch_faults += 1;
+                    }
+                    Err(_fault) => {
+                        // Persistently faulting launch: drop the batch; the
+                        // closed channels surface `Shutdown` to the waiters.
+                        st.launch_faults += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        _ => batch
+            .iter()
+            .map(|j| search_lists(&shared.vectors, &shared.lists, &j.query, &shared.params))
+            .collect(),
+    };
+    st.batches += 1;
+    let hist = st.latency.as_mut().expect("worker histogram");
+    for (job, (neighbors, qstats)) in batch.into_iter().zip(results) {
+        let latency = job.at.elapsed();
+        st.served += 1;
+        st.distance_evals += qstats.distance_evals as u64;
+        st.expansions += qstats.expansions as u64;
+        hist.record(latency.as_nanos() as u64);
+        // A dropped ticket (caller gave up) is not an engine error.
+        let _ = job.tx.send(QueryResult { neighbors, stats: qstats, latency });
+    }
+}

@@ -1,0 +1,74 @@
+//! Typed errors of the serving engine.
+
+use std::fmt;
+
+use wknng_core::KnngError;
+use wknng_data::DataError;
+
+/// Errors surfaced by [`crate::ServeEngine`] and the index loader.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue is full; the caller must back off and
+    /// retry (admission control — the engine never blocks a submitter).
+    Overloaded {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The engine is shutting down (or was shut down before this query was
+    /// answered); no further queries are admitted.
+    Shutdown,
+    /// A malformed [`crate::ServeConfig`] field.
+    Config(&'static str),
+    /// Invalid search parameters, metric, or query shape (typed, from the
+    /// core layer's validation).
+    Search(KnngError),
+    /// Loading the `.wkv`/`.wkk` pair failed.
+    Io(DataError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "queue overloaded: {depth} pending of {capacity} capacity")
+            }
+            ServeError::Shutdown => write!(f, "engine is shut down"),
+            ServeError::Config(what) => write!(f, "invalid serve config: {what}"),
+            ServeError::Search(e) => write!(f, "search error: {e}"),
+            ServeError::Io(e) => write!(f, "index load error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<KnngError> for ServeError {
+    fn from(e: KnngError) -> Self {
+        ServeError::Search(e)
+    }
+}
+
+impl From<DataError> for ServeError {
+    fn from(e: DataError) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = ServeError::Overloaded { depth: 64, capacity: 64 };
+        assert!(e.to_string().contains("64 pending"), "{e}");
+        assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        assert!(ServeError::Config("batch_size must be >= 1").to_string().contains("batch_size"));
+        let e: ServeError = KnngError::ZeroK.into();
+        assert!(matches!(e, ServeError::Search(_)));
+        let e: ServeError = DataError::ZeroDimension.into();
+        assert!(matches!(e, ServeError::Io(_)));
+    }
+}

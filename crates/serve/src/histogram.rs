@@ -1,0 +1,210 @@
+//! Log-bucketed latency histogram (HdrHistogram-style, 1/16 precision).
+//!
+//! Fixed memory, O(1) record, mergeable across shards — the standard shape
+//! for serving-side latency tracking. Values are bucketed with a 4-bit
+//! mantissa below each power of two, so any reported percentile is within
+//! 6.25 % of the recorded value.
+
+/// Sub-buckets per octave (4-bit mantissa).
+const SUB: usize = 16;
+/// Bucket count: exact values `0..16`, then 16 sub-buckets for each of the
+/// 60 octaves a `u64` can hold above that.
+const BUCKETS: usize = SUB + 60 * SUB;
+
+/// Index of the bucket holding `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (msb - 4)) & 0xF) as usize;
+    SUB + (msb - 4) * SUB + sub
+}
+
+/// Lower bound of bucket `id` (the value percentiles report).
+fn bucket_floor(id: usize) -> u64 {
+    if id < SUB {
+        return id as u64;
+    }
+    let oct = (id - SUB) / SUB + 4;
+    let sub = ((id - SUB) % SUB) as u64;
+    (SUB as u64 + sub) << (oct - 4)
+}
+
+/// A fixed-size log-bucketed histogram of `u64` samples (nanoseconds, in the
+/// engine's use).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: Box::new([0; BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (exact, not bucketed); `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Largest recorded sample (exact); `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100), reported as the floor of the
+    /// bucket holding the rank-`⌈p/100·count⌉` sample. `None` when empty.
+    ///
+    /// Monotone in `p` by construction, so `p50 ≤ p95 ≤ p99` always holds.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (id, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_floor(id));
+            }
+        }
+        Some(bucket_floor(BUCKETS - 1))
+    }
+
+    /// Merge another histogram into this one (shard aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(99.0), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(1000);
+        let p50 = h.percentile(50.0).unwrap();
+        assert_eq!(p50, h.percentile(95.0).unwrap());
+        assert_eq!(p50, h.percentile(99.0).unwrap());
+        // Bucketing error is bounded by the 1/16 mantissa resolution.
+        assert!(p50 <= 1000 && 1000 - p50 <= 1000 / 16, "p50 = {p50}");
+        assert_eq!(h.mean(), Some(1000.0));
+        assert_eq!(h.max(), Some(1000));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(100.0), Some(15));
+        assert_eq!(h.percentile(0.001), Some(0));
+    }
+
+    #[test]
+    fn heavy_tail_separates_p50_from_p99() {
+        // 90 fast samples at ~1 ms, 10 stragglers at ~1 s: the tail must pull
+        // p99 three orders of magnitude above p50, and the percentile curve
+        // must stay monotone.
+        let mut h = LatencyHistogram::new();
+        for i in 0..90u64 {
+            h.record(1_000_000 + i * 1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000_000);
+        }
+        let (p50, p95, p99) =
+            (h.percentile(50.0).unwrap(), h.percentile(95.0).unwrap(), h.percentile(99.0).unwrap());
+        assert!(p50 <= p95 && p95 <= p99, "monotone: {p50} {p95} {p99}");
+        assert!(p50 < 2_000_000, "p50 in the fast mode: {p50}");
+        assert!(p99 > 900_000_000, "p99 in the tail: {p99}");
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in [5u64, 70, 900, 33_000, 1_000_000] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [17u64, 250, 8_000_000] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for p in [1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p), "p{p}");
+        }
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_of() {
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1023, 1024, 1 << 40, u64::MAX] {
+            let id = bucket_of(v);
+            let floor = bucket_floor(id);
+            assert!(floor <= v, "floor({v}) = {floor}");
+            // Floor is within one mantissa step.
+            assert!(v - floor <= (v >> 4), "v {v} floor {floor}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! # wknng-serve — batched query serving over a built w-KNNG
+//!
+//! The ROADMAP's north star is a similarity-search system "serving heavy
+//! traffic"; this crate is that serving layer. It loads a built `.wkv`/`.wkk`
+//! pair (or wraps an in-memory build), shards the index across worker
+//! threads, coalesces incoming queries into warp-friendly batches, and
+//! answers them with the graph beam search — either the host reference or
+//! the one-query-per-warp device kernel
+//! ([`wknng_core::kernels::beam`]), which returns bit-identical results.
+//!
+//! The production envelope around the search:
+//!
+//! * bounded admission queue — [`ServeEngine::submit`] never blocks, a full
+//!   queue answers [`ServeError::Overloaded`];
+//! * batch-size / linger-deadline batching policy ([`ServeConfig`]);
+//! * graceful drain ([`ServeEngine::shutdown`]) returning a
+//!   [`ServeReport`] with p50/p95/p99 latency, throughput, and per-query
+//!   work counters;
+//! * opt-in reverse-edge augmentation ([`Augment`]) so greedy descent can
+//!   escape weakly connected components.
+//!
+//! ```
+//! use wknng_core::WknngBuilder;
+//! use wknng_data::DatasetSpec;
+//! use wknng_serve::{ServeConfig, ServeEngine, ServeIndex};
+//!
+//! let vs = DatasetSpec::Manifold { n: 200, ambient_dim: 16, intrinsic_dim: 3 }
+//!     .generate(7)
+//!     .vectors;
+//! let (graph, _) = WknngBuilder::new(8).trees(4).leaf_size(24).build_native(&vs).unwrap();
+//! let index = ServeIndex::from_parts(vs.clone(), graph.lists).unwrap();
+//! let engine = ServeEngine::start(index, ServeConfig::default()).unwrap();
+//! let res = engine.query(vs.row(17).to_vec()).unwrap();
+//! assert_eq!(res.neighbors[0].index, 17);
+//! let report = engine.shutdown();
+//! assert_eq!(report.served, 1);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod histogram;
+pub mod report;
+
+pub use config::{Augment, Backend, ServeConfig};
+pub use engine::{QueryResult, ServeEngine, ServeIndex, Ticket};
+pub use error::ServeError;
+pub use histogram::LatencyHistogram;
+pub use report::ServeReport;
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use wknng_core::{search, SearchParams, WknngBuilder};
+    use wknng_data::{DatasetSpec, Metric, VectorSet};
+    use wknng_simt::DeviceConfig;
+
+    use super::*;
+
+    fn built(n: usize, dim: usize, seed: u64) -> (VectorSet, Vec<Vec<wknng_data::Neighbor>>) {
+        let vs =
+            DatasetSpec::Manifold { n, ambient_dim: dim, intrinsic_dim: 3 }.generate(seed).vectors;
+        let (g, _) = WknngBuilder::new(8)
+            .trees(4)
+            .leaf_size(24)
+            .exploration(2)
+            .seed(seed + 1)
+            .build_native(&vs)
+            .expect("valid build");
+        (vs, g.lists)
+    }
+
+    fn engine_with(cfg: ServeConfig) -> (ServeEngine, VectorSet, Vec<Vec<wknng_data::Neighbor>>) {
+        let (vs, lists) = built(200, 16, 11);
+        let index = ServeIndex::from_parts(vs.clone(), lists.clone()).unwrap();
+        (ServeEngine::start(index, cfg).unwrap(), vs, lists)
+    }
+
+    #[test]
+    fn serves_queries_matching_direct_search() {
+        let (engine, vs, lists) = engine_with(ServeConfig::default());
+        let g = wknng_core::Knng { lists, params: Default::default() };
+        for p in [0usize, 13, 57, 199] {
+            let res = engine.query(vs.row(p).to_vec()).unwrap();
+            let (want, wstats) = search(&vs, &g, vs.row(p), &SearchParams::default());
+            assert_eq!(res.neighbors, want, "point {p}");
+            assert_eq!(res.stats, wstats);
+            assert!(res.latency > Duration::ZERO);
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.served, 4);
+        assert_eq!(report.rejected, 0);
+        assert!(report.throughput_qps > 0.0);
+        assert!(report.mean_distance_evals > 0.0);
+    }
+
+    #[test]
+    fn device_backend_matches_native_results() {
+        let (vs, lists) = built(150, 16, 21);
+        let queries =
+            DatasetSpec::Manifold { n: 12, ambient_dim: 16, intrinsic_dim: 3 }.generate(22).vectors;
+        let mk = |backend| {
+            let index = ServeIndex::from_parts(vs.clone(), lists.clone()).unwrap();
+            ServeEngine::start(
+                index,
+                ServeConfig { backend, batch_size: 4, ..ServeConfig::default() },
+            )
+            .unwrap()
+        };
+        let native = mk(Backend::Native);
+        let device = mk(Backend::Device(DeviceConfig::test_tiny()));
+        for q in 0..queries.len() {
+            let a = native.query(queries.row(q).to_vec()).unwrap();
+            let b = device.query(queries.row(q).to_vec()).unwrap();
+            assert_eq!(a.neighbors, b.neighbors, "query {q}");
+            assert_eq!(a.stats, b.stats, "query {q}");
+        }
+        native.shutdown();
+        device.shutdown();
+    }
+
+    #[test]
+    fn inert_engine_applies_backpressure_deterministically() {
+        let (vs, lists) = built(120, 16, 31);
+        let index = ServeIndex::from_parts(vs.clone(), lists).unwrap();
+        let engine = ServeEngine::start(
+            index,
+            ServeConfig { shards: 0, queue_capacity: 3, ..ServeConfig::default() },
+        )
+        .unwrap();
+        let mut tickets = Vec::new();
+        for p in 0..3 {
+            tickets.push(engine.submit(vs.row(p).to_vec()).unwrap());
+        }
+        assert_eq!(engine.queue_depth(), 3);
+        // Capacity reached: the 4th submission is rejected, not blocked.
+        match engine.submit(vs.row(3).to_vec()) {
+            Err(ServeError::Overloaded { depth: 3, capacity: 3 }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.submitted, 3);
+        assert_eq!(report.served, 0);
+        assert_eq!(report.max_queue_depth, 3);
+        // Drained-away tickets observe Shutdown.
+        for t in tickets {
+            assert_eq!(t.wait(), Err(ServeError::Shutdown));
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_pending_queries() {
+        let (vs, lists) = built(150, 16, 41);
+        let index = ServeIndex::from_parts(vs.clone(), lists).unwrap();
+        // Long linger: queries sit in the queue until shutdown flushes them.
+        let engine = ServeEngine::start(
+            index,
+            ServeConfig {
+                batch_size: 64,
+                linger: Duration::from_secs(30),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> =
+            (0..10).map(|p| engine.submit(vs.row(p).to_vec()).unwrap()).collect();
+        let report = engine.shutdown();
+        assert_eq!(report.served, 10);
+        for (p, t) in tickets.into_iter().enumerate() {
+            let res = t.wait().expect("drained, not dropped");
+            assert_eq!(res.neighbors[0].index as usize, p);
+        }
+    }
+
+    #[test]
+    fn abandoned_tickets_do_not_disturb_other_queries() {
+        // A caller that gives up (drops its ticket) must not wedge the shard
+        // or corrupt later answers.
+        let (engine, vs, _) = engine_with(ServeConfig::default());
+        drop(engine.submit(vs.row(0).to_vec()).unwrap());
+        let res = engine.query(vs.row(7).to_vec()).unwrap();
+        assert_eq!(res.neighbors[0].index, 7);
+        let report = engine.shutdown();
+        assert_eq!(report.served, 2, "the abandoned query is still served");
+    }
+
+    #[test]
+    fn malformed_queries_and_configs_get_typed_errors() {
+        let (engine, _, _) = engine_with(ServeConfig::default());
+        assert!(matches!(engine.submit(vec![0.0; 3]), Err(ServeError::Search(_))));
+        assert!(matches!(engine.submit(vec![f32::NAN; 16]), Err(ServeError::Search(_))));
+        engine.shutdown();
+
+        let (vs, lists) = built(120, 16, 51);
+        let index = ServeIndex::from_parts(vs, lists).unwrap();
+        let bad = ServeConfig {
+            params: SearchParams { k: 10, beam: 2, ..SearchParams::default() },
+            ..ServeConfig::default()
+        };
+        assert!(matches!(ServeEngine::start(index.clone(), bad), Err(ServeError::Search(_))));
+        let bad = ServeConfig {
+            backend: Backend::Device(DeviceConfig::test_tiny()),
+            params: SearchParams { metric: Metric::Cosine, ..SearchParams::default() },
+            ..ServeConfig::default()
+        };
+        assert!(matches!(ServeEngine::start(index, bad), Err(ServeError::Search(_))));
+    }
+
+    #[test]
+    fn augmented_serving_escapes_a_weak_component() {
+        // Two far-apart clusters on a line; the k-NN lists are in-cluster
+        // only, except for one *directed* edge B₀ → A₀ (the kind of stray
+        // edge approximate construction leaves). With entries = 1 the
+        // descent starts at point 0 (cluster A): a B-side query cannot
+        // cross over — unless augmentation mirrors the edge as A₀ → B₀.
+        let rows: Vec<Vec<f32>> = (0..10)
+            .map(|i| vec![0.1 * i as f32, 0.0])
+            .chain((0..10).map(|i| vec![100.0 + 0.1 * i as f32, 0.0]))
+            .collect();
+        let vs = VectorSet::from_rows(&rows).unwrap();
+        let mut lists = wknng_data::exact_knn(&vs, 3, Metric::SquaredL2);
+        let d = Metric::SquaredL2.eval(vs.row(10), vs.row(0));
+        lists[10].push(wknng_data::Neighbor::new(0, d));
+        let params = SearchParams { k: 3, beam: 8, entries: 1, ..SearchParams::default() };
+        let run = |augment| {
+            let index = ServeIndex::from_parts(vs.clone(), lists.clone()).unwrap();
+            let engine = ServeEngine::start(
+                index,
+                ServeConfig { params, augment, ..ServeConfig::default() },
+            )
+            .unwrap();
+            let res = engine.query(vs.row(15).to_vec()).unwrap();
+            engine.shutdown();
+            res.neighbors[0]
+        };
+        let plain = run(Augment::Off);
+        assert_ne!(plain.index, 15, "weak component must strand the plain search");
+        assert!(plain.dist > 1_000.0, "stranded in cluster A: {plain:?}");
+        let augmented = run(Augment::On { max_degree: None });
+        assert_eq!(augmented.index, 15, "reverse edge restores reachability");
+        assert_eq!(augmented.dist, 0.0);
+    }
+
+    #[test]
+    fn report_percentiles_are_monotone_under_load() {
+        let (engine, vs, _) = engine_with(ServeConfig {
+            shards: 2,
+            batch_size: 8,
+            linger: Duration::from_micros(200),
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<Ticket> =
+            (0..120).map(|p| engine.submit(vs.row(p % 200).to_vec()).unwrap()).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.served, 120);
+        let (p50, p95, p99) =
+            (report.latency_p(50.0), report.latency_p(95.0), report.latency_p(99.0));
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        assert!(p50 > Duration::ZERO);
+        assert!(report.batches > 0);
+        assert!(report.mean_batch >= 1.0);
+        assert!(report.max_queue_depth >= 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! The metrics summary a drained engine returns.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::histogram::LatencyHistogram;
+
+/// Aggregated serving metrics, produced by
+/// [`crate::ServeEngine::shutdown`] after the graceful drain.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Queries answered.
+    pub served: u64,
+    /// Queries admitted into the queue (includes still-pending ones dropped
+    /// by an inert shutdown).
+    pub submitted: u64,
+    /// Queries rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Worker shards.
+    pub shards: usize,
+    /// Batches dispatched across all shards.
+    pub batches: u64,
+    /// Mean queries per dispatched batch.
+    pub mean_batch: f64,
+    /// High-water mark of the submission queue.
+    pub max_queue_depth: usize,
+    /// Wall time from engine start to drain completion.
+    pub elapsed: Duration,
+    /// Answered queries per second of wall time.
+    pub throughput_qps: f64,
+    /// End-to-end latency distribution (submission to response), merged
+    /// across shards.
+    pub latency: LatencyHistogram,
+    /// Mean distance evaluations per answered query.
+    pub mean_distance_evals: f64,
+    /// Mean node expansions per answered query.
+    pub mean_expansions: f64,
+    /// Device launch faults absorbed by retry (0 without fault injection).
+    pub launch_faults: u64,
+}
+
+impl ServeReport {
+    /// Latency percentile as a [`Duration`] (`ZERO` when nothing was served).
+    pub fn latency_p(&self, p: f64) -> Duration {
+        Duration::from_nanos(self.latency.percentile(p).unwrap_or(0))
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {} / submitted {} / rejected {} ({} shard(s), {} batches, mean batch {:.1})",
+            self.served, self.submitted, self.rejected, self.shards, self.batches, self.mean_batch
+        )?;
+        writeln!(
+            f,
+            "throughput {:.0} q/s over {:.3} s, max queue depth {}",
+            self.throughput_qps,
+            self.elapsed.as_secs_f64(),
+            self.max_queue_depth
+        )?;
+        writeln!(
+            f,
+            "latency p50 {:?} / p95 {:?} / p99 {:?} (max {:?})",
+            self.latency_p(50.0),
+            self.latency_p(95.0),
+            self.latency_p(99.0),
+            Duration::from_nanos(self.latency.max().unwrap_or(0)),
+        )?;
+        write!(
+            f,
+            "work/query: {:.1} distance evals, {:.1} expansions; launch faults {}",
+            self.mean_distance_evals, self.mean_expansions, self.launch_faults
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_all_sections() {
+        let mut latency = LatencyHistogram::new();
+        for v in [1_000_000u64, 2_000_000, 40_000_000] {
+            latency.record(v);
+        }
+        let r = ServeReport {
+            served: 3,
+            submitted: 4,
+            rejected: 1,
+            shards: 2,
+            batches: 2,
+            mean_batch: 1.5,
+            max_queue_depth: 3,
+            elapsed: Duration::from_millis(120),
+            throughput_qps: 25.0,
+            latency,
+            mean_distance_evals: 81.5,
+            mean_expansions: 7.25,
+            launch_faults: 0,
+        };
+        let s = r.to_string();
+        assert!(s.contains("served 3"), "{s}");
+        assert!(s.contains("rejected 1"), "{s}");
+        assert!(s.contains("p50"), "{s}");
+        assert!(s.contains("81.5 distance evals"), "{s}");
+        assert!(r.latency_p(50.0) >= Duration::from_micros(900));
+    }
+}

@@ -274,6 +274,72 @@ pub fn cmd_audit(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// `serve`: replay a query file through the batching engine and print the
+/// drain report.
+///
+/// Queries are admitted through the bounded queue exactly like live
+/// traffic; an `Overloaded` rejection makes the replayer back off briefly
+/// and resubmit (counted in the report's `rejected`).
+pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    let input = args.require("input")?;
+    let graph_path = args.require("graph")?;
+    let queries_path = args.require("queries")?;
+    let index =
+        ServeIndex::load(Path::new(input), Path::new(graph_path)).map_err(|e| e.to_string())?;
+    let queries = io::load_vectors(Path::new(queries_path)).map_err(|e| e.to_string())?;
+    if queries.dim() != index.vectors.dim() {
+        return Err(format!(
+            "queries are {}-dimensional, index is {}-dimensional",
+            queries.dim(),
+            index.vectors.dim()
+        ));
+    }
+    let device: String = args.get("device", "native".to_string())?;
+    let backend = match device.as_str() {
+        "native" => Backend::Native,
+        "sim" => Backend::Device(DeviceConfig::pascal_like()),
+        other => return Err(format!("unknown --device '{other}' (native|sim)")),
+    };
+    let cfg = ServeConfig {
+        shards: args.get("shards", 1usize)?,
+        batch_size: args.get("batch", 32usize)?,
+        linger: std::time::Duration::from_micros(args.get("linger-us", 500u64)?),
+        queue_capacity: args.get("capacity", 1024usize)?,
+        params: SearchParams {
+            k: args.get("k", 10usize)?,
+            beam: args.get("beam", 48usize)?,
+            entries: args.get("entries", 2usize)?,
+            metric: Metric::SquaredL2,
+        },
+        augment: if args.get("augment", false)? {
+            Augment::On { max_degree: args.get_opt::<usize>("max-degree")? }
+        } else {
+            Augment::Off
+        },
+        backend,
+    };
+    let engine = ServeEngine::start(index, cfg).map_err(|e| e.to_string())?;
+    let mut tickets = Vec::with_capacity(queries.len());
+    for q in 0..queries.len() {
+        loop {
+            match engine.submit(queries.row(q).to_vec()) {
+                Ok(t) => break tickets.push(t),
+                Err(ServeError::Overloaded { .. }) => {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    let mut answered = 0usize;
+    for t in tickets {
+        t.wait().map_err(|e| e.to_string())?;
+        answered += 1;
+    }
+    let report = engine.shutdown();
+    Ok(format!("replayed {answered} queries\n{report}"))
+}
+
 /// Dispatch a parsed command; returns the report line(s) for stdout.
 pub fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_str() {
@@ -283,6 +349,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "stats" => cmd_stats(args),
         "info" => cmd_info(args),
         "search" => cmd_search(args),
+        "serve" => cmd_serve(args),
         "extend" => cmd_extend(args),
         "audit" => cmd_audit(args),
         "help" => Ok(USAGE.to_string()),
@@ -305,6 +372,9 @@ wknng-cli — approximate K-NN graphs from the command line
   info     --input d.wkv
   audit    --graph g.wkk [--input d.wkv]
   search   --input d.wkv --graph g.wkk [--query 0] [--k 10] [--beam 48]
+  serve    --input d.wkv --graph g.wkk --queries q.wkv [--k 10] [--beam 48]
+           [--entries 2] [--shards 1] [--batch 32] [--linger-us 500]
+           [--capacity 1024] [--augment [--max-degree D]] [--device native|sim]
   extend   --input d.wkv --graph g.wkk --new more.wkv
            --out-vectors d2.wkv --out-graph g2.wkk [--beam 0]
   help";
@@ -510,6 +580,39 @@ mod extended_cli_tests {
         assert!(out.contains("points 290"), "{out}");
 
         for f in [&vecs, &graph, &more, &vecs2, &graph2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_replays_a_query_file() {
+        let vecs = tmp("srv.wkv");
+        let graph = tmp("srv.wkk");
+        let queries = tmp("srv-q.wkv");
+        dispatch(&args(&format!(
+            "generate --out {vecs} --kind manifold --n 200 --dim 16 --intrinsic 3 --seed 8"
+        )))
+        .unwrap();
+        dispatch(&args(&format!("build --input {vecs} --out {graph} --k 8 --trees 4 --leaf 24")))
+            .unwrap();
+        dispatch(&args(&format!(
+            "generate --out {queries} --kind manifold --n 50 --dim 16 --intrinsic 3 --seed 9"
+        )))
+        .unwrap();
+        // A tiny queue forces the replayer through the Overloaded path.
+        let out = dispatch(&args(&format!(
+            "serve --input {vecs} --graph {graph} --queries {queries} \
+             --k 5 --shards 2 --batch 8 --capacity 16 --augment"
+        )))
+        .unwrap();
+        assert!(out.contains("replayed 50 queries"), "{out}");
+        assert!(out.contains("served 50"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+        // Dimension mismatch between index and queries is a clean error.
+        let err =
+            dispatch(&args(&format!("serve --input {vecs} --graph {graph} --queries {graph}")));
+        assert!(err.is_err());
+        for f in [&vecs, &graph, &queries] {
             std::fs::remove_file(f).ok();
         }
     }

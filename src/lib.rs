@@ -15,6 +15,7 @@
 //! | [`forest`] | random-projection tree/forest construction |
 //! | [`core`] | the w-KNNG algorithm: kernels, backends, builder API, recall |
 //! | [`baseline`] | brute force (+WarpSelect), k-means, IVF-Flat (FAISS stand-in), NN-descent, HNSW |
+//! | [`serve`] | batched query-serving engine: sharding, admission control, latency metrics |
 //! | [`tsne`] | the motivating application: t-SNE over K-NNG affinities |
 //!
 //! ## Quickstart
@@ -62,6 +63,7 @@ pub use wknng_baseline as baseline;
 pub use wknng_core as core;
 pub use wknng_data as data;
 pub use wknng_forest as forest;
+pub use wknng_serve as serve;
 pub use wknng_simt as simt;
 pub use wknng_tsne as tsne;
 
@@ -72,17 +74,21 @@ pub mod prelude {
         Hnsw, HnswParams, IvfFlat, IvfParams, NnDescentParams,
     };
     pub use wknng_core::{
-        audit_graph, audit_slots, build_device, build_device_with_policy, build_native,
-        extend_graph, graph_stats, lists_to_slots, mean_distance_ratio, recall, repair_list,
-        search, symmetrize, AuditLevel, AuditReport, BuildEvent, BuildEvents, BuildPhase,
-        BuildPolicy, DeviceReports, ExplorationMode, Extended, GraphStats, KernelVariant, Knng,
-        KnngError, PhaseTimings, SearchParams, SearchStats, ViolationKind, WknngBuilder,
-        WknngParams,
+        audit_graph, audit_slots, augment_reverse, build_device, build_device_with_policy,
+        build_native, extend_graph, graph_stats, lists_to_slots, mean_distance_ratio, recall,
+        repair_list, run_search_batch, search, search_batch, search_checked, symmetrize,
+        AuditLevel, AuditReport, BuildEvent, BuildEvents, BuildPhase, BuildPolicy, DeviceReports,
+        ExplorationMode, Extended, GraphStats, KernelVariant, Knng, KnngError, PhaseTimings,
+        SearchIndex, SearchParams, SearchStats, ViolationKind, WknngBuilder, WknngParams,
     };
     pub use wknng_data::{
         exact_knn, sq_l2, DataError, Dataset, DatasetSpec, Metric, Neighbor, VectorSet,
     };
     pub use wknng_forest::{build_forest, ForestParams, ProjectionKind, RpForest, TreeParams};
+    pub use wknng_serve::{
+        Augment, Backend, QueryResult, ServeConfig, ServeEngine, ServeError, ServeIndex,
+        ServeReport,
+    };
     pub use wknng_simt::{
         DeviceConfig, FaultPlan, FaultScope, InjectedFault, LaunchFault, LaunchReport, Stats,
     };

@@ -1,0 +1,126 @@
+//! Serving-engine integration: 10k indexed points, 1k out-of-sample
+//! queries, batched results identical to sequential `search()`, recall@10
+//! against brute force, full report, and admission control.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use wknng::prelude::*;
+
+/// One shared 11k-point manifold: the first 10k are indexed (and their graph
+/// built once for both tests), the last 1k are the out-of-sample stream.
+fn corpus() -> &'static (VectorSet, VectorSet, Knng) {
+    static CORPUS: OnceLock<(VectorSet, VectorSet, Knng)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let all = DatasetSpec::Manifold { n: 11_000, ambient_dim: 16, intrinsic_dim: 3 }
+            .generate(90)
+            .vectors;
+        let index = VectorSet::new(all.as_flat()[..10_000 * 16].to_vec(), 16).unwrap();
+        let queries = VectorSet::new(all.as_flat()[10_000 * 16..].to_vec(), 16).unwrap();
+        let (g, _) = WknngBuilder::new(10)
+            .trees(6)
+            .leaf_size(32)
+            .exploration(2)
+            .seed(91)
+            .build_native(&index)
+            .expect("valid build");
+        (index, queries, g)
+    })
+}
+
+#[test]
+fn serve_10k_points_1k_queries_batched_equals_sequential_with_high_recall() {
+    let (vs, queries, g) = corpus();
+    let params = SearchParams::default(); // k = 10
+
+    // Sequential reference, once.
+    let reference: Vec<(Vec<Neighbor>, SearchStats)> =
+        (0..queries.len()).map(|q| search(vs, g, queries.row(q), &params)).collect();
+
+    // Brute-force ground truth for recall@10 (exact scan per query).
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (q, (res, _)) in reference.iter().enumerate() {
+        let mut exact: Vec<Neighbor> = (0..vs.len())
+            .map(|p| Neighbor::new(p as u32, Metric::SquaredL2.eval(queries.row(q), vs.row(p))))
+            .collect();
+        exact.select_nth_unstable_by(9, |a, b| a.key().partial_cmp(&b.key()).unwrap());
+        exact.truncate(10);
+        total += exact.len();
+        hits += exact.iter().filter(|e| res.iter().any(|r| r.index == e.index)).count();
+    }
+    let recall_at_10 = hits as f64 / total as f64;
+    assert!(recall_at_10 >= 0.9, "recall@10 = {recall_at_10:.4}");
+
+    // The engine at every required batch size: results identical to the
+    // sequential reference, full report emitted.
+    for batch_size in [1usize, 8, 64] {
+        let index = ServeIndex::from_parts(vs.clone(), g.lists.clone()).unwrap();
+        let engine = ServeEngine::start(
+            index,
+            ServeConfig {
+                shards: 2,
+                batch_size,
+                linger: Duration::from_micros(100),
+                queue_capacity: 2048,
+                params,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let tickets: Vec<_> = (0..queries.len())
+            .map(|q| engine.submit(queries.row(q).to_vec()).expect("capacity fits the replay"))
+            .collect();
+        for (q, t) in tickets.into_iter().enumerate() {
+            let res = t.wait().expect("served");
+            assert_eq!(res.neighbors, reference[q].0, "batch {batch_size}, query {q}");
+            assert_eq!(res.stats, reference[q].1, "batch {batch_size}, query {q}");
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.served, queries.len() as u64, "batch {batch_size}");
+        assert_eq!(report.rejected, 0);
+        assert!(report.throughput_qps > 0.0, "batch {batch_size}");
+        let (p50, p95, p99) =
+            (report.latency_p(50.0), report.latency_p(95.0), report.latency_p(99.0));
+        assert!(p50 > Duration::ZERO, "batch {batch_size}");
+        assert!(p50 <= p95 && p95 <= p99, "batch {batch_size}: {p50:?} {p95:?} {p99:?}");
+        assert!(report.mean_distance_evals > 0.0);
+        assert!(report.batches >= (queries.len() / batch_size.max(1)) as u64);
+    }
+}
+
+#[test]
+fn bounded_queue_rejects_instead_of_blocking() {
+    let (vs, queries, g) = corpus();
+    let index = ServeIndex::from_parts(vs.clone(), g.lists.clone()).unwrap();
+    // Inert engine (no shards): the queue can only fill, so the rejection
+    // boundary is deterministic and provably non-blocking.
+    let engine = ServeEngine::start(
+        index,
+        ServeConfig { shards: 0, queue_capacity: 32, ..ServeConfig::default() },
+    )
+    .unwrap();
+    let mut admitted = 0usize;
+    let mut rejected = 0usize;
+    let started = std::time::Instant::now();
+    for q in 0..64 {
+        match engine.submit(queries.row(q).to_vec()) {
+            Ok(_) => admitted += 1,
+            Err(ServeError::Overloaded { depth, capacity }) => {
+                assert_eq!((depth, capacity), (32, 32));
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(admitted, 32);
+    assert_eq!(rejected, 32);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "overload handling must not block: {:?}",
+        started.elapsed()
+    );
+    let report = engine.shutdown();
+    assert_eq!(report.rejected, 32);
+    assert_eq!(report.max_queue_depth, 32);
+}
