@@ -185,7 +185,11 @@ pub fn run_search_batch(
 
     let qbuf = DeviceBuffer::from_slice(queries.as_flat());
     let beams = DeviceBuffer::filled(nq * bw, EMPTY_SLOT);
-    let visited = DeviceBuffer::filled(nq * n, 0u32);
+    // One byte per (query, point) visited flag: the kernel only ever tests
+    // zero/non-zero, so u8 keeps the per-launch footprint at nq*n bytes
+    // (batch 128 over a 1M-point index: 128 MB, not the 512 MB a u32 flag
+    // array would pin).
+    let visited = DeviceBuffer::filled(nq * n, 0u8);
     let mut stats = vec![SearchStats { distance_evals: 0, expansions: 0 }; nq];
 
     let blocks = nq.div_ceil(WARPS_PER_BLOCK);
@@ -210,7 +214,7 @@ pub fn run_search_batch(
                 while w.ld_global(&visited, &LaneVec::splat(vbase + p), one).get(0) != 0 {
                     p = (p + 1) % n;
                 }
-                w.st_global(&visited, &LaneVec::splat(vbase + p), &LaneVec::splat(1u32), one);
+                w.st_global(&visited, &LaneVec::splat(vbase + p), &LaneVec::splat(1u8), one);
                 seeds.push(p);
             }
             for chunk in seeds.chunks(WARP_LANES) {
@@ -255,7 +259,7 @@ pub fn run_search_batch(
                     let seen = w.ld_global(&visited, &vi, real);
                     let fresh = w.pred(real, |l| seen.get(l) == 0);
                     if !fresh.is_empty() {
-                        w.st_global(&visited, &vi, &LaneVec::splat(1u32), fresh);
+                        w.st_global(&visited, &vi, &LaneVec::splat(1u8), fresh);
                         let pts = w.math_idx(fresh, |l| nbr.get(l) as usize);
                         let d = lane_query_dists(w, &ix.points, &qbuf, ix.dim, q, &pts, fresh);
                         // Offer in adjacency-list (lane) order, exactly like

@@ -46,10 +46,10 @@ impl ServeIndex {
     /// Wrap an in-memory build.
     pub fn from_parts(vectors: VectorSet, lists: Vec<Vec<Neighbor>>) -> Result<Self, ServeError> {
         if lists.len() != vectors.len() {
-            return Err(ServeError::Search(KnngError::Data(wknng_data::DataError::RaggedBuffer {
-                len: lists.len(),
-                dim: vectors.len(),
-            })));
+            return Err(ServeError::ListCountMismatch {
+                lists: lists.len(),
+                points: vectors.len(),
+            });
         }
         Ok(ServeIndex { vectors, lists })
     }
@@ -189,16 +189,10 @@ impl ServeEngine {
     /// [`ServeError::Shutdown`].
     pub fn submit(&self, query: Vec<f32>) -> Result<Ticket, ServeError> {
         if query.len() != self.dim() {
-            return Err(ServeError::Search(KnngError::Data(wknng_data::DataError::RaggedBuffer {
-                len: query.len(),
-                dim: self.dim(),
-            })));
+            return Err(ServeError::QueryDimMismatch { got: query.len(), want: self.dim() });
         }
         if let Some(c) = query.iter().position(|v| !v.is_finite()) {
-            return Err(ServeError::Search(KnngError::Data(wknng_data::DataError::NonFinite {
-                point: 0,
-                coord: c,
-            })));
+            return Err(ServeError::NonFiniteQuery { coord: c });
         }
         let (tx, rx) = mpsc::channel();
         let mut q = self.shared.queue.lock().expect("queue lock");

@@ -19,6 +19,26 @@ pub enum ServeError {
     /// The engine is shutting down (or was shut down before this query was
     /// answered); no further queries are admitted.
     Shutdown,
+    /// A submitted query's dimensionality does not match the index.
+    QueryDimMismatch {
+        /// Length of the submitted query vector.
+        got: usize,
+        /// Dimensionality the index serves.
+        want: usize,
+    },
+    /// A submitted query contains a NaN or infinite coordinate.
+    NonFiniteQuery {
+        /// Index of the first offending coordinate.
+        coord: usize,
+    },
+    /// An in-memory index was assembled from a neighbor-list set whose
+    /// length differs from the vector count.
+    ListCountMismatch {
+        /// Number of neighbor lists supplied.
+        lists: usize,
+        /// Number of indexed points.
+        points: usize,
+    },
     /// A malformed [`crate::ServeConfig`] field.
     Config(&'static str),
     /// Invalid search parameters, metric, or query shape (typed, from the
@@ -35,6 +55,15 @@ impl fmt::Display for ServeError {
                 write!(f, "queue overloaded: {depth} pending of {capacity} capacity")
             }
             ServeError::Shutdown => write!(f, "engine is shut down"),
+            ServeError::QueryDimMismatch { got, want } => {
+                write!(f, "query has {got} coordinates, index serves dimension {want}")
+            }
+            ServeError::NonFiniteQuery { coord } => {
+                write!(f, "query coordinate {coord} is not finite")
+            }
+            ServeError::ListCountMismatch { lists, points } => {
+                write!(f, "{lists} neighbor lists for {points} points")
+            }
             ServeError::Config(what) => write!(f, "invalid serve config: {what}"),
             ServeError::Search(e) => write!(f, "search error: {e}"),
             ServeError::Io(e) => write!(f, "index load error: {e}"),
@@ -65,6 +94,12 @@ mod tests {
         let e = ServeError::Overloaded { depth: 64, capacity: 64 };
         assert!(e.to_string().contains("64 pending"), "{e}");
         assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        let e = ServeError::QueryDimMismatch { got: 3, want: 16 };
+        assert!(e.to_string().contains("3 coordinates") && e.to_string().contains("16"), "{e}");
+        let e = ServeError::NonFiniteQuery { coord: 5 };
+        assert!(e.to_string().contains("coordinate 5"), "{e}");
+        let e = ServeError::ListCountMismatch { lists: 9, points: 10 };
+        assert!(e.to_string().contains("9 neighbor lists for 10 points"), "{e}");
         assert!(ServeError::Config("batch_size must be >= 1").to_string().contains("batch_size"));
         let e: ServeError = KnngError::ZeroK.into();
         assert!(matches!(e, ServeError::Search(_)));

@@ -189,8 +189,14 @@ mod tests {
     #[test]
     fn malformed_queries_and_configs_get_typed_errors() {
         let (engine, _, _) = engine_with(ServeConfig::default());
-        assert!(matches!(engine.submit(vec![0.0; 3]), Err(ServeError::Search(_))));
-        assert!(matches!(engine.submit(vec![f32::NAN; 16]), Err(ServeError::Search(_))));
+        assert!(matches!(
+            engine.submit(vec![0.0; 3]),
+            Err(ServeError::QueryDimMismatch { got: 3, want: 16 })
+        ));
+        assert!(matches!(
+            engine.submit(vec![f32::NAN; 16]),
+            Err(ServeError::NonFiniteQuery { coord: 0 })
+        ));
         engine.shutdown();
 
         let (vs, lists) = built(120, 16, 51);

@@ -1,0 +1,5 @@
+/root/repo/stubs/criterion/target/debug/deps/criterion-3b65c06e04d4d935.d: src/lib.rs
+
+/root/repo/stubs/criterion/target/debug/deps/criterion-3b65c06e04d4d935: src/lib.rs
+
+src/lib.rs:

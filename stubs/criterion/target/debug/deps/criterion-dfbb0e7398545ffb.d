@@ -1,0 +1,7 @@
+/root/repo/stubs/criterion/target/debug/deps/criterion-dfbb0e7398545ffb.d: src/lib.rs
+
+/root/repo/stubs/criterion/target/debug/deps/libcriterion-dfbb0e7398545ffb.rlib: src/lib.rs
+
+/root/repo/stubs/criterion/target/debug/deps/libcriterion-dfbb0e7398545ffb.rmeta: src/lib.rs
+
+src/lib.rs:
