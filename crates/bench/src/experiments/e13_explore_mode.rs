@@ -57,7 +57,7 @@ mod tests {
     fn both_modes_appear_per_round() {
         let out = run(Scale { quick: true });
         assert!(out.contains("E13"));
-        assert_eq!(out.matches("incremental").count() >= 2, true);
+        assert!(out.matches("incremental").count() >= 2);
         assert!(out.matches(" full").count() >= 2);
     }
 }

@@ -86,12 +86,12 @@ mod tests {
         let dev = DeviceConfig::test_tiny();
         run_basic(&dev, &state, &layout).unwrap();
         let got = state.download();
-        for p in 0..4 {
-            assert_eq!(got[p].len(), 3);
-            assert!(got[p].iter().all(|nb| nb.index < 4));
+        for row in &got[..4] {
+            assert_eq!(row.len(), 3);
+            assert!(row.iter().all(|nb| nb.index < 4));
         }
-        for p in 4..8 {
-            assert!(got[p].iter().all(|nb| nb.index >= 4));
+        for row in &got[4..8] {
+            assert!(row.iter().all(|nb| nb.index >= 4));
         }
     }
 }

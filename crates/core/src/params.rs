@@ -217,8 +217,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_shapes() {
-        let mut p = WknngParams::default();
-        p.k = 0;
+        let mut p = WknngParams { k: 0, ..WknngParams::default() };
         assert_eq!(p.validate(100), Err(KnngError::ZeroK));
         p.k = 100;
         assert_eq!(p.validate(100), Err(KnngError::KTooLarge { k: 100, n: 100 }));

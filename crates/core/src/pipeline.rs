@@ -208,8 +208,11 @@ fn run_recovered(
 fn apply_due_flips(state: &DeviceState, events: &mut BuildEvents) {
     for flip in take_due_flips() {
         let word = (flip.word_seed % state.slots.len() as u64) as usize;
-        state.slots.corrupt_bit(word, flip.bit as u32);
-        events.push(BuildEvent::BitFlipApplied { word, bit: flip.bit });
+        // The seeded position ranges over u8; fold it into the u64 slot
+        // width — corrupt_bit rejects out-of-width bits outright.
+        let bit = flip.bit % u64::BITS as u8;
+        state.slots.corrupt_bit(word, bit as u32);
+        events.push(BuildEvent::BitFlipApplied { word, bit });
     }
 }
 

@@ -337,10 +337,10 @@ mod tests {
         let params = SearchParams::default();
         let batched = search_batch(&vs, &g, &queries, &params);
         assert_eq!(batched.len(), 40);
-        for q in 0..queries.len() {
+        for (q, got) in batched.iter().enumerate() {
             let (res, stats) = search(&vs, &g, queries.row(q), &params);
-            assert_eq!(batched[q].0, res, "query {q}");
-            assert_eq!(batched[q].1, stats, "query {q}");
+            assert_eq!(got.0, res, "query {q}");
+            assert_eq!(got.1, stats, "query {q}");
         }
     }
 

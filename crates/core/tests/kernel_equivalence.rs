@@ -1,0 +1,56 @@
+//! Cross-kernel equivalence: for a fixed seed, the basic, atomic and tiled
+//! strategies are three schedules of the *same* logical algorithm, so they
+//! must produce graphs with identical recall on a 2k-point fixture.
+//!
+//! With `--features sanitize` the whole sweep additionally runs under a
+//! [`wknng_simt::SanitizerScope`] and every build is asserted hazard-free.
+
+use wknng_core::{recall, KernelVariant, WknngBuilder};
+use wknng_data::{exact_knn, DatasetSpec, Metric};
+use wknng_simt::DeviceConfig;
+
+#[test]
+fn variants_produce_identical_recall_on_2k_fixture() {
+    let n = 2000;
+    let k = 8;
+    let vs = DatasetSpec::GaussianClusters { n, dim: 12, clusters: 8, spread: 0.35 }
+        .generate(0xF1D0)
+        .vectors;
+    let truth = exact_knn(&vs, k, Metric::SquaredL2);
+    let dev = DeviceConfig::test_tiny();
+
+    #[cfg(feature = "sanitize")]
+    let scope = wknng_simt::SanitizerScope::install();
+
+    let mut results = Vec::new();
+    for v in KernelVariant::ALL {
+        let (graph, _) = WknngBuilder::new(k)
+            .trees(2)
+            .leaf_size(48)
+            .exploration(1)
+            .seed(7)
+            .variant(v)
+            .build_device(&vs, &dev)
+            .expect("build succeeds");
+        let idx: Vec<Vec<u32>> =
+            graph.lists.iter().map(|l| l.iter().map(|nb| nb.index).collect()).collect();
+        results.push((v, recall(&graph.lists, &truth), idx));
+    }
+
+    #[cfg(feature = "sanitize")]
+    {
+        let report = scope.report();
+        assert!(
+            report.is_clean(),
+            "a construction kernel raced on the 2k fixture:\n{}",
+            report.summary()
+        );
+    }
+
+    let (v0, r0, idx0) = &results[0];
+    assert!(*r0 > 0.5, "fixture recall implausibly low for {v0:?}: {r0}");
+    for (v, r, idx) in &results[1..] {
+        assert_eq!(r, r0, "recall of {v:?} diverges from {v0:?}");
+        assert_eq!(idx, idx0, "neighbor sets of {v:?} diverge from {v0:?}");
+    }
+}

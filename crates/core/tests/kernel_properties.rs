@@ -1,0 +1,193 @@
+//! Property tests over the kernel building blocks: `heap::KnnList` ordering,
+//! the device slot-sort against a host oracle, and the insertion protocols
+//! never losing a closer-than-worst neighbor.
+//!
+//! With `--features sanitize` every device launch in this file additionally
+//! runs under a [`wknng_simt::SanitizerScope`] and is asserted hazard-free;
+//! without the feature the same properties run untracked (tier-1).
+
+use proptest::prelude::*;
+use wknng_core::kernels::insert::{lane_insert_atomic, warp_insert_atomic, warp_insert_exclusive};
+use wknng_core::kernels::{sort_slots_device, DeviceState};
+use wknng_core::{slots_to_lists, KnnList, EMPTY_SLOT};
+use wknng_data::Neighbor;
+use wknng_simt::{launch, DeviceBuffer, DeviceConfig, LaneVec, Mask};
+
+/// Run `f` under a sanitizer scope and assert no hazards; a plain call
+/// without the feature.
+#[cfg(feature = "sanitize")]
+fn sanitized<R>(f: impl FnOnce() -> R) -> R {
+    let scope = wknng_simt::SanitizerScope::install();
+    let out = f();
+    let report = scope.report();
+    assert!(report.is_clean(), "kernel building block raced:\n{}", report.summary());
+    out
+}
+
+#[cfg(not(feature = "sanitize"))]
+fn sanitized<R>(f: impl FnOnce() -> R) -> R {
+    f()
+}
+
+/// Unique-by-index candidate stream (the builder never offers one index with
+/// two distances inside a launch; the oracle comparison needs the same rule).
+fn unique_cands(raw: Vec<(u32, f32)>) -> Vec<Neighbor> {
+    let mut seen = std::collections::HashSet::new();
+    raw.into_iter().filter(|(i, _)| seen.insert(*i)).map(|(i, d)| Neighbor::new(i, d)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Push/pop ordering: after every push the list is sorted ascending by
+    /// `(dist, index)`, bounded by its capacity, and `worst()` is its last
+    /// element; `insert` returns true exactly when the set changed.
+    #[test]
+    fn knn_list_stays_sorted_and_bounded_after_every_push(
+        cap in 1usize..16,
+        raw in prop::collection::vec((0u32..40, 0.0f32..100.0), 1..60),
+    ) {
+        let mut list = KnnList::new(cap);
+        for nb in unique_cands(raw) {
+            let before: Vec<Neighbor> = list.as_slice().to_vec();
+            let accepted = list.insert(nb);
+            let s = list.as_slice();
+            prop_assert!(s.len() <= cap);
+            for w in s.windows(2) {
+                prop_assert!(w[0].key() < w[1].key(), "sorted, no duplicates");
+            }
+            prop_assert_eq!(list.worst(), s.last().copied());
+            prop_assert_eq!(accepted, s != before.as_slice(), "insert reports change");
+            if accepted {
+                prop_assert!(s.iter().any(|x| x.index == nb.index));
+            }
+        }
+    }
+
+    /// The device bitonic slot sort agrees with a host sort of the packed
+    /// keys — including EMPTY padding, which must sort to the tail.
+    #[test]
+    fn device_slot_sort_matches_host_oracle(
+        n in 1usize..6,
+        k in 1usize..9,
+        raw in prop::collection::vec((0u32..900, 0.0f32..50.0), 0..48),
+        empties in prop::collection::vec(any::<bool>(), 0..48),
+    ) {
+        let mut slots = vec![EMPTY_SLOT; n * k];
+        for (s, (cand, keep_empty)) in
+            slots.iter_mut().zip(raw.iter().zip(empties.iter().chain(std::iter::repeat(&false))))
+        {
+            if !keep_empty {
+                *s = Neighbor::new(cand.0, cand.1).pack();
+            }
+        }
+        let state = DeviceState {
+            points: DeviceBuffer::zeroed(n),
+            slots: DeviceBuffer::from_slice(&slots),
+            n,
+            dim: 1,
+            k,
+        };
+        let dev = DeviceConfig::test_tiny();
+        sanitized(|| sort_slots_device(&dev, &state)).expect("k <= 32");
+        let got = state.slots.to_vec();
+        let mut want = slots;
+        for row in want.chunks_mut(k) {
+            row.sort_unstable();
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// Neither insertion protocol ever loses a candidate that is closer than
+    /// the final worst slot: the device list is exactly the k best of the
+    /// stream, matching the host `KnnList` oracle.
+    #[test]
+    fn insert_protocols_never_lose_a_closer_neighbor(
+        k in 1usize..10,
+        raw in prop::collection::vec((0u32..60, 0.0f32..100.0), 1..80),
+        atomic in any::<bool>(),
+    ) {
+        let cands = unique_cands(raw);
+        let slots = DeviceBuffer::filled(k, EMPTY_SLOT);
+        let dev = DeviceConfig::test_tiny();
+        sanitized(|| {
+            launch(&dev, 1, 1, |blk| {
+                blk.each_warp(|w| {
+                    for nb in &cands {
+                        if atomic {
+                            warp_insert_atomic(w, &slots, 0, k, nb.pack());
+                        } else {
+                            warp_insert_exclusive(w, &slots, 0, k, nb.pack());
+                        }
+                    }
+                });
+            })
+        });
+        let got = slots_to_lists(&slots.to_vec(), 1, k).remove(0);
+        let mut oracle = KnnList::new(k);
+        for &nb in &cands {
+            oracle.insert(nb);
+        }
+        let want = oracle.into_vec();
+        prop_assert_eq!(&got, &want);
+        // The named property, stated directly: any candidate closer than the
+        // final worst must be present (or the list is not yet full).
+        if got.len() == k {
+            let worst = got.last().expect("full list").key();
+            for nb in &cands {
+                if nb.key() < worst {
+                    prop_assert!(
+                        got.iter().any(|x| x.index == nb.index),
+                        "lost {:?} closer than worst {:?}", nb, worst
+                    );
+                }
+            }
+        }
+    }
+
+    /// The lane-parallel atomic protocol preserves the same guarantee under
+    /// same-point contention inside single CAS instructions.
+    #[test]
+    fn lane_insert_atomic_never_loses_a_closer_neighbor(
+        k in 1usize..6,
+        n_points in 1usize..5,
+        rounds in 1usize..4,
+        seed in any::<u32>(),
+    ) {
+        let slots = DeviceBuffer::filled(n_points * k, EMPTY_SLOT);
+        let dev = DeviceConfig::test_tiny();
+        // Every lane l inserts candidate (seeded dist) into point l % n_points.
+        let mut per_point: Vec<Vec<Neighbor>> = vec![Vec::new(); n_points];
+        let mut streams = Vec::new();
+        for r in 0..rounds {
+            let pts = LaneVec::from_fn(|l| l % n_points);
+            let cands = LaneVec::from_fn(|l| {
+                let index = (r * 32 + l) as u32;
+                let dist = ((seed as usize).wrapping_mul(2654435761).wrapping_add(index as usize * 97)
+                    % 1000) as f32;
+                Neighbor::new(index, dist).pack()
+            });
+            for l in 0..32 {
+                per_point[l % n_points].push(Neighbor::unpack(cands.get(l)));
+            }
+            streams.push((pts, cands));
+        }
+        sanitized(|| {
+            launch(&dev, 1, 1, |blk| {
+                blk.each_warp(|w| {
+                    for (pts, cands) in &streams {
+                        lane_insert_atomic(w, &slots, pts, k, cands, Mask::FULL);
+                    }
+                });
+            })
+        });
+        let lists = slots_to_lists(&slots.to_vec(), n_points, k);
+        for (p, got) in lists.iter().enumerate() {
+            let mut oracle = KnnList::new(k);
+            for &nb in &per_point[p] {
+                oracle.insert(nb);
+            }
+            prop_assert_eq!(got, &oracle.into_vec(), "point {}", p);
+        }
+    }
+}

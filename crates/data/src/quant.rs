@@ -163,7 +163,7 @@ mod tests {
     fn constant_dimension_quantizes_to_zero_step() {
         let vs = VectorSet::from_rows(&[vec![3.0, 1.0], vec![3.0, 2.0], vec![3.0, 0.0]]).unwrap();
         let q = QuantizedSet::quantize(&vs).unwrap();
-        assert_eq!(q.sq_l2_codes(0, 1) > 0.0, true);
+        assert!(q.sq_l2_codes(0, 1) > 0.0);
         // The constant dimension contributes nothing.
         let dec = q.decode();
         assert!(dec.rows().all(|r| (r[0] - 3.0).abs() < 1e-6));

@@ -46,14 +46,14 @@ proptest! {
         let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let vs = VectorSet::new(data, dim).unwrap();
         let got = exact_knn(&vs, k, Metric::SquaredL2);
-        for i in 0..n {
+        for (i, row) in got.iter().enumerate() {
             let mut all: Vec<Neighbor> = (0..n)
                 .filter(|&j| j != i)
                 .map(|j| Neighbor::new(j as u32, sq_l2(vs.row(i), vs.row(j))))
                 .collect();
             sort_neighbors(&mut all);
             all.truncate(k.min(n - 1));
-            prop_assert_eq!(&got[i], &all, "point {}", i);
+            prop_assert_eq!(row, &all, "point {}", i);
         }
     }
 

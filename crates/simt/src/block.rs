@@ -35,6 +35,8 @@ impl<'a> BlockCtx<'a> {
         warps_per_block: usize,
         l2: &'a mut L2Cache,
     ) -> Self {
+        #[cfg(feature = "sanitize")]
+        crate::sanitizer::hooks::block_begin(block_idx);
         BlockCtx {
             device,
             block_idx,
@@ -54,6 +56,8 @@ impl<'a> BlockCtx<'a> {
 
     /// Reset the shared-memory arena (reuse between independent phases).
     pub fn shared_reset(&self) {
+        #[cfg(feature = "sanitize")]
+        crate::sanitizer::hooks::shared_reset();
         self.shared.reset();
     }
 
@@ -78,7 +82,11 @@ impl<'a> BlockCtx<'a> {
             atomic_log: &mut self.atomic_log,
             l2: self.l2,
         };
+        #[cfg(feature = "sanitize")]
+        crate::sanitizer::hooks::warp_begin();
         f(&mut ctx);
+        #[cfg(feature = "sanitize")]
+        crate::sanitizer::hooks::warp_end(self.block_idx, warp_in_block);
         let used = ctx.cycles;
         self.warp_cycles[warp_in_block] += used;
     }
@@ -86,6 +94,8 @@ impl<'a> BlockCtx<'a> {
     /// Block-wide barrier: all warps advance to the slowest warp's cycle
     /// count plus the barrier cost.
     pub fn sync(&mut self) {
+        #[cfg(feature = "sanitize")]
+        crate::sanitizer::hooks::barrier();
         self.stats.barriers += 1;
         let max =
             self.warp_cycles.iter().cloned().fold(0.0_f64, f64::max) + self.device.sync_cycles;

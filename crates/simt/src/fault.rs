@@ -68,7 +68,9 @@ impl std::error::Error for LaunchFault {}
 pub struct PendingFlip {
     /// Seeded value used to derive the target word index.
     pub word_seed: u64,
-    /// Bit position to flip (modulo the element width).
+    /// Seeded bit position. The owner must reduce it modulo the element
+    /// width before calling [`crate::memory::DeviceBuffer::corrupt_bit`],
+    /// which rejects out-of-width positions.
     pub bit: u8,
 }
 

@@ -130,6 +130,8 @@ fn simulate(
     mut kernel: impl FnMut(&mut BlockCtx),
 ) -> LaunchReport {
     assert!(warps_per_block > 0, "a block needs at least one warp");
+    #[cfg(feature = "sanitize")]
+    crate::sanitizer::hooks::launch_begin();
     let mut stats = Stats::new();
     let mut block_cycles = Vec::with_capacity(blocks);
     let mut sector_counts: std::collections::HashMap<(u64, u64), u64> =
@@ -151,6 +153,10 @@ fn simulate(
         }
     }
     stats.launches = 1;
+    #[cfg(feature = "sanitize")]
+    {
+        stats.hazards = crate::sanitizer::hooks::launch_end();
+    }
     let slots = device.concurrent_blocks(warps_per_block as u32);
     let compute = schedule(&block_cycles, slots);
     let memory = stats.dram_bytes as f64 / device.dram_bytes_per_cycle;

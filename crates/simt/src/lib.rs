@@ -54,6 +54,7 @@ pub mod launch;
 pub mod memory;
 pub mod primitives;
 pub mod report;
+pub mod sanitizer;
 pub mod shared;
 pub mod stats;
 pub mod warp;
@@ -66,6 +67,9 @@ pub use fault::{
 pub use lane::{lane_ids, LaneVec, Mask};
 pub use launch::{launch, try_launch, LaunchReport};
 pub use memory::{DeviceBuffer, Pod};
+#[cfg(feature = "sanitize")]
+pub use sanitizer::{launch_sanitized, SanitizerScope};
+pub use sanitizer::{AccessKind, AccessSite, Hazard, HazardKind, HazardReport, Space};
 pub use shared::SharedArray;
 pub use stats::Stats;
 pub use warp::WarpCtx;

@@ -1,6 +1,6 @@
 //! Simulated global (device) memory.
 
-use std::cell::{Ref, RefCell, RefMut};
+use std::cell::{Cell, Ref, RefCell, RefMut};
 
 /// Marker for plain-old-data element types that may live in device memory.
 ///
@@ -93,6 +93,8 @@ pub struct DeviceBuffer<T: Pod> {
     /// Unique id used by the cost model to tell buffers apart when grouping
     /// lane addresses into memory transactions.
     id: u64,
+    /// Optional human-readable name surfaced in sanitizer diagnostics.
+    label: Cell<Option<&'static str>>,
 }
 
 fn next_buffer_id() -> u64 {
@@ -104,17 +106,41 @@ fn next_buffer_id() -> u64 {
 impl<T: Pod> DeviceBuffer<T> {
     /// Allocate `len` zero-initialised elements.
     pub fn zeroed(len: usize) -> Self {
-        DeviceBuffer { data: RefCell::new(vec![T::default(); len]), id: next_buffer_id() }
+        DeviceBuffer {
+            data: RefCell::new(vec![T::default(); len]),
+            id: next_buffer_id(),
+            label: Cell::new(None),
+        }
     }
 
     /// Allocate and fill with `value`.
     pub fn filled(len: usize, value: T) -> Self {
-        DeviceBuffer { data: RefCell::new(vec![value; len]), id: next_buffer_id() }
+        DeviceBuffer {
+            data: RefCell::new(vec![value; len]),
+            id: next_buffer_id(),
+            label: Cell::new(None),
+        }
     }
 
     /// Upload a host slice.
     pub fn from_slice(host: &[T]) -> Self {
-        DeviceBuffer { data: RefCell::new(host.to_vec()), id: next_buffer_id() }
+        DeviceBuffer {
+            data: RefCell::new(host.to_vec()),
+            id: next_buffer_id(),
+            label: Cell::new(None),
+        }
+    }
+
+    /// Attach a human-readable name; sanitizer hazard reports print it next
+    /// to the allocation id. Returns `self` for builder-style use.
+    pub fn set_label(self, name: &'static str) -> Self {
+        self.label.set(Some(name));
+        self
+    }
+
+    /// The label attached with [`DeviceBuffer::set_label`], if any.
+    pub fn label(&self) -> Option<&'static str> {
+        self.label.get()
     }
 
     /// Number of elements.
@@ -154,12 +180,27 @@ impl<T: Pod> DeviceBuffer<T> {
     }
 
     /// Flip one bit of the element at `idx`, modelling an uncorrected
-    /// ECC-style memory upset. `bit` is taken modulo the element width, so
-    /// any `u8` names a valid bit. Used by the fault-injection harness; the
-    /// flip is a plain bit operation with no cost accounting.
+    /// ECC-style memory upset. Used by the fault-injection harness; the flip
+    /// is a plain bit operation with no cost accounting.
+    ///
+    /// # Panics
+    /// Panics when `idx` is outside the buffer or `bit` is outside the
+    /// element width — a silently wrapping flip would corrupt a *different*
+    /// bit than the fault plan scheduled. Callers deriving positions from a
+    /// seed must reduce them into range first.
     pub fn corrupt_bit(&self, idx: usize, bit: u32) {
         let mut data = self.data.borrow_mut();
-        let bits = data[idx].to_bits64() ^ (1u64 << (bit as usize % (T::SIZE * 8)));
+        assert!(
+            idx < data.len(),
+            "corrupt_bit: element index {idx} out of bounds for a buffer of {} elements",
+            data.len()
+        );
+        let width = T::SIZE * 8;
+        assert!(
+            (bit as usize) < width,
+            "corrupt_bit: bit {bit} out of range for a {width}-bit element (T::SIZE * 8 = {width})"
+        );
+        let bits = data[idx].to_bits64() ^ (1u64 << bit);
         data[idx] = T::from_bits64(bits);
     }
 
@@ -213,10 +254,34 @@ mod tests {
         assert_eq!(buf.read(2), 1u64 << 61);
         buf.corrupt_bit(2, 61);
         assert_eq!(buf.read(2), 0, "flipping twice restores the word");
-        // Bit positions wrap modulo the element width.
+        // The full in-range bit span of a narrow element is accepted.
+        let small = DeviceBuffer::<u32>::zeroed(1);
+        small.corrupt_bit(0, 31);
+        assert_eq!(small.read(0), 1u32 << 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit 33 out of range for a 32-bit element")]
+    fn corrupt_bit_rejects_out_of_width_bit() {
+        // Regression: this used to silently wrap to bit 1 and flip the wrong
+        // bit; the fault plan's intent must never be reinterpreted.
         let small = DeviceBuffer::<u32>::zeroed(1);
         small.corrupt_bit(0, 33);
-        assert_eq!(small.read(0), 1u32 << 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "element index 4 out of bounds for a buffer of 4 elements")]
+    fn corrupt_bit_rejects_out_of_bounds_index() {
+        let buf = DeviceBuffer::<u64>::zeroed(4);
+        buf.corrupt_bit(4, 0);
+    }
+
+    #[test]
+    fn labels_attach_and_read_back() {
+        let buf = DeviceBuffer::<u32>::zeroed(1);
+        assert_eq!(buf.label(), None);
+        let buf = buf.set_label("slots");
+        assert_eq!(buf.label(), Some("slots"));
     }
 
     #[test]

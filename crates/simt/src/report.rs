@@ -42,7 +42,8 @@ pub fn summary(report: &LaunchReport, dev: &DeviceConfig) -> String {
          instructions {} | divergence {:.1}%\n\
          global tx {} (loads {} / stores {}) | L2 hit {:.1}% | DRAM {}B\n\
          shared accesses {} | bank conflicts {}\n\
-         atomics {} | within-warp serializations {} | retries {} | hot sector {}",
+         atomics {} | within-warp serializations {} | retries {} | hot sector {}\n\
+         sanitizer hazards {}",
         dev.name,
         eng(report.cycles),
         report.ms(dev),
@@ -63,6 +64,7 @@ pub fn summary(report: &LaunchReport, dev: &DeviceConfig) -> String {
         eng(s.atomic_serializations as f64),
         eng(s.atomic_retries as f64),
         report.atomic_hot_sector,
+        s.hazards,
     )
 }
 
@@ -86,8 +88,15 @@ mod tests {
             blk.sync();
         });
         let s = summary(&r, &dev);
-        for needle in ["cycles", "instructions", "atomics", "L2 hit", "bank conflicts", "bound by"]
-        {
+        for needle in [
+            "cycles",
+            "instructions",
+            "atomics",
+            "L2 hit",
+            "bank conflicts",
+            "bound by",
+            "sanitizer hazards",
+        ] {
             assert!(s.contains(needle), "missing '{needle}' in:\n{s}");
         }
     }

@@ -1,0 +1,830 @@
+//! Compute-sanitizer-style dynamic race & hazard detection.
+//!
+//! The simulator executes warps sequentially and deterministically, so a data
+//! race never produces a nondeterministic result here — it silently becomes
+//! "last writer wins". On real hardware the same kernel would corrupt its
+//! k-NN sets. This module closes that gap: while a [`SanitizerScope`] is
+//! installed, every global / shared access runs through a shadow state that
+//! records *who* touched each element (block, warp, lane, barrier epoch,
+//! atomicity) and reports the access patterns that are undefined on a GPU:
+//!
+//! * **global/shared races** — a non-atomic write that conflicts with another
+//!   warp's (or block's) read or write with no intervening barrier
+//!   ([`HazardKind::RaceWriteWrite`], [`HazardKind::RaceReadWrite`]); lanes of
+//!   one store instruction writing *different* values to the same address are
+//!   reported too (the hardware winner is unspecified);
+//! * **shared-memory misuse** — out-of-bounds accesses
+//!   ([`HazardKind::SharedOutOfBounds`], reported instead of crashing) and
+//!   reads of bytes never written since the block started
+//!   ([`HazardKind::SharedUninitRead`] — real shared memory is uninitialized,
+//!   the simulator's zero-fill is a fiction);
+//! * **barrier divergence** — lanes of one warp arriving at
+//!   [`crate::warp::WarpCtx::sync_warp`] convergence points a different
+//!   number of times ([`HazardKind::BarrierDivergence`]).
+//!
+//! ## Ordering model
+//!
+//! Two accesses conflict only when they are *concurrent*:
+//!
+//! * different blocks → always concurrent (no inter-block barrier exists);
+//! * same block, different warps → concurrent iff they happen in the same
+//!   barrier epoch (the count of [`crate::block::BlockCtx::sync`] calls);
+//! * same warp → never concurrent (lanes execute in lockstep, instructions
+//!   in program order).
+//!
+//! Atomic operations never conflict with each other. An atomic write is also
+//! allowed to overlap a plain *read* from another warp — this approximates
+//! synchronization-via-atomics and is exactly the pattern of the w-KNNG
+//! atomic protocol (scan with plain loads, commit with `atomicCAS`, rescan on
+//! a lost race). A plain *write* overlapping an atomic remains a hazard.
+//! Known limitations are listed in `DESIGN.md` (§ Sanitizer).
+//!
+//! The tracking machinery is compiled only with the `sanitize` cargo feature,
+//! so tier-1 builds pay nothing; the report types below are always available
+//! so downstream code can name them unconditionally.
+
+use std::fmt;
+
+/// How an instruction touched memory (or a convergence point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Non-atomic load.
+    Read,
+    /// Non-atomic store.
+    Write,
+    /// Atomic read-modify-write (`CAS`/`min`/`max`/`add`).
+    Atomic,
+    /// Arrival at a warp-level sync point.
+    Sync,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Atomic => "atomic",
+            AccessKind::Sync => "sync",
+        })
+    }
+}
+
+/// One side of a hazard: which lane of which warp did what, and in which
+/// barrier epoch of its block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSite {
+    /// Block index within the grid.
+    pub block: usize,
+    /// Warp index within the block.
+    pub warp: usize,
+    /// Lane within the warp.
+    pub lane: usize,
+    /// Barrier epoch of the block when the access happened.
+    pub epoch: u64,
+    /// What the access was.
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} by block {} / warp {} / lane {} (epoch {})",
+            self.kind, self.block, self.warp, self.lane, self.epoch
+        )
+    }
+}
+
+/// The hazard taxonomy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardKind {
+    /// Two concurrent writes (at least one non-atomic) to one element.
+    RaceWriteWrite,
+    /// A non-atomic write concurrent with a read of the same element.
+    RaceReadWrite,
+    /// A shared-memory access outside the array bounds.
+    SharedOutOfBounds,
+    /// A shared-memory read of bytes never written since the block began.
+    SharedUninitRead,
+    /// Lanes of one warp arrived at warp sync points unevenly.
+    BarrierDivergence,
+}
+
+impl fmt::Display for HazardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HazardKind::RaceWriteWrite => "race (write/write)",
+            HazardKind::RaceReadWrite => "race (read/write)",
+            HazardKind::SharedOutOfBounds => "shared out-of-bounds",
+            HazardKind::SharedUninitRead => "shared uninitialized read",
+            HazardKind::BarrierDivergence => "barrier divergence",
+        })
+    }
+}
+
+/// Which memory space a hazard lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Space {
+    /// A [`crate::memory::DeviceBuffer`], identified by its allocation id and
+    /// optional human label ([`crate::memory::DeviceBuffer::set_label`]).
+    Global {
+        /// Allocation id of the buffer.
+        buffer: u64,
+        /// Label attached with `set_label`, if any.
+        label: Option<&'static str>,
+    },
+    /// The per-block shared-memory arena (addresses are byte offsets).
+    Shared,
+    /// Not a memory location: a warp convergence-point hazard.
+    Barrier,
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Space::Global { buffer, label: Some(l) } => write!(f, "global '{l}' (buffer#{buffer})"),
+            Space::Global { buffer, label: None } => write!(f, "global buffer#{buffer}"),
+            Space::Shared => f.write_str("shared memory"),
+            Space::Barrier => f.write_str("warp barrier"),
+        }
+    }
+}
+
+/// One detected hazard (the first occurrence of its `(kind, space)` class;
+/// repeats are folded into [`Hazard::count`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hazard {
+    /// What went wrong.
+    pub kind: HazardKind,
+    /// Where (which buffer / shared memory / barrier).
+    pub space: Space,
+    /// Element index (global), byte offset (shared) or 0 (barrier).
+    pub addr: usize,
+    /// The earlier of the two conflicting accesses.
+    pub first: AccessSite,
+    /// The access that completed the hazard (diagnosis anchor).
+    pub second: AccessSite,
+    /// Occurrences folded into this record (≥ 1).
+    pub count: u64,
+    /// Free-form detail (values written, bounds, arrival counts, …).
+    pub note: String,
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {}[{}]: {} conflicts with {}",
+            self.kind, self.space, self.addr, self.second, self.first
+        )?;
+        if !self.note.is_empty() {
+            write!(f, " — {}", self.note)?;
+        }
+        if self.count > 1 {
+            write!(f, " (x{})", self.count)?;
+        }
+        Ok(())
+    }
+}
+
+/// Structured result of a sanitized run: every distinct hazard class plus
+/// total event and launch counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HazardReport {
+    /// Distinct hazards (first occurrence each), capped at an internal limit.
+    pub hazards: Vec<Hazard>,
+    /// Total hazard events observed (including folded repeats).
+    pub events: u64,
+    /// Kernel launches observed while the scope was installed.
+    pub launches: u64,
+}
+
+impl HazardReport {
+    /// True when no hazard event was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return format!("sanitizer: clean ({} launches)", self.launches);
+        }
+        let mut s = format!(
+            "sanitizer: {} hazard event(s) in {} class(es) across {} launch(es)",
+            self.events,
+            self.hazards.len(),
+            self.launches
+        );
+        for h in &self.hazards {
+            s.push_str("\n  ");
+            s.push_str(&h.to_string());
+        }
+        s
+    }
+}
+
+#[cfg(feature = "sanitize")]
+pub use self::active::{launch_sanitized, SanitizerScope};
+
+#[cfg(feature = "sanitize")]
+pub(crate) use self::active as hooks;
+
+#[cfg(feature = "sanitize")]
+pub(crate) mod active {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::marker::PhantomData;
+
+    use super::{AccessKind, AccessSite, Hazard, HazardKind, HazardReport, Space};
+    use crate::block::BlockCtx;
+    use crate::device::{DeviceConfig, WARP_LANES};
+    use crate::lane::{LaneVec, Mask};
+    use crate::launch::{launch, LaunchReport};
+
+    /// Distinct hazard classes kept verbatim; further events only bump counts.
+    const MAX_HAZARDS: usize = 256;
+
+    /// Compact shadow record of one access.
+    #[derive(Clone, Copy)]
+    struct Acc {
+        block: u32,
+        warp: u32,
+        lane: u8,
+        epoch: u32,
+        kind: AccessKind,
+    }
+
+    impl Acc {
+        fn site(&self) -> AccessSite {
+            AccessSite {
+                block: self.block as usize,
+                warp: self.warp as usize,
+                lane: self.lane as usize,
+                epoch: self.epoch as u64,
+                kind: self.kind,
+            }
+        }
+
+        fn same_thread(&self, block: usize, warp: usize) -> bool {
+            self.block as usize == block && self.warp as usize == warp
+        }
+
+        /// Is this past access concurrent with a new access by
+        /// `(block, warp)` in barrier epoch `epoch`? (See module docs.)
+        fn concurrent_with(&self, block: usize, warp: usize, epoch: u64) -> bool {
+            if self.block as usize != block {
+                return true;
+            }
+            if self.warp as usize == warp {
+                return false;
+            }
+            self.epoch as u64 == epoch
+        }
+    }
+
+    /// Shadow cell of one element (global) or one byte (shared).
+    #[derive(Clone, Copy, Default)]
+    struct Cell {
+        /// Generation tag: cells from a previous launch (global) or block
+        /// (shared) are logically empty without an O(n) clear.
+        gen: u64,
+        /// Last non-atomic write.
+        write: Option<Acc>,
+        /// Last atomic write.
+        atomic: Option<Acc>,
+        /// Up to two recent reads from distinct (block, warp) threads.
+        reads: [Option<Acc>; 2],
+    }
+
+    struct State {
+        /// Per-buffer element shadows, keyed by allocation id.
+        buffers: HashMap<u64, Vec<Cell>>,
+        /// Per-byte shadow of the current block's shared arena.
+        shared: Vec<Cell>,
+        /// Bumped at every launch: global-shadow generation.
+        launch_gen: u64,
+        /// Bumped at every block begin and `shared_reset`: shared generation.
+        block_gen: u64,
+        /// Barrier epoch of the block currently executing.
+        epoch: u64,
+        /// Per-lane `sync_warp` arrival counts of the warp being executed.
+        sync_counts: [u64; WARP_LANES],
+        sync_used: bool,
+        hazards: Vec<Hazard>,
+        events: u64,
+        events_at_launch: u64,
+        launches: u64,
+    }
+
+    impl State {
+        fn new() -> State {
+            State {
+                buffers: HashMap::new(),
+                shared: Vec::new(),
+                launch_gen: 0,
+                block_gen: 0,
+                epoch: 0,
+                sync_counts: [0; WARP_LANES],
+                sync_used: false,
+                hazards: Vec::new(),
+                events: 0,
+                events_at_launch: 0,
+                launches: 0,
+            }
+        }
+    }
+
+    thread_local! {
+        static ACTIVE: RefCell<Option<State>> = const { RefCell::new(None) };
+    }
+
+    fn with<R: Default>(f: impl FnOnce(&mut State) -> R) -> R {
+        ACTIVE.with(|a| a.borrow_mut().as_mut().map(f).unwrap_or_default())
+    }
+
+    /// RAII guard that arms hazard tracking on the current thread. All
+    /// launches made while the scope lives are shadow-tracked; the report
+    /// accumulates across launches (a pipeline is one logical run).
+    ///
+    /// `!Send` by construction: the shadow state is thread-local.
+    pub struct SanitizerScope {
+        _not_send: PhantomData<*const ()>,
+    }
+
+    impl SanitizerScope {
+        /// Install the sanitizer on the current thread.
+        ///
+        /// # Panics
+        /// Panics if a scope is already installed (scopes do not nest).
+        pub fn install() -> SanitizerScope {
+            ACTIVE.with(|a| {
+                let mut a = a.borrow_mut();
+                assert!(a.is_none(), "a SanitizerScope is already installed on this thread");
+                *a = Some(State::new());
+            });
+            SanitizerScope { _not_send: PhantomData }
+        }
+
+        /// Snapshot the hazards recorded so far.
+        pub fn report(&self) -> HazardReport {
+            with(|s| HazardReport {
+                hazards: s.hazards.clone(),
+                events: s.events,
+                launches: s.launches,
+            })
+        }
+    }
+
+    impl Drop for SanitizerScope {
+        fn drop(&mut self) {
+            ACTIVE.with(|a| *a.borrow_mut() = None);
+        }
+    }
+
+    /// Convenience wrapper: run one launch under a fresh [`SanitizerScope`]
+    /// and return both the launch report and the hazard report.
+    ///
+    /// # Panics
+    /// Panics if a scope is already installed on this thread.
+    pub fn launch_sanitized(
+        device: &DeviceConfig,
+        blocks: usize,
+        warps_per_block: usize,
+        kernel: impl FnMut(&mut BlockCtx),
+    ) -> (LaunchReport, HazardReport) {
+        let scope = SanitizerScope::install();
+        let report = launch(device, blocks, warps_per_block, kernel);
+        let hazards = scope.report();
+        (report, hazards)
+    }
+
+    // ------------------------------------------------------------- recording
+
+    fn record(
+        s: &mut State,
+        kind: HazardKind,
+        space: Space,
+        addr: usize,
+        first: AccessSite,
+        second: AccessSite,
+        note: String,
+    ) {
+        s.events += 1;
+        if let Some(h) = s.hazards.iter_mut().find(|h| h.kind == kind && h.space == space) {
+            h.count += 1;
+            return;
+        }
+        if s.hazards.len() < MAX_HAZARDS {
+            s.hazards.push(Hazard { kind, space, addr, first, second, count: 1, note });
+        }
+    }
+
+    fn cell_at(cells: &mut Vec<Cell>, idx: usize, gen: u64) -> &mut Cell {
+        if cells.len() <= idx {
+            cells.resize(idx + 1, Cell::default());
+        }
+        let c = &mut cells[idx];
+        if c.gen != gen {
+            *c = Cell { gen, ..Cell::default() };
+        }
+        c
+    }
+
+    /// Keep up to two reads from distinct threads (latest per thread).
+    fn push_read(cell: &mut Cell, acc: Acc) {
+        for slot in cell.reads.iter_mut() {
+            match slot {
+                Some(r) if r.block == acc.block && r.warp == acc.warp => {
+                    *slot = Some(acc);
+                    return;
+                }
+                None => {
+                    *slot = Some(acc);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        cell.reads[1] = Some(acc);
+    }
+
+    /// Check a new access against one shadow cell; returns the hazards to
+    /// record as `(kind, prior)` pairs, then updates the cell.
+    fn check_and_update(
+        cell: &mut Cell,
+        acc: Acc,
+        block: usize,
+        warp: usize,
+        epoch: u64,
+    ) -> Vec<(HazardKind, Acc)> {
+        let mut found = Vec::new();
+        match acc.kind {
+            AccessKind::Read => {
+                if let Some(w) = cell.write {
+                    if w.concurrent_with(block, warp, epoch) {
+                        found.push((HazardKind::RaceReadWrite, w));
+                    }
+                }
+                // Atomic writes overlapping plain reads are allowed (module
+                // docs: synchronization-via-atomics approximation).
+                push_read(cell, acc);
+            }
+            AccessKind::Write => {
+                if let Some(w) = cell.write {
+                    if w.concurrent_with(block, warp, epoch) {
+                        found.push((HazardKind::RaceWriteWrite, w));
+                    }
+                }
+                if let Some(a) = cell.atomic {
+                    if a.concurrent_with(block, warp, epoch) {
+                        found.push((HazardKind::RaceWriteWrite, a));
+                    }
+                }
+                for r in cell.reads.into_iter().flatten() {
+                    if !r.same_thread(block, warp) && r.concurrent_with(block, warp, epoch) {
+                        found.push((HazardKind::RaceReadWrite, r));
+                    }
+                }
+                cell.write = Some(acc);
+            }
+            AccessKind::Atomic => {
+                if let Some(w) = cell.write {
+                    if w.concurrent_with(block, warp, epoch) {
+                        found.push((HazardKind::RaceWriteWrite, w));
+                    }
+                }
+                // Atomic/atomic and atomic/read overlaps are allowed.
+                cell.atomic = Some(acc);
+            }
+            AccessKind::Sync => unreachable!("sync arrivals are not memory accesses"),
+        }
+        found
+    }
+
+    // ------------------------------------------------------ lifecycle hooks
+
+    pub(crate) fn launch_begin() {
+        with(|s| {
+            s.launch_gen += 1;
+            s.launches += 1;
+            s.events_at_launch = s.events;
+        });
+    }
+
+    /// Hazard events recorded since the matching [`launch_begin`].
+    pub(crate) fn launch_end() -> u64 {
+        with(|s| s.events - s.events_at_launch)
+    }
+
+    pub(crate) fn block_begin(_block_idx: usize) {
+        with(|s| {
+            s.block_gen += 1;
+            s.epoch = 0;
+        });
+    }
+
+    pub(crate) fn barrier() {
+        with(|s| s.epoch += 1);
+    }
+
+    pub(crate) fn shared_reset() {
+        // Repurposing the arena: the old contents are logically dead, so the
+        // shadow (races *and* initialization) starts over.
+        with(|s| s.block_gen += 1);
+    }
+
+    pub(crate) fn warp_begin() {
+        with(|s| {
+            s.sync_counts = [0; WARP_LANES];
+            s.sync_used = false;
+        });
+    }
+
+    /// Arrival of `mask`'s lanes at a [`crate::warp::WarpCtx::sync_warp`]
+    /// convergence point.
+    pub(crate) fn warp_sync(mask: Mask) {
+        with(|s| {
+            s.sync_used = true;
+            for lane in mask.iter() {
+                s.sync_counts[lane] += 1;
+            }
+        });
+    }
+
+    /// End of one warp invocation: every lane must have arrived at the same
+    /// number of sync points, or the warp diverged around a barrier.
+    pub(crate) fn warp_end(block: usize, warp: usize) {
+        with(|s| {
+            if !s.sync_used {
+                return;
+            }
+            let min = *s.sync_counts.iter().min().expect("32 lanes");
+            let max = *s.sync_counts.iter().max().expect("32 lanes");
+            if min == max {
+                return;
+            }
+            let lmin = s.sync_counts.iter().position(|&c| c == min).expect("present");
+            let lmax = s.sync_counts.iter().position(|&c| c == max).expect("present");
+            let epoch = s.epoch;
+            let site =
+                |lane: usize| AccessSite { block, warp, lane, epoch, kind: AccessKind::Sync };
+            let note =
+                format!("lane {lmax} arrived at {max} warp sync point(s), lane {lmin} at {min}");
+            record(
+                s,
+                HazardKind::BarrierDivergence,
+                Space::Barrier,
+                0,
+                site(lmax),
+                site(lmin),
+                note,
+            );
+        });
+    }
+
+    // --------------------------------------------------------- access hooks
+
+    fn acc(block: usize, warp: usize, lane: usize, epoch: u64, kind: AccessKind) -> Acc {
+        Acc { block: block as u32, warp: warp as u32, lane: lane as u8, epoch: epoch as u32, kind }
+    }
+
+    /// Shadow-track one warp-level global access. Out-of-range indices are
+    /// skipped: the architectural access panics right after (global OOB is a
+    /// hard fault, not a sanitizer diagnosis).
+    #[allow(clippy::too_many_arguments)]
+    fn global_access(
+        id: u64,
+        label: Option<&'static str>,
+        len: usize,
+        idx: &LaneVec<usize>,
+        mask: Mask,
+        block: usize,
+        warp: usize,
+        kind: AccessKind,
+        vals: Option<&[u64; WARP_LANES]>,
+    ) {
+        with(|s| {
+            let epoch = s.epoch;
+            let gen = s.launch_gen;
+            let space = Space::Global { buffer: id, label };
+            // Per-instruction grouping: (element, winning lane, value).
+            let mut groups: Vec<(usize, usize, u64)> = Vec::with_capacity(mask.count());
+            for lane in mask.iter() {
+                let e = idx.get(lane);
+                if e >= len {
+                    continue;
+                }
+                let v = vals.map(|b| b[lane]).unwrap_or(0);
+                if let Some(g) = groups.iter_mut().find(|g| g.0 == e) {
+                    if kind == AccessKind::Write && g.2 != v {
+                        // Same store instruction, same address, different
+                        // values: the hardware winner is unspecified.
+                        let first = acc(block, warp, g.1, epoch, kind).site();
+                        let second = acc(block, warp, lane, epoch, kind).site();
+                        let note = format!(
+                            "lanes {} and {lane} of one store wrote {:#x} vs {v:#x}",
+                            g.1, g.2
+                        );
+                        record(s, HazardKind::RaceWriteWrite, space, e, first, second, note);
+                    }
+                    // Ascending lane order: the later lane wins, matching the
+                    // simulator's same-address store resolution.
+                    g.1 = lane;
+                    g.2 = v;
+                } else {
+                    groups.push((e, lane, v));
+                }
+            }
+            for &(e, lane, _) in &groups {
+                let a = acc(block, warp, lane, epoch, kind);
+                let found = {
+                    let cells = s.buffers.entry(id).or_default();
+                    check_and_update(cell_at(cells, e, gen), a, block, warp, epoch)
+                };
+                for (hk, prior) in found {
+                    record(s, hk, space, e, prior.site(), a.site(), String::new());
+                }
+            }
+        });
+    }
+
+    pub(crate) fn global_read(
+        id: u64,
+        label: Option<&'static str>,
+        len: usize,
+        idx: &LaneVec<usize>,
+        mask: Mask,
+        block: usize,
+        warp: usize,
+    ) {
+        global_access(id, label, len, idx, mask, block, warp, AccessKind::Read, None);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn global_write(
+        id: u64,
+        label: Option<&'static str>,
+        len: usize,
+        idx: &LaneVec<usize>,
+        vals: &[u64; WARP_LANES],
+        mask: Mask,
+        block: usize,
+        warp: usize,
+    ) {
+        global_access(id, label, len, idx, mask, block, warp, AccessKind::Write, Some(vals));
+    }
+
+    pub(crate) fn global_atomic(
+        id: u64,
+        label: Option<&'static str>,
+        len: usize,
+        idx: &LaneVec<usize>,
+        mask: Mask,
+        block: usize,
+        warp: usize,
+    ) {
+        global_access(id, label, len, idx, mask, block, warp, AccessKind::Atomic, None);
+    }
+
+    /// Shadow-track one warp-level shared access. Returns the mask with
+    /// out-of-bounds lanes removed (they are reported, then dropped, so the
+    /// kernel keeps running under diagnosis like `compute-sanitizer` does).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn shared_access(
+        kind: AccessKind,
+        byte_offset: usize,
+        elem_size: usize,
+        len: usize,
+        idx: &LaneVec<usize>,
+        mask: Mask,
+        vals: Option<&[u64; WARP_LANES]>,
+        block: usize,
+        warp: usize,
+    ) -> Mask {
+        let mut kept = mask;
+        with(|s| {
+            let epoch = s.epoch;
+            let gen = s.block_gen;
+            // Intra-instruction same-element conflicting writes, then the
+            // per-byte shadow walk.
+            let mut groups: Vec<(usize, usize, u64)> = Vec::with_capacity(mask.count());
+            for lane in mask.iter() {
+                let e = idx.get(lane);
+                if e >= len {
+                    let site = acc(block, warp, lane, epoch, kind).site();
+                    let note =
+                        format!("index {e} out of bounds for a shared array of {len} elements");
+                    record(s, HazardKind::SharedOutOfBounds, Space::Shared, e, site, site, note);
+                    kept = kept.and_not(Mask(1 << lane));
+                    continue;
+                }
+                let v = vals.map(|b| b[lane]).unwrap_or(0);
+                if let Some(g) = groups.iter_mut().find(|g| g.0 == e) {
+                    if kind == AccessKind::Write && g.2 != v {
+                        let first = acc(block, warp, g.1, epoch, kind).site();
+                        let second = acc(block, warp, lane, epoch, kind).site();
+                        let note = format!(
+                            "lanes {} and {lane} of one store wrote {:#x} vs {v:#x}",
+                            g.1, g.2
+                        );
+                        record(
+                            s,
+                            HazardKind::RaceWriteWrite,
+                            Space::Shared,
+                            byte_offset + e * elem_size,
+                            first,
+                            second,
+                            note,
+                        );
+                    }
+                    g.1 = lane;
+                    g.2 = v;
+                } else {
+                    groups.push((e, lane, v));
+                }
+            }
+            for &(e, lane, _) in &groups {
+                let a = acc(block, warp, lane, epoch, kind);
+                let base = byte_offset + e * elem_size;
+                if kind == AccessKind::Read {
+                    let uninit = (base..base + elem_size)
+                        .any(|b| s.shared.get(b).is_none_or(|c| c.gen != gen || c.write.is_none()));
+                    if uninit {
+                        let note = format!(
+                            "{elem_size}-byte read at arena offset {base} precedes any write in this block"
+                        );
+                        record(
+                            s,
+                            HazardKind::SharedUninitRead,
+                            Space::Shared,
+                            base,
+                            a.site(),
+                            a.site(),
+                            note,
+                        );
+                    }
+                }
+                for b in base..base + elem_size {
+                    let found =
+                        check_and_update(cell_at(&mut s.shared, b, gen), a, block, warp, epoch);
+                    for (hk, prior) in found {
+                        record(s, hk, Space::Shared, b, prior.site(), a.site(), String::new());
+                    }
+                }
+            }
+        });
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(kind: AccessKind) -> AccessSite {
+        AccessSite { block: 0, warp: 1, lane: 7, epoch: 0, kind }
+    }
+
+    #[test]
+    fn report_renders_clean_and_dirty() {
+        let clean = HazardReport { launches: 3, ..HazardReport::default() };
+        assert!(clean.is_clean());
+        assert!(clean.summary().contains("clean"));
+        let dirty = HazardReport {
+            hazards: vec![Hazard {
+                kind: HazardKind::RaceWriteWrite,
+                space: Space::Global { buffer: 9, label: Some("slots") },
+                addr: 5,
+                first: site(AccessKind::Write),
+                second: site(AccessKind::Write),
+                count: 3,
+                note: String::new(),
+            }],
+            events: 3,
+            launches: 1,
+        };
+        assert!(!dirty.is_clean());
+        let s = dirty.summary();
+        assert!(s.contains("race (write/write)"), "{s}");
+        assert!(s.contains("'slots'"), "{s}");
+        assert!(s.contains("(x3)"), "{s}");
+    }
+
+    #[test]
+    fn display_names_every_kind_and_space() {
+        for kind in [
+            HazardKind::RaceWriteWrite,
+            HazardKind::RaceReadWrite,
+            HazardKind::SharedOutOfBounds,
+            HazardKind::SharedUninitRead,
+            HazardKind::BarrierDivergence,
+        ] {
+            assert!(!kind.to_string().is_empty());
+        }
+        assert!(Space::Shared.to_string().contains("shared"));
+        assert!(Space::Barrier.to_string().contains("barrier"));
+        let s = site(AccessKind::Atomic).to_string();
+        assert!(s.contains("warp 1") && s.contains("lane 7"), "{s}");
+    }
+}

@@ -43,6 +43,10 @@ pub struct Stats {
     pub barriers: u64,
     /// Kernel launches merged into this record.
     pub launches: u64,
+    /// Hazard events detected by the sanitizer during these launches.
+    /// Always zero unless the `sanitize` feature is enabled and a
+    /// `SanitizerScope` was installed.
+    pub hazards: u64,
 }
 
 impl Stats {
@@ -104,6 +108,7 @@ impl AddAssign for Stats {
         self.atomic_retries += rhs.atomic_retries;
         self.barriers += rhs.barriers;
         self.launches += rhs.launches;
+        self.hazards += rhs.hazards;
     }
 }
 
@@ -136,6 +141,7 @@ mod tests {
         a.atomic_retries = 11;
         a.barriers = 12;
         a.launches = 13;
+        a.hazards = 14;
         let b = a;
         let c = a + b;
         assert_eq!(c.instructions, 2);
@@ -151,6 +157,30 @@ mod tests {
         assert_eq!(c.atomic_retries, 22);
         assert_eq!(c.barriers, 24);
         assert_eq!(c.launches, 26);
+        assert_eq!(c.hazards, 28);
+    }
+
+    #[test]
+    fn empty_launch_ratios_are_zero_not_nan() {
+        // An empty launch leaves every denominator counter at zero; both
+        // ratios must degrade to 0.0, never NaN (NaN poisons any aggregate
+        // it is averaged into and breaks report sorting).
+        let s = Stats::new();
+        assert_eq!(s.lane_ops + s.inactive_lane_slots, 0);
+        assert_eq!(s.divergence_ratio(), 0.0);
+        assert!(!s.divergence_ratio().is_nan());
+        assert_eq!(s.atomic_ops, 0);
+        assert_eq!(s.atomic_contention(), 0.0);
+        assert!(!s.atomic_contention().is_nan());
+    }
+
+    #[test]
+    fn empty_launch_ratios_stay_finite_after_merging() {
+        // Merging two empty records (e.g. a degraded pipeline where every
+        // launch faulted) must also stay finite.
+        let merged = Stats::new() + Stats::new();
+        assert_eq!(merged.divergence_ratio(), 0.0);
+        assert_eq!(merged.atomic_contention(), 0.0);
     }
 
     #[test]

@@ -138,6 +138,16 @@ impl<'a> WarpCtx<'a> {
         let tx = self.access_global(buf, idx, mask);
         self.charge_issue(mask, 1);
         self.stats.global_load_transactions += tx;
+        #[cfg(feature = "sanitize")]
+        crate::sanitizer::hooks::global_read(
+            buf.id(),
+            buf.label(),
+            buf.len(),
+            idx,
+            mask,
+            self.block_idx,
+            self.warp_in_block,
+        );
         let data = buf.borrow();
         LaneVec::from_fn(|l| if mask.active(l) { data[idx.get(l)] } else { T::default() })
     }
@@ -156,6 +166,20 @@ impl<'a> WarpCtx<'a> {
         let tx = self.access_global(buf, idx, mask);
         self.charge_issue(mask, 1);
         self.stats.global_store_transactions += tx;
+        #[cfg(feature = "sanitize")]
+        {
+            let bits: [u64; WARP_LANES] = std::array::from_fn(|l| vals.get(l).to_bits64());
+            crate::sanitizer::hooks::global_write(
+                buf.id(),
+                buf.label(),
+                buf.len(),
+                idx,
+                &bits,
+                mask,
+                self.block_idx,
+                self.warp_in_block,
+            );
+        }
         let mut data = buf.borrow_mut();
         for lane in mask.iter() {
             data[idx.get(lane)] = vals.get(lane);
@@ -199,6 +223,16 @@ impl<'a> WarpCtx<'a> {
         self.charge_issue(mask, 1);
         self.cycles +=
             self.device.atomic_base_cycles + serialized as f64 * self.device.atomic_conflict_cycles;
+        #[cfg(feature = "sanitize")]
+        crate::sanitizer::hooks::global_atomic(
+            buf.id(),
+            buf.label(),
+            buf.len(),
+            idx,
+            mask,
+            self.block_idx,
+            self.warp_in_block,
+        );
     }
 
     /// Per-lane `atomicCAS` on a `u64` buffer. Lanes execute in ascending
@@ -322,6 +356,20 @@ impl<'a> WarpCtx<'a> {
         bits
     }
 
+    /// `__syncwarp`: a warp-level convergence point for `mask`'s lanes.
+    ///
+    /// The simulator executes lanes in lockstep, so this has no architectural
+    /// effect beyond its one-instruction cost — but under the sanitizer it is
+    /// a *declared* convergence point: by the end of the warp invocation every
+    /// lane must have arrived at sync points the same number of times, or a
+    /// [`crate::sanitizer::HazardKind::BarrierDivergence`] hazard is reported.
+    /// Model a sub-warp sync by calling this once per converging subgroup.
+    pub fn sync_warp(&mut self, mask: Mask) {
+        self.charge_issue(mask, 1);
+        #[cfg(feature = "sanitize")]
+        crate::sanitizer::hooks::warp_sync(mask);
+    }
+
     // ---------------------------------------------------------------- shared
 
     /// Shared-memory load with bank-conflict accounting.
@@ -331,6 +379,18 @@ impl<'a> WarpCtx<'a> {
         idx: &LaneVec<usize>,
         mask: Mask,
     ) -> LaneVec<T> {
+        #[cfg(feature = "sanitize")]
+        let mask = crate::sanitizer::hooks::shared_access(
+            crate::sanitizer::AccessKind::Read,
+            arr.byte_offset,
+            T::SIZE,
+            arr.len,
+            idx,
+            mask,
+            None,
+            self.block_idx,
+            self.warp_in_block,
+        );
         let addrs: Vec<usize> = mask.iter().map(|l| arr.byte_addr(idx.get(l))).collect();
         let replays = bank_replays(&addrs);
         self.charge_issue(mask, 1);
@@ -355,6 +415,21 @@ impl<'a> WarpCtx<'a> {
         vals: &LaneVec<T>,
         mask: Mask,
     ) {
+        #[cfg(feature = "sanitize")]
+        let mask = {
+            let bits: [u64; WARP_LANES] = std::array::from_fn(|l| vals.get(l).to_bits64());
+            crate::sanitizer::hooks::shared_access(
+                crate::sanitizer::AccessKind::Write,
+                arr.byte_offset,
+                T::SIZE,
+                arr.len,
+                idx,
+                mask,
+                Some(&bits),
+                self.block_idx,
+                self.warp_in_block,
+            )
+        };
         let addrs: Vec<usize> = mask.iter().map(|l| arr.byte_addr(idx.get(l))).collect();
         let replays = bank_replays(&addrs);
         self.charge_issue(mask, 1);

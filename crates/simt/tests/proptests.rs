@@ -62,10 +62,10 @@ proptest! {
         let lv = LaneVec(vals);
         let got = in_warp(|w| exclusive_scan_u32(w, &lv, mask));
         let mut acc = 0u32;
-        for l in 0..WARP_LANES {
+        for (l, &v) in vals.iter().enumerate() {
             if mask.active(l) {
                 prop_assert_eq!(got.get(l), acc);
-                acc += vals[l];
+                acc += v;
             }
         }
     }

@@ -1,0 +1,372 @@
+//! Acceptance tests for the race & hazard sanitizer: intentionally broken
+//! kernels must be detected with a correct (lane, warp, address) diagnosis,
+//! and correctly synchronized kernels must stay clean.
+
+#![cfg(feature = "sanitize")]
+
+use wknng_simt::{
+    launch_sanitized, AccessKind, DeviceBuffer, DeviceConfig, HazardKind, LaneVec, Mask,
+    SanitizerScope, Space,
+};
+
+fn dev() -> DeviceConfig {
+    DeviceConfig::test_tiny()
+}
+
+/// Two warps of one block write different values to element 5 of the same
+/// buffer with no barrier in between: a write/write race, diagnosed with the
+/// exact lanes and warps involved.
+#[test]
+fn racy_kernel_is_detected_with_lane_warp_address_diagnosis() {
+    let buf = DeviceBuffer::<u32>::zeroed(32).set_label("racy");
+    let (_, hazards) = launch_sanitized(&dev(), 1, 2, |blk| {
+        blk.each_warp(|w| {
+            let who = w.warp_in_block as u32;
+            let mask = if who == 0 { Mask(1 << 3) } else { Mask(1 << 7) };
+            let idx = w.math_idx(mask, |_| 5);
+            let vals = w.math(mask, |_| 100 + who);
+            w.st_global(&buf, &idx, &vals, mask);
+        });
+    });
+    assert!(!hazards.is_clean());
+    let h = hazards
+        .hazards
+        .iter()
+        .find(|h| h.kind == HazardKind::RaceWriteWrite)
+        .expect("write/write race reported");
+    assert_eq!(h.space, Space::Global { buffer: buf_id(&buf), label: Some("racy") });
+    assert_eq!(h.addr, 5);
+    assert_eq!((h.first.warp, h.first.lane), (0, 3));
+    assert_eq!((h.second.warp, h.second.lane), (1, 7));
+    assert_eq!(h.first.kind, AccessKind::Write);
+    assert_eq!(h.second.kind, AccessKind::Write);
+}
+
+/// The same two writes separated by a block barrier are ordered, not racy.
+#[test]
+fn barrier_between_conflicting_writes_clears_the_race() {
+    let buf = DeviceBuffer::<u32>::zeroed(32);
+    let (report, hazards) = launch_sanitized(&dev(), 1, 2, |blk| {
+        blk.warp(0, |w| {
+            let mask = Mask(1 << 3);
+            let idx = w.math_idx(mask, |_| 5);
+            let vals = w.math(mask, |_| 100u32);
+            w.st_global(&buf, &idx, &vals, mask);
+        });
+        blk.sync();
+        blk.warp(1, |w| {
+            let mask = Mask(1 << 7);
+            let idx = w.math_idx(mask, |_| 5);
+            let vals = w.math(mask, |_| 200u32);
+            w.st_global(&buf, &idx, &vals, mask);
+        });
+    });
+    assert!(hazards.is_clean(), "{}", hazards.summary());
+    assert_eq!(report.stats.hazards, 0);
+}
+
+/// Barriers do not exist between blocks: the same pattern across two blocks
+/// races no matter how many `sync()` calls each block makes.
+#[test]
+fn cross_block_conflicts_race_despite_barriers() {
+    let buf = DeviceBuffer::<u32>::zeroed(8);
+    let (_, hazards) = launch_sanitized(&dev(), 2, 1, |blk| {
+        blk.sync();
+        let who = blk.block_idx as u32;
+        blk.each_warp(|w| {
+            let mask = Mask(1 << 1);
+            let idx = w.math_idx(mask, |_| 2);
+            let vals = w.math(mask, |_| who);
+            w.st_global(&buf, &idx, &vals, mask);
+        });
+        blk.sync();
+    });
+    let h = hazards.hazards.iter().find(|h| h.kind == HazardKind::RaceWriteWrite);
+    let h = h.expect("cross-block write/write race reported");
+    assert_eq!(h.addr, 2);
+    assert_eq!(h.first.block, 0);
+    assert_eq!(h.second.block, 1);
+}
+
+/// A plain read overlapping another warp's plain write is a read/write race,
+/// in either order.
+#[test]
+fn read_write_race_is_detected() {
+    let buf = DeviceBuffer::<u32>::zeroed(8);
+    let (_, hazards) = launch_sanitized(&dev(), 1, 2, |blk| {
+        blk.each_warp(|w| {
+            let mask = Mask(1 << 0);
+            let idx = w.math_idx(mask, |_| 3);
+            if w.warp_in_block == 0 {
+                let _ = w.ld_global(&buf, &idx, mask);
+            } else {
+                let vals = w.math(mask, |_| 9u32);
+                w.st_global(&buf, &idx, &vals, mask);
+            }
+        });
+    });
+    let h = hazards.hazards.iter().find(|h| h.kind == HazardKind::RaceReadWrite);
+    let h = h.expect("read/write race reported");
+    assert_eq!(h.addr, 3);
+    assert_eq!(h.first.kind, AccessKind::Read);
+    assert_eq!(h.second.kind, AccessKind::Write);
+}
+
+/// Atomics overlapping atomics (and plain reads overlapping atomics — the
+/// CAS-retry protocol's scan) are allowed; a plain write overlapping an
+/// atomic is not.
+#[test]
+fn atomics_synchronize_but_plain_writes_do_not() {
+    let slots = DeviceBuffer::<u64>::zeroed(8);
+    let (_, hazards) = launch_sanitized(&dev(), 1, 2, |blk| {
+        blk.each_warp(|w| {
+            let mask = Mask(1 << 0);
+            let idx = w.math_idx(mask, |_| 4);
+            // Scan (plain read) then commit (CAS): the atomic protocol.
+            let cur = w.ld_global(&slots, &idx, mask);
+            let newv = LaneVec::splat(1 + w.warp_in_block as u64);
+            let _ = w.atomic_cas_u64(&slots, &idx, &cur, &newv, mask);
+        });
+    });
+    assert!(hazards.is_clean(), "atomic protocol must be clean: {}", hazards.summary());
+
+    let (_, hazards) = launch_sanitized(&dev(), 1, 2, |blk| {
+        blk.each_warp(|w| {
+            let mask = Mask(1 << 0);
+            let idx = w.math_idx(mask, |_| 4);
+            if w.warp_in_block == 0 {
+                let cur = w.ld_global(&slots, &idx, mask);
+                let _ = w.atomic_cas_u64(&slots, &idx, &cur, &LaneVec::splat(7), mask);
+            } else {
+                w.st_global(&slots, &idx, &LaneVec::splat(8u64), mask);
+            }
+        });
+    });
+    assert!(
+        hazards.hazards.iter().any(|h| h.kind == HazardKind::RaceWriteWrite),
+        "plain write racing an atomic must be reported: {}",
+        hazards.summary()
+    );
+}
+
+/// Lanes of a single store instruction writing different values to one
+/// address: the hardware winner is unspecified, so it is a hazard — but
+/// writing the *same* value (the beam kernel's visited flags) is fine.
+#[test]
+fn intra_instruction_conflicts_require_differing_values() {
+    let buf = DeviceBuffer::<u32>::zeroed(8);
+    let (_, hazards) = launch_sanitized(&dev(), 1, 1, |blk| {
+        blk.each_warp(|w| {
+            let mask = Mask::first(2);
+            let idx = w.math_idx(mask, |_| 6);
+            let vals = w.math(mask, |_| 1u32); // same value from both lanes
+            w.st_global(&buf, &idx, &vals, mask);
+        });
+    });
+    assert!(hazards.is_clean(), "{}", hazards.summary());
+
+    let (_, hazards) = launch_sanitized(&dev(), 1, 1, |blk| {
+        blk.each_warp(|w| {
+            let mask = Mask::first(2);
+            let idx = w.math_idx(mask, |_| 6);
+            let vals = w.math(mask, |l| l as u32); // lane 0 writes 0, lane 1 writes 1
+            w.st_global(&buf, &idx, &vals, mask);
+        });
+    });
+    let h = hazards.hazards.iter().find(|h| h.kind == HazardKind::RaceWriteWrite);
+    let h = h.expect("differing-value same-address store reported");
+    assert_eq!(h.addr, 6);
+    assert_eq!((h.first.lane, h.second.lane), (0, 1));
+    assert!(h.note.contains("0x0") && h.note.contains("0x1"), "{}", h.note);
+}
+
+/// Out-of-bounds shared accesses are reported (with the index and bounds)
+/// instead of crashing the simulated kernel.
+#[test]
+fn shared_out_of_bounds_is_reported_not_fatal() {
+    let (_, hazards) = launch_sanitized(&dev(), 1, 1, |blk| {
+        let arr = blk.shared_alloc::<f32>(8);
+        blk.each_warp(|w| {
+            let mask = Mask(1 << 2);
+            let idx = w.math_idx(mask, |_| 9); // len is 8
+            w.sh_store(&arr, &idx, &LaneVec::splat(1.0f32), mask);
+        });
+    });
+    let h = hazards.hazards.iter().find(|h| h.kind == HazardKind::SharedOutOfBounds);
+    let h = h.expect("shared OOB reported");
+    assert_eq!(h.space, Space::Shared);
+    assert_eq!(h.second.lane, 2);
+    assert!(h.note.contains("index 9") && h.note.contains("8 elements"), "{}", h.note);
+}
+
+/// Reading shared memory a block never wrote is undefined on hardware (the
+/// simulator's zero-fill is a fiction) — reported, and cleared by a write.
+#[test]
+fn uninitialized_shared_read_is_reported() {
+    let (_, hazards) = launch_sanitized(&dev(), 1, 1, |blk| {
+        let arr = blk.shared_alloc::<f32>(8);
+        blk.each_warp(|w| {
+            let mask = Mask(1 << 0);
+            let idx = w.math_idx(mask, |_| 3);
+            let _ = w.sh_load(&arr, &idx, mask);
+        });
+    });
+    let h = hazards.hazards.iter().find(|h| h.kind == HazardKind::SharedUninitRead);
+    assert!(h.is_some(), "uninit shared read reported: {}", hazards.summary());
+
+    let (_, hazards) = launch_sanitized(&dev(), 1, 1, |blk| {
+        let arr = blk.shared_alloc::<f32>(8);
+        blk.each_warp(|w| {
+            let mask = Mask(1 << 0);
+            let idx = w.math_idx(mask, |_| 3);
+            w.sh_store(&arr, &idx, &LaneVec::splat(2.5f32), mask);
+            let _ = w.sh_load(&arr, &idx, mask);
+        });
+    });
+    assert!(hazards.is_clean(), "write-then-read must be clean: {}", hazards.summary());
+}
+
+/// The write/sync/read shared-tile pattern (what the tiled kernel does) is
+/// clean; dropping the barrier turns the cross-warp read into a race.
+#[test]
+fn shared_tile_handoff_requires_a_barrier() {
+    let run = |use_barrier: bool| {
+        let (_, hazards) = launch_sanitized(&dev(), 1, 2, |blk| {
+            let arr = blk.shared_alloc::<f32>(32);
+            blk.warp(0, |w| {
+                let mask = Mask::FULL;
+                let idx = w.math_idx(mask, |l| l);
+                w.sh_store(&arr, &idx, &LaneVec::splat(1.0f32), mask);
+            });
+            if use_barrier {
+                blk.sync();
+            }
+            blk.warp(1, |w| {
+                let mask = Mask::FULL;
+                let idx = w.math_idx(mask, |l| l);
+                let _ = w.sh_load(&arr, &idx, mask);
+            });
+        });
+        hazards
+    };
+    assert!(run(true).is_clean(), "{}", run(true).summary());
+    let racy = run(false);
+    assert!(
+        racy.hazards.iter().any(|h| h.kind == HazardKind::RaceReadWrite),
+        "unbarriered tile handoff must race: {}",
+        racy.summary()
+    );
+}
+
+/// Lanes arriving at `sync_warp` convergence points unevenly is barrier
+/// divergence; syncing each subgroup once keeps arrivals balanced.
+#[test]
+fn uneven_sync_warp_arrivals_are_barrier_divergence() {
+    let (_, hazards) = launch_sanitized(&dev(), 1, 1, |blk| {
+        blk.each_warp(|w| {
+            w.sync_warp(Mask::first(16)); // lanes 16..32 never arrive
+        });
+    });
+    let h = hazards.hazards.iter().find(|h| h.kind == HazardKind::BarrierDivergence);
+    let h = h.expect("divergent sync_warp reported");
+    assert_eq!(h.space, Space::Barrier);
+    assert_eq!(h.first.lane, 0, "a lane that arrived");
+    assert_eq!(h.second.lane, 16, "a lane that did not");
+    assert!(h.note.contains("1 warp sync point(s)") && h.note.contains("at 0"), "{}", h.note);
+
+    let (_, hazards) = launch_sanitized(&dev(), 1, 1, |blk| {
+        blk.each_warp(|w| {
+            // Sub-warp sync modeled per subgroup: every lane arrives once.
+            w.sync_warp(Mask::first(16));
+            w.sync_warp(Mask::FULL.and_not(Mask::first(16)));
+        });
+    });
+    assert!(hazards.is_clean(), "{}", hazards.summary());
+}
+
+/// `stats.hazards` carries the per-launch event count into launch reports.
+#[test]
+fn launch_report_carries_hazard_count() {
+    let scope = SanitizerScope::install();
+    let buf = DeviceBuffer::<u32>::zeroed(8);
+    let racy = |blk: &mut wknng_simt::BlockCtx| {
+        let who = blk.block_idx as u32;
+        blk.each_warp(|w| {
+            let mask = Mask(1 << 0);
+            let idx = w.math_idx(mask, |_| 0);
+            let vals = w.math(mask, |_| who);
+            w.st_global(&buf, &idx, &vals, mask);
+        });
+    };
+    let clean = wknng_simt::launch(&dev(), 1, 1, racy);
+    assert_eq!(clean.stats.hazards, 0, "single block cannot race with itself");
+    let dirty = wknng_simt::launch(&dev(), 2, 1, racy);
+    assert_eq!(dirty.stats.hazards, 1, "one cross-block conflict");
+    let report = scope.report();
+    assert_eq!(report.launches, 2);
+    assert_eq!(report.events, 1);
+    drop(scope);
+    // With no scope installed, launches are untracked.
+    let untracked = wknng_simt::launch(&dev(), 2, 1, racy);
+    assert_eq!(untracked.stats.hazards, 0);
+}
+
+/// Repeated instances of one hazard class fold into a count instead of
+/// flooding the report.
+#[test]
+fn repeated_hazards_fold_into_counts() {
+    let buf = DeviceBuffer::<u32>::zeroed(64);
+    let (_, hazards) = launch_sanitized(&dev(), 2, 1, |blk| {
+        let who = blk.block_idx as u32;
+        blk.each_warp(|w| {
+            let mask = Mask::FULL;
+            let idx = w.math_idx(mask, |l| l); // all 32 elements conflict
+            let vals = w.math(mask, |_| who);
+            w.st_global(&buf, &idx, &vals, mask);
+        });
+    });
+    assert_eq!(hazards.hazards.len(), 1, "one class: {}", hazards.summary());
+    assert_eq!(hazards.hazards[0].count, 32);
+    assert_eq!(hazards.events, 32);
+}
+
+/// Buffer generations reset between launches: writing a buffer in one launch
+/// and reading it in the next is the normal host-ordered pipeline pattern.
+#[test]
+fn accesses_in_different_launches_never_conflict() {
+    let scope = SanitizerScope::install();
+    let buf = DeviceBuffer::<u32>::zeroed(32);
+    wknng_simt::launch(&dev(), 1, 1, |blk| {
+        blk.each_warp(|w| {
+            let idx = w.math_idx(Mask::FULL, |l| l);
+            let vals = w.math(Mask::FULL, |l| l as u32);
+            w.st_global(&buf, &idx, &vals, Mask::FULL);
+        });
+    });
+    wknng_simt::launch(&dev(), 2, 1, |blk| {
+        blk.each_warp(|w| {
+            let idx = w.math_idx(Mask::FULL, |l| l);
+            let _ = w.ld_global(&buf, &idx, Mask::FULL);
+        });
+    });
+    let report = scope.report();
+    assert!(report.is_clean(), "{}", report.summary());
+}
+
+fn buf_id(buf: &DeviceBuffer<u32>) -> u64 {
+    // The id is internal; recover it from a hazard on a scratch launch so the
+    // diagnosis assertions can compare against the true allocation id.
+    let (_, hz) = launch_sanitized(&dev(), 2, 1, |blk| {
+        let who = blk.block_idx as u32;
+        blk.each_warp(|w| {
+            let mask = Mask(1 << 0);
+            let idx = w.math_idx(mask, |_| 0);
+            let vals = w.math(mask, |_| who);
+            w.st_global(buf, &idx, &vals, mask);
+        });
+    });
+    match hz.hazards.first().expect("scratch race").space {
+        Space::Global { buffer, .. } => buffer,
+        other => panic!("expected a global-space hazard, got {other:?}"),
+    }
+}

@@ -340,6 +340,112 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     Ok(format!("replayed {answered} queries\n{report}"))
 }
 
+/// `sanitize`: sweep the four device kernels (basic / atomic / tiled / beam)
+/// across a small parameter grid under the race & hazard sanitizer, then run
+/// a deliberately racy self-check kernel to prove the detector is armed.
+/// Any hazard in the sweep — or a silent self-check — is an error.
+#[cfg(feature = "sanitize")]
+pub fn cmd_sanitize(args: &Args) -> Result<String, String> {
+    use crate::simt::{launch_sanitized, DeviceBuffer, Mask, SanitizerScope};
+
+    let seed: u64 = args.get("seed", 0xA11CE)?;
+    let dev = DeviceConfig::test_tiny();
+    let mut out = String::new();
+    let mut dirty: Vec<String> = Vec::new();
+    let mut configs = 0usize;
+    // The grid is small but adversarial: dim 33 forces the >32-dim chunked
+    // paths (tiled's multi-chunk shared staging), k 8 exercises multi-slot
+    // scans, and two sizes vary bucket occupancy.
+    for &n in &[96usize, 192] {
+        for &dim in &[8usize, 33] {
+            for &k in &[4usize, 8] {
+                let vs = DatasetSpec::GaussianClusters { n, dim, clusters: 4, spread: 0.4 }
+                    .generate(seed)
+                    .vectors;
+                let mut basic_lists = Vec::new();
+                for v in KernelVariant::ALL {
+                    let scope = SanitizerScope::install();
+                    let built = WknngBuilder::new(k)
+                        .trees(2)
+                        .leaf_size(24)
+                        .exploration(1)
+                        .seed(seed)
+                        .variant(v)
+                        .build_device(&vs, &dev);
+                    let report = scope.report();
+                    drop(scope);
+                    let (graph, _) = built.map_err(|e| e.to_string())?;
+                    let name = format!("{v:?}").to_lowercase();
+                    configs += 1;
+                    out.push_str(&format!(
+                        "{name:<6} n={n:<4} dim={dim:<2} k={k}: {}\n",
+                        report.summary()
+                    ));
+                    if !report.is_clean() {
+                        dirty.push(format!("{name} n={n} dim={dim} k={k}"));
+                    }
+                    if matches!(v, KernelVariant::Basic) {
+                        basic_lists = graph.lists;
+                    }
+                }
+                // Beam search over the basic-built graph, fresh query set.
+                let queries = DatasetSpec::UniformCube { n: 16, dim }.generate(seed ^ 1).vectors;
+                let params =
+                    SearchParams { k: k.min(4), beam: 16, entries: 2, metric: Metric::SquaredL2 };
+                let scope = SanitizerScope::install();
+                let ix = SearchIndex::upload(&vs, &basic_lists);
+                let searched = run_search_batch(&dev, &ix, &queries, &params);
+                let report = scope.report();
+                drop(scope);
+                searched.map_err(|e| format!("beam search launch fault: {e:?}"))?;
+                configs += 1;
+                out.push_str(&format!(
+                    "beam   n={n:<4} dim={dim:<2} k={k}: {}\n",
+                    report.summary()
+                ));
+                if !report.is_clean() {
+                    dirty.push(format!("beam n={n} dim={dim} k={k}"));
+                }
+            }
+        }
+    }
+
+    // Self-check: a deliberately racy kernel (two blocks, unsynchronized
+    // writes of different values to element 0) MUST be detected, or the
+    // clean sweep above proves nothing.
+    let racy = DeviceBuffer::<u32>::zeroed(8).set_label("self-check");
+    let (_, hz) = launch_sanitized(&dev, 2, 1, |blk| {
+        let who = blk.block_idx as u32;
+        blk.each_warp(|w| {
+            let m = Mask(1 << 0);
+            let idx = w.math_idx(m, |_| 0);
+            let vals = w.math(m, |_| who);
+            w.st_global(&racy, &idx, &vals, m);
+        });
+    });
+    if !hz.hazards.iter().any(|h| h.kind == HazardKind::RaceWriteWrite) {
+        return Err(format!(
+            "sanitizer self-check FAILED: an intentionally racy kernel was not detected\n{out}"
+        ));
+    }
+    out.push_str("self-check: intentional race detected (detector armed)\n");
+
+    if dirty.is_empty() {
+        out.push_str(&format!("sanitize: {configs} kernel configs clean"));
+        Ok(out)
+    } else {
+        Err(format!("{out}sanitize: hazards in {} config(s): {}", dirty.len(), dirty.join(", ")))
+    }
+}
+
+/// Stub when the detector is compiled out: point at the opt-in feature.
+#[cfg(not(feature = "sanitize"))]
+pub fn cmd_sanitize(_args: &Args) -> Result<String, String> {
+    Err("the race & hazard sanitizer is compiled out; rebuild with `--features sanitize` \
+         to enable `wknng sanitize`"
+        .to_string())
+}
+
 /// Dispatch a parsed command; returns the report line(s) for stdout.
 pub fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_str() {
@@ -352,6 +458,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "serve" => cmd_serve(args),
         "extend" => cmd_extend(args),
         "audit" => cmd_audit(args),
+        "sanitize" => cmd_sanitize(args),
         "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     }
@@ -377,6 +484,7 @@ wknng-cli — approximate K-NN graphs from the command line
            [--capacity 1024] [--augment [--max-degree D]] [--device native|sim]
   extend   --input d.wkv --graph g.wkk --new more.wkv
            --out-vectors d2.wkv --out-graph g2.wkk [--beam 0]
+  sanitize [--seed S]   (requires building with --features sanitize)
   help";
 
 #[cfg(test)]
@@ -411,9 +519,9 @@ mod tests {
     fn boolean_switches_need_no_value() {
         // Trailing switch, switch followed by another flag, explicit value.
         let a = args("build --strict --input x.wkv --degrade false --verbose");
-        assert_eq!(a.get("strict", false).unwrap(), true);
-        assert_eq!(a.get("degrade", true).unwrap(), false);
-        assert_eq!(a.get("verbose", false).unwrap(), true);
+        assert!(a.get("strict", false).unwrap());
+        assert!(!a.get("degrade", true).unwrap());
+        assert!(a.get("verbose", false).unwrap());
         assert_eq!(a.require("input").unwrap(), "x.wkv");
         // A junk value is still a parse error, not silently true.
         let a = args("build --strict maybe");
@@ -516,6 +624,21 @@ mod tests {
         assert!(out.contains("1 corrupted points"), "{out}");
         std::fs::remove_file(&vecs).ok();
         std::fs::remove_file(&graph).ok();
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn sanitize_sweep_is_clean_and_self_check_arms() {
+        let out = dispatch(&args("sanitize --seed 11")).unwrap();
+        assert!(out.contains("kernel configs clean"), "{out}");
+        assert!(out.contains("intentional race detected"), "{out}");
+    }
+
+    #[cfg(not(feature = "sanitize"))]
+    #[test]
+    fn sanitize_without_the_feature_is_a_clean_error() {
+        let err = dispatch(&args("sanitize")).unwrap_err();
+        assert!(err.contains("--features sanitize"), "{err}");
     }
 
     #[test]

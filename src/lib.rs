@@ -89,8 +89,11 @@ pub mod prelude {
         Augment, Backend, QueryResult, ServeConfig, ServeEngine, ServeError, ServeIndex,
         ServeReport,
     };
+    #[cfg(feature = "sanitize")]
+    pub use wknng_simt::{launch_sanitized, SanitizerScope};
     pub use wknng_simt::{
-        DeviceConfig, FaultPlan, FaultScope, InjectedFault, LaunchFault, LaunchReport, Stats,
+        DeviceConfig, FaultPlan, FaultScope, Hazard, HazardKind, HazardReport, InjectedFault,
+        LaunchFault, LaunchReport, Stats,
     };
     pub use wknng_tsne::{affinities_from_knng, tsne_via_wknng, Embedding, TsneParams};
 }
