@@ -1,0 +1,91 @@
+//! The shared index-arithmetic of the warp-centric kernels, written **once**,
+//! generically over [`IdxExpr`].
+//!
+//! Every buffer-addressing formula the kernels use lives here and nowhere
+//! else: the concrete kernels call these functions with `V = usize` inside
+//! their `math_idx` closures, and the abstract kernel models in
+//! [`crate::lint`] call the *same* functions with `V =`
+//! [`wknng_simt::AbsIdx`]. Because both instantiations go through one
+//! definition, the access pattern the analyzer proves things about cannot
+//! silently drift from the pattern the executable kernels actually issue —
+//! a change here re-type-checks (and re-analyzes) both worlds.
+
+use wknng_simt::{IdxExpr, WARP_LANES};
+
+/// Row-major coordinate index: `row·dim + col`.
+///
+/// Used by every kernel that touches the `points` matrix — the warp-
+/// cooperative distance (`col = chunk + lane`), the atomic kernel's per-lane
+/// register loop (`col = c`), the tiled global tile load and the beam
+/// kernel's query/candidate loads.
+pub fn coord_ix<V: IdxExpr>(row: &V, dim: &V, col: &V) -> V {
+    row.mul(dim).add(col)
+}
+
+/// Slot-row index into a packed `n × k` slot / beam / adjacency / visited
+/// matrix: `row·width + entry`.
+///
+/// Same shape as [`coord_ix`] but kept separate because the *width* is a
+/// different launch parameter (`k`, beam width, degree, or `n` for the
+/// visited matrix) with its own declared range.
+pub fn slot_ix<V: IdxExpr>(row: &V, width: &V, entry: &V) -> V {
+    row.mul(width).add(entry)
+}
+
+/// Shared-tile index: `col·stride + point`, where `stride` is the padded
+/// row pitch from [`tile_stride`] and `col` is the dimension within the
+/// staged 32-dimension chunk.
+pub fn tile_ix<V: IdxExpr>(col: &V, stride: &V, point: &V) -> V {
+    col.mul(stride).add(point)
+}
+
+/// Block-cyclic pair id of the atomic kernel: lane slot `s = wid·32 + lane`
+/// owns pair `s·chunk + it` at inner iteration `it`.
+pub fn pair_ix<V: IdxExpr>(slot: &V, chunk: &V, it: &V) -> V {
+    slot.mul(chunk).add(it)
+}
+
+/// CSR end-offset index: `bucket + 1`.
+pub fn csr_end<V: IdxExpr>(bucket: &V) -> V {
+    bucket.add(&V::constant(1))
+}
+
+/// Padded row pitch of the shared coordinate tile: the smallest **odd**
+/// stride `≥ m`, so column reads (`lane·stride + point`) touch all 32 banks
+/// (`gcd(stride, 32) = 1` — the classic padding trick). `m + 1` alone is
+/// only odd for even `m`; odd `m` needs no padding at all.
+pub fn tile_stride(m: usize) -> usize {
+    if m.is_multiple_of(2) {
+        m + 1
+    } else {
+        m
+    }
+}
+
+/// Element count of the shared coordinate tile: 32 dimensions × `stride`.
+pub fn tile_len<V: IdxExpr>(stride: &V) -> V {
+    V::constant(WARP_LANES).mul(stride)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_instantiation_matches_hand_arithmetic() {
+        assert_eq!(coord_ix(&7usize, &16, &3), 7 * 16 + 3);
+        assert_eq!(slot_ix(&4usize, &10, &9), 49);
+        assert_eq!(tile_ix(&2usize, &33, &5), 71);
+        assert_eq!(pair_ix(&3usize, &100, &42), 342);
+        assert_eq!(csr_end(&11usize), 12);
+    }
+
+    #[test]
+    fn tile_stride_is_odd_and_at_least_m() {
+        for m in 1usize..200 {
+            let s = tile_stride(m);
+            assert_eq!(s % 2, 1, "m={m}");
+            assert!(s >= m && s <= m + 1, "m={m} stride={s}");
+        }
+    }
+}

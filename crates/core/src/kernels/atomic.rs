@@ -20,6 +20,7 @@
 use wknng_data::Neighbor;
 use wknng_simt::{try_launch, DeviceConfig, LaneVec, LaunchFault, LaunchReport, Mask, WARP_LANES};
 
+use crate::kernels::access::{coord_ix, pair_ix};
 use crate::kernels::insert::lane_insert_atomic;
 use crate::kernels::layout::TreeLayout;
 use crate::kernels::state::DeviceState;
@@ -29,12 +30,19 @@ const ATOMIC_WARPS: usize = 4;
 
 /// Map a flat upper-triangle pair index `t ∈ [0, m(m-1)/2)` to `(i, j)` with
 /// `i < j < m`.
-pub(crate) fn unrank_pair(t: usize, m: usize) -> (usize, usize) {
-    debug_assert!(t < m * (m - 1) / 2);
+///
+/// The closed-form row estimate is computed in `f64`; above ~2^26 pairs the
+/// discriminant loses the integer grid, so the estimate is clamped into
+/// `[0, m)` and corrected in **both** directions against the exact integer
+/// triangle offsets. The inverse is exact for every representable `(t, m)` —
+/// pinned by the boundary property test in `tests/kernel_properties.rs`.
+pub fn unrank_pair(t: usize, m: usize) -> (usize, usize) {
+    assert!(m >= 2 && t < m * (m - 1) / 2, "pair rank {t} out of range for m={m}");
     // Row i owns pairs [off_i, off_i + (m-1-i)); solve with the closed form
     // and fix up float error.
     let tm = (2 * m - 1) as f64;
-    let mut i = ((tm - (tm * tm - 8.0 * t as f64).sqrt()) / 2.0) as usize;
+    let disc = (tm * tm - 8.0 * t as f64).max(0.0);
+    let mut i = (((tm - disc.sqrt()) / 2.0).max(0.0) as usize).min(m - 1);
     let off = |i: usize| i * (2 * m - i - 1) / 2;
     while i + 1 < m && off(i + 1) <= t {
         i += 1;
@@ -83,7 +91,7 @@ pub fn run_atomic(
             let chunk = npairs.div_ceil(lanes_total);
             let mut it = 0usize;
             while it < chunk {
-                let lane_t = |l: usize| (wid * WARP_LANES + l) * chunk + it;
+                let lane_t = |l: usize| pair_ix(&(wid * WARP_LANES + l), &chunk, &it);
                 let mask = Mask::from_fn(|l| lane_t(l) < npairs);
                 if mask.is_empty() {
                     break;
@@ -101,9 +109,9 @@ pub fn run_atomic(
                 // gather loads.
                 let mut acc = LaneVec::<f32>::zeroed();
                 for c in 0..dim {
-                    let ai = w.math_idx(mask, |l| p.get(l) as usize * dim + c);
+                    let ai = w.math_idx(mask, |l| coord_ix(&(p.get(l) as usize), &dim, &c));
                     let a = w.ld_global(&state.points, &ai, mask);
-                    let bi = w.math_idx(mask, |l| q.get(l) as usize * dim + c);
+                    let bi = w.math_idx(mask, |l| coord_ix(&(q.get(l) as usize), &dim, &c));
                     let bv = w.ld_global(&state.points, &bi, mask);
                     acc = w.math_keep(mask, &acc, |l| {
                         let d = a.get(l) - bv.get(l);

@@ -9,6 +9,7 @@
 use wknng_data::Neighbor;
 use wknng_simt::{try_launch, DeviceConfig, LaneVec, LaunchFault, LaunchReport, Mask};
 
+use crate::kernels::access::csr_end;
 use crate::kernels::distance::warp_sq_l2;
 use crate::kernels::insert::warp_insert_exclusive;
 use crate::kernels::layout::TreeLayout;
@@ -39,7 +40,7 @@ pub fn run_basic(
             let one = Mask::first(1);
             let b = w.ld_global(&tree.bucket_of, &LaneVec::splat(p), one).get(0) as usize;
             let start = w.ld_global(&tree.offsets, &LaneVec::splat(b), one).get(0) as usize;
-            let end = w.ld_global(&tree.offsets, &LaneVec::splat(b + 1), one).get(0) as usize;
+            let end = w.ld_global(&tree.offsets, &LaneVec::splat(csr_end(&b)), one).get(0) as usize;
             for pos in start..end {
                 let q = w.ld_global(&tree.members, &LaneVec::splat(pos), one).get(0) as usize;
                 if q == p {

@@ -24,6 +24,7 @@ use wknng_simt::{
 };
 
 use crate::graph::{slots_to_lists, EMPTY_SLOT};
+use crate::kernels::access::{coord_ix, slot_ix};
 use crate::kernels::basic::WARPS_PER_BLOCK;
 use crate::kernels::explore::NO_NEIGHBOR;
 use crate::kernels::insert::warp_insert_exclusive;
@@ -63,8 +64,8 @@ impl SearchIndex {
             }
         }
         SearchIndex {
-            points: DeviceBuffer::from_slice(vs.as_flat()),
-            adj: DeviceBuffer::from_slice(&adj),
+            points: DeviceBuffer::from_slice(vs.as_flat()).set_label("points"),
+            adj: DeviceBuffer::from_slice(&adj).set_label("adj"),
             n,
             dim: vs.dim(),
             deg,
@@ -103,9 +104,9 @@ fn lane_query_dists(
     for c in 0..chunks {
         for (i, slot) in acc.iter_mut().enumerate() {
             let col = c * 8 + i;
-            let qi = w.math_idx(mask, |_| q * dim + col);
+            let qi = w.math_idx(mask, |_| coord_ix(&q, &dim, &col));
             let a = w.ld_global(queries, &qi, mask);
-            let pi = w.math_idx(mask, |l| pts.get(l) * dim + col);
+            let pi = w.math_idx(mask, |l| coord_ix(&pts.get(l), &dim, &col));
             let b = w.ld_global(points, &pi, mask);
             let prev = *slot;
             *slot = w.math_keep(mask, &prev, |l| {
@@ -119,9 +120,9 @@ fn lane_query_dists(
         sum = w.math_keep(mask, &sum, |l| sum.get(l) + p.get(l));
     }
     for col in chunks * 8..dim {
-        let qi = w.math_idx(mask, |_| q * dim + col);
+        let qi = w.math_idx(mask, |_| coord_ix(&q, &dim, &col));
         let a = w.ld_global(queries, &qi, mask);
-        let pi = w.math_idx(mask, |l| pts.get(l) * dim + col);
+        let pi = w.math_idx(mask, |l| coord_ix(&pts.get(l), &dim, &col));
         let b = w.ld_global(points, &pi, mask);
         sum = w.math_keep(mask, &sum, |l| {
             let d = a.get(l) - b.get(l);
@@ -135,13 +136,12 @@ fn lane_query_dists(
 /// entry (only meaningful once the beam is full; empty slots pack as
 /// [`EMPTY_SLOT`] = `u64::MAX` and would dominate).
 fn warp_worst(w: &mut WarpCtx, beams: &DeviceBuffer<u64>, q: usize, bw: usize) -> u64 {
-    let base = q * bw;
     let mut worst = 0u64;
     let mut c = 0usize;
     while c < bw {
         let width = (bw - c).min(WARP_LANES);
         let mask = Mask::first(width);
-        let idx = w.math_idx(mask, |l| base + c + l);
+        let idx = w.math_idx(mask, |l| slot_ix(&q, &bw, &(c + l)));
         let vals = w.ld_global(beams, &idx, mask);
         if let Some((v, _)) = reduce_max_u64(w, &vals, mask) {
             worst = worst.max(v);
@@ -183,13 +183,13 @@ pub fn run_search_batch(
     }
     let entries = params.entries.clamp(1, n);
 
-    let qbuf = DeviceBuffer::from_slice(queries.as_flat());
-    let beams = DeviceBuffer::filled(nq * bw, EMPTY_SLOT);
+    let qbuf = DeviceBuffer::from_slice(queries.as_flat()).set_label("queries");
+    let beams = DeviceBuffer::filled(nq * bw, EMPTY_SLOT).set_label("beams");
     // One byte per (query, point) visited flag: the kernel only ever tests
     // zero/non-zero, so u8 keeps the per-launch footprint at nq*n bytes
     // (batch 128 over a 1M-point index: 128 MB, not the 512 MB a u32 flag
     // array would pin).
-    let visited = DeviceBuffer::filled(nq * n, 0u8);
+    let visited = DeviceBuffer::filled(nq * n, 0u8).set_label("visited");
     let mut stats = vec![SearchStats { distance_evals: 0, expansions: 0 }; nq];
 
     let blocks = nq.div_ceil(WARPS_PER_BLOCK);
@@ -199,7 +199,6 @@ pub fn run_search_batch(
             if q >= nq {
                 return;
             }
-            let vbase = q * n;
             let one = Mask::first(1);
             let mut st = SearchStats { distance_evals: 0, expansions: 0 };
             let mut beam_len = 0usize;
@@ -211,10 +210,15 @@ pub fn run_search_batch(
             let mut seeds = Vec::with_capacity(entries);
             for e in 0..entries {
                 let mut p = entry_point(e, n);
-                while w.ld_global(&visited, &LaneVec::splat(vbase + p), one).get(0) != 0 {
+                while w.ld_global(&visited, &LaneVec::splat(slot_ix(&q, &n, &p)), one).get(0) != 0 {
                     p = (p + 1) % n;
                 }
-                w.st_global(&visited, &LaneVec::splat(vbase + p), &LaneVec::splat(1u8), one);
+                w.st_global(
+                    &visited,
+                    &LaneVec::splat(slot_ix(&q, &n, &p)),
+                    &LaneVec::splat(1u8),
+                    one,
+                );
                 seeds.push(p);
             }
             for chunk in seeds.chunks(WARP_LANES) {
@@ -244,18 +248,18 @@ pub fn run_search_batch(
                     break;
                 }
                 st.expansions += 1;
-                let abase = cur.index as usize * deg;
+                let cur_pt = cur.index as usize;
                 let mut c = 0usize;
                 while c < deg {
                     let width = (deg - c).min(WARP_LANES);
                     let mask = Mask::first(width);
-                    let ai = w.math_idx(mask, |l| abase + c + l);
+                    let ai = w.math_idx(mask, |l| slot_ix(&cur_pt, &deg, &(c + l)));
                     let nbr = w.ld_global(&ix.adj, &ai, mask);
                     let real = w.pred(mask, |l| nbr.get(l) != NO_NEIGHBOR);
                     if real.is_empty() {
                         break; // rows are padded at the tail only
                     }
-                    let vi = w.math_idx(real, |l| vbase + nbr.get(l) as usize);
+                    let vi = w.math_idx(real, |l| slot_ix(&q, &n, &(nbr.get(l) as usize)));
                     let seen = w.ld_global(&visited, &vi, real);
                     let fresh = w.pred(real, |l| seen.get(l) == 0);
                     if !fresh.is_empty() {

@@ -3,6 +3,8 @@
 use wknng_simt::primitives::reduce_sum_f32;
 use wknng_simt::{DeviceBuffer, LaneVec, Mask, WarpCtx, WARP_LANES};
 
+use crate::kernels::access::coord_ix;
+
 /// Squared Euclidean distance between points `p` and `q`, computed by the
 /// whole warp: lanes stride across the dimensions (coalesced row loads),
 /// accumulate per-lane partial sums, then a warp reduction combines them.
@@ -21,9 +23,9 @@ pub fn warp_sq_l2(
     while c < dim {
         let width = (dim - c).min(WARP_LANES);
         let mask = Mask::first(width);
-        let pi = w.math_idx(mask, |l| p * dim + c + l);
+        let pi = w.math_idx(mask, |l| coord_ix(&p, &dim, &(c + l)));
         let a = w.ld_global(points, &pi, mask);
-        let qi = w.math_idx(mask, |l| q * dim + c + l);
+        let qi = w.math_idx(mask, |l| coord_ix(&q, &dim, &(c + l)));
         let b = w.ld_global(points, &qi, mask);
         acc = w.math_keep(mask, &acc, |l| {
             let d = a.get(l) - b.get(l);

@@ -14,6 +14,7 @@ use wknng_simt::primitives::reduce_max_u64;
 use wknng_simt::{DeviceBuffer, LaneVec, Mask, WarpCtx, WARP_LANES};
 
 use crate::graph::EMPTY_SLOT;
+use crate::kernels::access::slot_ix;
 
 /// Result of a warp scan over one point's k slots.
 struct SlotScan {
@@ -41,7 +42,7 @@ fn warp_scan(
     while c < k {
         let width = (k - c).min(WARP_LANES);
         let mask = Mask::first(width);
-        let idx = w.math_idx(mask, |l| base + c + l);
+        let idx = w.math_idx(mask, |l| slot_ix(&point, &k, &(c + l)));
         let vals = w.ld_global(slots, &idx, mask);
         let dup = w.pred(mask, |l| {
             let v = vals.get(l);
@@ -137,10 +138,10 @@ pub fn lane_insert_atomic(
     while !active.is_empty() {
         // Per-lane scan of the k slots (gather loads).
         let mut best_val = LaneVec::<u64>::zeroed();
-        let mut best_slot = w.math_idx(active, |l| pts.get(l) * k);
+        let mut best_slot = w.math_idx(active, |l| slot_ix(&pts.get(l), &k, &0));
         let mut dup = Mask::NONE;
         for s in 0..k {
-            let idx = w.math_idx(active, |l| pts.get(l) * k + s);
+            let idx = w.math_idx(active, |l| slot_ix(&pts.get(l), &k, &s));
             let vals = w.ld_global(slots, &idx, active);
             let d = w.pred(active, |l| {
                 let v = vals.get(l);

@@ -40,10 +40,10 @@ impl TreeLayout {
         assert_eq!(members.len(), n, "tree must partition all points");
         assert!(bucket_of.iter().all(|&b| b != u32::MAX));
         TreeLayout {
-            members: DeviceBuffer::from_slice(&members),
-            offsets: DeviceBuffer::from_slice(&offsets),
-            bucket_of: DeviceBuffer::from_slice(&bucket_of),
-            pos_of: DeviceBuffer::from_slice(&pos_of),
+            members: DeviceBuffer::from_slice(&members).set_label("members"),
+            offsets: DeviceBuffer::from_slice(&offsets).set_label("offsets"),
+            bucket_of: DeviceBuffer::from_slice(&bucket_of).set_label("bucket_of"),
+            pos_of: DeviceBuffer::from_slice(&pos_of).set_label("pos_of"),
             num_buckets: tree.buckets.len(),
             max_bucket: tree.max_bucket(),
         }

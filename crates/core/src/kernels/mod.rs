@@ -9,6 +9,7 @@
 //! * [`distance`] — warp-cooperative squared L2;
 //! * [`state`] / [`layout`] — device-resident graph state and bucket CSR.
 
+pub mod access;
 pub mod atomic;
 pub mod basic;
 pub mod beam;

@@ -26,8 +26,8 @@ impl DeviceState {
     /// Upload `vs` and allocate empty slot arrays for `k` neighbors.
     pub fn upload(vs: &VectorSet, k: usize) -> Self {
         DeviceState {
-            points: DeviceBuffer::from_slice(vs.as_flat()),
-            slots: DeviceBuffer::filled(vs.len() * k, EMPTY_SLOT),
+            points: DeviceBuffer::from_slice(vs.as_flat()).set_label("points"),
+            slots: DeviceBuffer::filled(vs.len() * k, EMPTY_SLOT).set_label("slots"),
             n: vs.len(),
             dim: vs.dim(),
             k,

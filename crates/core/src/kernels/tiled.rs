@@ -16,6 +16,7 @@
 use wknng_data::Neighbor;
 use wknng_simt::{try_launch, DeviceConfig, LaneVec, LaunchFault, LaunchReport, Mask, WARP_LANES};
 
+use crate::kernels::access::{coord_ix, csr_end, tile_ix, tile_len, tile_stride};
 use crate::kernels::insert::warp_insert_exclusive;
 use crate::kernels::layout::TreeLayout;
 use crate::kernels::state::DeviceState;
@@ -24,7 +25,8 @@ use crate::kernels::state::DeviceState;
 const TILED_WARPS: usize = 4;
 
 /// Largest bucket the tiled kernel can stage given a shared-memory capacity
-/// in bytes: `32 dims × (m + 1) floats` must fit.
+/// in bytes: `32 dims × tile_stride(m) floats` must fit, and
+/// `tile_stride(m) ≤ m + 1`.
 pub fn max_tiled_bucket(shared_mem_bytes: u32) -> usize {
     (shared_mem_bytes as usize / (WARP_LANES * 4)).saturating_sub(1)
 }
@@ -55,8 +57,9 @@ pub fn run_tiled(
             return;
         }
         let members = &members_host[start..end];
-        let stride = m + 1; // odd-ish padding => conflict-free column reads
-        let tile = blk.shared_alloc::<f32>(WARP_LANES * stride);
+        // Odd row pitch => gcd(stride, 32) = 1 => conflict-free column reads.
+        let stride = tile_stride(m);
+        let tile = blk.shared_alloc::<f32>(tile_len(&stride));
         let jgroups = m.div_ceil(WARP_LANES);
         // Per-point partial distance rows, lane j of group jg = dist to
         // bucket-mate jg*32 + j. These live in registers on hardware.
@@ -66,7 +69,7 @@ pub fn run_tiled(
         blk.warp(0, |w| {
             let one = Mask::first(1);
             let _ = w.ld_global(&tree.offsets, &LaneVec::splat(b), one);
-            let _ = w.ld_global(&tree.offsets, &LaneVec::splat(b + 1), one);
+            let _ = w.ld_global(&tree.offsets, &LaneVec::splat(csr_end(&b)), one);
             let mut j0 = 0usize;
             while j0 < m {
                 let width = (m - j0).min(WARP_LANES);
@@ -90,9 +93,11 @@ pub fn run_tiled(
                     let width = (m - j0).min(WARP_LANES);
                     let mask = Mask::first(width);
                     for c in 0..cwidth {
-                        let gidx = w.math_idx(mask, |l| members[j0 + l] as usize * dim + cbase + c);
+                        let gidx = w.math_idx(mask, |l| {
+                            coord_ix(&(members[j0 + l] as usize), &dim, &(cbase + c))
+                        });
                         let vals = w.ld_global(&state.points, &gidx, mask);
-                        let sidx = w.math_idx(mask, |l| c * stride + j0 + l);
+                        let sidx = w.math_idx(mask, |l| tile_ix(&c, &stride, &(j0 + l)));
                         w.sh_store(&tile, &sidx, &vals, mask);
                     }
                 }
@@ -106,7 +111,7 @@ pub fn run_tiled(
                 let mut i_local = wid;
                 while i_local < m {
                     // Column read of point i's chunk (lane = dimension).
-                    let ci = w.math_idx(cmask, |c| c * stride + i_local);
+                    let ci = w.math_idx(cmask, |c| tile_ix(&c, &stride, &i_local));
                     let xi = w.sh_load(&tile, &ci, cmask);
                     for (jg, row) in partial[i_local].iter_mut().enumerate() {
                         let j0 = jg * WARP_LANES;
@@ -115,7 +120,7 @@ pub fn run_tiled(
                         let mut acc = *row;
                         for c in 0..cwidth {
                             let xic = xi.get(c);
-                            let sj = w.math_idx(jmask, |l| c * stride + j0 + l);
+                            let sj = w.math_idx(jmask, |l| tile_ix(&c, &stride, &(j0 + l)));
                             let xj = w.sh_load(&tile, &sj, jmask);
                             acc = w.math_keep(jmask, &acc, |l| {
                                 let d = xj.get(l) - xic;

@@ -42,6 +42,7 @@ pub mod events;
 pub mod graph;
 pub mod heap;
 pub mod kernels;
+pub mod lint;
 pub mod metrics;
 pub mod native;
 pub mod params;
@@ -59,6 +60,7 @@ pub use events::{BuildEvent, BuildEvents, BuildPhase};
 pub use graph::{augment_reverse, lists_to_slots, slots_to_lists, KnnGraph, EMPTY_SLOT};
 pub use heap::KnnList;
 pub use kernels::beam::{run_search_batch, BatchResult, SearchIndex};
+pub use lint::{lint_all_kernels, mutation_reports};
 pub use metrics::{graph_stats, symmetrize, GraphStats};
 pub use native::{build_native, PhaseTimings};
 pub use params::{AuditLevel, BuildPolicy, ExplorationMode, KernelVariant, WknngParams};

@@ -1,0 +1,356 @@
+//! Abstract models of the shipped kernels for the symbolic analyzer
+//! (`wknng lint`).
+//!
+//! Each `lint_*` function replays the access pattern of one kernel over
+//! [`wknng_simt::analyze`]'s abstract lanes. The index formulas are **not**
+//! re-stated here: they are the same generic functions from
+//! [`crate::kernels::access`] the concrete kernels execute, instantiated at
+//! `V = AbsIdx` instead of `V = usize`, so the analyzed pattern cannot drift
+//! from the executed one.
+//!
+//! Parameter ranges are declared once per model and every obligation is
+//! discharged for *all* valuations in those ranges — `n` up to 2²⁰ points,
+//! `dim` up to 4096, `k` up to 256, every bucket size `2 ≤ m ≤ n` — not the
+//! 32 concrete configs the dynamic sanitizer sweeps.
+//!
+//! Data-dependent values enter as declared-range opaques: bucket members are
+//! point ids `< n`, CSR starts satisfy `start + m ≤ n`, adjacency entries are
+//! `< n`. Those invariants are established by the host upload code
+//! ([`crate::kernels::layout::TreeLayout::upload`],
+//! [`crate::kernels::beam::SearchIndex::upload`]) and *assumed* here; see
+//! DESIGN.md § Static analysis for the soundness contract.
+//!
+//! [`mutation_reports`] seeds one deliberate violation of each obligation
+//! class in self-check kernels; the mutation test suite (and the CLI's
+//! `lint --self-check`) asserts the analyzer flags each one at the right
+//! location, guarding the analyzer itself against silent regression.
+
+use wknng_simt::{analyze, AbsCtx, AbsIdx, AbsMask, AnalysisReport, IdxExpr};
+
+use crate::kernels::access::{coord_ix, csr_end, pair_ix, slot_ix, tile_ix, tile_len};
+
+/// Largest point count the models certify (2²⁰ points).
+const MAX_N: u64 = 1 << 20;
+/// Largest dimensionality.
+const MAX_DIM: u64 = 4096;
+/// Largest neighbor count.
+const MAX_K: u64 = 256;
+
+/// One 32-wide element chunk of `width` starting at uniform offset `c`:
+/// lanes `0..min(width - c, 32)` — the mask every chunked warp loop uses.
+fn chunk_mask(width: &AbsIdx, c: &AbsIdx) -> AbsMask {
+    AbsMask::first_min(&[width.sub(c), AbsIdx::konst(32)])
+}
+
+/// Model of [`crate::kernels::distance::warp_sq_l2`]: the warp strides the
+/// dimensions of rows `p` and `q` with coalesced chunk loads, then reduces.
+fn model_warp_sq_l2(
+    cx: &mut AbsCtx,
+    points: &wknng_simt::AbsBuf,
+    dim: &AbsIdx,
+    p: &AbsIdx,
+    q: &AbsIdx,
+) {
+    let c = cx.range_var("c", &AbsIdx::zero(), dim);
+    let mask = chunk_mask(dim, &c);
+    let col = c.add(&cx.lane());
+    cx.ld(points, &coord_ix(p, dim, &col), &mask, "sq_l2 row p chunk");
+    cx.ld(points, &coord_ix(q, dim, &col), &mask, "sq_l2 row q chunk");
+    // reduce_sum_f32: shfl exchange requires full-warp convergence.
+    cx.sync_warp(&AbsMask::full(), "sq_l2 reduction");
+}
+
+/// Model of the warp slot scan + exclusive insert
+/// ([`crate::kernels::insert::warp_insert_exclusive`]) into row `row` of an
+/// `rows × width` slot matrix.
+fn model_warp_insert_exclusive(
+    cx: &mut AbsCtx,
+    slots: &wknng_simt::AbsBuf,
+    width: &AbsIdx,
+    row: &AbsIdx,
+) {
+    let c = cx.range_var("cs", &AbsIdx::zero(), width);
+    let mask = chunk_mask(width, &c);
+    cx.ld(slots, &slot_ix(row, width, &c.add(&cx.lane())), &mask, "slot scan chunk");
+    cx.sync_warp(&AbsMask::full(), "slot max reduction");
+    let worst = cx.opaque("worst", &AbsIdx::zero(), width);
+    cx.st(slots, &slot_ix(row, width, &worst), &AbsMask::single(), "worst-slot overwrite");
+}
+
+/// Model of [`crate::kernels::insert::lane_insert_atomic`]: every lane scans
+/// its own point's `k` slots (gather loads) and commits with one CAS.
+fn model_lane_insert_atomic(
+    cx: &mut AbsCtx,
+    slots: &wknng_simt::AbsBuf,
+    k: &AbsIdx,
+    pts: &AbsIdx,
+    mask: &AbsMask,
+) {
+    let s = cx.range_var("s", &AbsIdx::zero(), k);
+    cx.ld_gather(slots, &slot_ix(pts, k, &s), mask, "lane slot scan");
+    let worst = cx.opaque_lanes("lane_worst", &AbsIdx::zero(), k);
+    cx.st_gather(slots, &slot_ix(pts, k, &worst), mask, "lane CAS commit");
+    // After the retry loop every lane has committed or bowed out; the warp
+    // reconverges before the next pair iteration.
+    cx.sync_warp(&AbsMask::full(), "insert reconvergence");
+}
+
+/// Declare the buffers shared by the construction kernels: `points`
+/// (`n × dim` f32), `slots` (`n × k` u64) and the CSR tables.
+struct BuildBufs {
+    points: wknng_simt::AbsBuf,
+    slots: wknng_simt::AbsBuf,
+    offsets: wknng_simt::AbsBuf,
+    members: wknng_simt::AbsBuf,
+    bucket_of: wknng_simt::AbsBuf,
+}
+
+fn build_bufs(
+    cx: &mut AbsCtx,
+    n: &AbsIdx,
+    dim: &AbsIdx,
+    k: &AbsIdx,
+    buckets: &AbsIdx,
+) -> BuildBufs {
+    BuildBufs {
+        points: cx.global_buf("points", &n.mul(dim), 4),
+        slots: cx.global_buf("slots", &n.mul(k), 8),
+        offsets: cx.global_buf("offsets", &csr_end(buckets), 4),
+        members: cx.global_buf("members", n, 4),
+        bucket_of: cx.global_buf("bucket_of", n, 4),
+    }
+}
+
+/// Abstract model of [`crate::kernels::basic::run_basic`].
+pub fn lint_basic() -> AnalysisReport {
+    analyze("basic", |cx| {
+        let n = cx.param("n", 2, MAX_N);
+        let dim = cx.param("dim", 1, MAX_DIM);
+        let k = cx.param("k", 1, MAX_K);
+        let buckets = cx.param("buckets", 1, MAX_N);
+        let bufs = build_bufs(cx, &n, &dim, &k, &buckets);
+        // Guard `if p >= n return`: warp-varying branch, p ∈ [0, n).
+        cx.warp_varying("p < n guard", |cx| {
+            let p = cx.range_var("p", &AbsIdx::zero(), &n);
+            let one = AbsMask::single();
+            cx.ld(&bufs.bucket_of, &p, &one, "bucket lookup");
+            let b = cx.opaque("b", &AbsIdx::zero(), &buckets);
+            cx.ld(&bufs.offsets, &b, &one, "csr start");
+            cx.ld(&bufs.offsets, &csr_end(&b), &one, "csr end");
+            // Member walk: pos ∈ [start, end) ⊂ [0, n) by the CSR invariant.
+            let pos = cx.range_var("pos", &AbsIdx::zero(), &n);
+            cx.ld(&bufs.members, &pos, &one, "member fetch");
+            let q = cx.opaque("q", &AbsIdx::zero(), &n);
+            model_warp_sq_l2(cx, &bufs.points, &dim, &p, &q);
+            model_warp_insert_exclusive(cx, &bufs.slots, &k, &p);
+        });
+    })
+}
+
+/// Abstract model of [`crate::kernels::atomic::run_atomic`].
+pub fn lint_atomic() -> AnalysisReport {
+    analyze("atomic", |cx| {
+        let n = cx.param("n", 2, MAX_N);
+        let dim = cx.param("dim", 1, MAX_DIM);
+        let k = cx.param("k", 1, MAX_K);
+        let buckets = cx.param("buckets", 1, MAX_N);
+        // Bucket size m ∈ [2, n]; the kernel skips m ≤ 1 buckets.
+        let m = cx.derived_param("m", &AbsIdx::konst(2), &n);
+        let bufs = build_bufs(cx, &n, &dim, &k, &buckets);
+        // CSR invariant: start + m = end ≤ n.
+        let start_hi = n.sub(&m).add(&AbsIdx::konst(1));
+        let start = cx.opaque("start", &AbsIdx::zero(), &start_hi);
+        // Pair-id tail mask `lane_t(l) < npairs` is an increasing prefix.
+        let mask = AbsMask::prefix();
+        // The pair id itself: (wid·32 + lane)·chunk + it — kept for the
+        // value-generic type-check; unranking consumes it on the ALU side.
+        let wslot = cx.range_var("wslot", &AbsIdx::zero(), &AbsIdx::konst(128));
+        let chunk = cx.opaque("chunk", &AbsIdx::zero(), &start_hi);
+        let it = cx.range_var("it", &AbsIdx::zero(), &csr_end(&chunk));
+        let _t = pair_ix(&wslot.add(&cx.lane()), &chunk, &it);
+        // Unranked endpoints i < j < m (exact inverse — see unrank_pair's
+        // boundary property test).
+        let i = cx.opaque_lanes("i", &AbsIdx::zero(), &m);
+        let j = cx.opaque_lanes("j", &AbsIdx::zero(), &m);
+        cx.ld_gather(&bufs.members, &start.add(&i), &mask, "pair endpoint p");
+        cx.ld_gather(&bufs.members, &start.add(&j), &mask, "pair endpoint q");
+        // Per-lane register distance loop: one gathered coordinate per lane.
+        let p = cx.opaque_lanes("p", &AbsIdx::zero(), &n);
+        let q = cx.opaque_lanes("q", &AbsIdx::zero(), &n);
+        let c = cx.range_var("c", &AbsIdx::zero(), &dim);
+        cx.ld_gather(&bufs.points, &coord_ix(&p, &dim, &c), &mask, "coord row p");
+        cx.ld_gather(&bufs.points, &coord_ix(&q, &dim, &c), &mask, "coord row q");
+        // Both insertion directions with the lane-parallel CAS protocol.
+        model_lane_insert_atomic(cx, &bufs.slots, &k, &p, &mask);
+        model_lane_insert_atomic(cx, &bufs.slots, &k, &q, &mask);
+    })
+}
+
+/// Abstract model of [`crate::kernels::tiled::run_tiled`].
+pub fn lint_tiled() -> AnalysisReport {
+    analyze("tiled", |cx| {
+        let n = cx.param("n", 2, MAX_N);
+        let dim = cx.param("dim", 1, MAX_DIM);
+        let k = cx.param("k", 1, MAX_K);
+        let buckets = cx.param("buckets", 1, MAX_N);
+        let m = cx.derived_param("m", &AbsIdx::konst(2), &n);
+        // tile_stride(m): the smallest odd pitch ≥ m — value ≡ 1 (mod 2) is
+        // exactly what makes the column reads provably conflict-free.
+        let stride = cx.derived_param_mod("stride", &m, &m.add(&AbsIdx::konst(1)), 1, 2);
+        let bufs = build_bufs(cx, &n, &dim, &k, &buckets);
+        let tile = cx.shared_buf("tile", &tile_len(&stride), 4);
+        let start_hi = n.sub(&m).add(&AbsIdx::konst(1));
+        let start = cx.opaque("start", &AbsIdx::zero(), &start_hi);
+        let one = AbsMask::single();
+
+        // Leader warp charges the CSR metadata loads.
+        cx.warp_varying("leader warp", |cx| {
+            let b = cx.opaque("b", &AbsIdx::zero(), &buckets);
+            cx.ld(&bufs.offsets, &b, &one, "csr start");
+            cx.ld(&bufs.offsets, &csr_end(&b), &one, "csr end");
+            let j0 = cx.range_var("j0m", &AbsIdx::zero(), &m);
+            let mask = chunk_mask(&m, &j0);
+            cx.ld(&bufs.members, &start.add(&j0).add(&cx.lane()), &mask, "member ids");
+        });
+
+        // Chunk loop over the dimensions (block-uniform trip count).
+        cx.uniform("chunk loop", |cx| {
+            let cbase = cx.range_var("cbase", &AbsIdx::zero(), &dim);
+            let c = cx.range_var_min("c", &AbsIdx::zero(), &[dim.sub(&cbase), AbsIdx::konst(32)]);
+            // Tile-load phase: gather one member row chunk, store unit-stride.
+            let j0 = cx.range_var("j0", &AbsIdx::zero(), &m);
+            let mask = chunk_mask(&m, &j0);
+            let mem = cx.opaque_lanes("member", &AbsIdx::zero(), &n);
+            cx.ld_gather(&bufs.points, &coord_ix(&mem, &dim, &cbase.add(&c)), &mask, "tile fill");
+            cx.sh(&tile, &tile_ix(&c, &stride, &j0.add(&cx.lane())), &mask, "tile store");
+            cx.block_sync("tile loaded");
+
+            // Compute phase: column read (lane = dimension) + row reads.
+            let i_local = cx.range_var("i_local", &AbsIdx::zero(), &m);
+            let cmask = chunk_mask(&dim, &cbase);
+            cx.sh(&tile, &tile_ix(&cx.lane(), &stride, &i_local), &cmask, "column read");
+            cx.sh(&tile, &tile_ix(&c, &stride, &j0.add(&cx.lane())), &mask, "row read");
+            cx.block_sync("tile consumed");
+        });
+
+        // Insertion phase: exclusive updates, one member row per warp turn.
+        let p = cx.opaque("pm", &AbsIdx::zero(), &n);
+        model_warp_insert_exclusive(cx, &bufs.slots, &k, &p);
+    })
+}
+
+/// Abstract model of [`crate::kernels::beam::run_search_batch`].
+pub fn lint_beam() -> AnalysisReport {
+    analyze("beam", |cx| {
+        let n = cx.param("n", 1, MAX_N);
+        let dim = cx.param("dim", 1, MAX_DIM);
+        let nq = cx.param("nq", 1, MAX_N);
+        let deg = cx.param("deg", 1, MAX_K);
+        let bw = cx.param("bw", 1, MAX_K);
+        let points = cx.global_buf("points", &n.mul(&dim), 4);
+        let queries = cx.global_buf("queries", &nq.mul(&dim), 4);
+        let adj = cx.global_buf("adj", &n.mul(&deg), 4);
+        let visited = cx.global_buf("visited", &nq.mul(&n), 1);
+        let beams = cx.global_buf("beams", &nq.mul(&bw), 8);
+        cx.warp_varying("q < nq guard", |cx| {
+            let q = cx.range_var("q", &AbsIdx::zero(), &nq);
+            let one = AbsMask::single();
+            // Entry probing: scalar visited test-and-set per entry point.
+            let e = cx.opaque("entry", &AbsIdx::zero(), &n);
+            cx.ld(&visited, &slot_ix(&q, &n, &e), &one, "entry probe");
+            cx.st(&visited, &slot_ix(&q, &n, &e), &one, "entry mark");
+            // lane_query_dists: broadcast query column + gathered candidate
+            // column per lane, under the data-dependent `fresh` mask.
+            let fresh = AbsMask::prefix();
+            let col = cx.range_var("col", &AbsIdx::zero(), &dim);
+            cx.ld(&queries, &coord_ix(&q, &dim, &col), &fresh, "query column");
+            let cand = cx.opaque_lanes("cand", &AbsIdx::zero(), &n);
+            cx.ld_gather(&points, &coord_ix(&cand, &dim, &col), &fresh, "candidate column");
+            // warp_worst beam scan + the insert protocol share the slot code.
+            model_warp_insert_exclusive(cx, &beams, &bw, &q);
+            // Frontier expansion: coalesced adjacency row, gathered visited.
+            let cur = cx.opaque("cur", &AbsIdx::zero(), &n);
+            let ac = cx.range_var("ac", &AbsIdx::zero(), &deg);
+            let amask = chunk_mask(&deg, &ac);
+            cx.ld(&adj, &slot_ix(&cur, &deg, &ac.add(&cx.lane())), &amask, "adjacency row");
+            let nbr = cx.opaque_lanes("nbr", &AbsIdx::zero(), &n);
+            cx.ld_gather(&visited, &slot_ix(&q, &n, &nbr), &amask, "visited probe");
+            cx.st_gather(&visited, &slot_ix(&q, &n, &nbr), &amask, "visited mark");
+        });
+    })
+}
+
+/// Analyze every shipped kernel. `wknng lint` renders these and fails when
+/// any obligation is unproven.
+pub fn lint_all_kernels() -> Vec<AnalysisReport> {
+    vec![lint_basic(), lint_atomic(), lint_tiled(), lint_beam()]
+}
+
+/// Self-check kernels: one deliberately seeded violation per obligation
+/// class. Each report must contain **exactly one** unproven obligation, at
+/// the named site — the mutation test suite (and `wknng lint --self-check`)
+/// pins this, so a prover regression that starts accepting bad patterns is
+/// caught the same way a kernel regression is.
+pub fn mutation_reports() -> Vec<AnalysisReport> {
+    let strided = analyze("mutant-strided-load", |cx| {
+        let n = cx.param("n", 64, MAX_N);
+        let dim = cx.param("dim", 64, MAX_DIM);
+        let points = cx.global_buf("points", &n.mul(&dim), 4);
+        let p = cx.range_var("p", &AbsIdx::zero(), &n);
+        // Violation: lanes read every other element — 8 sectors, not 4.
+        let idx = coord_ix(&p, &dim, &cx.lane().mul(&AbsIdx::konst(2)));
+        cx.ld(&points, &idx, &AbsMask::full(), "strided row load");
+    });
+    let bank = analyze("mutant-bank-conflict", |cx| {
+        let m = cx.param("m", 2, 512);
+        // Violation: even tile pitch (the pre-fix `m + 1` bug for odd m).
+        let stride = cx.derived_param_mod("stride", &m, &m.add(&AbsIdx::konst(2)), 0, 2);
+        let tile = cx.shared_buf("tile", &tile_len(&stride), 4);
+        let row = cx.range_var("row", &AbsIdx::zero(), &m);
+        cx.sh(&tile, &tile_ix(&cx.lane(), &stride, &row), &AbsMask::full(), "column read");
+    });
+    let oob = analyze("mutant-off-by-one", |cx| {
+        let n = cx.param("n", 2, MAX_N);
+        let k = cx.param("k", 1, MAX_K);
+        let slots = cx.global_buf("slots", &n.mul(&k), 8);
+        let p = cx.range_var("p", &AbsIdx::zero(), &n);
+        // Violation: scans entry `k` of a `k`-wide row (one past the end).
+        let s = cx.range_var("s", &AbsIdx::zero(), &csr_end(&k));
+        cx.ld(&slots, &slot_ix(&p, &k, &s), &AbsMask::single(), "slot scan overrun");
+    });
+    let divergent = analyze("mutant-divergent-barrier", |cx| {
+        let n = cx.param("n", 2, MAX_N);
+        let buf = cx.global_buf("flags", &n, 4);
+        let p = cx.range_var("p", &AbsIdx::zero(), &n);
+        cx.ld(&buf, &p, &AbsMask::single(), "flag read");
+        // Violation: warp sync inside a lane-divergent branch.
+        cx.lane_varying("flag set on this lane", |cx| {
+            cx.sync_warp(&AbsMask::full(), "divergent sync");
+        });
+    });
+    vec![strided, bank, oob, divergent]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_simt::ObligationClass;
+
+    #[test]
+    fn shipped_kernels_are_fully_proved() {
+        for report in lint_all_kernels() {
+            assert!(report.all_proved(), "{}", report.render());
+        }
+    }
+
+    #[test]
+    fn every_kernel_exercises_every_obligation_class() {
+        for report in lint_all_kernels() {
+            assert!(report.count(ObligationClass::Bounds) > 0, "{}", report.kernel);
+            assert!(report.count(ObligationClass::Coalescing) > 0, "{}", report.kernel);
+            assert!(report.count(ObligationClass::Barrier) > 0, "{}", report.kernel);
+        }
+        // Shared-memory obligations only exist in the tiled kernel.
+        assert!(lint_tiled().count(ObligationClass::BankConflict) > 0);
+    }
+}

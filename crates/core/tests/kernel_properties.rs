@@ -7,6 +7,7 @@
 //! without the feature the same properties run untracked (tier-1).
 
 use proptest::prelude::*;
+use wknng_core::kernels::atomic::unrank_pair;
 use wknng_core::kernels::insert::{lane_insert_atomic, warp_insert_atomic, warp_insert_exclusive};
 use wknng_core::kernels::{sort_slots_device, DeviceState};
 use wknng_core::{slots_to_lists, KnnList, EMPTY_SLOT};
@@ -36,8 +37,46 @@ fn unique_cands(raw: Vec<(u32, f32)>) -> Vec<Neighbor> {
     raw.into_iter().filter(|(i, _)| seen.insert(*i)).map(|(i, d)| Neighbor::new(i, d)).collect()
 }
 
+/// Triangle offset of row `i` for bucket size `m` — the integer ground truth
+/// `unrank_pair` must invert.
+fn tri_off(i: usize, m: usize) -> usize {
+    i * (2 * m - i - 1) / 2
+}
+
+/// Assert `unrank_pair` is the exact inverse of the triangle offset at `t`.
+fn assert_unrank_exact(t: usize, m: usize) {
+    let (i, j) = unrank_pair(t, m);
+    assert!(i < j && j < m, "m={m} t={t} -> ({i},{j}) not an upper-triangle pair");
+    assert_eq!(tri_off(i, m) + (j - i - 1), t, "m={m}: rank(unrank({t})) != {t}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `unrank_pair` inverts the triangle offset exactly at every row
+    /// boundary (first/last pair of each row) and at the triangle's global
+    /// boundaries, for bucket sizes up to 10^5 — the float closed-form
+    /// estimate plus the two-sided fix-up never lands on a wrong row.
+    #[test]
+    fn unrank_pair_is_exact_inverse_at_boundaries(m in 2usize..100_000) {
+        let npairs = m * (m - 1) / 2;
+        // Global boundaries.
+        for t in [0, 1, npairs / 2, npairs - 1] {
+            if t < npairs {
+                assert_unrank_exact(t, m);
+            }
+        }
+        // Row boundaries: first and last pair of a spread of rows (all rows
+        // for small m, a stride for huge m keeps the test fast).
+        let step = (m / 64).max(1);
+        for i in (0..m - 1).step_by(step) {
+            assert_unrank_exact(tri_off(i, m), m);          // (i, i+1)
+            assert_unrank_exact(tri_off(i + 1, m) - 1, m);  // (i, m-1)
+        }
+        // The last row explicitly (the downward-correction hot spot).
+        assert_unrank_exact(tri_off(m - 2, m), m);
+        assert_unrank_exact(npairs - 1, m);
+    }
 
     /// Push/pop ordering: after every push the list is sorted ascending by
     /// `(dist, index)`, bounded by its capacity, and `worst()` is its last

@@ -1,0 +1,98 @@
+//! Acceptance suite for the symbolic kernel analyzer (`wknng lint`).
+//!
+//! Two halves:
+//!
+//! * **Golden report** — the rendered analysis of every shipped kernel is
+//!   pinned byte-for-byte against `tests/golden/lint_report.txt`. Any change
+//!   to a kernel's access pattern, to the models, or to the prover shows up
+//!   as a diff here and must be reviewed. Regenerate intentionally with
+//!   `BLESS_LINT=1 cargo test -p wknng-core --test lint`.
+//! * **Mutation detection** — each of the four seeded violations (strided
+//!   uncoalesced load, even-pitch bank conflict, off-by-one bound, divergent
+//!   barrier) must be flagged with the right obligation class at the right
+//!   site, and nothing else in its report may fail. This guards the
+//!   *analyzer* the way the golden file guards the kernels.
+
+use wknng_core::{lint_all_kernels, mutation_reports};
+use wknng_simt::ObligationClass;
+
+fn rendered_reports() -> String {
+    lint_all_kernels().iter().map(|r| r.render()).collect()
+}
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/lint_report.txt");
+
+#[test]
+fn golden_report_matches() {
+    let got = rendered_reports();
+    if std::env::var_os("BLESS_LINT").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file missing — run with BLESS_LINT=1 to create tests/golden/lint_report.txt",
+    );
+    assert_eq!(
+        got, want,
+        "lint report drifted from the golden file; if the change is intentional, \
+         re-bless with BLESS_LINT=1"
+    );
+}
+
+#[test]
+fn all_shipped_kernels_fully_proved() {
+    for report in lint_all_kernels() {
+        assert!(report.all_proved(), "unproven obligations:\n{}", report.render());
+    }
+}
+
+#[test]
+fn every_obligation_class_is_proved_somewhere() {
+    // The acceptance bar: the suite demonstrates a *proof* (not just absence
+    // of failure) for each of the four classes across basic/atomic/tiled/beam.
+    for class in [
+        ObligationClass::Coalescing,
+        ObligationClass::BankConflict,
+        ObligationClass::Bounds,
+        ObligationClass::Barrier,
+    ] {
+        let total: usize = lint_all_kernels().iter().map(|r| r.count(class)).sum();
+        assert!(total > 0, "no {class} obligations discharged anywhere");
+    }
+}
+
+#[test]
+fn mutations_are_each_flagged_once_with_the_right_class_and_site() {
+    let expected = [
+        ("mutant-strided-load", ObligationClass::Coalescing, "strided row load", Some("points")),
+        ("mutant-bank-conflict", ObligationClass::BankConflict, "column read", Some("tile")),
+        ("mutant-off-by-one", ObligationClass::Bounds, "slot scan overrun", Some("slots")),
+        ("mutant-divergent-barrier", ObligationClass::Barrier, "divergent sync", None),
+    ];
+    let reports = mutation_reports();
+    assert_eq!(reports.len(), expected.len());
+    for (report, (kernel, class, site, buffer)) in reports.iter().zip(expected) {
+        assert_eq!(report.kernel, kernel);
+        let unproven = report.unproven();
+        assert_eq!(
+            unproven.len(),
+            1,
+            "`{kernel}` must fail exactly its seeded obligation:\n{}",
+            report.render()
+        );
+        let o = unproven[0];
+        assert_eq!(o.class, class, "`{kernel}` flagged the wrong class:\n{}", report.render());
+        assert_eq!(o.site, site, "`{kernel}` flagged the wrong site:\n{}", report.render());
+        assert_eq!(o.buffer, buffer, "`{kernel}` flagged the wrong buffer");
+    }
+}
+
+#[test]
+fn mutants_do_not_mask_unrelated_obligations() {
+    // Every obligation in a mutant report other than the seeded one must
+    // still be proved — the violations are surgical.
+    for report in mutation_reports() {
+        let proved = report.obligations.iter().filter(|o| o.proved()).count();
+        assert_eq!(proved + 1, report.obligations.len(), "{}", report.render());
+    }
+}

@@ -34,7 +34,10 @@ impl Metric {
 /// Accumulates in chunks of 8 so LLVM vectorises the loop.
 #[inline]
 pub fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    // A checked fault: with mismatched lengths the tail loop would index `b`
+    // out of bounds or silently drop coordinates depending on which slice is
+    // shorter, turning a caller bug into a wrong distance.
+    assert_eq!(a.len(), b.len(), "sq_l2 over slices of different lengths");
     let mut acc = [0.0f32; 8];
     let chunks = a.len() / 8;
     for c in 0..chunks {
@@ -55,7 +58,7 @@ pub fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
 /// Inner product of two equal-length slices.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len(), "dot over slices of different lengths");
     let mut acc = [0.0f32; 8];
     let chunks = a.len() / 8;
     for c in 0..chunks {

@@ -1,0 +1,1334 @@
+//! Symbolic (abstract) interpretation of warp-centric kernels.
+//!
+//! Where [`crate::launch`] executes a kernel on *concrete* data and
+//! [`crate::sanitizer`] observes the accesses of one concrete run, this
+//! module runs a kernel's *access pattern* once with **abstract lanes**:
+//! every index is an affine expression `a·lane + Σ cᵥ·v + d` whose
+//! coefficients are polynomials over symbolic launch parameters
+//! (`n`, `dim`, `k`, `m`, …) and whose bound variables `v` (warp ids, loop
+//! counters, values loaded from declared-invariant buffers) carry symbolic
+//! interval and stride-residue facts. On this domain the analyzer discharges
+//! four obligation classes *for every launch shape in the declared ranges*:
+//!
+//! 1. **Coalescing** — each global load/store resolves into at most the
+//!    declared number of 32-byte sectors (unit-stride/broadcast by default,
+//!    `≤32` for declared gathers);
+//! 2. **Bank conflicts** — each shared access is conflict-free (or has a
+//!    proven bounded replay factor), using stride-residue facts such as
+//!    "the tile row pitch is odd";
+//! 3. **Bounds** — every index is within its buffer for *all* parameter
+//!    valuations;
+//! 4. **Barrier uniformity** — `sync_warp`/block barriers are reached under
+//!    structurally uniform masks (no enclosing lane- or warp-divergent
+//!    branch).
+//!
+//! The result is a structured [`AnalysisReport`]: one [`Obligation`] per
+//! memory operation / barrier, `Proved` with the witness or `Unproven` with
+//! the reason and the buffer label of the offending site.
+//!
+//! The [`IdxExpr`] trait is the **value-generic layer**: the index formulas
+//! shared by the concrete kernels and their abstract models are written once,
+//! generically, and type-check against both `usize` (concrete lanes) and
+//! [`AbsIdx`] (abstract lanes).
+//!
+//! # Soundness model
+//!
+//! The proofs are conservative (interval + endpoint evaluation of
+//! multilinear polynomials, affine-only expressions with `⊤` fallback):
+//! everything *proved* holds for all valuations in the declared parameter
+//! boxes, but the analyzer may fail to prove true facts. Data-dependent
+//! values (bucket members, CSR offsets, unranked pair indices) enter the
+//! domain as *declared-range opaque variables* — the declared invariants
+//! (e.g. "members are point ids `< n`") are assumptions established by the
+//! host-side upload code, not re-proved here. See DESIGN.md § Static
+//! analysis for the full caveat list.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::device::{SECTOR_BYTES, WARP_LANES};
+
+// ---------------------------------------------------------------------------
+// Polynomials over symbolic launch parameters
+// ---------------------------------------------------------------------------
+
+/// Interned name of a symbolic launch parameter.
+pub type SymName = &'static str;
+
+/// A monomial: a sorted multiset of parameter names (empty = the constant 1).
+type Monomial = Vec<SymName>;
+
+/// A polynomial with integer coefficients over the symbolic parameters.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, i64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn konst(c: i64) -> Poly {
+        let mut p = Poly::default();
+        if c != 0 {
+            p.terms.insert(Vec::new(), c);
+        }
+        p
+    }
+
+    /// The polynomial `name`.
+    pub fn param(name: SymName) -> Poly {
+        let mut p = Poly::default();
+        p.terms.insert(vec![name], 1);
+        p
+    }
+
+    fn insert(&mut self, m: Monomial, c: i64) {
+        if c == 0 {
+            return;
+        }
+        let e = self.terms.entry(m).or_insert(0);
+        *e += c;
+        if *e == 0 {
+            let m: Vec<SymName> = self.terms.iter().find(|(_, &v)| v == 0).unwrap().0.clone();
+            self.terms.remove(&m);
+        }
+    }
+
+    /// `self + o`.
+    pub fn add(&self, o: &Poly) -> Poly {
+        let mut r = self.clone();
+        for (m, &c) in &o.terms {
+            r.insert(m.clone(), c);
+        }
+        r
+    }
+
+    /// `self - o`.
+    pub fn sub(&self, o: &Poly) -> Poly {
+        let mut r = self.clone();
+        for (m, &c) in &o.terms {
+            r.insert(m.clone(), -c);
+        }
+        r
+    }
+
+    /// `self · o`.
+    pub fn mul(&self, o: &Poly) -> Poly {
+        let mut r = Poly::default();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &o.terms {
+                let mut m = ma.clone();
+                m.extend(mb.iter().copied());
+                m.sort_unstable();
+                r.insert(m, ca * cb);
+            }
+        }
+        r
+    }
+
+    /// `self · c`.
+    pub fn scale(&self, c: i64) -> Poly {
+        let mut r = Poly::default();
+        for (m, &v) in &self.terms {
+            r.insert(m.clone(), v * c);
+        }
+        r
+    }
+
+    /// The constant value, if the polynomial has no parameters.
+    pub fn as_const(&self) -> Option<i64> {
+        if self.terms.is_empty() {
+            return Some(0);
+        }
+        if self.terms.len() == 1 {
+            if let Some(c) = self.terms.get(&Vec::new() as &Monomial) {
+                return Some(*c);
+            }
+        }
+        None
+    }
+
+    /// All parameters appearing in the polynomial.
+    pub fn params(&self) -> BTreeSet<SymName> {
+        self.terms.keys().flat_map(|m| m.iter().copied()).collect()
+    }
+
+    /// Degree of `name` in the polynomial.
+    fn degree_of(&self, name: SymName) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.iter().filter(|&&s| s == name).count() as u32)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Substitute `name := with`. Requires degree ≤ 1 in `name` (the access
+    /// formulas of warp-centric kernels are multilinear); returns `None`
+    /// otherwise.
+    fn subst(&self, name: SymName, with: &Poly) -> Option<Poly> {
+        if self.degree_of(name) > 1 {
+            return None;
+        }
+        let mut rest = Poly::default();
+        let mut coeff = Poly::default(); // of the degree-1 part, name removed
+        for (m, &c) in &self.terms {
+            if let Some(pos) = m.iter().position(|&s| s == name) {
+                let mut m2 = m.clone();
+                m2.remove(pos);
+                coeff.insert(m2, c);
+            } else {
+                rest.insert(m.clone(), c);
+            }
+        }
+        Some(rest.add(&coeff.mul(with)))
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in &self.terms {
+            let sign = if *c < 0 {
+                "-"
+            } else if first {
+                ""
+            } else {
+                "+"
+            };
+            let mag = c.unsigned_abs();
+            let name = if m.is_empty() { String::new() } else { m.join("·") };
+            match (mag, name.is_empty()) {
+                (1, false) => write!(f, "{sign}{name}")?,
+                (_, false) => write!(f, "{sign}{mag}·{name}")?,
+                (_, true) => write!(f, "{sign}{mag}")?,
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Affine expressions over bound variables and the lane id
+// ---------------------------------------------------------------------------
+
+/// Identifier of a bound variable registered with the analysis context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VarId(usize);
+
+/// An affine expression `lane_coeff·lane + Σ coeffᵥ·v + konst`, with
+/// polynomial coefficients over the symbolic parameters.
+#[derive(Clone, Debug, Default)]
+pub struct AffExpr {
+    lane: Poly,
+    terms: BTreeMap<VarId, Poly>,
+    konst: Poly,
+}
+
+impl AffExpr {
+    fn from_poly(p: Poly) -> AffExpr {
+        AffExpr { konst: p, ..Default::default() }
+    }
+
+    fn from_var(v: VarId) -> AffExpr {
+        let mut e = AffExpr::default();
+        e.terms.insert(v, Poly::konst(1));
+        e
+    }
+
+    fn add(&self, o: &AffExpr) -> AffExpr {
+        let mut r = self.clone();
+        r.lane = r.lane.add(&o.lane);
+        r.konst = r.konst.add(&o.konst);
+        for (v, c) in &o.terms {
+            let e = r.terms.entry(*v).or_default();
+            *e = e.add(c);
+            if e.terms.is_empty() {
+                r.terms.remove(v);
+            }
+        }
+        r
+    }
+
+    fn sub(&self, o: &AffExpr) -> AffExpr {
+        self.add(&o.scale_poly(&Poly::konst(-1)))
+    }
+
+    /// Multiply the whole expression by a parameter-only polynomial.
+    fn scale_poly(&self, p: &Poly) -> AffExpr {
+        let mut r =
+            AffExpr { lane: self.lane.mul(p), terms: BTreeMap::new(), konst: self.konst.mul(p) };
+        for (v, c) in &self.terms {
+            let c = c.mul(p);
+            if !c.terms.is_empty() {
+                r.terms.insert(*v, c);
+            }
+        }
+        r
+    }
+
+    /// True when the expression is a pure parameter polynomial (no lane, no
+    /// bound variables).
+    fn is_poly(&self) -> bool {
+        self.lane.terms.is_empty() && self.terms.is_empty()
+    }
+
+    fn has_lane(&self) -> bool {
+        !self.lane.terms.is_empty() || self.lane.as_const().map(|c| c != 0).unwrap_or(true)
+    }
+}
+
+/// An abstract index value: an affine expression, or `Top` (no information —
+/// every obligation over a `Top` index fails with "not affine").
+#[derive(Clone, Debug)]
+pub enum AbsIdx {
+    /// Affine over lane / bound variables with polynomial coefficients.
+    Expr(AffExpr),
+    /// Unknown value; obligations over it are unprovable.
+    Top,
+}
+
+impl AbsIdx {
+    /// The constant zero.
+    pub fn zero() -> AbsIdx {
+        AbsIdx::Expr(AffExpr::default())
+    }
+
+    /// A parameter-free constant.
+    pub fn konst(c: usize) -> AbsIdx {
+        AbsIdx::Expr(AffExpr::from_poly(Poly::konst(c as i64)))
+    }
+
+    /// `self - o` (models like mask widths need subtraction; the concrete
+    /// `usize` side never does, so this is not part of [`IdxExpr`]).
+    pub fn sub(&self, o: &AbsIdx) -> AbsIdx {
+        match (self, o) {
+            (AbsIdx::Expr(a), AbsIdx::Expr(b)) => AbsIdx::Expr(a.sub(b)),
+            _ => AbsIdx::Top,
+        }
+    }
+
+    fn expr(&self) -> Option<&AffExpr> {
+        match self {
+            AbsIdx::Expr(e) => Some(e),
+            AbsIdx::Top => None,
+        }
+    }
+}
+
+/// The value-generic layer: the index arithmetic shared by concrete kernels
+/// (`usize` lanes) and abstract models ([`AbsIdx`] lanes). Index formulas
+/// written against this trait type-check against both, so the analyzer and
+/// the executable kernels cannot drift apart on the access-pattern algebra.
+pub trait IdxExpr: Clone {
+    /// Lift a constant.
+    fn constant(c: usize) -> Self;
+    /// Addition.
+    fn add(&self, o: &Self) -> Self;
+    /// Multiplication.
+    fn mul(&self, o: &Self) -> Self;
+}
+
+impl IdxExpr for usize {
+    fn constant(c: usize) -> usize {
+        c
+    }
+    fn add(&self, o: &usize) -> usize {
+        self + o
+    }
+    fn mul(&self, o: &usize) -> usize {
+        self * o
+    }
+}
+
+impl IdxExpr for AbsIdx {
+    fn constant(c: usize) -> AbsIdx {
+        AbsIdx::konst(c)
+    }
+
+    fn add(&self, o: &AbsIdx) -> AbsIdx {
+        match (self, o) {
+            (AbsIdx::Expr(a), AbsIdx::Expr(b)) => AbsIdx::Expr(a.add(b)),
+            _ => AbsIdx::Top,
+        }
+    }
+
+    /// Products stay affine only when one side is a pure parameter
+    /// polynomial (e.g. `p · dim`); a product of two variable-carrying
+    /// expressions is `Top`.
+    fn mul(&self, o: &AbsIdx) -> AbsIdx {
+        match (self, o) {
+            (AbsIdx::Expr(a), AbsIdx::Expr(b)) if a.is_poly() => {
+                AbsIdx::Expr(b.scale_poly(&a.konst))
+            }
+            (AbsIdx::Expr(a), AbsIdx::Expr(b)) if b.is_poly() => {
+                AbsIdx::Expr(a.scale_poly(&b.konst))
+            }
+            _ => AbsIdx::Top,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Masks and scopes
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum MaskKind {
+    /// All 32 lanes.
+    Full,
+    /// A structurally convergent prefix: lane < each candidate width.
+    /// Inclusive lane upper bounds (candidates; each is individually sound).
+    First(Vec<AffExpr>),
+    /// A data-dependent lane subset (fine for memory ops, fatal for syncs).
+    Divergent(String),
+}
+
+/// Abstract active-lane mask.
+#[derive(Clone, Debug)]
+pub struct AbsMask {
+    kind: MaskKind,
+}
+
+impl AbsMask {
+    /// All lanes active.
+    pub fn full() -> AbsMask {
+        AbsMask { kind: MaskKind::Full }
+    }
+
+    /// Only lane 0 active (leader / `splat` accesses).
+    pub fn single() -> AbsMask {
+        AbsMask { kind: MaskKind::First(vec![AffExpr::from_poly(Poly::zero())]) }
+    }
+
+    /// Prefix mask of statically unknown width (e.g. a ballot-derived
+    /// contiguous tail): structurally convergent, lane ≤ 31.
+    pub fn prefix() -> AbsMask {
+        AbsMask {
+            kind: MaskKind::First(vec![AffExpr::from_poly(Poly::konst(WARP_LANES as i64 - 1))]),
+        }
+    }
+
+    /// `Mask::first(min(widths...))`: the first `min(widths)` lanes. Each
+    /// width yields an independently sound inclusive lane bound `width - 1`.
+    /// Widths must not depend on the lane id.
+    pub fn first_min(widths: &[AbsIdx]) -> AbsMask {
+        let mut ubs = Vec::new();
+        for w in widths {
+            if let Some(e) = w.expr() {
+                assert!(!e.has_lane(), "mask width cannot depend on the lane id");
+                ubs.push(e.sub(&AffExpr::from_poly(Poly::konst(1))));
+            }
+        }
+        assert!(!ubs.is_empty(), "mask needs at least one affine width");
+        AbsMask { kind: MaskKind::First(ubs) }
+    }
+
+    /// A data-dependent lane subset (per-lane predicate); `desc` names the
+    /// predicate in barrier diagnostics.
+    pub fn divergent(desc: &str) -> AbsMask {
+        AbsMask { kind: MaskKind::Divergent(desc.to_string()) }
+    }
+
+    /// Inclusive lane upper-bound candidates implied by the mask (the
+    /// architectural bound 31 is always included).
+    fn lane_ubs(&self) -> Vec<AffExpr> {
+        let arch = AffExpr::from_poly(Poly::konst(WARP_LANES as i64 - 1));
+        match &self.kind {
+            MaskKind::Full | MaskKind::Divergent(_) => vec![arch],
+            MaskKind::First(ubs) => {
+                let mut v = ubs.clone();
+                v.push(arch);
+                v
+            }
+        }
+    }
+}
+
+/// Structural classification of a control-flow scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Scope {
+    /// Condition uniform across the whole block (params / block id only).
+    Uniform,
+    /// Condition varies per warp (warp id) but not per lane.
+    WarpVarying,
+    /// Condition varies per lane (structural divergence).
+    LaneVarying,
+}
+
+// ---------------------------------------------------------------------------
+// Buffers, obligations, report
+// ---------------------------------------------------------------------------
+
+/// Address space of an analyzed buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BufSpace {
+    Global,
+    Shared,
+}
+
+/// Declaration of a device buffer visible to the abstract kernel: label
+/// (matching [`crate::DeviceBuffer::set_label`]), symbolic element count and
+/// element size in bytes.
+#[derive(Clone, Debug)]
+pub struct AbsBuf {
+    label: &'static str,
+    len: Poly,
+    elem: usize,
+    space: BufSpace,
+}
+
+/// The four statically discharged obligation classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObligationClass {
+    /// Global accesses resolve into at most the declared sector count.
+    Coalescing,
+    /// Shared accesses are conflict-free / bounded-replay.
+    BankConflict,
+    /// Indices are in-bounds for all parameter valuations.
+    Bounds,
+    /// Barriers are reached under structurally uniform masks.
+    Barrier,
+}
+
+impl fmt::Display for ObligationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObligationClass::Coalescing => "coalescing",
+            ObligationClass::BankConflict => "bank-conflict",
+            ObligationClass::Bounds => "bounds",
+            ObligationClass::Barrier => "barrier",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Outcome of one obligation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Holds for every launch shape in the declared ranges; the string is
+    /// the proof witness.
+    Proved(String),
+    /// Could not be discharged; the string is the reason.
+    Unproven(String),
+}
+
+/// One discharged (or failed) obligation at a specific kernel site.
+#[derive(Clone, Debug)]
+pub struct Obligation {
+    /// Obligation class.
+    pub class: ObligationClass,
+    /// Kernel-side location label (subroutine / phase / operation).
+    pub site: String,
+    /// Buffer label of the access (barriers have none).
+    pub buffer: Option<&'static str>,
+    /// Proved or unproven.
+    pub status: Status,
+}
+
+impl Obligation {
+    /// True when the obligation was discharged.
+    pub fn proved(&self) -> bool {
+        matches!(self.status, Status::Proved(_))
+    }
+}
+
+/// Structured result of analyzing one kernel: every obligation the abstract
+/// run generated, in program order.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// All obligations, in the order the abstract kernel issued them.
+    pub obligations: Vec<Obligation>,
+}
+
+impl AnalysisReport {
+    /// True when every obligation was proved.
+    pub fn all_proved(&self) -> bool {
+        self.obligations.iter().all(|o| o.proved())
+    }
+
+    /// The obligations that could not be discharged.
+    pub fn unproven(&self) -> Vec<&Obligation> {
+        self.obligations.iter().filter(|o| !o.proved()).collect()
+    }
+
+    /// Number of obligations of `class`.
+    pub fn count(&self, class: ObligationClass) -> usize {
+        self.obligations.iter().filter(|o| o.class == class).count()
+    }
+
+    /// Human-readable rendering (stable — pinned by the golden-report test).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let (p, total) =
+            (self.obligations.iter().filter(|o| o.proved()).count(), self.obligations.len());
+        let verdict = if p == total { "all proved" } else { "UNPROVEN OBLIGATIONS" };
+        out.push_str(&format!(
+            "kernel `{}`: {p}/{total} obligations proved — {verdict}\n",
+            self.kernel
+        ));
+        for o in &self.obligations {
+            let buf = o.buffer.map(|b| format!(" [{b}]")).unwrap_or_default();
+            let (tag, msg) = match &o.status {
+                Status::Proved(w) => ("ok", w),
+                Status::Unproven(r) => ("FAIL", r),
+            };
+            out.push_str(&format!("  {tag:4} {:13} {}{buf}: {msg}\n", o.class.to_string(), o.site));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The analysis context
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct ParamSpec {
+    name: SymName,
+    lo: Poly,
+    hi: Poly,
+    /// Known residue: value ≡ r (mod q).
+    residue: Option<(u64, u64)>,
+}
+
+#[derive(Clone, Debug)]
+struct VarInfo {
+    #[allow(dead_code)]
+    name: String,
+    lo: AffExpr,
+    /// Inclusive upper-bound candidates (each individually sound); may
+    /// reference earlier-declared variables only.
+    his: Vec<AffExpr>,
+    /// Takes a different value on each lane (per-lane loaded data): any
+    /// index containing it is a gather regardless of its lane coefficient.
+    lane_varying: bool,
+}
+
+/// Abstract execution context: mirrors the [`crate::WarpCtx`] /
+/// [`crate::BlockCtx`] surface a kernel touches (loads, stores, atomics,
+/// shared accesses, barriers, structured control flow), but over abstract
+/// lanes. Obtained from [`analyze`].
+pub struct AbsCtx {
+    kernel: String,
+    params: Vec<ParamSpec>,
+    vars: Vec<VarInfo>,
+    scopes: Vec<(Scope, String)>,
+    obligations: Vec<Obligation>,
+}
+
+/// Run `model` over an abstract context and collect the report for `kernel`.
+pub fn analyze(kernel: &str, model: impl FnOnce(&mut AbsCtx)) -> AnalysisReport {
+    let mut cx = AbsCtx {
+        kernel: kernel.to_string(),
+        params: Vec::new(),
+        vars: Vec::new(),
+        scopes: Vec::new(),
+        obligations: Vec::new(),
+    };
+    model(&mut cx);
+    AnalysisReport { kernel: cx.kernel, obligations: cx.obligations }
+}
+
+impl AbsCtx {
+    // ------------------------------------------------------------ declaring
+    /// Declare a base launch parameter ranging over `[lo, hi]`.
+    pub fn param(&mut self, name: SymName, lo: u64, hi: u64) -> AbsIdx {
+        assert!(lo <= hi && self.params.iter().all(|p| p.name != name));
+        self.params.push(ParamSpec {
+            name,
+            lo: Poly::konst(lo as i64),
+            hi: Poly::konst(hi as i64),
+            residue: None,
+        });
+        AbsIdx::Expr(AffExpr::from_poly(Poly::param(name)))
+    }
+
+    /// Declare a derived parameter whose bounds are polynomials over
+    /// earlier-declared parameters (e.g. a bucket size `m ∈ [2, n]`).
+    pub fn derived_param(&mut self, name: SymName, lo: &AbsIdx, hi: &AbsIdx) -> AbsIdx {
+        self.derived_param_full(name, lo, hi, None)
+    }
+
+    /// Like [`AbsCtx::derived_param`], with a known residue `value ≡ r (mod
+    /// q)` — the stride-residue domain (e.g. an odd tile pitch: `r=1, q=2`).
+    pub fn derived_param_mod(
+        &mut self,
+        name: SymName,
+        lo: &AbsIdx,
+        hi: &AbsIdx,
+        r: u64,
+        q: u64,
+    ) -> AbsIdx {
+        self.derived_param_full(name, lo, hi, Some((r, q)))
+    }
+
+    fn derived_param_full(
+        &mut self,
+        name: SymName,
+        lo: &AbsIdx,
+        hi: &AbsIdx,
+        residue: Option<(u64, u64)>,
+    ) -> AbsIdx {
+        let (lo, hi) = match (lo.expr(), hi.expr()) {
+            (Some(a), Some(b)) if a.is_poly() && b.is_poly() => (a.konst.clone(), b.konst.clone()),
+            _ => panic!("derived-parameter bounds must be parameter polynomials"),
+        };
+        assert!(self.params.iter().all(|p| p.name != name), "duplicate parameter {name}");
+        self.params.push(ParamSpec { name, lo, hi, residue });
+        AbsIdx::Expr(AffExpr::from_poly(Poly::param(name)))
+    }
+
+    /// The symbolic lane id (`0..32`, the abstract `threadIdx.x % 32`).
+    pub fn lane(&self) -> AbsIdx {
+        AbsIdx::Expr(AffExpr { lane: Poly::konst(1), ..Default::default() })
+    }
+
+    fn push_var(
+        &mut self,
+        name: &str,
+        lo: &AbsIdx,
+        his_exclusive: &[AbsIdx],
+        lane_varying: bool,
+    ) -> AbsIdx {
+        let lo = lo.expr().cloned().unwrap_or_default();
+        assert!(!lo.has_lane(), "variable bounds cannot depend on the lane id");
+        let mut his = Vec::new();
+        for h in his_exclusive {
+            if let Some(e) = h.expr() {
+                assert!(!e.has_lane(), "variable bounds cannot depend on the lane id");
+                his.push(e.sub(&AffExpr::from_poly(Poly::konst(1))));
+            }
+        }
+        assert!(!his.is_empty(), "variable needs at least one affine upper bound");
+        let id = VarId(self.vars.len());
+        self.vars.push(VarInfo { name: name.to_string(), lo, his, lane_varying });
+        AbsIdx::Expr(AffExpr::from_var(id))
+    }
+
+    /// Declare a warp-uniform bound variable ranging over `[lo, hi)` — a
+    /// guarded warp/block id or a loop counter. All iterations/valuations
+    /// are analyzed at once.
+    pub fn range_var(&mut self, name: &str, lo: &AbsIdx, hi_exclusive: &AbsIdx) -> AbsIdx {
+        self.push_var(name, lo, std::slice::from_ref(hi_exclusive), false)
+    }
+
+    /// Like [`AbsCtx::range_var`] with several exclusive upper-bound
+    /// candidates (`v < min(bounds...)`, each bound individually sound).
+    pub fn range_var_min(&mut self, name: &str, lo: &AbsIdx, his_exclusive: &[AbsIdx]) -> AbsIdx {
+        self.push_var(name, lo, his_exclusive, false)
+    }
+
+    /// Declare a warp-uniform *opaque* value in `[lo, hi)` — data loaded
+    /// from a buffer whose content invariant is declared, not re-proved
+    /// (e.g. a CSR offset, a bucket id).
+    pub fn opaque(&mut self, name: &str, lo: &AbsIdx, hi_exclusive: &AbsIdx) -> AbsIdx {
+        self.push_var(name, lo, std::slice::from_ref(hi_exclusive), false)
+    }
+
+    /// Declare a *per-lane* opaque value in `[lo, hi)` (each lane loaded its
+    /// own): indices containing it are gathers whatever their lane
+    /// coefficient.
+    pub fn opaque_lanes(&mut self, name: &str, lo: &AbsIdx, hi_exclusive: &AbsIdx) -> AbsIdx {
+        self.push_var(name, lo, std::slice::from_ref(hi_exclusive), true)
+    }
+
+    /// Declare a global buffer with `len` elements of `elem` bytes. The
+    /// label should match the concrete [`crate::DeviceBuffer::set_label`].
+    pub fn global_buf(&mut self, label: &'static str, len: &AbsIdx, elem: usize) -> AbsBuf {
+        Self::mk_buf(label, len, elem, BufSpace::Global)
+    }
+
+    /// Declare a shared-memory array with `len` elements of `elem` bytes.
+    pub fn shared_buf(&mut self, label: &'static str, len: &AbsIdx, elem: usize) -> AbsBuf {
+        Self::mk_buf(label, len, elem, BufSpace::Shared)
+    }
+
+    fn mk_buf(label: &'static str, len: &AbsIdx, elem: usize, space: BufSpace) -> AbsBuf {
+        let len = match len.expr() {
+            Some(e) if e.is_poly() => e.konst.clone(),
+            _ => panic!("buffer length must be a parameter polynomial"),
+        };
+        AbsBuf { label, len, elem, space }
+    }
+
+    // ----------------------------------------------------------- structure
+    fn scoped(&mut self, scope: Scope, desc: &str, f: impl FnOnce(&mut AbsCtx)) {
+        self.scopes.push((scope, desc.to_string()));
+        f(self);
+        self.scopes.pop();
+    }
+
+    /// A block-uniform branch/loop (condition over params / block id only).
+    pub fn uniform(&mut self, desc: &str, f: impl FnOnce(&mut AbsCtx)) {
+        self.scoped(Scope::Uniform, desc, f);
+    }
+
+    /// A warp-varying branch/loop (condition over the warp id): warp syncs
+    /// inside stay provable, block barriers do not.
+    pub fn warp_varying(&mut self, desc: &str, f: impl FnOnce(&mut AbsCtx)) {
+        self.scoped(Scope::WarpVarying, desc, f);
+    }
+
+    /// A lane-varying branch (structural divergence): no barrier inside can
+    /// be proved uniform.
+    pub fn lane_varying(&mut self, desc: &str, f: impl FnOnce(&mut AbsCtx)) {
+        self.scoped(Scope::LaneVarying, desc, f);
+    }
+
+    // ------------------------------------------------------------- barriers
+    /// `__syncwarp`-style warp convergence point.
+    pub fn sync_warp(&mut self, mask: &AbsMask, site: &str) {
+        let status =
+            if let Some((_, d)) = self.scopes.iter().find(|(s, _)| *s == Scope::LaneVarying) {
+                Status::Unproven(format!("warp sync inside lane-divergent branch `{d}`"))
+            } else if let MaskKind::Divergent(desc) = &mask.kind {
+                Status::Unproven(format!("warp sync under data-dependent lane mask `{desc}`"))
+            } else {
+                Status::Proved("mask structurally uniform on every path".into())
+            };
+        self.obligations.push(Obligation {
+            class: ObligationClass::Barrier,
+            site: site.to_string(),
+            buffer: None,
+            status,
+        });
+    }
+
+    /// `__syncthreads`-style block barrier.
+    pub fn block_sync(&mut self, site: &str) {
+        let status = if let Some((s, d)) =
+            self.scopes.iter().find(|(s, _)| matches!(s, Scope::LaneVarying | Scope::WarpVarying))
+        {
+            let kind = if *s == Scope::LaneVarying { "lane" } else { "warp" };
+            Status::Unproven(format!("block barrier inside {kind}-divergent branch `{d}`"))
+        } else {
+            Status::Proved("reached by every warp on every path".into())
+        };
+        self.obligations.push(Obligation {
+            class: ObligationClass::Barrier,
+            site: site.to_string(),
+            buffer: None,
+            status,
+        });
+    }
+
+    // ------------------------------------------------------------- accesses
+    /// Coalesced global load: obligations = in-bounds + minimal sector count.
+    pub fn ld(&mut self, buf: &AbsBuf, idx: &AbsIdx, mask: &AbsMask, site: &str) {
+        self.access(buf, idx, mask, site, None);
+    }
+
+    /// Coalesced global store.
+    pub fn st(&mut self, buf: &AbsBuf, idx: &AbsIdx, mask: &AbsMask, site: &str) {
+        self.access(buf, idx, mask, site, None);
+    }
+
+    /// Global atomic (bounds + coalescing obligations like a store).
+    pub fn atomic(&mut self, buf: &AbsBuf, idx: &AbsIdx, mask: &AbsMask, site: &str) {
+        self.access(buf, idx, mask, site, None);
+    }
+
+    /// Declared gather load: the coalescing obligation is the *declared*
+    /// bound of ≤ 32 sectors (one per lane) instead of the minimal count.
+    pub fn ld_gather(&mut self, buf: &AbsBuf, idx: &AbsIdx, mask: &AbsMask, site: &str) {
+        self.access(buf, idx, mask, site, Some(WARP_LANES as u32));
+    }
+
+    /// Declared gather store/atomic.
+    pub fn st_gather(&mut self, buf: &AbsBuf, idx: &AbsIdx, mask: &AbsMask, site: &str) {
+        self.access(buf, idx, mask, site, Some(WARP_LANES as u32));
+    }
+
+    /// Shared access: obligations = in-bounds + conflict-free (replay 1).
+    pub fn sh(&mut self, buf: &AbsBuf, idx: &AbsIdx, mask: &AbsMask, site: &str) {
+        self.shared_access(buf, idx, mask, site, 1);
+    }
+
+    /// Shared access with a declared replay-factor bound.
+    pub fn sh_bounded(
+        &mut self,
+        buf: &AbsBuf,
+        idx: &AbsIdx,
+        mask: &AbsMask,
+        site: &str,
+        replay_bound: u64,
+    ) {
+        self.shared_access(buf, idx, mask, site, replay_bound);
+    }
+
+    fn push_ob(&mut self, class: ObligationClass, site: &str, buf: &AbsBuf, status: Status) {
+        self.obligations.push(Obligation {
+            class,
+            site: site.to_string(),
+            buffer: Some(buf.label),
+            status,
+        });
+    }
+
+    fn access(
+        &mut self,
+        buf: &AbsBuf,
+        idx: &AbsIdx,
+        mask: &AbsMask,
+        site: &str,
+        gather: Option<u32>,
+    ) {
+        assert_eq!(buf.space, BufSpace::Global, "ld/st/atomic need a global buffer");
+        let bounds = self.bounds_status(buf, idx, mask);
+        self.push_ob(ObligationClass::Bounds, site, buf, bounds);
+        let coalesce = self.coalesce_status(buf, idx, gather);
+        self.push_ob(ObligationClass::Coalescing, site, buf, coalesce);
+    }
+
+    fn shared_access(
+        &mut self,
+        buf: &AbsBuf,
+        idx: &AbsIdx,
+        mask: &AbsMask,
+        site: &str,
+        replay_bound: u64,
+    ) {
+        assert_eq!(buf.space, BufSpace::Shared, "sh needs a shared buffer");
+        let bounds = self.bounds_status(buf, idx, mask);
+        self.push_ob(ObligationClass::Bounds, site, buf, bounds);
+        let bank = self.bank_status(buf, idx, replay_bound);
+        self.push_ob(ObligationClass::BankConflict, site, buf, bank);
+    }
+
+    // ------------------------------------------------------------- proving
+    /// True when `p ≥ 0` for all parameter valuations in the declared boxes.
+    /// Parameters are eliminated last-declared-first by endpoint
+    /// substitution (exact for multilinear polynomials over non-negative
+    /// boxes; degree ≥ 2 in one parameter is rejected).
+    fn prove_nonneg(&self, p: &Poly) -> bool {
+        let present = p.params();
+        let Some(spec) = self.params.iter().rev().find(|s| present.contains(s.name)) else {
+            return p.as_const().map(|c| c >= 0).unwrap_or(false);
+        };
+        let (Some(at_lo), Some(at_hi)) =
+            (p.subst(spec.name, &spec.lo), p.subst(spec.name, &spec.hi))
+        else {
+            return false; // degree ≥ 2: outside the multilinear fragment
+        };
+        self.prove_nonneg(&at_lo) && self.prove_nonneg(&at_hi)
+    }
+
+    fn sign(&self, p: &Poly) -> Option<bool> {
+        // Some(true) = non-negative, Some(false) = non-positive.
+        if self.prove_nonneg(p) {
+            Some(true)
+        } else if self.prove_nonneg(&p.scale(-1)) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Residue of `p` modulo `m`, when derivable from the declared parameter
+    /// residues.
+    fn residue(&self, p: &Poly, m: u64) -> Option<u64> {
+        let mi = m as i64;
+        let mut acc: i64 = 0;
+        for (mono, &c) in &p.terms {
+            let mut term = c.rem_euclid(mi);
+            for name in mono {
+                let spec = self.params.iter().find(|s| s.name == *name)?;
+                let r = match spec.residue {
+                    Some((r, q)) if q % m == 0 => (r % m) as i64,
+                    _ => match (spec.lo.as_const(), spec.hi.as_const()) {
+                        (Some(lo), Some(hi)) if lo == hi => lo.rem_euclid(mi),
+                        _ => return None,
+                    },
+                };
+                term = (term * r).rem_euclid(mi);
+            }
+            acc = (acc + term).rem_euclid(mi);
+        }
+        Some(acc as u64)
+    }
+
+    /// Symbolic upper-bound candidates of `e` (each a parameter polynomial
+    /// that dominates `e` for all valuations), using the mask's lane bounds
+    /// and every variable's declared range.
+    fn ub_candidates(&self, e: &AffExpr, mask: &AbsMask) -> Vec<Poly> {
+        let mut cands = vec![e.clone()];
+        // Lane elimination.
+        cands = cands
+            .into_iter()
+            .flat_map(|c| {
+                let coeff = c.lane.clone();
+                if coeff.terms.is_empty() {
+                    return vec![c];
+                }
+                let mut base = c.clone();
+                base.lane = Poly::zero();
+                match self.sign(&coeff) {
+                    Some(true) => {
+                        mask.lane_ubs().iter().map(|ub| base.add(&ub.scale_poly(&coeff))).collect()
+                    }
+                    Some(false) => vec![base], // lane ≥ 0: drop the term
+                    None => Vec::new(),
+                }
+            })
+            .collect();
+        // Variable elimination, newest first (bounds reference older vars).
+        while let Some(&v) = cands.iter().flat_map(|c| c.terms.keys()).max() {
+            let info = &self.vars[v.0];
+            cands = cands
+                .into_iter()
+                .flat_map(|c| {
+                    let Some(coeff) = c.terms.get(&v).cloned() else { return vec![c] };
+                    let mut base = c.clone();
+                    base.terms.remove(&v);
+                    match self.sign(&coeff) {
+                        Some(true) => {
+                            info.his.iter().map(|h| base.add(&h.scale_poly(&coeff))).collect()
+                        }
+                        Some(false) => vec![base.add(&info.lo.scale_poly(&coeff))],
+                        None => Vec::new(),
+                    }
+                })
+                .collect();
+            if cands.is_empty() {
+                break;
+            }
+        }
+        cands.into_iter().filter(|c| c.is_poly()).map(|c| c.konst).collect()
+    }
+
+    /// Symbolic lower bound of `e` (lane and variables at their minima).
+    fn lb(&self, e: &AffExpr) -> Option<Poly> {
+        let mut cur = e.clone();
+        if !cur.lane.terms.is_empty() {
+            match self.sign(&cur.lane) {
+                Some(true) => cur.lane = Poly::zero(), // lane ≥ 0
+                Some(false) => {
+                    let ub = AffExpr::from_poly(Poly::konst(WARP_LANES as i64 - 1));
+                    let coeff = cur.lane.clone();
+                    cur.lane = Poly::zero();
+                    cur = cur.add(&ub.scale_poly(&coeff));
+                }
+                None => return None,
+            }
+        }
+        while let Some(&v) = cur.terms.keys().max() {
+            let info = self.vars[v.0].clone();
+            let coeff = cur.terms.remove(&v).expect("present");
+            match self.sign(&coeff) {
+                Some(true) => cur = cur.add(&info.lo.scale_poly(&coeff)),
+                Some(false) => {
+                    // Minimum at the variable's maximum; any candidate works
+                    // only if it is the true bound — use the first and stay
+                    // sound by requiring its proof downstream.
+                    let h = info.his.first()?;
+                    cur = cur.add(&h.scale_poly(&coeff));
+                }
+                None => return None,
+            }
+        }
+        Some(cur.konst)
+    }
+
+    fn bounds_status(&self, buf: &AbsBuf, idx: &AbsIdx, mask: &AbsMask) -> Status {
+        let Some(e) = idx.expr() else {
+            return Status::Unproven("index is not affine (⊤)".into());
+        };
+        let Some(lb) = self.lb(e) else {
+            return Status::Unproven(
+                "cannot establish a lower bound (coefficient sign unknown)".into(),
+            );
+        };
+        if !self.prove_nonneg(&lb) {
+            return Status::Unproven(format!("lower bound {lb} may be negative"));
+        }
+        let limit = buf.len.sub(&Poly::konst(1));
+        for ub in self.ub_candidates(e, mask) {
+            if self.prove_nonneg(&limit.sub(&ub)) {
+                return Status::Proved(format!("0 ≤ index ≤ {ub} ≤ len-1 = {limit}"));
+            }
+        }
+        Status::Unproven(format!("no upper-bound candidate fits len = {}", buf.len))
+    }
+
+    fn lane_varying_in(&self, e: &AffExpr) -> bool {
+        e.terms.keys().any(|v| self.vars[v.0].lane_varying)
+    }
+
+    fn coalesce_status(&self, buf: &AbsBuf, idx: &AbsIdx, gather: Option<u32>) -> Status {
+        let minimal = ((WARP_LANES - 1) * buf.elem + buf.elem - 1) / SECTOR_BYTES + 1;
+        let Some(e) = idx.expr() else {
+            return Status::Unproven("index is not affine (⊤)".into());
+        };
+        let per_lane = self.lane_varying_in(e);
+        let coeff = e.lane.as_const();
+        if !per_lane {
+            match coeff {
+                Some(0) => {
+                    return Status::Proved("broadcast: 1 sector".into());
+                }
+                Some(c) if c > 0 => {
+                    let span = (WARP_LANES - 1) * c as usize * buf.elem + buf.elem - 1;
+                    let sectors = (span / SECTOR_BYTES + 1).min(WARP_LANES);
+                    let allowed = gather.map(|g| g as usize).unwrap_or(minimal).max(minimal);
+                    if sectors <= allowed {
+                        return Status::Proved(format!(
+                            "lane stride {c} × {}B → ≤{sectors} sectors (bound {allowed})",
+                            buf.elem
+                        ));
+                    }
+                    return Status::Unproven(format!(
+                        "lane stride {c} × {}B spans {sectors} sectors (> {allowed} allowed)",
+                        buf.elem
+                    ));
+                }
+                _ => {}
+            }
+        }
+        match gather {
+            Some(g) => Status::Proved(format!("declared gather: ≤{g} sectors (one per lane)")),
+            None => {
+                if per_lane {
+                    Status::Unproven("per-lane data-dependent addresses (undeclared gather)".into())
+                } else {
+                    Status::Unproven(format!(
+                        "symbolic lane stride {} not provably unit (undeclared gather)",
+                        e.lane
+                    ))
+                }
+            }
+        }
+    }
+
+    fn bank_status(&self, buf: &AbsBuf, idx: &AbsIdx, replay_bound: u64) -> Status {
+        let Some(e) = idx.expr() else {
+            return Status::Unproven("index is not affine (⊤)".into());
+        };
+        if self.lane_varying_in(e) {
+            let worst = WARP_LANES as u64;
+            if replay_bound >= worst {
+                return Status::Proved(format!("declared bound: ≤{worst}-way replay"));
+            }
+            return Status::Unproven("per-lane data-dependent addresses (replay unbounded)".into());
+        }
+        // Word stride of consecutive lanes in 4-byte bank words.
+        let byte_stride = e.lane.scale(buf.elem as i64);
+        if let Some(b) = byte_stride.as_const() {
+            let b = b.unsigned_abs();
+            if b == 0 {
+                return Status::Proved("broadcast: 1 replay".into());
+            }
+            if b % 4 != 0 {
+                return Status::Unproven(format!("sub-word lane stride {b}B unsupported"));
+            }
+            let replay = gcd(b / 4, 32);
+            if replay <= replay_bound {
+                return Status::Proved(format!(
+                    "word stride {} → gcd({}, 32) = {replay}-way ≤ bound {replay_bound}",
+                    b / 4,
+                    b / 4
+                ));
+            }
+            return Status::Unproven(format!(
+                "word stride {} → {replay}-way replay (> {replay_bound} allowed)",
+                b / 4
+            ));
+        }
+        // Symbolic stride: use the residue domain — an odd word stride hits
+        // all 32 banks (gcd = 1).
+        if buf.elem == 4 {
+            match self.residue(&e.lane, 2) {
+                Some(1) => {
+                    return Status::Proved(format!(
+                        "symbolic word stride {} proven odd → conflict-free",
+                        e.lane
+                    ));
+                }
+                Some(_) => {
+                    return Status::Unproven(format!(
+                        "symbolic word stride {} proven even → ≥2-way replay",
+                        e.lane
+                    ));
+                }
+                None => {}
+            }
+        }
+        Status::Unproven(format!("symbolic lane stride {} has unknown bank residue", e.lane))
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aff(i: &AbsIdx) -> &AffExpr {
+        i.expr().expect("affine")
+    }
+
+    #[test]
+    fn poly_algebra_and_display() {
+        let n = Poly::param("n");
+        let d = Poly::param("dim");
+        let p = n.mul(&d).sub(&Poly::konst(1));
+        assert_eq!(p.to_string(), "-1+dim·n");
+        assert_eq!(p.sub(&p), Poly::zero());
+        assert_eq!(Poly::konst(3).mul(&Poly::konst(4)).as_const(), Some(12));
+        assert_eq!(n.degree_of("n"), 1);
+        assert_eq!(n.mul(&n).degree_of("n"), 2);
+    }
+
+    #[test]
+    fn subst_is_linear_only() {
+        let n = Poly::param("n");
+        let sq = n.mul(&n);
+        assert!(sq.subst("n", &Poly::konst(3)).is_none());
+        let lin = n.scale(2).add(&Poly::konst(5));
+        assert_eq!(lin.subst("n", &Poly::konst(3)).unwrap().as_const(), Some(11));
+    }
+
+    #[test]
+    fn row_access_is_proved_in_bounds_and_coalesced() {
+        // The warp_sq_l2 shape: idx = p·dim + c + lane, p < n, c ∈ [0, dim)
+        // step 32, lane < min(dim - c, 32); buffer len n·dim.
+        let report = analyze("row", |cx| {
+            let n = cx.param("n", 1, 1 << 20);
+            let dim = cx.param("dim", 1, 4096);
+            let points = cx.global_buf("points", &n.mul(&dim), 4);
+            let p = cx.range_var("p", &AbsIdx::zero(), &n);
+            let c = cx.range_var("c", &AbsIdx::zero(), &dim);
+            let mask = AbsMask::first_min(&[dim.sub(&c), AbsIdx::konst(32)]);
+            let idx = p.mul(&dim).add(&c).add(&cx.lane());
+            cx.ld(&points, &idx, &mask, "row chunk");
+        });
+        assert!(report.all_proved(), "{}", report.render());
+        assert_eq!(report.count(ObligationClass::Bounds), 1);
+        assert_eq!(report.count(ObligationClass::Coalescing), 1);
+    }
+
+    #[test]
+    fn off_by_one_is_caught() {
+        let report = analyze("oob", |cx| {
+            let n = cx.param("n", 1, 1 << 20);
+            let buf = cx.global_buf("buf", &n, 4);
+            let p = cx.range_var("p", &AbsIdx::zero(), &n);
+            cx.ld(&buf, &p.add(&AbsIdx::konst(1)), &AbsMask::single(), "one past");
+        });
+        let bad = report.unproven();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].class, ObligationClass::Bounds);
+    }
+
+    #[test]
+    fn strided_load_fails_and_gather_declaration_passes() {
+        let report = analyze("stride", |cx| {
+            let n = cx.param("n", 64, 1 << 20);
+            let buf = cx.global_buf("buf", &n, 4);
+            let idx = cx.lane().mul(&AbsIdx::konst(2));
+            cx.ld(&buf, &idx, &AbsMask::full(), "stride-2");
+            cx.ld_gather(&buf, &idx, &AbsMask::full(), "declared");
+        });
+        let coal: Vec<_> =
+            report.obligations.iter().filter(|o| o.class == ObligationClass::Coalescing).collect();
+        assert!(!coal[0].proved(), "{}", report.render());
+        assert!(coal[1].proved());
+    }
+
+    #[test]
+    fn bank_conflicts_use_constant_and_residue_strides() {
+        let report = analyze("bank", |cx| {
+            let m = cx.param("m", 2, 512);
+            // stride ∈ [m, m+1], odd (the padded tile pitch).
+            let stride = cx.derived_param_mod("stride", &m, &m.add(&AbsIdx::konst(1)), 1, 2);
+            let tile = cx.shared_buf("tile", &AbsIdx::konst(32).mul(&stride), 4);
+            // Column read: idx = lane·stride (+ row in [0, m)): odd → clean.
+            let row = cx.range_var("row", &AbsIdx::zero(), &m);
+            cx.sh(&tile, &cx.lane().mul(&stride).add(&row), &AbsMask::full(), "column");
+            // Unit stride: clean.
+            cx.sh(&tile, &cx.lane(), &AbsMask::full(), "unit");
+            // Stride 2: 2-way conflict.
+            cx.sh(&tile, &cx.lane().mul(&AbsIdx::konst(2)), &AbsMask::full(), "even");
+        });
+        let bank: Vec<_> = report
+            .obligations
+            .iter()
+            .filter(|o| o.class == ObligationClass::BankConflict)
+            .collect();
+        assert!(bank[0].proved(), "{}", report.render());
+        assert!(bank[1].proved());
+        assert!(!bank[2].proved());
+    }
+
+    #[test]
+    fn barrier_uniformity_tracks_scopes() {
+        let report = analyze("barriers", |cx| {
+            cx.uniform("chunk loop", |cx| cx.block_sync("between phases"));
+            cx.warp_varying("leader only", |cx| cx.block_sync("inside leader branch"));
+            cx.lane_varying("lane < 16", |cx| cx.sync_warp(&AbsMask::full(), "divergent sync"));
+            cx.sync_warp(&AbsMask::full(), "top-level sync");
+        });
+        let b: Vec<_> = report.obligations.iter().collect();
+        assert!(b[0].proved());
+        assert!(!b[1].proved());
+        assert!(!b[2].proved());
+        assert!(b[3].proved());
+    }
+
+    #[test]
+    fn idx_expr_is_value_generic() {
+        fn coord<V: IdxExpr>(row: &V, dim: &V, col: &V) -> V {
+            row.mul(dim).add(col)
+        }
+        assert_eq!(coord(&3usize, &8, &2), 26);
+        let sym = analyze("generic", |cx| {
+            let n = cx.param("n", 1, 100);
+            let dim = cx.param("dim", 1, 64);
+            let buf = cx.global_buf("pts", &n.mul(&dim), 4);
+            let p = cx.range_var("p", &AbsIdx::zero(), &n);
+            let mask = AbsMask::first_min(&[dim.clone(), AbsIdx::konst(32)]);
+            cx.ld(&buf, &coord(&p, &dim, &cx.lane()), &mask, "generic coord");
+        });
+        assert!(sym.all_proved(), "{}", sym.render());
+    }
+
+    #[test]
+    fn top_poisons_every_obligation() {
+        let report = analyze("top", |cx| {
+            let n = cx.param("n", 1, 100);
+            let buf = cx.global_buf("buf", &n, 4);
+            let a = cx.range_var("a", &AbsIdx::zero(), &n);
+            let top = a.mul(&a); // variable × variable → ⊤
+            cx.ld(&buf, &top, &AbsMask::full(), "nonlinear");
+        });
+        assert_eq!(report.unproven().len(), 2); // bounds + coalescing
+    }
+
+    #[test]
+    fn report_renders_stable_text() {
+        let report = analyze("demo", |cx| {
+            let n = cx.param("n", 1, 16);
+            let buf = cx.global_buf("xs", &n, 4);
+            let p = cx.range_var("p", &AbsIdx::zero(), &n);
+            cx.ld(&buf, &p, &AbsMask::single(), "scalar read");
+        });
+        let text = report.render();
+        assert!(text.contains("kernel `demo`: 2/2 obligations proved — all proved"), "{text}");
+        assert!(text.contains("[xs]"));
+    }
+}

@@ -37,9 +37,14 @@ impl Mask {
     }
 
     /// Is lane `lane` active?
+    ///
+    /// # Panics
+    /// Panics when `lane >= 32` in every build profile: `1 << lane` wraps
+    /// the shift amount in release builds, which would silently test the
+    /// *wrong* lane's bit instead of faulting.
     #[inline]
     pub fn active(&self, lane: usize) -> bool {
-        debug_assert!(lane < WARP_LANES);
+        assert!(lane < WARP_LANES, "lane {lane} out of range for a {WARP_LANES}-lane warp");
         self.0 & (1 << lane) != 0
     }
 

@@ -45,6 +45,7 @@
 //! let _ = lane_ids();
 //! ```
 
+pub mod abstract_interp;
 pub mod block;
 pub mod cache;
 pub mod device;
@@ -59,6 +60,10 @@ pub mod shared;
 pub mod stats;
 pub mod warp;
 
+pub use abstract_interp::{
+    analyze, AbsBuf, AbsCtx, AbsIdx, AbsMask, AnalysisReport, IdxExpr, Obligation, ObligationClass,
+    Status,
+};
 pub use block::BlockCtx;
 pub use device::{DeviceConfig, SECTOR_BYTES, SHARED_BANKS, WARP_LANES};
 pub use fault::{

@@ -2,6 +2,8 @@
 
 use std::cell::{Cell, Ref, RefCell, RefMut};
 
+use crate::lane::{LaneVec, Mask};
+
 /// Marker for plain-old-data element types that may live in device memory.
 ///
 /// `SIZE`/`to_bits`/`from_bits` give the simulator a safe, allocation-free way
@@ -202,6 +204,27 @@ impl<T: Pod> DeviceBuffer<T> {
         );
         let bits = data[idx].to_bits64() ^ (1u64 << bit);
         data[idx] = T::from_bits64(bits);
+    }
+
+    /// Assert every *active* lane's index is inside the buffer, identifying
+    /// the operation, the faulting lane and the buffer's label in the panic.
+    ///
+    /// Called by [`crate::warp::WarpCtx`] before any cost is charged for a
+    /// global access, so a faulting launch never pollutes the profiler
+    /// counters with a half-accounted transaction. This is the simulator's
+    /// equivalent of a CUDA illegal-address fault, and it fires in release
+    /// builds too — an out-of-bounds active lane is a kernel bug, never a
+    /// tolerable slow path.
+    pub(crate) fn assert_lane_bounds(&self, op: &str, idx: &LaneVec<usize>, mask: Mask) {
+        let len = self.data.borrow().len();
+        for lane in mask.iter() {
+            let i = idx.get(lane);
+            assert!(
+                i < len,
+                "{op} out of bounds: lane {lane} addressed element {i} of `{}` (len {len})",
+                self.label.get().unwrap_or("unlabeled buffer"),
+            );
+        }
     }
 
     /// Borrow the backing storage immutably (kernel-internal).

@@ -31,8 +31,14 @@ impl<T: Pod> SharedArray<T> {
     }
 
     /// Byte address of element `idx` within the arena.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index in every build profile. A wrapped
+    /// address would silently alias a *neighboring* shared allocation in
+    /// release builds — the exact corruption class the analyzer exists to
+    /// rule out — so this is a checked fault, not a `debug_assert`.
     pub(crate) fn byte_addr(&self, idx: usize) -> usize {
-        debug_assert!(idx < self.len, "shared-memory index {idx} out of bounds (len {})", self.len);
+        assert!(idx < self.len, "shared-memory index {idx} out of bounds (len {})", self.len);
         self.byte_offset + idx * T::SIZE
     }
 }

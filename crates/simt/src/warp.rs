@@ -128,13 +128,15 @@ impl<'a> WarpCtx<'a> {
     ///
     /// # Panics
     /// Panics on out-of-bounds indices of active lanes (a kernel bug, like a
-    /// CUDA illegal memory access).
+    /// CUDA illegal memory access), naming the buffer's label and the
+    /// faulting lane, before any cost is accounted.
     pub fn ld_global<T: Pod>(
         &mut self,
         buf: &DeviceBuffer<T>,
         idx: &LaneVec<usize>,
         mask: Mask,
     ) -> LaneVec<T> {
+        buf.assert_lane_bounds("global load", idx, mask);
         let tx = self.access_global(buf, idx, mask);
         self.charge_issue(mask, 1);
         self.stats.global_load_transactions += tx;
@@ -156,6 +158,10 @@ impl<'a> WarpCtx<'a> {
     /// `buf[idx[lane]]`. Lanes writing the same address resolve to the
     /// highest active lane (deterministic stand-in for the hardware's
     /// unspecified winner).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices of active lanes, naming the buffer's
+    /// label and the faulting lane, before any cost is accounted.
     pub fn st_global<T: Pod>(
         &mut self,
         buf: &DeviceBuffer<T>,
@@ -163,6 +169,7 @@ impl<'a> WarpCtx<'a> {
         vals: &LaneVec<T>,
         mask: Mask,
     ) {
+        buf.assert_lane_bounds("global store", idx, mask);
         let tx = self.access_global(buf, idx, mask);
         self.charge_issue(mask, 1);
         self.stats.global_store_transactions += tx;
@@ -189,6 +196,7 @@ impl<'a> WarpCtx<'a> {
     // --------------------------------------------------------------- atomics
 
     fn charge_atomic<T: Pod>(&mut self, buf: &DeviceBuffer<T>, idx: &LaneVec<usize>, mask: Mask) {
+        buf.assert_lane_bounds("global atomic", idx, mask);
         let active = mask.count() as u64;
         self.stats.atomic_ops += active;
         for lane in mask.iter() {

@@ -446,6 +446,60 @@ pub fn cmd_sanitize(_args: &Args) -> Result<String, String> {
         .to_string())
 }
 
+/// `lint`: run the symbolic analyzer over every shipped kernel — proving
+/// coalescing, bank-conflict-freedom, bounds and barrier uniformity for
+/// *all* launch shapes in the declared parameter ranges, not a concrete
+/// sweep. Any unproven obligation is an error. With `--self-check`, also
+/// analyze the four deliberately broken mutation kernels and require each to
+/// be flagged with exactly one unproven obligation (prover armed).
+pub fn cmd_lint(args: &Args) -> Result<String, String> {
+    let self_check: bool = args.get("self-check", false)?;
+    let verbose: bool = args.get("verbose", false)?;
+    let mut out = String::new();
+    let mut bad: Vec<String> = Vec::new();
+    let mut total = 0usize;
+    for report in lint_all_kernels() {
+        total += report.obligations.len();
+        if verbose || !report.all_proved() {
+            out.push_str(&report.render());
+        } else {
+            let n = report.obligations.len();
+            out.push_str(&format!("kernel `{}`: {n}/{n} obligations proved\n", report.kernel));
+        }
+        for o in report.unproven() {
+            let buf = o.buffer.map(|b| format!(" [{b}]")).unwrap_or_default();
+            bad.push(format!("{}: {} at `{}`{buf}", report.kernel, o.class, o.site));
+        }
+    }
+    if self_check {
+        for report in mutation_reports() {
+            let unproven = report.unproven();
+            if unproven.len() != 1 {
+                return Err(format!(
+                    "lint self-check FAILED: `{}` has {} unproven obligations, expected \
+                     exactly the seeded one\n{}",
+                    report.kernel,
+                    unproven.len(),
+                    report.render()
+                ));
+            }
+            let o = unproven[0];
+            out.push_str(&format!(
+                "self-check `{}`: seeded {} violation flagged at `{}`\n",
+                report.kernel, o.class, o.site
+            ));
+        }
+    }
+    if bad.is_empty() {
+        out.push_str(&format!(
+            "lint: {total} obligations proved across all shipped kernels, all launch shapes"
+        ));
+        Ok(out)
+    } else {
+        Err(format!("{out}lint: {} unproven obligation(s): {}", bad.len(), bad.join("; ")))
+    }
+}
+
 /// Dispatch a parsed command; returns the report line(s) for stdout.
 pub fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_str() {
@@ -459,6 +513,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "extend" => cmd_extend(args),
         "audit" => cmd_audit(args),
         "sanitize" => cmd_sanitize(args),
+        "lint" => cmd_lint(args),
         "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     }
@@ -485,6 +540,7 @@ wknng-cli — approximate K-NN graphs from the command line
   extend   --input d.wkv --graph g.wkk --new more.wkv
            --out-vectors d2.wkv --out-graph g2.wkk [--beam 0]
   sanitize [--seed S]   (requires building with --features sanitize)
+  lint     [--verbose] [--self-check]   (symbolic proofs for all launch shapes)
   help";
 
 #[cfg(test)]
@@ -513,6 +569,23 @@ mod tests {
         assert!(a.require("missing").is_err());
         assert!(Args::parse(&[]).is_err());
         assert!(Args::parse(&["x".into(), "notaflag".into()]).is_err());
+    }
+
+    #[test]
+    fn lint_proves_shipped_kernels_and_self_check_flags_mutants() {
+        let out = dispatch(&args("lint --self-check")).expect("lint must pass");
+        assert!(out.contains("obligations proved across all shipped kernels"), "{out}");
+        for kernel in ["basic", "atomic", "tiled", "beam"] {
+            assert!(out.contains(&format!("kernel `{kernel}`")), "{out}");
+        }
+        for mutant in [
+            "mutant-strided-load",
+            "mutant-bank-conflict",
+            "mutant-off-by-one",
+            "mutant-divergent-barrier",
+        ] {
+            assert!(out.contains(&format!("self-check `{mutant}`")), "{out}");
+        }
     }
 
     #[test]

@@ -75,11 +75,12 @@ pub mod prelude {
     };
     pub use wknng_core::{
         audit_graph, audit_slots, augment_reverse, build_device, build_device_with_policy,
-        build_native, extend_graph, graph_stats, lists_to_slots, mean_distance_ratio, recall,
-        repair_list, run_search_batch, search, search_batch, search_checked, symmetrize,
-        AuditLevel, AuditReport, BuildEvent, BuildEvents, BuildPhase, BuildPolicy, DeviceReports,
-        ExplorationMode, Extended, GraphStats, KernelVariant, Knng, KnngError, PhaseTimings,
-        SearchIndex, SearchParams, SearchStats, ViolationKind, WknngBuilder, WknngParams,
+        build_native, extend_graph, graph_stats, lint_all_kernels, lists_to_slots,
+        mean_distance_ratio, mutation_reports, recall, repair_list, run_search_batch, search,
+        search_batch, search_checked, symmetrize, AuditLevel, AuditReport, BuildEvent, BuildEvents,
+        BuildPhase, BuildPolicy, DeviceReports, ExplorationMode, Extended, GraphStats,
+        KernelVariant, Knng, KnngError, PhaseTimings, SearchIndex, SearchParams, SearchStats,
+        ViolationKind, WknngBuilder, WknngParams,
     };
     pub use wknng_data::{
         exact_knn, sq_l2, DataError, Dataset, DatasetSpec, Metric, Neighbor, VectorSet,
