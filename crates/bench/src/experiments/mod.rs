@@ -10,6 +10,7 @@ pub mod e14_devices;
 pub mod e15_quant;
 pub mod e16_selection;
 pub mod e17_serve;
+pub mod e18_overload;
 pub mod e1_datasets;
 pub mod e2_trees;
 pub mod e3_frontier;
@@ -84,11 +85,11 @@ pub fn speedup_at_matched_recall(
 }
 
 /// All experiment ids, in order. E1–E10 reconstruct the paper's evaluation;
-/// E11–E17 are extension ablations and systems studies documented in
+/// E11–E18 are extension ablations and systems studies documented in
 /// `DESIGN.md`.
-pub const ALL_IDS: [&str; 17] = [
+pub const ALL_IDS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Dispatch an experiment by id; returns the rendered report.
@@ -111,6 +112,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "e15" => Some(e15_quant::run(scale)),
         "e16" => Some(e16_selection::run(scale)),
         "e17" => Some(e17_serve::run(scale)),
+        "e18" => Some(e18_overload::run(scale)),
         _ => None,
     }
 }

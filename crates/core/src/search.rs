@@ -59,6 +59,28 @@ impl SearchParams {
         self.entries = self.entries.min(n.max(1));
         Ok(self)
     }
+
+    /// One step down the **brownout ladder**: the serving layer's analogue
+    /// of [`crate::KernelVariant::degraded`]'s tiled → atomic → basic chain.
+    /// Each step trades recall for work so an overloaded server can keep
+    /// p99 bounded instead of collapsing: the beam halves toward its floor
+    /// (`k`), then the entry probes drop to one, then `None` — there is
+    /// nothing cheaper than a single-entry `beam == k` descent.
+    ///
+    /// Every step preserves [`SearchParams::validated`]'s invariants
+    /// (`beam >= k`, `entries >= 1`), so a degraded parameter set is always
+    /// servable.
+    pub fn degraded(&self) -> Option<SearchParams> {
+        let floor = self.k.max(1);
+        let narrowed = (self.beam / 2).max(floor);
+        if narrowed < self.beam {
+            return Some(SearchParams { beam: narrowed, ..*self });
+        }
+        if self.entries > 1 {
+            return Some(SearchParams { entries: 1, ..*self });
+        }
+        None
+    }
 }
 
 /// The scrambled `e`-th entry point over `n` points (Fibonacci-hash
@@ -200,6 +222,41 @@ pub fn search_batch(
 ) -> Vec<(Vec<Neighbor>, SearchStats)> {
     assert_eq!(queries.dim(), vs.dim(), "query dimensionality mismatch");
     (0..queries.len()).map(|q| search_lists(vs, &graph.lists, queries.row(q), params)).collect()
+}
+
+#[cfg(test)]
+mod brownout_tests {
+    use super::*;
+
+    #[test]
+    fn brownout_ladder_halves_beam_then_drops_entries_then_ends() {
+        let base = SearchParams { k: 10, beam: 32, entries: 2, metric: Metric::SquaredL2 };
+        let s1 = base.degraded().unwrap();
+        assert_eq!((s1.beam, s1.entries), (16, 2));
+        let s2 = s1.degraded().unwrap();
+        assert_eq!((s2.beam, s2.entries), (10, 2), "beam floors at k");
+        let s3 = s2.degraded().unwrap();
+        assert_eq!((s3.beam, s3.entries), (10, 1));
+        assert_eq!(s3.degraded(), None, "nothing cheaper than single-entry beam == k");
+    }
+
+    #[test]
+    fn every_brownout_step_stays_valid() {
+        let mut p = SearchParams { k: 7, beam: 100, entries: 5, metric: Metric::SquaredL2 };
+        let mut steps = 0;
+        while let Some(d) = p.degraded() {
+            assert!(d.validated(1000).is_ok(), "step {steps} must stay servable: {d:?}");
+            assert!(
+                d.beam < p.beam || d.entries < p.entries,
+                "each step must strictly reduce work"
+            );
+            assert_eq!(d.k, p.k, "brownout never shrinks the result size");
+            p = d;
+            steps += 1;
+        }
+        assert!(steps >= 3, "a wide config has a multi-step ladder, got {steps}");
+        assert_eq!((p.beam, p.entries), (7, 1));
+    }
 }
 
 #[cfg(test)]

@@ -3,9 +3,11 @@
 use std::time::Duration;
 
 use wknng_core::SearchParams;
-use wknng_simt::DeviceConfig;
+use wknng_simt::{DeviceConfig, FaultPlan};
 
 use crate::error::ServeError;
+use crate::shed::ShedPolicy;
+use crate::supervisor::SupervisorPolicy;
 
 /// Execution backend for batch search.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +58,22 @@ pub struct ServeConfig {
     pub augment: Augment,
     /// Execution backend.
     pub backend: Backend,
+    /// Per-query deadline, measured from submission. Queries whose deadline
+    /// expires while queued are shed before any search work
+    /// ([`ServeError::DeadlineExceeded`]); a deadline-configured
+    /// [`crate::Ticket::wait`] never blocks past the deadline plus
+    /// [`crate::engine::DEADLINE_GRACE`]. `None` disables deadlines.
+    pub deadline: Option<Duration>,
+    /// Adaptive load-shedding / brownout policy (see [`ShedPolicy`]).
+    /// `None` — the default — disables the controller entirely: behaviour
+    /// is identical to the pre-resilience engine.
+    pub shed: Option<ShedPolicy>,
+    /// Worker supervision: panic-isolated shards respawned with capped
+    /// exponential backoff.
+    pub supervisor: SupervisorPolicy,
+    /// Serve-side chaos plan ([`FaultPlan::panic_batch`] and friends) for
+    /// fault-injection testing; `None` serves faithfully.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +86,10 @@ impl Default for ServeConfig {
             params: SearchParams::default(),
             augment: Augment::Off,
             backend: Backend::Native,
+            deadline: None,
+            shed: None,
+            supervisor: SupervisorPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -82,6 +104,13 @@ impl ServeConfig {
         if self.queue_capacity == 0 {
             return Err(ServeError::Config("queue_capacity must be >= 1"));
         }
+        if matches!(self.deadline, Some(d) if d.is_zero()) {
+            return Err(ServeError::Config("deadline must be > 0 when set"));
+        }
+        if let Some(shed) = &self.shed {
+            shed.check()?;
+        }
+        self.supervisor.check()?;
         Ok(())
     }
 }
@@ -103,6 +132,29 @@ mod tests {
         assert!(matches!(c.check(), Err(ServeError::Config(_))));
         // shards = 0 is legal: the inert admission-control engine.
         let c = ServeConfig { shards: 0, ..ServeConfig::default() };
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn resilience_fields_are_validated() {
+        let c = ServeConfig { deadline: Some(Duration::ZERO), ..ServeConfig::default() };
+        assert!(matches!(c.check(), Err(ServeError::Config(_))));
+        let c = ServeConfig { deadline: Some(Duration::from_millis(5)), ..ServeConfig::default() };
+        assert!(c.check().is_ok());
+        let bad_shed = ShedPolicy { shed_factor: 0, ..ShedPolicy::default() };
+        let c = ServeConfig { shed: Some(bad_shed), ..ServeConfig::default() };
+        assert!(matches!(c.check(), Err(ServeError::Config(_))));
+        let bad_sup = SupervisorPolicy {
+            backoff_initial: Duration::from_secs(2),
+            backoff_cap: Duration::from_secs(1),
+        };
+        let c = ServeConfig { supervisor: bad_sup, ..ServeConfig::default() };
+        assert!(matches!(c.check(), Err(ServeError::Config(_))));
+        let c = ServeConfig {
+            shed: Some(ShedPolicy::default()),
+            chaos: Some(FaultPlan::default().panic_batch(1)),
+            ..ServeConfig::default()
+        };
         assert!(c.check().is_ok());
     }
 }

@@ -1,6 +1,7 @@
-//! The sharded, batching query-serving engine.
+//! The sharded, batching, supervised query-serving engine.
 //!
-//! Architecture (see DESIGN.md "Serving architecture"):
+//! Architecture (see DESIGN.md "Serving architecture" and "Serving
+//! resilience"):
 //!
 //! * **Admission** — a single bounded queue guarded by a mutex + condvar;
 //!   [`ServeEngine::submit`] never blocks: a full queue answers
@@ -13,12 +14,25 @@
 //! * **Sharding** — worker threads sharing the `Arc`-owned index. The device
 //!   backend uploads one [`SearchIndex`] per shard (device buffers are
 //!   thread-local by design).
+//! * **Supervision** — every shard runs panic-isolated under
+//!   [`crate::supervisor`]; a dead worker's in-flight queries resolve to
+//!   [`ServeError::WorkerLost`] (never a hang — the `Job` drop guard
+//!   guarantees every admitted query is answered exactly once), and the
+//!   shard respawns from the shared index after a capped exponential
+//!   backoff.
+//! * **Deadlines** — with [`crate::ServeConfig::deadline`] set, queries that
+//!   expire while queued are shed before any search work, and a ticket wait
+//!   is bounded by deadline + [`DEADLINE_GRACE`] under *any* fault.
+//! * **Load shedding** — the [`crate::shed`] controller watches queue
+//!   sojourn and, under sustained overload, first walks the
+//!   [`SearchParams::degraded`] brownout ladder, then sheds.
 //! * **Drain** — [`ServeEngine::shutdown`] stops admission, lets shards
 //!   finish every queued query, joins them, and returns the merged
 //!   [`ServeReport`].
 
 use std::collections::VecDeque;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -27,11 +41,19 @@ use wknng_core::kernels::beam::{run_search_batch, SearchIndex};
 use wknng_core::{augment_reverse, search_lists, KnngError, SearchParams, SearchStats};
 use wknng_data::io::{load_knn, load_vectors};
 use wknng_data::{Metric, Neighbor, VectorSet};
+use wknng_simt::{FaultPlan, ServeFault};
 
 use crate::config::{Augment, Backend, ServeConfig};
 use crate::error::ServeError;
 use crate::histogram::LatencyHistogram;
 use crate::report::ServeReport;
+use crate::shed::ShedController;
+use crate::supervisor::{run_supervised, SupervisorPolicy};
+
+/// Slack granted past a query's deadline before a deadline-bounded wait
+/// gives up: covers scheduler jitter and response-channel delivery, so an
+/// on-time answer racing the deadline is not spuriously dropped.
+pub const DEADLINE_GRACE: Duration = Duration::from_millis(100);
 
 /// A loaded, servable index: vectors plus the finished neighbor lists.
 #[derive(Debug, Clone)]
@@ -76,26 +98,77 @@ pub struct QueryResult {
     pub latency: Duration,
 }
 
+/// What a worker (or the engine) sends back for one query.
+type Reply = Result<QueryResult, ServeError>;
+
 /// Handle to one in-flight query.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<QueryResult>,
+    rx: mpsc::Receiver<Reply>,
+    /// `submission + ServeConfig::deadline`, when the engine has one.
+    deadline: Option<Instant>,
 }
 
 impl Ticket {
-    /// Block until the query is answered. Returns
-    /// [`ServeError::Shutdown`] if the engine drained away without
-    /// answering (only possible for queries pending in an inert `shards: 0`
-    /// engine, or after a persistent launch fault).
+    /// Block until the query is answered with a result or a typed error:
+    /// [`ServeError::Shutdown`] (drained away unanswered),
+    /// [`ServeError::WorkerLost`] (the serving worker died),
+    /// [`ServeError::Shed`] / [`ServeError::DeadlineExceeded`] (overload).
+    /// On an engine with a configured deadline the wait itself is bounded:
+    /// it returns no later than deadline + [`DEADLINE_GRACE`], whatever the
+    /// workers are doing.
     pub fn wait(self) -> Result<QueryResult, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Shutdown)
+        match self.deadline {
+            // A dropped-without-reply channel means the responding worker
+            // unwound so abruptly the drop guard itself was lost; surface
+            // the worker's death, not a bogus "shutdown".
+            None => self.rx.recv().unwrap_or(Err(ServeError::WorkerLost)),
+            Some(d) => {
+                let budget = (d + DEADLINE_GRACE).saturating_duration_since(Instant::now());
+                self.wait_timeout(budget)
+            }
+        }
+    }
+
+    /// [`Ticket::wait`] bounded by an explicit per-call timeout; a timeout
+    /// answers [`ServeError::DeadlineExceeded`]. Never blocks past
+    /// `timeout` regardless of worker state.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<QueryResult, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => reply,
+            Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::WorkerLost),
+        }
     }
 }
 
+/// An admitted query. The `Drop` guard is the no-hang invariant: however a
+/// job leaves the system — served, shed, drained, or abandoned mid-batch by
+/// a panicking worker — its ticket receives exactly one reply. A job
+/// dropped without an explicit [`Job::respond`] answers
+/// [`ServeError::WorkerLost`].
 struct Job {
     query: Vec<f32>,
     at: Instant,
-    tx: mpsc::Sender<QueryResult>,
+    deadline: Option<Instant>,
+    tx: Option<mpsc::Sender<Reply>>,
+}
+
+impl Job {
+    fn respond(mut self, reply: Reply) {
+        if let Some(tx) = self.tx.take() {
+            // A dropped ticket (caller gave up) is not an engine error.
+            let _ = tx.send(reply);
+        }
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Err(ServeError::WorkerLost));
+        }
+    }
 }
 
 #[derive(Default)]
@@ -105,6 +178,13 @@ struct QueueState {
     submitted: u64,
     rejected: u64,
     max_depth: usize,
+}
+
+/// Serve-side chaos: the shared plan plus the global batch numbering the
+/// injection points are addressed by.
+struct Chaos {
+    plan: FaultPlan,
+    next_batch: AtomicU64,
 }
 
 struct Shared {
@@ -117,6 +197,10 @@ struct Shared {
     linger: Duration,
     capacity: usize,
     backend: Backend,
+    deadline: Option<Duration>,
+    supervisor: SupervisorPolicy,
+    shed: Option<Mutex<ShedController>>,
+    chaos: Option<Chaos>,
 }
 
 #[derive(Default)]
@@ -127,6 +211,10 @@ struct ShardStats {
     expansions: u64,
     latency: Option<LatencyHistogram>,
     launch_faults: u64,
+    shed: u64,
+    deadline_expired: u64,
+    worker_restarts: u64,
+    brownout_batches: u64,
 }
 
 /// The serving engine. Construct with [`ServeEngine::start`], submit with
@@ -161,6 +249,13 @@ impl ServeEngine {
             linger: cfg.linger,
             capacity: cfg.queue_capacity,
             backend: cfg.backend,
+            deadline: cfg.deadline,
+            supervisor: cfg.supervisor,
+            shed: cfg.shed.map(|p| Mutex::new(ShedController::new(p))),
+            chaos: cfg
+                .chaos
+                .filter(FaultPlan::has_serve_faults)
+                .map(|plan| Chaos { plan, next_batch: AtomicU64::new(0) }),
         });
         let workers = (0..cfg.shards)
             .map(|i| {
@@ -195,6 +290,8 @@ impl ServeEngine {
             return Err(ServeError::NonFiniteQuery { coord: c });
         }
         let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let deadline = self.shared.deadline.map(|d| now + d);
         let mut q = self.shared.queue.lock().expect("queue lock");
         if q.shut_down {
             return Err(ServeError::Shutdown);
@@ -206,12 +303,12 @@ impl ServeEngine {
                 capacity: self.shared.capacity,
             });
         }
-        q.pending.push_back(Job { query, at: Instant::now(), tx });
+        q.pending.push_back(Job { query, at: now, deadline, tx: Some(tx) });
         q.submitted += 1;
         q.max_depth = q.max_depth.max(q.pending.len());
         drop(q);
         self.shared.notify.notify_one();
-        Ok(Ticket { rx })
+        Ok(Ticket { rx, deadline })
     }
 
     /// Submit and wait — the blocking convenience wrapper.
@@ -231,21 +328,30 @@ impl ServeEngine {
         let mut merged = ShardStats::default();
         let mut latency = LatencyHistogram::new();
         for h in std::mem::take(&mut self.workers) {
-            let s = h.join().expect("shard panicked");
+            // Workers are panic-isolated by the supervisor; a panicking
+            // *join* would mean the supervision layer itself is broken.
+            let s = h.join().expect("supervised shard never propagates a panic");
             merged.served += s.served;
             merged.batches += s.batches;
             merged.distance_evals += s.distance_evals;
             merged.expansions += s.expansions;
             merged.launch_faults += s.launch_faults;
+            merged.shed += s.shed;
+            merged.deadline_expired += s.deadline_expired;
+            merged.worker_restarts += s.worker_restarts;
+            merged.brownout_batches += s.brownout_batches;
             if let Some(hist) = s.latency {
                 latency.merge(&hist);
             }
         }
         let elapsed = self.started.elapsed();
         let mut q = self.shared.queue.lock().expect("queue lock");
-        // Inert engines (shards = 0) may still hold pending jobs; dropping
-        // them closes their channels, so waiting tickets observe `Shutdown`.
-        q.pending.clear();
+        // Inert engines (shards = 0) may still hold pending jobs; answer
+        // them with the typed shutdown error (not the drop guard's
+        // `WorkerLost` — nothing died, the engine drained away).
+        for job in q.pending.drain(..) {
+            job.respond(Err(ServeError::Shutdown));
+        }
         let served = merged.served;
         ServeReport {
             served,
@@ -277,6 +383,10 @@ impl ServeEngine {
                 0.0
             },
             launch_faults: merged.launch_faults,
+            shed: merged.shed,
+            deadline_expired: merged.deadline_expired,
+            worker_restarts: merged.worker_restarts,
+            brownout_batches: merged.brownout_batches,
         }
     }
 }
@@ -291,25 +401,114 @@ impl Drop for ServeEngine {
     }
 }
 
-/// Shard main loop: pull a batch (respecting the linger deadline), search
-/// it, respond, repeat until drained.
+/// Shard thread body: the serving loop under supervision. A panic anywhere
+/// in a pass abandons that pass's in-flight batch (each job's drop guard
+/// answers `WorkerLost`), records a restart, backs off, and re-enters — the
+/// respawned pass rebuilds all per-thread state (including the device
+/// backend's index upload) from the shared `ServeIndex`. A pass that
+/// returns cleanly has observed shutdown and drained the queue.
 fn worker(shared: Arc<Shared>) -> ShardStats {
     let mut stats = ShardStats { latency: Some(LatencyHistogram::new()), ..Default::default() };
+    let policy = shared.supervisor;
+    run_supervised(
+        &policy,
+        &mut stats,
+        |stats| worker_pass(&shared, stats),
+        |stats, backoff| {
+            stats.worker_restarts += 1;
+            backoff_sleep(&shared, backoff);
+        },
+    );
+    stats
+}
+
+/// Shutdown-aware backoff: sleeps up to `dur`, but wakes early when the
+/// engine starts draining so a crashed-then-backing-off shard cannot delay
+/// shutdown by a whole backoff window. (The respawned pass then drains the
+/// queue and exits cleanly.)
+fn backoff_sleep(shared: &Shared, dur: Duration) {
+    let deadline = Instant::now() + dur;
+    let mut q = shared.queue.lock().expect("queue lock");
+    while !q.shut_down {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        q = shared.notify.wait_timeout(q, deadline - now).expect("queue lock").0;
+    }
+}
+
+/// One supervised serving pass: pull a batch, inject any scheduled chaos,
+/// triage (deadline shed / overload shed / brownout), search, respond —
+/// until drained.
+fn worker_pass(shared: &Shared, stats: &mut ShardStats) {
     // The device backend keeps one thread-local index upload per shard.
     let dev_ix = match &shared.backend {
         Backend::Device(_) => Some(SearchIndex::upload(&shared.vectors, &shared.lists)),
         Backend::Native => None,
     };
     loop {
-        let (batch, drained) = next_batch(&shared);
+        let (batch, drained) = next_batch(shared);
         if batch.is_empty() {
             if drained {
-                return stats;
+                return;
             }
             continue;
         }
-        serve_batch(&shared, dev_ix.as_ref(), batch, &mut stats);
+        let mut poisoned = false;
+        if let Some(chaos) = &shared.chaos {
+            let idx = chaos.next_batch.fetch_add(1, Ordering::Relaxed);
+            match chaos.plan.serve_fault(idx) {
+                Some(ServeFault::PanicWorker) => {
+                    panic!("chaos: injected worker panic at serve batch {idx}")
+                }
+                Some(ServeFault::StallBatch(d)) => std::thread::sleep(d),
+                Some(ServeFault::PoisonResults) => poisoned = true,
+                None => {}
+            }
+        }
+        let (batch, params) = triage(shared, batch, stats);
+        if batch.is_empty() {
+            continue;
+        }
+        if params != shared.params {
+            stats.brownout_batches += 1;
+        }
+        serve_batch(shared, dev_ix.as_ref(), batch, &params, poisoned, stats);
     }
+}
+
+/// Pre-search policy on a freshly cut batch: feed the shedding controller,
+/// shed queries whose deadline already expired (before any search work),
+/// shed over-sojourn queries when the controller says so, and pick the
+/// batch's effective (possibly browned-out) search parameters.
+fn triage(shared: &Shared, batch: Vec<Job>, st: &mut ShardStats) -> (Vec<Job>, SearchParams) {
+    let now = Instant::now();
+    let mut params = shared.params;
+    let mut shed_bound = None;
+    if let Some(ctl) = &shared.shed {
+        let min_sojourn =
+            batch.iter().map(|j| now.saturating_duration_since(j.at)).min().unwrap_or_default();
+        let mut ctl = ctl.lock().expect("shed controller lock");
+        ctl.observe(min_sojourn, now);
+        params = ctl.effective_params(&shared.params);
+        shed_bound = ctl.shed_bound();
+    }
+    let mut kept = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.deadline.is_some_and(|d| now >= d) {
+            st.deadline_expired += 1;
+            job.respond(Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        if shed_bound.is_some_and(|b| now.saturating_duration_since(job.at) > b) {
+            st.shed += 1;
+            job.respond(Err(ServeError::Shed));
+            continue;
+        }
+        kept.push(job);
+    }
+    (kept, params)
 }
 
 /// Block until a batch is ready: a full `batch_size`, the linger deadline of
@@ -344,6 +543,8 @@ fn serve_batch(
     shared: &Shared,
     dev_ix: Option<&SearchIndex>,
     batch: Vec<Job>,
+    params: &SearchParams,
+    poisoned: bool,
     st: &mut ShardStats,
 ) {
     let results: Vec<(Vec<Neighbor>, SearchStats)> = match (&shared.backend, dev_ix) {
@@ -355,7 +556,7 @@ fn serve_batch(
             let qs = VectorSet::new(flat, shared.vectors.dim()).expect("validated at submit");
             let mut attempts = 0;
             loop {
-                match run_search_batch(dev, ix, &qs, &shared.params) {
+                match run_search_batch(dev, ix, &qs, params) {
                     Ok(b) => break b.results.into_iter().zip(b.stats).collect(),
                     Err(_fault) if attempts < 3 => {
                         attempts += 1;
@@ -363,7 +564,7 @@ fn serve_batch(
                     }
                     Err(_fault) => {
                         // Persistently faulting launch: drop the batch; the
-                        // closed channels surface `Shutdown` to the waiters.
+                        // drop guards answer `WorkerLost` to the waiters.
                         st.launch_faults += 1;
                         return;
                     }
@@ -372,18 +573,31 @@ fn serve_batch(
         }
         _ => batch
             .iter()
-            .map(|j| search_lists(&shared.vectors, &shared.lists, &j.query, &shared.params))
+            .map(|j| search_lists(&shared.vectors, &shared.lists, &j.query, params))
             .collect(),
     };
     st.batches += 1;
+    if poisoned {
+        // Chaos: the work was done but the results never reach their
+        // channels — dropping the jobs answers `WorkerLost`.
+        drop(batch);
+        return;
+    }
+    let now = Instant::now();
     let hist = st.latency.as_mut().expect("worker histogram");
     for (job, (neighbors, qstats)) in batch.into_iter().zip(results) {
-        let latency = job.at.elapsed();
+        let latency = now.saturating_duration_since(job.at);
         st.served += 1;
         st.distance_evals += qstats.distance_evals as u64;
         st.expansions += qstats.expansions as u64;
-        hist.record(latency.as_nanos() as u64);
-        // A dropped ticket (caller gave up) is not an engine error.
-        let _ = job.tx.send(QueryResult { neighbors, stats: qstats, latency });
+        if job.deadline.is_some_and(|d| now >= d) {
+            // Expired while in flight: the answer is still delivered (the
+            // caller may have stopped waiting), counted, but not charged to
+            // the latency percentiles an operator alarms on.
+            st.deadline_expired += 1;
+        } else {
+            hist.record(latency.as_nanos() as u64);
+        }
+        job.respond(Ok(QueryResult { neighbors, stats: qstats, latency }));
     }
 }

@@ -19,6 +19,20 @@ pub enum ServeError {
     /// The engine is shutting down (or was shut down before this query was
     /// answered); no further queries are admitted.
     Shutdown,
+    /// The worker serving this query died (panicked) or abandoned it (a
+    /// poisoned result channel, a persistently faulting device launch)
+    /// before answering. The supervisor respawns the shard; the caller may
+    /// retry immediately.
+    WorkerLost,
+    /// The query's deadline expired before an answer was produced — either
+    /// shed from the queue by a worker, or reported by a deadline-bounded
+    /// [`crate::Ticket`] wait.
+    DeadlineExceeded,
+    /// The adaptive overload controller shed this query at dequeue: its
+    /// queue sojourn exceeded the shedding bound during sustained overload
+    /// (see [`crate::ShedPolicy`]). No search work was spent on it; the
+    /// caller should back off and may retry.
+    Shed,
     /// A submitted query's dimensionality does not match the index.
     QueryDimMismatch {
         /// Length of the submitted query vector.
@@ -55,6 +69,11 @@ impl fmt::Display for ServeError {
                 write!(f, "queue overloaded: {depth} pending of {capacity} capacity")
             }
             ServeError::Shutdown => write!(f, "engine is shut down"),
+            ServeError::WorkerLost => {
+                write!(f, "worker lost: the serving worker died before answering")
+            }
+            ServeError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            ServeError::Shed => write!(f, "query shed by the overload controller"),
             ServeError::QueryDimMismatch { got, want } => {
                 write!(f, "query has {got} coordinates, index serves dimension {want}")
             }
@@ -94,6 +113,9 @@ mod tests {
         let e = ServeError::Overloaded { depth: 64, capacity: 64 };
         assert!(e.to_string().contains("64 pending"), "{e}");
         assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        assert!(ServeError::WorkerLost.to_string().contains("worker"));
+        assert!(ServeError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(ServeError::Shed.to_string().contains("shed"));
         let e = ServeError::QueryDimMismatch { got: 3, want: 16 };
         assert!(e.to_string().contains("3 coordinates") && e.to_string().contains("16"), "{e}");
         let e = ServeError::NonFiniteQuery { coord: 5 };

@@ -198,6 +198,66 @@ mod tests {
     }
 
     #[test]
+    fn merging_an_empty_histogram_is_identity_both_ways() {
+        let mut a = LatencyHistogram::new();
+        for v in [3u64, 500, 42_000] {
+            a.record(v);
+        }
+        let before: Vec<Option<u64>> =
+            [1.0, 50.0, 99.0, 100.0].iter().map(|&p| a.percentile(p)).collect();
+        // Non-empty ← empty: nothing changes (min must not be clobbered by
+        // the empty side's u64::MAX sentinel, max not by its 0).
+        a.merge(&LatencyHistogram::new());
+        let after: Vec<Option<u64>> =
+            [1.0, 50.0, 99.0, 100.0].iter().map(|&p| a.percentile(p)).collect();
+        assert_eq!(before, after);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(42_000));
+        // Empty ← non-empty: adopts the other side wholesale.
+        let mut e = LatencyHistogram::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 3);
+        assert_eq!(e.percentile(50.0), a.percentile(50.0));
+        assert_eq!(e.max(), Some(42_000));
+        // Empty ← empty stays empty.
+        let mut z = LatencyHistogram::new();
+        z.merge(&LatencyHistogram::new());
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.percentile(50.0), None);
+        assert_eq!(z.max(), None);
+    }
+
+    #[test]
+    fn merging_single_sample_histograms_with_disjoint_buckets() {
+        // Two shards that each saw one query, in buckets far apart: the
+        // merge must place p50 at the low sample and p100 at the high one.
+        let mut low = LatencyHistogram::new();
+        low.record(10); // exact bucket
+        let mut high = LatencyHistogram::new();
+        high.record(1 << 30);
+        low.merge(&high);
+        assert_eq!(low.count(), 2);
+        assert_eq!(low.percentile(50.0), Some(10));
+        let p100 = low.percentile(100.0).unwrap();
+        assert!(p100 <= (1 << 30) && (1 << 30) - p100 <= (1u64 << 30) / 16, "p100 = {p100}");
+        assert_eq!(low.max(), Some(1 << 30));
+        assert_eq!(low.mean(), Some((10.0 + (1u64 << 30) as f64) / 2.0));
+    }
+
+    #[test]
+    fn percentile_extremes_clamp_to_first_and_last_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(7);
+        h.record(9_000_000);
+        // Rank clamps to [1, count]: p→0 hits the smallest sample's bucket,
+        // p = 100 the largest's.
+        assert_eq!(h.percentile(0.0), Some(7));
+        assert_eq!(h.percentile(1e-9), Some(7));
+        let top = h.percentile(100.0).unwrap();
+        assert!(top <= 9_000_000 && 9_000_000 - top <= 9_000_000 / 16, "top = {top}");
+    }
+
+    #[test]
     fn bucket_floor_inverts_bucket_of() {
         for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1023, 1024, 1 << 40, u64::MAX] {
             let id = bucket_of(v);

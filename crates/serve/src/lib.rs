@@ -19,6 +19,23 @@
 //! * opt-in reverse-edge augmentation ([`Augment`]) so greedy descent can
 //!   escape weakly connected components.
 //!
+//! The resilience envelope on top (see DESIGN.md "Serving resilience"):
+//!
+//! * supervised shards — a panicking worker answers its in-flight queries
+//!   [`ServeError::WorkerLost`] and is respawned from the shared index with
+//!   capped exponential backoff ([`SupervisorPolicy`]); a ticket wait never
+//!   hangs on a dead worker;
+//! * per-query deadlines ([`ServeConfig::deadline`],
+//!   [`Ticket::wait_timeout`]) — deadline-expired queries are shed from the
+//!   queue before any search work;
+//! * adaptive load shedding ([`ShedPolicy`]) — a CoDel-style sojourn
+//!   controller that first browns out the search
+//!   ([`wknng_core::SearchParams::degraded`]) and then sheds, keeping p99
+//!   bounded under sustained overload;
+//! * a deterministic chaos harness ([`ServeConfig::chaos`], driven by
+//!   [`wknng_simt::FaultPlan`] serve faults) for injecting worker panics,
+//!   slow batches, and poisoned result channels in tests and from the CLI.
+//!
 //! ```
 //! use wknng_core::WknngBuilder;
 //! use wknng_data::DatasetSpec;
@@ -41,12 +58,16 @@ pub mod engine;
 pub mod error;
 pub mod histogram;
 pub mod report;
+pub mod shed;
+pub mod supervisor;
 
 pub use config::{Augment, Backend, ServeConfig};
-pub use engine::{QueryResult, ServeEngine, ServeIndex, Ticket};
+pub use engine::{QueryResult, ServeEngine, ServeIndex, Ticket, DEADLINE_GRACE};
 pub use error::ServeError;
 pub use histogram::LatencyHistogram;
 pub use report::ServeReport;
+pub use shed::ShedPolicy;
+pub use supervisor::SupervisorPolicy;
 
 #[cfg(test)]
 mod tests {
@@ -247,6 +268,70 @@ mod tests {
         let augmented = run(Augment::On { max_degree: None });
         assert_eq!(augmented.index, 15, "reverse edge restores reachability");
         assert_eq!(augmented.dist, 0.0);
+    }
+
+    #[test]
+    fn wait_timeout_on_an_unanswered_query_is_typed_and_bounded() {
+        let (vs, lists) = built(120, 16, 61);
+        let index = ServeIndex::from_parts(vs.clone(), lists).unwrap();
+        // Inert engine: the query will never be answered.
+        let engine =
+            ServeEngine::start(index, ServeConfig { shards: 0, ..ServeConfig::default() }).unwrap();
+        let t = engine.submit(vs.row(0).to_vec()).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(t.wait_timeout(Duration::from_millis(50)), Err(ServeError::DeadlineExceeded));
+        assert!(start.elapsed() < Duration::from_secs(2), "returned promptly");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn configured_deadline_bounds_a_plain_wait() {
+        let (vs, lists) = built(120, 16, 71);
+        let index = ServeIndex::from_parts(vs.clone(), lists).unwrap();
+        let deadline = Duration::from_millis(50);
+        let engine = ServeEngine::start(
+            index,
+            ServeConfig { shards: 0, deadline: Some(deadline), ..ServeConfig::default() },
+        )
+        .unwrap();
+        let t = engine.submit(vs.row(0).to_vec()).unwrap();
+        let start = std::time::Instant::now();
+        // Plain wait() — no explicit timeout — must still return by
+        // deadline + grace because the engine has a configured deadline.
+        assert_eq!(t.wait(), Err(ServeError::DeadlineExceeded));
+        assert!(
+            start.elapsed() < deadline + DEADLINE_GRACE + Duration::from_millis(250),
+            "wait bounded by deadline + grace, took {:?}",
+            start.elapsed()
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_is_shed_before_search() {
+        let (vs, lists) = built(150, 16, 81);
+        let index = ServeIndex::from_parts(vs.clone(), lists).unwrap();
+        // A long linger holds the batch open well past the tiny deadline, so
+        // every query expires while queued.
+        let engine = ServeEngine::start(
+            index,
+            ServeConfig {
+                batch_size: 64,
+                linger: Duration::from_millis(200),
+                deadline: Some(Duration::from_millis(1)),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> =
+            (0..8).map(|p| engine.submit(vs.row(p).to_vec()).unwrap()).collect();
+        for t in tickets {
+            assert_eq!(t.wait(), Err(ServeError::DeadlineExceeded));
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.deadline_expired, 8);
+        assert_eq!(report.served, 0, "no search work spent on expired queries");
+        assert_eq!(report.latency.count(), 0, "expired queries never reach the histogram");
     }
 
     #[test]

@@ -37,6 +37,17 @@ pub struct ServeReport {
     pub mean_expansions: f64,
     /// Device launch faults absorbed by retry (0 without fault injection).
     pub launch_faults: u64,
+    /// Queries shed by the adaptive overload controller (answered
+    /// [`crate::ServeError::Shed`] without search work).
+    pub shed: u64,
+    /// Queries whose deadline expired — shed from the queue before search,
+    /// or finished past-deadline (answered, but excluded from the latency
+    /// percentiles).
+    pub deadline_expired: u64,
+    /// Shard workers respawned by the supervisor after a panic.
+    pub worker_restarts: u64,
+    /// Batches served with browned-out (degraded) search parameters.
+    pub brownout_batches: u64,
 }
 
 impl ServeReport {
@@ -68,10 +79,15 @@ impl fmt::Display for ServeReport {
             self.latency_p(99.0),
             Duration::from_nanos(self.latency.max().unwrap_or(0)),
         )?;
-        write!(
+        writeln!(
             f,
             "work/query: {:.1} distance evals, {:.1} expansions; launch faults {}",
             self.mean_distance_evals, self.mean_expansions, self.launch_faults
+        )?;
+        write!(
+            f,
+            "resilience: shed {} / deadline expired {} / worker restarts {} / brownout batches {}",
+            self.shed, self.deadline_expired, self.worker_restarts, self.brownout_batches
         )
     }
 }
@@ -100,12 +116,20 @@ mod tests {
             mean_distance_evals: 81.5,
             mean_expansions: 7.25,
             launch_faults: 0,
+            shed: 5,
+            deadline_expired: 2,
+            worker_restarts: 1,
+            brownout_batches: 4,
         };
         let s = r.to_string();
         assert!(s.contains("served 3"), "{s}");
         assert!(s.contains("rejected 1"), "{s}");
         assert!(s.contains("p50"), "{s}");
         assert!(s.contains("81.5 distance evals"), "{s}");
+        assert!(s.contains("shed 5"), "{s}");
+        assert!(s.contains("deadline expired 2"), "{s}");
+        assert!(s.contains("worker restarts 1"), "{s}");
+        assert!(s.contains("brownout batches 4"), "{s}");
         assert!(r.latency_p(50.0) >= Duration::from_micros(900));
     }
 }

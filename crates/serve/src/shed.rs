@@ -1,0 +1,266 @@
+//! Adaptive load shedding: a CoDel-style sojourn controller with brownout
+//! tiers.
+//!
+//! The bounded admission queue (PR 2) only has a binary overload answer:
+//! reject at queue-full. Between "healthy" and "full" lies the regime that
+//! actually kills tail latency — the queue is legal but *standing*, so every
+//! query pays the whole backlog's service time. Following CoDel (Nichols &
+//! Jacobson), the controller watches queue **sojourn time** (dequeue time
+//! minus arrival time — the one signal that reflects load regardless of
+//! queue length or service speed) and reacts only to *sustained* overload:
+//!
+//! 1. first it **browns out** — narrows the effective
+//!    [`SearchParams`] down the [`SearchParams::degraded`] ladder
+//!    (beam halves toward `k`, then single-entry), mirroring the build
+//!    pipeline's tiled → atomic → basic degradation: serve every query a
+//!    little cheaper before refusing any;
+//! 2. if overload persists through every configured tier, it **sheds**:
+//!    dequeued queries whose sojourn exceeds `shed_factor × target` are
+//!    answered [`crate::ServeError::Shed`] without any search work, which
+//!    caps the queueing delay any *served* query can have paid.
+//!
+//! Recovery is symmetric: a sustained under-target window steps one tier
+//! back up. Everything is driven by observations the workers already make
+//! at batch-cut time; the controller itself does no clock reads.
+
+use std::time::{Duration, Instant};
+
+use wknng_core::SearchParams;
+
+use crate::error::ServeError;
+
+/// Tuning of the shedding controller (see the module docs). Installed via
+/// `ServeConfig::shed`; `None` there disables shedding and brownout
+/// entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Queue-sojourn target: batches whose *minimum* sojourn exceeds this
+    /// count as overloaded (min, not mean — one straggler must not trip the
+    /// controller, CoDel-style).
+    pub target: Duration,
+    /// How long overload must persist before the controller escalates one
+    /// tier (and how long under-target operation must persist to step back
+    /// down).
+    pub window: Duration,
+    /// Brownout tiers to walk through before shedding starts: each tier is
+    /// one step down the [`SearchParams::degraded`] ladder. `0` sheds
+    /// immediately on sustained overload, preserving per-query recall.
+    pub brownout_tiers: u8,
+    /// Shedding threshold multiplier: once shedding is active, a dequeued
+    /// query with sojourn above `shed_factor × target` is shed.
+    pub shed_factor: u32,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy {
+            target: Duration::from_millis(2),
+            window: Duration::from_millis(10),
+            brownout_tiers: 2,
+            shed_factor: 4,
+        }
+    }
+}
+
+impl ShedPolicy {
+    /// Validate the policy fields.
+    pub fn check(&self) -> Result<(), ServeError> {
+        if self.target.is_zero() {
+            return Err(ServeError::Config("shed target must be > 0"));
+        }
+        if self.window.is_zero() {
+            return Err(ServeError::Config("shed window must be > 0"));
+        }
+        if self.shed_factor == 0 {
+            return Err(ServeError::Config("shed_factor must be >= 1"));
+        }
+        Ok(())
+    }
+
+    /// The sojourn bound above which an active shedder drops a query.
+    fn shed_bound(&self) -> Duration {
+        self.target.saturating_mul(self.shed_factor)
+    }
+}
+
+/// The per-engine controller state, shared by all shard workers (behind one
+/// mutex; it is touched once per batch, not per query).
+#[derive(Debug)]
+pub(crate) struct ShedController {
+    policy: ShedPolicy,
+    /// Escalation level: `0` = healthy, `1..=brownout_tiers` = brownout,
+    /// `brownout_tiers + 1` = shedding (the level ladder's last rung).
+    level: u8,
+    /// When the current over-target streak started.
+    over_since: Option<Instant>,
+    /// When the current under-target streak started.
+    under_since: Option<Instant>,
+}
+
+impl ShedController {
+    pub(crate) fn new(policy: ShedPolicy) -> Self {
+        ShedController { policy, level: 0, over_since: None, under_since: None }
+    }
+
+    /// The level at which shedding (not just brownout) is active.
+    fn shed_level(&self) -> u8 {
+        self.policy.brownout_tiers.saturating_add(1)
+    }
+
+    /// Feed one batch observation: the minimum queue sojourn across the
+    /// batch, taken at dequeue time `now`. Escalates or de-escalates one
+    /// level per sustained window.
+    pub(crate) fn observe(&mut self, min_sojourn: Duration, now: Instant) {
+        if min_sojourn > self.policy.target {
+            self.under_since = None;
+            let since = *self.over_since.get_or_insert(now);
+            if now.saturating_duration_since(since) >= self.policy.window
+                && self.level < self.shed_level()
+            {
+                self.level += 1;
+                // Each further escalation needs its own full window.
+                self.over_since = Some(now);
+            }
+        } else {
+            self.over_since = None;
+            let since = *self.under_since.get_or_insert(now);
+            if now.saturating_duration_since(since) >= self.policy.window && self.level > 0 {
+                self.level -= 1;
+                self.under_since = Some(now);
+            }
+        }
+    }
+
+    /// The parameters this batch should be served with: `base` walked
+    /// `min(level, brownout_tiers)` steps down the degradation ladder. At
+    /// level 0 this is `base` itself.
+    pub(crate) fn effective_params(&self, base: &SearchParams) -> SearchParams {
+        let mut p = *base;
+        for _ in 0..self.level.min(self.policy.brownout_tiers) {
+            match p.degraded() {
+                Some(d) => p = d,
+                None => break,
+            }
+        }
+        p
+    }
+
+    /// When shedding is active, the sojourn bound above which a dequeued
+    /// query is shed; `None` while only brownout (or nothing) is active.
+    pub(crate) fn shed_bound(&self) -> Option<Duration> {
+        (self.level >= self.shed_level()).then(|| self.policy.shed_bound())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> ShedPolicy {
+        ShedPolicy {
+            target: Duration::from_millis(2),
+            window: Duration::from_millis(10),
+            brownout_tiers: 2,
+            shed_factor: 4,
+        }
+    }
+
+    /// Drive the controller with a fixed sojourn for `steps` observations
+    /// spaced `step` apart, starting at `t0`; returns the time after the
+    /// last observation.
+    fn drive(
+        ctl: &mut ShedController,
+        sojourn: Duration,
+        t0: Instant,
+        steps: u32,
+        step: Duration,
+    ) -> Instant {
+        let mut t = t0;
+        for _ in 0..steps {
+            ctl.observe(sojourn, t);
+            t += step;
+        }
+        t
+    }
+
+    #[test]
+    fn default_policy_checks_and_zeroes_are_rejected() {
+        assert!(ShedPolicy::default().check().is_ok());
+        let z = ShedPolicy { target: Duration::ZERO, ..policy() };
+        assert!(matches!(z.check(), Err(ServeError::Config(_))));
+        let z = ShedPolicy { window: Duration::ZERO, ..policy() };
+        assert!(matches!(z.check(), Err(ServeError::Config(_))));
+        let z = ShedPolicy { shed_factor: 0, ..policy() };
+        assert!(matches!(z.check(), Err(ServeError::Config(_))));
+    }
+
+    #[test]
+    fn healthy_traffic_never_escalates() {
+        let mut ctl = ShedController::new(policy());
+        let base = SearchParams::default();
+        drive(&mut ctl, Duration::from_micros(100), Instant::now(), 100, Duration::from_millis(5));
+        assert_eq!(ctl.effective_params(&base), base);
+        assert_eq!(ctl.shed_bound(), None);
+    }
+
+    #[test]
+    fn sustained_overload_walks_brownout_then_sheds() {
+        let mut ctl = ShedController::new(policy());
+        let base = SearchParams { k: 10, beam: 32, entries: 2, ..SearchParams::default() };
+        let t0 = Instant::now();
+        // One observation starts the streak but must not escalate yet.
+        ctl.observe(Duration::from_millis(5), t0);
+        assert_eq!(ctl.effective_params(&base), base);
+        // A full window of overload: tier 1 (beam halves). The drive steps
+        // land at t0, +5, +10, +15 ms; escalation fires at +10.
+        let t = drive(&mut ctl, Duration::from_millis(5), t0, 4, Duration::from_millis(5));
+        assert_eq!(ctl.effective_params(&base).beam, 16);
+        assert_eq!(ctl.shed_bound(), None, "brownout before shedding");
+        // Another window (+20, +25; fires at +20): tier 2, beam at floor k.
+        let t = drive(&mut ctl, Duration::from_millis(5), t, 2, Duration::from_millis(5));
+        assert_eq!(ctl.effective_params(&base).beam, 10);
+        assert_eq!(ctl.shed_bound(), None);
+        // A third window (+30): shedding becomes active, floor retained.
+        drive(&mut ctl, Duration::from_millis(5), t, 1, Duration::from_millis(5));
+        assert_eq!(ctl.shed_bound(), Some(Duration::from_millis(8)), "4x the 2ms target");
+        assert_eq!(ctl.effective_params(&base).beam, 10);
+    }
+
+    #[test]
+    fn zero_tiers_sheds_without_touching_params() {
+        let mut ctl = ShedController::new(ShedPolicy { brownout_tiers: 0, ..policy() });
+        let base = SearchParams::default();
+        drive(&mut ctl, Duration::from_millis(9), Instant::now(), 5, Duration::from_millis(6));
+        assert!(ctl.shed_bound().is_some());
+        assert_eq!(ctl.effective_params(&base), base, "recall of served queries unchanged");
+    }
+
+    #[test]
+    fn recovery_steps_back_down_to_healthy() {
+        let mut ctl = ShedController::new(policy());
+        let base = SearchParams { k: 10, beam: 32, entries: 2, ..SearchParams::default() };
+        let t =
+            drive(&mut ctl, Duration::from_millis(9), Instant::now(), 12, Duration::from_millis(6));
+        assert!(ctl.shed_bound().is_some(), "driven all the way to shedding");
+        // Sustained under-target traffic walks every level back down.
+        drive(&mut ctl, Duration::from_micros(50), t, 12, Duration::from_millis(6));
+        assert_eq!(ctl.shed_bound(), None);
+        assert_eq!(ctl.effective_params(&base), base);
+    }
+
+    #[test]
+    fn a_single_burst_does_not_escalate() {
+        // Alternating over/under observations: the over streak keeps
+        // resetting, so the controller must hold at level 0.
+        let mut ctl = ShedController::new(policy());
+        let mut t = Instant::now();
+        for i in 0..40 {
+            let s = if i % 2 == 0 { Duration::from_millis(9) } else { Duration::from_micros(10) };
+            ctl.observe(s, t);
+            t += Duration::from_millis(6);
+        }
+        let base = SearchParams::default();
+        assert_eq!(ctl.effective_params(&base), base);
+        assert_eq!(ctl.shed_bound(), None);
+    }
+}

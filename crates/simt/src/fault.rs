@@ -30,6 +30,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::marker::PhantomData;
+use std::time::Duration;
 
 /// Why a fault-aware launch was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,14 +75,38 @@ pub struct PendingFlip {
     pub bit: u8,
 }
 
+/// A serve-side fault delivered at a scheduled serve-batch index (see
+/// [`FaultPlan::serve_fault`]). Unlike the launch faults above — which are
+/// consumed through a thread-local [`FaultScope`] — serve faults are owned
+/// by the serving engine, which numbers dispatched batches globally across
+/// its shard workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// The worker thread panics before serving the batch; its in-flight
+    /// queries are abandoned (the supervision layer must turn that into a
+    /// typed error, never a hang) and the worker must be respawned.
+    PanicWorker,
+    /// The worker stalls for the given duration before serving the batch —
+    /// a slow device, a page fault storm, a GC'd neighbor (models the
+    /// straggler that per-query deadlines exist to bound).
+    StallBatch(Duration),
+    /// The batch is searched but every result is dropped instead of sent —
+    /// a poisoned result channel. Waiters must observe a typed error.
+    PoisonResults,
+}
+
 /// A reproducible schedule of device faults, addressed by fault-aware launch
-/// index (see the module docs for the numbering rules).
+/// index (see the module docs for the numbering rules), plus serve-side
+/// faults addressed by global serve-batch index.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     seed: u64,
     launch_failures: BTreeSet<u64>,
     shared_alloc_failures: BTreeSet<u64>,
     bit_flips: BTreeMap<u64, u8>,
+    serve_panics: BTreeSet<u64>,
+    serve_stalls: BTreeMap<u64, Duration>,
+    serve_poisons: BTreeSet<u64>,
 }
 
 impl FaultPlan {
@@ -110,12 +135,106 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a worker panic at global serve-batch index `batch`.
+    pub fn panic_batch(mut self, batch: u64) -> Self {
+        self.serve_panics.insert(batch);
+        self
+    }
+
+    /// Schedule a worker stall of `dur` before serve-batch `batch`.
+    pub fn stall_batch(mut self, batch: u64, dur: Duration) -> Self {
+        self.serve_stalls.insert(batch, dur);
+        self
+    }
+
+    /// Schedule a poisoned result channel for serve-batch `batch`: the batch
+    /// is searched but no result is delivered.
+    pub fn poison_batch(mut self, batch: u64) -> Self {
+        self.serve_poisons.insert(batch);
+        self
+    }
+
+    /// The serve-side fault scheduled at serve-batch `batch`, if any. When
+    /// several kinds are scheduled on one index, a panic outranks a stall
+    /// outranks a poison (the panic makes the others unobservable anyway).
+    pub fn serve_fault(&self, batch: u64) -> Option<ServeFault> {
+        if self.serve_panics.contains(&batch) {
+            return Some(ServeFault::PanicWorker);
+        }
+        if let Some(&d) = self.serve_stalls.get(&batch) {
+            return Some(ServeFault::StallBatch(d));
+        }
+        self.serve_poisons.contains(&batch).then_some(ServeFault::PoisonResults)
+    }
+
+    /// True when the plan schedules any serve-side fault (the serving engine
+    /// uses this to decide whether to number batches at all).
+    pub fn has_serve_faults(&self) -> bool {
+        !self.serve_panics.is_empty()
+            || !self.serve_stalls.is_empty()
+            || !self.serve_poisons.is_empty()
+    }
+
     /// True when the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
         self.launch_failures.is_empty()
             && self.shared_alloc_failures.is_empty()
             && self.bit_flips.is_empty()
+            && !self.has_serve_faults()
     }
+
+    /// Parse a serve-side chaos spec: comma-separated events of the form
+    /// `panic@B`, `stall@B:DURms` (or `DURus` / `DURs`), `poison@B`, where
+    /// `B` is the global serve-batch index. Example:
+    /// `panic@1,stall@3:20ms,poison@5`.
+    pub fn parse_serve(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (kind, rest) =
+                tok.split_once('@').ok_or_else(|| format!("'{tok}': expected kind@batch"))?;
+            match kind {
+                "panic" | "poison" => {
+                    let batch: u64 =
+                        rest.parse().map_err(|_| format!("'{tok}': bad batch index '{rest}'"))?;
+                    plan = if kind == "panic" {
+                        plan.panic_batch(batch)
+                    } else {
+                        plan.poison_batch(batch)
+                    };
+                }
+                "stall" => {
+                    let (b, d) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("'{tok}': expected stall@batch:duration"))?;
+                    let batch: u64 =
+                        b.parse().map_err(|_| format!("'{tok}': bad batch index '{b}'"))?;
+                    plan = plan.stall_batch(batch, parse_duration(d)?);
+                }
+                other => {
+                    return Err(format!(
+                        "'{tok}': unknown fault kind '{other}' \
+                                        (panic|stall|poison)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Parse `12ms` / `500us` / `2s` (no suffix = milliseconds).
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, mul_ns) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000u64)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        (s, 1_000_000)
+    };
+    let v: u64 = num.parse().map_err(|_| format!("bad duration '{s}'"))?;
+    Ok(Duration::from_nanos(v.saturating_mul(mul_ns)))
 }
 
 /// One fault actually delivered by an installed [`FaultScope`].
@@ -284,6 +403,43 @@ mod tests {
         assert_eq!(splitmix64(42), splitmix64(42));
         assert_ne!(splitmix64(42), splitmix64(43));
         assert_ne!(splitmix64(0), 0);
+    }
+
+    #[test]
+    fn serve_faults_are_scheduled_and_ranked() {
+        let plan = FaultPlan::new(1)
+            .panic_batch(2)
+            .stall_batch(5, Duration::from_millis(20))
+            .poison_batch(7);
+        assert!(plan.has_serve_faults());
+        assert!(!plan.is_empty());
+        assert_eq!(plan.serve_fault(0), None);
+        assert_eq!(plan.serve_fault(2), Some(ServeFault::PanicWorker));
+        assert_eq!(plan.serve_fault(5), Some(ServeFault::StallBatch(Duration::from_millis(20))));
+        assert_eq!(plan.serve_fault(7), Some(ServeFault::PoisonResults));
+        // A panic and a stall on one index: the panic outranks.
+        let plan = FaultPlan::new(1).stall_batch(3, Duration::from_secs(1)).panic_batch(3);
+        assert_eq!(plan.serve_fault(3), Some(ServeFault::PanicWorker));
+        // Launch-fault-only plans report no serve faults.
+        assert!(!FaultPlan::new(0).fail_launch(1).has_serve_faults());
+    }
+
+    #[test]
+    fn chaos_specs_parse_and_reject() {
+        let plan = FaultPlan::parse_serve("panic@1, stall@3:20ms ,poison@5").unwrap();
+        assert_eq!(plan.serve_fault(1), Some(ServeFault::PanicWorker));
+        assert_eq!(plan.serve_fault(3), Some(ServeFault::StallBatch(Duration::from_millis(20))));
+        assert_eq!(plan.serve_fault(5), Some(ServeFault::PoisonResults));
+        // Duration units: us, s, and the bare-milliseconds default.
+        let plan = FaultPlan::parse_serve("stall@0:500us,stall@1:2s,stall@2:7").unwrap();
+        assert_eq!(plan.serve_fault(0), Some(ServeFault::StallBatch(Duration::from_micros(500))));
+        assert_eq!(plan.serve_fault(1), Some(ServeFault::StallBatch(Duration::from_secs(2))));
+        assert_eq!(plan.serve_fault(2), Some(ServeFault::StallBatch(Duration::from_millis(7))));
+        // An empty spec is a valid empty plan.
+        assert!(FaultPlan::parse_serve("").unwrap().is_empty());
+        for bad in ["panic", "panic@x", "stall@1", "stall@1:abcms", "fry@2", "panic@@2"] {
+            assert!(FaultPlan::parse_serve(bad).is_err(), "{bad} must not parse");
+        }
     }
 
     #[test]

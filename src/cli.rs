@@ -279,7 +279,11 @@ pub fn cmd_audit(args: &Args) -> Result<String, String> {
 ///
 /// Queries are admitted through the bounded queue exactly like live
 /// traffic; an `Overloaded` rejection makes the replayer back off briefly
-/// and resubmit (counted in the report's `rejected`).
+/// and resubmit (counted in the report's `rejected`). With the resilience
+/// flags — `--deadline-ms`, `--shed`, `--chaos` — individual queries may
+/// legitimately come back shed, expired, or worker-lost; the replayer counts
+/// those outcomes instead of failing, mirroring a real client's retry
+/// budget.
 pub fn cmd_serve(args: &Args) -> Result<String, String> {
     let input = args.require("input")?;
     let graph_path = args.require("graph")?;
@@ -300,6 +304,10 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         "sim" => Backend::Device(DeviceConfig::pascal_like()),
         other => return Err(format!("unknown --device '{other}' (native|sim)")),
     };
+    let chaos = match args.get_opt::<String>("chaos")? {
+        None => None,
+        Some(spec) => Some(FaultPlan::parse_serve(&spec).map_err(|e| format!("--chaos: {e}"))?),
+    };
     let cfg = ServeConfig {
         shards: args.get("shards", 1usize)?,
         batch_size: args.get("batch", 32usize)?,
@@ -317,6 +325,10 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
             Augment::Off
         },
         backend,
+        deadline: args.get_opt::<u64>("deadline-ms")?.map(std::time::Duration::from_millis),
+        shed: args.get("shed", false)?.then(ShedPolicy::default),
+        supervisor: SupervisorPolicy::default(),
+        chaos,
     };
     let engine = ServeEngine::start(index, cfg).map_err(|e| e.to_string())?;
     let mut tickets = Vec::with_capacity(queries.len());
@@ -331,13 +343,18 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
             }
         }
     }
-    let mut answered = 0usize;
+    let (mut answered, mut degraded) = (0usize, 0usize);
     for t in tickets {
-        t.wait().map_err(|e| e.to_string())?;
-        answered += 1;
+        match t.wait() {
+            Ok(_) => answered += 1,
+            Err(ServeError::Shed | ServeError::DeadlineExceeded | ServeError::WorkerLost) => {
+                degraded += 1
+            }
+            Err(e) => return Err(e.to_string()),
+        }
     }
     let report = engine.shutdown();
-    Ok(format!("replayed {answered} queries\n{report}"))
+    Ok(format!("replayed {answered} queries ({degraded} degraded)\n{report}"))
 }
 
 /// `sanitize`: sweep the four device kernels (basic / atomic / tiled / beam)
@@ -537,6 +554,7 @@ wknng-cli — approximate K-NN graphs from the command line
   serve    --input d.wkv --graph g.wkk --queries q.wkv [--k 10] [--beam 48]
            [--entries 2] [--shards 1] [--batch 32] [--linger-us 500]
            [--capacity 1024] [--augment [--max-degree D]] [--device native|sim]
+           [--deadline-ms 50] [--shed] [--chaos panic@1,stall@3:20ms,poison@5]
   extend   --input d.wkv --graph g.wkk --new more.wkv
            --out-vectors d2.wkv --out-graph g2.wkk [--beam 0]
   sanitize [--seed S]   (requires building with --features sanitize)
@@ -808,6 +826,42 @@ mod extended_cli_tests {
         let err =
             dispatch(&args(&format!("serve --input {vecs} --graph {graph} --queries {graph}")));
         assert!(err.is_err());
+        for f in [&vecs, &graph, &queries] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_resilience_flags_inject_chaos_and_report_it() {
+        let vecs = tmp("srv-r.wkv");
+        let graph = tmp("srv-r.wkk");
+        let queries = tmp("srv-r-q.wkv");
+        dispatch(&args(&format!(
+            "generate --out {vecs} --kind manifold --n 200 --dim 16 --intrinsic 3 --seed 18"
+        )))
+        .unwrap();
+        dispatch(&args(&format!("build --input {vecs} --out {graph} --k 8 --trees 4 --leaf 24")))
+            .unwrap();
+        dispatch(&args(&format!(
+            "generate --out {queries} --kind manifold --n 40 --dim 16 --intrinsic 3 --seed 19"
+        )))
+        .unwrap();
+        // Batch 0 panics (queries come back WorkerLost, shard respawns),
+        // batch 1 is poisoned, batch 3 stalls briefly; the replay still
+        // completes and the report shows the restart.
+        let out = dispatch(&args(&format!(
+            "serve --input {vecs} --graph {graph} --queries {queries} --k 5 --batch 8 \
+             --deadline-ms 5000 --shed --chaos panic@0,poison@1,stall@3:5ms"
+        )))
+        .unwrap();
+        assert!(out.contains("degraded)"), "{out}");
+        assert!(out.contains("worker restarts 1"), "{out}");
+        assert!(out.contains("resilience:"), "{out}");
+        // A malformed chaos spec is a clean flag error.
+        let err = dispatch(&args(&format!(
+            "serve --input {vecs} --graph {graph} --queries {queries} --chaos panic@x"
+        )));
+        assert!(err.unwrap_err().contains("--chaos"), "bad spec must name the flag");
         for f in [&vecs, &graph, &queries] {
             std::fs::remove_file(f).ok();
         }

@@ -88,13 +88,13 @@ pub mod prelude {
     pub use wknng_forest::{build_forest, ForestParams, ProjectionKind, RpForest, TreeParams};
     pub use wknng_serve::{
         Augment, Backend, QueryResult, ServeConfig, ServeEngine, ServeError, ServeIndex,
-        ServeReport,
+        ServeReport, ShedPolicy, SupervisorPolicy, Ticket, DEADLINE_GRACE,
     };
     #[cfg(feature = "sanitize")]
     pub use wknng_simt::{launch_sanitized, SanitizerScope};
     pub use wknng_simt::{
         DeviceConfig, FaultPlan, FaultScope, Hazard, HazardKind, HazardReport, InjectedFault,
-        LaunchFault, LaunchReport, Stats,
+        LaunchFault, LaunchReport, ServeFault, Stats,
     };
     pub use wknng_tsne::{affinities_from_knng, tsne_via_wknng, Embedding, TsneParams};
 }

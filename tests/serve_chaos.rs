@@ -1,0 +1,271 @@
+//! Chaos harness for the serving engine: deterministic fault injection
+//! (worker panics, stalled batches, poisoned result channels) plus overload
+//! experiments, proving the resilience acceptance criteria:
+//!
+//! * no ticket wait ever blocks past deadline + grace, under **any** fault;
+//! * a killed worker is respawned and the engine returns to full recall
+//!   within one backoff window;
+//! * under sustained overload, adaptive shedding keeps the p99 of served
+//!   queries bounded (≥ 5× lower than the unshedded engine) without
+//!   changing the recall of the queries that are served.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use wknng::prelude::*;
+
+/// Shared corpus: 1.2k indexed points, 100 out-of-sample queries, and the
+/// sequential reference answers (exact per-query expectation for every
+/// recall assertion below).
+#[allow(clippy::type_complexity)]
+fn corpus() -> &'static (VectorSet, VectorSet, Knng, Vec<Vec<Neighbor>>) {
+    static CORPUS: OnceLock<(VectorSet, VectorSet, Knng, Vec<Vec<Neighbor>>)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let dim = 12;
+        let all = DatasetSpec::Manifold { n: 1300, ambient_dim: dim, intrinsic_dim: 3 }
+            .generate(140)
+            .vectors;
+        let index = VectorSet::new(all.as_flat()[..1200 * dim].to_vec(), dim).unwrap();
+        let queries = VectorSet::new(all.as_flat()[1200 * dim..].to_vec(), dim).unwrap();
+        let (g, _) = WknngBuilder::new(10)
+            .trees(5)
+            .leaf_size(32)
+            .exploration(2)
+            .seed(141)
+            .build_native(&index)
+            .expect("valid build");
+        let reference: Vec<Vec<Neighbor>> = (0..queries.len())
+            .map(|q| search(&index, &g, queries.row(q), &SearchParams::default()).0)
+            .collect();
+        (index, queries, g, reference)
+    })
+}
+
+fn engine_with(cfg: ServeConfig) -> ServeEngine {
+    let (vs, _, g, _) = corpus();
+    let index = ServeIndex::from_parts(vs.clone(), g.lists.clone()).unwrap();
+    ServeEngine::start(index, cfg).unwrap()
+}
+
+#[test]
+fn killed_worker_answers_waiters_typed_and_respawns_to_full_recall() {
+    let (_, queries, _, reference) = corpus();
+    let backoff = Duration::from_millis(200);
+    let engine = engine_with(ServeConfig {
+        batch_size: 8,
+        chaos: Some(FaultPlan::default().panic_batch(0)),
+        supervisor: SupervisorPolicy { backoff_initial: backoff, backoff_cap: backoff },
+        ..ServeConfig::default()
+    });
+    // First wave rides the panicking batch: every waiter must resolve to
+    // the typed WorkerLost — promptly, not by hanging until some timeout.
+    let wave: Vec<_> = (0..8).map(|q| engine.submit(queries.row(q).to_vec()).unwrap()).collect();
+    let start = Instant::now();
+    for t in wave {
+        assert_eq!(t.wait_timeout(Duration::from_secs(10)), Err(ServeError::WorkerLost));
+    }
+    assert!(start.elapsed() < Duration::from_secs(5), "WorkerLost was prompt");
+    // Second wave: the supervisor respawns the shard after one backoff
+    // window and the engine is back at full recall — answers identical to
+    // the sequential reference.
+    let recovery = Instant::now();
+    let wave: Vec<_> = (8..20).map(|q| engine.submit(queries.row(q).to_vec()).unwrap()).collect();
+    for (q, t) in (8..20).zip(wave) {
+        let res = t.wait_timeout(Duration::from_secs(30)).expect("respawned shard serves");
+        assert_eq!(res.neighbors, reference[q], "query {q} after respawn");
+    }
+    assert!(
+        recovery.elapsed() < backoff + Duration::from_secs(2),
+        "recovered within one backoff window (+ service slack): {:?}",
+        recovery.elapsed()
+    );
+    let report = engine.shutdown();
+    assert_eq!(report.worker_restarts, 1, "exactly the injected panic");
+    assert_eq!(report.served, 12);
+}
+
+#[test]
+fn poisoned_result_channel_resolves_worker_lost_without_a_restart() {
+    let (_, queries, _, reference) = corpus();
+    let engine = engine_with(ServeConfig {
+        batch_size: 4,
+        chaos: Some(FaultPlan::default().poison_batch(0)),
+        ..ServeConfig::default()
+    });
+    let wave: Vec<_> = (0..4).map(|q| engine.submit(queries.row(q).to_vec()).unwrap()).collect();
+    for t in wave {
+        // The search ran, but the results never reach the channel: the drop
+        // guard answers WorkerLost instead of leaving the waiter hanging.
+        assert_eq!(t.wait_timeout(Duration::from_secs(10)), Err(ServeError::WorkerLost));
+    }
+    let res = engine.query(queries.row(5).to_vec()).expect("poison hits one batch only");
+    assert_eq!(res.neighbors, reference[5]);
+    let report = engine.shutdown();
+    assert_eq!(report.worker_restarts, 0, "poison is not a panic");
+    assert_eq!(report.served, 1, "poisoned answers are not served answers");
+}
+
+#[test]
+fn stalled_batch_cannot_hold_a_deadline_wait_hostage() {
+    let (_, queries, _, _) = corpus();
+    let deadline = Duration::from_millis(50);
+    let stall = Duration::from_secs(2);
+    let engine = engine_with(ServeConfig {
+        deadline: Some(deadline),
+        chaos: Some(FaultPlan::default().stall_batch(0, stall)),
+        ..ServeConfig::default()
+    });
+    let t = engine.submit(queries.row(0).to_vec()).unwrap();
+    let start = Instant::now();
+    assert_eq!(t.wait(), Err(ServeError::DeadlineExceeded));
+    let waited = start.elapsed();
+    assert!(
+        waited < deadline + DEADLINE_GRACE + Duration::from_millis(500),
+        "wait returned at deadline + grace, not after the {stall:?} stall: {waited:?}"
+    );
+    assert!(waited < stall, "the stall did not gate the caller");
+    let report = engine.shutdown();
+    assert_eq!(report.deadline_expired, 1, "expired in queue behind the stall");
+    assert_eq!(report.served, 0);
+}
+
+#[test]
+fn no_wait_blocks_past_deadline_plus_grace_under_any_fault() {
+    let (_, queries, _, _) = corpus();
+    let deadline = Duration::from_millis(400);
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("panic", FaultPlan::default().panic_batch(0)),
+        ("stall", FaultPlan::default().stall_batch(0, Duration::from_secs(2))),
+        ("poison", FaultPlan::default().poison_batch(0)),
+        (
+            "panic+poison+stall",
+            FaultPlan::default()
+                .panic_batch(0)
+                .poison_batch(1)
+                .stall_batch(2, Duration::from_secs(1)),
+        ),
+    ];
+    for (name, plan) in plans {
+        let engine = engine_with(ServeConfig {
+            batch_size: 4,
+            deadline: Some(deadline),
+            chaos: Some(plan),
+            supervisor: SupervisorPolicy {
+                backoff_initial: Duration::from_millis(20),
+                backoff_cap: Duration::from_millis(20),
+            },
+            ..ServeConfig::default()
+        });
+        let wave: Vec<_> =
+            (0..12).map(|q| engine.submit(queries.row(q).to_vec()).unwrap()).collect();
+        for (q, t) in wave.into_iter().enumerate() {
+            let start = Instant::now();
+            // Any outcome is legal — served, WorkerLost, DeadlineExceeded —
+            // as long as the wait itself is bounded.
+            let _ = t.wait();
+            let waited = start.elapsed();
+            assert!(
+                waited < deadline + DEADLINE_GRACE + Duration::from_millis(500),
+                "fault '{name}', query {q}: wait blocked for {waited:?}"
+            );
+        }
+        engine.shutdown();
+    }
+}
+
+/// Burst-submit `n` queries (cycling the query set), wait on every ticket,
+/// and return `(report, served results as (query, neighbors))`.
+fn overload_run(cfg: ServeConfig, n: usize) -> (ServeReport, Vec<(usize, Vec<Neighbor>)>) {
+    let (_, queries, _, _) = corpus();
+    let engine = engine_with(cfg);
+    let tickets: Vec<_> = (0..n)
+        .map(|i| {
+            let q = i % queries.len();
+            (q, engine.submit(queries.row(q).to_vec()).expect("capacity fits the burst"))
+        })
+        .collect();
+    let mut served = Vec::new();
+    for (q, t) in tickets {
+        match t.wait() {
+            Ok(res) => served.push((q, res.neighbors)),
+            Err(ServeError::Shed) => {}
+            Err(e) => panic!("unexpected outcome under overload: {e}"),
+        }
+    }
+    (engine.shutdown(), served)
+}
+
+#[test]
+fn shedding_bounds_p99_under_sustained_overload_without_hurting_served_recall() {
+    let (_, _, _, reference) = corpus();
+    // 4× the query set, burst-submitted into one shard: the queue stands for
+    // the entire drain, which is exactly the sustained-overload regime the
+    // controller watches for.
+    let n = 4 * corpus().1.len();
+    let base = ServeConfig {
+        shards: 1,
+        batch_size: 8,
+        linger: Duration::from_micros(100),
+        queue_capacity: 8192,
+        ..ServeConfig::default()
+    };
+    // `brownout_tiers: 0` sheds without ever touching SearchParams, so every
+    // query that *is* served must still match the sequential reference.
+    let shed_policy = ShedPolicy {
+        target: Duration::from_millis(1),
+        window: Duration::from_millis(4),
+        brownout_tiers: 0,
+        shed_factor: 4,
+    };
+    let (no_shed, _) = overload_run(base.clone(), n);
+    let (with_shed, served) = overload_run(ServeConfig { shed: Some(shed_policy), ..base }, n);
+
+    assert_eq!(no_shed.served, n as u64, "without shedding everything drains");
+    assert!(with_shed.shed > 0, "the controller engaged");
+    assert_eq!(with_shed.served + with_shed.shed, n as u64);
+    assert_eq!(with_shed.brownout_batches, 0, "tiers = 0 never degrades params");
+
+    let p99_no_shed = no_shed.latency_p(99.0);
+    let p99_shed = with_shed.latency_p(99.0);
+    assert!(
+        p99_no_shed >= p99_shed * 5,
+        "shedding must cut p99 at least 5x: {p99_no_shed:?} vs {p99_shed:?} \
+         (served {} / shed {})",
+        with_shed.served,
+        with_shed.shed
+    );
+    assert!(!served.is_empty());
+    for (q, neighbors) in served {
+        assert_eq!(neighbors, reference[q], "served query {q} recall unchanged by shedding");
+    }
+}
+
+#[test]
+fn brownout_narrows_search_before_shedding_and_answers_stay_well_formed() {
+    let n = 4 * corpus().1.len();
+    let cfg = ServeConfig {
+        shards: 1,
+        batch_size: 8,
+        linger: Duration::from_micros(100),
+        queue_capacity: 8192,
+        shed: Some(ShedPolicy {
+            target: Duration::from_millis(1),
+            window: Duration::from_millis(2),
+            brownout_tiers: 2,
+            shed_factor: 8,
+        }),
+        ..ServeConfig::default()
+    };
+    let (report, served) = overload_run(cfg, n);
+    assert!(report.brownout_batches > 0, "overload walked the brownout ladder");
+    assert!(!served.is_empty());
+    let k = SearchParams::default().k;
+    for (q, neighbors) in served {
+        // Browned-out answers may differ from the full-beam reference, but
+        // must still be a well-formed k-NN answer: full length, ascending.
+        assert_eq!(neighbors.len(), k, "query {q}");
+        for w in neighbors.windows(2) {
+            assert!(w[0].dist <= w[1].dist, "query {q}: unsorted answer");
+        }
+    }
+}
