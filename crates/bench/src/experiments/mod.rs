@@ -11,6 +11,7 @@ pub mod e15_quant;
 pub mod e16_selection;
 pub mod e17_serve;
 pub mod e18_overload;
+pub mod e19_mutation;
 pub mod e1_datasets;
 pub mod e2_trees;
 pub mod e3_frontier;
@@ -85,11 +86,11 @@ pub fn speedup_at_matched_recall(
 }
 
 /// All experiment ids, in order. E1–E10 reconstruct the paper's evaluation;
-/// E11–E18 are extension ablations and systems studies documented in
+/// E11–E19 are extension ablations and systems studies documented in
 /// `DESIGN.md`.
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// Dispatch an experiment by id; returns the rendered report.
@@ -113,6 +114,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "e16" => Some(e16_selection::run(scale)),
         "e17" => Some(e17_serve::run(scale)),
         "e18" => Some(e18_overload::run(scale)),
+        "e19" => Some(e19_mutation::run(scale)),
         _ => None,
     }
 }

@@ -56,6 +56,14 @@ pub enum KnngError {
         /// Lists repaired before giving up (always 0 under `Check`).
         repaired: usize,
     },
+    /// A point id addressed a row outside the graph (mutation paths:
+    /// deleting or patching a point that does not exist).
+    PointOutOfRange {
+        /// Offending point id.
+        id: u32,
+        /// Number of points in the graph.
+        n: usize,
+    },
     /// Error from the data substrate.
     Data(DataError),
     /// Error from the forest substrate.
@@ -89,6 +97,9 @@ impl fmt::Display for KnngError {
                 f,
                 "graph audit failed: {violations} invariant violations ({repaired} lists repaired)"
             ),
+            KnngError::PointOutOfRange { id, n } => {
+                write!(f, "point id {id} is out of range for a graph of {n} points")
+            }
             KnngError::Data(e) => write!(f, "data error: {e}"),
             KnngError::Forest(e) => write!(f, "forest error: {e}"),
         }
@@ -124,6 +135,14 @@ mod tests {
         assert!(matches!(e, KnngError::Data(_)));
         let e: KnngError = ForestError::NoTrees.into();
         assert!(matches!(e, KnngError::Forest(_)));
+    }
+
+    #[test]
+    fn display_names_out_of_range_point() {
+        let e = KnngError::PointOutOfRange { id: 99, n: 50 };
+        let s = e.to_string();
+        assert!(s.contains("99"), "{s}");
+        assert!(s.contains("50"), "{s}");
     }
 
     #[test]

@@ -67,4 +67,4 @@ pub use params::{AuditLevel, BuildPolicy, ExplorationMode, KernelVariant, WknngP
 pub use pipeline::{build_device, build_device_with_policy, DeviceReports};
 pub use recall::{mean_distance_ratio, recall};
 pub use search::{search, search_batch, search_checked, search_lists, SearchParams, SearchStats};
-pub use update::{extend_graph, Extended};
+pub use update::{extend_graph, Extended, GraphExtender};

@@ -141,7 +141,19 @@ pub fn search_lists(
         // next unseeded point keeps the number of distinct entry points
         // exactly as requested. Terminates: fewer than `n` points are
         // visited when the probe starts.
+        //
+        // A point with an *empty* neighbor list (a tombstoned slot of a
+        // mutable index) cannot seed a frontier: if every entry landed on
+        // one, the search would die at depth zero. One probe cycle prefers
+        // unseeded points that have edges; graphs without empty lists take
+        // the first unseeded point exactly as before (bit-identical).
         let mut p = entry_point(e, n);
+        for _ in 0..n {
+            if !visited[p] && !lists[p].is_empty() {
+                break;
+            }
+            p = (p + 1) % n;
+        }
         while visited[p] {
             p = (p + 1) % n;
         }
@@ -407,5 +419,33 @@ mod tests {
         let g = Knng { lists: vec![], params: crate::params::WknngParams::default() };
         let (res, _) = search(&vs, &g, vs.row(0), &SearchParams::default());
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn empty_list_entry_points_are_probed_past() {
+        // n = 5 makes both default entries alias to point 0 (the scramble
+        // constant is divisible by 5), so the deterministic seeds are 0 and
+        // — after the alias probe — 1. Tombstone exactly those two (empty
+        // lists, no incoming edges): seeding must skip to live points
+        // instead of dying at depth zero with an empty frontier.
+        let vs =
+            VectorSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        let mut lists = wknng_data::exact_knn(&vs, 2, Metric::SquaredL2);
+        for l in &mut lists {
+            l.retain(|nb| nb.index > 1);
+        }
+        lists[0].clear();
+        lists[1].clear();
+        let params = SearchParams { k: 2, beam: 4, entries: 2, ..SearchParams::default() };
+        let (res, _) = search_lists(&vs, &lists, &[2.1], &params);
+        assert_eq!(res.len(), 2, "live entries must seed the frontier: {res:?}");
+        assert!(res.iter().all(|nb| nb.index > 1), "tombstones cannot be answers: {res:?}");
+        assert_eq!(res[0].index, 2);
+        // All-empty lists stay a graceful degenerate case (entry points
+        // only, no expansions) rather than an infinite probe.
+        let empty: Vec<Vec<Neighbor>> = vec![Vec::new(); 5];
+        let (res, stats) = search_lists(&vs, &empty, &[2.1], &params);
+        assert_eq!(res.len(), 2, "entries alone still answer");
+        assert_eq!(stats.expansions, 2, "nothing to expand");
     }
 }

@@ -1,14 +1,31 @@
-//! Incremental graph extension: add points to a built K-NN graph without
-//! rebuilding the forest.
+//! Incremental graph mutation: add and remove points of a built K-NN graph
+//! without rebuilding the forest.
 //!
 //! Each new point is located with a greedy graph search over the current
 //! graph (the HNSW-style insertion idiom), adopts the search results as its
 //! neighbor list, and pushes reverse edges into those neighbors' bounded
-//! lists. Useful for streaming corpora where a full rebuild per batch is too
-//! expensive; quality degrades slowly with the ratio of inserted to original
-//! points, so rebuild periodically.
+//! lists. Deletions are tombstones: the point's list is cleared, every edge
+//! pointing at it is removed, and the orphaned slots are patched with the
+//! deleted point's former neighbors (the reverse-edge repair NN-descent uses
+//! for its local joins).
+//!
+//! Two refinement modes close the quality gap after a batch:
+//!
+//! * [`GraphExtender::polish_all`] — one neighbors-of-neighbors pass over
+//!   the *whole* graph, O(n·k²). This is what the one-shot [`extend_graph`]
+//!   wrapper runs, and the quality reference.
+//! * [`GraphExtender::refine`] — the same join restricted to the
+//!   neighborhoods the batch actually touched, O(batch·k²) per round. This
+//!   is the live-serving path: repeated insert batches stay O(batch), not
+//!   O(n).
+//!
+//! Quality still degrades slowly with the ratio of mutated to original
+//! points, so rebuild (or [`GraphExtender::compact`] after heavy deletion)
+//! periodically.
 
-use wknng_data::{Neighbor, VectorSet};
+use std::collections::BTreeSet;
+
+use wknng_data::{DataError, Neighbor, VectorSet};
 
 use crate::builder::Knng;
 use crate::error::KnngError;
@@ -27,90 +44,383 @@ pub struct Extended {
 /// Insert `new_points` into `graph` (built over `base`).
 ///
 /// `beam` controls insertion search accuracy (defaults to `4·k` when 0).
-/// Deterministic; new points are inserted in order.
+/// Deterministic; new points are inserted in order. This is the one-shot
+/// cloning path: it copies `base` and runs the full-graph polish pass. For
+/// repeated batches against a living graph, keep a [`GraphExtender`] instead
+/// — its [`insert_batch`](GraphExtender::insert_batch) +
+/// [`refine`](GraphExtender::refine) loop is O(batch) per batch, and its
+/// [`polish_all`](GraphExtender::polish_all) reproduces this function's
+/// output bit-for-bit.
 pub fn extend_graph(
     base: &VectorSet,
     graph: &Knng,
     new_points: &VectorSet,
     beam: usize,
 ) -> Result<Extended, KnngError> {
-    if base.dim() != new_points.dim() {
-        return Err(KnngError::Data(wknng_data::DataError::RaggedBuffer {
-            len: new_points.dim(),
-            dim: base.dim(),
-        }));
-    }
-    if graph.len() != base.len() {
-        return Err(KnngError::KTooLarge { k: graph.len(), n: base.len() });
-    }
-    let k = graph.params.k;
-    let metric = graph.params.metric;
+    let mut ext = GraphExtender::from_parts(base.clone(), graph.clone(), beam)?;
+    ext.insert_batch(new_points)?;
+    ext.polish_all();
+    let (vectors, graph) = ext.into_parts();
+    Ok(Extended { vectors, graph })
+}
 
-    // Combined coordinates.
-    let mut data = base.as_flat().to_vec();
-    data.extend_from_slice(new_points.as_flat());
-    let vectors = VectorSet::new(data, base.dim())?;
+/// A living K-NN graph that absorbs insert/delete batches in place.
+///
+/// Owns the point set and the bounded neighbor lists; every mutation keeps a
+/// sorted mirror of the lists (`view`) synchronized so insertion searches
+/// never rebuild an O(n·k) snapshot — the satellite property that makes
+/// repeated batches O(batch).
+///
+/// Deleted points remain as index placeholders (empty lists, tombstoned
+/// coordinates) until [`compact`](GraphExtender::compact) renumbers the
+/// survivors; graph searches over a snapshot may still *enter* at a
+/// tombstone (entry points are drawn uniformly), so readers that must never
+/// surface one filter results against [`deleted`](GraphExtender::is_deleted).
+#[derive(Debug, Clone)]
+pub struct GraphExtender {
+    vectors: VectorSet,
+    lists: Vec<KnnList>,
+    /// Sorted mirror of `lists`, padded to `vectors.len()` during a batch —
+    /// the search snapshot, maintained incrementally.
+    view: Vec<Vec<Neighbor>>,
+    params: crate::params::WknngParams,
+    beam: usize,
+    deleted: Vec<bool>,
+    deleted_count: usize,
+    /// Points whose lists changed since the last refine/polish.
+    dirty: BTreeSet<u32>,
+}
 
-    // Working lists as bounded heaps.
-    let mut lists: Vec<KnnList> = graph
-        .lists
-        .iter()
-        .map(|l| {
-            let mut h = KnnList::new(k);
-            for &nb in l {
-                h.insert(nb);
-            }
-            h
+impl GraphExtender {
+    /// Adopt an existing graph built over `base`. `beam` controls insertion
+    /// search accuracy (defaults to `4·k` when 0).
+    pub fn from_parts(base: VectorSet, graph: Knng, beam: usize) -> Result<Self, KnngError> {
+        if graph.len() != base.len() {
+            return Err(KnngError::KTooLarge { k: graph.len(), n: base.len() });
+        }
+        let k = graph.params.k;
+        let lists: Vec<KnnList> = graph
+            .lists
+            .iter()
+            .map(|l| {
+                let mut h = KnnList::new(k);
+                for &nb in l {
+                    h.insert(nb);
+                }
+                h
+            })
+            .collect();
+        let view = lists.iter().map(|h| h.as_slice().to_vec()).collect();
+        let n = base.len();
+        Ok(GraphExtender {
+            vectors: base,
+            lists,
+            view,
+            params: graph.params,
+            beam: if beam == 0 { 4 * k } else { beam },
+            deleted: vec![false; n],
+            deleted_count: 0,
+            dirty: BTreeSet::new(),
         })
-        .collect();
+    }
 
-    let params = SearchParams { k, beam: if beam == 0 { 4 * k } else { beam }, entries: 4, metric };
+    /// Number of index slots (live points + tombstones).
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
 
-    for i in 0..new_points.len() {
-        let id = (base.len() + i) as u32;
-        let row = new_points.row(i);
-        // Snapshot view for the search (sorted lists), padded with empty
-        // lists for the points not inserted yet so it matches the combined
-        // coordinate set.
-        let mut view: Vec<Vec<Neighbor>> = lists.iter().map(|h| h.as_slice().to_vec()).collect();
-        view.resize(vectors.len(), Vec::new());
-        let (found, _) =
-            search_lists(&vectors, &view, row, &SearchParams { k: params.beam, ..params });
-        let mut own = KnnList::new(k);
-        for nb in found.iter() {
-            if nb.index == id {
-                continue; // the query point itself (already in `vectors`)
+    /// True when the graph holds no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Number of live (non-tombstoned) points.
+    pub fn live_len(&self) -> usize {
+        self.lists.len() - self.deleted_count
+    }
+
+    /// Number of tombstoned points.
+    pub fn deleted_count(&self) -> usize {
+        self.deleted_count
+    }
+
+    /// Fraction of slots that are tombstones (0 for an empty graph).
+    pub fn tombstone_fraction(&self) -> f64 {
+        if self.lists.is_empty() {
+            0.0
+        } else {
+            self.deleted_count as f64 / self.lists.len() as f64
+        }
+    }
+
+    /// True when `id` is a tombstone.
+    pub fn is_deleted(&self, id: u32) -> bool {
+        self.deleted.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// The tombstone bitmap, one flag per slot.
+    pub fn deleted_flags(&self) -> &[bool] {
+        &self.deleted
+    }
+
+    /// The current point set (tombstoned rows keep their stale coordinates).
+    pub fn vectors(&self) -> &VectorSet {
+        &self.vectors
+    }
+
+    /// Build parameters of the underlying graph.
+    pub fn params(&self) -> crate::params::WknngParams {
+        self.params
+    }
+
+    /// A sorted-list clone of the current graph.
+    pub fn graph(&self) -> Knng {
+        let lists = self.lists.iter().map(|h| h.as_slice().to_vec()).collect();
+        Knng { lists, params: self.params }
+    }
+
+    /// Consume into the point set and graph.
+    pub fn into_parts(self) -> (VectorSet, Knng) {
+        let lists: Vec<Vec<Neighbor>> = self.lists.into_iter().map(KnnList::into_vec).collect();
+        (self.vectors, Knng { lists, params: self.params })
+    }
+
+    /// Offer `cand` to `p`'s bounded list, keeping the search mirror and the
+    /// dirty set synchronized. Returns whether the list changed.
+    fn touch(&mut self, p: u32, cand: Neighbor) -> bool {
+        if self.lists[p as usize].insert(cand) {
+            self.view[p as usize] = self.lists[p as usize].as_slice().to_vec();
+            self.dirty.insert(p);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert every row of `new_points` as a new graph point, in order.
+    /// Returns the assigned ids. O(batch · beam · k), independent of the
+    /// graph size beyond the searches themselves.
+    ///
+    /// The inserted points and every list that received a reverse edge are
+    /// queued for the next [`refine`](GraphExtender::refine) /
+    /// [`polish_all`](GraphExtender::polish_all).
+    pub fn insert_batch(&mut self, new_points: &VectorSet) -> Result<Vec<u32>, KnngError> {
+        if self.vectors.dim() != new_points.dim() {
+            return Err(KnngError::Data(DataError::DimMismatch {
+                got: new_points.dim(),
+                want: self.vectors.dim(),
+            }));
+        }
+        let first = self.lists.len();
+        self.vectors.append(new_points)?;
+        // Pad the search mirror to the combined length: points not inserted
+        // yet read as empty lists, exactly like the one-shot snapshot.
+        self.view.resize(self.vectors.len(), Vec::new());
+        self.deleted.resize(self.vectors.len(), false);
+
+        let k = self.params.k;
+        let params = SearchParams { k, beam: self.beam, entries: 4, metric: self.params.metric };
+        let search_params = SearchParams { k: params.beam, ..params };
+
+        let mut ids = Vec::with_capacity(new_points.len());
+        for i in 0..new_points.len() {
+            let id = (first + i) as u32;
+            let row = new_points.row(i);
+            let (found, _) = search_lists(&self.vectors, &self.view, row, &search_params);
+            let mut own = KnnList::new(k);
+            for nb in found.iter() {
+                if nb.index == id || self.is_deleted(nb.index) {
+                    continue; // the query point itself, or a tombstone
+                }
+                own.insert(*nb);
+                // Reverse edge into the found point's bounded list. The
+                // search may surface a not-yet-inserted point (its entry
+                // points are drawn from the whole combined set); its list
+                // does not exist yet, and it will discover `id` itself via
+                // its own search or a refinement pass.
+                if (nb.index as usize) < self.lists.len() {
+                    self.touch(nb.index, Neighbor::new(id, nb.dist));
+                }
             }
-            own.insert(*nb);
-            // Reverse edge into the found point's bounded list. The search
-            // may surface a not-yet-inserted point (its entry points are
-            // drawn from the whole combined set); its list does not exist
-            // yet, and it will discover `id` itself via its own search or
-            // the polish pass.
-            if (nb.index as usize) < lists.len() {
-                lists[nb.index as usize].insert(Neighbor::new(id, nb.dist));
+            self.view[id as usize] = own.as_slice().to_vec();
+            self.lists.push(own);
+            self.dirty.insert(id);
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Tombstone every id in `ids`: clear its list, remove every edge that
+    /// points at it, and patch the orphaned slots with the deleted point's
+    /// former neighbors (recomputed distances). Idempotent — already-deleted
+    /// ids are skipped. Returns the number of points newly deleted.
+    ///
+    /// One O(n·k) scan per call regardless of batch size, so batch deletes.
+    pub fn delete_batch(&mut self, ids: &[u32]) -> Result<usize, KnngError> {
+        let n = self.lists.len();
+        for &id in ids {
+            if id as usize >= n {
+                return Err(KnngError::PointOutOfRange { id, n });
             }
         }
-        lists.push(own);
+        // Capture each victim's surviving former neighbors before clearing:
+        // they are the repair candidates for every list that loses an edge.
+        let mut newly = Vec::new();
+        for &id in ids {
+            if !self.deleted[id as usize] {
+                self.deleted[id as usize] = true;
+                newly.push(id);
+            }
+        }
+        if newly.is_empty() {
+            return Ok(0);
+        }
+        self.deleted_count += newly.len();
+        let mut former: Vec<(u32, Vec<u32>)> = Vec::with_capacity(newly.len());
+        for &id in &newly {
+            let survivors =
+                self.lists[id as usize].indices().filter(|&q| !self.deleted[q as usize]).collect();
+            former.push((id, survivors));
+            self.lists[id as usize] = KnnList::new(self.params.k);
+            self.view[id as usize].clear();
+            self.dirty.remove(&id);
+        }
+        let patch = |id: u32| former.iter().find(|(d, _)| *d == id).map(|(_, s)| s.as_slice());
+
+        // One pass over the live lists: drop edges to tombstones, offer the
+        // victims' former neighborhoods as replacements.
+        let metric = self.params.metric;
+        for p in 0..n {
+            if self.deleted[p] {
+                continue;
+            }
+            if !self.lists[p].indices().any(|q| self.deleted[q as usize]) {
+                continue;
+            }
+            let old = std::mem::replace(&mut self.lists[p], KnnList::new(self.params.k));
+            let mut candidates: Vec<u32> = Vec::new();
+            for nb in old.into_vec() {
+                if self.deleted[nb.index as usize] {
+                    if let Some(s) = patch(nb.index) {
+                        candidates.extend_from_slice(s);
+                    }
+                } else {
+                    self.lists[p].insert(nb);
+                }
+            }
+            let row = self.vectors.row(p);
+            for q in candidates {
+                if q as usize != p && !self.deleted[q as usize] {
+                    let d = metric.eval(row, self.vectors.row(q as usize));
+                    self.lists[p].insert(Neighbor::new(q, d));
+                }
+            }
+            self.view[p] = self.lists[p].as_slice().to_vec();
+            self.dirty.insert(p as u32);
+        }
+        Ok(newly.len())
     }
 
-    // One neighbors-of-neighbors pass over the combined graph: newly added
-    // edges propagate to original points whose true neighborhoods shifted.
-    let snapshot: Vec<Vec<u32>> = lists.iter().map(|h| h.indices().collect()).collect();
-    for p in 0..lists.len() {
-        let row = vectors.row(p);
-        for &q in &snapshot[p] {
-            for &r in &snapshot[q as usize] {
-                if r as usize != p {
-                    let d = metric.eval(row, vectors.row(r as usize));
-                    lists[p].insert(Neighbor::new(r, d));
+    /// One neighbors-of-neighbors pass over the *whole* graph — the quality
+    /// reference, O(n·k²). Clears the dirty set. Reproduces the one-shot
+    /// [`extend_graph`] polish bit-for-bit (tombstone guards are inert when
+    /// nothing is deleted).
+    pub fn polish_all(&mut self) {
+        let snapshot: Vec<Vec<u32>> = self.lists.iter().map(|h| h.indices().collect()).collect();
+        for p in 0..self.lists.len() {
+            if self.deleted[p] {
+                continue;
+            }
+            let row = self.vectors.row(p);
+            for &q in &snapshot[p] {
+                for &r in &snapshot[q as usize] {
+                    if r as usize != p && !self.deleted[r as usize] {
+                        let d = self.params.metric.eval(row, self.vectors.row(r as usize));
+                        if self.lists[p].insert(Neighbor::new(r, d)) {
+                            self.view[p] = self.lists[p].as_slice().to_vec();
+                        }
+                    }
                 }
             }
         }
+        self.dirty.clear();
     }
 
-    let lists: Vec<Vec<Neighbor>> = lists.into_iter().map(KnnList::into_vec).collect();
-    Ok(Extended { vectors, graph: Knng { lists, params: graph.params } })
+    /// NN-descent-style local refinement: the polish join restricted to the
+    /// dirty set and its direct neighborhoods, `rounds` times. O(touched·k²)
+    /// per round — this is what keeps live insert batches O(batch). Edges
+    /// propagate symmetrically (both `p → r` and `r → p` are offered), so
+    /// original points near an insertion site converge without a full pass.
+    pub fn refine(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            let seeds: Vec<u32> = std::mem::take(&mut self.dirty).into_iter().collect();
+            if seeds.is_empty() {
+                return;
+            }
+            // Closure: the touched points plus everyone they currently link
+            // to — the neighborhoods the batch actually shifted.
+            let mut work: BTreeSet<u32> = seeds.iter().copied().collect();
+            for &p in &seeds {
+                work.extend(self.view[p as usize].iter().map(|nb| nb.index));
+            }
+            let work: Vec<u32> = work.into_iter().filter(|&p| !self.deleted[p as usize]).collect();
+            let snapshot: Vec<Vec<u32>> =
+                work.iter().map(|&p| self.lists[p as usize].indices().collect()).collect();
+            for (wi, &p) in work.iter().enumerate() {
+                for &q in &snapshot[wi] {
+                    for nb in self.view[q as usize].clone() {
+                        let r = nb.index;
+                        if r != p && !self.deleted[r as usize] {
+                            let d = self
+                                .params
+                                .metric
+                                .eval(self.vectors.row(p as usize), self.vectors.row(r as usize));
+                            self.touch(p, Neighbor::new(r, d));
+                            self.touch(r, Neighbor::new(p, d));
+                        }
+                    }
+                }
+            }
+        }
+        self.dirty.clear();
+    }
+
+    /// Drop every tombstone: gather the surviving rows, renumber the graph,
+    /// and return the old id of each new slot (`mapping[new] = old`). Ids
+    /// are *not* stable across a compaction — callers that expose ids must
+    /// translate or republish.
+    pub fn compact(&mut self) -> Vec<u32> {
+        if self.deleted_count == 0 {
+            return (0..self.lists.len() as u32).collect();
+        }
+        let survivors: Vec<usize> = (0..self.lists.len()).filter(|&p| !self.deleted[p]).collect();
+        let mut remap = vec![u32::MAX; self.lists.len()];
+        for (new, &old) in survivors.iter().enumerate() {
+            remap[old] = new as u32;
+        }
+        self.vectors = self.vectors.gather(&survivors);
+        let old_lists = std::mem::take(&mut self.lists);
+        self.lists = survivors
+            .iter()
+            .map(|&old| {
+                let mut h = KnnList::new(self.params.k);
+                for nb in old_lists[old].as_slice() {
+                    if remap[nb.index as usize] != u32::MAX {
+                        h.insert(Neighbor::new(remap[nb.index as usize], nb.dist));
+                    }
+                }
+                h
+            })
+            .collect();
+        self.view = self.lists.iter().map(|h| h.as_slice().to_vec()).collect();
+        self.deleted = vec![false; self.lists.len()];
+        self.deleted_count = 0;
+        self.dirty = std::mem::take(&mut self.dirty)
+            .into_iter()
+            .filter_map(|p| (remap[p as usize] != u32::MAX).then_some(remap[p as usize]))
+            .collect();
+        survivors.into_iter().map(|p| p as u32).collect()
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +428,7 @@ mod tests {
     use super::*;
     use crate::builder::WknngBuilder;
     use crate::recall::recall;
+    use crate::search::search;
     use wknng_data::{exact_knn, DatasetSpec, Metric};
 
     fn split(n_base: usize, n_new: usize) -> (VectorSet, VectorSet, VectorSet) {
@@ -127,6 +438,17 @@ mod tests {
         let base = all.gather(&(0..n_base).collect::<Vec<_>>());
         let new = all.gather(&(n_base..n_base + n_new).collect::<Vec<_>>());
         (all, base, new)
+    }
+
+    fn build(base: &VectorSet, k: usize, seed: u64) -> Knng {
+        WknngBuilder::new(k)
+            .trees(5)
+            .leaf_size(24)
+            .exploration(1)
+            .seed(seed)
+            .build_native(base)
+            .expect("valid")
+            .0
     }
 
     #[test]
@@ -192,7 +514,12 @@ mod tests {
         let (graph, _) =
             WknngBuilder::new(3).trees(2).leaf_size(8).build_native(&base).expect("valid");
         let wrong = DatasetSpec::UniformCube { n: 5, dim: 6 }.generate(1).vectors;
-        assert!(extend_graph(&base, &graph, &wrong, 0).is_err());
+        let err = extend_graph(&base, &graph, &wrong, 0).unwrap_err();
+        assert_eq!(err, KnngError::Data(DataError::DimMismatch { got: 6, want: 4 }));
+        let mut ext = GraphExtender::from_parts(base, graph, 0).unwrap();
+        let err = ext.insert_batch(&wrong).unwrap_err();
+        assert_eq!(err, KnngError::Data(DataError::DimMismatch { got: 6, want: 4 }));
+        assert_eq!(ext.len(), 30, "failed insert leaves the graph untouched");
     }
 
     #[test]
@@ -206,5 +533,195 @@ mod tests {
         // The polish pass may refine lists, never degrade them.
         let truth = exact_knn(&base, 4, Metric::SquaredL2);
         assert!(recall(&ext.graph.lists, &truth) >= recall(&graph.lists, &truth));
+    }
+
+    #[test]
+    fn extender_with_polish_is_bit_exact_with_chained_extend_graph() {
+        let (_, base, new) = split(300, 80);
+        let b1 = new.gather(&(0..50).collect::<Vec<_>>());
+        let b2 = new.gather(&(50..80).collect::<Vec<_>>());
+        let graph = build(&base, 8, 11);
+
+        // Cloning path: two chained one-shot extensions.
+        let ext1 = extend_graph(&base, &graph, &b1, 0).unwrap();
+        let ext2 = extend_graph(&ext1.vectors, &ext1.graph, &b2, 0).unwrap();
+
+        // In-place path: one extender, two batches, polish after each (the
+        // one-shot wrapper polishes per call).
+        let mut ext = GraphExtender::from_parts(base, graph, 0).unwrap();
+        let ids = ext.insert_batch(&b1).unwrap();
+        assert_eq!(ids, (300..350).collect::<Vec<u32>>());
+        ext.polish_all();
+        ext.insert_batch(&b2).unwrap();
+        ext.polish_all();
+        let (vectors, live) = ext.into_parts();
+
+        assert_eq!(vectors, ext2.vectors);
+        assert_eq!(live.lists, ext2.graph.lists, "in-place path diverged from cloning path");
+    }
+
+    #[test]
+    fn local_refine_tracks_full_polish_quality() {
+        let (_, base, new) = split(400, 40);
+        let graph = build(&base, 10, 7);
+        let truth_ctx = {
+            let mut ext = GraphExtender::from_parts(base.clone(), graph.clone(), 0).unwrap();
+            ext.insert_batch(&new).unwrap();
+            ext.polish_all();
+            ext
+        };
+        let mut fast = GraphExtender::from_parts(base, graph, 0).unwrap();
+        fast.insert_batch(&new).unwrap();
+        fast.refine(2);
+
+        let (vecs, polished) = truth_ctx.into_parts();
+        let (_, refined) = fast.into_parts();
+        let truth = exact_knn(&vecs, 10, Metric::SquaredL2);
+        let r_polish = recall(&polished.lists, &truth);
+        let r_refine = recall(&refined.lists, &truth);
+        assert!(
+            r_refine > r_polish - 0.05,
+            "local refine {r_refine:.3} too far below full polish {r_polish:.3}"
+        );
+    }
+
+    #[test]
+    fn insert_into_empty_and_degenerate_graphs() {
+        // Empty graph: the first batch bootstraps it.
+        let empty = VectorSet::new(vec![], 4).unwrap();
+        let graph = Knng {
+            lists: Vec::new(),
+            params: crate::params::WknngParams { k: 3, ..Default::default() },
+        };
+        let mut ext = GraphExtender::from_parts(empty, graph, 0).unwrap();
+        let pts = DatasetSpec::UniformCube { n: 10, dim: 4 }.generate(9).vectors;
+        let ids = ext.insert_batch(&pts).unwrap();
+        assert_eq!(ids.len(), 10);
+        ext.refine(2);
+        let (vs, g) = ext.into_parts();
+        let truth = exact_knn(&vs, 3, Metric::SquaredL2);
+        let r = recall(&g.lists, &truth);
+        assert!(r > 0.8, "bootstrap recall {r:.3}");
+
+        // Degenerate single-point graph.
+        let one = VectorSet::new(vec![0.0; 4], 4).unwrap();
+        let graph = Knng {
+            lists: vec![Vec::new()],
+            params: crate::params::WknngParams { k: 2, ..Default::default() },
+        };
+        let mut ext = GraphExtender::from_parts(one, graph, 0).unwrap();
+        let two =
+            VectorSet::from_rows(&[vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]]).unwrap();
+        ext.insert_batch(&two).unwrap();
+        ext.refine(2);
+        let (_, g) = ext.into_parts();
+        assert_eq!(g.len(), 3);
+        for (p, list) in g.lists.iter().enumerate() {
+            assert!(!list.is_empty(), "point {p} found no neighbors");
+            assert!(list.iter().all(|nb| nb.index as usize != p));
+        }
+    }
+
+    #[test]
+    fn duplicate_points_insert_cleanly() {
+        let base = DatasetSpec::UniformCube { n: 30, dim: 4 }.generate(5).vectors;
+        let graph = build(&base, 4, 5);
+        let mut ext = GraphExtender::from_parts(base.clone(), graph, 0).unwrap();
+        // Insert exact copies of existing rows: zero distances everywhere.
+        let dupes = base.gather(&[0, 1, 2]);
+        let ids = ext.insert_batch(&dupes).unwrap();
+        assert_eq!(ids, vec![30, 31, 32]);
+        ext.refine(2);
+        let (_, g) = ext.into_parts();
+        for (p, list) in g.lists.iter().enumerate() {
+            assert!(list.len() <= 4);
+            assert!(list.iter().all(|nb| nb.index as usize != p), "self edge at {p}");
+            for w in list.windows(2) {
+                assert!(w[0].key() < w[1].key(), "unsorted/duplicate at {p}");
+            }
+        }
+        // A duplicate's nearest neighbor is its original, at distance 0.
+        assert_eq!(g.lists[30][0].dist, 0.0);
+        assert_eq!(g.lists[30][0].index, 0);
+    }
+
+    #[test]
+    fn delete_patches_orphans_and_reinsert_works() {
+        let (_, base, new) = split(200, 20);
+        let graph = build(&base, 8, 13);
+        let mut ext = GraphExtender::from_parts(base.clone(), graph, 0).unwrap();
+
+        // Delete a block of points; no surviving list may reference them.
+        let victims: Vec<u32> = (40..60).collect();
+        assert_eq!(ext.delete_batch(&victims).unwrap(), 20);
+        assert_eq!(ext.deleted_count(), 20);
+        assert_eq!(ext.live_len(), 180);
+        // Idempotent: deleting again is a no-op.
+        assert_eq!(ext.delete_batch(&victims).unwrap(), 0);
+        assert_eq!(ext.deleted_count(), 20);
+        // Out-of-range ids are a typed error.
+        assert_eq!(
+            ext.delete_batch(&[9999]).unwrap_err(),
+            KnngError::PointOutOfRange { id: 9999, n: 200 }
+        );
+        let g = ext.graph();
+        for (p, list) in g.lists.iter().enumerate() {
+            if victims.contains(&(p as u32)) {
+                assert!(list.is_empty(), "tombstone {p} kept edges");
+            } else {
+                assert!(
+                    list.iter().all(|nb| !victims.contains(&nb.index)),
+                    "point {p} still references a tombstone"
+                );
+                assert!(!list.is_empty(), "patching starved point {p}");
+            }
+        }
+
+        // Delete-then-reinsert: the same coordinates come back under a new
+        // id and find their old neighborhood again.
+        let back = base.gather(&[40]);
+        let ids = ext.insert_batch(&back).unwrap();
+        assert_eq!(ids, vec![200]);
+        ext.refine(2);
+        assert!(!ext.is_deleted(200));
+        assert!(ext.is_deleted(40), "the old id stays tombstoned");
+        let g = ext.graph();
+        assert!(!g.lists[200].is_empty());
+        assert!(g.lists[200].iter().all(|nb| !ext.is_deleted(nb.index)));
+
+        // And fresh points keep inserting fine around tombstones.
+        ext.insert_batch(&new).unwrap();
+        ext.refine(2);
+        let truth_set = {
+            let mut survivors: Vec<usize> =
+                (0..221).filter(|&p| !ext.is_deleted(p as u32)).collect();
+            survivors.sort_unstable();
+            survivors
+        };
+        assert_eq!(truth_set.len(), ext.live_len());
+    }
+
+    #[test]
+    fn compact_renumbers_and_preserves_neighborhoods() {
+        let base = DatasetSpec::UniformCube { n: 120, dim: 6 }.generate(21).vectors;
+        let graph = build(&base, 6, 17);
+        let mut ext = GraphExtender::from_parts(base.clone(), graph, 0).unwrap();
+        ext.delete_batch(&(0..30).collect::<Vec<u32>>()).unwrap();
+        let mapping = ext.compact();
+        assert_eq!(mapping, (30..120).collect::<Vec<u32>>());
+        assert_eq!(ext.len(), 90);
+        assert_eq!(ext.deleted_count(), 0);
+        assert_eq!(ext.tombstone_fraction(), 0.0);
+        let (vs, g) = ext.into_parts();
+        assert_eq!(vs.len(), 90);
+        assert_eq!(vs.row(0), base.row(30));
+        for (p, list) in g.lists.iter().enumerate() {
+            assert!(list.iter().all(|nb| (nb.index as usize) < 90), "stale id at {p}");
+            assert!(list.iter().all(|nb| nb.index as usize != p));
+        }
+        // Post-compaction searches stay sane.
+        let (found, _) =
+            search(&vs, &g, base.row(31), &SearchParams { k: 5, ..Default::default() });
+        assert_eq!(found[0].index, 1, "row 31 became id 1 and is its own nearest neighbor");
     }
 }

@@ -21,6 +21,13 @@ pub enum DataError {
         /// Coordinate index within the point.
         coord: usize,
     },
+    /// Two vector sets that must agree on dimensionality do not.
+    DimMismatch {
+        /// Dimensionality supplied.
+        got: usize,
+        /// Dimensionality required.
+        want: usize,
+    },
     /// An I/O wrapper error (message form, to stay `PartialEq`).
     Io(String),
     /// A file had the wrong magic number or a corrupt header.
@@ -52,6 +59,9 @@ impl fmt::Display for DataError {
             DataError::NonFinite { point, coord } => {
                 write!(f, "non-finite coordinate at point {point}, coord {coord}")
             }
+            DataError::DimMismatch { got, want } => {
+                write!(f, "dimensionality mismatch: got dim {got}, want dim {want}")
+            }
             DataError::Io(m) => write!(f, "i/o error: {m}"),
             DataError::Format(m) => write!(f, "format error: {m}"),
             DataError::Truncated { expected, got } => {
@@ -82,6 +92,9 @@ mod tests {
         assert!(DataError::ZeroDimension.to_string().contains("dimensionality"));
         assert!(DataError::RaggedBuffer { len: 7, dim: 3 }.to_string().contains("7"));
         assert!(DataError::NonFinite { point: 2, coord: 5 }.to_string().contains("point 2"));
+        let d = DataError::DimMismatch { got: 4, want: 8 };
+        assert!(d.to_string().contains("got dim 4"));
+        assert!(d.to_string().contains("want dim 8"));
         assert!(DataError::Format("bad magic".into()).to_string().contains("bad magic"));
         let t = DataError::Truncated { expected: 100, got: 40 };
         assert!(t.to_string().contains("expected 100"));

@@ -73,6 +73,18 @@ impl VectorSet {
         self.data.chunks_exact(self.dim)
     }
 
+    /// Append every row of `rows` to `self` in place — O(rows), no clone of
+    /// the existing points. Both sets must agree on dimensionality (an empty
+    /// `self` adopts nothing: its `dim` was fixed at construction).
+    pub fn append(&mut self, rows: &VectorSet) -> Result<(), DataError> {
+        if rows.dim != self.dim {
+            return Err(DataError::DimMismatch { got: rows.dim, want: self.dim });
+        }
+        self.data.extend_from_slice(&rows.data);
+        self.n += rows.n;
+        Ok(())
+    }
+
     /// A new set containing the given rows of `self`, in order.
     pub fn gather(&self, indices: &[usize]) -> VectorSet {
         let mut data = Vec::with_capacity(indices.len() * self.dim);
@@ -136,6 +148,21 @@ mod tests {
         let vs = VectorSet::new(vec![], 5).unwrap();
         assert!(vs.is_empty());
         assert_eq!(vs.dim(), 5);
+    }
+
+    #[test]
+    fn append_extends_in_place_and_checks_dim() {
+        let mut vs = VectorSet::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let more = VectorSet::from_rows(&[vec![5.0, 6.0]]).unwrap();
+        vs.append(&more).unwrap();
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs.row(2), &[5.0, 6.0]);
+        let wrong = VectorSet::new(vec![0.0; 3], 3).unwrap();
+        assert_eq!(vs.append(&wrong).unwrap_err(), DataError::DimMismatch { got: 3, want: 2 });
+        assert_eq!(vs.len(), 3, "failed append leaves the set untouched");
+        // Appending an empty set of the right dim is a no-op.
+        vs.append(&VectorSet::new(vec![], 2).unwrap()).unwrap();
+        assert_eq!(vs.len(), 3);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use wknng_core::SearchParams;
 use wknng_simt::{DeviceConfig, FaultPlan};
 
 use crate::error::ServeError;
+use crate::mutate::MutatePolicy;
 use crate::shed::ShedPolicy;
 use crate::supervisor::SupervisorPolicy;
 
@@ -71,9 +72,16 @@ pub struct ServeConfig {
     /// Worker supervision: panic-isolated shards respawned with capped
     /// exponential backoff.
     pub supervisor: SupervisorPolicy,
-    /// Serve-side chaos plan ([`FaultPlan::panic_batch`] and friends) for
-    /// fault-injection testing; `None` serves faithfully.
+    /// Serve-side chaos plan ([`FaultPlan::panic_batch`] and friends, plus
+    /// the swap-scoped faults the mutator consumes) for fault-injection
+    /// testing; `None` serves faithfully.
     pub chaos: Option<FaultPlan>,
+    /// Live-mutation policy: `Some` spawns the build-aside mutator thread
+    /// so [`crate::ServeEngine::insert`]/[`crate::ServeEngine::delete`]
+    /// publish new epochs under traffic. `None` — the default — serves a
+    /// single immutable epoch forever. Requires [`Augment::Off`] (the
+    /// mutator owns the raw graph) and [`Backend::Native`].
+    pub mutate: Option<MutatePolicy>,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +98,7 @@ impl Default for ServeConfig {
             shed: None,
             supervisor: SupervisorPolicy::default(),
             chaos: None,
+            mutate: None,
         }
     }
 }
@@ -109,6 +118,19 @@ impl ServeConfig {
         }
         if let Some(shed) = &self.shed {
             shed.check()?;
+        }
+        if let Some(mutate) = &self.mutate {
+            mutate.check()?;
+            if !matches!(self.augment, Augment::Off) {
+                return Err(ServeError::Config(
+                    "mutation requires Augment::Off (the mutator owns the raw graph)",
+                ));
+            }
+            if matches!(self.backend, Backend::Device(_)) {
+                return Err(ServeError::Config(
+                    "mutation requires Backend::Native (device uploads are per-epoch immutable)",
+                ));
+            }
         }
         self.supervisor.check()?;
         Ok(())
@@ -156,5 +178,26 @@ mod tests {
             ..ServeConfig::default()
         };
         assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn mutation_fields_are_validated() {
+        let c = ServeConfig { mutate: Some(MutatePolicy::default()), ..ServeConfig::default() };
+        assert!(c.check().is_ok());
+        let bad = MutatePolicy { compact_threshold: -1.0, ..MutatePolicy::default() };
+        let c = ServeConfig { mutate: Some(bad), ..ServeConfig::default() };
+        assert!(matches!(c.check(), Err(ServeError::Config(_))));
+        let c = ServeConfig {
+            mutate: Some(MutatePolicy::default()),
+            augment: Augment::On { max_degree: None },
+            ..ServeConfig::default()
+        };
+        assert!(matches!(c.check(), Err(ServeError::Config(_))));
+        let c = ServeConfig {
+            mutate: Some(MutatePolicy::default()),
+            backend: Backend::Device(wknng_simt::DeviceConfig::test_tiny()),
+            ..ServeConfig::default()
+        };
+        assert!(matches!(c.check(), Err(ServeError::Config(_))));
     }
 }

@@ -38,14 +38,16 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use wknng_core::kernels::beam::{run_search_batch, SearchIndex};
-use wknng_core::{augment_reverse, search_lists, KnngError, SearchParams, SearchStats};
+use wknng_core::{augment_reverse, KnngError, SearchParams, SearchStats, WknngParams};
 use wknng_data::io::{load_knn, load_vectors};
 use wknng_data::{Metric, Neighbor, VectorSet};
 use wknng_simt::{FaultPlan, ServeFault};
 
 use crate::config::{Augment, Backend, ServeConfig};
+use crate::epoch::{Epoch, EpochHandle};
 use crate::error::ServeError;
 use crate::histogram::LatencyHistogram;
+use crate::mutate::{mutator, MutationJob, MutationOp, MutationTicket, MutatorSeed, MutatorStats};
 use crate::report::ServeReport;
 use crate::shed::ShedController;
 use crate::supervisor::{run_supervised, SupervisorPolicy};
@@ -96,6 +98,9 @@ pub struct QueryResult {
     pub stats: SearchStats,
     /// End-to-end latency (submission to batch completion).
     pub latency: Duration,
+    /// Id of the [`Epoch`] that answered this query — the whole batch the
+    /// query rode in was served from this one pinned generation.
+    pub epoch: u64,
 }
 
 /// What a worker (or the engine) sends back for one query.
@@ -181,17 +186,18 @@ struct QueueState {
 }
 
 /// Serve-side chaos: the shared plan plus the global batch numbering the
-/// injection points are addressed by.
-struct Chaos {
-    plan: FaultPlan,
+/// injection points are addressed by. (The mutator shares the plan too —
+/// swap faults are addressed by its own swap-attempt numbering.)
+pub(crate) struct Chaos {
+    pub(crate) plan: FaultPlan,
     next_batch: AtomicU64,
 }
 
 struct Shared {
     queue: Mutex<QueueState>,
     notify: Condvar,
-    vectors: VectorSet,
-    lists: Vec<Vec<Neighbor>>,
+    epochs: Arc<EpochHandle>,
+    dim: usize,
     params: SearchParams,
     batch_size: usize,
     linger: Duration,
@@ -200,7 +206,7 @@ struct Shared {
     deadline: Option<Duration>,
     supervisor: SupervisorPolicy,
     shed: Option<Mutex<ShedController>>,
-    chaos: Option<Chaos>,
+    chaos: Option<Arc<Chaos>>,
 }
 
 #[derive(Default)]
@@ -218,17 +224,21 @@ struct ShardStats {
 }
 
 /// The serving engine. Construct with [`ServeEngine::start`], submit with
-/// [`ServeEngine::submit`]/[`ServeEngine::query`], finish with
+/// [`ServeEngine::submit`]/[`ServeEngine::query`], mutate the index live
+/// with [`ServeEngine::insert`]/[`ServeEngine::delete`] (when a
+/// [`crate::MutatePolicy`] is configured), finish with
 /// [`ServeEngine::shutdown`].
 pub struct ServeEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<ShardStats>>,
+    mutator: Option<(mpsc::Sender<MutationJob>, JoinHandle<MutatorStats>)>,
     started: Instant,
 }
 
 impl ServeEngine {
     /// Validate the configuration against the index, apply the augmentation
-    /// policy, and spawn the shard workers.
+    /// policy, publish epoch 0, and spawn the shard workers (plus the
+    /// mutator thread when mutation is enabled).
     pub fn start(index: ServeIndex, cfg: ServeConfig) -> Result<ServeEngine, ServeError> {
         cfg.check()?;
         let params = cfg.params.validated(index.vectors.len())?;
@@ -239,11 +249,21 @@ impl ServeEngine {
             Augment::Off => index.lists,
             Augment::On { max_degree } => augment_reverse(&index.lists, max_degree),
         };
+        // The graph's own k (bounded-list capacity) for the mutator, taken
+        // from the widest list actually built; empty indexes fall back to
+        // the query k.
+        let graph_k = lists.iter().map(Vec::len).max().filter(|&k| k > 0).unwrap_or(params.k);
+        let dim = index.vectors.dim();
+        let epochs = Arc::new(EpochHandle::new(Epoch::initial(index.vectors, lists)));
+        let chaos = cfg
+            .chaos
+            .filter(|p| p.has_serve_faults() || p.has_swap_faults())
+            .map(|plan| Arc::new(Chaos { plan, next_batch: AtomicU64::new(0) }));
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
             notify: Condvar::new(),
-            vectors: index.vectors,
-            lists,
+            epochs: Arc::clone(&epochs),
+            dim,
             params,
             batch_size: cfg.batch_size,
             linger: cfg.linger,
@@ -252,11 +272,29 @@ impl ServeEngine {
             deadline: cfg.deadline,
             supervisor: cfg.supervisor,
             shed: cfg.shed.map(|p| Mutex::new(ShedController::new(p))),
-            chaos: cfg
-                .chaos
-                .filter(FaultPlan::has_serve_faults)
-                .map(|plan| Chaos { plan, next_batch: AtomicU64::new(0) }),
+            chaos: chaos.clone(),
         });
+        let mutator_handle = match cfg.mutate {
+            None => None,
+            Some(policy) => {
+                let seed = MutatorSeed {
+                    epochs,
+                    policy,
+                    params: WknngParams {
+                        k: graph_k,
+                        metric: params.metric,
+                        ..WknngParams::default()
+                    },
+                    chaos,
+                };
+                let (tx, rx) = mpsc::channel();
+                let handle = std::thread::Builder::new()
+                    .name("wknng-mutator".into())
+                    .spawn(move || mutator(seed, rx))
+                    .expect("spawn mutator");
+                Some((tx, handle))
+            }
+        };
         let workers = (0..cfg.shards)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -266,12 +304,58 @@ impl ServeEngine {
                     .expect("spawn shard")
             })
             .collect();
-        Ok(ServeEngine { shared, workers, started: Instant::now() })
+        Ok(ServeEngine { shared, workers, mutator: mutator_handle, started: Instant::now() })
     }
 
     /// Dimensionality queries must have.
     pub fn dim(&self) -> usize {
-        self.shared.vectors.dim()
+        self.shared.dim
+    }
+
+    /// Id of the currently published [`Epoch`].
+    pub fn epoch(&self) -> u64 {
+        self.shared.epochs.current_id()
+    }
+
+    /// Pin the current epoch (a coherent frozen snapshot of the index).
+    pub fn pin_epoch(&self) -> Arc<Epoch> {
+        self.shared.epochs.pin()
+    }
+
+    /// Look up a still-alive epoch by id — the current one, or an old
+    /// generation something still pins.
+    pub fn find_epoch(&self, id: u64) -> Option<Arc<Epoch>> {
+        self.shared.epochs.find(id)
+    }
+
+    /// Ids of every epoch still alive (retired generations are pruned).
+    pub fn live_epochs(&self) -> Vec<u64> {
+        self.shared.epochs.live_epochs()
+    }
+
+    /// Enqueue one mutation batch for the build-aside mutator. Answers
+    /// [`ServeError::MutationsDisabled`] on an engine started without a
+    /// [`crate::MutatePolicy`]. The returned ticket resolves when the batch
+    /// is published as a new epoch (or refused with a typed error); queries
+    /// keep flowing on the current epoch the whole time.
+    pub fn mutate(&self, op: MutationOp) -> Result<MutationTicket, ServeError> {
+        let Some((tx, _)) = &self.mutator else {
+            return Err(ServeError::MutationsDisabled);
+        };
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(MutationJob { op, tx: Some(rtx) })
+            .map_err(|_| ServeError::MutationFailed("mutator thread lost"))?;
+        Ok(MutationTicket { rx: rrx })
+    }
+
+    /// Insert a batch of new points ([`ServeEngine::mutate`] convenience).
+    pub fn insert(&self, points: VectorSet) -> Result<MutationTicket, ServeError> {
+        self.mutate(MutationOp::Insert(points))
+    }
+
+    /// Tombstone a batch of point ids ([`ServeEngine::mutate`] convenience).
+    pub fn delete(&self, ids: Vec<u32>) -> Result<MutationTicket, ServeError> {
+        self.mutate(MutationOp::Delete(ids))
     }
 
     /// Current submission-queue depth (for load shedding / monitoring).
@@ -316,14 +400,20 @@ impl ServeEngine {
         self.submit(query)?.wait()
     }
 
-    /// Stop admission, drain every queued query, join the shards, and
-    /// return the merged report.
+    /// Stop admission, drain every queued query and mutation, join the
+    /// shards and the mutator, and return the merged report.
     pub fn shutdown(mut self) -> ServeReport {
         {
             let mut q = self.shared.queue.lock().expect("queue lock");
             q.shut_down = true;
         }
         self.shared.notify.notify_all();
+        // Dropping the sender lets the mutator drain its queued batches and
+        // exit; pending mutation tickets all resolve (published or typed).
+        let mstats = self.mutator.take().map(|(tx, handle)| {
+            drop(tx);
+            handle.join().expect("mutator answers every job before exiting")
+        });
         let shards = self.workers.len();
         let mut merged = ShardStats::default();
         let mut latency = LatencyHistogram::new();
@@ -387,6 +477,13 @@ impl ServeEngine {
             deadline_expired: merged.deadline_expired,
             worker_restarts: merged.worker_restarts,
             brownout_batches: merged.brownout_batches,
+            epoch: self.shared.epochs.current_id(),
+            mutations_applied: mstats.as_ref().map_or(0, |m| m.mutations_applied),
+            swaps: mstats.as_ref().map_or(0, |m| m.swaps),
+            swap_p99_pause_us: mstats
+                .as_ref()
+                .and_then(|m| m.pause.percentile(99.0))
+                .map_or(0, |ns| ns / 1_000),
         }
     }
 }
@@ -438,15 +535,20 @@ fn backoff_sleep(shared: &Shared, dur: Duration) {
     }
 }
 
-/// One supervised serving pass: pull a batch, inject any scheduled chaos,
-/// triage (deadline shed / overload shed / brownout), search, respond —
-/// until drained.
+/// One supervised serving pass: pull a batch, pin the current epoch,
+/// inject any scheduled chaos, triage (deadline shed / overload shed /
+/// brownout), search, respond — until drained.
+///
+/// The epoch pin happens once per batch, *before* any search work: every
+/// query in the batch is answered from that one frozen generation, however
+/// many publishes land while the batch is in flight. The pin (and therefore
+/// the old epoch) is released when the batch completes — or mid-unwind if
+/// the worker panics, which is exactly what lets a killed worker's epoch
+/// retire.
 fn worker_pass(shared: &Shared, stats: &mut ShardStats) {
-    // The device backend keeps one thread-local index upload per shard.
-    let dev_ix = match &shared.backend {
-        Backend::Device(_) => Some(SearchIndex::upload(&shared.vectors, &shared.lists)),
-        Backend::Native => None,
-    };
+    // The device backend keeps one thread-local index upload per shard,
+    // re-uploaded whenever a new epoch is published (cached by epoch id).
+    let mut dev_ix: Option<(u64, SearchIndex)> = None;
     loop {
         let (batch, drained) = next_batch(shared);
         if batch.is_empty() {
@@ -455,6 +557,16 @@ fn worker_pass(shared: &Shared, stats: &mut ShardStats) {
             }
             continue;
         }
+        let epoch = shared.epochs.pin();
+        let dev = match &shared.backend {
+            Backend::Device(_) => {
+                if dev_ix.as_ref().is_none_or(|(id, _)| *id != epoch.id) {
+                    dev_ix = Some((epoch.id, SearchIndex::upload(&epoch.vectors, &epoch.lists)));
+                }
+                dev_ix.as_ref().map(|(_, ix)| ix)
+            }
+            Backend::Native => None,
+        };
         let mut poisoned = false;
         if let Some(chaos) = &shared.chaos {
             let idx = chaos.next_batch.fetch_add(1, Ordering::Relaxed);
@@ -474,7 +586,7 @@ fn worker_pass(shared: &Shared, stats: &mut ShardStats) {
         if params != shared.params {
             stats.brownout_batches += 1;
         }
-        serve_batch(shared, dev_ix.as_ref(), batch, &params, poisoned, stats);
+        serve_batch(shared, &epoch, dev, batch, &params, poisoned, stats);
     }
 }
 
@@ -541,6 +653,7 @@ fn next_batch(shared: &Shared) -> (Vec<Job>, bool) {
 
 fn serve_batch(
     shared: &Shared,
+    epoch: &Epoch,
     dev_ix: Option<&SearchIndex>,
     batch: Vec<Job>,
     params: &SearchParams,
@@ -549,11 +662,11 @@ fn serve_batch(
 ) {
     let results: Vec<(Vec<Neighbor>, SearchStats)> = match (&shared.backend, dev_ix) {
         (Backend::Device(dev), Some(ix)) => {
-            let mut flat = Vec::with_capacity(batch.len() * shared.vectors.dim());
+            let mut flat = Vec::with_capacity(batch.len() * shared.dim);
             for j in &batch {
                 flat.extend_from_slice(&j.query);
             }
-            let qs = VectorSet::new(flat, shared.vectors.dim()).expect("validated at submit");
+            let qs = VectorSet::new(flat, shared.dim).expect("validated at submit");
             let mut attempts = 0;
             loop {
                 match run_search_batch(dev, ix, &qs, params) {
@@ -571,10 +684,7 @@ fn serve_batch(
                 }
             }
         }
-        _ => batch
-            .iter()
-            .map(|j| search_lists(&shared.vectors, &shared.lists, &j.query, params))
-            .collect(),
+        _ => batch.iter().map(|j| epoch.search(&j.query, params)).collect(),
     };
     st.batches += 1;
     if poisoned {
@@ -598,6 +708,6 @@ fn serve_batch(
         } else {
             hist.record(latency.as_nanos() as u64);
         }
-        job.respond(Ok(QueryResult { neighbors, stats: qstats, latency }));
+        job.respond(Ok(QueryResult { neighbors, stats: qstats, latency, epoch: epoch.id }));
     }
 }

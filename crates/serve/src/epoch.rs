@@ -1,0 +1,209 @@
+//! Epoch-published index snapshots: the arc-swap layer that lets a live
+//! engine swap its index under traffic with zero dropped queries.
+//!
+//! An [`Epoch`] is one immutable, coherent generation of the servable index
+//! — vectors, neighbor lists, and the tombstone bitmap, frozen together.
+//! The [`EpochHandle`] owns the *current* epoch behind a mutex-guarded
+//! `Arc`; workers [`pin`](EpochHandle::pin) it once per batch (one lock, one
+//! refcount bump) and answer the whole batch from that pin, so:
+//!
+//! * a [`publish`](EpochHandle::publish) mid-batch is invisible — in-flight
+//!   queries finish on the old epoch, the *next* batch sees the new one;
+//! * no answer can mix state from two generations (the torn-read argument
+//!   in DESIGN.md): a pin is a single `Arc` whose pointee never mutates;
+//! * an old epoch retires automatically when its last pin drops — the
+//!   handle keeps only [`Weak`] references in its history, so retirement
+//!   needs no bookkeeping and can be *proved* in tests via
+//!   [`live_epochs`](EpochHandle::live_epochs).
+
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+use wknng_core::{search_lists, SearchParams, SearchStats};
+use wknng_data::{Neighbor, VectorSet};
+
+/// One immutable generation of the servable index.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// Generation number, monotonically increasing from 0.
+    pub id: u64,
+    /// Indexed point coordinates (tombstoned rows keep stale coordinates).
+    pub vectors: VectorSet,
+    /// Neighbor lists, one per slot; tombstoned slots are empty.
+    pub lists: Vec<Vec<Neighbor>>,
+    /// Tombstone bitmap, one flag per slot.
+    pub deleted: Vec<bool>,
+    /// Number of `true` flags in `deleted`.
+    pub deleted_count: usize,
+}
+
+impl Epoch {
+    /// Epoch 0: a fresh index with no tombstones.
+    pub fn initial(vectors: VectorSet, lists: Vec<Vec<Neighbor>>) -> Epoch {
+        let n = vectors.len();
+        Epoch { id: 0, vectors, lists, deleted: vec![false; n], deleted_count: 0 }
+    }
+
+    /// Number of index slots (live points + tombstones).
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True when the epoch holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Number of live (queryable) points.
+    pub fn live_len(&self) -> usize {
+        self.lists.len() - self.deleted_count
+    }
+
+    /// Answer one query from this epoch — a pure function of the epoch's
+    /// frozen state (the coherence tests recompute answers through exactly
+    /// this entry point).
+    ///
+    /// Without tombstones this is the engine's plain `search_lists`,
+    /// bit-for-bit. With tombstones the search widens to the full beam
+    /// (entry points are drawn uniformly and may land on a tombstone),
+    /// filters deleted ids out of the candidates, and truncates back to
+    /// `k`, so a deleted point can never appear in an answer.
+    pub fn search(&self, query: &[f32], params: &SearchParams) -> (Vec<Neighbor>, SearchStats) {
+        if self.deleted_count == 0 {
+            return search_lists(&self.vectors, &self.lists, query, params);
+        }
+        let widened = SearchParams { k: params.beam.max(params.k), ..*params };
+        let (found, stats) = search_lists(&self.vectors, &self.lists, query, &widened);
+        let mut out: Vec<Neighbor> =
+            found.into_iter().filter(|nb| !self.deleted[nb.index as usize]).collect();
+        out.truncate(params.k);
+        (out, stats)
+    }
+}
+
+/// The arc-swap publication point: one current epoch, a weak history of
+/// every generation ever published, and an atomic (mutex-guarded) swap.
+pub struct EpochHandle {
+    current: Mutex<Arc<Epoch>>,
+    history: Mutex<Vec<(u64, Weak<Epoch>)>>,
+}
+
+impl EpochHandle {
+    /// Wrap the first epoch.
+    pub fn new(first: Epoch) -> EpochHandle {
+        let arc = Arc::new(first);
+        let history = vec![(arc.id, Arc::downgrade(&arc))];
+        EpochHandle { current: Mutex::new(arc), history: Mutex::new(history) }
+    }
+
+    /// Pin the current epoch: one lock acquisition and one refcount bump.
+    /// The pin keeps that generation alive until dropped, however many
+    /// publishes happen meanwhile.
+    pub fn pin(&self) -> Arc<Epoch> {
+        Arc::clone(&self.current.lock().expect("epoch lock"))
+    }
+
+    /// Id of the current epoch.
+    pub fn current_id(&self) -> u64 {
+        self.current.lock().expect("epoch lock").id
+    }
+
+    /// The id the next published epoch must carry.
+    pub fn next_id(&self) -> u64 {
+        self.current_id() + 1
+    }
+
+    /// Atomically swap in `epoch` as the new current generation. Returns
+    /// the published `Arc` and the duration of the swap critical section —
+    /// the only instant during which readers can be paused behind the lock
+    /// (the `swap_p99_pause_us` a [`crate::ServeReport`] records).
+    pub fn publish(&self, epoch: Epoch) -> (Arc<Epoch>, Duration) {
+        let arc = Arc::new(epoch);
+        self.history.lock().expect("epoch history lock").push((arc.id, Arc::downgrade(&arc)));
+        let start = Instant::now();
+        *self.current.lock().expect("epoch lock") = Arc::clone(&arc);
+        let pause = start.elapsed();
+        (arc, pause)
+    }
+
+    /// Look up a generation by id, if it is still alive (current, or pinned
+    /// by someone).
+    pub fn find(&self, id: u64) -> Option<Arc<Epoch>> {
+        self.history
+            .lock()
+            .expect("epoch history lock")
+            .iter()
+            .find(|(eid, _)| *eid == id)
+            .and_then(|(_, weak)| weak.upgrade())
+    }
+
+    /// Ids of every generation still alive, pruning retired entries from
+    /// the history. After all pins drop, exactly the current epoch remains
+    /// — the retirement proof the chaos suite asserts.
+    pub fn live_epochs(&self) -> Vec<u64> {
+        let mut history = self.history.lock().expect("epoch history lock");
+        history.retain(|(_, weak)| weak.strong_count() > 0);
+        history.iter().map(|(id, _)| *id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wknng_data::Metric;
+
+    fn tiny_epoch() -> Epoch {
+        // 4 points on a line; exact 2-NN lists.
+        let vs = VectorSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![10.0]]).unwrap();
+        let lists = wknng_data::exact_knn(&vs, 2, Metric::SquaredL2);
+        Epoch::initial(vs, lists)
+    }
+
+    #[test]
+    fn pins_outlive_publishes_and_then_retire() {
+        let handle = EpochHandle::new(tiny_epoch());
+        assert_eq!(handle.current_id(), 0);
+        let pin0 = handle.pin();
+        let mut next = tiny_epoch();
+        next.id = handle.next_id();
+        let (arc1, pause) = handle.publish(next);
+        assert_eq!(arc1.id, 1);
+        assert!(pause < Duration::from_secs(1));
+        // The old generation is alive exactly as long as its pin.
+        assert_eq!(handle.live_epochs(), vec![0, 1]);
+        assert_eq!(pin0.id, 0, "in-flight work still reads the old epoch");
+        assert_eq!(handle.pin().id, 1, "new batches see the new epoch");
+        drop(pin0);
+        drop(arc1);
+        assert_eq!(handle.live_epochs(), vec![1], "only the current epoch survives");
+        assert!(handle.find(0).is_none(), "retired epochs are unreachable");
+        assert_eq!(handle.find(1).unwrap().id, 1);
+    }
+
+    #[test]
+    fn search_without_tombstones_is_the_plain_path() {
+        let e = tiny_epoch();
+        let params = SearchParams { k: 2, ..SearchParams::default() };
+        let (got, _) = e.search(&[1.4], &params);
+        let (want, _) = search_lists(&e.vectors, &e.lists, &[1.4], &params);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn search_never_surfaces_a_tombstone() {
+        let mut e = tiny_epoch();
+        // Tombstone point 1 (the nearest neighbor of the query below) the
+        // way a mutator would: clear its list, drop edges to it.
+        e.deleted[1] = true;
+        e.deleted_count = 1;
+        e.lists[1].clear();
+        for l in &mut e.lists {
+            l.retain(|nb| nb.index != 1);
+        }
+        let params = SearchParams { k: 2, ..SearchParams::default() };
+        let (got, _) = e.search(&[1.1], &params);
+        assert!(!got.is_empty());
+        assert!(got.iter().all(|nb| nb.index != 1), "tombstone leaked: {got:?}");
+        assert!(got.len() <= 2);
+    }
+}

@@ -53,6 +53,13 @@ pub enum ServeError {
         /// Number of indexed points.
         points: usize,
     },
+    /// A mutation was submitted to an engine started without a
+    /// [`crate::MutatePolicy`].
+    MutationsDisabled,
+    /// A mutation batch was refused or abandoned: the rebuild panicked, the
+    /// publish validation rejected the candidate index, or the mutator
+    /// thread was lost. The live epoch is untouched; the caller may retry.
+    MutationFailed(&'static str),
     /// A malformed [`crate::ServeConfig`] field.
     Config(&'static str),
     /// Invalid search parameters, metric, or query shape (typed, from the
@@ -83,6 +90,10 @@ impl fmt::Display for ServeError {
             ServeError::ListCountMismatch { lists, points } => {
                 write!(f, "{lists} neighbor lists for {points} points")
             }
+            ServeError::MutationsDisabled => {
+                write!(f, "mutations are disabled: the engine was started without a MutatePolicy")
+            }
+            ServeError::MutationFailed(why) => write!(f, "mutation failed: {why}"),
             ServeError::Config(what) => write!(f, "invalid serve config: {what}"),
             ServeError::Search(e) => write!(f, "search error: {e}"),
             ServeError::Io(e) => write!(f, "index load error: {e}"),
@@ -123,6 +134,9 @@ mod tests {
         let e = ServeError::ListCountMismatch { lists: 9, points: 10 };
         assert!(e.to_string().contains("9 neighbor lists for 10 points"), "{e}");
         assert!(ServeError::Config("batch_size must be >= 1").to_string().contains("batch_size"));
+        assert!(ServeError::MutationsDisabled.to_string().contains("MutatePolicy"));
+        let e = ServeError::MutationFailed("mutator panicked during rebuild");
+        assert!(e.to_string().contains("panicked"), "{e}");
         let e: ServeError = KnngError::ZeroK.into();
         assert!(matches!(e, ServeError::Search(_)));
         let e: ServeError = DataError::ZeroDimension.into();

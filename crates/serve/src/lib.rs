@@ -36,6 +36,21 @@
 //!   [`wknng_simt::FaultPlan`] serve faults) for injecting worker panics,
 //!   slow batches, and poisoned result channels in tests and from the CLI.
 //!
+//! The live-mutation envelope (see DESIGN.md "Live mutation & epoch
+//! publication"):
+//!
+//! * epoch-published index ([`Epoch`], [`EpochHandle`]) — workers pin the
+//!   current epoch per batch, so a swap never tears an in-flight query and
+//!   retired epochs free themselves when their last reader finishes;
+//! * online insert/delete ([`ServeEngine::insert`],
+//!   [`ServeEngine::delete`], gated by [`MutatePolicy`]) — a build-aside
+//!   mutator thread extends or tombstones the graph, locally refines it,
+//!   validates the candidate with the structural audit, and publishes a new
+//!   epoch atomically; a refused or panicked batch leaves the live epoch
+//!   untouched;
+//! * swap-scoped chaos ([`wknng_simt::SwapFault`]) — rebuild panics, stalls,
+//!   and poisoned publishes prove the no-hang / no-torn-read invariants.
+//!
 //! ```
 //! use wknng_core::WknngBuilder;
 //! use wknng_data::DatasetSpec;
@@ -55,16 +70,20 @@
 
 pub mod config;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod histogram;
+pub mod mutate;
 pub mod report;
 pub mod shed;
 pub mod supervisor;
 
 pub use config::{Augment, Backend, ServeConfig};
 pub use engine::{QueryResult, ServeEngine, ServeIndex, Ticket, DEADLINE_GRACE};
+pub use epoch::{Epoch, EpochHandle};
 pub use error::ServeError;
 pub use histogram::LatencyHistogram;
+pub use mutate::{MutatePolicy, MutationOp, MutationOutcome, MutationTicket};
 pub use report::ServeReport;
 pub use shed::ShedPolicy;
 pub use supervisor::SupervisorPolicy;

@@ -1,0 +1,312 @@
+//! The build-aside mutation pipeline: a background thread that absorbs
+//! insert/delete batches, patches the graph off to the side, validates the
+//! candidate, and publishes it as a new [`crate::Epoch`] — atomically, with
+//! the old epoch serving until the instant of the swap.
+//!
+//! Every mutation batch is one *swap attempt*:
+//!
+//! 1. **rebuild** — apply the batch to the resident [`GraphExtender`]
+//!    (greedy insert + local NN-descent refinement, or tombstone delete
+//!    with reverse-edge patching), compacting when the tombstone fraction
+//!    crosses [`MutatePolicy::compact_threshold`];
+//! 2. **validate** — audit the candidate lists; any corruption-class
+//!    finding refuses the swap and the live epoch stays untouched;
+//! 3. **publish** — [`crate::EpochHandle::publish`] swaps the `Arc`; the
+//!    critical section is the only reader-visible pause and is recorded
+//!    per-swap for the report's `swap_p99_pause_us`.
+//!
+//! The rebuild phase runs panic-isolated: a panic (or a refused publish)
+//! discards the torn extender and restores it from the last published
+//! epoch, so a faulty batch can never corrupt subsequent ones. Swap-scoped
+//! chaos ([`wknng_simt::SwapFault`], addressed by swap attempt index)
+//! injects exactly these failures in tests.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wknng_core::{audit_graph, GraphExtender, Knng, WknngParams};
+use wknng_data::{Neighbor, VectorSet};
+use wknng_simt::SwapFault;
+
+use crate::engine::DEADLINE_GRACE;
+use crate::epoch::{Epoch, EpochHandle};
+use crate::error::ServeError;
+use crate::histogram::LatencyHistogram;
+
+/// Online-mutation policy of a [`crate::ServeEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutatePolicy {
+    /// Local NN-descent refinement rounds after each insert batch (see
+    /// [`GraphExtender::refine`]). 0 skips refinement entirely.
+    pub refine_rounds: usize,
+    /// Insertion search beam (0 = the extender's `4·k` default).
+    pub beam: usize,
+    /// Tombstone fraction above which a batch triggers compaction (the
+    /// background rebuild that renumbers survivors). Must be in `(0, 1]`.
+    pub compact_threshold: f64,
+}
+
+impl Default for MutatePolicy {
+    fn default() -> Self {
+        MutatePolicy { refine_rounds: 2, beam: 0, compact_threshold: 0.3 }
+    }
+}
+
+impl MutatePolicy {
+    /// Validate the policy fields.
+    pub fn check(&self) -> Result<(), ServeError> {
+        if !(self.compact_threshold > 0.0 && self.compact_threshold <= 1.0) {
+            return Err(ServeError::Config("compact_threshold must be in (0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+/// One mutation batch.
+#[derive(Debug, Clone)]
+pub enum MutationOp {
+    /// Insert every row as a new point; ids are assigned sequentially past
+    /// the current epoch's length.
+    Insert(VectorSet),
+    /// Tombstone the given ids (idempotent; out-of-range ids fail the
+    /// whole batch).
+    Delete(Vec<u32>),
+}
+
+/// What a successfully published mutation batch reports back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// The epoch the batch was published as.
+    pub epoch: u64,
+    /// Points inserted or newly deleted by this batch.
+    pub applied: usize,
+    /// True when the batch triggered a compaction (ids were renumbered —
+    /// previously returned ids are relative to earlier epochs).
+    pub compacted: bool,
+}
+
+type MutationReply = Result<MutationOutcome, ServeError>;
+
+/// Handle to one in-flight mutation batch. Mirrors [`crate::Ticket`]: the
+/// wait is answered exactly once, with a typed error if the mutator dies.
+#[derive(Debug)]
+pub struct MutationTicket {
+    pub(crate) rx: mpsc::Receiver<MutationReply>,
+}
+
+impl MutationTicket {
+    /// Block until the batch is published or refused.
+    pub fn wait(self) -> MutationReply {
+        self.rx.recv().unwrap_or(Err(ServeError::MutationFailed("mutator thread lost")))
+    }
+
+    /// [`MutationTicket::wait`] bounded by a timeout; mirrors
+    /// [`crate::Ticket::wait_timeout`]'s grace convention.
+    pub fn wait_timeout(self, timeout: Duration) -> MutationReply {
+        match self.rx.recv_timeout(timeout + DEADLINE_GRACE) {
+            Ok(reply) => reply,
+            Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(ServeError::MutationFailed("mutator thread lost"))
+            }
+        }
+    }
+}
+
+/// An admitted mutation batch. The `Drop` guard is the mutation-side
+/// no-hang invariant: however the job leaves the mutator — published,
+/// refused, or abandoned by a panic so abrupt the explicit reply was lost —
+/// its ticket receives exactly one answer.
+pub(crate) struct MutationJob {
+    pub(crate) op: MutationOp,
+    pub(crate) tx: Option<mpsc::Sender<MutationReply>>,
+}
+
+impl MutationJob {
+    fn respond(mut self, reply: MutationReply) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(reply);
+        }
+    }
+}
+
+impl Drop for MutationJob {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Err(ServeError::MutationFailed("mutation batch abandoned")));
+        }
+    }
+}
+
+/// Counters the mutator folds into the final [`crate::ServeReport`].
+#[derive(Debug, Default)]
+pub(crate) struct MutatorStats {
+    pub(crate) mutations_applied: u64,
+    pub(crate) swaps: u64,
+    pub(crate) swaps_refused: u64,
+    /// Publish critical-section durations, recorded in nanoseconds.
+    pub(crate) pause: LatencyHistogram,
+}
+
+/// Everything the mutator thread needs, threaded through one struct so the
+/// engine can spawn it with a single `Arc` clone of the epoch handle.
+pub(crate) struct MutatorSeed {
+    pub(crate) epochs: Arc<EpochHandle>,
+    pub(crate) policy: MutatePolicy,
+    pub(crate) params: WknngParams,
+    pub(crate) chaos: Option<Arc<crate::engine::Chaos>>,
+}
+
+/// Rebuild a [`GraphExtender`] from a published epoch — the recovery path
+/// after a rebuild panic or a refused publish. Tombstones are re-marked via
+/// the idempotent delete (the epoch's lists already contain no edge to any
+/// tombstone, so the re-mark is pure bookkeeping).
+fn restore(epoch: &Epoch, params: WknngParams, beam: usize) -> GraphExtender {
+    let graph = Knng { lists: epoch.lists.clone(), params };
+    let mut ext = GraphExtender::from_parts(epoch.vectors.clone(), graph, beam)
+        .expect("a published epoch is structurally valid");
+    let tombstones: Vec<u32> =
+        (0..epoch.len() as u32).filter(|&p| epoch.deleted[p as usize]).collect();
+    if !tombstones.is_empty() {
+        ext.delete_batch(&tombstones).expect("tombstone ids are in range");
+    }
+    ext
+}
+
+/// Corrupt a candidate snapshot the way [`SwapFault::PoisonPublish`] models
+/// — a torn write between rebuild and publish. Points the first non-empty
+/// list at an out-of-range id, which the validation audit classifies as
+/// corruption and must catch.
+fn poison(lists: &mut [Vec<Neighbor>]) {
+    if let Some(list) = lists.iter_mut().find(|l| !l.is_empty()) {
+        list[0] = Neighbor::new(u32::MAX, list[0].dist);
+    }
+}
+
+/// The mutator thread body: drain mutation jobs until the engine drops the
+/// sender, publishing one epoch per successful batch.
+pub(crate) fn mutator(seed: MutatorSeed, rx: mpsc::Receiver<MutationJob>) -> MutatorStats {
+    let mut stats = MutatorStats::default();
+    let first = seed.epochs.pin();
+    let mut ext = restore(&first, seed.params, seed.policy.beam);
+    drop(first);
+    let mut next_swap: u64 = 0;
+    while let Ok(job) = rx.recv() {
+        let fault = seed.chaos.as_ref().and_then(|c| {
+            let idx = next_swap;
+            next_swap += 1;
+            c.plan.swap_fault(idx)
+        });
+        // Phase 1: rebuild, panic-isolated. A panic abandons the torn
+        // extender; the job is answered (typed, never a hang) and the
+        // extender is restored from the last *published* generation.
+        let rebuilt = catch_unwind(AssertUnwindSafe(|| {
+            match fault {
+                Some(SwapFault::PanicRebuild) => {
+                    panic!("chaos: injected rebuild panic")
+                }
+                Some(SwapFault::StallRebuild(d)) => std::thread::sleep(d),
+                _ => {}
+            }
+            let applied = match &job.op {
+                MutationOp::Insert(points) => {
+                    let ids = ext.insert_batch(points)?;
+                    if seed.policy.refine_rounds > 0 {
+                        ext.refine(seed.policy.refine_rounds);
+                    }
+                    ids.len()
+                }
+                MutationOp::Delete(ids) => ext.delete_batch(ids)?,
+            };
+            let compacted = ext.tombstone_fraction() > seed.policy.compact_threshold;
+            if compacted {
+                ext.compact();
+            }
+            Ok::<(usize, bool), ServeError>((applied, compacted))
+        }));
+        let (applied, compacted) = match rebuilt {
+            Ok(Ok(ok)) => ok,
+            Ok(Err(e)) => {
+                // A typed rebuild error (bad dims, out-of-range id) rejects
+                // only this batch; the extender is untouched by validation
+                // at the batch entry points, but an insert that failed
+                // midway would be torn — restore to be safe.
+                ext = restore(&seed.epochs.pin(), seed.params, seed.policy.beam);
+                stats.swaps_refused += 1;
+                job.respond(Err(e));
+                continue;
+            }
+            Err(_panic) => {
+                ext = restore(&seed.epochs.pin(), seed.params, seed.policy.beam);
+                stats.swaps_refused += 1;
+                job.respond(Err(ServeError::MutationFailed("mutator panicked during rebuild")));
+                continue;
+            }
+        };
+        // Phase 2: snapshot + validate. The candidate is audited *after*
+        // any chaos poisoning, so a torn write between rebuild and publish
+        // is caught here and the live epoch survives.
+        let candidate = ext.graph();
+        let mut lists = candidate.lists;
+        if matches!(fault, Some(SwapFault::PoisonPublish)) {
+            poison(&mut lists);
+        }
+        let audit = audit_graph(&lists, ext.len(), seed.params.k);
+        if audit.corruption_count() > 0 {
+            ext = restore(&seed.epochs.pin(), seed.params, seed.policy.beam);
+            stats.swaps_refused += 1;
+            job.respond(Err(ServeError::MutationFailed(
+                "publish validation rejected the candidate index",
+            )));
+            continue;
+        }
+        // Phase 3: publish atomically.
+        let epoch = Epoch {
+            id: seed.epochs.next_id(),
+            vectors: ext.vectors().clone(),
+            lists,
+            deleted: ext.deleted_flags().to_vec(),
+            deleted_count: ext.deleted_count(),
+        };
+        let id = epoch.id;
+        let (_arc, pause) = seed.epochs.publish(epoch);
+        stats.pause.record(pause.as_nanos() as u64);
+        stats.swaps += 1;
+        stats.mutations_applied += applied as u64;
+        job.respond(Ok(MutationOutcome { epoch: id, applied, compacted }));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_valid() {
+        assert!(MutatePolicy::default().check().is_ok());
+        let bad = MutatePolicy { compact_threshold: 0.0, ..MutatePolicy::default() };
+        assert!(matches!(bad.check(), Err(ServeError::Config(_))));
+        let bad = MutatePolicy { compact_threshold: 1.5, ..MutatePolicy::default() };
+        assert!(matches!(bad.check(), Err(ServeError::Config(_))));
+    }
+
+    #[test]
+    fn dropped_job_answers_its_ticket() {
+        let (tx, rx) = mpsc::channel();
+        let job = MutationJob { op: MutationOp::Delete(vec![]), tx: Some(tx) };
+        drop(job);
+        let ticket = MutationTicket { rx };
+        assert_eq!(ticket.wait(), Err(ServeError::MutationFailed("mutation batch abandoned")));
+    }
+
+    #[test]
+    fn poison_introduces_an_audit_catchable_corruption() {
+        let mut lists = vec![vec![Neighbor::new(1, 0.5)], vec![Neighbor::new(0, 0.5)]];
+        poison(&mut lists);
+        let report = audit_graph(&lists, 2, 1);
+        assert!(report.corruption_count() > 0, "poison must be audit-visible");
+    }
+}

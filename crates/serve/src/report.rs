@@ -48,6 +48,15 @@ pub struct ServeReport {
     pub worker_restarts: u64,
     /// Batches served with browned-out (degraded) search parameters.
     pub brownout_batches: u64,
+    /// Id of the epoch current at shutdown (0 when nothing was published).
+    pub epoch: u64,
+    /// Points inserted or deleted by published mutation batches.
+    pub mutations_applied: u64,
+    /// Epochs published by the mutator (successful swaps).
+    pub swaps: u64,
+    /// p99 of the publish critical-section pause, in microseconds — the
+    /// only instant a swap can hold readers behind the epoch lock.
+    pub swap_p99_pause_us: u64,
 }
 
 impl ServeReport {
@@ -84,10 +93,15 @@ impl fmt::Display for ServeReport {
             "work/query: {:.1} distance evals, {:.1} expansions; launch faults {}",
             self.mean_distance_evals, self.mean_expansions, self.launch_faults
         )?;
-        write!(
+        writeln!(
             f,
             "resilience: shed {} / deadline expired {} / worker restarts {} / brownout batches {}",
             self.shed, self.deadline_expired, self.worker_restarts, self.brownout_batches
+        )?;
+        write!(
+            f,
+            "mutation: epoch {} / applied {} / swaps {} / swap p99 pause {} us",
+            self.epoch, self.mutations_applied, self.swaps, self.swap_p99_pause_us
         )
     }
 }
@@ -120,6 +134,10 @@ mod tests {
             deadline_expired: 2,
             worker_restarts: 1,
             brownout_batches: 4,
+            epoch: 3,
+            mutations_applied: 120,
+            swaps: 3,
+            swap_p99_pause_us: 42,
         };
         let s = r.to_string();
         assert!(s.contains("served 3"), "{s}");
@@ -130,6 +148,10 @@ mod tests {
         assert!(s.contains("deadline expired 2"), "{s}");
         assert!(s.contains("worker restarts 1"), "{s}");
         assert!(s.contains("brownout batches 4"), "{s}");
+        assert!(s.contains("epoch 3"), "{s}");
+        assert!(s.contains("applied 120"), "{s}");
+        assert!(s.contains("swaps 3"), "{s}");
+        assert!(s.contains("swap p99 pause 42 us"), "{s}");
         assert!(r.latency_p(50.0) >= Duration::from_micros(900));
     }
 }

@@ -95,9 +95,31 @@ pub enum ServeFault {
     PoisonResults,
 }
 
+/// A fault scoped to one index-swap attempt of a live mutation pipeline (see
+/// [`FaultPlan::swap_fault`]). Swap faults are addressed by the global swap
+/// attempt index the mutator maintains, independent of the serve-batch
+/// numbering: a swap proceeds rebuild → validate → publish, and each variant
+/// sabotages one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapFault {
+    /// The background rebuild panics mid-way, leaving its working state
+    /// torn. The live epoch must stay untouched and the mutation must
+    /// resolve to a typed error, never a hang or a partial publish.
+    PanicRebuild,
+    /// The background rebuild stalls for the given duration. Queries must
+    /// keep flowing on the current epoch for the whole stall — a slow swap
+    /// is invisible to readers.
+    StallRebuild(Duration),
+    /// The candidate index is corrupted between rebuild and publish (a torn
+    /// write, a flipped bit in the snapshot). The pre-publish validation
+    /// audit must catch it and refuse the swap.
+    PoisonPublish,
+}
+
 /// A reproducible schedule of device faults, addressed by fault-aware launch
 /// index (see the module docs for the numbering rules), plus serve-side
-/// faults addressed by global serve-batch index.
+/// faults addressed by global serve-batch index and swap-scoped faults
+/// addressed by swap attempt index.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     seed: u64,
@@ -107,6 +129,9 @@ pub struct FaultPlan {
     serve_panics: BTreeSet<u64>,
     serve_stalls: BTreeMap<u64, Duration>,
     serve_poisons: BTreeSet<u64>,
+    swap_panics: BTreeSet<u64>,
+    swap_stalls: BTreeMap<u64, Duration>,
+    swap_poisons: BTreeSet<u64>,
 }
 
 impl FaultPlan {
@@ -154,6 +179,25 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a rebuild panic at swap attempt `swap`.
+    pub fn panic_rebuild(mut self, swap: u64) -> Self {
+        self.swap_panics.insert(swap);
+        self
+    }
+
+    /// Schedule a rebuild stall of `dur` during swap attempt `swap`.
+    pub fn stall_rebuild(mut self, swap: u64, dur: Duration) -> Self {
+        self.swap_stalls.insert(swap, dur);
+        self
+    }
+
+    /// Schedule candidate-index corruption just before the publish of swap
+    /// attempt `swap` (the validation audit must refuse the swap).
+    pub fn poison_publish(mut self, swap: u64) -> Self {
+        self.swap_poisons.insert(swap);
+        self
+    }
+
     /// The serve-side fault scheduled at serve-batch `batch`, if any. When
     /// several kinds are scheduled on one index, a panic outranks a stall
     /// outranks a poison (the panic makes the others unobservable anyway).
@@ -175,45 +219,75 @@ impl FaultPlan {
             || !self.serve_poisons.is_empty()
     }
 
+    /// The swap-scoped fault scheduled at swap attempt `swap`, if any. On a
+    /// shared index a panic outranks a stall outranks a poison, mirroring
+    /// [`FaultPlan::serve_fault`]: the panic aborts the rebuild, so the
+    /// later phases never run.
+    pub fn swap_fault(&self, swap: u64) -> Option<SwapFault> {
+        if self.swap_panics.contains(&swap) {
+            return Some(SwapFault::PanicRebuild);
+        }
+        if let Some(&d) = self.swap_stalls.get(&swap) {
+            return Some(SwapFault::StallRebuild(d));
+        }
+        self.swap_poisons.contains(&swap).then_some(SwapFault::PoisonPublish)
+    }
+
+    /// True when the plan schedules any swap-scoped fault (the mutator uses
+    /// this to decide whether to number swap attempts at all).
+    pub fn has_swap_faults(&self) -> bool {
+        !self.swap_panics.is_empty()
+            || !self.swap_stalls.is_empty()
+            || !self.swap_poisons.is_empty()
+    }
+
     /// True when the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
         self.launch_failures.is_empty()
             && self.shared_alloc_failures.is_empty()
             && self.bit_flips.is_empty()
             && !self.has_serve_faults()
+            && !self.has_swap_faults()
     }
 
     /// Parse a serve-side chaos spec: comma-separated events of the form
     /// `panic@B`, `stall@B:DURms` (or `DURus` / `DURs`), `poison@B`, where
-    /// `B` is the global serve-batch index. Example:
-    /// `panic@1,stall@3:20ms,poison@5`.
+    /// `B` is the global serve-batch index, plus swap-scoped events
+    /// `rebuild-panic@S`, `rebuild-stall@S:DUR`, `publish-poison@S` where
+    /// `S` is the swap attempt index. Example:
+    /// `panic@1,stall@3:20ms,poison@5,rebuild-panic@0,publish-poison@1`.
     pub fn parse_serve(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
             let (kind, rest) =
-                tok.split_once('@').ok_or_else(|| format!("'{tok}': expected kind@batch"))?;
+                tok.split_once('@').ok_or_else(|| format!("'{tok}': expected kind@index"))?;
             match kind {
-                "panic" | "poison" => {
-                    let batch: u64 =
-                        rest.parse().map_err(|_| format!("'{tok}': bad batch index '{rest}'"))?;
-                    plan = if kind == "panic" {
-                        plan.panic_batch(batch)
-                    } else {
-                        plan.poison_batch(batch)
+                "panic" | "poison" | "rebuild-panic" | "publish-poison" => {
+                    let idx: u64 =
+                        rest.parse().map_err(|_| format!("'{tok}': bad index '{rest}'"))?;
+                    plan = match kind {
+                        "panic" => plan.panic_batch(idx),
+                        "poison" => plan.poison_batch(idx),
+                        "rebuild-panic" => plan.panic_rebuild(idx),
+                        _ => plan.poison_publish(idx),
                     };
                 }
-                "stall" => {
+                "stall" | "rebuild-stall" => {
                     let (b, d) = rest
                         .split_once(':')
-                        .ok_or_else(|| format!("'{tok}': expected stall@batch:duration"))?;
-                    let batch: u64 =
-                        b.parse().map_err(|_| format!("'{tok}': bad batch index '{b}'"))?;
-                    plan = plan.stall_batch(batch, parse_duration(d)?);
+                        .ok_or_else(|| format!("'{tok}': expected {kind}@index:duration"))?;
+                    let idx: u64 = b.parse().map_err(|_| format!("'{tok}': bad index '{b}'"))?;
+                    let dur = parse_duration(d)?;
+                    plan = if kind == "stall" {
+                        plan.stall_batch(idx, dur)
+                    } else {
+                        plan.stall_rebuild(idx, dur)
+                    };
                 }
                 other => {
                     return Err(format!(
-                        "'{tok}': unknown fault kind '{other}' \
-                                        (panic|stall|poison)"
+                        "'{tok}': unknown fault kind '{other}' (panic|stall|poison|\
+                         rebuild-panic|rebuild-stall|publish-poison)"
                     ))
                 }
             }
@@ -422,6 +496,49 @@ mod tests {
         assert_eq!(plan.serve_fault(3), Some(ServeFault::PanicWorker));
         // Launch-fault-only plans report no serve faults.
         assert!(!FaultPlan::new(0).fail_launch(1).has_serve_faults());
+    }
+
+    #[test]
+    fn swap_faults_are_scheduled_and_ranked() {
+        let plan = FaultPlan::new(3)
+            .panic_rebuild(0)
+            .stall_rebuild(1, Duration::from_millis(40))
+            .poison_publish(2);
+        assert!(plan.has_swap_faults());
+        assert!(!plan.is_empty());
+        assert!(!plan.has_serve_faults(), "swap faults are not serve faults");
+        assert_eq!(plan.swap_fault(0), Some(SwapFault::PanicRebuild));
+        assert_eq!(plan.swap_fault(1), Some(SwapFault::StallRebuild(Duration::from_millis(40))));
+        assert_eq!(plan.swap_fault(2), Some(SwapFault::PoisonPublish));
+        assert_eq!(plan.swap_fault(3), None);
+        // Stacked on one attempt: panic outranks stall outranks poison.
+        let plan = FaultPlan::new(0)
+            .poison_publish(5)
+            .stall_rebuild(5, Duration::from_secs(1))
+            .panic_rebuild(5);
+        assert_eq!(plan.swap_fault(5), Some(SwapFault::PanicRebuild));
+        // Serve-batch numbering and swap numbering are independent spaces.
+        let plan = FaultPlan::new(0).panic_batch(4).poison_publish(4);
+        assert_eq!(plan.serve_fault(4), Some(ServeFault::PanicWorker));
+        assert_eq!(plan.swap_fault(4), Some(SwapFault::PoisonPublish));
+    }
+
+    #[test]
+    fn swap_chaos_specs_parse_and_reject() {
+        let plan =
+            FaultPlan::parse_serve("rebuild-panic@0, rebuild-stall@1:40ms ,publish-poison@2")
+                .unwrap();
+        assert_eq!(plan.swap_fault(0), Some(SwapFault::PanicRebuild));
+        assert_eq!(plan.swap_fault(1), Some(SwapFault::StallRebuild(Duration::from_millis(40))));
+        assert_eq!(plan.swap_fault(2), Some(SwapFault::PoisonPublish));
+        assert!(!plan.has_serve_faults());
+        // Mixed serve + swap specs coexist.
+        let plan = FaultPlan::parse_serve("panic@1,publish-poison@0").unwrap();
+        assert_eq!(plan.serve_fault(1), Some(ServeFault::PanicWorker));
+        assert_eq!(plan.swap_fault(0), Some(SwapFault::PoisonPublish));
+        for bad in ["rebuild-panic", "rebuild-panic@x", "rebuild-stall@1", "publish-poison@"] {
+            assert!(FaultPlan::parse_serve(bad).is_err(), "{bad} must not parse");
+        }
     }
 
     #[test]

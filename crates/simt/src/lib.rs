@@ -68,7 +68,7 @@ pub use block::BlockCtx;
 pub use device::{DeviceConfig, SECTOR_BYTES, SHARED_BANKS, WARP_LANES};
 pub use fault::{
     splitmix64, take_due_flips, FaultPlan, FaultScope, InjectedFault, LaunchFault, PendingFlip,
-    ServeFault,
+    ServeFault, SwapFault,
 };
 pub use lane::{lane_ids, LaneVec, Mask};
 pub use launch::{launch, try_launch, LaunchReport};

@@ -284,6 +284,13 @@ pub fn cmd_audit(args: &Args) -> Result<String, String> {
 /// legitimately come back shed, expired, or worker-lost; the replayer counts
 /// those outcomes instead of failing, mirroring a real client's retry
 /// budget.
+///
+/// With `--mutate` the engine starts its build-aside mutator; `--insert
+/// more.wkv` then inserts those points in batches *while the replay is in
+/// flight*, publishing new epochs under traffic. `--assert-recall R`
+/// re-searches every query against the final epoch after the drain and
+/// fails unless recall@k against exact ground truth over the live points is
+/// at least `R` — the CI smoke gate for mutation quality.
 pub fn cmd_serve(args: &Args) -> Result<String, String> {
     let input = args.require("input")?;
     let graph_path = args.require("graph")?;
@@ -308,6 +315,27 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         None => None,
         Some(spec) => Some(FaultPlan::parse_serve(&spec).map_err(|e| format!("--chaos: {e}"))?),
     };
+    let chaos_armed = chaos.is_some();
+    let mutate_on = args.get("mutate", false)?;
+    let inserts = match args.get_opt::<String>("insert")? {
+        None => None,
+        Some(p) => {
+            if !mutate_on {
+                return Err("--insert requires --mutate".to_string());
+            }
+            let more = io::load_vectors(Path::new(&p)).map_err(|e| e.to_string())?;
+            if more.dim() != queries.dim() {
+                return Err(format!(
+                    "--insert points are {}-dimensional, index is {}-dimensional",
+                    more.dim(),
+                    queries.dim()
+                ));
+            }
+            Some(more)
+        }
+    };
+    let assert_recall = args.get_opt::<f64>("assert-recall")?;
+    let refine_rounds = args.get("refine", MutatePolicy::default().refine_rounds)?;
     let cfg = ServeConfig {
         shards: args.get("shards", 1usize)?,
         batch_size: args.get("batch", 32usize)?,
@@ -329,19 +357,46 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         shed: args.get("shed", false)?.then(ShedPolicy::default),
         supervisor: SupervisorPolicy::default(),
         chaos,
+        mutate: mutate_on.then(|| MutatePolicy { refine_rounds, ..MutatePolicy::default() }),
     };
     let engine = ServeEngine::start(index, cfg).map_err(|e| e.to_string())?;
-    let mut tickets = Vec::with_capacity(queries.len());
-    for q in 0..queries.len() {
+    let submit = |q: usize, tickets: &mut Vec<Ticket>| -> Result<(), String> {
         loop {
             match engine.submit(queries.row(q).to_vec()) {
-                Ok(t) => break tickets.push(t),
+                Ok(t) => {
+                    tickets.push(t);
+                    break Ok(());
+                }
                 Err(ServeError::Overloaded { .. }) => {
                     std::thread::sleep(std::time::Duration::from_micros(200));
                 }
-                Err(e) => return Err(e.to_string()),
+                Err(e) => break Err(e.to_string()),
             }
         }
+    };
+    let mut tickets = Vec::with_capacity(queries.len());
+    // First half of the replay goes in before any mutation, so the insert
+    // batches below land under live traffic.
+    let split = if inserts.is_some() { queries.len() / 2 } else { queries.len() };
+    for q in 0..split {
+        submit(q, &mut tickets)?;
+    }
+    let mut mutation_tickets = Vec::new();
+    let mut inserted = 0usize;
+    if let Some(more) = &inserts {
+        // Several batches, interleaved with the rest of the replay, so
+        // multiple epochs publish while queries are in flight.
+        let batches = 4usize.min(more.len().max(1));
+        let per = more.len().div_ceil(batches);
+        for chunk in (0..more.len()).collect::<Vec<_>>().chunks(per.max(1)) {
+            let rows: Vec<Vec<f32>> = chunk.iter().map(|&i| more.row(i).to_vec()).collect();
+            let batch = VectorSet::from_rows(&rows).map_err(|e| e.to_string())?;
+            inserted += batch.len();
+            mutation_tickets.push(engine.insert(batch).map_err(|e| e.to_string())?);
+        }
+    }
+    for q in split..queries.len() {
+        submit(q, &mut tickets)?;
     }
     let (mut answered, mut degraded) = (0usize, 0usize);
     for t in tickets {
@@ -353,8 +408,63 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
             Err(e) => return Err(e.to_string()),
         }
     }
+    let mut refused = 0usize;
+    for t in mutation_tickets {
+        match t.wait() {
+            Ok(_) => {}
+            Err(ServeError::MutationFailed(_)) if chaos_armed => refused += 1,
+            Err(e) => return Err(format!("mutation batch failed: {e}")),
+        }
+    }
+    // Pin the final epoch before the drain: it is a pure snapshot, valid
+    // after the engine is gone.
+    let last = engine.pin_epoch();
     let report = engine.shutdown();
-    Ok(format!("replayed {answered} queries ({degraded} degraded)\n{report}"))
+    let mut out = format!("replayed {answered} queries ({degraded} degraded)");
+    if mutate_on {
+        out.push_str(&format!(", inserted {inserted} points ({refused} batches refused)"));
+    }
+    out.push('\n');
+    if let Some(bound) = assert_recall {
+        let k = args.get("k", 10usize)?.min(last.live_len()).max(1);
+        let eval = SearchParams {
+            k,
+            beam: args.get("beam", 48usize)?.max(k),
+            entries: args.get("entries", 2usize)?,
+            metric: Metric::SquaredL2,
+        };
+        let r = epoch_recall(&last, &queries, &eval);
+        out.push_str(&format!("final-epoch recall@{k} {r:.3}\n"));
+        if r < bound {
+            return Err(format!("recall@{k} {r:.3} is below the asserted bound {bound}"));
+        }
+    }
+    out.push_str(&report.to_string());
+    Ok(out)
+}
+
+/// Recall@k of the final epoch's answers against exact ground truth over
+/// its live points, evaluated with the serving search parameters — the
+/// pure-function check behind `--assert-recall`.
+fn epoch_recall(epoch: &crate::serve::Epoch, queries: &VectorSet, params: &SearchParams) -> f64 {
+    let k = params.k;
+    let (mut hits, mut total) = (0usize, 0usize);
+    for q in 0..queries.len() {
+        let query = queries.row(q);
+        let (got, _) = epoch.search(query, params);
+        let mut exact: Vec<(f32, u32)> = (0..epoch.len())
+            .filter(|&i| !epoch.deleted[i])
+            .map(|i| (sq_l2(query, epoch.vectors.row(i)), i as u32))
+            .collect();
+        exact.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        exact.truncate(k);
+        hits += got.iter().filter(|nb| exact.iter().any(|&(_, i)| i == nb.index)).count();
+        total += k;
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    hits as f64 / total as f64
 }
 
 /// `sanitize`: sweep the four device kernels (basic / atomic / tiled / beam)
@@ -555,6 +665,8 @@ wknng-cli — approximate K-NN graphs from the command line
            [--entries 2] [--shards 1] [--batch 32] [--linger-us 500]
            [--capacity 1024] [--augment [--max-degree D]] [--device native|sim]
            [--deadline-ms 50] [--shed] [--chaos panic@1,stall@3:20ms,poison@5]
+           [--chaos rebuild-panic@0,rebuild-stall@1:20ms,publish-poison@2]
+           [--mutate [--refine 2] [--insert more.wkv] [--assert-recall 0.9]]
   extend   --input d.wkv --graph g.wkk --new more.wkv
            --out-vectors d2.wkv --out-graph g2.wkk [--beam 0]
   sanitize [--seed S]   (requires building with --features sanitize)
@@ -863,6 +975,54 @@ mod extended_cli_tests {
         )));
         assert!(err.unwrap_err().contains("--chaos"), "bad spec must name the flag");
         for f in [&vecs, &graph, &queries] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_mutate_inserts_under_load_and_gates_on_recall() {
+        let vecs = tmp("srv-m.wkv");
+        let graph = tmp("srv-m.wkk");
+        let queries = tmp("srv-m-q.wkv");
+        let more = tmp("srv-m-new.wkv");
+        dispatch(&args(&format!(
+            "generate --out {vecs} --kind manifold --n 300 --dim 16 --intrinsic 3 --seed 28"
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "build --input {vecs} --out {graph} --k 10 --trees 8 --leaf 32 --explore 2"
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "generate --out {queries} --kind manifold --n 40 --dim 16 --intrinsic 3 --seed 29"
+        )))
+        .unwrap();
+        // 10% of the index size, same distribution, inserted mid-replay.
+        dispatch(&args(&format!(
+            "generate --out {more} --kind manifold --n 30 --dim 16 --intrinsic 3 --seed 30"
+        )))
+        .unwrap();
+        let out = dispatch(&args(&format!(
+            "serve --input {vecs} --graph {graph} --queries {queries} --k 5 --batch 8 \
+             --mutate --insert {more} --assert-recall 0.9"
+        )))
+        .unwrap();
+        assert!(out.contains("replayed 40 queries"), "{out}");
+        assert!(out.contains("inserted 30 points (0 batches refused)"), "{out}");
+        assert!(out.contains("final-epoch recall@5"), "{out}");
+        assert!(out.contains("mutation: epoch 4 / applied 30 / swaps 4"), "{out}");
+        // --insert without --mutate is a clean flag error.
+        let err = dispatch(&args(&format!(
+            "serve --input {vecs} --graph {graph} --queries {queries} --insert {more}"
+        )));
+        assert!(err.unwrap_err().contains("--mutate"), "flag dependency must be named");
+        // An unreachable recall bound fails loudly instead of passing.
+        let err = dispatch(&args(&format!(
+            "serve --input {vecs} --graph {graph} --queries {queries} --k 5 \
+             --mutate --insert {more} --assert-recall 1.01"
+        )));
+        assert!(err.unwrap_err().contains("below the asserted bound"), "gate must trip");
+        for f in [&vecs, &graph, &queries, &more] {
             std::fs::remove_file(f).ok();
         }
     }

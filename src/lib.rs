@@ -78,23 +78,24 @@ pub mod prelude {
         build_native, extend_graph, graph_stats, lint_all_kernels, lists_to_slots,
         mean_distance_ratio, mutation_reports, recall, repair_list, run_search_batch, search,
         search_batch, search_checked, symmetrize, AuditLevel, AuditReport, BuildEvent, BuildEvents,
-        BuildPhase, BuildPolicy, DeviceReports, ExplorationMode, Extended, GraphStats,
-        KernelVariant, Knng, KnngError, PhaseTimings, SearchIndex, SearchParams, SearchStats,
-        ViolationKind, WknngBuilder, WknngParams,
+        BuildPhase, BuildPolicy, DeviceReports, ExplorationMode, Extended, GraphExtender,
+        GraphStats, KernelVariant, Knng, KnngError, PhaseTimings, SearchIndex, SearchParams,
+        SearchStats, ViolationKind, WknngBuilder, WknngParams,
     };
     pub use wknng_data::{
         exact_knn, sq_l2, DataError, Dataset, DatasetSpec, Metric, Neighbor, VectorSet,
     };
     pub use wknng_forest::{build_forest, ForestParams, ProjectionKind, RpForest, TreeParams};
     pub use wknng_serve::{
-        Augment, Backend, QueryResult, ServeConfig, ServeEngine, ServeError, ServeIndex,
-        ServeReport, ShedPolicy, SupervisorPolicy, Ticket, DEADLINE_GRACE,
+        Augment, Backend, Epoch, EpochHandle, MutatePolicy, MutationOp, MutationOutcome,
+        MutationTicket, QueryResult, ServeConfig, ServeEngine, ServeError, ServeIndex, ServeReport,
+        ShedPolicy, SupervisorPolicy, Ticket, DEADLINE_GRACE,
     };
     #[cfg(feature = "sanitize")]
     pub use wknng_simt::{launch_sanitized, SanitizerScope};
     pub use wknng_simt::{
         DeviceConfig, FaultPlan, FaultScope, Hazard, HazardKind, HazardReport, InjectedFault,
-        LaunchFault, LaunchReport, ServeFault, Stats,
+        LaunchFault, LaunchReport, ServeFault, Stats, SwapFault,
     };
     pub use wknng_tsne::{affinities_from_knng, tsne_via_wknng, Embedding, TsneParams};
 }

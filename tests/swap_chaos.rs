@@ -1,0 +1,313 @@
+//! Chaos harness for live index mutation: deterministic swap-scoped fault
+//! injection (rebuild panics, rebuild stalls, poisoned publishes) under
+//! sustained query load, proving the zero-downtime-swap acceptance
+//! criteria:
+//!
+//! * every answer is coherent with exactly one epoch — recomputing it
+//!   through that epoch's pure [`Epoch::search`] reproduces it bit-exactly
+//!   (no torn reads across a swap);
+//! * a failed swap — panic, stall, or audit-refused poisoned publish — is a
+//!   typed error on the mutation ticket, never a hang, and the old epoch
+//!   keeps serving untouched;
+//! * a worker killed while holding an old epoch drops its pin on unwind, so
+//!   retired generations free themselves ([`EpochHandle::live_epochs`]
+//!   shrinks to just the current epoch);
+//! * replacing 10% of the index under load, with faults injected at every
+//!   swap phase, loses no query, keeps recall@10 of the final epoch at
+//!   least 0.9, and bounds both the served p99 and the publish pause.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use wknng::prelude::*;
+
+/// Shared corpus: 1.2k indexed points, 100 out-of-sample queries, and the
+/// sequential reference answers over the untouched epoch-0 graph.
+#[allow(clippy::type_complexity)]
+fn corpus() -> &'static (VectorSet, VectorSet, Knng, Vec<Vec<Neighbor>>) {
+    static CORPUS: OnceLock<(VectorSet, VectorSet, Knng, Vec<Vec<Neighbor>>)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let dim = 12;
+        let all = DatasetSpec::Manifold { n: 1300, ambient_dim: dim, intrinsic_dim: 3 }
+            .generate(150)
+            .vectors;
+        let index = VectorSet::new(all.as_flat()[..1200 * dim].to_vec(), dim).unwrap();
+        let queries = VectorSet::new(all.as_flat()[1200 * dim..].to_vec(), dim).unwrap();
+        let (g, _) = WknngBuilder::new(10)
+            .trees(5)
+            .leaf_size(32)
+            .exploration(2)
+            .seed(151)
+            .build_native(&index)
+            .expect("valid build");
+        let reference: Vec<Vec<Neighbor>> = (0..queries.len())
+            .map(|q| search(&index, &g, queries.row(q), &SearchParams::default()).0)
+            .collect();
+        (index, queries, g, reference)
+    })
+}
+
+fn mutable_engine(chaos: Option<FaultPlan>, cfg: ServeConfig) -> ServeEngine {
+    let (vs, _, g, _) = corpus();
+    let index = ServeIndex::from_parts(vs.clone(), g.lists.clone()).unwrap();
+    let cfg = ServeConfig { mutate: Some(MutatePolicy::default()), chaos, ..cfg };
+    ServeEngine::start(index, cfg).unwrap()
+}
+
+/// Fresh points from the same manifold, for insert batches.
+fn fresh_points(n: usize, seed: u64) -> VectorSet {
+    DatasetSpec::Manifold { n, ambient_dim: 12, intrinsic_dim: 3 }.generate(seed).vectors
+}
+
+/// Recall@k of `answers` against exact ground truth over the epoch's live
+/// points (brute force per query — the mutation-aware quality oracle).
+fn recall_against_epoch(epoch: &Epoch, queries: &VectorSet, answers: &[Vec<Neighbor>]) -> f64 {
+    let k = answers.iter().map(Vec::len).max().unwrap_or(0).max(1);
+    let (mut hits, mut total) = (0usize, 0usize);
+    for (q, got) in answers.iter().enumerate() {
+        let query = queries.row(q);
+        let mut exact: Vec<(f32, u32)> = (0..epoch.len())
+            .filter(|&i| !epoch.deleted[i])
+            .map(|i| (sq_l2(query, epoch.vectors.row(i)), i as u32))
+            .collect();
+        exact.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        exact.truncate(k);
+        hits += got.iter().filter(|nb| exact.iter().any(|&(_, i)| i == nb.index)).count();
+        total += k;
+    }
+    hits as f64 / total as f64
+}
+
+#[test]
+fn concurrent_answers_are_coherent_with_exactly_one_epoch() {
+    let (_, queries, _, _) = corpus();
+    let engine = mutable_engine(None, ServeConfig { batch_size: 8, ..ServeConfig::default() });
+    let params = SearchParams::default();
+    // Pin every generation as it appears so recomputation can always reach
+    // the epoch an answer claims, however long ago it was retired.
+    let mut pinned: HashMap<u64, Arc<Epoch>> = HashMap::new();
+    pinned.insert(0, engine.pin_epoch());
+    let mut tickets = Vec::new();
+    // Interleave query waves with insert batches *without* waiting for the
+    // queries, so answers genuinely straddle the swaps.
+    for (wave, seed) in [(0usize, 201u64), (1, 202), (2, 203)] {
+        for q in (wave * 30)..(wave * 30 + 30) {
+            tickets.push((q % 100, engine.submit(queries.row(q % 100).to_vec()).unwrap()));
+        }
+        let outcome = engine.insert(fresh_points(15, seed)).unwrap().wait().expect("published");
+        assert_eq!(outcome.epoch, wave as u64 + 1);
+        assert_eq!(outcome.applied, 15);
+        pinned.insert(outcome.epoch, engine.find_epoch(outcome.epoch).expect("just published"));
+    }
+    let mut by_epoch: HashMap<u64, usize> = HashMap::new();
+    for (q, t) in tickets {
+        let res = t.wait_timeout(Duration::from_secs(20)).expect("no query dropped");
+        let epoch = pinned.get(&res.epoch).expect("answer names a published epoch");
+        let (want, wstats) = epoch.search(queries.row(q), &params);
+        assert_eq!(res.neighbors, want, "query {q} torn across epoch {}", res.epoch);
+        assert_eq!(res.stats, wstats, "query {q} stats mismatch epoch {}", res.epoch);
+        *by_epoch.entry(res.epoch).or_default() += 1;
+    }
+    assert_eq!(by_epoch.values().sum::<usize>(), 90);
+    let report = engine.shutdown();
+    assert_eq!(report.epoch, 3);
+    assert_eq!(report.swaps, 3);
+    assert_eq!(report.mutations_applied, 45);
+}
+
+#[test]
+fn rebuild_panic_refuses_the_batch_and_the_old_epoch_keeps_serving() {
+    let (_, queries, _, reference) = corpus();
+    let chaos = FaultPlan::default().panic_rebuild(0);
+    let engine = mutable_engine(Some(chaos), ServeConfig::default());
+    let err = engine.insert(fresh_points(20, 211)).unwrap().wait().unwrap_err();
+    assert!(matches!(err, ServeError::MutationFailed(why) if why.contains("panicked")), "{err}");
+    assert_eq!(engine.epoch(), 0, "a refused swap must not publish");
+    // The live epoch is untouched: answers are bit-exact with the
+    // pre-mutation sequential reference.
+    for (q, expect) in reference.iter().enumerate().take(10) {
+        let res = engine.query(queries.row(q).to_vec()).unwrap();
+        assert_eq!(&res.neighbors, expect, "query {q} after refused swap");
+        assert_eq!(res.epoch, 0);
+    }
+    // The mutator recovered: the next batch (swap attempt 1, unfaulted)
+    // publishes normally.
+    let outcome = engine.insert(fresh_points(20, 212)).unwrap().wait().expect("recovered");
+    assert_eq!(outcome.epoch, 1);
+    let report = engine.shutdown();
+    assert_eq!(report.swaps, 1);
+    assert_eq!(report.mutations_applied, 20);
+}
+
+#[test]
+fn poisoned_publish_is_refused_by_the_audit_gate() {
+    let (_, queries, _, reference) = corpus();
+    let chaos = FaultPlan::default().poison_publish(0);
+    let engine = mutable_engine(Some(chaos), ServeConfig::default());
+    let err = engine.insert(fresh_points(20, 221)).unwrap().wait().unwrap_err();
+    assert!(matches!(err, ServeError::MutationFailed(why) if why.contains("validation")), "{err}");
+    assert_eq!(engine.epoch(), 0, "a poisoned candidate must never go live");
+    for (q, expect) in reference.iter().enumerate().take(10) {
+        let res = engine.query(queries.row(q).to_vec()).unwrap();
+        assert_eq!(&res.neighbors, expect, "query {q} after poisoned publish");
+    }
+    let outcome = engine.insert(fresh_points(20, 222)).unwrap().wait().expect("recovered");
+    assert_eq!(outcome.epoch, 1);
+    engine.shutdown();
+}
+
+#[test]
+fn rebuild_stall_never_blocks_queries() {
+    let (_, queries, _, reference) = corpus();
+    let stall = Duration::from_millis(1500);
+    let chaos = FaultPlan::default().stall_rebuild(0, stall);
+    let engine = mutable_engine(Some(chaos), ServeConfig::default());
+    // Kick off the stalled mutation and immediately query under it: the
+    // build-aside rebuild must not hold up serving for anything like the
+    // stall duration.
+    let ticket = engine.insert(fresh_points(20, 231)).unwrap();
+    let serving = Instant::now();
+    for (q, expect) in reference.iter().enumerate().take(20) {
+        let res = engine.query(queries.row(q).to_vec()).unwrap();
+        assert_eq!(&res.neighbors, expect, "query {q} during the stall");
+        assert_eq!(res.epoch, 0, "the stalled swap has not published yet");
+    }
+    assert!(
+        serving.elapsed() < stall / 2,
+        "queries stalled behind the rebuild: {:?}",
+        serving.elapsed()
+    );
+    let outcome = ticket.wait_timeout(Duration::from_secs(30)).expect("stalled, not dead");
+    assert_eq!(outcome.epoch, 1);
+    let report = engine.shutdown();
+    assert_eq!(report.swaps, 1);
+}
+
+#[test]
+fn killed_worker_drops_its_pin_and_old_epochs_retire() {
+    let (_, queries, _, _) = corpus();
+    let backoff = Duration::from_millis(100);
+    // Serve fault: the worker panics on its second batch — while holding a
+    // pinned epoch. Swap chaos is off; this test is about pin leaks.
+    let chaos = FaultPlan::default().panic_batch(1);
+    let engine = mutable_engine(
+        Some(chaos),
+        ServeConfig {
+            batch_size: 8,
+            supervisor: SupervisorPolicy { backoff_initial: backoff, backoff_cap: backoff },
+            ..ServeConfig::default()
+        },
+    );
+    // Batch 0 serves on epoch 0; then a publish, then the panicking batch
+    // rides epoch 1.
+    engine.query(queries.row(0).to_vec()).unwrap();
+    engine.insert(fresh_points(10, 241)).unwrap().wait().expect("published");
+    let wave: Vec<_> = (0..8).map(|q| engine.submit(queries.row(q).to_vec()).unwrap()).collect();
+    for t in wave {
+        assert_eq!(t.wait_timeout(Duration::from_secs(10)), Err(ServeError::WorkerLost));
+    }
+    // Another publish retires epoch 1; the panicked worker's pin must have
+    // been dropped by the unwind, not leaked.
+    engine.insert(fresh_points(10, 242)).unwrap().wait().expect("published");
+    let res = engine.query(queries.row(3).to_vec()).expect("respawned shard serves");
+    assert_eq!(res.epoch, 2);
+    let settle = Instant::now();
+    loop {
+        let live = engine.live_epochs();
+        if live == vec![2] {
+            break;
+        }
+        assert!(settle.elapsed() < Duration::from_secs(5), "epochs failed to retire: {live:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.worker_restarts, 1);
+    assert_eq!(report.epoch, 2);
+}
+
+#[test]
+fn sustained_load_with_ten_percent_replaced_under_full_swap_chaos() {
+    let (_, queries, _, _) = corpus();
+    // One fault at every swap phase: attempt 0 panics in rebuild, attempt 2
+    // stalls the rebuild, attempt 4 poisons the publish. Attempts 1, 3, 5
+    // retry or continue clean.
+    let chaos = FaultPlan::default()
+        .panic_rebuild(0)
+        .stall_rebuild(2, Duration::from_millis(50))
+        .poison_publish(4);
+    let engine = Arc::new(mutable_engine(
+        Some(chaos),
+        ServeConfig { shards: 2, batch_size: 16, ..ServeConfig::default() },
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let queries = queries.clone();
+        std::thread::spawn(move || {
+            let (mut answered, mut q) = (0u64, 0usize);
+            while !stop.load(Ordering::Relaxed) {
+                let t = loop {
+                    match engine.submit(queries.row(q % 100).to_vec()) {
+                        Ok(t) => break t,
+                        Err(ServeError::Overloaded { .. }) => {
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
+                        Err(e) => panic!("submit failed under swap chaos: {e}"),
+                    }
+                };
+                // No serve-scoped faults are armed: a dropped or hung query
+                // here is a real invariant violation, not chaos fallout.
+                t.wait_timeout(Duration::from_secs(20)).expect("query dropped under swap chaos");
+                answered += 1;
+                q += 1;
+            }
+            answered
+        })
+    };
+    // Replace 10% of the 1200 points under load: two delete batches of 60,
+    // two insert batches of 60, with one retry after each injected refusal.
+    let victims_a: Vec<u32> = (0..60).collect();
+    let victims_b: Vec<u32> = (60..120).collect();
+    let err = engine.delete(victims_a.clone()).unwrap().wait().unwrap_err(); // attempt 0: panic
+    assert!(matches!(err, ServeError::MutationFailed(_)), "{err}");
+    let o = engine.delete(victims_a).unwrap().wait().expect("retry publishes"); // attempt 1
+    assert_eq!((o.epoch, o.applied), (1, 60));
+    let o = engine.delete(victims_b).unwrap().wait().expect("stalled, not dead"); // attempt 2
+    assert_eq!((o.epoch, o.applied), (2, 60));
+    let o = engine.insert(fresh_points(60, 251)).unwrap().wait().expect("clean"); // attempt 3
+    assert_eq!((o.epoch, o.applied), (3, 60));
+    let err = engine.insert(fresh_points(60, 252)).unwrap().wait().unwrap_err(); // attempt 4: poison
+    assert!(matches!(err, ServeError::MutationFailed(why) if why.contains("validation")), "{err}");
+    let o = engine.insert(fresh_points(60, 252)).unwrap().wait().expect("retry publishes"); // 5
+    assert_eq!((o.epoch, o.applied), (4, 60));
+    // Let the load ride the final epoch briefly, then drain.
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::Relaxed);
+    let answered = load.join().expect("load thread survived");
+    assert!(answered > 100, "load actually ran: {answered} answered");
+    // Quality gate: recall@10 of the final epoch against exact ground truth
+    // over its live points (the replaced index, tombstones excluded).
+    let last = engine.pin_epoch();
+    assert_eq!((last.id, last.deleted_count, last.live_len()), (4, 120, 1200));
+    let params = SearchParams::default();
+    let answers: Vec<Vec<Neighbor>> =
+        (0..queries.len()).map(|q| last.search(queries.row(q), &params).0).collect();
+    assert!(answers.iter().all(|a| a.iter().all(|nb| !last.deleted[nb.index as usize])));
+    let r = recall_against_epoch(&last, queries, &answers);
+    assert!(r >= 0.9, "recall@10 after replacing 10% under chaos: {r:.3}");
+    let engine = Arc::into_inner(engine).expect("load thread released its handle");
+    let report = engine.shutdown();
+    assert_eq!(report.epoch, 4);
+    assert_eq!(report.swaps, 4);
+    assert_eq!(report.mutations_applied, 240);
+    assert_eq!(report.served + report.shed, report.submitted, "no query vanished");
+    assert!(report.latency_p(99.0) < Duration::from_millis(500), "{:?}", report.latency_p(99.0));
+    assert!(
+        report.swap_p99_pause_us < 50_000,
+        "publish pause must stay tiny: {} us",
+        report.swap_p99_pause_us
+    );
+}
