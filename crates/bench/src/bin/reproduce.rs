@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use wknng_bench::{run, Scale, ALL_IDS};
+use wknng_bench::experiments::{all_ids, run, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,7 +20,7 @@ fn main() {
         .map(|a| a.to_lowercase())
         .collect();
     if ids.is_empty() {
-        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+        ids = all_ids().iter().map(|s| s.to_string()).collect();
     }
     let scale = Scale { quick };
 
@@ -34,7 +34,7 @@ fn main() {
                 println!("[{} finished in {:.1}s]\n", id, t0.elapsed().as_secs_f64());
             }
             None => {
-                eprintln!("unknown experiment id: {id} (known: {})", ALL_IDS.join(", "));
+                eprintln!("unknown experiment id: {id} (known: {})", all_ids().join(", "));
                 failed = true;
             }
         }

@@ -1,0 +1,460 @@
+//! Snapshot comparison and regression gating: classify every metric of a
+//! new snapshot against a baseline as improved / flat / regressed relative
+//! to its noise band, and decide whether the change is blocking.
+//!
+//! The band logic:
+//!
+//! * **Noisy** metrics (wall-clock): the band is the larger of
+//!   `NOISE_MULTIPLIER × max(old MAD, new MAD)` and a relative floor of
+//!   [`NOISY_REL_FLOOR`] of the baseline median — MAD alone underestimates
+//!   noise at low repeat counts, and a few percent of wall-clock jitter is
+//!   never signal. Noisy regressions block only in `--strict` mode (shared
+//!   CI hardware adds machine-to-machine noise no per-run band absorbs).
+//! * **Deterministic** metrics (recall at pinned seeds, simulated cycles):
+//!   the band is float dust ([`DET_REL_EPS`] relative). Any real change is
+//!   a real regression or improvement and always gates — *provided* both
+//!   snapshots carry the same workload fingerprint. With different
+//!   fingerprints (different RNG implementation / arch / toolchain) the
+//!   workloads are not bit-identical, so deterministic metrics are reported
+//!   as `incomparable` instead of gating falsely; the fix is to re-bless
+//!   the baseline in the new environment (`BLESS_BENCH=1`, see
+//!   EXPERIMENTS.md "Perf trajectory").
+//!
+//! A metric present in the baseline but missing from the new snapshot is
+//! `removed` — blocking when it was gated, so a job can't silently drop a
+//! regression by deleting its metric.
+
+use crate::snapshot::{Direction, MetricKind, MetricRecord, Snapshot};
+use crate::table::Table;
+
+/// Band width in MADs for noisy metrics (≈ 2.7 σ for normal noise).
+pub const NOISE_MULTIPLIER: f64 = 4.0;
+/// Relative noise floor for noisy metrics (fraction of baseline median).
+pub const NOISY_REL_FLOOR: f64 = 0.15;
+/// Relative tolerance for deterministic metrics (float dust only).
+pub const DET_REL_EPS: f64 = 1e-9;
+
+/// Classification of one metric's change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Better than the baseline beyond the noise band.
+    Improved,
+    /// Within the noise band.
+    Flat,
+    /// Worse than the baseline beyond the noise band.
+    Regressed,
+    /// Not present in the baseline.
+    New,
+    /// Present in the baseline, missing from the new snapshot.
+    Removed,
+    /// Deterministic metric under mismatched workload fingerprints.
+    Incomparable,
+}
+
+impl Verdict {
+    /// Wire/render name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Improved => "improved",
+            Verdict::Flat => "flat",
+            Verdict::Regressed => "regressed",
+            Verdict::New => "new",
+            Verdict::Removed => "removed",
+            Verdict::Incomparable => "incomparable",
+        }
+    }
+}
+
+/// One metric's comparison outcome.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// Suite job id.
+    pub job: String,
+    /// Metric name.
+    pub metric: String,
+    /// Unit label.
+    pub unit: String,
+    /// Baseline median (None for `new` metrics).
+    pub old: Option<f64>,
+    /// New median (None for `removed` metrics).
+    pub new: Option<f64>,
+    /// The band the delta was judged against.
+    pub band: f64,
+    /// The classification.
+    pub verdict: Verdict,
+    /// Whether a regression in this metric blocks (exit nonzero).
+    pub gated: bool,
+}
+
+impl MetricDiff {
+    /// Signed relative change in percent, when both sides exist.
+    pub fn delta_pct(&self) -> Option<f64> {
+        match (self.old, self.new) {
+            (Some(o), Some(n)) if o != 0.0 => Some((n - o) / o.abs() * 100.0),
+            _ => None,
+        }
+    }
+}
+
+/// The full comparison of two snapshots.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Baseline commit stamp.
+    pub baseline_commit: String,
+    /// New snapshot's commit stamp.
+    pub new_commit: String,
+    /// Whether the workload fingerprints matched (exact comparison valid).
+    pub fingerprints_match: bool,
+    /// Whether noisy metrics were gated too (`--strict`).
+    pub strict: bool,
+    /// Per-metric outcomes, in new-snapshot order then removals.
+    pub diffs: Vec<MetricDiff>,
+}
+
+/// The band for a metric pair.
+fn band_for(old: &MetricRecord, new: &MetricRecord) -> f64 {
+    match old.kind {
+        MetricKind::Deterministic => DET_REL_EPS * old.median.abs().max(1.0),
+        MetricKind::Noisy => {
+            (NOISE_MULTIPLIER * old.mad.max(new.mad)).max(NOISY_REL_FLOOR * old.median.abs())
+        }
+    }
+}
+
+/// Classify `delta = new − old` against `band` for `direction`.
+fn classify(delta: f64, band: f64, direction: Direction) -> Verdict {
+    if delta.abs() <= band {
+        return Verdict::Flat;
+    }
+    let better = match direction {
+        Direction::Higher => delta > 0.0,
+        Direction::Lower => delta < 0.0,
+    };
+    if better {
+        Verdict::Improved
+    } else {
+        Verdict::Regressed
+    }
+}
+
+impl DiffReport {
+    /// Compare `new` against the `baseline` snapshot.
+    pub fn compare(baseline: &Snapshot, new: &Snapshot, strict: bool) -> DiffReport {
+        let fingerprints_match = !baseline.workload_fingerprint.is_empty()
+            && baseline.workload_fingerprint == new.workload_fingerprint;
+        let mut diffs = Vec::new();
+        for m in &new.metrics {
+            let diff = match baseline.find(&m.job, &m.metric) {
+                None => MetricDiff {
+                    job: m.job.clone(),
+                    metric: m.metric.clone(),
+                    unit: m.unit.clone(),
+                    old: None,
+                    new: Some(m.median),
+                    band: 0.0,
+                    verdict: Verdict::New,
+                    gated: false,
+                },
+                Some(old) => {
+                    let deterministic = old.kind == MetricKind::Deterministic;
+                    let (verdict, band) = if deterministic && !fingerprints_match {
+                        (Verdict::Incomparable, 0.0)
+                    } else {
+                        let band = band_for(old, m);
+                        (classify(m.median - old.median, band, old.direction), band)
+                    };
+                    MetricDiff {
+                        job: m.job.clone(),
+                        metric: m.metric.clone(),
+                        unit: m.unit.clone(),
+                        old: Some(old.median),
+                        new: Some(m.median),
+                        band,
+                        verdict,
+                        gated: verdict != Verdict::Incomparable && (deterministic || strict),
+                    }
+                }
+            };
+            diffs.push(diff);
+        }
+        for old in &baseline.metrics {
+            if new.find(&old.job, &old.metric).is_none() {
+                let deterministic = old.kind == MetricKind::Deterministic;
+                diffs.push(MetricDiff {
+                    job: old.job.clone(),
+                    metric: old.metric.clone(),
+                    unit: old.unit.clone(),
+                    old: Some(old.median),
+                    new: None,
+                    band: 0.0,
+                    verdict: Verdict::Removed,
+                    gated: deterministic || strict,
+                });
+            }
+        }
+        DiffReport {
+            baseline_commit: baseline.git_commit.clone(),
+            new_commit: new.git_commit.clone(),
+            fingerprints_match,
+            strict,
+            diffs,
+        }
+    }
+
+    /// The gated regressions and removals — what makes the exit nonzero.
+    pub fn blocking(&self) -> Vec<&MetricDiff> {
+        self.diffs
+            .iter()
+            .filter(|d| d.gated && matches!(d.verdict, Verdict::Regressed | Verdict::Removed))
+            .collect()
+    }
+
+    /// True when the comparison should fail the build.
+    pub fn is_blocking(&self) -> bool {
+        !self.blocking().is_empty()
+    }
+
+    /// Human-readable comparison table plus summary lines.
+    pub fn render_table(&self) -> String {
+        let mut t = Table::new(
+            format!(
+                "bench compare: {} -> {}{}",
+                &self.baseline_commit[..self.baseline_commit.len().min(12)],
+                &self.new_commit[..self.new_commit.len().min(12)],
+                if self.strict { " (strict)" } else { "" }
+            )
+            .as_str(),
+            &["job", "metric", "old", "new", "delta", "band", "verdict", "gated"],
+        );
+        let num = |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or_else(|| "-".into());
+        for d in &self.diffs {
+            t.row(vec![
+                d.job.clone(),
+                d.metric.clone(),
+                num(d.old),
+                num(d.new),
+                d.delta_pct().map(|p| format!("{p:+.1}%")).unwrap_or_else(|| "-".into()),
+                format!("{:.4}", d.band),
+                d.verdict.name().to_string(),
+                if d.gated { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        let mut out = t.render();
+        if !self.fingerprints_match {
+            out.push_str(
+                "warning: workload fingerprints differ — the two snapshots were not produced\n\
+                 from bit-identical generated datasets (different RNG implementation, arch or\n\
+                 toolchain). Deterministic metrics are reported as `incomparable` and do not\n\
+                 gate; re-bless the baseline in this environment (see EXPERIMENTS.md,\n\
+                 \"Perf trajectory\").\n",
+            );
+        }
+        let blocking = self.blocking();
+        if blocking.is_empty() {
+            out.push_str("verdict: no gated regression — trajectory accepted\n");
+        } else {
+            out.push_str(&format!(
+                "verdict: {} gated regression(s): {}\n",
+                blocking.len(),
+                blocking
+                    .iter()
+                    .map(|d| format!("{}/{} ({})", d.job, d.metric, d.verdict.name()))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering (one diff object per line).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"baseline_commit\": \"{}\",\n", self.baseline_commit));
+        out.push_str(&format!("  \"new_commit\": \"{}\",\n", self.new_commit));
+        out.push_str(&format!("  \"fingerprints_match\": {},\n", self.fingerprints_match));
+        out.push_str(&format!("  \"strict\": {},\n", self.strict));
+        out.push_str(&format!("  \"blocking\": {},\n", self.is_blocking()));
+        out.push_str("  \"diffs\": [\n");
+        let num = |v: Option<f64>| v.map(|x| format!("{x}")).unwrap_or_else(|| "null".into());
+        for (i, d) in self.diffs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"job\": \"{}\", \"metric\": \"{}\", \"old\": {}, \"new\": {}, \
+                 \"band\": {}, \"verdict\": \"{}\", \"gated\": {}}}{}\n",
+                d.job,
+                d.metric,
+                num(d.old),
+                num(d.new),
+                d.band,
+                d.verdict.name(),
+                d.gated,
+                if i + 1 < self.diffs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SCHEMA_VERSION;
+
+    fn snap(metrics: Vec<MetricRecord>) -> Snapshot {
+        Snapshot {
+            schema_version: SCHEMA_VERSION,
+            created_utc: "2026-08-09".into(),
+            git_commit: "cafebabe".into(),
+            arch: "x86_64".into(),
+            profile: "ci".into(),
+            repeats: 3,
+            workload_fingerprint: "aaaaaaaaaaaaaaaa".into(),
+            metrics,
+        }
+    }
+
+    fn noisy(job: &str, metric: &str, median: f64, mad: f64) -> MetricRecord {
+        MetricRecord {
+            job: job.into(),
+            metric: metric.into(),
+            unit: "us".into(),
+            direction: Direction::Lower,
+            kind: MetricKind::Noisy,
+            median,
+            mad,
+            samples: vec![median],
+        }
+    }
+
+    fn det(job: &str, metric: &str, median: f64) -> MetricRecord {
+        MetricRecord {
+            job: job.into(),
+            metric: metric.into(),
+            unit: "recall".into(),
+            direction: Direction::Higher,
+            kind: MetricKind::Deterministic,
+            median,
+            mad: 0.0,
+            samples: vec![median],
+        }
+    }
+
+    fn verdict_of(report: &DiffReport, job: &str, metric: &str) -> Verdict {
+        report
+            .diffs
+            .iter()
+            .find(|d| d.job == job && d.metric == metric)
+            .unwrap_or_else(|| panic!("no diff for {job}/{metric}"))
+            .verdict
+    }
+
+    #[test]
+    fn noisy_classification_at_the_band_edges() {
+        // Band = max(4 * max(1, 1), 0.15 * 100) = 15 (lower is better).
+        let old = snap(vec![noisy("j", "m", 100.0, 1.0)]);
+        let cases = [
+            (115.0, Verdict::Flat),       // exactly on the band edge
+            (115.01, Verdict::Regressed), // just beyond
+            (85.0, Verdict::Flat),        // improvement edge
+            (84.99, Verdict::Improved),   // just beyond
+            (100.0, Verdict::Flat),
+        ];
+        for (new_median, want) in cases {
+            let new = snap(vec![noisy("j", "m", new_median, 1.0)]);
+            let r = DiffReport::compare(&old, &new, false);
+            assert_eq!(verdict_of(&r, "j", "m"), want, "median {new_median}");
+            // Noisy metrics never block without --strict.
+            assert!(!r.is_blocking(), "median {new_median}");
+        }
+        // With --strict the same regression blocks.
+        let new = snap(vec![noisy("j", "m", 120.0, 1.0)]);
+        assert!(DiffReport::compare(&old, &new, true).is_blocking());
+    }
+
+    #[test]
+    fn mad_widens_the_band_beyond_the_relative_floor() {
+        // Band = max(4 * 10, 0.15 * 100) = 40: a +30 swing is noise here.
+        let old = snap(vec![noisy("j", "m", 100.0, 10.0)]);
+        let new = snap(vec![noisy("j", "m", 130.0, 10.0)]);
+        let r = DiffReport::compare(&old, &new, true);
+        assert_eq!(verdict_of(&r, "j", "m"), Verdict::Flat);
+        // The *new* snapshot's MAD also counts (noise can appear later).
+        let old = snap(vec![noisy("j", "m", 100.0, 0.0)]);
+        let new = snap(vec![noisy("j", "m", 130.0, 10.0)]);
+        let r = DiffReport::compare(&old, &new, true);
+        assert_eq!(verdict_of(&r, "j", "m"), Verdict::Flat);
+    }
+
+    #[test]
+    fn deterministic_regressions_always_gate() {
+        let old = snap(vec![det("f", "recall", 0.90)]);
+        let new = snap(vec![det("f", "recall", 0.89)]);
+        let r = DiffReport::compare(&old, &new, false);
+        assert_eq!(verdict_of(&r, "f", "recall"), Verdict::Regressed);
+        assert!(r.is_blocking(), "deterministic regressions gate without --strict");
+        // Bit-identical is flat; a genuine improvement is improved.
+        let same = DiffReport::compare(&old, &snap(vec![det("f", "recall", 0.90)]), false);
+        assert_eq!(verdict_of(&same, "f", "recall"), Verdict::Flat);
+        assert!(!same.is_blocking());
+        let up = DiffReport::compare(&old, &snap(vec![det("f", "recall", 0.95)]), false);
+        assert_eq!(verdict_of(&up, "f", "recall"), Verdict::Improved);
+    }
+
+    #[test]
+    fn empty_baseline_marks_everything_new_and_passes() {
+        let old = snap(vec![]);
+        let new = snap(vec![det("f", "recall", 0.9), noisy("j", "m", 100.0, 1.0)]);
+        let r = DiffReport::compare(&old, &new, true);
+        assert!(r.diffs.iter().all(|d| d.verdict == Verdict::New));
+        assert!(!r.is_blocking(), "a first trajectory point can never regress");
+        let rendered = r.render_table();
+        assert!(rendered.contains("trajectory accepted"), "{rendered}");
+    }
+
+    #[test]
+    fn removed_gated_metrics_block() {
+        let old = snap(vec![det("f", "recall", 0.9), noisy("j", "m", 100.0, 1.0)]);
+        let new = snap(vec![noisy("j", "m", 100.0, 1.0)]);
+        let r = DiffReport::compare(&old, &new, false);
+        assert_eq!(verdict_of(&r, "f", "recall"), Verdict::Removed);
+        assert!(r.is_blocking(), "dropping a gated metric must not pass silently");
+        // Dropping a noisy metric without --strict is reported, not gated.
+        let new = snap(vec![det("f", "recall", 0.9)]);
+        let r = DiffReport::compare(&old, &new, false);
+        assert_eq!(verdict_of(&r, "j", "m"), Verdict::Removed);
+        assert!(!r.is_blocking());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_downgrades_deterministic_to_incomparable() {
+        let old = snap(vec![det("f", "recall", 0.90), noisy("j", "m", 100.0, 1.0)]);
+        let mut new = snap(vec![det("f", "recall", 0.50), noisy("j", "m", 130.0, 1.0)]);
+        new.workload_fingerprint = "bbbbbbbbbbbbbbbb".into();
+        let r = DiffReport::compare(&old, &new, false);
+        assert_eq!(verdict_of(&r, "f", "recall"), Verdict::Incomparable);
+        assert!(!r.is_blocking(), "a workload change is not a perf regression");
+        let rendered = r.render_table();
+        assert!(rendered.contains("fingerprints differ"), "{rendered}");
+        // Noisy metrics still compare (wall-clock is never exact anyway) —
+        // and still gate under --strict.
+        let strict = DiffReport::compare(&old, &new, true);
+        assert_eq!(verdict_of(&strict, "j", "m"), Verdict::Regressed);
+        assert!(strict.is_blocking());
+    }
+
+    #[test]
+    fn render_json_is_parseable_and_names_the_verdicts() {
+        let old = snap(vec![det("f", "recall", 0.9)]);
+        let new = snap(vec![det("f", "recall", 0.5), noisy("j", "m", 10.0, 0.1)]);
+        let r = DiffReport::compare(&old, &new, false);
+        let text = r.render_json();
+        let v = crate::snapshot::json::parse(&text).expect("machine output parses");
+        let obj = v.as_obj().unwrap();
+        assert!(obj
+            .iter()
+            .any(|(k, v)| k == "blocking" && *v == crate::snapshot::json::Value::Bool(true)));
+        assert!(text.contains("\"verdict\": \"regressed\""), "{text}");
+        assert!(text.contains("\"verdict\": \"new\""), "{text}");
+        assert!(text.contains("\"old\": null"), "{text}");
+    }
+}

@@ -13,27 +13,11 @@ use std::time::Duration;
 
 use wknng_core::{SearchParams, WknngBuilder};
 use wknng_data::{DatasetSpec, VectorSet};
-use wknng_serve::{ServeConfig, ServeEngine, ServeError, ServeIndex, Ticket};
+use wknng_serve::{ServeConfig, ServeEngine, ServeIndex};
 
 use crate::experiments::Scale;
+use crate::measure::replay;
 use crate::table::{f3, Table};
-
-/// Replay every query through `engine`, waiting out transient overload.
-fn replay(engine: &ServeEngine, queries: &VectorSet) -> usize {
-    let mut tickets: Vec<Ticket> = Vec::with_capacity(queries.len());
-    for q in 0..queries.len() {
-        loop {
-            match engine.submit(queries.row(q).to_vec()) {
-                Ok(t) => break tickets.push(t),
-                Err(ServeError::Overloaded { .. }) => {
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-                Err(e) => panic!("replay failed: {e}"),
-            }
-        }
-    }
-    tickets.into_iter().filter_map(|t| t.wait().ok()).count()
-}
 
 /// Sweep batch size × shard count over one index and query stream.
 pub fn run(scale: Scale) -> String {

@@ -24,6 +24,7 @@ use wknng_serve::{
 };
 
 use crate::experiments::Scale;
+use crate::measure::percentile;
 use crate::table::Table;
 
 /// Submit every query `passes` times (burst per pass), wait all answers.
@@ -74,13 +75,8 @@ fn window_recall(
 
 /// Percentile of the answers' served latencies, in microseconds.
 fn latency_p(answers: &[(usize, QueryResult)], p: f64) -> f64 {
-    let mut us: Vec<f64> = answers.iter().map(|(_, r)| r.latency.as_secs_f64() * 1e6).collect();
-    us.sort_by(f64::total_cmp);
-    if us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((us.len() as f64 * p / 100.0).ceil() as usize).clamp(1, us.len());
-    us[idx - 1]
+    let us: Vec<f64> = answers.iter().map(|(_, r)| r.latency.as_secs_f64() * 1e6).collect();
+    percentile(&us, p)
 }
 
 /// Replace 10% of the index under a sustained query stream; report recall

@@ -1,6 +1,12 @@
 //! The experiment suite: one module per table/figure of the evaluation
 //! (experiment index in `DESIGN.md`; claimed-vs-measured in
 //! `EXPERIMENTS.md`).
+//!
+//! Every experiment is described by a [`REGISTRY`] entry — id, title, swept
+//! parameters and emitted metrics — and dispatched through it (`wknng bench
+//! --list` renders the registry; `--only` selects by id). The shared
+//! timing/percentile helpers live in [`crate::measure`]; the re-exports
+//! here are the compatibility spelling the experiment modules use.
 
 pub mod e10_leaf;
 pub mod e11_difficulty;
@@ -22,7 +28,7 @@ pub mod e7_phases;
 pub mod e8_counters;
 pub mod e9_explore;
 
-use std::time::Instant;
+pub use crate::measure::timed;
 
 /// Workload scale selector: `quick` shrinks every experiment to smoke-test
 /// size (used by integration tests and `reproduce --quick`).
@@ -41,13 +47,6 @@ impl Scale {
             full
         }
     }
-}
-
-/// Run `f`, returning its value and wall-clock milliseconds.
-pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
-    let v = f();
-    (v, t0.elapsed().as_secs_f64() * 1e3)
 }
 
 /// A measured operating point of some method.
@@ -85,38 +84,173 @@ pub fn speedup_at_matched_recall(
         .collect()
 }
 
-/// All experiment ids, in order. E1–E10 reconstruct the paper's evaluation;
-/// E11–E19 are extension ablations and systems studies documented in
-/// `DESIGN.md`.
-pub const ALL_IDS: [&str; 19] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+/// Machine-readable description of one experiment: what it is, what it
+/// sweeps, and which metrics its report emits.
+pub struct ExperimentInfo {
+    /// Stable id (`e1` … `e19`).
+    pub id: &'static str,
+    /// One-line title (the table/figure it reconstructs).
+    pub title: &'static str,
+    /// Headline swept parameters.
+    pub params: &'static str,
+    /// Metric columns the rendered report emits.
+    pub metrics: &'static [&'static str],
+    /// Render the experiment's report.
+    pub run: fn(Scale) -> String,
+}
+
+/// Every experiment, in id order. E1–E10 reconstruct the paper's
+/// evaluation; E11–E19 are extension ablations and systems studies
+/// documented in `DESIGN.md`.
+pub const REGISTRY: &[ExperimentInfo] = &[
+    ExperimentInfo {
+        id: "e1",
+        title: "dataset inventory (Table 1)",
+        params: "dataset kind",
+        metrics: &["n", "dim", "intrinsic-dim", "mean-nn-dist"],
+        run: e1_datasets::run,
+    },
+    ExperimentInfo {
+        id: "e2",
+        title: "recall vs number of RP trees",
+        params: "trees",
+        metrics: &["ms", "recall@k"],
+        run: e2_trees::run,
+    },
+    ExperimentInfo {
+        id: "e3",
+        title: "time-vs-recall frontier vs FAISS stand-ins (headline)",
+        params: "trees x exploration; nprobe",
+        metrics: &["ms", "cycles", "recall@k", "speedup"],
+        run: e3_frontier::run,
+    },
+    ExperimentInfo {
+        id: "e4",
+        title: "atomic/tiled dimensionality crossover",
+        params: "dim",
+        metrics: &["cycles", "sim-ms"],
+        run: e4_crossover::run,
+    },
+    ExperimentInfo {
+        id: "e5",
+        title: "neighbor count K vs build cost and recall",
+        params: "k",
+        metrics: &["ms", "recall@k"],
+        run: e5_k::run,
+    },
+    ExperimentInfo {
+        id: "e6",
+        title: "scaling with the number of points N",
+        params: "n",
+        metrics: &["ms", "ms/point", "recall@k"],
+        run: e6_scaling::run,
+    },
+    ExperimentInfo {
+        id: "e7",
+        title: "pipeline phase breakdown",
+        params: "phase",
+        metrics: &["ms", "cycles", "share"],
+        run: e7_phases::run,
+    },
+    ExperimentInfo {
+        id: "e8",
+        title: "hardware-counter ablation of the warp-centric variants",
+        params: "variant",
+        metrics: &["cycles", "dram-bytes", "atomics", "divergence"],
+        run: e8_counters::run,
+    },
+    ExperimentInfo {
+        id: "e9",
+        title: "neighbors-of-neighbors exploration depth",
+        params: "exploration",
+        metrics: &["ms", "recall@k"],
+        run: e9_explore::run,
+    },
+    ExperimentInfo {
+        id: "e10",
+        title: "leaf (bucket) size sensitivity",
+        params: "leaf",
+        metrics: &["ms", "recall@k"],
+        run: e10_leaf::run,
+    },
+    ExperimentInfo {
+        id: "e11",
+        title: "dataset difficulty vs achieved recall",
+        params: "dataset kind",
+        metrics: &["intrinsic-dim", "hubness", "recall@k"],
+        run: e11_difficulty::run,
+    },
+    ExperimentInfo {
+        id: "e12",
+        title: "projection ablation: dense Gaussian vs sparse sign",
+        params: "projection",
+        metrics: &["ms", "recall@k"],
+        run: e12_projections::run,
+    },
+    ExperimentInfo {
+        id: "e13",
+        title: "exploration-mode ablation: full join vs incremental",
+        params: "mode",
+        metrics: &["ms", "evals", "recall@k"],
+        run: e13_explore_mode::run,
+    },
+    ExperimentInfo {
+        id: "e14",
+        title: "device sensitivity across simulated device classes",
+        params: "device x variant",
+        metrics: &["cycles", "sim-ms", "memory-bound"],
+        run: e14_devices::run,
+    },
+    ExperimentInfo {
+        id: "e15",
+        title: "SQ8 scalar-quantization ablation",
+        params: "quantization",
+        metrics: &["ms", "recall@k", "bytes/point"],
+        run: e15_quant::run,
+    },
+    ExperimentInfo {
+        id: "e16",
+        title: "k-selection ablation: WarpSelect vs slot-insert",
+        params: "selection",
+        metrics: &["cycles", "sim-ms"],
+        run: e16_selection::run,
+    },
+    ExperimentInfo {
+        id: "e17",
+        title: "serving-engine sweep: batch size x shard count",
+        params: "shards x batch",
+        metrics: &["qps", "p50-us", "p95-us", "evals/q"],
+        run: e17_serve::run,
+    },
+    ExperimentInfo {
+        id: "e18",
+        title: "overload sweep: tail latency with/without shedding",
+        params: "offered-load x policy",
+        metrics: &["served", "shed", "p50-us", "p99-us", "qps"],
+        run: e18_overload::run,
+    },
+    ExperimentInfo {
+        id: "e19",
+        title: "live mutation under load: 10% replacement across epochs",
+        params: "window",
+        metrics: &["recall@10", "p50-us", "p99-us", "epochs-seen"],
+        run: e19_mutation::run,
+    },
 ];
+
+/// Look up an experiment by id.
+pub fn find(id: &str) -> Option<&'static ExperimentInfo> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+/// All experiment ids, in registry order.
+pub fn all_ids() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.id).collect()
+}
 
 /// Dispatch an experiment by id; returns the rendered report.
 pub fn run(id: &str, scale: Scale) -> Option<String> {
-    match id {
-        "e1" => Some(e1_datasets::run(scale)),
-        "e2" => Some(e2_trees::run(scale)),
-        "e3" => Some(e3_frontier::run(scale)),
-        "e4" => Some(e4_crossover::run(scale)),
-        "e5" => Some(e5_k::run(scale)),
-        "e6" => Some(e6_scaling::run(scale)),
-        "e7" => Some(e7_phases::run(scale)),
-        "e8" => Some(e8_counters::run(scale)),
-        "e9" => Some(e9_explore::run(scale)),
-        "e10" => Some(e10_leaf::run(scale)),
-        "e11" => Some(e11_difficulty::run(scale)),
-        "e12" => Some(e12_projections::run(scale)),
-        "e13" => Some(e13_explore_mode::run(scale)),
-        "e14" => Some(e14_devices::run(scale)),
-        "e15" => Some(e15_quant::run(scale)),
-        "e16" => Some(e16_selection::run(scale)),
-        "e17" => Some(e17_serve::run(scale)),
-        "e18" => Some(e18_overload::run(scale)),
-        "e19" => Some(e19_mutation::run(scale)),
-        _ => None,
-    }
+    find(id).map(|e| (e.run)(scale))
 }
 
 #[cfg(test)]
@@ -127,13 +261,6 @@ mod tests {
     fn scale_picks_sizes() {
         assert_eq!(Scale { quick: true }.pick(100, 10), 10);
         assert_eq!(Scale { quick: false }.pick(100, 10), 100);
-    }
-
-    #[test]
-    fn timed_measures_something() {
-        let (v, ms) = timed(|| (0..1000).sum::<u64>());
-        assert_eq!(v, 499500);
-        assert!(ms >= 0.0);
     }
 
     #[test]
@@ -156,7 +283,23 @@ mod tests {
     }
 
     #[test]
-    fn dispatch_rejects_unknown_ids() {
+    fn registry_covers_e1_through_e19_in_order() {
+        assert_eq!(REGISTRY.len(), 19);
+        for (i, e) in REGISTRY.iter().enumerate() {
+            assert_eq!(e.id, format!("e{}", i + 1), "registry out of order at #{i}");
+            assert!(!e.title.is_empty());
+            assert!(!e.metrics.is_empty(), "{} declares no metrics", e.id);
+        }
+        assert_eq!(all_ids().first(), Some(&"e1"));
+        assert_eq!(all_ids().last(), Some(&"e19"));
+    }
+
+    #[test]
+    fn dispatch_goes_through_the_registry() {
         assert!(run("nope", Scale { quick: true }).is_none());
+        assert!(find("e14").is_some());
+        // A registry-dispatched run renders the experiment's own table.
+        let out = run("e14", Scale { quick: true }).expect("known id");
+        assert!(out.contains("E14"), "{out}");
     }
 }

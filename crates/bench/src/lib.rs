@@ -1,21 +1,38 @@
 //! # wknng-bench — the benchmark harness of the w-KNNG evaluation
 //!
-//! One module per experiment (tables/figures of the reconstructed
-//! evaluation, see `DESIGN.md` for the index and `EXPERIMENTS.md` for
-//! claimed-vs-measured). Everything is runnable through the `reproduce`
-//! binary:
+//! Two layers:
 //!
-//! ```text
-//! cargo run --release -p wknng-bench --bin reproduce            # all experiments
-//! cargo run --release -p wknng-bench --bin reproduce -- e3 e4  # a subset
-//! cargo run --release -p wknng-bench --bin reproduce -- --quick all
-//! ```
+//! * **Experiments** (`experiments::REGISTRY`, e1–e19): one module per
+//!   table/figure of the reconstructed evaluation (index in `DESIGN.md`,
+//!   claimed-vs-measured in `EXPERIMENTS.md`). Runnable through the
+//!   `reproduce` binary or `wknng bench --only <ids>`:
+//!
+//!   ```text
+//!   cargo run --release -p wknng-bench --bin reproduce            # all
+//!   cargo run --release -p wknng-bench --bin reproduce -- e3 e4  # subset
+//!   cargo run --release -p wknng-bench --bin reproduce -- --quick all
+//!   ```
+//!
+//! * **Trajectory orchestrator** (`suite`/`runner`/`measure`/`snapshot`/
+//!   `diff`): a pinned suite of perf jobs repeated to estimate noise,
+//!   persisted as schema-versioned `BENCH_<date>.json` snapshots, and
+//!   diffed against a baseline with a regression gate (`wknng bench`,
+//!   `wknng bench --compare old.json`).
 //!
 //! Criterion micro-benchmarks live under `benches/` (forest construction,
 //! native build variants, baselines, phase costs).
 
+pub mod diff;
 pub mod experiments;
+pub mod measure;
 pub mod plot;
+pub mod runner;
+pub mod snapshot;
+pub mod suite;
 pub mod table;
 
-pub use experiments::{run, Scale, ALL_IDS};
+pub use diff::DiffReport;
+pub use experiments::{run, Scale, REGISTRY};
+pub use runner::{render_snapshot, run_suite, RunConfig};
+pub use snapshot::Snapshot;
+pub use suite::Profile;

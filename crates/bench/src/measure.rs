@@ -1,0 +1,140 @@
+//! Shared measurement primitives: wall-clock timing, percentile/median/MAD
+//! math, repetition with warmup, and the overload-tolerant serve replay.
+//!
+//! This module is the *single source of truth* for the statistics every
+//! experiment and suite job reports — the percentile convention, the robust
+//! noise estimate, and the warmup/repetition protocol live here and nowhere
+//! else (the experiments used to carry private copies).
+
+use std::time::{Duration, Instant};
+
+use wknng_data::VectorSet;
+use wknng_serve::{ServeEngine, ServeError, Ticket};
+
+/// Run `f`, returning its value and wall-clock milliseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// The p-th percentile of `values` (0 < p ≤ 100), by the nearest-rank
+/// convention the serving reports use: the smallest value with at least
+/// `⌈len · p/100⌉` values at or below it. Empty input yields 0.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() as f64 * p / 100.0).ceil() as usize).clamp(1, sorted.len());
+    sorted[idx - 1]
+}
+
+/// Median (50th percentile, nearest-rank).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// Median absolute deviation from the median — the robust spread estimate
+/// the regression gate builds its noise bands from. Zero for deterministic
+/// (repeat-identical) samples.
+pub fn mad(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = median(values);
+    let dev: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&dev)
+}
+
+/// Robust summary of repeated samples of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Median of the samples.
+    pub median: f64,
+    /// Median absolute deviation of the samples.
+    pub mad: f64,
+    /// The raw samples, in measurement order.
+    pub samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Summarize `samples` (median + MAD).
+    pub fn from_samples(samples: Vec<f64>) -> Summary {
+        Summary { median: median(&samples), mad: mad(&samples), samples }
+    }
+}
+
+/// Run `f` `warmup` times discarding the results, then `repeats` more times
+/// collecting each run's wall-clock milliseconds.
+pub fn repeat_ms(warmup: usize, repeats: usize, mut f: impl FnMut()) -> Summary {
+    for _ in 0..warmup {
+        f();
+    }
+    let samples: Vec<f64> = (0..repeats).map(|_| timed(&mut f).1).collect();
+    Summary::from_samples(samples)
+}
+
+/// Replay every query through `engine` (closed loop), backing off briefly on
+/// transient overload; returns the number of successfully answered queries.
+pub fn replay(engine: &ServeEngine, queries: &VectorSet) -> usize {
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(queries.len());
+    for q in 0..queries.len() {
+        loop {
+            match engine.submit(queries.row(q).to_vec()) {
+                Ok(t) => break tickets.push(t),
+                Err(ServeError::Overloaded { .. }) => {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) => panic!("replay failed: {e}"),
+            }
+        }
+    }
+    tickets.into_iter().filter_map(|t| t.wait().ok()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, ms) = timed(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499500);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_convention() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 50.0), 2.0); // ceil(4*0.5)=2nd of sorted
+        assert_eq!(percentile(&v, 75.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 1.0), 1.0); // index clamps to the minimum
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn median_and_mad() {
+        assert_eq!(median(&[1.0, 9.0, 5.0]), 5.0);
+        // Deviations from 5: [4, 4, 0] -> median 4.
+        assert_eq!(mad(&[1.0, 9.0, 5.0]), 4.0);
+        // Repeat-identical samples have zero spread.
+        assert_eq!(mad(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(mad(&[]), 0.0);
+    }
+
+    #[test]
+    fn summary_and_repeat_protocol() {
+        let s = Summary::from_samples(vec![2.0, 4.0, 100.0]);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.mad, 2.0, "MAD shrugs off the outlier");
+        let mut calls = 0usize;
+        let r = repeat_ms(2, 3, || calls += 1);
+        assert_eq!(calls, 5, "warmup runs are executed but not sampled");
+        assert_eq!(r.samples.len(), 3);
+        assert!(r.median >= 0.0);
+    }
+}

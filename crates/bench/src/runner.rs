@@ -1,0 +1,166 @@
+//! The suite orchestrator: repeat every pinned job enough to estimate its
+//! noise, summarize each metric (median + MAD), and assemble the stamped
+//! [`Snapshot`] the trajectory persists.
+
+use crate::measure::Summary;
+use crate::snapshot::{
+    git_commit, utc_date_string, workload_fingerprint, MetricRecord, Snapshot, SCHEMA_VERSION,
+};
+use crate::suite::{find_job, JobSpec, Profile, SUITE};
+use crate::table::Table;
+
+/// Configuration of one suite run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Workload sizes.
+    pub profile: Profile,
+    /// Repeats per job (≥ 1; noise bands need ≥ 2 to be meaningful).
+    pub repeats: usize,
+    /// Restrict to these job ids (None = the whole suite).
+    pub jobs: Option<Vec<String>>,
+    /// Per-job progress callback (job id), for CLI feedback.
+    pub progress: Option<fn(&str)>,
+}
+
+impl RunConfig {
+    /// The default run of `profile`: whole suite, profile-default repeats.
+    pub fn of(profile: Profile) -> RunConfig {
+        let repeats = profile.default_repeats;
+        RunConfig { profile, repeats, jobs: None, progress: None }
+    }
+}
+
+/// Resolve the job selection, rejecting unknown ids with the known list.
+fn select_jobs(cfg: &RunConfig) -> Result<Vec<&'static JobSpec>, String> {
+    match &cfg.jobs {
+        None => Ok(SUITE.iter().collect()),
+        Some(ids) => ids
+            .iter()
+            .map(|id| {
+                find_job(id).ok_or_else(|| {
+                    let known: Vec<&str> = SUITE.iter().map(|j| j.id).collect();
+                    format!("unknown suite job '{id}' (known: {})", known.join(", "))
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Run the suite and assemble the stamped snapshot.
+pub fn run_suite(cfg: &RunConfig) -> Result<Snapshot, String> {
+    if cfg.repeats == 0 {
+        return Err("--repeats must be at least 1".to_string());
+    }
+    let jobs = select_jobs(cfg)?;
+    let mut metrics = Vec::new();
+    for job in jobs {
+        if let Some(progress) = cfg.progress {
+            progress(job.id);
+        }
+        // One samples row per metric, one column per repeat.
+        let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(cfg.repeats); job.metrics.len()];
+        for _ in 0..cfg.repeats {
+            let got = (job.run)(&cfg.profile);
+            if got.len() != job.metrics.len() {
+                return Err(format!(
+                    "suite job '{}' emitted {} samples for {} declared metrics",
+                    job.id,
+                    got.len(),
+                    job.metrics.len()
+                ));
+            }
+            for (row, v) in samples.iter_mut().zip(got) {
+                row.push(v);
+            }
+        }
+        for (spec, row) in job.metrics.iter().zip(samples) {
+            metrics.push(MetricRecord::from_summary(
+                job.id,
+                spec.name,
+                spec.unit,
+                spec.direction,
+                spec.kind,
+                Summary::from_samples(row),
+            ));
+        }
+    }
+    Ok(Snapshot {
+        schema_version: SCHEMA_VERSION,
+        created_utc: utc_date_string(),
+        git_commit: git_commit(),
+        arch: std::env::consts::ARCH.to_string(),
+        profile: cfg.profile.name.to_string(),
+        repeats: cfg.repeats,
+        workload_fingerprint: workload_fingerprint(),
+        metrics,
+    })
+}
+
+/// Human-readable rendering of a snapshot's metrics.
+pub fn render_snapshot(snap: &Snapshot) -> String {
+    let mut t = Table::new(
+        format!(
+            "bench suite ({} profile, {} repeats, commit {})",
+            snap.profile,
+            snap.repeats,
+            &snap.git_commit[..snap.git_commit.len().min(12)]
+        )
+        .as_str(),
+        &["job", "metric", "median", "mad", "unit", "kind"],
+    );
+    for m in &snap.metrics {
+        t.row(vec![
+            m.job.clone(),
+            m.metric.clone(),
+            format!("{:.4}", m.median),
+            format!("{:.4}", m.mad),
+            m.unit.clone(),
+            m.kind.name().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::MetricKind;
+
+    #[test]
+    fn smoke_suite_produces_a_complete_stamped_snapshot() {
+        let cfg = RunConfig { jobs: None, repeats: 2, ..RunConfig::of(Profile::smoke()) };
+        let snap = run_suite(&cfg).expect("suite runs");
+        assert_eq!(snap.schema_version, SCHEMA_VERSION);
+        assert_eq!(snap.profile, "smoke");
+        assert_eq!(snap.repeats, 2);
+        assert_eq!(snap.workload_fingerprint.len(), 16);
+        // Every declared metric of every job is present, with all samples.
+        let declared: usize = SUITE.iter().map(|j| j.metrics.len()).sum();
+        assert_eq!(snap.metrics.len(), declared);
+        for m in &snap.metrics {
+            assert_eq!(m.samples.len(), 2, "{}/{}", m.job, m.metric);
+            if m.kind == MetricKind::Deterministic {
+                assert_eq!(m.mad, 0.0, "{}/{} must repeat exactly", m.job, m.metric);
+            }
+        }
+        let rendered = render_snapshot(&snap);
+        assert!(rendered.contains("device-cycles"), "{rendered}");
+        assert!(rendered.contains("recall_at_10"), "{rendered}");
+    }
+
+    #[test]
+    fn job_selection_rejects_unknown_ids() {
+        let mut cfg = RunConfig::of(Profile::smoke());
+        cfg.jobs = Some(vec!["device-cycles".into(), "nope".into()]);
+        let err = run_suite(&cfg).unwrap_err();
+        assert!(err.contains("unknown suite job 'nope'"), "{err}");
+        assert!(err.contains("build-native"), "error must list known jobs: {err}");
+        cfg.jobs = Some(vec!["device-cycles".into()]);
+        cfg.repeats = 2;
+        let snap = run_suite(&cfg).expect("single-job run");
+        assert!(snap.metrics.iter().all(|m| m.job == "device-cycles"));
+        assert_eq!(snap.metrics.len(), 4);
+        cfg.repeats = 0;
+        assert!(run_suite(&cfg).is_err());
+    }
+}

@@ -1,0 +1,684 @@
+//! Schema-versioned benchmark snapshots: the on-disk `BENCH_<date>.json`
+//! trajectory points the regression gate diffs.
+//!
+//! A [`Snapshot`] records one run of the pinned suite — every metric's
+//! median, MAD noise estimate and raw samples — stamped with the schema
+//! version, UTC date, git commit, target arch and a *workload fingerprint*
+//! (a hash of a canonical generated dataset). The fingerprint is what makes
+//! cross-snapshot comparison honest: deterministic metrics (recall,
+//! simulated cycles) are only exact-compared when both snapshots were
+//! produced from bit-identical workloads — a different `rand`
+//! implementation, arch or toolchain changes the generated points and would
+//! otherwise masquerade as a perf change.
+//!
+//! The container this repo builds in has no serde, so serialization is a
+//! small hand-rolled JSON emitter plus a recursive-descent parser covering
+//! exactly the subset the emitter produces (objects, arrays, strings,
+//! finite numbers, booleans). The schema is pinned by a golden-file test
+//! (`BLESS_BENCH=1` to re-bless after an intentional change).
+
+use std::fmt;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use wknng_data::DatasetSpec;
+
+use crate::measure::Summary;
+
+/// Version of the `BENCH_*.json` schema this build reads and writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger is better (throughput, recall).
+    Higher,
+    /// Smaller is better (latency, cycles, build time).
+    Lower,
+}
+
+impl Direction {
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Direction::Higher => "higher",
+            Direction::Lower => "lower",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Result<Direction, String> {
+        match s {
+            "higher" => Ok(Direction::Higher),
+            "lower" => Ok(Direction::Lower),
+            other => Err(format!("unknown direction '{other}'")),
+        }
+    }
+}
+
+/// How a metric responds to repetition — and therefore how it is gated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Bit-identical on every repeat of the same workload (recall at fixed
+    /// seeds, simulated device cycles). Any change beyond float dust is a
+    /// real change; always gated when workload fingerprints match.
+    Deterministic,
+    /// Wall-clock measurements that vary run to run (latency, throughput).
+    /// Compared against a MAD-derived noise band; gated only in strict
+    /// mode, because shared CI hardware adds noise no band fully absorbs.
+    Noisy,
+}
+
+impl MetricKind {
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricKind::Deterministic => "deterministic",
+            MetricKind::Noisy => "noisy",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Result<MetricKind, String> {
+        match s {
+            "deterministic" => Ok(MetricKind::Deterministic),
+            "noisy" => Ok(MetricKind::Noisy),
+            other => Err(format!("unknown metric kind '{other}'")),
+        }
+    }
+}
+
+/// One measured metric of one suite job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRecord {
+    /// Suite job id (e.g. `device-cycles`).
+    pub job: String,
+    /// Metric name within the job (e.g. `tiled_cycles`).
+    pub metric: String,
+    /// Unit label for rendering (e.g. `us`, `cycles`, `recall`).
+    pub unit: String,
+    /// Which way "better" points.
+    pub direction: Direction,
+    /// Deterministic or noisy (see [`MetricKind`]).
+    pub kind: MetricKind,
+    /// Median across repeats.
+    pub median: f64,
+    /// Median absolute deviation across repeats.
+    pub mad: f64,
+    /// Raw samples, in measurement order.
+    pub samples: Vec<f64>,
+}
+
+impl MetricRecord {
+    /// Build a record from a repeat summary.
+    pub fn from_summary(
+        job: &str,
+        metric: &str,
+        unit: &str,
+        direction: Direction,
+        kind: MetricKind,
+        summary: Summary,
+    ) -> MetricRecord {
+        MetricRecord {
+            job: job.to_string(),
+            metric: metric.to_string(),
+            unit: unit.to_string(),
+            direction,
+            kind,
+            median: summary.median,
+            mad: summary.mad,
+            samples: summary.samples,
+        }
+    }
+}
+
+/// One persisted trajectory point: a full run of the pinned suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Schema version (readers reject versions they do not know).
+    pub schema_version: u64,
+    /// UTC date of the run, `YYYY-MM-DD`.
+    pub created_utc: String,
+    /// `git rev-parse HEAD` at run time, or `unknown`.
+    pub git_commit: String,
+    /// `std::env::consts::ARCH` of the producing build.
+    pub arch: String,
+    /// Suite profile name (`ci`, `full`, `smoke`).
+    pub profile: String,
+    /// Repeats per job.
+    pub repeats: usize,
+    /// Hash of a canonical generated dataset; exact-comparison guard.
+    pub workload_fingerprint: String,
+    /// Every measured metric.
+    pub metrics: Vec<MetricRecord>,
+}
+
+impl Snapshot {
+    /// `BENCH_<date>.json` — the conventional filename for this snapshot.
+    pub fn default_filename(&self) -> String {
+        format!("BENCH_{}.json", self.created_utc)
+    }
+
+    /// Look up a metric by job and name.
+    pub fn find(&self, job: &str, metric: &str) -> Option<&MetricRecord> {
+        self.metrics.iter().find(|m| m.job == job && m.metric == metric)
+    }
+
+    /// Serialize to the pinned JSON schema (one metric object per line, so
+    /// line-oriented tools can address individual metrics).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"created_utc\": {},\n", jstr(&self.created_utc)));
+        out.push_str(&format!("  \"git_commit\": {},\n", jstr(&self.git_commit)));
+        out.push_str(&format!("  \"arch\": {},\n", jstr(&self.arch)));
+        out.push_str(&format!("  \"profile\": {},\n", jstr(&self.profile)));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!(
+            "  \"workload_fingerprint\": {},\n",
+            jstr(&self.workload_fingerprint)
+        ));
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let samples: Vec<String> = m.samples.iter().map(|s| jnum(*s)).collect();
+            out.push_str(&format!(
+                "    {{\"job\": {}, \"metric\": {}, \"unit\": {}, \"direction\": {}, \
+                 \"kind\": {}, \"median\": {}, \"mad\": {}, \"samples\": [{}]}}{}\n",
+                jstr(&m.job),
+                jstr(&m.metric),
+                jstr(&m.unit),
+                jstr(m.direction.name()),
+                jstr(m.kind.name()),
+                jnum(m.median),
+                jnum(m.mad),
+                samples.join(", "),
+                if i + 1 < self.metrics.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a snapshot, rejecting unknown schema versions.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("snapshot: top level must be an object")?;
+        let schema_version = get_num(obj, "schema_version")? as u64;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "snapshot schema version {schema_version} is not the supported {SCHEMA_VERSION}"
+            ));
+        }
+        let mut metrics = Vec::new();
+        for (i, m) in get(obj, "metrics")?
+            .as_arr()
+            .ok_or("snapshot: 'metrics' must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let mo = m.as_obj().ok_or_else(|| format!("metric #{i}: not an object"))?;
+            let samples = get(mo, "samples")?
+                .as_arr()
+                .ok_or_else(|| format!("metric #{i}: 'samples' must be an array"))?
+                .iter()
+                .map(|s| s.as_num().ok_or_else(|| format!("metric #{i}: non-numeric sample")))
+                .collect::<Result<Vec<f64>, String>>()?;
+            metrics.push(MetricRecord {
+                job: get_str(mo, "job")?,
+                metric: get_str(mo, "metric")?,
+                unit: get_str(mo, "unit")?,
+                direction: Direction::parse(&get_str(mo, "direction")?)?,
+                kind: MetricKind::parse(&get_str(mo, "kind")?)?,
+                median: get_num(mo, "median")?,
+                mad: get_num(mo, "mad")?,
+                samples,
+            });
+        }
+        Ok(Snapshot {
+            schema_version,
+            created_utc: get_str(obj, "created_utc")?,
+            git_commit: get_str(obj, "git_commit")?,
+            arch: get_str(obj, "arch")?,
+            profile: get_str(obj, "profile")?,
+            repeats: get_num(obj, "repeats")? as usize,
+            workload_fingerprint: get_str(obj, "workload_fingerprint")?,
+            metrics,
+        })
+    }
+
+    /// Write the snapshot to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    /// Load a snapshot from `path`.
+    pub fn load(path: &Path) -> Result<Snapshot, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Snapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, no external clock
+/// crates; the system epoch is the only time source).
+pub fn utc_date_string() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch to civil (proleptic Gregorian) date — Howard Hinnant's
+/// `civil_from_days` algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// `git rev-parse HEAD` of the working directory, or `"unknown"` when git
+/// is unavailable (e.g. a source tarball).
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// FNV-1a hash of a canonical generated dataset's bit pattern. Two builds
+/// agree on this exactly when their dataset generation (RNG implementation,
+/// float behavior) is bit-identical — the precondition for exact-comparing
+/// deterministic metrics across snapshots.
+pub fn workload_fingerprint() -> String {
+    let ds = DatasetSpec::Manifold { n: 64, ambient_dim: 8, intrinsic_dim: 3 }.generate(0xF17E);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in ds.vectors.as_flat() {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// JSON-escape and quote a string.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a number for JSON (non-finite values have no JSON spelling; they
+/// are clamped to 0, which a measured metric never legitimately produces).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn get<'a>(obj: &'a [(String, json::Value)], key: &str) -> Result<&'a json::Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn get_str(obj: &[(String, json::Value)], key: &str) -> Result<String, String> {
+    get(obj, key)?
+        .as_str()
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("field '{key}' must be a string"))
+}
+
+fn get_num(obj: &[(String, json::Value)], key: &str) -> Result<f64, String> {
+    get(obj, key)?.as_num().ok_or_else(|| format!("field '{key}' must be a number"))
+}
+
+/// Minimal JSON: exactly the subset the snapshot emitter produces, parsed
+/// by recursive descent. Key order is preserved (objects are association
+/// lists), which keeps golden-file comparisons byte-stable.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (always carried as `f64`).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, as an order-preserving association list.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if this is a number.
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The array payload, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The object payload, if this is an object.
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, *pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = match string(b, pos)? {
+                        Value::Str(s) => s,
+                        _ => unreachable!(),
+                    };
+                    expect(b, pos, b':')?;
+                    fields.push((key, value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => string(b, pos),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => number(b, pos),
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = Vec::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => {
+                    return String::from_utf8(out)
+                        .map(Value::Str)
+                        .map_err(|_| "invalid UTF-8 in string".to_string())
+                }
+                b'\\' => {
+                    let esc = b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .ok_or("truncated \\u escape")
+                                .and_then(|h| {
+                                    std::str::from_utf8(h).map_err(|_| "non-ASCII \\u escape")
+                                })
+                                .map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            *pos += 4;
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?;
+                            out.extend_from_slice(ch.to_string().as_bytes());
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", *other as char)),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "snapshot {} (commit {}, profile {}, {} metrics)",
+            self.created_utc,
+            &self.git_commit[..self.git_commit.len().min(12)],
+            self.profile,
+            self.metrics.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            schema_version: SCHEMA_VERSION,
+            created_utc: "2026-08-09".into(),
+            git_commit: "deadbeef".into(),
+            arch: "x86_64".into(),
+            profile: "ci".into(),
+            repeats: 3,
+            workload_fingerprint: "00ff00ff00ff00ff".into(),
+            metrics: vec![
+                MetricRecord {
+                    job: "build-native".into(),
+                    metric: "build_ms".into(),
+                    unit: "ms".into(),
+                    direction: Direction::Lower,
+                    kind: MetricKind::Noisy,
+                    median: 12.5,
+                    mad: 0.25,
+                    samples: vec![12.25, 12.5, 13.0],
+                },
+                MetricRecord {
+                    job: "device-cycles".into(),
+                    metric: "tiled_cycles".into(),
+                    unit: "cycles".into(),
+                    direction: Direction::Lower,
+                    kind: MetricKind::Deterministic,
+                    median: 1_000_000.0,
+                    mad: 0.0,
+                    samples: vec![1_000_000.0, 1_000_000.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let snap = sample_snapshot();
+        let parsed = Snapshot::from_json(&snap.to_json()).expect("own output parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let text =
+            sample_snapshot().to_json().replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let err = Snapshot::from_json(&text).unwrap_err();
+        assert!(err.contains("schema version 99"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_a_clean_error() {
+        for bad in ["", "{", "{\"a\": }", "[1, 2", "{\"a\": 1} trailing", "\"unterminated"] {
+            assert!(Snapshot::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_scalars() {
+        let v = json::parse(
+            r#"{"s": "a\"b\\c\nd", "t": true, "f": false, "z": null, "n": [1, -2.5, 1e3]}"#,
+        )
+        .unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj[0].1.as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(obj[1].1, json::Value::Bool(true));
+        assert_eq!(obj[3].1, json::Value::Null);
+        let arr = obj[4].1.as_arr().unwrap();
+        assert_eq!(arr[2].as_num(), Some(1000.0));
+    }
+
+    #[test]
+    fn civil_date_math() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap-adjacent
+        assert_eq!(civil_from_days(20_674), (2026, 8, 9));
+        let today = utc_date_string();
+        assert_eq!(today.len(), 10);
+        assert_eq!(&today[4..5], "-");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        let a = workload_fingerprint();
+        assert_eq!(a, workload_fingerprint());
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn default_filename_uses_the_date() {
+        assert_eq!(sample_snapshot().default_filename(), "BENCH_2026-08-09.json");
+    }
+}

@@ -1,0 +1,376 @@
+//! The pinned benchmark suite: the fixed set of jobs whose metrics form the
+//! repo's perf trajectory (`BENCH_<date>.json`, see [`crate::snapshot`]).
+//!
+//! Four jobs cover the claims the ROADMAP tracks:
+//!
+//! * `build-native` — native (rayon) end-to-end build wall-clock and
+//!   throughput, plus the recall it buys at pinned parameters;
+//! * `serve-load` — closed-loop serving p50/p99 and throughput through the
+//!   batching engine;
+//! * `recall-frontier` — recall@10 at three pinned (trees, exploration)
+//!   operating points (the frontier's anchor points, deterministic);
+//! * `device-cycles` — simulated device cycles for the basic/atomic/tiled
+//!   build kernels and the batched beam-search kernel (deterministic).
+//!
+//! Every job is pure in its [`Profile`]: same profile, same code, same RNG
+//! implementation ⇒ identical deterministic metrics. Wall-clock metrics are
+//! tagged [`MetricKind::Noisy`] and judged against MAD noise bands instead.
+
+use std::time::Duration;
+
+use wknng_core::{recall, KernelVariant, SearchIndex, SearchParams, WknngBuilder};
+use wknng_data::{exact_knn, DatasetSpec, Metric, VectorSet};
+use wknng_serve::{ServeConfig, ServeEngine, ServeIndex};
+use wknng_simt::DeviceConfig;
+
+use crate::measure::{percentile, replay, timed};
+use crate::snapshot::{Direction, MetricKind};
+
+/// Workload sizes for one suite run. Pinned: changing a profile invalidates
+/// every baseline produced under it (the diff tool compares profiles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Profile name recorded in the snapshot (`ci`, `full`, `smoke`).
+    pub name: &'static str,
+    /// Points in the build/frontier datasets.
+    pub n: usize,
+    /// Out-of-sample queries for the serving job.
+    pub nq: usize,
+    /// Points in the simulated-device workload (kept small: the simulator
+    /// is cycle-accurate, not fast).
+    pub sim_n: usize,
+    /// Default repeats per job when `--repeats` is not given.
+    pub default_repeats: usize,
+}
+
+impl Profile {
+    /// The CI profile: small enough for a shared runner, big enough that
+    /// recall and latency are meaningful.
+    pub fn ci() -> Profile {
+        Profile { name: "ci", n: 2000, nq: 400, sim_n: 256, default_repeats: 3 }
+    }
+
+    /// The full profile for local trend tracking.
+    pub fn full() -> Profile {
+        Profile { name: "full", n: 8000, nq: 1000, sim_n: 512, default_repeats: 5 }
+    }
+
+    /// A seconds-scale profile for the test suite.
+    pub fn smoke() -> Profile {
+        Profile { name: "smoke", n: 300, nq: 60, sim_n: 96, default_repeats: 2 }
+    }
+
+    /// Look up a profile by name.
+    pub fn from_name(name: &str) -> Result<Profile, String> {
+        match name {
+            "ci" => Ok(Profile::ci()),
+            "full" => Ok(Profile::full()),
+            "smoke" => Ok(Profile::smoke()),
+            other => Err(format!("unknown profile '{other}' (ci|full|smoke)")),
+        }
+    }
+}
+
+/// Static description of one metric a job emits.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Metric name within the job.
+    pub name: &'static str,
+    /// Unit label.
+    pub unit: &'static str,
+    /// Which way "better" points.
+    pub direction: Direction,
+    /// Deterministic or noisy.
+    pub kind: MetricKind,
+}
+
+/// One suite job: an id, the metrics it emits, and a runner returning one
+/// sample per metric (same order as `metrics`).
+pub struct JobSpec {
+    /// Job id (stable across code states — the diff key).
+    pub id: &'static str,
+    /// One-line description for `wknng bench --list`.
+    pub title: &'static str,
+    /// The metrics this job emits.
+    pub metrics: &'static [MetricSpec],
+    /// Produce one sample per metric.
+    pub run: fn(&Profile) -> Vec<f64>,
+}
+
+/// The pinned suite, in execution order.
+pub const SUITE: &[JobSpec] = &[
+    JobSpec {
+        id: "build-native",
+        title: "native build wall-clock, throughput and recall at pinned params",
+        metrics: &[
+            MetricSpec {
+                name: "build_ms",
+                unit: "ms",
+                direction: Direction::Lower,
+                kind: MetricKind::Noisy,
+            },
+            MetricSpec {
+                name: "throughput_kpps",
+                unit: "kpoints/s",
+                direction: Direction::Higher,
+                kind: MetricKind::Noisy,
+            },
+            MetricSpec {
+                name: "recall_at_10",
+                unit: "recall",
+                direction: Direction::Higher,
+                kind: MetricKind::Deterministic,
+            },
+        ],
+        run: run_build_native,
+    },
+    JobSpec {
+        id: "serve-load",
+        title: "closed-loop serving latency and throughput (2 shards, batch 16)",
+        metrics: &[
+            MetricSpec {
+                name: "p50_us",
+                unit: "us",
+                direction: Direction::Lower,
+                kind: MetricKind::Noisy,
+            },
+            MetricSpec {
+                name: "p99_us",
+                unit: "us",
+                direction: Direction::Lower,
+                kind: MetricKind::Noisy,
+            },
+            MetricSpec {
+                name: "qps",
+                unit: "q/s",
+                direction: Direction::Higher,
+                kind: MetricKind::Noisy,
+            },
+        ],
+        run: run_serve_load,
+    },
+    JobSpec {
+        id: "recall-frontier",
+        title: "recall@10 at pinned frontier operating points (T,P)",
+        metrics: &[
+            MetricSpec {
+                name: "recall_t2_p0",
+                unit: "recall",
+                direction: Direction::Higher,
+                kind: MetricKind::Deterministic,
+            },
+            MetricSpec {
+                name: "recall_t8_p1",
+                unit: "recall",
+                direction: Direction::Higher,
+                kind: MetricKind::Deterministic,
+            },
+            MetricSpec {
+                name: "recall_t8_p3",
+                unit: "recall",
+                direction: Direction::Higher,
+                kind: MetricKind::Deterministic,
+            },
+        ],
+        run: run_recall_frontier,
+    },
+    JobSpec {
+        id: "device-cycles",
+        title: "simulated device cycles: basic/atomic/tiled builds + beam search",
+        metrics: &[
+            MetricSpec {
+                name: "basic_cycles",
+                unit: "cycles",
+                direction: Direction::Lower,
+                kind: MetricKind::Deterministic,
+            },
+            MetricSpec {
+                name: "atomic_cycles",
+                unit: "cycles",
+                direction: Direction::Lower,
+                kind: MetricKind::Deterministic,
+            },
+            MetricSpec {
+                name: "tiled_cycles",
+                unit: "cycles",
+                direction: Direction::Lower,
+                kind: MetricKind::Deterministic,
+            },
+            MetricSpec {
+                name: "beam_cycles",
+                unit: "cycles",
+                direction: Direction::Lower,
+                kind: MetricKind::Deterministic,
+            },
+        ],
+        run: run_device_cycles,
+    },
+];
+
+/// Look up a suite job by id.
+pub fn find_job(id: &str) -> Option<&'static JobSpec> {
+    SUITE.iter().find(|j| j.id == id)
+}
+
+/// The pinned build/serve dataset: an (n + nq)-point manifold split into
+/// index points and out-of-sample queries.
+fn split_dataset(n: usize, nq: usize, dim: usize, seed: u64) -> (VectorSet, VectorSet) {
+    let all =
+        DatasetSpec::Manifold { n: n + nq, ambient_dim: dim, intrinsic_dim: 4 }.generate(seed);
+    let flat = all.vectors.as_flat();
+    let vs = VectorSet::new(flat[..n * dim].to_vec(), dim).expect("well-formed split");
+    let qs = VectorSet::new(flat[n * dim..].to_vec(), dim).expect("well-formed split");
+    (vs, qs)
+}
+
+fn run_build_native(p: &Profile) -> Vec<f64> {
+    let dim = 32;
+    let k = 10;
+    let (vs, _) = split_dataset(p.n, 0, dim, 0xB01D);
+    let ((graph, _), ms) = timed(|| {
+        WknngBuilder::new(k)
+            .trees(8)
+            .leaf_size(32)
+            .exploration(1)
+            .seed(1)
+            .build_native(&vs)
+            .expect("valid build")
+    });
+    let truth = exact_knn(&vs, k, Metric::SquaredL2);
+    let r = recall(&graph.lists, &truth);
+    vec![ms, p.n as f64 / ms, r]
+}
+
+fn run_serve_load(p: &Profile) -> Vec<f64> {
+    let dim = 16;
+    let (vs, qs) = split_dataset(p.n, p.nq, dim, 0x5E47);
+    let (graph, _) = WknngBuilder::new(10)
+        .trees(6)
+        .leaf_size(32)
+        .exploration(1)
+        .seed(2)
+        .build_native(&vs)
+        .expect("valid build");
+    let index = ServeIndex::from_parts(vs, graph.lists).expect("index matches vectors");
+    let engine = ServeEngine::start(
+        index,
+        ServeConfig {
+            shards: 2,
+            batch_size: 16,
+            linger: Duration::from_micros(200),
+            queue_capacity: 8192,
+            params: SearchParams::default(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid config");
+    let served = replay(&engine, &qs);
+    let report = engine.shutdown();
+    assert_eq!(served, qs.len(), "every query must be answered");
+    vec![
+        report.latency_p(50.0).as_secs_f64() * 1e6,
+        report.latency_p(99.0).as_secs_f64() * 1e6,
+        report.throughput_qps,
+    ]
+}
+
+fn run_recall_frontier(p: &Profile) -> Vec<f64> {
+    let dim = 64;
+    let k = 10;
+    let (vs, _) = split_dataset(p.n, 0, dim, 0xF407);
+    let truth = exact_knn(&vs, k, Metric::SquaredL2);
+    [(2usize, 0usize), (8, 1), (8, 3)]
+        .iter()
+        .map(|&(trees, explore)| {
+            let (g, _) = WknngBuilder::new(k)
+                .trees(trees)
+                .leaf_size(64)
+                .exploration(explore)
+                .seed(3)
+                .build_native(&vs)
+                .expect("valid build");
+            recall(&g.lists, &truth)
+        })
+        .collect()
+}
+
+fn run_device_cycles(p: &Profile) -> Vec<f64> {
+    let dim = 32;
+    let k = 8;
+    let dev = DeviceConfig::scaled_gpu();
+    let ds = DatasetSpec::GaussianClusters { n: p.sim_n, dim, clusters: 8, spread: 0.3 }
+        .generate(0xD3C5);
+    let mut out = Vec::with_capacity(4);
+    let mut basic_lists = Vec::new();
+    for variant in [KernelVariant::Basic, KernelVariant::Atomic, KernelVariant::Tiled] {
+        let (g, reports) = WknngBuilder::new(k)
+            .trees(2)
+            .leaf_size(32)
+            .exploration(1)
+            .variant(variant)
+            .seed(4)
+            .build_device(&ds.vectors, &dev)
+            .expect("valid build");
+        out.push(reports.total().cycles);
+        if matches!(variant, KernelVariant::Basic) {
+            basic_lists = g.lists;
+        }
+    }
+    let queries = DatasetSpec::UniformCube { n: 32, dim }.generate(0xBEA0).vectors;
+    let params = SearchParams { k, beam: 32, entries: 2, metric: Metric::SquaredL2 };
+    let ix = SearchIndex::upload(&ds.vectors, &basic_lists);
+    let batch = wknng_core::run_search_batch(&dev, &ix, &queries, &params).expect("clean launch");
+    out.push(batch.report.cycles);
+    out
+}
+
+/// Exercised only so the shared percentile helper is provably the one the
+/// suite's latency numbers would flow through if a job ever needed raw
+/// per-query latencies (the serve report computes its own today).
+#[allow(dead_code)]
+fn latency_percentile_us(latencies: &[Duration], p: f64) -> f64 {
+    let us: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+    percentile(&us, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_job_emits_its_declared_metrics() {
+        let p = Profile::smoke();
+        for job in SUITE {
+            let samples = (job.run)(&p);
+            assert_eq!(
+                samples.len(),
+                job.metrics.len(),
+                "job {} emitted {} samples for {} metrics",
+                job.id,
+                samples.len(),
+                job.metrics.len()
+            );
+            assert!(samples.iter().all(|s| s.is_finite()), "job {} non-finite", job.id);
+        }
+    }
+
+    #[test]
+    fn deterministic_jobs_repeat_bit_identically() {
+        let p = Profile::smoke();
+        for id in ["recall-frontier", "device-cycles"] {
+            let job = find_job(id).expect("pinned job");
+            let a = (job.run)(&p);
+            let b = (job.run)(&p);
+            assert_eq!(a, b, "job {id} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        assert_eq!(Profile::from_name("ci").unwrap(), Profile::ci());
+        assert_eq!(Profile::from_name("full").unwrap(), Profile::full());
+        assert_eq!(Profile::from_name("smoke").unwrap(), Profile::smoke());
+        assert!(Profile::from_name("warp9").is_err());
+        assert!(find_job("no-such-job").is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Acceptance suite for the perf-trajectory orchestrator (`wknng bench`).
+//!
+//! * **Golden schema** — a real smoke-profile snapshot is serialized,
+//!   volatile values (dates, commits, measurements) are masked, and the
+//!   remaining skeleton — every JSON key, every job/metric name, unit,
+//!   direction and kind — is pinned byte-for-byte against
+//!   `tests/golden/bench_schema.json`. Renaming a metric, changing a unit,
+//!   or touching the serialization shows up as a diff here and must be
+//!   reviewed (trajectory files live across commits, so silent schema drift
+//!   would orphan the history). Regenerate intentionally with
+//!   `BLESS_BENCH=1 cargo test -p wknng-bench --test trajectory`.
+//! * **End-to-end gate** — run the suite, persist/reload the snapshot, and
+//!   check the regression verdicts: self-comparison passes, a perturbed
+//!   deterministic metric blocks.
+
+use std::path::PathBuf;
+
+use wknng_bench::diff::DiffReport;
+use wknng_bench::runner::run_suite;
+use wknng_bench::snapshot::Snapshot;
+use wknng_bench::suite::Profile;
+use wknng_bench::RunConfig;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/bench_schema.json");
+
+/// Replace the value following `"key": ` (up to the first `stop` char) with
+/// `mask`, leaving the rest of the line intact.
+fn mask_after(line: &str, key: &str, stop: char, mask: &str) -> String {
+    let pat = format!("\"{key}\": ");
+    match line.find(&pat) {
+        None => line.to_string(),
+        Some(i) => {
+            let start = i + pat.len();
+            let rest = &line[start..];
+            let end = rest.find(stop).unwrap_or(rest.len());
+            format!("{}{mask}{}", &line[..start], &rest[end..])
+        }
+    }
+}
+
+/// The schema skeleton of a snapshot: its exact serialization with every
+/// volatile value (date, commit, arch, fingerprint, measurements) masked.
+fn schema_skeleton(snap: &Snapshot) -> String {
+    snap.to_json()
+        .lines()
+        .map(|line| {
+            let mut l = mask_after(line, "created_utc", ',', "<date>");
+            l = mask_after(&l, "git_commit", ',', "<commit>");
+            l = mask_after(&l, "arch", ',', "<arch>");
+            l = mask_after(&l, "workload_fingerprint", ',', "<fingerprint>");
+            l = mask_after(&l, "median", ',', "<num>");
+            l = mask_after(&l, "mad", ',', "<num>");
+            l = mask_after(&l, "samples", ']', "[..");
+            l
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+fn smoke_snapshot() -> Snapshot {
+    let cfg = RunConfig { repeats: 1, ..RunConfig::of(Profile::smoke()) };
+    run_suite(&cfg).expect("smoke suite runs")
+}
+
+#[test]
+fn golden_schema_and_regression_gate_end_to_end() {
+    let snap = smoke_snapshot();
+
+    // Golden schema skeleton.
+    let got = schema_skeleton(&snap);
+    if std::env::var_os("BLESS_BENCH").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+    } else {
+        let want = std::fs::read_to_string(GOLDEN_PATH).expect(
+            "golden file missing — run with BLESS_BENCH=1 to create \
+             tests/golden/bench_schema.json",
+        );
+        assert_eq!(
+            got, want,
+            "snapshot schema drifted from the golden file; if the change is \
+             intentional, re-bless with BLESS_BENCH=1 (and re-bless the committed \
+             BENCH_*.json baseline, which carries the same schema)"
+        );
+    }
+
+    // Persist / reload round trip through a real file.
+    let mut path = PathBuf::from(std::env::temp_dir());
+    path.push(format!("wknng-trajectory-{}.json", std::process::id()));
+    snap.save(&path).expect("save snapshot");
+    let loaded = Snapshot::load(&path).expect("load snapshot");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.metrics.len(), snap.metrics.len());
+    assert_eq!(loaded.workload_fingerprint, snap.workload_fingerprint);
+
+    // Self-comparison: everything flat, nothing blocking.
+    let same = DiffReport::compare(&snap, &loaded, true);
+    assert!(!same.is_blocking(), "{}", same.render_table());
+
+    // Perturb one deterministic metric beyond its (exact) band: the gate
+    // must block even without --strict.
+    let mut worse = loaded;
+    let m = worse
+        .metrics
+        .iter_mut()
+        .find(|m| m.job == "device-cycles" && m.metric == "tiled_cycles")
+        .expect("pinned metric exists");
+    m.median *= 1.5;
+    let report = DiffReport::compare(&snap, &worse, false);
+    assert!(report.is_blocking(), "{}", report.render_table());
+    let table = report.render_table();
+    assert!(table.contains("tiled_cycles"), "{table}");
+    assert!(table.contains("regressed"), "{table}");
+}

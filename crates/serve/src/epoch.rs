@@ -79,6 +79,42 @@ impl Epoch {
         out.truncate(params.k);
         (out, stats)
     }
+
+    /// Compact the epoch to its live points: tombstoned slots are dropped,
+    /// surviving slots are renumbered densely (in slot order), and every
+    /// neighbor list is filtered to surviving points and remapped to the new
+    /// numbering. This is the densified view the on-disk snapshot writers
+    /// expect — the `.wkv`/`.wkk` formats have no tombstone column.
+    pub fn compact_parts(&self) -> (VectorSet, Vec<Vec<Neighbor>>) {
+        let dim = self.vectors.dim();
+        // remap[old_slot] = Some(new_index) for live slots.
+        let mut remap: Vec<Option<u32>> = vec![None; self.len()];
+        let mut next = 0u32;
+        for (slot, slot_remap) in remap.iter_mut().enumerate() {
+            if !self.deleted[slot] {
+                *slot_remap = Some(next);
+                next += 1;
+            }
+        }
+        let mut flat = Vec::with_capacity(self.live_len() * dim);
+        let mut lists = Vec::with_capacity(self.live_len());
+        for slot in 0..self.len() {
+            if remap[slot].is_none() {
+                continue;
+            }
+            flat.extend_from_slice(self.vectors.row(slot));
+            lists.push(
+                self.lists[slot]
+                    .iter()
+                    .filter_map(|nb| {
+                        remap[nb.index as usize].map(|index| Neighbor { index, dist: nb.dist })
+                    })
+                    .collect(),
+            );
+        }
+        let vectors = VectorSet::new(flat, dim).expect("dim is preserved by compaction");
+        (vectors, lists)
+    }
 }
 
 /// The arc-swap publication point: one current epoch, a weak history of
@@ -205,5 +241,31 @@ mod tests {
         assert!(!got.is_empty());
         assert!(got.iter().all(|nb| nb.index != 1), "tombstone leaked: {got:?}");
         assert!(got.len() <= 2);
+    }
+
+    #[test]
+    fn compaction_renumbers_live_points_and_drops_dead_edges() {
+        let mut e = tiny_epoch();
+        e.deleted[1] = true;
+        e.deleted_count = 1;
+        e.lists[1].clear();
+        let (vs, lists) = e.compact_parts();
+        assert_eq!(vs.len(), 3);
+        assert_eq!(lists.len(), 3);
+        // Slots 0,2,3 survive as 0,1,2 with their coordinates intact.
+        assert_eq!(vs.row(0), &[0.0]);
+        assert_eq!(vs.row(1), &[2.0]);
+        assert_eq!(vs.row(2), &[10.0]);
+        // No list may reference the dropped slot, and all indices are dense.
+        for l in &lists {
+            assert!(l.iter().all(|nb| (nb.index as usize) < 3), "dangling edge: {l:?}");
+        }
+        // Old slot 2's edge to old slot 3 is remapped 3 -> 2.
+        assert!(lists[1].iter().any(|nb| nb.index == 2 || nb.index == 0));
+        // A tombstone-free epoch compacts to itself.
+        let clean = tiny_epoch();
+        let (vs2, lists2) = clean.compact_parts();
+        assert_eq!(vs2.as_flat(), clean.vectors.as_flat());
+        assert_eq!(lists2, clean.lists);
     }
 }

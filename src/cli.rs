@@ -291,6 +291,11 @@ pub fn cmd_audit(args: &Args) -> Result<String, String> {
 /// re-searches every query against the final epoch after the drain and
 /// fails unless recall@k against exact ground truth over the live points is
 /// at least `R` — the CI smoke gate for mutation quality.
+///
+/// `--snapshot-out <base>` writes the finally published epoch — compacted
+/// to its live points — through the checksummed v2 writers as `<base>.wkv`
+/// and `<base>.wkk`, so a post-mutation index can be served again or fed
+/// to `recall`/`audit`.
 pub fn cmd_serve(args: &Args) -> Result<String, String> {
     let input = args.require("input")?;
     let graph_path = args.require("graph")?;
@@ -439,6 +444,19 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
             return Err(format!("recall@{k} {r:.3} is below the asserted bound {bound}"));
         }
     }
+    if let Some(base) = args.get_opt::<String>("snapshot-out")? {
+        // Compact the published epoch (tombstones dropped, slots renumbered)
+        // and write it through the checksummed v2 writers, so the snapshot
+        // loads back with `--input <base>.wkv --graph <base>.wkk`.
+        let (vs, lists) = last.compact_parts();
+        io::save_vectors(&vs, Path::new(&format!("{base}.wkv"))).map_err(|e| e.to_string())?;
+        io::save_knn(&lists, Path::new(&format!("{base}.wkk"))).map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "snapshot: epoch {} ({} live points) -> {base}.wkv, {base}.wkk\n",
+            last.id,
+            last.live_len()
+        ));
+    }
     out.push_str(&report.to_string());
     Ok(out)
 }
@@ -573,6 +591,112 @@ pub fn cmd_sanitize(_args: &Args) -> Result<String, String> {
         .to_string())
 }
 
+/// `bench`: the perf-trajectory orchestrator (see DESIGN.md § Benchmark
+/// orchestrator).
+///
+/// Four modes, checked in order:
+///
+/// * `--list` — print the experiment registry (e1–e19) and the pinned
+///   suite jobs.
+/// * `--only e3,e17 [--quick]` — run registry experiments and print their
+///   reports (the `reproduce` binary behind one CLI).
+/// * `--compare old.json [--against new.json] [--strict] [--json]` — diff
+///   a stored baseline against `--against` (or against a fresh suite run at
+///   the baseline's profile and repeats). A gated regression makes the
+///   command *fail* with the rendered report, so CI gets a nonzero exit.
+/// * default — run the pinned suite (`--profile ci|full|smoke`, `--repeats
+///   N`, `--jobs a,b`) and persist a schema-versioned trajectory point to
+///   `--out` (default `BENCH_<date>.json`).
+pub fn cmd_bench(args: &Args) -> Result<String, String> {
+    use crate::bench::diff::DiffReport;
+    use crate::bench::experiments::{self, Scale};
+    use crate::bench::runner::{render_snapshot, run_suite, RunConfig};
+    use crate::bench::snapshot::Snapshot;
+    use crate::bench::suite::{Profile, SUITE};
+
+    if args.get("list", false)? {
+        let mut out = String::from("experiments (wknng bench --only <ids> [--quick]):\n");
+        for e in experiments::REGISTRY {
+            out.push_str(&format!(
+                "  {:<4} {:<58} sweeps: {:<28} emits: {}\n",
+                e.id,
+                e.title,
+                e.params,
+                e.metrics.join(", ")
+            ));
+        }
+        out.push_str("\nsuite jobs (wknng bench [--jobs <ids>]):\n");
+        for j in SUITE {
+            let metrics: Vec<&str> = j.metrics.iter().map(|m| m.name).collect();
+            out.push_str(&format!(
+                "  {:<15} {:<42} emits: {}\n",
+                j.id,
+                j.title,
+                metrics.join(", ")
+            ));
+        }
+        return Ok(out);
+    }
+
+    if let Some(only) = args.get_opt::<String>("only")? {
+        let scale = Scale { quick: args.get("quick", false)? };
+        let mut out = String::new();
+        for id in only.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match experiments::run(id, scale) {
+                Some(report) => out.push_str(&report),
+                None => {
+                    return Err(format!(
+                        "unknown experiment id '{id}' (known: {})",
+                        experiments::all_ids().join(", ")
+                    ))
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    if let Some(base_path) = args.get_opt::<String>("compare")? {
+        let baseline = Snapshot::load(Path::new(&base_path))?;
+        let fresh = match args.get_opt::<String>("against")? {
+            Some(p) => Snapshot::load(Path::new(&p))?,
+            None => {
+                // Re-measure under the baseline's own regimen so the bands
+                // mean the same thing on both sides.
+                let profile = Profile::from_name(&baseline.profile)?;
+                let cfg = RunConfig {
+                    repeats: baseline.repeats,
+                    progress: Some(|id| eprintln!("bench: running {id}...")),
+                    ..RunConfig::of(profile)
+                };
+                run_suite(&cfg)?
+            }
+        };
+        let report = DiffReport::compare(&baseline, &fresh, args.get("strict", false)?);
+        let rendered =
+            if args.get("json", false)? { report.render_json() } else { report.render_table() };
+        // A gated regression is an *error*: the CLI exits nonzero and CI
+        // fails the trajectory gate.
+        return if report.is_blocking() { Err(rendered) } else { Ok(rendered) };
+    }
+
+    let profile = Profile::from_name(&args.get("profile", "ci".to_string())?)?;
+    let mut cfg = RunConfig {
+        progress: Some(|id| eprintln!("bench: running {id}...")),
+        ..RunConfig::of(profile)
+    };
+    if let Some(r) = args.get_opt::<usize>("repeats")? {
+        cfg.repeats = r;
+    }
+    if let Some(jobs) = args.get_opt::<String>("jobs")? {
+        cfg.jobs =
+            Some(jobs.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect());
+    }
+    let snap = run_suite(&cfg)?;
+    let path = args.get_opt::<String>("out")?.unwrap_or_else(|| snap.default_filename());
+    snap.save(Path::new(&path))?;
+    Ok(format!("{}wrote {path}", render_snapshot(&snap)))
+}
+
 /// `lint`: run the symbolic analyzer over every shipped kernel — proving
 /// coalescing, bank-conflict-freedom, bounds and barrier uniformity for
 /// *all* launch shapes in the declared parameter ranges, not a concrete
@@ -639,6 +763,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "serve" => cmd_serve(args),
         "extend" => cmd_extend(args),
         "audit" => cmd_audit(args),
+        "bench" => cmd_bench(args),
         "sanitize" => cmd_sanitize(args),
         "lint" => cmd_lint(args),
         "help" => Ok(USAGE.to_string()),
@@ -667,8 +792,12 @@ wknng-cli — approximate K-NN graphs from the command line
            [--deadline-ms 50] [--shed] [--chaos panic@1,stall@3:20ms,poison@5]
            [--chaos rebuild-panic@0,rebuild-stall@1:20ms,publish-poison@2]
            [--mutate [--refine 2] [--insert more.wkv] [--assert-recall 0.9]]
+           [--snapshot-out base]   (writes base.wkv + base.wkk)
   extend   --input d.wkv --graph g.wkk --new more.wkv
            --out-vectors d2.wkv --out-graph g2.wkk [--beam 0]
+  bench    [--profile ci|full|smoke] [--repeats N] [--jobs a,b] [--out p.json]
+  bench    --compare old.json [--against new.json] [--strict] [--json]
+  bench    --list | --only e3,e17 [--quick]
   sanitize [--seed S]   (requires building with --features sanitize)
   lint     [--verbose] [--self-check]   (symbolic proofs for all launch shapes)
   help";
@@ -975,6 +1104,103 @@ mod extended_cli_tests {
         )));
         assert!(err.unwrap_err().contains("--chaos"), "bad spec must name the flag");
         for f in [&vecs, &graph, &queries] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_snapshot_out_round_trips_the_published_epoch() {
+        let vecs = tmp("snap.wkv");
+        let graph = tmp("snap.wkk");
+        let queries = tmp("snap-q.wkv");
+        let more = tmp("snap-new.wkv");
+        let base = tmp("snap-out");
+        dispatch(&args(&format!(
+            "generate --out {vecs} --kind manifold --n 200 --dim 16 --intrinsic 3 --seed 38"
+        )))
+        .unwrap();
+        dispatch(&args(&format!("build --input {vecs} --out {graph} --k 8 --trees 6 --leaf 32")))
+            .unwrap();
+        dispatch(&args(&format!(
+            "generate --out {queries} --kind manifold --n 30 --dim 16 --intrinsic 3 --seed 39"
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "generate --out {more} --kind manifold --n 20 --dim 16 --intrinsic 3 --seed 40"
+        )))
+        .unwrap();
+        // Mutate under load, then snapshot the final epoch to disk.
+        let out = dispatch(&args(&format!(
+            "serve --input {vecs} --graph {graph} --queries {queries} --k 5 --batch 8 \
+             --mutate --insert {more} --snapshot-out {base}"
+        )))
+        .unwrap();
+        assert!(out.contains(&format!("220 live points) -> {base}.wkv")), "{out}");
+        // The snapshot is a loadable, servable index pair: replay against it
+        // and audit it with stored distances verified.
+        let out = dispatch(&args(&format!(
+            "serve --input {base}.wkv --graph {base}.wkk --queries {queries} --k 5"
+        )))
+        .unwrap();
+        assert!(out.contains("replayed 30 queries"), "{out}");
+        let out = dispatch(&args(&format!("audit --graph {base}.wkk --input {base}.wkv"))).unwrap();
+        assert!(out.starts_with("OK"), "{out}");
+        for f in [vecs, graph, queries, more, format!("{base}.wkv"), format!("{base}.wkk")] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn bench_lists_registry_and_runs_selected_experiments() {
+        let out = dispatch(&args("bench --list")).unwrap();
+        for id in ["e1", "e19", "build-native", "serve-load", "recall-frontier", "device-cycles"] {
+            assert!(out.contains(id), "missing {id}: {out}");
+        }
+        // Registry-dispatched experiment run, same path as `reproduce`.
+        let out = dispatch(&args("bench --only e1 --quick")).unwrap();
+        assert!(out.contains("E1"), "{out}");
+        let err = dispatch(&args("bench --only e99 --quick")).unwrap_err();
+        assert!(err.contains("unknown experiment id 'e99'"), "{err}");
+        assert!(err.contains("e19"), "error must list known ids: {err}");
+    }
+
+    #[test]
+    fn bench_suite_writes_a_snapshot_and_compare_gates_regressions() {
+        let snap = tmp("bench.json");
+        let bad = tmp("bench-bad.json");
+        // A one-job smoke run keeps this test fast; the full-suite path is
+        // covered by the runner's own tests.
+        let out = dispatch(&args(&format!(
+            "bench --profile smoke --jobs device-cycles --repeats 2 --out {snap}"
+        )))
+        .unwrap();
+        assert!(out.contains("tiled_cycles"), "{out}");
+        assert!(out.contains(&format!("wrote {snap}")), "{out}");
+        // Self-comparison is all-flat and passes.
+        let out = dispatch(&args(&format!("bench --compare {snap} --against {snap}"))).unwrap();
+        assert!(out.contains("no gated regression"), "{out}");
+        // Perturb one deterministic median (prefix a digit: ~10x larger on a
+        // lower-is-better metric) — the gate must trip with a nonzero exit.
+        let text = std::fs::read_to_string(&snap).unwrap();
+        let perturbed: Vec<String> = text
+            .lines()
+            .map(|l| {
+                if l.contains("\"metric\": \"tiled_cycles\"") {
+                    l.replacen("\"median\": ", "\"median\": 9", 1)
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        std::fs::write(&bad, perturbed.join("\n")).unwrap();
+        let err = dispatch(&args(&format!("bench --compare {snap} --against {bad}"))).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        assert!(err.contains("tiled_cycles"), "{err}");
+        // The JSON rendering carries the same verdict machine-readably.
+        let err =
+            dispatch(&args(&format!("bench --compare {snap} --against {bad} --json"))).unwrap_err();
+        assert!(err.contains("\"blocking\": true"), "{err}");
+        for f in [&snap, &bad] {
             std::fs::remove_file(f).ok();
         }
     }

@@ -17,6 +17,7 @@
 //! | [`baseline`] | brute force (+WarpSelect), k-means, IVF-Flat (FAISS stand-in), NN-descent, HNSW |
 //! | [`serve`] | batched query-serving engine: sharding, admission control, latency metrics |
 //! | [`tsne`] | the motivating application: t-SNE over K-NNG affinities |
+//! | [`bench`](mod@bench) | experiment registry (e1–e19) + perf-trajectory orchestrator (`wknng bench`) |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@
 pub mod cli;
 
 pub use wknng_baseline as baseline;
+pub use wknng_bench as bench;
 pub use wknng_core as core;
 pub use wknng_data as data;
 pub use wknng_forest as forest;
