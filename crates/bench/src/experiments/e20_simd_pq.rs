@@ -1,0 +1,141 @@
+//! E20 (extension) — SIMD distance kernels and PQ-ADC quantization.
+//!
+//! The raw-speed ablation: the same native build run with the scalar oracle
+//! kernel, with the dispatched AVX2 kernel, and over PQ asymmetric code
+//! distances (ADC), on a SIFT-like 128-dimensional set. The distance loop is
+//! the traffic the paper identifies as the build's dominant cost, so this
+//! table is where kernel-level wins (or losses) become end-to-end numbers:
+//! build wall-clock + throughput, recall@10 against exact ground truth, and
+//! the per-point footprint of the coordinates the loop reads.
+//!
+//! A second table replays an out-of-sample query load through the serving
+//! engine with each kernel mode pinned, since `search_lists` dispatches
+//! through the same kernel.
+
+use std::time::Duration;
+
+use wknng_core::{recall, QuantMode, SearchParams, WknngBuilder};
+use wknng_data::{exact_knn, kernel, DatasetSpec, KernelMode, KernelModeGuard, Metric, VectorSet};
+use wknng_serve::{ServeConfig, ServeEngine, ServeIndex};
+
+use crate::experiments::Scale;
+use crate::measure::{replay, timed};
+use crate::table::{f3, Table};
+
+/// Scalar vs SIMD vs PQ-ADC builds + kernel-pinned serve replays.
+pub fn run(scale: Scale) -> String {
+    let n = scale.pick(2000, 400);
+    let nq = scale.pick(400, 60);
+    let k = 10;
+    let ds = DatasetSpec::sift_like(n + nq).generate(201);
+    let dim = ds.vectors.dim();
+    let flat = ds.vectors.as_flat();
+    let vs = VectorSet::new(flat[..n * dim].to_vec(), dim).expect("well-formed split");
+    let qs = VectorSet::new(flat[n * dim..].to_vec(), dim).expect("well-formed split");
+    let truth = exact_knn(&vs, k, Metric::SquaredL2);
+    let builder = WknngBuilder::new(k).trees(8).leaf_size(32).exploration(1).seed(20);
+
+    let mut out = String::new();
+    let mut t = Table::new(
+        format!("E20: distance-kernel ablation, sift-like n={n} dim={dim} (T=8, P=1, k={k})")
+            .as_str(),
+        &["kernel", "build ms", "kpoints/s", "recall@10", "coord B/point"],
+    );
+    let mut build = |label: &str, pin: Option<KernelMode>, quant: QuantMode| {
+        let _guard = pin.map(KernelModeGuard::pin);
+        let ((g, _), ms) = timed(|| builder.quant(quant).build_native(&vs).expect("valid params"));
+        let bytes = match quant {
+            QuantMode::None => 4 * dim,
+            QuantMode::Sq8 => dim,
+            QuantMode::Pq { m } => m.min(dim),
+        };
+        t.row(vec![
+            label.to_string(),
+            format!("{ms:.1}"),
+            format!("{:.1}", n as f64 / ms),
+            f3(recall(&g.lists, &truth)),
+            bytes.to_string(),
+        ]);
+        g
+    };
+    build("scalar (pinned)", Some(KernelMode::ForceScalar), QuantMode::None);
+    let g_simd = build(kernel().name(), None, QuantMode::None);
+    build("pq-adc m=8", None, QuantMode::Pq { m: 8 });
+    build("pq-adc m=16", None, QuantMode::Pq { m: 16 });
+    out.push_str(&t.render());
+
+    // Serve replay over the dispatched-kernel graph, search kernel pinned
+    // per row. Latencies are wall-clock — read them as trends, not gates.
+    let mut t = Table::new(
+        format!("E20b: serve replay, {nq} out-of-sample queries (2 shards, batch 16)").as_str(),
+        &["search kernel", "p50 us", "p99 us", "qps"],
+    );
+    for (label, pin) in
+        [("scalar (pinned)", Some(KernelMode::ForceScalar)), (kernel().name(), None)]
+    {
+        let _guard = pin.map(KernelModeGuard::pin);
+        let index = ServeIndex::from_parts(vs.clone(), g_simd.lists.clone())
+            .expect("index matches vectors");
+        let engine = ServeEngine::start(
+            index,
+            ServeConfig {
+                shards: 2,
+                batch_size: 16,
+                linger: Duration::from_micros(200),
+                queue_capacity: 8192,
+                params: SearchParams::default(),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config");
+        let served = replay(&engine, &qs);
+        let report = engine.shutdown();
+        assert_eq!(served, qs.len(), "every query must be answered");
+        t.row(vec![
+            label.to_string(),
+            format!("{:.0}", report.latency_p(50.0).as_secs_f64() * 1e6),
+            format!("{:.0}", report.latency_p(99.0).as_secs_f64() * 1e6),
+            format!("{:.0}", report.throughput_qps),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_reports_all_kernel_rows() {
+        let out = run(Scale { quick: true });
+        assert!(out.contains("E20"));
+        assert!(out.contains("scalar (pinned)"));
+        assert!(out.contains("pq-adc m=8"));
+        assert!(out.contains("pq-adc m=16"));
+        assert!(out.contains("E20b"));
+        // Recall columns: scalar and simd rows must essentially agree; pq
+        // rows are bounded below.
+        let recalls: Vec<f64> = out
+            .lines()
+            .filter(|l| l.contains("scalar (pinned)") || l.contains("avx2") || l.contains("pq-adc"))
+            .filter_map(|l| {
+                let cols: Vec<&str> = l.split_whitespace().collect();
+                // E20b rows have 4 data columns ending in qps; build rows
+                // end with the footprint integer — pick rows whose last
+                // column parses as the small footprint.
+                let last: usize = cols.last()?.parse().ok()?;
+                if last <= 4 * 128 {
+                    cols[cols.len() - 2].parse().ok()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        assert!(recalls.len() >= 3, "expected build rows with recall, got {recalls:?}");
+        let scalar = recalls[0];
+        for r in &recalls {
+            assert!(*r >= scalar - 0.25, "a kernel mode collapsed recall: {recalls:?}");
+        }
+    }
+}

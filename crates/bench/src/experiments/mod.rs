@@ -19,6 +19,7 @@ pub mod e17_serve;
 pub mod e18_overload;
 pub mod e19_mutation;
 pub mod e1_datasets;
+pub mod e20_simd_pq;
 pub mod e2_trees;
 pub mod e3_frontier;
 pub mod e4_crossover;
@@ -87,7 +88,7 @@ pub fn speedup_at_matched_recall(
 /// Machine-readable description of one experiment: what it is, what it
 /// sweeps, and which metrics its report emits.
 pub struct ExperimentInfo {
-    /// Stable id (`e1` … `e19`).
+    /// Stable id (`e1` … `e20`).
     pub id: &'static str,
     /// One-line title (the table/figure it reconstructs).
     pub title: &'static str,
@@ -100,7 +101,7 @@ pub struct ExperimentInfo {
 }
 
 /// Every experiment, in id order. E1–E10 reconstruct the paper's
-/// evaluation; E11–E19 are extension ablations and systems studies
+/// evaluation; E11–E20 are extension ablations and systems studies
 /// documented in `DESIGN.md`.
 pub const REGISTRY: &[ExperimentInfo] = &[
     ExperimentInfo {
@@ -236,6 +237,13 @@ pub const REGISTRY: &[ExperimentInfo] = &[
         metrics: &["recall@10", "p50-us", "p99-us", "epochs-seen"],
         run: e19_mutation::run,
     },
+    ExperimentInfo {
+        id: "e20",
+        title: "distance-kernel ablation: scalar vs SIMD vs PQ-ADC",
+        params: "kernel x quantization",
+        metrics: &["build-ms", "kpoints/s", "recall@10", "coord-B/point", "p50-us", "p99-us"],
+        run: e20_simd_pq::run,
+    },
 ];
 
 /// Look up an experiment by id.
@@ -283,15 +291,15 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_e1_through_e19_in_order() {
-        assert_eq!(REGISTRY.len(), 19);
+    fn registry_covers_e1_through_e20_in_order() {
+        assert_eq!(REGISTRY.len(), 20);
         for (i, e) in REGISTRY.iter().enumerate() {
             assert_eq!(e.id, format!("e{}", i + 1), "registry out of order at #{i}");
             assert!(!e.title.is_empty());
             assert!(!e.metrics.is_empty(), "{} declares no metrics", e.id);
         }
         assert_eq!(all_ids().first(), Some(&"e1"));
-        assert_eq!(all_ids().last(), Some(&"e19"));
+        assert_eq!(all_ids().last(), Some(&"e20"));
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! The pinned benchmark suite: the fixed set of jobs whose metrics form the
 //! repo's perf trajectory (`BENCH_<date>.json`, see [`crate::snapshot`]).
 //!
-//! Four jobs cover the claims the ROADMAP tracks:
+//! Five jobs cover the claims the ROADMAP tracks:
 //!
 //! * `build-native` — native (rayon) end-to-end build wall-clock and
 //!   throughput, plus the recall it buys at pinned parameters;
+//! * `build-native-simd` — the same pinned build run with the scalar
+//!   kernel pinned, with the dispatched (AVX2 where available) kernel, and
+//!   with PQ-ADC quantization, reporting the kernel speedup and the recall
+//!   each mode buys;
 //! * `serve-load` — closed-loop serving p50/p99 and throughput through the
 //!   batching engine;
 //! * `recall-frontier` — recall@10 at three pinned (trees, exploration)
@@ -18,8 +22,8 @@
 
 use std::time::Duration;
 
-use wknng_core::{recall, KernelVariant, SearchIndex, SearchParams, WknngBuilder};
-use wknng_data::{exact_knn, DatasetSpec, Metric, VectorSet};
+use wknng_core::{recall, KernelVariant, QuantMode, SearchIndex, SearchParams, WknngBuilder};
+use wknng_data::{exact_knn, DatasetSpec, KernelMode, KernelModeGuard, Metric, VectorSet};
 use wknng_serve::{ServeConfig, ServeEngine, ServeIndex};
 use wknng_simt::DeviceConfig;
 
@@ -123,6 +127,49 @@ pub const SUITE: &[JobSpec] = &[
             },
         ],
         run: run_build_native,
+    },
+    JobSpec {
+        id: "build-native-simd",
+        title: "pinned build under scalar / dispatched SIMD / PQ-ADC kernels",
+        metrics: &[
+            MetricSpec {
+                name: "scalar_build_ms",
+                unit: "ms",
+                direction: Direction::Lower,
+                kind: MetricKind::Noisy,
+            },
+            MetricSpec {
+                name: "simd_build_ms",
+                unit: "ms",
+                direction: Direction::Lower,
+                kind: MetricKind::Noisy,
+            },
+            MetricSpec {
+                name: "simd_speedup",
+                unit: "x",
+                direction: Direction::Higher,
+                kind: MetricKind::Noisy,
+            },
+            MetricSpec {
+                name: "pq_build_ms",
+                unit: "ms",
+                direction: Direction::Lower,
+                kind: MetricKind::Noisy,
+            },
+            MetricSpec {
+                name: "recall_simd",
+                unit: "recall",
+                direction: Direction::Higher,
+                kind: MetricKind::Deterministic,
+            },
+            MetricSpec {
+                name: "recall_pq",
+                unit: "recall",
+                direction: Direction::Higher,
+                kind: MetricKind::Deterministic,
+            },
+        ],
+        run: run_build_native_simd,
     },
     JobSpec {
         id: "serve-load",
@@ -239,6 +286,35 @@ fn run_build_native(p: &Profile) -> Vec<f64> {
     let truth = exact_knn(&vs, k, Metric::SquaredL2);
     let r = recall(&graph.lists, &truth);
     vec![ms, p.n as f64 / ms, r]
+}
+
+/// The `build-native` workload repeated under three distance-evaluation
+/// modes: scalar kernel pinned, dispatched kernel (AVX2+FMA where the host
+/// supports it), and PQ-ADC (m=8) candidate generation. The recall metrics
+/// are deterministic for a fixed host kernel; the speedup is the suite's
+/// record of what the SIMD path buys end-to-end on this machine.
+fn run_build_native_simd(p: &Profile) -> Vec<f64> {
+    let dim = 32;
+    let k = 10;
+    let (vs, _) = split_dataset(p.n, 0, dim, 0xB01D);
+    let truth = exact_knn(&vs, k, Metric::SquaredL2);
+    let builder = WknngBuilder::new(k).trees(8).leaf_size(32).exploration(1).seed(1);
+    let scalar_ms = {
+        let _pin = KernelModeGuard::pin(KernelMode::ForceScalar);
+        let (_, ms) = timed(|| builder.build_native(&vs).expect("valid build"));
+        ms
+    };
+    let ((g_simd, _), simd_ms) = timed(|| builder.build_native(&vs).expect("valid build"));
+    let ((g_pq, _), pq_ms) =
+        timed(|| builder.quant(QuantMode::Pq { m: 8 }).build_native(&vs).expect("valid build"));
+    vec![
+        scalar_ms,
+        simd_ms,
+        scalar_ms / simd_ms,
+        pq_ms,
+        recall(&g_simd.lists, &truth),
+        recall(&g_pq.lists, &truth),
+    ]
 }
 
 fn run_serve_load(p: &Profile) -> Vec<f64> {

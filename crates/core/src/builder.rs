@@ -6,7 +6,7 @@ use wknng_simt::DeviceConfig;
 use crate::error::KnngError;
 use crate::events::BuildEvents;
 use crate::native::{build_native, PhaseTimings};
-use crate::params::{BuildPolicy, ExplorationMode, KernelVariant, WknngParams};
+use crate::params::{BuildPolicy, ExplorationMode, KernelVariant, QuantMode, WknngParams};
 use crate::pipeline::{build_device_with_policy, DeviceReports};
 
 /// A built approximate K-NNG plus the parameters that produced it.
@@ -124,6 +124,14 @@ impl WknngBuilder {
         self
     }
 
+    /// Build-time coordinate quantization (default none; native backend
+    /// only). [`QuantMode::Pq`] requires the squared-L2 metric and re-scores
+    /// the finished lists against exact coordinates.
+    pub fn quant(mut self, q: QuantMode) -> Self {
+        self.params.quant = q;
+        self
+    }
+
     /// RNG seed (default fixed; every build is deterministic).
     pub fn seed(mut self, s: u64) -> Self {
         self.params.seed = s;
@@ -196,6 +204,7 @@ mod tests {
             .exploration(2)
             .variant(KernelVariant::Atomic)
             .metric(Metric::Cosine)
+            .quant(QuantMode::Sq8)
             .seed(5);
         let p = b.params();
         assert_eq!(p.k, 7);
@@ -204,6 +213,7 @@ mod tests {
         assert_eq!(p.exploration_iters, 2);
         assert_eq!(p.variant, KernelVariant::Atomic);
         assert_eq!(p.metric, Metric::Cosine);
+        assert_eq!(p.quant, QuantMode::Sq8);
         assert_eq!(p.seed, 5);
         assert_eq!(b.build_policy(), BuildPolicy::default());
         assert_eq!(b.strict().build_policy(), BuildPolicy::strict());

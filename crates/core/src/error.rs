@@ -21,6 +21,11 @@ pub enum KnngError {
     },
     /// The device kernels implement squared L2 only (the paper's metric).
     UnsupportedDeviceMetric(wknng_data::Metric),
+    /// PQ-ADC distance tables are squared-L2 constructions; other metrics
+    /// must build unquantized.
+    UnsupportedQuantMetric(wknng_data::Metric),
+    /// A PQ build needs at least one subquantizer.
+    ZeroSubquantizers,
     /// A search beam narrower than `k` cannot hold a full result list.
     BeamTooNarrow {
         /// Requested beam width.
@@ -79,6 +84,12 @@ impl fmt::Display for KnngError {
             }
             KnngError::UnsupportedDeviceMetric(m) => {
                 write!(f, "device kernels support SquaredL2 only, got {m:?}")
+            }
+            KnngError::UnsupportedQuantMetric(m) => {
+                write!(f, "PQ-ADC builds support SquaredL2 only, got {m:?}")
+            }
+            KnngError::ZeroSubquantizers => {
+                write!(f, "PQ needs at least one subquantizer (m >= 1)")
             }
             KnngError::BeamTooNarrow { beam, k } => {
                 write!(f, "search beam {beam} is narrower than k = {k}")

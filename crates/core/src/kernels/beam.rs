@@ -309,8 +309,20 @@ mod tests {
     use super::*;
     use crate::builder::{Knng, WknngBuilder};
     use crate::graph::lists_to_slots;
-    use crate::search::{search_batch, search_lists};
-    use wknng_data::DatasetSpec;
+    use crate::search::search_lists_with;
+    use wknng_data::{DatasetSpec, ScalarKernel};
+
+    /// The device kernel reproduces the *scalar* reduction order lane by
+    /// lane, so its host reference is pinned to the scalar oracle (the
+    /// dispatched kernel may be AVX2, which reassociates).
+    fn scalar_search(
+        vs: &VectorSet,
+        lists: &[Vec<Neighbor>],
+        query: &[f32],
+        params: &SearchParams,
+    ) -> (Vec<Neighbor>, crate::search::SearchStats) {
+        search_lists_with(&ScalarKernel, vs, lists, query, params)
+    }
 
     fn indexed(n: usize, dim: usize, seed: u64) -> (VectorSet, Knng) {
         let vs =
@@ -334,7 +346,9 @@ mod tests {
         let dev = DeviceConfig::test_tiny();
         let ix = SearchIndex::upload(&vs, &g.lists);
         let got = run_search_batch(&dev, &ix, &queries, &params).unwrap();
-        let want = search_batch(&vs, &g, &queries, &params);
+        let want: Vec<_> = (0..queries.len())
+            .map(|qi| scalar_search(&vs, &g.lists, queries.row(qi), &params))
+            .collect();
         assert_eq!(got.results.len(), 20);
         for (qi, (res, st)) in want.iter().enumerate() {
             assert_eq!(&got.results[qi], res, "query {qi} results");
@@ -355,7 +369,7 @@ mod tests {
         let ix = SearchIndex::upload(&vs, &g.lists);
         let got = run_search_batch(&dev, &ix, &queries, &params).unwrap();
         for qi in 0..queries.len() {
-            let (res, st) = search_lists(&vs, &g.lists, queries.row(qi), &params);
+            let (res, st) = scalar_search(&vs, &g.lists, queries.row(qi), &params);
             assert_eq!(got.results[qi], res, "query {qi}");
             assert_eq!(got.stats[qi], st, "query {qi}");
         }
@@ -374,7 +388,7 @@ mod tests {
         let got = run_search_batch(&dev, &ix, &queries, &params).unwrap();
         let mut exact = 0;
         for (qi, res) in got.results.iter().enumerate() {
-            let (host, _) = search_lists(&vs, &g.lists, vs.row(qi), &params);
+            let (host, _) = scalar_search(&vs, &g.lists, vs.row(qi), &params);
             assert_eq!(res, &host, "query {qi}");
             if res[0].index as usize == qi && res[0].dist == 0.0 {
                 exact += 1;

@@ -63,7 +63,7 @@ pub use kernels::beam::{run_search_batch, BatchResult, SearchIndex};
 pub use lint::{lint_all_kernels, mutation_reports};
 pub use metrics::{graph_stats, symmetrize, GraphStats};
 pub use native::{build_native, PhaseTimings};
-pub use params::{AuditLevel, BuildPolicy, ExplorationMode, KernelVariant, WknngParams};
+pub use params::{AuditLevel, BuildPolicy, ExplorationMode, KernelVariant, QuantMode, WknngParams};
 pub use pipeline::{build_device, build_device_with_policy, DeviceReports};
 pub use recall::{mean_distance_ratio, recall};
 pub use search::{search, search_batch, search_checked, search_lists, SearchParams, SearchStats};

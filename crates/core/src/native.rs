@@ -5,23 +5,36 @@
 //! neighbors-of-neighbors exploration — parallelised with rayon over points.
 //! This backend provides the wall-clock numbers of the evaluation; the
 //! simulated device provides the GPU-shape numbers.
+//!
+//! Distances dispatch through [`wknng_data::kernel`]: AVX2+FMA blocked
+//! kernels when the CPU has them, the scalar oracle otherwise (or when the
+//! `force-scalar` feature / [`wknng_data::KernelMode::ForceScalar`] pins the
+//! fallback). Quantized builds ([`QuantMode::Sq8`] / [`QuantMode::Pq`])
+//! swap the coordinate representation the distance loop reads — the phase
+//! the paper identifies as memory-traffic-bound.
 
 use std::time::Instant;
 
 use rayon::prelude::*;
 
-use wknng_data::{Neighbor, VectorSet};
+use wknng_data::{
+    kernel_mode, sort_neighbors, AdcTable, DistanceKernel, KernelMode, Metric, Neighbor,
+    PqCodebook, PqCodes, PqParams, QuantizedSet, ScalarKernel, SimdKernel, VectorSet,
+};
 use wknng_forest::{build_forest, ForestParams, TreeParams};
 
 use crate::error::KnngError;
 use crate::graph::KnnGraph;
-use crate::params::WknngParams;
+use crate::params::{QuantMode, WknngParams};
 
 /// Wall-clock milliseconds spent in each pipeline phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimings {
     /// RP-forest construction.
     pub forest_ms: f64,
+    /// Quantizer training + encoding, and (for PQ) the final exact re-score
+    /// of the finished lists. Zero for full-precision builds.
+    pub quant_ms: f64,
     /// Per-bucket all-pairs candidate generation.
     pub bucket_ms: f64,
     /// Neighbors-of-neighbors exploration.
@@ -31,7 +44,74 @@ pub struct PhaseTimings {
 impl PhaseTimings {
     /// Total build time.
     pub fn total_ms(&self) -> f64 {
-        self.forest_ms + self.bucket_ms + self.explore_ms
+        self.forest_ms + self.quant_ms + self.bucket_ms + self.explore_ms
+    }
+}
+
+/// Coordinate representation owned by one build.
+enum QuantState {
+    None,
+    /// SQ8 codes decoded back to `f32`: the build evaluates exactly the
+    /// distances an 8-bit device kernel would produce (experiment E15).
+    Sq8(VectorSet),
+    /// PQ codebook + packed codes; distances run through per-query ADC
+    /// tables (experiment E20).
+    Pq(PqCodebook, PqCodes),
+}
+
+/// Distance evaluation context of one build: exact rows through the
+/// dispatched SIMD/scalar kernel, or PQ asymmetric code distances.
+///
+/// Generic over the concrete kernel type so the per-candidate evaluation in
+/// the bucket and exploration loops inlines — dispatching through `&dyn`
+/// here costs an indirect call per distance, measurably (~20%) slowing the
+/// whole build at small dimensions.
+enum DistCtx<'a, K> {
+    Exact { kern: K, metric: Metric, vs: &'a VectorSet },
+    Adc { cb: &'a PqCodebook, codes: &'a PqCodes, vs: &'a VectorSet },
+}
+
+impl<'a, K: DistanceKernel + Copy> DistCtx<'a, K> {
+    /// Per-query state: the query's row, or its ADC lookup table (built once
+    /// and reused across every candidate the query examines in this pass).
+    fn query(&self, p: usize) -> QueryEval<'a, K> {
+        match self {
+            DistCtx::Exact { kern, metric, vs } => {
+                QueryEval::Exact { kern: *kern, metric: *metric, row: vs.row(p), vs }
+            }
+            DistCtx::Adc { cb, codes, vs } => {
+                QueryEval::Adc { table: cb.adc_table(vs.row(p)), codes }
+            }
+        }
+    }
+}
+
+/// One query's evaluator over candidate ids.
+enum QueryEval<'a, K> {
+    Exact { kern: K, metric: Metric, row: &'a [f32], vs: &'a VectorSet },
+    Adc { table: AdcTable, codes: &'a PqCodes },
+}
+
+impl<K: DistanceKernel + Copy> QueryEval<'_, K> {
+    #[inline]
+    fn dist(&self, q: u32) -> f32 {
+        match self {
+            QueryEval::Exact { kern, metric, row, vs } => {
+                kern.eval(*metric, row, vs.row(q as usize))
+            }
+            QueryEval::Adc { table, codes } => table.distance(codes.row(q as usize)),
+        }
+    }
+
+    /// Blocked one-query-vs-many evaluation (clears and refills `out`).
+    #[inline]
+    fn dist_many(&self, ids: &[u32], out: &mut Vec<f32>) {
+        match self {
+            QueryEval::Exact { kern, metric, row, vs } => {
+                kern.eval_many(*metric, row, vs, ids, out)
+            }
+            QueryEval::Adc { table, codes } => table.distances(codes, ids, out),
+        }
     }
 }
 
@@ -40,10 +120,27 @@ pub fn build_native(
     vs: &VectorSet,
     params: &WknngParams,
 ) -> Result<(Vec<Vec<Neighbor>>, PhaseTimings), KnngError> {
+    // Resolve the kernel mode once and monomorphize the whole build on the
+    // concrete kernel: every distance in the hot loops is a direct,
+    // inlinable call. `SimdKernel` already degrades to the scalar oracle on
+    // CPUs without AVX2 (and under the `force-scalar` feature).
+    match kernel_mode() {
+        KernelMode::ForceScalar => build_native_with(vs, params, ScalarKernel),
+        KernelMode::Auto => build_native_with(vs, params, SimdKernel),
+    }
+}
+
+fn build_native_with<K: DistanceKernel + Copy>(
+    vs: &VectorSet,
+    params: &WknngParams,
+    kern: K,
+) -> Result<(Vec<Vec<Neighbor>>, PhaseTimings), KnngError> {
     params.validate(vs.len())?;
     let n = vs.len();
     let mut timings = PhaseTimings::default();
 
+    // The forest always partitions the original coordinates — quantization
+    // only changes what the distance loop reads, not the space partition.
     let t0 = Instant::now();
     let forest = build_forest(
         vs,
@@ -55,36 +152,70 @@ pub fn build_native(
     )?;
     timings.forest_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+    let tq = Instant::now();
+    let quant = match params.quant {
+        QuantMode::None => QuantState::None,
+        QuantMode::Sq8 => QuantState::Sq8(QuantizedSet::quantize(vs)?.decode()),
+        QuantMode::Pq { m } => {
+            let pq_params = PqParams {
+                m,
+                // Decorrelate from the forest's seed stream while staying
+                // deterministic in `params.seed`.
+                seed: params.seed ^ 0x9E37_79B9_7F4A_7C15,
+                ..PqParams::default()
+            };
+            let cb = PqCodebook::train(vs, &pq_params)?;
+            let codes = cb.encode(vs)?;
+            QuantState::Pq(cb, codes)
+        }
+    };
+    let ctx = match &quant {
+        QuantState::None => DistCtx::Exact { kern, metric: params.metric, vs },
+        QuantState::Sq8(decoded) => DistCtx::Exact { kern, metric: params.metric, vs: decoded },
+        QuantState::Pq(cb, codes) => DistCtx::Adc { cb, codes, vs },
+    };
+    timings.quant_ms = tq.elapsed().as_secs_f64() * 1e3;
+
+    // Candidate generation runs point-outer with an inner loop over trees:
+    // each point builds its query state once (for PQ, one ADC table covering
+    // every tree's bucket) and scans its buckets with the blocked
+    // one-query-vs-many kernel. The per-list insertion sequence is identical
+    // to the tree-outer formulation, so the output is unchanged.
     let t1 = Instant::now();
     let mut graph = KnnGraph::new(n, params.k);
-    for tree in &forest.trees {
-        // Map each point to its bucket within this tree, then update every
-        // point's own list in parallel — each list is touched by exactly one
-        // task, so the pass is race-free and deterministic.
-        let mut bucket_of = vec![u32::MAX; n];
-        for (b, bucket) in tree.buckets.iter().enumerate() {
-            for &p in bucket {
-                bucket_of[p as usize] = b as u32;
+    let bucket_of: Vec<Vec<u32>> = forest
+        .trees
+        .iter()
+        .map(|tree| {
+            let mut map = vec![u32::MAX; n];
+            for (b, bucket) in tree.buckets.iter().enumerate() {
+                for &p in bucket {
+                    map[p as usize] = b as u32;
+                }
             }
-        }
-        graph.lists_mut().par_iter_mut().enumerate().for_each(|(p, list)| {
-            let bucket = &tree.buckets[bucket_of[p] as usize];
-            let row = vs.row(p);
-            for &q in bucket {
+            map
+        })
+        .collect();
+    graph.lists_mut().par_iter_mut().enumerate().for_each(|(p, list)| {
+        let eval = ctx.query(p);
+        let mut dists = Vec::new();
+        for (tree, map) in forest.trees.iter().zip(&bucket_of) {
+            let bucket = &tree.buckets[map[p] as usize];
+            eval.dist_many(bucket, &mut dists);
+            for (&q, &d) in bucket.iter().zip(&dists) {
                 if q as usize != p {
-                    let d = params.metric.eval(row, vs.row(q as usize));
                     list.insert(Neighbor::new(q, d));
                 }
             }
-        });
-    }
+        }
+    });
     timings.bucket_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     let t2 = Instant::now();
     match params.exploration_mode {
         crate::params::ExplorationMode::Full => {
             for _ in 0..params.exploration_iters {
-                explore_once(vs, params, &mut graph);
+                explore_once(&ctx, &mut graph);
             }
         }
         crate::params::ExplorationMode::Incremental => {
@@ -94,22 +225,38 @@ pub fn build_native(
                 if fresh.iter().all(Vec::is_empty) {
                     break; // converged: nothing new to join against
                 }
-                fresh = explore_once_incremental(vs, params, &mut graph, &fresh);
+                fresh = explore_once_incremental(&ctx, &mut graph, &fresh);
             }
         }
     }
     timings.explore_ms = t2.elapsed().as_secs_f64() * 1e3;
 
-    Ok((graph.into_lists(), timings))
+    let mut lists = graph.into_lists();
+    if matches!(quant, QuantState::Pq(..)) {
+        // ADC distances selected the candidates; the shipped graph carries
+        // exact distances so downstream search/serve layers see the true
+        // metric. O(n·k·dim) — a sliver next to the bucket pass.
+        let t3 = Instant::now();
+        lists.par_iter_mut().enumerate().for_each(|(p, list)| {
+            let row = vs.row(p);
+            for nb in list.iter_mut() {
+                nb.dist = kern.eval(params.metric, row, vs.row(nb.index as usize));
+            }
+            sort_neighbors(list);
+        });
+        timings.quant_ms += t3.elapsed().as_secs_f64() * 1e3;
+    }
+
+    Ok((lists, timings))
 }
 
 /// One neighbors-of-neighbors pass: every point examines the neighbors of
 /// its current neighbors as candidates. Reads a frozen snapshot so the pass
 /// is order-independent and deterministic under parallelism.
-fn explore_once(vs: &VectorSet, params: &WknngParams, graph: &mut KnnGraph) {
+fn explore_once<K: DistanceKernel + Copy>(ctx: &DistCtx<'_, K>, graph: &mut KnnGraph) {
     let snapshot = graph.index_snapshot();
     graph.lists_mut().par_iter_mut().enumerate().for_each(|(p, list)| {
-        let row = vs.row(p);
+        let eval = ctx.query(p);
         for &q in &snapshot[p] {
             for &r in &snapshot[q as usize] {
                 if r as usize == p {
@@ -117,8 +264,7 @@ fn explore_once(vs: &VectorSet, params: &WknngParams, graph: &mut KnnGraph) {
                 }
                 // `insert` rejects duplicates, so no visited-set needed
                 // at these k values.
-                let d = params.metric.eval(row, vs.row(r as usize));
-                list.insert(Neighbor::new(r, d));
+                list.insert(Neighbor::new(r, eval.dist(r)));
             }
         }
     });
@@ -127,9 +273,8 @@ fn explore_once(vs: &VectorSet, params: &WknngParams, graph: &mut KnnGraph) {
 /// One incremental exploration pass: only candidate paths `p → q → r` where
 /// the `p → q` edge or the `r` entry of `q`'s list is fresh (inserted last
 /// round) are examined. Returns the per-point indices inserted this round.
-fn explore_once_incremental(
-    vs: &VectorSet,
-    params: &WknngParams,
+fn explore_once_incremental<K: DistanceKernel + Copy>(
+    ctx: &DistCtx<'_, K>,
     graph: &mut KnnGraph,
     fresh: &[Vec<u32>],
 ) -> Vec<Vec<u32>> {
@@ -139,14 +284,11 @@ fn explore_once_incremental(
         .par_iter_mut()
         .enumerate()
         .map(|(p, list)| {
-            let row = vs.row(p);
+            let eval = ctx.query(p);
             let mut inserted = Vec::new();
             let mut try_insert = |r: u32, list: &mut crate::heap::KnnList| {
-                if r as usize != p {
-                    let d = params.metric.eval(row, vs.row(r as usize));
-                    if list.insert(Neighbor::new(r, d)) {
-                        inserted.push(r);
-                    }
+                if r as usize != p && list.insert(Neighbor::new(r, eval.dist(r))) {
+                    inserted.push(r);
                 }
             };
             // Fresh forward edges: explore the whole list of the new neighbor.
@@ -196,11 +338,26 @@ mod tests {
     #[test]
     fn single_bucket_tree_is_exact() {
         // leaf_size >= n means every tree is one bucket: all-pairs = exact.
+        // Neighbor identity must match ground truth exactly; distances are
+        // compared with a tolerance because the dispatched SIMD kernel may
+        // reassociate the reduction relative to the scalar ground truth.
         let vs = DatasetSpec::UniformCube { n: 40, dim: 5 }.generate(1).vectors;
         let (lists, timings) = build_native(&vs, &params(5, 1, 64, 0)).unwrap();
         let truth = exact_knn(&vs, 5, Metric::SquaredL2);
         assert_eq!(recall(&lists, &truth), 1.0);
-        assert_eq!(lists, truth);
+        for (got, want) in lists.iter().zip(&truth) {
+            let got_ids: Vec<u32> = got.iter().map(|nb| nb.index).collect();
+            let want_ids: Vec<u32> = want.iter().map(|nb| nb.index).collect();
+            assert_eq!(got_ids, want_ids);
+            for (g, w) in got.iter().zip(want) {
+                assert!(
+                    (g.dist - w.dist).abs() <= 1e-5 * (1.0 + w.dist.abs()),
+                    "dist drift: {} vs {}",
+                    g.dist,
+                    w.dist
+                );
+            }
+        }
         assert!(timings.total_ms() >= 0.0);
     }
 
@@ -298,5 +455,100 @@ mod tests {
         let truth = exact_knn(&vs, 4, Metric::Cosine);
         // leaf 64 with n=60: single bucket, exact.
         assert_eq!(recall(&lists, &truth), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod quant_tests {
+    use super::*;
+    use crate::params::ExplorationMode;
+    use crate::recall::recall;
+    use wknng_data::{exact_knn, kernel, DatasetSpec, Metric};
+
+    fn base(k: usize) -> WknngParams {
+        WknngParams {
+            k,
+            num_trees: 4,
+            leaf_size: 24,
+            exploration_iters: 1,
+            seed: 7,
+            ..WknngParams::default()
+        }
+    }
+
+    #[test]
+    fn sq8_build_stays_close_to_exact() {
+        let vs = DatasetSpec::GaussianClusters { n: 400, dim: 16, clusters: 8, spread: 0.3 }
+            .generate(20)
+            .vectors;
+        let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+        let p = WknngParams { quant: QuantMode::Sq8, ..base(8) };
+        let (lists, timings) = build_native(&vs, &p).unwrap();
+        let (exact, _) = build_native(&vs, &base(8)).unwrap();
+        let (rq, re) = (recall(&lists, &truth), recall(&exact, &truth));
+        assert!(timings.quant_ms >= 0.0);
+        assert!(rq >= re - 0.05, "sq8 recall {rq:.3} fell too far below f32 {re:.3}");
+    }
+
+    #[test]
+    fn pq_build_recall_is_bounded_and_deterministic() {
+        let vs = DatasetSpec::GaussianClusters { n: 400, dim: 16, clusters: 8, spread: 0.3 }
+            .generate(21)
+            .vectors;
+        let truth = exact_knn(&vs, 8, Metric::SquaredL2);
+        let p = WknngParams { quant: QuantMode::Pq { m: 8 }, ..base(8) };
+        let (a, _) = build_native(&vs, &p).unwrap();
+        let (b, _) = build_native(&vs, &p).unwrap();
+        assert_eq!(a, b, "PQ builds must be deterministic in the seed");
+        let (exact, _) = build_native(&vs, &base(8)).unwrap();
+        let (rq, re) = (recall(&a, &truth), recall(&exact, &truth));
+        assert!(rq >= re - 0.15, "pq recall {rq:.3} fell too far below f32 {re:.3}");
+    }
+
+    #[test]
+    fn pq_lists_carry_exact_rescored_distances() {
+        let vs = DatasetSpec::UniformCube { n: 200, dim: 12 }.generate(22).vectors;
+        let p = WknngParams { quant: QuantMode::Pq { m: 4 }, ..base(6) };
+        let (lists, _) = build_native(&vs, &p).unwrap();
+        for (i, list) in lists.iter().enumerate() {
+            for w in list.windows(2) {
+                assert!(w[0].key() < w[1].key(), "rescored lists stay sorted");
+            }
+            for nb in list {
+                let want = kernel().eval(Metric::SquaredL2, vs.row(i), vs.row(nb.index as usize));
+                assert_eq!(nb.dist, want, "point {i} neighbor {} not rescored", nb.index);
+            }
+        }
+    }
+
+    #[test]
+    fn pq_rejects_non_l2_metrics_and_zero_m() {
+        let vs = DatasetSpec::UniformCube { n: 50, dim: 8 }.generate(23).vectors;
+        let p = WknngParams { metric: Metric::Cosine, quant: QuantMode::Pq { m: 4 }, ..base(4) };
+        assert_eq!(
+            build_native(&vs, &p).unwrap_err(),
+            KnngError::UnsupportedQuantMetric(Metric::Cosine)
+        );
+        let p = WknngParams { quant: QuantMode::Pq { m: 0 }, ..base(4) };
+        assert_eq!(build_native(&vs, &p).unwrap_err(), KnngError::ZeroSubquantizers);
+    }
+
+    #[test]
+    fn quantized_builds_work_with_incremental_exploration() {
+        let vs = DatasetSpec::GaussianClusters { n: 300, dim: 16, clusters: 6, spread: 0.3 }
+            .generate(24)
+            .vectors;
+        let truth = exact_knn(&vs, 6, Metric::SquaredL2);
+        for quant in [QuantMode::Sq8, QuantMode::Pq { m: 8 }] {
+            let p = WknngParams {
+                quant,
+                exploration_iters: 2,
+                exploration_mode: ExplorationMode::Incremental,
+                ..base(6)
+            };
+            let (lists, _) = build_native(&vs, &p).unwrap();
+            let r = recall(&lists, &truth);
+            assert!(r > 0.6, "{} incremental recall too low: {r:.3}", quant.name());
+        }
     }
 }

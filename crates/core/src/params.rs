@@ -76,6 +76,41 @@ pub enum ExplorationMode {
     Incremental,
 }
 
+/// Coordinate representation the native build evaluates distances over.
+///
+/// Quantization trades per-point memory (and memory traffic — the dominant
+/// cost the paper attributes to the distance loop) for bounded recall loss,
+/// ablated in experiments E15 (SQ8) and E20 (PQ-ADC). Native backend only;
+/// device builds always evaluate full-precision coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantMode {
+    /// Full-precision f32 coordinates (4·dim bytes/point).
+    #[default]
+    None,
+    /// SQ8 scalar quantization: distances are evaluated over decoded 8-bit
+    /// coordinates (dim bytes/point). Any metric.
+    Sq8,
+    /// Product quantization with per-point ADC lookup tables (`m`
+    /// bytes/point regardless of dim). Candidate generation and exploration
+    /// run on asymmetric code distances; the finished lists are re-scored
+    /// against exact coordinates. Requires [`Metric::SquaredL2`].
+    Pq {
+        /// Subquantizers (= bytes per encoded point); clamped to `dim`.
+        m: usize,
+    },
+}
+
+impl QuantMode {
+    /// Short name used in experiment tables and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QuantMode::None => "f32",
+            QuantMode::Sq8 => "sq8",
+            QuantMode::Pq { .. } => "pq",
+        }
+    }
+}
+
 /// How thoroughly a device build checks its own output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AuditLevel {
@@ -166,6 +201,8 @@ pub struct WknngParams {
     pub variant: KernelVariant,
     /// Distance metric (device kernels require [`Metric::SquaredL2`]).
     pub metric: Metric,
+    /// Build-time coordinate quantization (native backend only).
+    pub quant: QuantMode,
     /// RNG seed for the forest.
     pub seed: u64,
 }
@@ -181,6 +218,7 @@ impl Default for WknngParams {
             projection: ProjectionKind::DenseGaussian,
             variant: KernelVariant::default(),
             metric: Metric::SquaredL2,
+            quant: QuantMode::None,
             seed: 0xC0FFEE,
         }
     }
@@ -200,6 +238,14 @@ impl WknngParams {
         }
         if self.num_trees == 0 {
             return Err(wknng_forest::ForestError::NoTrees.into());
+        }
+        if let QuantMode::Pq { m } = self.quant {
+            if m == 0 {
+                return Err(KnngError::ZeroSubquantizers);
+            }
+            if self.metric != Metric::SquaredL2 {
+                return Err(KnngError::UnsupportedQuantMetric(self.metric));
+            }
         }
         Ok(())
     }

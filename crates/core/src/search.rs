@@ -121,6 +121,31 @@ pub fn search_lists(
     query: &[f32],
     params: &SearchParams,
 ) -> (Vec<Neighbor>, SearchStats) {
+    // Query-vs-point distances go through the dispatched SIMD/scalar kernel;
+    // resolving the mode here (rather than passing `&dyn` down) keeps the
+    // per-candidate evaluation a direct, inlinable call.
+    match wknng_data::kernel_mode() {
+        wknng_data::KernelMode::ForceScalar => {
+            search_lists_with(&wknng_data::ScalarKernel, vs, lists, query, params)
+        }
+        wknng_data::KernelMode::Auto => {
+            search_lists_with(&wknng_data::SimdKernel, vs, lists, query, params)
+        }
+    }
+}
+
+/// [`search_lists`] with an explicit distance kernel. The device beam kernel
+/// is validated bit-for-bit against the *scalar* oracle (its lane arithmetic
+/// reproduces the scalar reduction order), so its tests pin
+/// [`wknng_data::ScalarKernel`] here instead of flipping the process-global
+/// kernel mode under concurrently running tests.
+pub(crate) fn search_lists_with<K: wknng_data::DistanceKernel + ?Sized>(
+    kern: &K,
+    vs: &VectorSet,
+    lists: &[Vec<Neighbor>],
+    query: &[f32],
+    params: &SearchParams,
+) -> (Vec<Neighbor>, SearchStats) {
     let n = vs.len();
     assert_eq!(query.len(), vs.dim(), "query dimensionality mismatch");
     let beam_width = params.beam.max(params.k).max(1);
@@ -158,7 +183,7 @@ pub fn search_lists(
             p = (p + 1) % n;
         }
         visited[p] = true;
-        let d = params.metric.eval(query, vs.row(p));
+        let d = kern.eval(params.metric, query, vs.row(p));
         stats.distance_evals += 1;
         let nb = Neighbor::new(p as u32, d);
         beam.insert(nb);
@@ -188,7 +213,7 @@ pub fn search_lists(
                 continue;
             }
             visited[j] = true;
-            let d = params.metric.eval(query, vs.row(j));
+            let d = kern.eval(params.metric, query, vs.row(j));
             stats.distance_evals += 1;
             let cand = Neighbor::new(j as u32, d);
             if beam.insert(cand) {

@@ -290,6 +290,7 @@ impl GraphExtender {
         // One pass over the live lists: drop edges to tombstones, offer the
         // victims' former neighborhoods as replacements.
         let metric = self.params.metric;
+        let kern = wknng_data::kernel();
         for p in 0..n {
             if self.deleted[p] {
                 continue;
@@ -311,7 +312,7 @@ impl GraphExtender {
             let row = self.vectors.row(p);
             for q in candidates {
                 if q as usize != p && !self.deleted[q as usize] {
-                    let d = metric.eval(row, self.vectors.row(q as usize));
+                    let d = kern.eval(metric, row, self.vectors.row(q as usize));
                     self.lists[p].insert(Neighbor::new(q, d));
                 }
             }
@@ -327,6 +328,7 @@ impl GraphExtender {
     /// nothing is deleted).
     pub fn polish_all(&mut self) {
         let snapshot: Vec<Vec<u32>> = self.lists.iter().map(|h| h.indices().collect()).collect();
+        let kern = wknng_data::kernel();
         for p in 0..self.lists.len() {
             if self.deleted[p] {
                 continue;
@@ -335,7 +337,7 @@ impl GraphExtender {
             for &q in &snapshot[p] {
                 for &r in &snapshot[q as usize] {
                     if r as usize != p && !self.deleted[r as usize] {
-                        let d = self.params.metric.eval(row, self.vectors.row(r as usize));
+                        let d = kern.eval(self.params.metric, row, self.vectors.row(r as usize));
                         if self.lists[p].insert(Neighbor::new(r, d)) {
                             self.view[p] = self.lists[p].as_slice().to_vec();
                         }
@@ -352,6 +354,7 @@ impl GraphExtender {
     /// propagate symmetrically (both `p → r` and `r → p` are offered), so
     /// original points near an insertion site converge without a full pass.
     pub fn refine(&mut self, rounds: usize) {
+        let kern = wknng_data::kernel();
         for _ in 0..rounds {
             let seeds: Vec<u32> = std::mem::take(&mut self.dirty).into_iter().collect();
             if seeds.is_empty() {
@@ -371,10 +374,11 @@ impl GraphExtender {
                     for nb in self.view[q as usize].clone() {
                         let r = nb.index;
                         if r != p && !self.deleted[r as usize] {
-                            let d = self
-                                .params
-                                .metric
-                                .eval(self.vectors.row(p as usize), self.vectors.row(r as usize));
+                            let d = kern.eval(
+                                self.params.metric,
+                                self.vectors.row(p as usize),
+                                self.vectors.row(r as usize),
+                            );
                             self.touch(p, Neighbor::new(r, d));
                             self.touch(r, Neighbor::new(p, d));
                         }

@@ -21,6 +21,8 @@ pub enum DataError {
         /// Coordinate index within the point.
         coord: usize,
     },
+    /// A quantizer was asked to train on an empty point set.
+    EmptyTrainingSet,
     /// Two vector sets that must agree on dimensionality do not.
     DimMismatch {
         /// Dimensionality supplied.
@@ -58,6 +60,9 @@ impl fmt::Display for DataError {
             }
             DataError::NonFinite { point, coord } => {
                 write!(f, "non-finite coordinate at point {point}, coord {coord}")
+            }
+            DataError::EmptyTrainingSet => {
+                write!(f, "quantizer training needs at least one point")
             }
             DataError::DimMismatch { got, want } => {
                 write!(f, "dimensionality mismatch: got dim {got}, want dim {want}")

@@ -25,8 +25,11 @@ pub mod dist;
 pub mod error;
 pub mod groundtruth;
 pub mod io;
+pub mod kmeans;
 pub mod neighbor;
+pub mod pq;
 pub mod quant;
+pub mod simd;
 pub mod stats;
 pub mod synth;
 pub mod texmex;
@@ -35,8 +38,14 @@ pub mod vecs;
 pub use dist::{cosine_distance, dot, norm, sq_l2, Metric};
 pub use error::DataError;
 pub use groundtruth::exact_knn;
+pub use kmeans::{train_kmeans, Kmeans};
 pub use neighbor::{sort_neighbors, Neighbor};
+pub use pq::{AdcTable, PqCodebook, PqCodes, PqParams};
 pub use quant::QuantizedSet;
+pub use simd::{
+    kernel, kernel_mode, set_kernel_mode, DistanceKernel, KernelMode, KernelModeGuard,
+    ScalarKernel, SimdKernel,
+};
 pub use stats::{intrinsic_dim_mle, mean_nn_distance};
 pub use synth::{normal, Dataset, DatasetSpec};
 pub use vecs::VectorSet;

@@ -39,8 +39,17 @@ impl QuantizedSet {
             mins.iter_mut().for_each(|m| *m = 0.0);
             maxs.iter_mut().for_each(|m| *m = 0.0);
         }
-        let steps: Vec<f32> =
-            mins.iter().zip(&maxs).map(|(&lo, &hi)| ((hi - lo) / 255.0).max(0.0)).collect();
+        // The range is computed in f64: `hi - lo` in f32 overflows to +inf
+        // when a dimension spans more than f32::MAX (e.g. ±2e38, both
+        // finite), and an infinite step poisons the codec — every code
+        // collapses to 0 and `sq_l2_codes`/`decode` produce NaN via
+        // `0 × inf`. The f64 difference is exact for any two finite f32s,
+        // and the divided step always converts back to a finite f32.
+        let steps: Vec<f32> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| (((hi as f64 - lo as f64) / 255.0) as f32).max(0.0))
+            .collect();
         let mut codes = Vec::with_capacity(n * dim);
         for row in vs.rows() {
             for (d, &v) in row.iter().enumerate() {
@@ -99,7 +108,11 @@ impl QuantizedSet {
         let mut data = Vec::with_capacity(self.n * self.dim);
         for i in 0..self.n {
             for (d, &c) in self.codes(i).iter().enumerate() {
-                data.push(self.mins[d] + c as f32 * self.steps[d]);
+                // The affine decode runs in f64: `255 · step` can exceed
+                // f32::MAX even when the decoded value itself is a plain
+                // finite f32 (a dimension spanning ±2e38), and an infinite
+                // intermediate would fail the finiteness validation below.
+                data.push((self.mins[d] as f64 + c as f64 * self.steps[d] as f64) as f32);
             }
         }
         VectorSet::new(data, self.dim).expect("decoded values are finite")
@@ -167,6 +180,69 @@ mod tests {
         // The constant dimension contributes nothing.
         let dec = q.decode();
         assert!(dec.rows().all(|r| (r[0] - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn all_zero_codes_have_zero_distance() {
+        // A constant set quantizes every point to code 0 in every
+        // dimension; the code-domain distance must be exactly zero, not an
+        // accumulation of step artifacts.
+        let vs = VectorSet::from_rows(&vec![vec![2.5, -1.0, 0.0]; 4]).unwrap();
+        let q = QuantizedSet::quantize(&vs).unwrap();
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(q.codes(a).iter().all(|&c| c == 0));
+                assert_eq!(q.sq_l2_codes(a, b), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_extremes_span_the_full_code_range() {
+        // Two points pinned at the calibration min/max must land on codes 0
+        // and 255, and their code distance must recover the span.
+        let vs = VectorSet::from_rows(&[vec![-4.0, 10.0], vec![4.0, 20.0]]).unwrap();
+        let q = QuantizedSet::quantize(&vs).unwrap();
+        assert_eq!(q.codes(0), &[0, 0]);
+        assert_eq!(q.codes(1), &[255, 255]);
+        let want = 8.0f32.powi(2) + 10.0f32.powi(2);
+        let got = q.sq_l2_codes(0, 1);
+        assert!((got - want).abs() <= 1e-3 * want, "{got} vs {want}");
+    }
+
+    #[test]
+    fn single_dimension_roundtrips() {
+        let vs = VectorSet::from_rows(&[vec![0.0], vec![1.0], vec![0.5]]).unwrap();
+        let q = QuantizedSet::quantize(&vs).unwrap();
+        assert_eq!(q.dim(), 1);
+        let d01 = q.sq_l2_codes(0, 1);
+        assert!((d01 - 1.0).abs() <= 1e-3, "{d01}");
+        assert!(q.sq_l2_codes(2, 2) == 0.0);
+        let dec = q.decode();
+        assert!((dec.row(2)[0] - 0.5).abs() <= q.max_error() + 1e-6);
+    }
+
+    #[test]
+    fn huge_ranges_do_not_overflow_the_step() {
+        // Regression: with a dimension spanning more than f32::MAX (here
+        // ±2e38, both finite), `(hi - lo) / 255.0` evaluated in f32
+        // overflowed to +inf; every code collapsed to 0, and both
+        // `sq_l2_codes` and `decode` returned NaN (`0 × inf`) — `decode`
+        // then panicked inside VectorSet validation. The step is now
+        // derived through f64 and stays finite, and decode runs its affine
+        // map in f64 so representable values cannot overflow en route.
+        let vs = VectorSet::from_rows(&[vec![-2.0e38], vec![2.0e38]]).unwrap();
+        let q = QuantizedSet::quantize(&vs).unwrap();
+        assert_eq!(q.codes(0), &[0]);
+        assert_eq!(q.codes(1), &[255]);
+        let d = q.sq_l2_codes(0, 1);
+        // The true squared distance (4e38)² overflows f32, so +inf is the
+        // faithful answer — what must never appear is NaN.
+        assert!(!d.is_nan(), "code distance must not be NaN");
+        assert_eq!(d, sq_l2(vs.row(0), vs.row(1)), "code distance mirrors the exact kernel");
+        let dec = q.decode();
+        assert!(dec.row(0)[0].is_finite() && dec.row(1)[0].is_finite());
+        assert!((dec.row(1)[0] - 2.0e38).abs() <= q.max_error() * 2.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Symbolic (abstract) interpretation of warp-centric kernels.
 //!
-//! Where [`crate::launch`] executes a kernel on *concrete* data and
+//! Where [`fn@crate::launch`] executes a kernel on *concrete* data and
 //! [`crate::sanitizer`] observes the accesses of one concrete run, this
 //! module runs a kernel's *access pattern* once with **abstract lanes**:
 //! every index is an affine expression `a·lane + Σ cᵥ·v + d` whose

@@ -3,7 +3,7 @@
 //! The simulator executes warps sequentially and deterministically, so a data
 //! race never produces a nondeterministic result here — it silently becomes
 //! "last writer wins". On real hardware the same kernel would corrupt its
-//! k-NN sets. This module closes that gap: while a [`SanitizerScope`] is
+//! k-NN sets. This module closes that gap: while a `SanitizerScope` is
 //! installed, every global / shared access runs through a shadow state that
 //! records *who* touched each element (block, warp, lane, barrier epoch,
 //! atomicity) and reports the access patterns that are undefined on a GPU:

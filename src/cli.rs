@@ -105,19 +105,50 @@ pub fn cmd_build(args: &Args) -> Result<String, String> {
         return Err("--strict and --degrade are mutually exclusive".into());
     }
     let vs = io::load_vectors(Path::new(input)).map_err(|e| e.to_string())?;
+    let quant_name: String = args.get("quant", "f32".to_string())?;
+    let quant = match quant_name.as_str() {
+        "f32" => QuantMode::None,
+        "sq8" => QuantMode::Sq8,
+        "pq" => QuantMode::Pq { m: args.get("pq-m", 8usize)? },
+        other => return Err(format!("unknown --quant '{other}' (f32|sq8|pq)")),
+    };
     let mut builder = WknngBuilder::new(k)
         .trees(args.get("trees", 8usize)?)
         .leaf_size(args.get("leaf", 64usize)?)
         .exploration(args.get("explore", 1usize)?)
+        .quant(quant)
         .seed(seed);
     if strict {
         builder = builder.strict();
     }
     let device: String = args.get("device", "native".to_string())?;
+    if quant != QuantMode::None && device != "native" {
+        return Err("--quant sq8|pq is native-only (the simulated device evaluates f32)".into());
+    }
     let (lists, summary) = match device.as_str() {
         "native" => {
             let (g, timings) = builder.build_native(&vs).map_err(|e| e.to_string())?;
-            (g.lists, format!("{:.1} ms native", timings.total_ms()))
+            // Per-point footprint of the coordinates the distance loop reads.
+            let quant_note = match quant {
+                QuantMode::None => String::new(),
+                QuantMode::Sq8 => {
+                    format!(" [sq8: {} B/point vs {} B/point f32]", vs.dim(), 4 * vs.dim())
+                }
+                QuantMode::Pq { m } => format!(
+                    " [pq m={}: {} B/point vs {} B/point f32]",
+                    m.min(vs.dim()),
+                    m.min(vs.dim()),
+                    4 * vs.dim()
+                ),
+            };
+            (
+                g.lists,
+                format!(
+                    "{:.1} ms native ({}){quant_note}",
+                    timings.total_ms(),
+                    wknng_data::kernel().name()
+                ),
+            )
         }
         "sim" => {
             let mut plan = FaultPlan::new(args.get("fault-seed", seed)?);
@@ -596,7 +627,7 @@ pub fn cmd_sanitize(_args: &Args) -> Result<String, String> {
 ///
 /// Four modes, checked in order:
 ///
-/// * `--list` — print the experiment registry (e1–e19) and the pinned
+/// * `--list` — print the experiment registry (e1–e20) and the pinned
 ///   suite jobs.
 /// * `--only e3,e17 [--quick]` — run registry experiments and print their
 ///   reports (the `reproduce` binary behind one CLI).
@@ -779,6 +810,7 @@ wknng-cli — approximate K-NN graphs from the command line
            [--dim 32] [--clusters 8] [--spread 0.25] [--intrinsic 6] [--seed 42]
   build    --input d.wkv --out g.wkk [--k 10] [--trees 8] [--leaf 64]
            [--explore 1] [--seed 1] [--device native|sim]
+           [--quant f32|sq8|pq [--pq-m 8]]   (quantized builds are native-only)
            [--strict | --degrade] [--fault-seed S] [--fail-launch N]
            [--flip-launch N] [--flip-bit 61]
   recall   --input d.wkv --graph g.wkk
@@ -886,6 +918,42 @@ mod tests {
         let out = dispatch(&args(&format!("info --input {vecs}"))).unwrap();
         assert!(out.contains("300 points x 24 dims"));
 
+        std::fs::remove_file(&vecs).ok();
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn quantized_builds_via_cli() {
+        let vecs = tmp("quant.wkv");
+        let graph = tmp("quant.wkk");
+        dispatch(&args(&format!(
+            "generate --out {vecs} --kind clusters --n 300 --dim 16 --seed 9"
+        )))
+        .unwrap();
+        let out = dispatch(&args(&format!(
+            "build --input {vecs} --out {graph} --k 6 --trees 4 --leaf 24 --quant pq --pq-m 8"
+        )))
+        .unwrap();
+        assert!(out.contains("pq m=8"), "{out}");
+        assert!(out.contains("8 B/point vs 64 B/point"), "{out}");
+        let out = dispatch(&args(&format!("recall --input {vecs} --graph {graph}"))).unwrap();
+        let r: f64 = out.split('=').nth(1).unwrap().trim().parse().unwrap();
+        assert!(r > 0.5, "pq build recall too low: {out}");
+
+        let out = dispatch(&args(&format!(
+            "build --input {vecs} --out {graph} --k 6 --trees 4 --leaf 24 --quant sq8"
+        )))
+        .unwrap();
+        assert!(out.contains("sq8: 16 B/point"), "{out}");
+
+        // Typed rejections: unknown mode, quantized sim build.
+        let e = dispatch(&args(&format!("build --input {vecs} --out {graph} --quant nope")))
+            .unwrap_err();
+        assert!(e.contains("unknown --quant"), "{e}");
+        let e =
+            dispatch(&args(&format!("build --input {vecs} --out {graph} --quant pq --device sim")))
+                .unwrap_err();
+        assert!(e.contains("native-only"), "{e}");
         std::fs::remove_file(&vecs).ok();
         std::fs::remove_file(&graph).ok();
     }
@@ -1153,7 +1221,15 @@ mod extended_cli_tests {
     #[test]
     fn bench_lists_registry_and_runs_selected_experiments() {
         let out = dispatch(&args("bench --list")).unwrap();
-        for id in ["e1", "e19", "build-native", "serve-load", "recall-frontier", "device-cycles"] {
+        for id in [
+            "e1",
+            "e20",
+            "build-native",
+            "build-native-simd",
+            "serve-load",
+            "recall-frontier",
+            "device-cycles",
+        ] {
             assert!(out.contains(id), "missing {id}: {out}");
         }
         // Registry-dispatched experiment run, same path as `reproduce`.
@@ -1161,7 +1237,7 @@ mod extended_cli_tests {
         assert!(out.contains("E1"), "{out}");
         let err = dispatch(&args("bench --only e99 --quick")).unwrap_err();
         assert!(err.contains("unknown experiment id 'e99'"), "{err}");
-        assert!(err.contains("e19"), "error must list known ids: {err}");
+        assert!(err.contains("e20"), "error must list known ids: {err}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! | [`baseline`] | brute force (+WarpSelect), k-means, IVF-Flat (FAISS stand-in), NN-descent, HNSW |
 //! | [`serve`] | batched query-serving engine: sharding, admission control, latency metrics |
 //! | [`tsne`] | the motivating application: t-SNE over K-NNG affinities |
-//! | [`bench`](mod@bench) | experiment registry (e1–e19) + perf-trajectory orchestrator (`wknng bench`) |
+//! | [`bench`](mod@bench) | experiment registry (e1–e20) + perf-trajectory orchestrator (`wknng bench`) |
 //!
 //! ## Quickstart
 //!
@@ -81,11 +81,12 @@ pub mod prelude {
         mean_distance_ratio, mutation_reports, recall, repair_list, run_search_batch, search,
         search_batch, search_checked, symmetrize, AuditLevel, AuditReport, BuildEvent, BuildEvents,
         BuildPhase, BuildPolicy, DeviceReports, ExplorationMode, Extended, GraphExtender,
-        GraphStats, KernelVariant, Knng, KnngError, PhaseTimings, SearchIndex, SearchParams,
-        SearchStats, ViolationKind, WknngBuilder, WknngParams,
+        GraphStats, KernelVariant, Knng, KnngError, PhaseTimings, QuantMode, SearchIndex,
+        SearchParams, SearchStats, ViolationKind, WknngBuilder, WknngParams,
     };
     pub use wknng_data::{
-        exact_knn, sq_l2, DataError, Dataset, DatasetSpec, Metric, Neighbor, VectorSet,
+        exact_knn, kernel, set_kernel_mode, sq_l2, DataError, Dataset, DatasetSpec, DistanceKernel,
+        KernelMode, KernelModeGuard, Metric, Neighbor, PqCodebook, PqParams, VectorSet,
     };
     pub use wknng_forest::{build_forest, ForestParams, ProjectionKind, RpForest, TreeParams};
     pub use wknng_serve::{
