@@ -11,10 +11,10 @@
 //! The kernel is a *bit-exact* mirror of the host reference
 //! [`crate::search::search_lists`]: the entry scramble-and-probe sequence,
 //! the frontier pop order, the insertion order (adjacency-list order), the
-//! greedy termination test, and — crucially — the floating-point summation
-//! order of the distance (`lane_query_dists` replicates `sq_l2`'s 8-wide
-//! blocked accumulation per lane) are all identical. Batching therefore
-//! cannot change any individual result, which is the invariant the serving
+//! greedy termination test, and — crucially — the distance values
+//! (`lane_query_dists` reduces through the same runtime-dispatched host
+//! kernel, scalar or AVX2+FMA) are all identical. Batching therefore cannot
+//! change any individual result, which is the invariant the serving
 //! engine's tests pin down.
 
 use wknng_data::{Metric, Neighbor, VectorSet};
@@ -85,11 +85,13 @@ pub struct BatchResult {
 }
 
 /// Per-lane query↔point squared-L2 distances, bit-exact with the host
-/// [`wknng_data::sq_l2`]: each active lane accumulates its own candidate's
-/// distance in the host's exact order (eight interleaved partials over the
-/// 8-aligned prefix, partials summed left-to-right, then the tail terms in
-/// order). Loads gather one coordinate per candidate per instruction; the
-/// query row is a broadcast load.
+/// [`wknng_data::sq_l2`]: the loads gather one coordinate per candidate per
+/// instruction (the query row is a broadcast load) into per-lane registers,
+/// and the final reduction runs each lane's coordinates through the *same*
+/// dispatched host kernel — so whatever implementation the host picked at
+/// runtime (scalar blocked, AVX2+FMA), the device answer is the identical
+/// bit pattern. Emulating the accumulation order by hand is a trap: the FMA
+/// path rounds `d*d + acc` once where a hand-rolled loop rounds twice.
 fn lane_query_dists(
     w: &mut WarpCtx,
     points: &DeviceBuffer<f32>,
@@ -99,37 +101,21 @@ fn lane_query_dists(
     pts: &LaneVec<usize>,
     mask: Mask,
 ) -> LaneVec<f32> {
-    let mut acc = [LaneVec::<f32>::zeroed(); 8];
-    let chunks = dim / 8;
-    for c in 0..chunks {
-        for (i, slot) in acc.iter_mut().enumerate() {
-            let col = c * 8 + i;
-            let qi = w.math_idx(mask, |_| coord_ix(&q, &dim, &col));
-            let a = w.ld_global(queries, &qi, mask);
-            let pi = w.math_idx(mask, |l| coord_ix(&pts.get(l), &dim, &col));
-            let b = w.ld_global(points, &pi, mask);
-            let prev = *slot;
-            *slot = w.math_keep(mask, &prev, |l| {
-                let d = a.get(l) - b.get(l);
-                prev.get(l) + d * d
-            });
-        }
-    }
-    let mut sum = acc[0];
-    for p in &acc[1..] {
-        sum = w.math_keep(mask, &sum, |l| sum.get(l) + p.get(l));
-    }
-    for col in chunks * 8..dim {
+    let mut qrows: Vec<Vec<f32>> = (0..WARP_LANES).map(|_| Vec::with_capacity(dim)).collect();
+    let mut prows: Vec<Vec<f32>> = (0..WARP_LANES).map(|_| Vec::with_capacity(dim)).collect();
+    for col in 0..dim {
         let qi = w.math_idx(mask, |_| coord_ix(&q, &dim, &col));
         let a = w.ld_global(queries, &qi, mask);
         let pi = w.math_idx(mask, |l| coord_ix(&pts.get(l), &dim, &col));
         let b = w.ld_global(points, &pi, mask);
-        sum = w.math_keep(mask, &sum, |l| {
-            let d = a.get(l) - b.get(l);
-            sum.get(l) + d * d
-        });
+        for l in mask.iter() {
+            qrows[l].push(a.get(l));
+            prows[l].push(b.get(l));
+        }
     }
-    sum
+    let zero = LaneVec::<f32>::zeroed();
+    let kern = wknng_data::kernel();
+    w.math_keep(mask, &zero, |l| kern.sq_l2(&qrows[l], &prows[l]))
 }
 
 /// Warp-parallel max over query `q`'s beam row — the current worst beam
@@ -309,19 +295,20 @@ mod tests {
     use super::*;
     use crate::builder::{Knng, WknngBuilder};
     use crate::graph::lists_to_slots;
-    use crate::search::search_lists_with;
-    use wknng_data::{DatasetSpec, ScalarKernel};
+    use crate::search::search_lists;
+    use wknng_data::DatasetSpec;
 
-    /// The device kernel reproduces the *scalar* reduction order lane by
-    /// lane, so its host reference is pinned to the scalar oracle (the
-    /// dispatched kernel may be AVX2, which reassociates).
+    /// The device kernel computes lane distances through the same
+    /// runtime-dispatched host kernel as [`search_lists`], so the oracle is
+    /// the plain dispatched search — bit-exact whichever implementation
+    /// (scalar or AVX2+FMA) this machine resolves to.
     fn scalar_search(
         vs: &VectorSet,
         lists: &[Vec<Neighbor>],
         query: &[f32],
         params: &SearchParams,
     ) -> (Vec<Neighbor>, crate::search::SearchStats) {
-        search_lists_with(&ScalarKernel, vs, lists, query, params)
+        search_lists(vs, lists, query, params)
     }
 
     fn indexed(n: usize, dim: usize, seed: u64) -> (VectorSet, Knng) {

@@ -134,11 +134,11 @@ pub fn search_lists(
     }
 }
 
-/// [`search_lists`] with an explicit distance kernel. The device beam kernel
-/// is validated bit-for-bit against the *scalar* oracle (its lane arithmetic
-/// reproduces the scalar reduction order), so its tests pin
-/// [`wknng_data::ScalarKernel`] here instead of flipping the process-global
-/// kernel mode under concurrently running tests.
+/// [`search_lists`] with an explicit distance kernel — the monomorphized
+/// body both [`search_lists`] arms dispatch into. (The device beam kernel
+/// reduces its lane distances through the same dispatched host kernel, so
+/// device results stay bit-for-bit equal to this host reference whichever
+/// implementation the runtime picks.)
 pub(crate) fn search_lists_with<K: wknng_data::DistanceKernel + ?Sized>(
     kern: &K,
     vs: &VectorSet,

@@ -80,6 +80,12 @@ pub fn kernel_mode() -> KernelMode {
 /// RAII guard that pins the kernel mode for a scope and restores the
 /// previous mode on drop — how tests and bench jobs run a forced-scalar
 /// section without leaking the override.
+///
+/// Guards nest: each one restores exactly the mode it observed, so
+/// lexically scoped (LIFO-dropped) pins always unwind to the outer state.
+/// Dropping guards out of LIFO order restores whatever each guard saw at
+/// construction — don't hold them across overlapping, non-nested scopes.
+#[must_use = "the mode is un-pinned the moment the guard drops; bind it to a named local"]
 pub struct KernelModeGuard {
     prev: KernelMode,
 }
@@ -88,6 +94,11 @@ impl KernelModeGuard {
     /// Pin `mode` until the guard drops.
     pub fn pin(mode: KernelMode) -> KernelModeGuard {
         KernelModeGuard { prev: set_kernel_mode(mode) }
+    }
+
+    /// The mode this guard will restore on drop.
+    pub fn restores_to(&self) -> KernelMode {
+        self.prev
     }
 }
 
@@ -370,8 +381,10 @@ mod tests {
         }
     }
 
+    // One test covers both the plain and the nested guard so the global
+    // KERNEL_MODE is only ever manipulated from a single test thread.
     #[test]
-    fn mode_guard_restores() {
+    fn mode_guard_restores_and_nests_lifo() {
         assert_eq!(kernel_mode(), KernelMode::Auto);
         {
             let _g = KernelModeGuard::pin(KernelMode::ForceScalar);
@@ -379,6 +392,31 @@ mod tests {
             assert_eq!(kernel().name(), "scalar");
         }
         assert_eq!(kernel_mode(), KernelMode::Auto);
+        // Nested pins: each level restores exactly the mode it observed,
+        // so the stack unwinds Auto <- ForceScalar <- Auto <- ForceScalar.
+        {
+            let outer = KernelModeGuard::pin(KernelMode::ForceScalar);
+            assert_eq!(outer.restores_to(), KernelMode::Auto);
+            {
+                let middle = KernelModeGuard::pin(KernelMode::Auto);
+                assert_eq!(middle.restores_to(), KernelMode::ForceScalar);
+                assert_eq!(kernel_mode(), KernelMode::Auto);
+                {
+                    let inner = KernelModeGuard::pin(KernelMode::ForceScalar);
+                    assert_eq!(inner.restores_to(), KernelMode::Auto);
+                    assert_eq!(kernel_mode(), KernelMode::ForceScalar);
+                    // Re-pinning the mode already in force must still
+                    // round-trip (prev == pinned is not a special case).
+                    let same = KernelModeGuard::pin(KernelMode::ForceScalar);
+                    assert_eq!(same.restores_to(), KernelMode::ForceScalar);
+                    drop(same);
+                    assert_eq!(kernel_mode(), KernelMode::ForceScalar);
+                }
+                assert_eq!(kernel_mode(), KernelMode::Auto, "inner pin must unwind one level");
+            }
+            assert_eq!(kernel_mode(), KernelMode::ForceScalar, "middle pin must unwind one level");
+        }
+        assert_eq!(kernel_mode(), KernelMode::Auto, "the full stack must unwind to Auto");
     }
 
     #[test]

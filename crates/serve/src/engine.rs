@@ -31,11 +31,12 @@
 //!   [`ServeReport`].
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use wknng_sync::atomic::{AtomicU64, Ordering};
+use wknng_sync::mpsc::{self, RecvTimeoutError};
+use wknng_sync::thread::JoinHandle;
+use wknng_sync::{channel_labeled, condvar_labeled, mutex_labeled, thread, Arc, Condvar, Mutex};
 
 use wknng_core::kernels::beam::{run_search_batch, SearchIndex};
 use wknng_core::{augment_reverse, KnngError, SearchParams, SearchStats, WknngParams};
@@ -104,14 +105,14 @@ pub struct QueryResult {
 }
 
 /// What a worker (or the engine) sends back for one query.
-type Reply = Result<QueryResult, ServeError>;
+pub(crate) type Reply = Result<QueryResult, ServeError>;
 
 /// Handle to one in-flight query.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<Reply>,
+    pub(crate) rx: mpsc::Receiver<Reply>,
     /// `submission + ServeConfig::deadline`, when the engine has one.
-    deadline: Option<Instant>,
+    pub(crate) deadline: Option<Instant>,
 }
 
 impl Ticket {
@@ -152,15 +153,15 @@ impl Ticket {
 /// a panicking worker — its ticket receives exactly one reply. A job
 /// dropped without an explicit [`Job::respond`] answers
 /// [`ServeError::WorkerLost`].
-struct Job {
-    query: Vec<f32>,
-    at: Instant,
-    deadline: Option<Instant>,
-    tx: Option<mpsc::Sender<Reply>>,
+pub(crate) struct Job {
+    pub(crate) query: Vec<f32>,
+    pub(crate) at: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) tx: Option<mpsc::Sender<Reply>>,
 }
 
 impl Job {
-    fn respond(mut self, reply: Reply) {
+    pub(crate) fn respond(mut self, reply: Reply) {
         if let Some(tx) = self.tx.take() {
             // A dropped ticket (caller gave up) is not an engine error.
             let _ = tx.send(reply);
@@ -260,8 +261,8 @@ impl ServeEngine {
             .filter(|p| p.has_serve_faults() || p.has_swap_faults())
             .map(|plan| Arc::new(Chaos { plan, next_batch: AtomicU64::new(0) }));
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState::default()),
-            notify: Condvar::new(),
+            queue: mutex_labeled("serve-queue", QueueState::default()),
+            notify: condvar_labeled("serve-notify"),
             epochs: Arc::clone(&epochs),
             dim,
             params,
@@ -271,7 +272,7 @@ impl ServeEngine {
             backend: cfg.backend,
             deadline: cfg.deadline,
             supervisor: cfg.supervisor,
-            shed: cfg.shed.map(|p| Mutex::new(ShedController::new(p))),
+            shed: cfg.shed.map(|p| mutex_labeled("shed-controller", ShedController::new(p))),
             chaos: chaos.clone(),
         });
         let mutator_handle = match cfg.mutate {
@@ -287,8 +288,8 @@ impl ServeEngine {
                     },
                     chaos,
                 };
-                let (tx, rx) = mpsc::channel();
-                let handle = std::thread::Builder::new()
+                let (tx, rx) = channel_labeled("mutator-jobs");
+                let handle = thread::Builder::new()
                     .name("wknng-mutator".into())
                     .spawn(move || mutator(seed, rx))
                     .expect("spawn mutator");
@@ -298,7 +299,7 @@ impl ServeEngine {
         let workers = (0..cfg.shards)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("wknng-serve-{i}"))
                     .spawn(move || worker(shared))
                     .expect("spawn shard")
@@ -342,7 +343,7 @@ impl ServeEngine {
         let Some((tx, _)) = &self.mutator else {
             return Err(ServeError::MutationsDisabled);
         };
-        let (rtx, rrx) = mpsc::channel();
+        let (rtx, rrx) = channel_labeled("mutation-reply");
         tx.send(MutationJob { op, tx: Some(rtx) })
             .map_err(|_| ServeError::MutationFailed("mutator thread lost"))?;
         Ok(MutationTicket { rx: rrx })
@@ -373,7 +374,7 @@ impl ServeEngine {
         if let Some(c) = query.iter().position(|v| !v.is_finite()) {
             return Err(ServeError::NonFiniteQuery { coord: c });
         }
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = channel_labeled("query-reply");
         let now = Instant::now();
         let deadline = self.shared.deadline.map(|d| now + d);
         let mut q = self.shared.queue.lock().expect("queue lock");
@@ -574,7 +575,7 @@ fn worker_pass(shared: &Shared, stats: &mut ShardStats) {
                 Some(ServeFault::PanicWorker) => {
                     panic!("chaos: injected worker panic at serve batch {idx}")
                 }
-                Some(ServeFault::StallBatch(d)) => std::thread::sleep(d),
+                Some(ServeFault::StallBatch(d)) => thread::sleep(d),
                 Some(ServeFault::PoisonResults) => poisoned = true,
                 None => {}
             }

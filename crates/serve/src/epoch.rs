@@ -16,8 +16,9 @@
 //!   needs no bookkeeping and can be *proved* in tests via
 //!   [`live_epochs`](EpochHandle::live_epochs).
 
-use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
+
+use wknng_sync::{mutex_labeled, Arc, Mutex, Weak};
 
 use wknng_core::{search_lists, SearchParams, SearchStats};
 use wknng_data::{Neighbor, VectorSet};
@@ -129,7 +130,10 @@ impl EpochHandle {
     pub fn new(first: Epoch) -> EpochHandle {
         let arc = Arc::new(first);
         let history = vec![(arc.id, Arc::downgrade(&arc))];
-        EpochHandle { current: Mutex::new(arc), history: Mutex::new(history) }
+        EpochHandle {
+            current: mutex_labeled("epoch-current", arc),
+            history: mutex_labeled("epoch-history", history),
+        }
     }
 
     /// Pin the current epoch: one lock acquisition and one refcount bump.
@@ -214,6 +218,42 @@ mod tests {
         assert_eq!(handle.live_epochs(), vec![1], "only the current epoch survives");
         assert!(handle.find(0).is_none(), "retired epochs are unreachable");
         assert_eq!(handle.find(1).unwrap().id, 1);
+    }
+
+    #[test]
+    fn retire_waits_for_a_pin_held_across_a_concurrent_publish() {
+        // Real threads, no model checker: a reader pins generation 0, the
+        // writer publishes generation 1 over it, and generation 0 must stay
+        // alive — and searchable — until the reader's pin drops.
+        let handle = Arc::new(EpochHandle::new(tiny_epoch()));
+        let (pinned_tx, pinned_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let reader = {
+            let handle = Arc::clone(&handle);
+            std::thread::spawn(move || {
+                let pin = handle.pin();
+                assert_eq!(pin.id, 0);
+                pinned_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                // By now the publish has happened; the pin must be intact.
+                let params = SearchParams { k: 2, ..SearchParams::default() };
+                let (res, _) = pin.search(&[1.4], &params);
+                assert!(!res.is_empty(), "a published-over pin must stay searchable");
+                assert_eq!(pin.id, 0, "a published-over pin must stay on its generation");
+            })
+        };
+        pinned_rx.recv().unwrap();
+        let mut next = tiny_epoch();
+        next.id = handle.next_id();
+        let (current, _) = handle.publish(next);
+        assert_eq!(current.id, 1);
+        assert_eq!(handle.live_epochs(), vec![0, 1], "generation 0 is retained while pinned");
+        assert!(handle.find(0).is_some(), "a pinned old generation stays reachable");
+        release_tx.send(()).unwrap();
+        reader.join().unwrap();
+        drop(current);
+        assert_eq!(handle.live_epochs(), vec![1], "generation 0 retires once its pin drops");
+        assert!(handle.find(0).is_none(), "a retired generation is unreachable");
     }
 
     #[test]

@@ -198,6 +198,68 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_shard_merge_preserves_count_and_percentiles() {
+        // The engine's aggregation shape: each shard records its own
+        // histogram on its own thread, the coordinator merges them in
+        // whatever order the shards finish. The merged result must carry
+        // every sample and agree with a single histogram that saw all of
+        // them, regardless of merge order.
+        const SHARDS: u64 = 8;
+        const PER_SHARD: u64 = 500;
+        let (tx, rx) = std::sync::mpsc::channel::<LatencyHistogram>();
+        let workers: Vec<_> = (0..SHARDS)
+            .map(|s| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let mut h = LatencyHistogram::new();
+                    for i in 0..PER_SHARD {
+                        // Deterministic per-shard mix: a fast mode, a slow
+                        // mode, and a straggler, distinct across shards.
+                        let v = match i % 3 {
+                            0 => 1_000 + s * 37 + i,
+                            1 => 250_000 + s * 1_001 + i * 13,
+                            _ => 40_000_000 + s * 777_777,
+                        };
+                        h.record(v);
+                    }
+                    tx.send(h).unwrap();
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut merged = LatencyHistogram::new();
+        while let Ok(shard) = rx.recv() {
+            merged.merge(&shard);
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(merged.count(), SHARDS * PER_SHARD, "every shard sample must survive");
+        // Reference: the same samples recorded sequentially into one
+        // histogram must produce identical percentiles.
+        let mut whole = LatencyHistogram::new();
+        for s in 0..SHARDS {
+            for i in 0..PER_SHARD {
+                let v = match i % 3 {
+                    0 => 1_000 + s * 37 + i,
+                    1 => 250_000 + s * 1_001 + i * 13,
+                    _ => 40_000_000 + s * 777_777,
+                };
+                whole.record(v);
+            }
+        }
+        let mut prev = 0u64;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            let got = merged.percentile(p).unwrap();
+            assert_eq!(got, whole.percentile(p).unwrap(), "p{p}");
+            assert!(got >= prev, "percentiles must stay monotone: p{p} = {got} < {prev}");
+            prev = got;
+        }
+        assert_eq!(merged.mean(), whole.mean());
+        assert_eq!(merged.max(), whole.max());
+    }
+
+    #[test]
     fn merging_an_empty_histogram_is_identity_both_ways() {
         let mut a = LatencyHistogram::new();
         for v in [3u64, 500, 42_000] {

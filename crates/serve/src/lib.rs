@@ -74,6 +74,8 @@ pub mod epoch;
 pub mod error;
 pub mod histogram;
 pub mod mutate;
+#[cfg(feature = "model")]
+pub mod race;
 pub mod report;
 pub mod shed;
 pub mod supervisor;

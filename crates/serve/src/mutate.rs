@@ -22,9 +22,10 @@
 //! injects exactly these failures in tests.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::Arc;
 use std::time::Duration;
+
+use wknng_sync::mpsc::{self, RecvTimeoutError};
+use wknng_sync::{thread, Arc};
 
 use wknng_core::{audit_graph, GraphExtender, Knng, WknngParams};
 use wknng_data::{Neighbor, VectorSet};
@@ -194,6 +195,9 @@ pub(crate) fn mutator(seed: MutatorSeed, rx: mpsc::Receiver<MutationJob>) -> Mut
     drop(first);
     let mut next_swap: u64 = 0;
     while let Ok(job) = rx.recv() {
+        // Under the model checker an aborting run must be able to unwind
+        // through this loop even though the rebuild phase catches panics.
+        wknng_sync::abort_checkpoint();
         let fault = seed.chaos.as_ref().and_then(|c| {
             let idx = next_swap;
             next_swap += 1;
@@ -207,7 +211,7 @@ pub(crate) fn mutator(seed: MutatorSeed, rx: mpsc::Receiver<MutationJob>) -> Mut
                 Some(SwapFault::PanicRebuild) => {
                     panic!("chaos: injected rebuild panic")
                 }
-                Some(SwapFault::StallRebuild(d)) => std::thread::sleep(d),
+                Some(SwapFault::StallRebuild(d)) => thread::sleep(d),
                 _ => {}
             }
             let applied = match &job.op {

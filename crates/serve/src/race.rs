@@ -1,0 +1,522 @@
+//! Model-checked concurrency protocols of the serve/epoch layer.
+//!
+//! Compiled only under the `model` feature (`--features race` at the
+//! workspace root; `wknng race` on the CLI). Each protocol here drives
+//! *real* serve code — [`EpochHandle`], the mutator loop, the query and
+//! mutation reply drop guards, `ShedController`, `run_supervised` —
+//! under the deterministic scheduler in [`wknng_sync::model`]: every
+//! `wknng_sync` primitive the code touches becomes a scheduling point, the
+//! explorer enumerates thread interleavings up to the preemption bound
+//! (DPOR-style, conflict-directed), and a vector-clock happens-before
+//! detector checks every explored schedule for data races, deadlocks, lost
+//! wakeups, and lock-order inversions.
+//!
+//! The module has two halves:
+//!
+//! * [`race_all_protocols`] — the protocols that must come back **clean**;
+//!   `wknng race` fails if any of them produces a finding. The protocol
+//!   bodies are deterministic modulo scheduling (fixed instants, no
+//!   randomness), so a finding always comes with a replayable schedule.
+//! * [`race_mutants`] — seeded concurrency bugs (a skipped publish fence, a
+//!   too-weak acquire, a defeated reply drop guard, an inverted lock order)
+//!   that the checker must flag at exactly the seeded site; `wknng race
+//!   --self-check` fails if any mutant escapes. This is the checker's own
+//!   regression suite: a detector change that stops seeing a seeded bug
+//!   fails CI even though the real protocols still pass.
+
+use std::time::{Duration, Instant};
+
+use wknng_core::{SearchParams, WknngParams};
+use wknng_data::{Metric, VectorSet};
+use wknng_sync::atomic::{AtomicU64, Ordering};
+use wknng_sync::model::{explore, Config, ExploreReport, Finding, FindingKind, RaceCell};
+use wknng_sync::{channel_labeled, mutex_labeled, thread, Arc};
+
+use crate::engine::{Job, Ticket};
+use crate::epoch::{Epoch, EpochHandle};
+use crate::error::ServeError;
+use crate::mutate::{mutator, MutatePolicy, MutationJob, MutationOp, MutationTicket, MutatorSeed};
+use crate::shed::{ShedController, ShedPolicy};
+use crate::supervisor::{run_supervised, SupervisorPolicy};
+
+/// 4 points on a line; exact 2-NN lists — large enough to search, small
+/// enough that every explored schedule re-runs the real rebuild in
+/// microseconds.
+fn tiny_epoch() -> Epoch {
+    let vs = VectorSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![10.0]]).unwrap();
+    let lists = wknng_data::exact_knn(&vs, 2, Metric::SquaredL2);
+    Epoch::initial(vs, lists)
+}
+
+fn search_params() -> SearchParams {
+    SearchParams { k: 2, ..SearchParams::default() }
+}
+
+/// Pin/publish/retire on the real [`EpochHandle`]: a pin is never torn by a
+/// concurrent publish, the published generation becomes current, and the
+/// old generation retires exactly when its last pin drops.
+pub fn epoch_protocol() -> ExploreReport {
+    explore(Config::new("epoch-pin-publish-retire"), || {
+        let handle = Arc::new(EpochHandle::new(tiny_epoch()));
+        let h = Arc::clone(&handle);
+        let publisher = thread::Builder::new()
+            .name("publisher".into())
+            .spawn(move || {
+                let mut next = tiny_epoch();
+                next.id = h.next_id();
+                let (arc, _pause) = h.publish(next);
+                assert_eq!(arc.id, 1, "publish must install the id it drew");
+            })
+            .unwrap();
+        let pin = handle.pin();
+        let generation = pin.id;
+        assert!(generation <= 1, "pin observed a torn generation id");
+        let (res, _) = pin.search(&[1.4], &search_params());
+        assert!(!res.is_empty(), "a pinned epoch must stay searchable");
+        assert_eq!(pin.id, generation, "a pin must stay on one generation");
+        publisher.join().unwrap();
+        assert!(
+            handle.live_epochs().contains(&1),
+            "the published generation must be live after the publisher joined"
+        );
+        drop(pin);
+        assert_eq!(handle.live_epochs(), vec![1], "unpinned old generations must retire");
+        assert!(handle.find(1).is_some(), "the current generation must stay reachable");
+    })
+}
+
+/// The real `mutator` thread against concurrent pinned queries: a refused
+/// batch (out-of-range delete) restores the extender without disturbing the
+/// live epoch, a valid batch publishes exactly one new generation, and a
+/// reader pinned at any point of either never sees a tombstone.
+pub fn mutator_protocol() -> ExploreReport {
+    explore(Config::new("mutator-restore-vs-queries"), || {
+        let epochs = Arc::new(EpochHandle::new(tiny_epoch()));
+        let seed = MutatorSeed {
+            epochs: Arc::clone(&epochs),
+            policy: MutatePolicy { refine_rounds: 0, beam: 0, compact_threshold: 0.9 },
+            params: WknngParams { k: 2, ..WknngParams::default() },
+            chaos: None,
+        };
+        let (jobs, jobs_rx) = channel_labeled::<MutationJob>("mutator-jobs");
+        let worker = thread::Builder::new()
+            .name("mutator".into())
+            .spawn(move || mutator(seed, jobs_rx))
+            .unwrap();
+        let reader = {
+            let epochs = Arc::clone(&epochs);
+            thread::Builder::new()
+                .name("reader".into())
+                .spawn(move || {
+                    let pin = epochs.pin();
+                    let (res, _) = pin.search(&[0.9], &search_params());
+                    assert!(!res.is_empty(), "a pinned search must answer");
+                    assert!(
+                        res.iter().all(|nb| !pin.deleted[nb.index as usize]),
+                        "a pinned search surfaced a tombstone"
+                    );
+                })
+                .unwrap()
+        };
+        // An out-of-range delete is refused with a typed error; the restore
+        // path it takes races the pinned reader above and must leave the
+        // live epoch untouched.
+        let (tx, rx) = channel_labeled("mutation-reply");
+        jobs.send(MutationJob { op: MutationOp::Delete(vec![99]), tx: Some(tx) }).unwrap();
+        assert!(MutationTicket { rx }.wait().is_err(), "an out-of-range delete must be refused");
+        assert_eq!(epochs.current_id(), 0, "a refused batch must not publish");
+        // A valid delete publishes the next generation exactly once.
+        let (tx, rx) = channel_labeled("mutation-reply");
+        jobs.send(MutationJob { op: MutationOp::Delete(vec![3]), tx: Some(tx) }).unwrap();
+        let out = MutationTicket { rx }.wait().expect("a valid delete must publish");
+        assert_eq!(
+            (out.epoch, out.applied, out.compacted),
+            (1, 1, false),
+            "the valid batch must publish generation 1 without compaction"
+        );
+        drop(jobs);
+        let stats = worker.join().unwrap();
+        assert_eq!(
+            (stats.swaps, stats.swaps_refused),
+            (1, 1),
+            "exactly one publish and one refusal"
+        );
+        reader.join().unwrap();
+    })
+}
+
+/// The query-side no-hang invariant: a worker that abandons an admitted
+/// `Job` mid-batch (here: drops it without answering, as an unwinding
+/// panic would) still resolves the caller's [`Ticket`] — to
+/// [`ServeError::WorkerLost`], via the job's `Drop` guard.
+pub fn ticket_protocol() -> ExploreReport {
+    explore(Config::new("ticket-drop-worker-lost"), || {
+        let (jobs, jobs_rx) = channel_labeled::<Job>("serve-jobs");
+        let worker = thread::Builder::new()
+            .name("shard".into())
+            .spawn(move || {
+                let job = jobs_rx.recv().expect("one admitted job");
+                // The "crash": the job leaves the worker unanswered.
+                drop(job);
+            })
+            .unwrap();
+        let (tx, rx) = channel_labeled("query-reply");
+        let ticket = Ticket { rx, deadline: None };
+        jobs.send(Job { query: vec![1.4], at: Instant::now(), deadline: None, tx: Some(tx) })
+            .unwrap();
+        assert!(
+            matches!(ticket.wait(), Err(ServeError::WorkerLost)),
+            "an abandoned job must resolve its ticket to WorkerLost"
+        );
+        worker.join().unwrap();
+    })
+}
+
+/// Two threads sharing the real `ShedController` under its lock: with
+/// every observation over target, the brownout level only escalates, and a
+/// sustained-overload observation far past the window must brown the
+/// search out regardless of how the observations interleaved.
+pub fn shed_protocol() -> ExploreReport {
+    explore(Config::new("shed-controller-brownout"), || {
+        let policy = ShedPolicy {
+            target: Duration::from_millis(2),
+            window: Duration::from_millis(10),
+            brownout_tiers: 2,
+            shed_factor: 4,
+        };
+        let base = SearchParams::default();
+        // The controller never reads the clock itself — both threads walk
+        // the same fixed timeline, so the body is deterministic modulo
+        // scheduling.
+        let t0 = Instant::now();
+        let window = Duration::from_millis(10);
+        let over = Duration::from_millis(5);
+        let ctl = Arc::new(mutex_labeled("shed-controller", ShedController::new(policy)));
+        let observer = {
+            let ctl = Arc::clone(&ctl);
+            thread::Builder::new()
+                .name("observer".into())
+                .spawn(move || {
+                    for i in 0..3u32 {
+                        let mut g = ctl.lock().unwrap();
+                        g.observe(over, t0 + window * i);
+                        let eff = g.effective_params(&base);
+                        assert_eq!(eff.k, base.k, "brownout must never shrink k");
+                        assert!(eff.beam <= base.beam, "brownout must never widen the beam");
+                    }
+                })
+                .unwrap()
+        };
+        for i in 0..3u32 {
+            let mut g = ctl.lock().unwrap();
+            g.observe(over, t0 + window * i);
+            assert!(g.effective_params(&base).beam <= base.beam);
+        }
+        observer.join().unwrap();
+        let mut g = ctl.lock().unwrap();
+        g.observe(over, t0 + window * 10);
+        assert!(
+            g.effective_params(&base).beam < base.beam,
+            "sustained overload must brown the search out"
+        );
+    })
+}
+
+/// The real `run_supervised` loop: a poisoned batch panics the pass, the
+/// in-flight job's drop guard answers `WorkerLost`, the supervisor respawns
+/// the pass exactly once, and the next batch is served normally.
+pub fn supervisor_protocol() -> ExploreReport {
+    explore(Config::new("supervisor-respawn-under-panic"), || {
+        let (jobs, jobs_rx) = channel_labeled::<Job>("serve-jobs");
+        let worker = thread::Builder::new()
+            .name("shard".into())
+            .spawn(move || {
+                let mut restarts = 0u32;
+                run_supervised(
+                    &SupervisorPolicy::default(),
+                    &mut restarts,
+                    |_| {
+                        while let Ok(job) = jobs_rx.recv() {
+                            if job.query.is_empty() {
+                                panic!("poisoned batch");
+                            }
+                            job.respond(Err(ServeError::Shed));
+                        }
+                    },
+                    |restarts, _backoff| *restarts += 1,
+                );
+                restarts
+            })
+            .unwrap();
+        let (tx1, rx1) = channel_labeled("query-reply");
+        jobs.send(Job { query: vec![], at: Instant::now(), deadline: None, tx: Some(tx1) })
+            .unwrap();
+        let (tx2, rx2) = channel_labeled("query-reply");
+        jobs.send(Job { query: vec![1.0], at: Instant::now(), deadline: None, tx: Some(tx2) })
+            .unwrap();
+        drop(jobs);
+        assert!(
+            matches!(Ticket { rx: rx1, deadline: None }.wait(), Err(ServeError::WorkerLost)),
+            "the poisoned batch must resolve through the drop guard"
+        );
+        assert!(
+            matches!(Ticket { rx: rx2, deadline: None }.wait(), Err(ServeError::Shed)),
+            "the batch after the respawn must be answered by the pass"
+        );
+        assert_eq!(worker.join().unwrap(), 1, "exactly one respawn after the poisoned batch");
+    })
+}
+
+/// Every protocol `wknng race` checks, in a fixed order.
+pub fn race_all_protocols() -> Vec<ExploreReport> {
+    vec![
+        epoch_protocol(),
+        mutator_protocol(),
+        ticket_protocol(),
+        shed_protocol(),
+        supervisor_protocol(),
+    ]
+}
+
+/// One seeded-bug self-check case: the mutated protocol, which finding
+/// kinds count as catching the bug, and the marker string (the seeded
+/// site's label) the finding must carry.
+pub struct MutantReport {
+    pub name: &'static str,
+    pub expected: &'static [FindingKind],
+    pub marker: &'static str,
+    pub report: ExploreReport,
+}
+
+impl MutantReport {
+    /// The finding that flags the seeded bug, if the checker caught it at
+    /// the seeded site.
+    pub fn caught(&self) -> Option<&Finding> {
+        self.report.findings.iter().find(|f| {
+            self.expected.contains(&f.kind)
+                && (f.site.contains(self.marker) || f.detail.contains(self.marker))
+        })
+    }
+}
+
+/// The epoch-publish protocol with its release fence removed: the payload
+/// write is published with a `Relaxed` store, so the reader's acquire load
+/// carries no happens-before edge and the payload read races the write.
+fn mutant_skipped_publish_fence() -> MutantReport {
+    let report = explore(Config::new("mutant-skipped-publish-fence"), || {
+        let slot = Arc::new(RaceCell::new("mutant-epoch-slot", 0u64));
+        let ready = Arc::new(AtomicU64::new(0));
+        let (s, r) = (Arc::clone(&slot), Arc::clone(&ready));
+        let publisher = thread::Builder::new()
+            .name("publisher".into())
+            .spawn(move || {
+                s.write("mutant-epoch-slot: publish", 1);
+                // MUTANT: the publish fence is skipped — Relaxed where the
+                // epoch swap needs Release.
+                r.store(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        if ready.load(Ordering::Acquire) == 1 {
+            let _ = slot.read("mutant-epoch-slot: pinned read");
+        }
+        publisher.join().unwrap();
+    });
+    MutantReport {
+        name: "skipped-publish-fence",
+        expected: &[FindingKind::DataRace],
+        marker: "mutant-epoch-slot",
+        report,
+    }
+}
+
+/// The consumer side of the same handshake with its acquire weakened: the
+/// writer publishes with `Release`, but the reader polls the flag with
+/// `Relaxed` and so never joins the writer's clock before touching the
+/// payload.
+fn mutant_relaxed_for_acquire() -> MutantReport {
+    let report = explore(Config::new("mutant-relaxed-for-acquire"), || {
+        let batch = Arc::new(RaceCell::new("mutant-query-batch", 0u64));
+        let ready = Arc::new(AtomicU64::new(0));
+        let (b, r) = (Arc::clone(&batch), Arc::clone(&ready));
+        let producer = thread::Builder::new()
+            .name("producer".into())
+            .spawn(move || {
+                b.write("mutant-query-batch: fill", 7);
+                r.store(1, Ordering::Release);
+            })
+            .unwrap();
+        // MUTANT: Relaxed where the consumer needs Acquire.
+        if ready.load(Ordering::Relaxed) == 1 {
+            let _ = batch.read("mutant-query-batch: consume");
+        }
+        producer.join().unwrap();
+    });
+    MutantReport {
+        name: "relaxed-for-acquire",
+        expected: &[FindingKind::DataRace],
+        marker: "mutant-query-batch",
+        report,
+    }
+}
+
+/// A mutator worker with the reply drop guard defeated: the sender is
+/// stripped out of the real [`MutationJob`] before the job can answer, so
+/// the caller's ticket wait can never be woken — a lost wakeup on the
+/// `mutation-reply` channel.
+fn mutant_dropped_reply_guard() -> MutantReport {
+    let report = explore(Config::new("mutant-dropped-reply-guard"), || {
+        let (jobs, jobs_rx) = channel_labeled::<MutationJob>("mutator-jobs");
+        let (stop, stop_rx) = channel_labeled::<()>("mutator-stop");
+        let worker = thread::Builder::new()
+            .name("mutator".into())
+            .spawn(move || {
+                let mut job = jobs_rx.recv().expect("one batch");
+                // MUTANT: the drop guard is defeated — the reply sender is
+                // stripped from the job, so nothing can ever answer.
+                let stolen = job.tx.take();
+                let _ = stop_rx.recv();
+                drop(stolen);
+            })
+            .unwrap();
+        let (tx, rx) = channel_labeled("mutation-reply");
+        jobs.send(MutationJob { op: MutationOp::Delete(vec![]), tx: Some(tx) }).unwrap();
+        let _ = MutationTicket { rx }.wait();
+        drop(stop);
+        worker.join().unwrap();
+    });
+    MutantReport {
+        name: "dropped-reply-guard",
+        expected: &[FindingKind::LostWakeup],
+        marker: "mutation-reply",
+        report,
+    }
+}
+
+/// The publish path with its lock order inverted against a concurrent
+/// reader: one thread takes history before current (as `publish` does), the
+/// mutated side takes current before history — a cycle the checker must
+/// report (as a manifest deadlock under some schedule, or as a lock-order
+/// inversion from the aggregated acquisition graph).
+fn mutant_inverted_lock_order() -> MutantReport {
+    let report = explore(Config::new("mutant-inverted-lock-order"), || {
+        let current = Arc::new(mutex_labeled("mutant-epoch-current", 0u64));
+        let history = Arc::new(mutex_labeled("mutant-epoch-history", 0u64));
+        let (c, h) = (Arc::clone(&current), Arc::clone(&history));
+        let publisher = thread::Builder::new()
+            .name("publisher".into())
+            .spawn(move || {
+                let _h = h.lock().unwrap();
+                let _c = c.lock().unwrap();
+            })
+            .unwrap();
+        // MUTANT: the inverted order — current before history, opposite of
+        // the publisher above.
+        let guard_c = current.lock().unwrap();
+        let guard_h = history.lock().unwrap();
+        drop(guard_h);
+        drop(guard_c);
+        publisher.join().unwrap();
+    });
+    MutantReport {
+        name: "inverted-lock-order",
+        expected: &[FindingKind::Deadlock, FindingKind::LockOrderInversion],
+        marker: "mutant-epoch-",
+        report,
+    }
+}
+
+/// Every seeded mutant `wknng race --self-check` runs, in a fixed order.
+pub fn race_mutants() -> Vec<MutantReport> {
+    vec![
+        mutant_skipped_publish_fence(),
+        mutant_relaxed_for_acquire(),
+        mutant_dropped_reply_guard(),
+        mutant_inverted_lock_order(),
+    ]
+}
+
+/// Render protocol reports the way `wknng race` prints them — one status
+/// line per protocol, findings indented under it.
+pub fn render_protocols(reports: &[ExploreReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in reports {
+        let status = if r.clean() { "clean" } else { "FINDINGS" };
+        let capped = if r.capped { " (capped)" } else { "" };
+        writeln!(out, "protocol {:<34} {:>6} schedules  {status}{capped}", r.name, r.schedules)
+            .unwrap();
+        for f in &r.findings {
+            writeln!(out, "  {:<20} at {}", f.kind.as_str(), f.site).unwrap();
+            writeln!(out, "      {}", f.detail).unwrap();
+        }
+    }
+    out
+}
+
+/// Render the self-check the way `wknng race --self-check` prints it.
+pub fn render_mutants(mutants: &[MutantReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for m in mutants {
+        match m.caught() {
+            Some(f) => {
+                writeln!(
+                    out,
+                    "mutant {:<26} flagged {:<20} at {}",
+                    m.name,
+                    f.kind.as_str(),
+                    f.site
+                )
+                .unwrap();
+            }
+            None => {
+                let kinds: Vec<&str> = m.expected.iter().map(|k| k.as_str()).collect();
+                writeln!(
+                    out,
+                    "mutant {:<26} MISSED (expected {} at `{}`)",
+                    m.name,
+                    kinds.join(" or "),
+                    m.marker
+                )
+                .unwrap();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_protocols_are_clean() {
+        for report in race_all_protocols() {
+            assert!(
+                report.clean(),
+                "protocol `{}` produced findings: {:#?}",
+                report.name,
+                report.findings
+            );
+            assert!(!report.capped, "protocol `{}` hit the schedule cap", report.name);
+            assert!(report.schedules > 1, "protocol `{}` explored nothing", report.name);
+        }
+    }
+
+    #[test]
+    fn every_mutant_is_flagged_at_its_seeded_site() {
+        for m in race_mutants() {
+            let f = m.caught().unwrap_or_else(|| {
+                panic!(
+                    "mutant `{}` escaped: expected {:?} carrying `{}`, got {:#?}",
+                    m.name, m.expected, m.marker, m.report.findings
+                )
+            });
+            assert!(
+                f.site.contains(m.marker) || f.detail.contains(m.marker),
+                "mutant `{}` flagged away from the seeded site: {f:?}",
+                m.name
+            );
+        }
+    }
+}

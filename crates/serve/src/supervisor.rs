@@ -67,6 +67,11 @@ pub(crate) fn run_supervised<T>(
 ) {
     let mut backoff = policy.backoff_initial;
     loop {
+        // Model checker only: an aborting exploration tears workers down by
+        // panicking out of scheduling points — that teardown must not be
+        // mistaken for a worker crash and respawned, so re-raise it here,
+        // outside the catch. Compiles to nothing in normal builds.
+        wknng_sync::abort_checkpoint();
         // The &mut borrows are plain counters and queues guarded elsewhere;
         // a torn partial update cannot outlive the pass that made it.
         if catch_unwind(AssertUnwindSafe(|| pass(state))).is_ok() {

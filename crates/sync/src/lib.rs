@@ -1,0 +1,116 @@
+//! # wknng-sync — the workspace's concurrency facade
+//!
+//! Host-side concurrency in this workspace (the serve/epoch layer: epoch
+//! pin/publish/retire, the three-phase mutator, supervised workers, ticket
+//! drop guards, the shed controller) is written against this crate instead
+//! of `std::sync` / `std::thread` directly.
+//!
+//! * **Normal builds** (no features): every name here is a plain re-export
+//!   of the `std` primitive — zero cost, zero behavior change. The facade
+//!   is purely a vocabulary.
+//! * **`model` feature**: the same names resolve to instrumented wrappers
+//!   (`model::shim`) that, while a `model::explore` run is active, hand
+//!   every synchronization operation to a deterministic scheduler. The
+//!   scheduler enumerates bounded thread interleavings (DFS with
+//!   partial-order conflict reduction and a preemption bound) and runs a
+//!   vector-clock happens-before detector over every explored schedule,
+//!   flagging data races, deadlocks, lost wakeups, lock-order inversions,
+//!   and too-weak atomic orderings. Outside an active exploration the
+//!   wrappers delegate straight to `std`, so code compiled with the feature
+//!   still runs normally (the `wknng race` binary serves *and* checks).
+//!
+//! The two halves never mix: `cfg` picks exactly one set of exports.
+
+#[cfg(feature = "model")]
+pub mod model;
+
+// ---------------------------------------------------------------------------
+// Normal builds: the facade is `std`, verbatim.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, WaitTimeoutResult, Weak,
+};
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic;
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::mpsc;
+
+#[cfg(not(feature = "model"))]
+pub use std::thread;
+
+// ---------------------------------------------------------------------------
+// Model builds: the instrumented shim under the scheduler.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "model")]
+pub use model::shim::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, WaitTimeoutResult, Weak,
+};
+
+#[cfg(feature = "model")]
+pub use model::shim::atomic;
+
+#[cfg(feature = "model")]
+pub use model::shim::mpsc;
+
+#[cfg(feature = "model")]
+pub use model::shim::thread;
+
+#[cfg(feature = "model")]
+pub use model::abort_checkpoint;
+
+/// Abort checkpoint for supervised `catch_unwind` loops. In normal builds
+/// there is nothing to abort — the call compiles to nothing. See
+/// `model::abort_checkpoint` for the model-build contract.
+#[cfg(not(feature = "model"))]
+#[inline(always)]
+pub fn abort_checkpoint() {}
+
+// ---------------------------------------------------------------------------
+// Labeled constructors — available in both builds so protocol code can name
+// its synchronization objects unconditionally. Model findings print the
+// label ("lock `serve-queue`"); normal builds ignore it at zero cost.
+// ---------------------------------------------------------------------------
+
+/// A [`Mutex`] whose label shows up in model findings.
+#[cfg(not(feature = "model"))]
+#[inline(always)]
+pub fn mutex_labeled<T>(_label: &'static str, value: T) -> Mutex<T> {
+    Mutex::new(value)
+}
+
+/// A [`Mutex`] whose label shows up in model findings.
+#[cfg(feature = "model")]
+pub fn mutex_labeled<T>(label: &'static str, value: T) -> Mutex<T> {
+    Mutex::new_labeled(label, value)
+}
+
+/// A [`Condvar`] whose label shows up in model findings.
+#[cfg(not(feature = "model"))]
+#[inline(always)]
+pub fn condvar_labeled(_label: &'static str) -> Condvar {
+    Condvar::new()
+}
+
+/// A [`Condvar`] whose label shows up in model findings.
+#[cfg(feature = "model")]
+pub fn condvar_labeled(label: &'static str) -> Condvar {
+    Condvar::new_labeled(label)
+}
+
+/// An [`mpsc`] channel whose label shows up in model findings.
+#[cfg(not(feature = "model"))]
+#[inline(always)]
+pub fn channel_labeled<T>(_label: &'static str) -> (mpsc::Sender<T>, mpsc::Receiver<T>) {
+    mpsc::channel()
+}
+
+/// An [`mpsc`] channel whose label shows up in model findings.
+#[cfg(feature = "model")]
+pub fn channel_labeled<T>(label: &'static str) -> (mpsc::Sender<T>, mpsc::Receiver<T>) {
+    mpsc::channel_labeled(label)
+}

@@ -1,0 +1,48 @@
+//! `RaceCell` — plain shared data as far as the race detector is concerned.
+//!
+//! Protocol tests use this where production code would hold plain fields:
+//! every `read`/`write` is a scheduling point checked against the
+//! vector-clock happens-before relation, so an access that is not ordered
+//! by a lock, channel, or acquire/release atomic pair is flagged as a data
+//! race — even on the very first (fully serialized) schedule, because the
+//! clocks already prove no ordering edge exists.
+//!
+//! The value itself sits behind an internal `std::sync::Mutex`, so the
+//! *host process* is never actually undefined-behavior racy; the detector
+//! reports what the *protocol* failed to order.
+
+use std::sync::Mutex;
+
+use super::sched::{self, Op, OpKind};
+
+/// A model-checked "unsynchronized" value.
+#[derive(Debug)]
+pub struct RaceCell<T> {
+    value: Mutex<T>,
+    obj: usize,
+    label: &'static str,
+}
+
+impl<T: Clone> RaceCell<T> {
+    pub fn new(label: &'static str, value: T) -> RaceCell<T> {
+        RaceCell { value: Mutex::new(value), obj: sched::labeled_obj_id(label), label }
+    }
+
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Read the value; a scheduling point + HB read-check under the model.
+    #[track_caller]
+    pub fn read(&self, site: &'static str) -> T {
+        let _ = sched::schedule(Op { kind: OpKind::CellRead, obj: self.obj, site });
+        self.value.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Write the value; a scheduling point + HB write-check under the model.
+    #[track_caller]
+    pub fn write(&self, site: &'static str, v: T) {
+        let _ = sched::schedule(Op { kind: OpKind::CellWrite, obj: self.obj, site });
+        *self.value.lock().unwrap_or_else(|p| p.into_inner()) = v;
+    }
+}

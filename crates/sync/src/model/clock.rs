@@ -1,0 +1,79 @@
+//! Vector clocks — the happens-before lattice the race detector runs on.
+//!
+//! Every model thread carries a [`VClock`]; every synchronization object
+//! (mutex, atomic, channel) carries the clock its last release published.
+//! Acquire-class operations join the object's clock into the thread's;
+//! release-class operations publish the thread's clock into the object's.
+//! Two plain-data accesses race exactly when neither clock dominates the
+//! other at the access sites — the classic FastTrack-style formulation,
+//! kept in full-vector form because model runs have a handful of threads.
+
+/// A vector clock over model-thread ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock.
+    pub fn new() -> VClock {
+        VClock(Vec::new())
+    }
+
+    /// This thread's own component, advanced once per executed operation.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component lookup (absent components are 0).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum: `self ⊔= other` (the acquire half of an edge).
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True when every component of `self` is ≤ the matching component of
+    /// `other` — i.e. everything `self` knows happened-before `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(t, &c)| c <= other.get(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_ordering() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        assert!(!a.le(&b) && !b.le(&a), "independent ticks are concurrent");
+        let mut c = b.clone();
+        c.join(&a);
+        assert!(a.le(&c) && b.le(&c));
+        assert_eq!(c.get(0), 2);
+        assert_eq!(c.get(1), 1);
+        assert_eq!(c.get(7), 0, "absent components read as zero");
+    }
+
+    #[test]
+    fn le_is_reflexive_and_zero_is_bottom() {
+        let mut a = VClock::new();
+        a.tick(3);
+        assert!(a.le(&a));
+        assert!(VClock::new().le(&a));
+        assert!(!a.le(&VClock::new()));
+    }
+}

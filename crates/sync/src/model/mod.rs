@@ -1,0 +1,135 @@
+//! The model-checking runtime behind the `model` feature.
+//!
+//! [`explore`] runs a closure many times, once per explored thread
+//! schedule, with every `wknng_sync` primitive inside the closure driven by
+//! the deterministic scheduler in `sched`. Findings (data races,
+//! deadlocks, lost wakeups, lock-order inversions, invariant violations)
+//! come back in an [`ExploreReport`].
+//!
+//! The protocol body must be *deterministic modulo scheduling*: no wall
+//! clock reads that change control flow, no ambient randomness. Timeouts
+//! (`Condvar::wait_timeout`, `recv_timeout`) are fine — the scheduler owns
+//! them and explores both the wake and the timeout arm.
+
+pub mod cell;
+pub(crate) mod clock;
+pub(crate) mod sched;
+pub mod shim;
+
+pub use cell::RaceCell;
+
+/// What class of concurrency defect a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Two plain-data accesses with no happens-before edge between them
+    /// (includes too-weak atomic orderings: `Relaxed` publishes nothing).
+    DataRace,
+    /// No thread can make progress and at least one is stuck on a lock,
+    /// join, or non-timeout receive.
+    Deadlock,
+    /// Every stuck thread is parked in a wait that a notify/send was
+    /// supposed to end — the signal was lost or never sent.
+    LostWakeup,
+    /// The aggregated lock-acquisition graph contains a cycle, even if no
+    /// explored schedule actually deadlocked on it.
+    LockOrderInversion,
+    /// The protocol body panicked (a failed assertion) under a schedule.
+    InvariantViolation,
+}
+
+impl FindingKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FindingKind::DataRace => "data-race",
+            FindingKind::Deadlock => "deadlock",
+            FindingKind::LostWakeup => "lost-wakeup",
+            FindingKind::LockOrderInversion => "lock-order-inversion",
+            FindingKind::InvariantViolation => "invariant-violation",
+        }
+    }
+}
+
+/// One detected defect, anchored to the instrumentation site that tripped.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub kind: FindingKind,
+    /// The call-site label (the `site` string of the op that detected it).
+    pub site: String,
+    pub detail: String,
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Name carried into the report (protocol identifier).
+    pub name: &'static str,
+    /// Maximum preemptive context switches along any explored path.
+    /// Empirically, almost all real concurrency bugs manifest within 2
+    /// preemptions; the CLI default is 2 and can be raised.
+    pub preemption_bound: usize,
+    /// Hard cap on explored schedules (runaway protection).
+    pub max_schedules: u64,
+}
+
+impl Config {
+    pub fn new(name: &'static str) -> Config {
+        Config { name, preemption_bound: 2, max_schedules: 50_000 }
+    }
+
+    pub fn preemption_bound(mut self, b: usize) -> Config {
+        self.preemption_bound = b;
+        self
+    }
+
+    pub fn max_schedules(mut self, m: u64) -> Config {
+        self.max_schedules = m;
+        self
+    }
+}
+
+/// Result of exploring one protocol.
+#[derive(Debug)]
+pub struct ExploreReport {
+    pub name: &'static str,
+    /// Schedules actually executed.
+    pub schedules: u64,
+    pub findings: Vec<Finding>,
+    /// True when exploration stopped at `max_schedules`, not exhaustion.
+    pub capped: bool,
+}
+
+impl ExploreReport {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Explore the bounded schedules of `body`, returning every finding.
+///
+/// Explorations are process-global and exclusive: concurrent calls from
+/// different test threads serialize on an internal lock. The body runs on
+/// the calling thread as model-thread 0; threads it spawns through
+/// [`shim::thread`] become model threads 1..N.
+pub fn explore<F: Fn() + Sync>(cfg: Config, body: F) -> ExploreReport {
+    // One exploration at a time per process: the scheduler state is global.
+    static EXCLUSIVE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|p| p.into_inner());
+    // Panics are a normal part of exploration (aborting runs, protocol
+    // bodies that deliberately panic under some schedule, supervised
+    // workers being crash-tested thousands of times); the default hook
+    // would print a backtrace banner for every one of them.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = sched::explore_impl(&cfg, &body);
+    std::panic::set_hook(prev_hook);
+    report
+}
+
+/// Re-check the abort flag. Loops that `catch_unwind` (the worker
+/// supervisor) call this *outside* the catch so an aborting exploration can
+/// unwind through them instead of being swallowed and retried forever.
+/// No-op outside an active exploration (and in non-model builds, where the
+/// facade exports a no-op of the same name).
+pub fn abort_checkpoint() {
+    sched::abort_checkpoint();
+}

@@ -1,0 +1,1147 @@
+//! The deterministic model-checking scheduler.
+//!
+//! One model thread runs at a time; every instrumented operation is a
+//! *scheduling point* where the explorer chooses which thread proceeds.
+//! A run executes under a replayed prefix of choices; after each run the
+//! explorer backtracks DFS-style to the deepest decision with an untried
+//! viable alternative and replays. Viability implements the two bounds:
+//!
+//! * **preemption bound** — switching away from a still-enabled thread is a
+//!   preemption; paths may contain at most `Config::preemption_bound`;
+//! * **conflict (DPOR-style) reduction** — a preemptive alternative is only
+//!   explored when its pending operation *conflicts* with the chosen
+//!   thread's (same object, not both reads); reordering independent
+//!   operations cannot change the outcome. Forced switches (the running
+//!   thread blocked or finished) explore every enabled alternative.
+//!
+//! Detection is layered on the same event stream: a vector-clock
+//! happens-before checker over [`super::cell::RaceCell`] accesses and
+//! ordering-annotated atomics (too-weak orderings surface as races),
+//! deadlock / lost-wakeup detection when no thread is runnable, and a
+//! lock-order graph whose cycles are reported even when no explored
+//! schedule actually deadlocks.
+
+use std::collections::{BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+use std::sync::{Condvar, Mutex};
+
+use super::clock::VClock;
+use super::{Config, Finding, FindingKind};
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+/// Memory-ordering class of an atomic op, as declared at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ord8 {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl Ord8 {
+    pub(crate) fn from_std(o: std::sync::atomic::Ordering) -> Ord8 {
+        use std::sync::atomic::Ordering::*;
+        match o {
+            Relaxed => Ord8::Relaxed,
+            Acquire => Ord8::Acquire,
+            Release => Ord8::Release,
+            AcqRel => Ord8::AcqRel,
+            _ => Ord8::SeqCst,
+        }
+    }
+
+    fn acquires(self) -> bool {
+        matches!(self, Ord8::Acquire | Ord8::AcqRel | Ord8::SeqCst)
+    }
+
+    fn releases(self) -> bool {
+        matches!(self, Ord8::Release | Ord8::AcqRel | Ord8::SeqCst)
+    }
+}
+
+/// What a thread is about to do at a scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// First event of a spawned thread (makes it schedulable).
+    Start,
+    LockAcquire,
+    /// Atomic release-and-wait on a condvar; `lock` is the paired mutex.
+    CondWait {
+        lock: usize,
+        timeout: bool,
+    },
+    CondNotify {
+        all: bool,
+    },
+    AtomicLoad(Ord8),
+    AtomicStore(Ord8),
+    AtomicRmw(Ord8),
+    CellRead,
+    CellWrite,
+    ChanSend,
+    ChanRecv {
+        timeout: bool,
+    },
+    /// Yield point with no shared effect (model `thread::sleep`).
+    Sleep,
+    Join {
+        target: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Op {
+    pub kind: OpKind,
+    /// Object the op touches (0 = none).
+    pub obj: usize,
+    /// Call-site label carried into findings.
+    pub site: &'static str,
+}
+
+/// How a completed scheduling call resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    /// No active run (or unregistered thread): perform the real std op.
+    Passthrough,
+    /// The op executed under the model.
+    Done,
+    /// A timeout-capable wait fired its timeout.
+    TimedOut,
+    /// Channel receive: a message is available from the inner channel.
+    ChanData,
+    /// Channel receive: every sender is gone.
+    ChanDisconnected,
+}
+
+/// Panic payload used to tear model threads down when a run aborts. Caught
+/// by the thread wrapper and the explorer; user-level `catch_unwind` in
+/// supervised loops must re-check [`super::abort_checkpoint`].
+pub(crate) struct ModelAbort;
+
+// ---------------------------------------------------------------------------
+// Run state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ObjKind {
+    Lock,
+    Cond,
+    Atomic,
+    Cell,
+    Chan,
+}
+
+#[derive(Debug)]
+struct ObjState {
+    label: &'static str,
+    /// Clock published by the last release-class op on this object.
+    clock: VClock,
+    /// Lock: current owner.
+    owner: Option<usize>,
+    /// Cell: last write (thread, clock at write, site).
+    last_write: Option<(usize, VClock, &'static str)>,
+    /// Cell: reads since the last write.
+    reads: Vec<(usize, VClock, &'static str)>,
+    /// Chan: queued messages / live senders / receiver liveness.
+    msgs: usize,
+    senders: usize,
+    /// Cond: a notify happened at some point (lost-wakeup classification).
+    notified_ever: bool,
+}
+
+impl ObjState {
+    fn new(kind: ObjKind, label: &'static str) -> ObjState {
+        ObjState {
+            label,
+            clock: VClock::new(),
+            owner: None,
+            last_write: None,
+            reads: Vec::new(),
+            msgs: 0,
+            senders: if kind == ObjKind::Chan { 1 } else { 0 },
+            notified_ever: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Executing real code between scheduling points.
+    Running,
+    /// Parked at a scheduling point with a pending op.
+    Ready,
+    /// In a condvar wait; `timeout` waits stay schedulable (timeout fire).
+    Waiting {
+        cond: usize,
+        lock: usize,
+        timeout: bool,
+    },
+    Finished,
+}
+
+struct ThreadState {
+    name: String,
+    status: Status,
+    pending: Option<Op>,
+    clock: VClock,
+    /// Locks currently held: (object, acquisition site).
+    held: Vec<(usize, &'static str)>,
+    /// Set when a timed wait was woken by its timeout, not a notify.
+    timed_out: bool,
+    /// The OS thread has reached its Start op (spawn rendezvous).
+    registered: bool,
+}
+
+/// Signature used by the conflict filter: what an op touches and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpSig {
+    Read(usize),
+    Write(usize),
+    /// Timeout fire / pure-sync op: conflicts with nothing.
+    Control,
+    /// A thread's Start op stands in for everything the thread will do, so
+    /// it conflicts with anything (otherwise the explorer could never
+    /// preempt into a freshly spawned thread and would miss every
+    /// child-runs-first interleaving).
+    Always,
+}
+
+fn sig_of(op: &Op) -> OpSig {
+    match op.kind {
+        OpKind::CellRead | OpKind::AtomicLoad(_) => OpSig::Read(op.obj),
+        OpKind::CellWrite
+        | OpKind::AtomicStore(_)
+        | OpKind::AtomicRmw(_)
+        | OpKind::LockAcquire
+        | OpKind::CondWait { .. }
+        | OpKind::CondNotify { .. }
+        | OpKind::ChanSend
+        | OpKind::ChanRecv { .. } => OpSig::Write(op.obj),
+        OpKind::Start => OpSig::Always,
+        OpKind::Sleep | OpKind::Join { .. } => OpSig::Control,
+    }
+}
+
+fn conflicts(a: OpSig, b: OpSig) -> bool {
+    match (a, b) {
+        (OpSig::Always, _) | (_, OpSig::Always) => true,
+        (OpSig::Control, _) | (_, OpSig::Control) => false,
+        (OpSig::Read(_), OpSig::Read(_)) => false,
+        (OpSig::Read(x), OpSig::Write(y))
+        | (OpSig::Write(x), OpSig::Read(y))
+        | (OpSig::Write(x), OpSig::Write(y)) => x == y,
+    }
+}
+
+/// One recorded scheduling decision (what the backtracker works on).
+struct Decision {
+    /// Threads enabled at this point, with their pending-op signatures.
+    enabled: Vec<(usize, OpSig)>,
+    chosen: usize,
+    /// Thread that was active before this decision, and whether it was
+    /// still enabled (chosen != prev while enabled == a preemption).
+    prev: usize,
+    prev_enabled: bool,
+    /// Preemptions accumulated strictly before this decision.
+    preemptions_before: usize,
+}
+
+struct Run {
+    threads: Vec<ThreadState>,
+    active: usize,
+    /// Set by `decide()` for the chosen thread; consumed when it executes.
+    /// Distinguishes "granted by a decision" from "holder arriving at a new
+    /// op" (which must open a fresh decision, not re-use the old grant).
+    granted: bool,
+    step: usize,
+    replay: Vec<usize>,
+    decisions: Vec<Decision>,
+    objects: HashMap<usize, ObjState>,
+    lock_edges: Vec<(usize, usize, &'static str)>,
+    obj_labels: HashMap<usize, &'static str>,
+    findings: Vec<Finding>,
+    aborted: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Runtime {
+    run: Option<Run>,
+}
+
+static STATE: Mutex<Runtime> = Mutex::new(Runtime { run: None });
+static WAKE: Condvar = Condvar::new();
+static OBJ_IDS: AtomicUsize = AtomicUsize::new(1);
+/// Construction-time labels (object id -> name), outliving individual runs.
+static LABELS: Mutex<Option<HashMap<usize, &'static str>>> = Mutex::new(None);
+
+thread_local! {
+    static TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Allocate a fresh object id (stable for the lifetime of the shim object).
+pub(crate) fn next_obj_id() -> usize {
+    OBJ_IDS.fetch_add(1, AOrd::Relaxed)
+}
+
+/// Allocate an object id carrying a human-readable label for findings.
+pub(crate) fn labeled_obj_id(label: &'static str) -> usize {
+    let id = next_obj_id();
+    if let Ok(mut g) = LABELS.lock() {
+        g.get_or_insert_with(HashMap::new).insert(id, label);
+    }
+    id
+}
+
+fn registered_label(id: usize) -> Option<&'static str> {
+    LABELS.lock().ok().and_then(|g| g.as_ref().and_then(|m| m.get(&id).copied()))
+}
+
+fn tid() -> Option<usize> {
+    TID.with(|t| t.get())
+}
+
+/// Set `WKNNG_MODEL_TRACE=1` to stream every scheduler event to stderr —
+/// the first tool to reach for when a protocol body hangs or diverges.
+fn trace(msg: impl FnOnce() -> String) {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if *ON.get_or_init(|| std::env::var_os("WKNNG_MODEL_TRACE").is_some()) {
+        eprintln!("[model] {}", msg());
+    }
+}
+
+/// True when the calling thread is a registered participant of a live run.
+pub(crate) fn participating() -> bool {
+    if tid().is_none() {
+        return false;
+    }
+    STATE.lock().map(|g| g.run.is_some()).unwrap_or(false)
+}
+
+/// Panic (ModelAbort) if the active run is being torn down. Supervised
+/// loops that `catch_unwind` must call this outside the catch so an
+/// aborting run can unwind through them. No-op outside a run.
+pub(crate) fn abort_checkpoint() {
+    if tid().is_none() {
+        return;
+    }
+    let g = STATE.lock().expect("model state");
+    if g.run.as_ref().is_some_and(|r| r.aborted) && !std::thread::panicking() {
+        drop(g);
+        std::panic::panic_any(ModelAbort);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-run machinery
+// ---------------------------------------------------------------------------
+
+impl Run {
+    fn obj(&mut self, id: usize, kind: ObjKind, label: &'static str) -> &mut ObjState {
+        let label = registered_label(id).unwrap_or(label);
+        self.obj_labels.entry(id).or_insert(label);
+        self.objects.entry(id).or_insert_with(|| ObjState::new(kind, label))
+    }
+
+    /// Best label for an object in a report: whatever an executed op
+    /// recorded, else the global registry (covers objects a stuck thread
+    /// is *pending* on that no executed op ever touched).
+    fn label_of(&self, id: usize) -> Option<&'static str> {
+        self.obj_labels.get(&id).copied().or_else(|| registered_label(id))
+    }
+
+    /// Is `t`'s pending state schedulable right now?
+    fn enabled(&self, t: usize) -> bool {
+        let th = &self.threads[t];
+        match th.status {
+            Status::Running | Status::Finished => false,
+            Status::Waiting { timeout, .. } => timeout,
+            Status::Ready => match th.pending {
+                None => false,
+                Some(op) => match op.kind {
+                    OpKind::LockAcquire => {
+                        self.objects.get(&op.obj).is_none_or(|o| o.owner.is_none())
+                    }
+                    OpKind::ChanRecv { timeout } => {
+                        // An untouched channel object means no sends and a
+                        // live initial sender — a receive cannot proceed.
+                        timeout
+                            || self
+                                .objects
+                                .get(&op.obj)
+                                .is_some_and(|o| o.msgs > 0 || o.senders == 0)
+                    }
+                    OpKind::Join { target } => self.threads[target].status == Status::Finished,
+                    _ => true,
+                },
+            },
+        }
+    }
+
+    fn enabled_set(&self) -> Vec<usize> {
+        (0..self.threads.len()).filter(|&t| self.enabled(t)).collect()
+    }
+
+    fn finding(&mut self, kind: FindingKind, site: String, detail: String) {
+        self.findings.push(Finding { kind, site, detail });
+        self.aborted = true;
+    }
+
+    /// What a blocked thread is stuck on, for deadlock reports.
+    fn stuck_on(&self, t: usize) -> String {
+        let th = &self.threads[t];
+        match th.status {
+            Status::Waiting { cond, .. } => {
+                format!("condvar `{}`", self.label_of(cond).unwrap_or("?"))
+            }
+            Status::Ready => match th.pending {
+                Some(op) => {
+                    let label = self.label_of(op.obj).unwrap_or("?");
+                    match op.kind {
+                        OpKind::LockAcquire => format!("lock `{label}` at `{}`", op.site),
+                        OpKind::ChanRecv { .. } => format!("channel `{label}` at `{}`", op.site),
+                        OpKind::Join { target } => {
+                            format!("join of `{}`", self.threads[target].name)
+                        }
+                        _ => format!("`{}`", op.site),
+                    }
+                }
+                None => "unknown".into(),
+            },
+            _ => "unknown".into(),
+        }
+    }
+
+    /// No thread is runnable: classify and record the hang.
+    fn report_deadlock(&mut self) {
+        let stuck: Vec<usize> = (0..self.threads.len())
+            .filter(|&t| !matches!(self.threads[t].status, Status::Finished | Status::Running))
+            .collect();
+        // A hang where somebody is stuck on a *lock* is a deadlock; a hang
+        // made only of condvar waits / receives (plus joins of such
+        // threads) means the wake-up signal was lost or never sent.
+        let lock_stuck = stuck.iter().any(|&t| {
+            matches!(self.threads[t].pending, Some(Op { kind: OpKind::LockAcquire, .. }))
+        });
+        let wait_stuck = stuck.iter().any(|&t| {
+            matches!(self.threads[t].status, Status::Waiting { .. })
+                || matches!(self.threads[t].pending, Some(Op { kind: OpKind::ChanRecv { .. }, .. }))
+        });
+        let kind =
+            if !lock_stuck && wait_stuck { FindingKind::LostWakeup } else { FindingKind::Deadlock };
+        let detail = stuck
+            .iter()
+            .map(|&t| format!("`{}` waits on {}", self.threads[t].name, self.stuck_on(t)))
+            .collect::<Vec<_>>()
+            .join("; ");
+        let site = stuck
+            .first()
+            .map(|&t| match self.threads[t].status {
+                Status::Waiting { cond, .. } => self.label_of(cond).unwrap_or("?").to_string(),
+                _ => self.threads[t]
+                    .pending
+                    .map(|op| self.label_of(op.obj).unwrap_or(op.site).to_string())
+                    .unwrap_or_default(),
+            })
+            .unwrap_or_default();
+        self.finding(kind, site, detail);
+    }
+
+    /// Pick the next thread to run. Returns false when the run is over
+    /// (all threads finished) or aborted.
+    fn decide(&mut self) -> bool {
+        if self.aborted {
+            return false;
+        }
+        let enabled = self.enabled_set();
+        if enabled.is_empty() {
+            if self.threads.iter().all(|t| t.status == Status::Finished) {
+                return false;
+            }
+            // Only the baton holder runs real code, and it is parked at
+            // this decision — so an empty enabled set is a genuine hang.
+            self.report_deadlock();
+            return false;
+        }
+        let prev = self.active;
+        let prev_enabled = enabled.contains(&prev);
+        let chosen = if self.step < self.replay.len() {
+            let c = self.replay[self.step];
+            if enabled.contains(&c) {
+                c
+            } else {
+                // Replay divergence: the program took a different path than
+                // the recorded prefix. Protocol bodies must be deterministic.
+                self.finding(
+                    FindingKind::InvariantViolation,
+                    "scheduler".into(),
+                    format!(
+                        "replay divergence at step {}: thread {} not enabled (enabled: {:?})",
+                        self.step, c, enabled
+                    ),
+                );
+                return false;
+            }
+        } else if prev_enabled {
+            prev
+        } else {
+            enabled[0]
+        };
+        let preemptions_before = self
+            .decisions
+            .last()
+            .map(|d| d.preemptions_before + usize::from(d.prev_enabled && d.chosen != d.prev))
+            .unwrap_or(0);
+        let sigs = enabled
+            .iter()
+            .map(|&t| {
+                let sig = match self.threads[t].status {
+                    Status::Waiting { .. } => OpSig::Control,
+                    _ => self.threads[t].pending.as_ref().map(sig_of).unwrap_or(OpSig::Control),
+                };
+                // A timeout-capable wait chosen while not "really" ready is
+                // a timeout fire — control, not a data op.
+                let really = match self.threads[t].pending {
+                    Some(Op { kind: OpKind::ChanRecv { .. }, obj, .. }) => {
+                        self.objects.get(&obj).is_some_and(|o| o.msgs > 0 || o.senders == 0)
+                    }
+                    _ => true,
+                };
+                (t, if really { sig } else { OpSig::Control })
+            })
+            .collect();
+        self.decisions.push(Decision {
+            enabled: sigs,
+            chosen,
+            prev,
+            prev_enabled,
+            preemptions_before,
+        });
+        trace(|| {
+            format!(
+                "decision {}: enabled={:?} chosen=t{chosen} prev=t{prev} (enabled={prev_enabled})",
+                self.step, enabled
+            )
+        });
+        self.step += 1;
+        self.active = chosen;
+        self.granted = true;
+        // Firing a timeout on a waiting thread converts it to a lock
+        // re-acquisition with the timed_out flag set.
+        if let Status::Waiting { lock, .. } = self.threads[chosen].status {
+            self.threads[chosen].status = Status::Ready;
+            self.threads[chosen].pending =
+                Some(Op { kind: OpKind::LockAcquire, obj: lock, site: "condvar timeout" });
+            self.threads[chosen].timed_out = true;
+        }
+        true
+    }
+
+    /// Execute the active thread's pending op against the model state.
+    /// Returns `None` when the op parked the thread (condvar wait) and a
+    /// new decision is needed.
+    fn execute(&mut self, me: usize) -> Option<Outcome> {
+        let op = self.threads[me].pending.take().expect("granted thread has a pending op");
+        let mut clk = std::mem::take(&mut self.threads[me].clock);
+        clk.tick(me);
+        let outcome = match op.kind {
+            OpKind::Start | OpKind::Sleep => Outcome::Done,
+            OpKind::LockAcquire => {
+                // Lock-order edges: everything already held orders before
+                // this acquisition.
+                let held = self.threads[me].held.clone();
+                let o = self.obj(op.obj, ObjKind::Lock, op.site);
+                debug_assert!(o.owner.is_none(), "granted a held lock");
+                o.owner = Some(me);
+                clk.join(&o.clock);
+                for (h, _) in held {
+                    if h != op.obj {
+                        self.lock_edges.push((h, op.obj, op.site));
+                    }
+                }
+                self.threads[me].held.push((op.obj, op.site));
+                if self.threads[me].timed_out {
+                    self.threads[me].timed_out = false;
+                    Outcome::TimedOut
+                } else {
+                    Outcome::Done
+                }
+            }
+            OpKind::CondWait { lock, timeout } => {
+                // Atomically release the paired lock and park.
+                self.release_lock(me, lock, &clk);
+                self.threads[me].status = Status::Waiting { cond: op.obj, lock, timeout };
+                self.obj(op.obj, ObjKind::Cond, op.site);
+                self.threads[me].clock = clk;
+                return None;
+            }
+            OpKind::CondNotify { all } => {
+                self.obj(op.obj, ObjKind::Cond, op.site).notified_ever = true;
+                let waiters: Vec<usize> = (0..self.threads.len())
+                    .filter(|&t| {
+                        matches!(self.threads[t].status,
+                                 Status::Waiting { cond, .. } if cond == op.obj)
+                    })
+                    .collect();
+                for (i, t) in waiters.into_iter().enumerate() {
+                    if i > 0 && !all {
+                        break;
+                    }
+                    if let Status::Waiting { lock, .. } = self.threads[t].status {
+                        self.threads[t].status = Status::Ready;
+                        self.threads[t].pending =
+                            Some(Op { kind: OpKind::LockAcquire, obj: lock, site: op.site });
+                    }
+                }
+                Outcome::Done
+            }
+            OpKind::AtomicLoad(ord) => {
+                let o = self.obj(op.obj, ObjKind::Atomic, op.site);
+                if ord.acquires() {
+                    clk.join(&o.clock);
+                }
+                Outcome::Done
+            }
+            OpKind::AtomicStore(ord) | OpKind::AtomicRmw(ord) => {
+                let o = self.obj(op.obj, ObjKind::Atomic, op.site);
+                if ord.acquires() {
+                    clk.join(&o.clock);
+                }
+                if ord.releases() {
+                    o.clock.join(&clk);
+                }
+                Outcome::Done
+            }
+            OpKind::CellRead => {
+                let o = self.obj(op.obj, ObjKind::Cell, op.site);
+                let label = o.label;
+                if let Some((wt, wc, ws)) = o.last_write.clone() {
+                    if wt != me && !wc.le(&clk) {
+                        let detail = format!(
+                            "read of `{label}` at `{}` races the write at `{ws}` \
+                             (no happens-before edge between them)",
+                            op.site
+                        );
+                        self.finding(FindingKind::DataRace, op.site.to_string(), detail);
+                    }
+                }
+                if let Some(o) = self.objects.get_mut(&op.obj) {
+                    o.reads.retain(|(t, _, _)| *t != me);
+                    o.reads.push((me, clk.clone(), op.site));
+                }
+                Outcome::Done
+            }
+            OpKind::CellWrite => {
+                let o = self.obj(op.obj, ObjKind::Cell, op.site);
+                let label = o.label;
+                let mut race: Option<String> = None;
+                if let Some((wt, wc, ws)) = &o.last_write {
+                    if *wt != me && !wc.le(&clk) {
+                        race = Some(format!(
+                            "write of `{label}` at `{}` races the write at `{ws}`",
+                            op.site
+                        ));
+                    }
+                }
+                if race.is_none() {
+                    for (rt, rc, rs) in &o.reads {
+                        if *rt != me && !rc.le(&clk) {
+                            race = Some(format!(
+                                "write of `{label}` at `{}` races the read at `{rs}`",
+                                op.site
+                            ));
+                            break;
+                        }
+                    }
+                }
+                o.last_write = Some((me, clk.clone(), op.site));
+                o.reads.clear();
+                if let Some(detail) = race {
+                    self.finding(FindingKind::DataRace, op.site.to_string(), detail);
+                }
+                Outcome::Done
+            }
+            OpKind::ChanSend => {
+                let o = self.obj(op.obj, ObjKind::Chan, op.site);
+                o.clock.join(&clk);
+                o.msgs += 1;
+                Outcome::Done
+            }
+            OpKind::ChanRecv { .. } => {
+                let o = self.obj(op.obj, ObjKind::Chan, op.site);
+                if o.msgs > 0 {
+                    o.msgs -= 1;
+                    clk.join(&o.clock);
+                    Outcome::ChanData
+                } else if o.senders == 0 {
+                    clk.join(&o.clock);
+                    Outcome::ChanDisconnected
+                } else {
+                    Outcome::TimedOut
+                }
+            }
+            OpKind::Join { target } => {
+                let tclk = self.threads[target].clock.clone();
+                clk.join(&tclk);
+                Outcome::Done
+            }
+        };
+        self.threads[me].clock = clk;
+        self.threads[me].status = Status::Running;
+        Some(outcome)
+    }
+
+    fn release_lock(&mut self, me: usize, lock: usize, clk: &VClock) {
+        self.threads[me].held.retain(|(h, _)| *h != lock);
+        let o = self.obj(lock, ObjKind::Lock, "release");
+        debug_assert_eq!(o.owner, Some(me), "release of a lock the thread does not hold");
+        o.owner = None;
+        o.clock.join(clk);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling entry points (called by the shim)
+// ---------------------------------------------------------------------------
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+/// The universal scheduling point. Parks the calling thread, lets the
+/// explorer pick who runs, executes the op against the model state when
+/// granted, and returns how it resolved.
+///
+/// Serialization invariant: exactly one thread (the baton holder,
+/// `run.active`) executes real code at any moment. A non-holder arriving
+/// here parks without deciding; the holder, arriving at its own next op,
+/// opens a decision over every parked thread — so the enabled set a
+/// decision sees is always complete and deterministic.
+pub(crate) fn schedule(op: Op) -> Outcome {
+    let Some(me) = tid() else {
+        return Outcome::Passthrough;
+    };
+    let mut g = STATE.lock().expect("model state");
+    if g.run.is_none() {
+        return Outcome::Passthrough;
+    }
+    {
+        let run = g.run.as_mut().expect("checked above");
+        if run.aborted {
+            drop(g);
+            // Drop guards (ticket reply sends) run while threads unwind from
+            // an abort; panicking again here would be a panic-in-drop.
+            if std::thread::panicking() {
+                return Outcome::Done;
+            }
+            panic_abort();
+        }
+        run.threads[me].pending = Some(op);
+        run.threads[me].status = Status::Ready;
+        trace(|| format!("t{me} arrives at {:?} obj={} @{}", op.kind, op.obj, op.site));
+    }
+    wait_granted(g, me)
+}
+
+/// Park until granted; the baton holder also opens decisions here.
+fn wait_granted(mut g: std::sync::MutexGuard<'static, Runtime>, me: usize) -> Outcome {
+    loop {
+        let mut progressed = false;
+        {
+            let run = g.run.as_mut().expect("run torn down under a live thread");
+            if run.aborted {
+                drop(g);
+                if std::thread::panicking() {
+                    return Outcome::Done;
+                }
+                panic_abort();
+            }
+            if run.active == me {
+                if run.granted {
+                    run.granted = false;
+                    match run.execute(me) {
+                        Some(outcome) => {
+                            trace(|| format!("t{me} executed -> {outcome:?}"));
+                            WAKE.notify_all();
+                            return outcome;
+                        }
+                        None => {
+                            // Parked (condvar wait): hand the baton off and
+                            // wait to be notified + granted again.
+                            if !run.decide() {
+                                WAKE.notify_all();
+                                drop(g);
+                                panic_abort();
+                            }
+                            progressed = true;
+                        }
+                    }
+                } else {
+                    // Holder arriving at a fresh op: open a decision. It
+                    // may grant us (loop spins once and executes) or hand
+                    // the baton to a parked thread.
+                    if !run.decide() {
+                        WAKE.notify_all();
+                        drop(g);
+                        panic_abort();
+                    }
+                    progressed = true;
+                }
+            }
+        }
+        if progressed {
+            WAKE.notify_all();
+            // Re-inspect immediately: we may have granted ourselves.
+            continue;
+        }
+        g = WAKE.wait(g).expect("model state");
+    }
+}
+
+/// Non-blocking, decision-free state update: lock releases, sender drops
+/// and similar "cannot fail, cannot block" transitions. Safe to call from
+/// `Drop` impls during unwinding (never panics).
+pub(crate) fn silent(op: Op) {
+    let Some(me) = tid() else { return };
+    let Ok(mut g) = STATE.lock() else { return };
+    let Some(run) = g.run.as_mut() else { return };
+    if run.aborted {
+        return;
+    }
+    let mut clk = std::mem::take(&mut run.threads[me].clock);
+    clk.tick(me);
+    match op.kind {
+        // Reused as the generic release marker.
+        OpKind::LockAcquire => run.release_lock(me, op.obj, &clk),
+        OpKind::ChanSend => {
+            // Sender dropped: decrement, wake blocked receivers via the
+            // next decision (enabledness changes with senders == 0).
+            let o = run.obj(op.obj, ObjKind::Chan, op.site);
+            o.senders = o.senders.saturating_sub(1);
+            o.clock.join(&clk);
+        }
+        OpKind::ChanRecv { .. } => {
+            // Receiver dropped: nothing to track (sends fail for real).
+        }
+        _ => {}
+    }
+    run.threads[me].clock = clk;
+    WAKE.notify_all();
+}
+
+/// Sender clone: bump the live-sender count (decision-free).
+pub(crate) fn sender_cloned(obj: usize) {
+    if tid().is_none() {
+        return;
+    }
+    let Ok(mut g) = STATE.lock() else { return };
+    let Some(run) = g.run.as_mut() else { return };
+    if run.aborted {
+        return;
+    }
+    run.obj(obj, ObjKind::Chan, "sender clone").senders += 1;
+}
+
+// ---------------------------------------------------------------------------
+// Thread lifecycle
+// ---------------------------------------------------------------------------
+
+/// Allocate a child thread slot (called by the parent, a silent op), then
+/// block until the child OS thread registers — a deterministic rendezvous,
+/// so spawn order never races the schedule.
+pub(crate) fn spawn_child(name: String) -> Option<usize> {
+    let me = tid()?;
+    let mut g = STATE.lock().expect("model state");
+    let run = g.run.as_mut()?;
+    if run.aborted {
+        drop(g);
+        panic_abort();
+    }
+    let child = run.threads.len();
+    let mut clock = run.threads[me].clock.clone();
+    clock.tick(me);
+    run.threads[me].clock = clock.clone();
+    run.threads.push(ThreadState {
+        name,
+        status: Status::Running,
+        pending: None,
+        clock,
+        held: Vec::new(),
+        timed_out: false,
+        registered: false,
+    });
+    Some(child)
+}
+
+/// Park the parent until the child's OS thread has registered.
+pub(crate) fn await_registration(child: usize) {
+    let mut g = STATE.lock().expect("model state");
+    while g.run.as_ref().is_some_and(|r| !r.threads[child].registered && !r.aborted) {
+        g = WAKE.wait(g).expect("model state");
+    }
+}
+
+/// First call on the child OS thread: adopt the tid, park at the Start op,
+/// and announce readiness — all under one lock, so the parent's next
+/// decision always sees the child as a complete, parked participant.
+pub(crate) fn register_child(child: usize) {
+    TID.with(|t| t.set(Some(child)));
+    let mut g = STATE.lock().expect("model state");
+    let Some(run) = g.run.as_mut() else { return };
+    run.threads[child].pending = Some(Op { kind: OpKind::Start, obj: 0, site: "thread start" });
+    run.threads[child].status = Status::Ready;
+    run.threads[child].registered = true;
+    WAKE.notify_all();
+    let _ = wait_granted(g, child);
+}
+
+/// Keep the OS handle so the explorer can join every thread at teardown.
+pub(crate) fn adopt_os_handle(h: std::thread::JoinHandle<()>) {
+    let mut g = STATE.lock().expect("model state");
+    if let Some(run) = g.run.as_mut() {
+        run.os_handles.push(h);
+    } else {
+        drop(g);
+        let _ = h.join();
+    }
+}
+
+/// Final event of a model thread: mark finished and hand off the schedule.
+pub(crate) fn thread_exit() {
+    let Some(me) = tid() else { return };
+    TID.with(|t| t.set(None));
+    let mut g = STATE.lock().expect("model state");
+    let Some(run) = g.run.as_mut() else { return };
+    trace(|| format!("t{me} exits"));
+    run.threads[me].status = Status::Finished;
+    if !run.aborted {
+        // Exiting hands the baton to whoever is next (or detects the hang).
+        run.decide();
+    }
+    WAKE.notify_all();
+}
+
+/// Blocking join on a model thread (the target tid).
+pub(crate) fn join_thread(target: usize) -> Outcome {
+    schedule(Op { kind: OpKind::Join { target }, obj: 0, site: "thread join" })
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+struct Frame {
+    /// Choice this frame currently replays.
+    choice: usize,
+    /// Alternatives worth exploring at this decision.
+    viable: Vec<usize>,
+    tried: BTreeSet<usize>,
+}
+
+/// Exhaustively (within bounds) explore the schedules of `body`.
+/// See [`super::explore`] for the public wrapper.
+pub(crate) fn explore_impl(cfg: &Config, body: &(dyn Fn() + Sync)) -> super::ExploreReport {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut schedules: u64 = 0;
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut all_lock_edges: Vec<(usize, usize, &'static str)> = Vec::new();
+    let mut edge_labels: HashMap<usize, &'static str> = HashMap::new();
+    let mut capped = false;
+
+    loop {
+        if schedules >= cfg.max_schedules {
+            capped = true;
+            break;
+        }
+        let replay: Vec<usize> = stack.iter().map(|f| f.choice).collect();
+        // ---- one run -------------------------------------------------
+        {
+            let mut g = STATE.lock().expect("model state");
+            assert!(g.run.is_none(), "nested explorations are not supported");
+            g.run = Some(Run {
+                threads: vec![ThreadState {
+                    name: "main".into(),
+                    status: Status::Running,
+                    pending: None,
+                    clock: VClock::new(),
+                    held: Vec::new(),
+                    timed_out: false,
+                    registered: true,
+                }],
+                active: 0,
+                granted: false,
+                step: 0,
+                replay,
+                decisions: Vec::new(),
+                objects: HashMap::new(),
+                lock_edges: Vec::new(),
+                obj_labels: HashMap::new(),
+                findings: Vec::new(),
+                aborted: false,
+                os_handles: Vec::new(),
+            });
+        }
+        TID.with(|t| t.set(Some(0)));
+        let body_result = catch_unwind(AssertUnwindSafe(body));
+        TID.with(|t| t.set(None));
+        schedules += 1;
+
+        // ---- teardown ------------------------------------------------
+        let handles = {
+            let mut g = STATE.lock().expect("model state");
+            let run = g.run.as_mut().expect("run exists");
+            run.threads[0].status = Status::Finished;
+            run.aborted = true;
+            WAKE.notify_all();
+            std::mem::take(&mut run.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let run = STATE.lock().expect("model state").run.take().expect("run exists");
+
+        let mut run_findings = run.findings;
+        if let Err(payload) = body_result {
+            if !payload.is::<ModelAbort>() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                run_findings.push(Finding {
+                    kind: FindingKind::InvariantViolation,
+                    site: "protocol body".into(),
+                    detail: format!("schedule {} violated an invariant: {msg}", schedules - 1),
+                });
+            }
+        }
+        edge_labels.extend(run.obj_labels.iter().map(|(k, v)| (*k, *v)));
+        all_lock_edges.extend(run.lock_edges.iter().copied());
+        if !run_findings.is_empty() {
+            findings.extend(run_findings);
+            break; // first failing schedule wins, loom-style
+        }
+
+        // ---- backtrack -----------------------------------------------
+        for d in run.decisions.iter().skip(stack.len()) {
+            stack.push(Frame {
+                choice: d.chosen,
+                viable: viable_alternatives(d, cfg.preemption_bound),
+                tried: BTreeSet::from([d.chosen]),
+            });
+        }
+        let mut advanced = false;
+        while let Some(top) = stack.last_mut() {
+            if let Some(&alt) = top.viable.iter().find(|a| !top.tried.contains(a)) {
+                top.tried.insert(alt);
+                top.choice = alt;
+                advanced = true;
+                break;
+            }
+            stack.pop();
+        }
+        if !advanced {
+            break; // DFS exhausted
+        }
+    }
+
+    // Lock-order inversion: cycles in the aggregated acquisition graph are
+    // reported even when no explored schedule deadlocked on them.
+    if findings.iter().all(|f| f.kind != FindingKind::Deadlock) {
+        if let Some(f) = lock_cycle_finding(&all_lock_edges, &edge_labels) {
+            findings.push(f);
+        }
+    }
+
+    super::ExploreReport { name: cfg.name, schedules, findings, capped }
+}
+
+/// Which alternatives at a recorded decision are worth exploring.
+fn viable_alternatives(d: &Decision, bound: usize) -> Vec<usize> {
+    let chosen_sig =
+        d.enabled.iter().find(|(t, _)| *t == d.chosen).map(|(_, s)| *s).unwrap_or(OpSig::Control);
+    d.enabled
+        .iter()
+        .filter(|(t, _)| *t != d.chosen)
+        .filter(|(t, sig)| {
+            if !d.prev_enabled {
+                // Forced switch: scheduling is free, explore everything.
+                return true;
+            }
+            // Preemptive switch: must fit the bound and actually conflict
+            // with what ran (independent ops commute).
+            let is_preemption = *t != d.prev;
+            let budget_ok = !is_preemption || d.preemptions_before < bound;
+            budget_ok && (!is_preemption || conflicts(*sig, chosen_sig))
+        })
+        .map(|(t, _)| *t)
+        .collect()
+}
+
+fn lock_cycle_finding(
+    edges: &[(usize, usize, &'static str)],
+    labels: &HashMap<usize, &'static str>,
+) -> Option<Finding> {
+    let mut adj: HashMap<usize, Vec<(usize, &'static str)>> = HashMap::new();
+    let mut dedup = BTreeSet::new();
+    for &(a, b, site) in edges {
+        if dedup.insert((a, b)) {
+            adj.entry(a).or_default().push((b, site));
+        }
+    }
+    // DFS cycle detection over the (tiny) acquisition graph.
+    let nodes: Vec<usize> = adj.keys().copied().collect();
+    let mut state: HashMap<usize, u8> = HashMap::new(); // 1 = on stack, 2 = done
+    fn dfs(
+        n: usize,
+        adj: &HashMap<usize, Vec<(usize, &'static str)>>,
+        state: &mut HashMap<usize, u8>,
+        path: &mut Vec<(usize, &'static str)>,
+    ) -> Option<Vec<(usize, &'static str)>> {
+        state.insert(n, 1);
+        for &(m, site) in adj.get(&n).into_iter().flatten() {
+            match state.get(&m) {
+                Some(1) => {
+                    let mut cycle = path.clone();
+                    cycle.push((m, site));
+                    return Some(cycle);
+                }
+                Some(2) => {}
+                _ => {
+                    path.push((m, site));
+                    if let Some(c) = dfs(m, adj, state, path) {
+                        return Some(c);
+                    }
+                    path.pop();
+                }
+            }
+        }
+        state.insert(n, 2);
+        None
+    }
+    for n in nodes {
+        if !state.contains_key(&n) {
+            let mut path = vec![(n, "start")];
+            if let Some(cycle) = dfs(n, &adj, &mut state, &mut path) {
+                let names: Vec<String> = cycle
+                    .iter()
+                    .map(|(o, _)| format!("`{}`", labels.get(o).unwrap_or(&"?")))
+                    .collect();
+                let site = cycle.last().map(|(_, s)| *s).unwrap_or("?");
+                return Some(Finding {
+                    kind: FindingKind::LockOrderInversion,
+                    site: site.to_string(),
+                    detail: format!(
+                        "lock acquisition order forms a cycle: {} (closing acquisition at `{site}`)",
+                        names.join(" -> ")
+                    ),
+                });
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,607 @@
+//! Instrumented drop-in replacements for the `std::sync` / `std::thread`
+//! surface the serve layer uses.
+//!
+//! Every type pairs the real `std` primitive with a model object id. While
+//! a [`super::explore`] run is active on the calling thread, each operation
+//! first passes through the scheduler (a scheduling point + happens-before
+//! bookkeeping) and then performs the real operation — which by
+//! construction cannot block, because the scheduler only grants operations
+//! that are executable (a granted lock is free, a granted receive has a
+//! message in flight). Outside a run every call is a straight delegation,
+//! so `--features model` binaries still serve normally.
+//!
+//! `Arc`/`Weak` stay the real `std` types even under the model: snapshot
+//! lifetime safety is exactly what `Arc` itself provides, and the protocols
+//! under test synchronize through locks, channels and atomics — which are
+//! the instrumented parts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use super::sched::{self, ModelAbort, Op, OpKind, Ord8, Outcome};
+
+pub use std::sync::{Arc, LockResult, PoisonError, Weak};
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Model-checked mutex; `std::sync::Mutex` outside an exploration.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    obj: usize,
+}
+
+/// Guard pairing the real guard with the model's notion of ownership.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Acquired through the scheduler (needs a model release on drop).
+    model: bool,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(value), obj: sched::next_obj_id() }
+    }
+
+    /// Like `new`, with a label carried into model findings.
+    pub fn new_labeled(label: &'static str, value: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(value), obj: sched::labeled_obj_id(label) }
+    }
+
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let site = site_of(std::panic::Location::caller());
+        match sched::schedule(Op { kind: OpKind::LockAcquire, obj: self.obj, site }) {
+            Outcome::Passthrough => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard { lock: self, inner: Some(g), model: false }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: false,
+                })),
+            },
+            _ => {
+                // The scheduler granted us the lock, so the real mutex is
+                // free (its holder released before the model did). Poison
+                // from aborted runs is spurious — un-poison.
+                let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+                Ok(MutexGuard { lock: self, inner: Some(g), model: true })
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real unlock first, then the model release: anyone the release
+        // enables will find the real mutex already free.
+        self.inner = None;
+        if self.model {
+            sched::silent(Op { kind: OpKind::LockAcquire, obj: self.lock.obj, site: "unlock" });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed wait. The model cannot construct
+/// `std::sync::WaitTimeoutResult`, so the facade exports its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model-checked condition variable; `std::sync::Condvar` outside a run.
+/// Under the model the real condvar is bypassed entirely: waits park in the
+/// scheduler and notifies re-arm waiters there, so lost wakeups and
+/// timeout/notify races are explored deterministically.
+#[derive(Debug)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    obj: usize,
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar { inner: std::sync::Condvar::new(), obj: sched::next_obj_id() }
+    }
+
+    pub fn new_labeled(label: &'static str) -> Condvar {
+        Condvar { inner: std::sync::Condvar::new(), obj: sched::labeled_obj_id(label) }
+    }
+
+    #[track_caller]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        Ok(self.wait_inner(guard, None).0)
+    }
+
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        Ok(self.wait_inner(guard, Some(dur)))
+    }
+
+    #[track_caller]
+    fn wait_inner<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Option<Duration>,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let site = site_of(std::panic::Location::caller());
+        let lock_ref: &'a Mutex<T> = guard.lock;
+        if !guard.model {
+            // Passthrough: real condvar on the real guard.
+            let inner = guard.inner.take().expect("guard holds the lock");
+            std::mem::forget(guard);
+            return match dur {
+                None => {
+                    let g = self.inner.wait(inner).unwrap_or_else(|p| p.into_inner());
+                    (
+                        MutexGuard { lock: lock_ref, inner: Some(g), model: false },
+                        WaitTimeoutResult(false),
+                    )
+                }
+                Some(d) => {
+                    let (g, t) =
+                        self.inner.wait_timeout(inner, d).unwrap_or_else(|p| p.into_inner());
+                    (
+                        MutexGuard { lock: lock_ref, inner: Some(g), model: false },
+                        WaitTimeoutResult(t.timed_out()),
+                    )
+                }
+            };
+        }
+        // Atomic release-and-park: drop the real guard, skip the model
+        // release (the CondWait op performs it), then hand the scheduler
+        // the wait. When `schedule` returns, the model has re-granted the
+        // lock (Done = notified, TimedOut = timeout fired).
+        guard.inner = None;
+        std::mem::forget(guard);
+        let outcome = sched::schedule(Op {
+            kind: OpKind::CondWait { lock: lock_ref.obj, timeout: dur.is_some() },
+            obj: self.obj,
+            site,
+        });
+        let inner = lock_ref.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let g = MutexGuard { lock: lock_ref, inner: Some(inner), model: true };
+        (g, WaitTimeoutResult(outcome == Outcome::TimedOut))
+    }
+
+    #[track_caller]
+    pub fn notify_one(&self) {
+        let site = site_of(std::panic::Location::caller());
+        if sched::schedule(Op { kind: OpKind::CondNotify { all: false }, obj: self.obj, site })
+            == Outcome::Passthrough
+        {
+            self.inner.notify_one();
+        }
+    }
+
+    #[track_caller]
+    pub fn notify_all(&self) {
+        let site = site_of(std::panic::Location::caller());
+        if sched::schedule(Op { kind: OpKind::CondNotify { all: true }, obj: self.obj, site })
+            == Outcome::Passthrough
+        {
+            self.inner.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+pub mod atomic {
+    //! Ordering-checked atomics: each op reports its declared ordering to
+    //! the happens-before detector, so a `Relaxed` used where the protocol
+    //! needs `Acquire`/`Release` shows up as a data race on the data it was
+    //! supposed to publish.
+
+    pub use std::sync::atomic::Ordering;
+
+    use super::{sched, Op, OpKind, Ord8};
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Model-checked counterpart of the std atomic of the same name.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+                obj: std::sync::atomic::AtomicUsize,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> $name {
+                    // Object ids are handed out lazily so `new` stays
+                    // `const` (usable in statics).
+                    $name { inner: <$std>::new(v), obj: std::sync::atomic::AtomicUsize::new(0) }
+                }
+
+                fn obj(&self) -> usize {
+                    let o = self.obj.load(Ordering::Relaxed);
+                    if o != 0 {
+                        return o;
+                    }
+                    let n = sched::next_obj_id();
+                    match self.obj.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed) {
+                        Ok(_) => n,
+                        Err(existing) => existing,
+                    }
+                }
+
+                #[track_caller]
+                pub fn load(&self, ord: Ordering) -> $prim {
+                    let site = super::site_of(std::panic::Location::caller());
+                    let _ = sched::schedule(Op {
+                        kind: OpKind::AtomicLoad(Ord8::from_std(ord)),
+                        obj: self.obj(),
+                        site,
+                    });
+                    self.inner.load(ord)
+                }
+
+                #[track_caller]
+                pub fn store(&self, v: $prim, ord: Ordering) {
+                    let site = super::site_of(std::panic::Location::caller());
+                    let _ = sched::schedule(Op {
+                        kind: OpKind::AtomicStore(Ord8::from_std(ord)),
+                        obj: self.obj(),
+                        site,
+                    });
+                    self.inner.store(v, ord)
+                }
+
+                #[track_caller]
+                pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.rmw(ord);
+                    self.inner.swap(v, ord)
+                }
+
+                #[track_caller]
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.rmw(success);
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                #[track_caller]
+                fn rmw(&self, ord: Ordering) {
+                    let site = super::site_of(std::panic::Location::caller());
+                    let _ = sched::schedule(Op {
+                        kind: OpKind::AtomicRmw(Ord8::from_std(ord)),
+                        obj: self.obj(),
+                        site,
+                    });
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_int {
+        ($name:ident, $std:ty, $prim:ty) => {
+            model_atomic!($name, $std, $prim);
+
+            impl $name {
+                #[track_caller]
+                pub fn fetch_add(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.rmw(ord);
+                    self.inner.fetch_add(v, ord)
+                }
+
+                #[track_caller]
+                pub fn fetch_sub(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.rmw(ord);
+                    self.inner.fetch_sub(v, ord)
+                }
+
+                #[track_caller]
+                pub fn fetch_max(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.rmw(ord);
+                    self.inner.fetch_max(v, ord)
+                }
+            }
+        };
+    }
+
+    model_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    model_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    model_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+}
+
+// ---------------------------------------------------------------------------
+// mpsc
+// ---------------------------------------------------------------------------
+
+pub mod mpsc {
+    //! Model-checked `std::sync::mpsc` channel. Sends are release-class,
+    //! receives acquire-class; receiver blocking and sender-drop
+    //! disconnection are scheduler states, so a reply that can never come
+    //! surfaces as a lost wakeup instead of a hung test.
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    use super::{sched, Op, OpKind, Outcome};
+    use std::time::Duration;
+
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+        obj: usize,
+    }
+
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+        obj: usize,
+    }
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        channel_labeled("channel")
+    }
+
+    /// Channel whose label shows up in model findings.
+    pub fn channel_labeled<T>(label: &'static str) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let obj = sched::labeled_obj_id(label);
+        (Sender { inner: tx, obj }, Receiver { inner: rx, obj })
+    }
+
+    impl<T> Sender<T> {
+        #[track_caller]
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let site = super::site_of(std::panic::Location::caller());
+            let _ = sched::schedule(Op { kind: OpKind::ChanSend, obj: self.obj, site });
+            self.inner.send(t)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            sched::sender_cloned(self.obj);
+            Sender { inner: self.inner.clone(), obj: self.obj }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            // Never panics (drop-guard paths run during unwinding): the
+            // model decrements live senders, which may enable a blocked
+            // receiver (or prove nothing ever will — a lost wakeup).
+            sched::silent(Op { kind: OpKind::ChanSend, obj: self.obj, site: "sender drop" });
+        }
+    }
+
+    impl<T> Receiver<T> {
+        #[track_caller]
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let site = super::site_of(std::panic::Location::caller());
+            // ChanData: a message is committed in the model; the sender's
+            // real send lands before its next scheduling point, so the real
+            // recv below cannot block past it. Disconnected and passthrough
+            // both resolve through the real channel too.
+            let _ = sched::schedule(Op {
+                kind: OpKind::ChanRecv { timeout: false },
+                obj: self.obj,
+                site,
+            });
+            self.inner.recv()
+        }
+
+        #[track_caller]
+        pub fn recv_timeout(&self, dur: Duration) -> Result<T, RecvTimeoutError> {
+            let site = super::site_of(std::panic::Location::caller());
+            match sched::schedule(Op {
+                kind: OpKind::ChanRecv { timeout: true },
+                obj: self.obj,
+                site,
+            }) {
+                Outcome::Passthrough => self.inner.recv_timeout(dur),
+                Outcome::TimedOut => Err(RecvTimeoutError::Timeout),
+                Outcome::ChanDisconnected => Err(RecvTimeoutError::Disconnected),
+                _ => self.inner.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            // Modeled as a zero-duration timed receive.
+            match self.recv_timeout(Duration::ZERO) {
+                Ok(v) => Ok(v),
+                Err(RecvTimeoutError::Timeout) => Err(TryRecvError::Empty),
+                Err(RecvTimeoutError::Disconnected) => Err(TryRecvError::Disconnected),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            sched::silent(Op {
+                kind: OpKind::ChanRecv { timeout: false },
+                obj: self.obj,
+                site: "receiver drop",
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+pub mod thread {
+    //! Model-checked threads. Inside an exploration, spawn registers the
+    //! child with the scheduler (a deterministic rendezvous) and `join`
+    //! becomes a scheduling point; outside, everything is `std::thread`.
+
+    pub use std::thread::Result;
+
+    use super::{catch_unwind, sched, AssertUnwindSafe, ModelAbort, Op, OpKind};
+    use std::time::Duration;
+
+    pub enum JoinHandle<T> {
+        Real(std::thread::JoinHandle<T>),
+        Model {
+            tid: usize,
+            result: std::sync::Arc<std::sync::Mutex<Option<std::thread::Result<T>>>>,
+        },
+    }
+
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                JoinHandle::Real(_) => f.write_str("JoinHandle::Real"),
+                JoinHandle::Model { tid, .. } => write!(f, "JoinHandle::Model({tid})"),
+            }
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self {
+                JoinHandle::Real(h) => h.join(),
+                JoinHandle::Model { tid, result } => {
+                    let _ = sched::join_thread(tid);
+                    result
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .take()
+                        .expect("joined model thread published a result")
+                }
+            }
+        }
+
+        pub fn is_finished(&self) -> bool {
+            match self {
+                JoinHandle::Real(h) => h.is_finished(),
+                JoinHandle::Model { result, .. } => {
+                    result.lock().unwrap_or_else(|p| p.into_inner()).is_some()
+                }
+            }
+        }
+    }
+
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Builder {
+            Builder { name: None }
+        }
+
+        pub fn name(mut self, name: String) -> Builder {
+            self.name = Some(name);
+            self
+        }
+
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            if !sched::participating() {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                return b.spawn(f).map(JoinHandle::Real);
+            }
+            let name = self.name.unwrap_or_else(|| "model".into());
+            let tid = sched::spawn_child(name.clone()).expect("active exploration");
+            let result = std::sync::Arc::new(std::sync::Mutex::new(None));
+            let slot = result.clone();
+            let h = std::thread::Builder::new().name(name).spawn(move || {
+                sched::register_child(tid);
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(Ok(v));
+                    }
+                    Err(p) if p.is::<ModelAbort>() => {
+                        // Torn down with the run; no result to publish.
+                    }
+                    Err(p) => {
+                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(Err(p));
+                    }
+                }
+                sched::thread_exit();
+            })?;
+            sched::adopt_os_handle(h);
+            sched::await_registration(tid);
+            Ok(JoinHandle::Model { tid, result })
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("failed to spawn thread")
+    }
+
+    /// Under the model, sleeping is just a yield point (the scheduler owns
+    /// time); outside, a real sleep.
+    #[track_caller]
+    pub fn sleep(dur: Duration) {
+        let site = super::site_of(std::panic::Location::caller());
+        if sched::schedule(Op { kind: OpKind::Sleep, obj: 0, site }) == super::Outcome::Passthrough
+        {
+            std::thread::sleep(dur);
+        }
+    }
+}
+
+/// Leak a `file:line` label for finding sites. Sites are a small static
+/// set (one per instrumented call site), so the leak is bounded.
+fn site_of(loc: &'static std::panic::Location<'static>) -> &'static str {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static SITES: OnceLock<Mutex<HashMap<(&'static str, u32), &'static str>>> = OnceLock::new();
+    let map = SITES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut g = map.lock().unwrap_or_else(|p| p.into_inner());
+    g.entry((loc.file(), loc.line()))
+        .or_insert_with(|| Box::leak(format!("{}:{}", loc.file(), loc.line()).into_boxed_str()))
+}

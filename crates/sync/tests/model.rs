@@ -1,0 +1,189 @@
+//! Detector calibration on toy protocols: each defect class the checker
+//! claims to find is demonstrated on a minimal protocol seeded with exactly
+//! that defect, and the corrected protocol is shown clean. The serve-layer
+//! suites build on this foundation (crates/serve/src/race.rs).
+
+#![cfg(feature = "model")]
+
+use std::sync::atomic::Ordering;
+
+use wknng_sync::model::{explore, Config, FindingKind, RaceCell};
+use wknng_sync::{atomic::AtomicU64, mpsc, thread, Arc, Condvar, Mutex};
+
+fn kinds(report: &wknng_sync::model::ExploreReport) -> Vec<FindingKind> {
+    report.findings.iter().map(|f| f.kind).collect()
+}
+
+#[test]
+fn mutex_protected_counter_is_clean_and_explores_multiple_schedules() {
+    let report = explore(Config::new("toy-counter"), || {
+        let n = Arc::new(Mutex::new_labeled("counter", 0u64));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    *n.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+    assert!(report.clean(), "unexpected findings: {:?}", report.findings);
+    assert!(!report.capped);
+    assert!(
+        report.schedules > 1,
+        "conflicting lock acquisitions must fork schedules, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn unsynchronized_writes_are_a_data_race() {
+    let report = explore(Config::new("toy-racy-writes"), || {
+        let cell = Arc::new(RaceCell::new("shared", 0u32));
+        let c2 = cell.clone();
+        let h = thread::spawn(move || c2.write("writer thread", 1));
+        cell.write("main thread", 2);
+        h.join().unwrap();
+    });
+    assert_eq!(kinds(&report), vec![FindingKind::DataRace], "findings: {:?}", report.findings);
+    assert!(report.findings[0].detail.contains("shared"));
+}
+
+#[test]
+fn relaxed_publication_is_a_data_race_and_release_acquire_is_not() {
+    let run = |store_ord: Ordering| {
+        explore(Config::new("toy-publication"), move || {
+            let cell = Arc::new(RaceCell::new("payload", 0u32));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (c2, f2) = (cell.clone(), flag.clone());
+            let w = thread::spawn(move || {
+                c2.write("publish payload", 7);
+                f2.store(1, store_ord);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(cell.read("consume payload"), 7);
+            }
+            w.join().unwrap();
+        })
+    };
+    let relaxed = run(Ordering::Relaxed);
+    assert_eq!(
+        kinds(&relaxed),
+        vec![FindingKind::DataRace],
+        "Relaxed store publishes no happens-before edge: {:?}",
+        relaxed.findings
+    );
+    let release = run(Ordering::Release);
+    assert!(release.clean(), "release/acquire pair orders the payload: {:?}", release.findings);
+}
+
+#[test]
+fn inverted_lock_order_is_flagged_even_without_a_manifest_deadlock() {
+    let report = explore(Config::new("toy-lock-order"), || {
+        let a = Arc::new(Mutex::new_labeled("lock-a", ()));
+        let b = Arc::new(Mutex::new_labeled("lock-b", ()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let h = thread::spawn(move || {
+            let _b = b2.lock().unwrap();
+            let _a = a2.lock().unwrap();
+        });
+        {
+            let _a = a.lock().unwrap();
+            let _b = b.lock().unwrap();
+        }
+        h.join().unwrap();
+    });
+    assert!(
+        kinds(&report).contains(&FindingKind::LockOrderInversion)
+            || kinds(&report).contains(&FindingKind::Deadlock),
+        "inverted acquisition order must be flagged: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn notify_before_wait_is_a_lost_wakeup() {
+    let report = explore(Config::new("toy-lost-wakeup"), || {
+        let pair =
+            Arc::new((Mutex::new_labeled("wake-lock", false), Condvar::new_labeled("wake-cv")));
+        let p2 = pair.clone();
+        let h = thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let g = lock.lock().unwrap();
+            // BUG: waits unconditionally — a notify that fired before this
+            // point is lost and nobody will ever send another.
+            let _g = cv.wait(g).unwrap();
+        });
+        let (lock, cv) = &*pair;
+        let _g = lock.lock().unwrap();
+        cv.notify_one();
+        drop(_g);
+        h.join().unwrap();
+    });
+    assert_eq!(kinds(&report), vec![FindingKind::LostWakeup], "findings: {:?}", report.findings);
+}
+
+#[test]
+fn reply_that_never_comes_is_reported_not_hung() {
+    let report = explore(Config::new("toy-dropped-reply"), || {
+        let (job_tx, job_rx) = mpsc::channel_labeled::<mpsc::Sender<u32>>("job queue");
+        let (stop_tx, stop_rx) = mpsc::channel_labeled::<()>("stop");
+        let worker = thread::spawn(move || {
+            // BUG: stashes the job (keeping its reply sender alive) and
+            // goes back to waiting instead of answering.
+            let stashed = job_rx.recv().ok();
+            let _ = stop_rx.recv();
+            drop(stashed);
+        });
+        let (reply_tx, reply_rx) = mpsc::channel_labeled::<u32>("reply");
+        job_tx.send(reply_tx).unwrap();
+        let _ = reply_rx.recv();
+        drop(stop_tx);
+        worker.join().unwrap();
+    });
+    assert_eq!(kinds(&report), vec![FindingKind::LostWakeup], "findings: {:?}", report.findings);
+}
+
+#[test]
+fn dropped_reply_sender_resolves_the_receiver_cleanly() {
+    let report = explore(Config::new("toy-drop-guard"), || {
+        let (job_tx, job_rx) = mpsc::channel_labeled::<mpsc::Sender<u32>>("job queue");
+        let worker = thread::spawn(move || {
+            // Drop-guard discipline: the job (and its reply sender) is
+            // dropped, which resolves the waiting receiver as Disconnected
+            // instead of hanging it.
+            drop(job_rx.recv().ok());
+        });
+        let (reply_tx, reply_rx) = mpsc::channel_labeled::<u32>("reply");
+        job_tx.send(reply_tx).unwrap();
+        assert!(reply_rx.recv().is_err(), "dropped sender must surface as disconnect");
+        worker.join().unwrap();
+    });
+    assert!(report.clean(), "findings: {:?}", report.findings);
+    assert!(!report.capped);
+}
+
+#[test]
+fn invariant_violations_surface_with_the_failing_schedule() {
+    let report = explore(Config::new("toy-invariant"), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let h = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        let seen = n.load(Ordering::SeqCst);
+        h.join().unwrap();
+        // Fails on schedules where the increment lands first.
+        assert_eq!(seen, 0, "seeded invariant failure");
+    });
+    assert_eq!(
+        kinds(&report),
+        vec![FindingKind::InvariantViolation],
+        "findings: {:?}",
+        report.findings
+    );
+}

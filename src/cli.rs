@@ -622,6 +622,60 @@ pub fn cmd_sanitize(_args: &Args) -> Result<String, String> {
         .to_string())
 }
 
+/// `race`: model-check the serve/epoch concurrency protocols. Every
+/// `wknng_sync` primitive the real serve code touches becomes a scheduling
+/// point; the explorer enumerates thread interleavings up to the preemption
+/// bound and runs a vector-clock happens-before detector over each explored
+/// schedule. Any finding — data race, deadlock, lost wakeup, lock-order
+/// inversion, violated invariant — is an error. `--self-check` runs the
+/// seeded concurrency mutants instead and fails unless every one is flagged
+/// at its seeded site (detector armed).
+#[cfg(feature = "race")]
+pub fn cmd_race(args: &Args) -> Result<String, String> {
+    use crate::serve::race;
+
+    let self_check: bool = args.get("self-check", false)?;
+    if self_check {
+        let mutants = race::race_mutants();
+        let out = race::render_mutants(&mutants);
+        let missed: Vec<&str> =
+            mutants.iter().filter(|m| m.caught().is_none()).map(|m| m.name).collect();
+        if missed.is_empty() {
+            Ok(format!(
+                "{out}race self-check: {} seeded mutants flagged (detector armed)",
+                mutants.len()
+            ))
+        } else {
+            Err(format!(
+                "{out}race self-check FAILED: {} mutant(s) escaped: {}",
+                missed.len(),
+                missed.join(", ")
+            ))
+        }
+    } else {
+        let reports = race::race_all_protocols();
+        let out = race::render_protocols(&reports);
+        let dirty: Vec<&str> = reports.iter().filter(|r| !r.clean()).map(|r| r.name).collect();
+        let schedules: u64 = reports.iter().map(|r| r.schedules).sum();
+        if dirty.is_empty() {
+            Ok(format!(
+                "{out}race: {} protocols clean across {schedules} explored schedules",
+                reports.len()
+            ))
+        } else {
+            Err(format!("{out}race: findings in {} protocol(s): {}", dirty.len(), dirty.join(", ")))
+        }
+    }
+}
+
+/// Stub when the model checker is compiled out: point at the opt-in feature.
+#[cfg(not(feature = "race"))]
+pub fn cmd_race(_args: &Args) -> Result<String, String> {
+    Err("the concurrency model checker is compiled out; rebuild with `--features race` \
+         to enable `wknng race`"
+        .to_string())
+}
+
 /// `bench`: the perf-trajectory orchestrator (see DESIGN.md § Benchmark
 /// orchestrator).
 ///
@@ -796,6 +850,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "audit" => cmd_audit(args),
         "bench" => cmd_bench(args),
         "sanitize" => cmd_sanitize(args),
+        "race" => cmd_race(args),
         "lint" => cmd_lint(args),
         "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
@@ -831,6 +886,7 @@ wknng-cli — approximate K-NN graphs from the command line
   bench    --compare old.json [--against new.json] [--strict] [--json]
   bench    --list | --only e3,e17 [--quick]
   sanitize [--seed S]   (requires building with --features sanitize)
+  race     [--self-check]   (requires building with --features race)
   lint     [--verbose] [--self-check]   (symbolic proofs for all launch shapes)
   help";
 
@@ -1039,6 +1095,39 @@ mod tests {
     fn sanitize_without_the_feature_is_a_clean_error() {
         let err = dispatch(&args("sanitize")).unwrap_err();
         assert!(err.contains("--features sanitize"), "{err}");
+    }
+
+    #[cfg(feature = "race")]
+    #[test]
+    fn race_protocols_are_clean_and_self_check_arms() {
+        let out = dispatch(&args("race")).unwrap();
+        assert!(out.contains("protocols clean"), "{out}");
+        for protocol in [
+            "epoch-pin-publish-retire",
+            "mutator-restore-vs-queries",
+            "ticket-drop-worker-lost",
+            "shed-controller-brownout",
+            "supervisor-respawn-under-panic",
+        ] {
+            assert!(out.contains(protocol), "{out}");
+        }
+        let out = dispatch(&args("race --self-check")).unwrap();
+        assert!(out.contains("seeded mutants flagged (detector armed)"), "{out}");
+        for mutant in [
+            "skipped-publish-fence",
+            "relaxed-for-acquire",
+            "dropped-reply-guard",
+            "inverted-lock-order",
+        ] {
+            assert!(out.contains(mutant), "{out}");
+        }
+    }
+
+    #[cfg(not(feature = "race"))]
+    #[test]
+    fn race_without_the_feature_is_a_clean_error() {
+        let err = dispatch(&args("race")).unwrap_err();
+        assert!(err.contains("--features race"), "{err}");
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub use wknng_data as data;
 pub use wknng_forest as forest;
 pub use wknng_serve as serve;
 pub use wknng_simt as simt;
+pub use wknng_sync as sync;
 pub use wknng_tsne as tsne;
 
 /// The commonly used names in one import.

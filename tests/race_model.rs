@@ -1,0 +1,111 @@
+//! Acceptance suite for the concurrency model checker (`wknng race`).
+//!
+//! Mirrors the `wknng lint` golden pattern (crates/core/tests/lint.rs):
+//!
+//! * **Golden report** — the rendered exploration of every serve/epoch
+//!   protocol plus the seeded-mutant self-check is pinned byte-for-byte
+//!   (with source line numbers normalized) against
+//!   `tests/golden/race_report.txt`. A change to a protocol, to the
+//!   scheduler's exploration order, or to the detector shows up as a diff
+//!   here and must be reviewed. Regenerate intentionally with
+//!   `BLESS_RACE=1 cargo test --features race --test race_model`.
+//! * **Mutation detection** — each seeded concurrency bug must be flagged
+//!   with an expected finding kind carrying the seeded site's marker, which
+//!   guards the *checker* the way the golden file guards the protocols.
+#![cfg(feature = "race")]
+
+use wknng::serve::race::{race_all_protocols, race_mutants, render_mutants, render_protocols};
+use wknng::sync::model::FindingKind;
+
+/// `path/file.rs:123` → `path/file.rs:LL` — line numbers shift on every
+/// edit; the site *file* and the finding text are what the golden pins.
+fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == ':' && chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                chars.next();
+            }
+            out.push_str("LL");
+        }
+    }
+    out
+}
+
+fn rendered() -> String {
+    let mut out = render_protocols(&race_all_protocols());
+    out.push_str(&render_mutants(&race_mutants()));
+    normalize(&out)
+}
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/race_report.txt");
+
+#[test]
+fn golden_race_report_matches() {
+    let got = rendered();
+    if std::env::var_os("BLESS_RACE").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file missing — run with BLESS_RACE=1 to create tests/golden/race_report.txt",
+    );
+    assert_eq!(
+        got, want,
+        "race report drifted from the golden file; if the change is intentional, \
+         re-bless with BLESS_RACE=1"
+    );
+}
+
+#[test]
+fn all_serve_protocols_explore_clean() {
+    for report in race_all_protocols() {
+        assert!(
+            report.clean(),
+            "protocol `{}` produced findings:\n{}",
+            report.name,
+            render_protocols(std::slice::from_ref(&report))
+        );
+        assert!(!report.capped, "protocol `{}` hit the schedule cap", report.name);
+        assert!(
+            report.schedules > 1,
+            "protocol `{}` explored a single schedule — no interleavings at all",
+            report.name
+        );
+    }
+}
+
+#[test]
+fn every_seeded_mutant_is_flagged_at_its_site() {
+    let mutants = race_mutants();
+    assert!(mutants.len() >= 4, "the self-check must seed at least four mutants");
+    for m in &mutants {
+        let f = m.caught().unwrap_or_else(|| {
+            panic!(
+                "mutant `{}` escaped the checker: expected {:?} carrying `{}`\n{}",
+                m.name,
+                m.expected,
+                m.marker,
+                render_mutants(std::slice::from_ref(m))
+            )
+        });
+        assert!(m.expected.contains(&f.kind), "mutant `{}` flagged as wrong kind: {f:?}", m.name);
+    }
+}
+
+#[test]
+fn every_detector_class_is_exercised_by_a_mutant() {
+    // The self-check demonstrates a *detection* (not just absence of
+    // findings) for the weak-ordering and liveness detector classes.
+    let mutants = race_mutants();
+    let caught: Vec<FindingKind> =
+        mutants.iter().filter_map(|m| m.caught()).map(|f| f.kind).collect();
+    assert!(caught.contains(&FindingKind::DataRace), "no mutant demonstrated a data race");
+    assert!(caught.contains(&FindingKind::LostWakeup), "no mutant demonstrated a lost wakeup");
+    assert!(
+        caught.iter().any(|k| matches!(k, FindingKind::Deadlock | FindingKind::LockOrderInversion)),
+        "no mutant demonstrated a locking-order defect"
+    );
+}
