@@ -20,6 +20,7 @@ pub mod e18_overload;
 pub mod e19_mutation;
 pub mod e1_datasets;
 pub mod e20_simd_pq;
+pub mod e21_recovery;
 pub mod e2_trees;
 pub mod e3_frontier;
 pub mod e4_crossover;
@@ -88,7 +89,7 @@ pub fn speedup_at_matched_recall(
 /// Machine-readable description of one experiment: what it is, what it
 /// sweeps, and which metrics its report emits.
 pub struct ExperimentInfo {
-    /// Stable id (`e1` … `e20`).
+    /// Stable id (`e1` … `e21`).
     pub id: &'static str,
     /// One-line title (the table/figure it reconstructs).
     pub title: &'static str,
@@ -101,7 +102,7 @@ pub struct ExperimentInfo {
 }
 
 /// Every experiment, in id order. E1–E10 reconstruct the paper's
-/// evaluation; E11–E20 are extension ablations and systems studies
+/// evaluation; E11–E21 are extension ablations and systems studies
 /// documented in `DESIGN.md`.
 pub const REGISTRY: &[ExperimentInfo] = &[
     ExperimentInfo {
@@ -244,6 +245,13 @@ pub const REGISTRY: &[ExperimentInfo] = &[
         metrics: &["build-ms", "kpoints/s", "recall@10", "coord-B/point", "p50-us", "p99-us"],
         run: e20_simd_pq::run,
     },
+    ExperimentInfo {
+        id: "e21",
+        title: "durability ablation: checkpoint cadence vs recovery time",
+        params: "checkpoint-every",
+        metrics: &["checkpoints", "wal-tail-KiB", "replayed", "recovery-ms"],
+        run: e21_recovery::run,
+    },
 ];
 
 /// Look up an experiment by id.
@@ -291,15 +299,15 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_e1_through_e20_in_order() {
-        assert_eq!(REGISTRY.len(), 20);
+    fn registry_covers_e1_through_e21_in_order() {
+        assert_eq!(REGISTRY.len(), 21);
         for (i, e) in REGISTRY.iter().enumerate() {
             assert_eq!(e.id, format!("e{}", i + 1), "registry out of order at #{i}");
             assert!(!e.title.is_empty());
             assert!(!e.metrics.is_empty(), "{} declares no metrics", e.id);
         }
         assert_eq!(all_ids().first(), Some(&"e1"));
-        assert_eq!(all_ids().last(), Some(&"e20"));
+        assert_eq!(all_ids().last(), Some(&"e21"));
     }
 
     #[test]

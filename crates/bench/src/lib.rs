@@ -2,7 +2,7 @@
 //!
 //! Two layers:
 //!
-//! * **Experiments** (`experiments::REGISTRY`, e1–e20): one module per
+//! * **Experiments** (`experiments::REGISTRY`, e1–e21): one module per
 //!   table/figure of the reconstructed evaluation (index in `DESIGN.md`,
 //!   claimed-vs-measured in `EXPERIMENTS.md`). Runnable through the
 //!   `reproduce` binary or `wknng bench --only <ids>`:

@@ -1,7 +1,7 @@
 //! The pinned benchmark suite: the fixed set of jobs whose metrics form the
 //! repo's perf trajectory (`BENCH_<date>.json`, see [`crate::snapshot`]).
 //!
-//! Five jobs cover the claims the ROADMAP tracks:
+//! Six jobs cover the claims the ROADMAP tracks:
 //!
 //! * `build-native` — native (rayon) end-to-end build wall-clock and
 //!   throughput, plus the recall it buys at pinned parameters;
@@ -14,7 +14,10 @@
 //! * `recall-frontier` — recall@10 at three pinned (trees, exploration)
 //!   operating points (the frontier's anchor points, deterministic);
 //! * `device-cycles` — simulated device cycles for the basic/atomic/tiled
-//!   build kernels and the batched beam-search kernel (deterministic).
+//!   build kernels and the batched beam-search kernel (deterministic);
+//! * `recovery-time` — warm-start wall-clock from a durable data dir with a
+//!   pinned checkpoint + WAL-tail shape, plus the deterministic replay
+//!   counts behind it.
 //!
 //! Every job is pure in its [`Profile`]: same profile, same code, same RNG
 //! implementation ⇒ identical deterministic metrics. Wall-clock metrics are
@@ -24,7 +27,7 @@ use std::time::Duration;
 
 use wknng_core::{recall, KernelVariant, QuantMode, SearchIndex, SearchParams, WknngBuilder};
 use wknng_data::{exact_knn, DatasetSpec, KernelMode, KernelModeGuard, Metric, VectorSet};
-use wknng_serve::{ServeConfig, ServeEngine, ServeIndex};
+use wknng_serve::{DurabilityPolicy, MutatePolicy, ServeConfig, ServeEngine, ServeIndex};
 use wknng_simt::DeviceConfig;
 
 use crate::measure::{percentile, replay, timed};
@@ -252,6 +255,31 @@ pub const SUITE: &[JobSpec] = &[
         ],
         run: run_device_cycles,
     },
+    JobSpec {
+        id: "recovery-time",
+        title: "warm-start recovery from a pinned checkpoint + WAL-tail shape",
+        metrics: &[
+            MetricSpec {
+                name: "recovery_ms",
+                unit: "ms",
+                direction: Direction::Lower,
+                kind: MetricKind::Noisy,
+            },
+            MetricSpec {
+                name: "replayed_ops",
+                unit: "ops",
+                direction: Direction::Lower,
+                kind: MetricKind::Deterministic,
+            },
+            MetricSpec {
+                name: "wal_tail_kb",
+                unit: "KiB",
+                direction: Direction::Lower,
+                kind: MetricKind::Deterministic,
+            },
+        ],
+        run: run_recovery_time,
+    },
 ];
 
 /// Look up a suite job by id.
@@ -398,6 +426,61 @@ fn run_device_cycles(p: &Profile) -> Vec<f64> {
     let batch = wknng_core::run_search_batch(&dev, &ix, &queries, &params).expect("clean launch");
     out.push(batch.report.cycles);
     out
+}
+
+/// Cold-start a durable engine, journal a pinned mutation workload sized to
+/// the profile (two sealed checkpoints, two batches left in the WAL tail),
+/// then measure the warm start: wall-clock to load the checkpoint, replay
+/// the tail through the extender, and publish. The replay counts and the
+/// tail's byte size are deterministic; only the wall-clock is noisy.
+fn run_recovery_time(p: &Profile) -> Vec<f64> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static RUN: AtomicU64 = AtomicU64::new(0);
+    let dim = 16;
+    let (vs, _) = split_dataset(p.n, 0, dim, 0x4EC0);
+    let (graph, _) = WknngBuilder::new(10)
+        .trees(6)
+        .leaf_size(32)
+        .exploration(1)
+        .seed(5)
+        .build_native(&vs)
+        .expect("valid build");
+    let mut dir = std::env::temp_dir();
+    dir.push(format!(
+        "wknng-bench-recovery-{}-{}",
+        std::process::id(),
+        RUN.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = || ServeConfig {
+        mutate: Some(MutatePolicy::default()),
+        durability: Some(DurabilityPolicy { checkpoint_every: 3, ..DurabilityPolicy::at(&dir) }),
+        ..ServeConfig::default()
+    };
+    let index = ServeIndex::from_parts(vs, graph.lists).expect("index matches vectors");
+    let engine = ServeEngine::start(index, cfg()).expect("valid config");
+    let batch = (p.n / 50).max(4);
+    let fresh = DatasetSpec::Manifold { n: 4 * batch, ambient_dim: dim, intrinsic_dim: 4 }
+        .generate(0x4EC1)
+        .vectors;
+    for b in 0..4 {
+        let rows: Vec<Vec<f32>> =
+            (b * batch..(b + 1) * batch).map(|i| fresh.row(i).to_vec()).collect();
+        let points = VectorSet::new(rows.concat(), dim).expect("well-formed batch");
+        engine.insert(points).expect("mutator running").wait().expect("insert journals");
+        engine
+            .delete(vec![(b * 3) as u32, (b * 3 + 1) as u32])
+            .expect("mutator running")
+            .wait()
+            .expect("delete journals");
+    }
+    engine.shutdown();
+    let tail_bytes = std::fs::metadata(wknng_serve::wal_path(&dir)).map(|m| m.len()).unwrap_or(0);
+    let ((engine, info), ms) =
+        timed(|| ServeEngine::recover(cfg()).expect("clean directory recovers"));
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    vec![ms, info.replayed_ops as f64, tail_bytes as f64 / 1024.0]
 }
 
 /// Exercised only so the shared percentile helper is provably the one the

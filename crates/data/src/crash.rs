@@ -1,0 +1,311 @@
+//! Deterministic crash-point injection for the durability writers.
+//!
+//! A [`CrashPlan`] schedules process-death points inside the write-ahead-log
+//! and checkpoint write paths the same way [`wknng-simt`'s `FaultPlan`]
+//! schedules device and serve faults: every schedule is keyed by a
+//! deterministic operation index (the Nth WAL append, the Nth atomic
+//! rename), so a test that arms a plan observes exactly the same crash on
+//! every run.
+//!
+//! "Crashing" in-process means the writer stops at the injected point,
+//! leaving the file system in exactly the state a killed process would —
+//! a missing record (killed before the fsync made it durable), a torn
+//! record prefix (killed mid-`write`), or an orphaned `<path>.tmp` beside
+//! an untouched original (killed before the atomic rename). The writer
+//! then surfaces [`DataError::Crash`] so the caller can halt the way a
+//! dead process halts, and the test re-opens the directory through the
+//! recovery path.
+//!
+//! Plans are installed per thread with [`CrashScope`] (RAII, non-nesting,
+//! `!Send`), mirroring `FaultScope`: the hooks are consulted by
+//! [`crate::wal::WalWriter::append`] and [`crate::io::atomic_write`], and
+//! are inert when no scope is installed.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::marker::PhantomData;
+
+use crate::error::DataError;
+
+/// A deterministic schedule of crash points for the durability writers.
+///
+/// Indices count operations per installed scope: `append` indices count
+/// [`crate::wal::WalWriter::append`] calls, `rename` indices count
+/// [`crate::io::atomic_write`] calls (each checkpoint performs several —
+/// vectors, lists, manifest — in that order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Appends that die after buffering but before anything reaches the
+    /// file: the record is lost wholesale (the kill-before-fsync worst
+    /// case — the page cache never made it to the platter).
+    kill_before_fsync: BTreeSet<u64>,
+    /// Appends that die halfway through the frame `write`.
+    kill_mid_append: BTreeSet<u64>,
+    /// Appends that die after exactly N bytes of the frame were written.
+    torn_writes: BTreeMap<u64, u64>,
+    /// Atomic renames that die after the temp file is written and synced
+    /// but before the rename — the original survives, `<path>.tmp` is
+    /// orphaned.
+    kill_renames: BTreeSet<u64>,
+}
+
+/// How an injected crash mutilates one WAL append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendCrash {
+    /// Nothing reaches the file; the record is lost.
+    BeforeFsync,
+    /// Half the frame reaches the file.
+    MidAppend,
+    /// Exactly this many bytes of the frame reach the file.
+    TornAt(u64),
+}
+
+impl CrashPlan {
+    /// An empty plan (no crashes).
+    pub fn new() -> CrashPlan {
+        CrashPlan::default()
+    }
+
+    /// True when no crash is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.kill_before_fsync.is_empty()
+            && self.kill_mid_append.is_empty()
+            && self.torn_writes.is_empty()
+            && self.kill_renames.is_empty()
+    }
+
+    /// Kill the process before append `index`'s fsync: the record is lost.
+    pub fn kill_before_fsync(mut self, index: u64) -> CrashPlan {
+        self.kill_before_fsync.insert(index);
+        self
+    }
+
+    /// Kill the process halfway through append `index`'s frame write.
+    pub fn kill_mid_append(mut self, index: u64) -> CrashPlan {
+        self.kill_mid_append.insert(index);
+        self
+    }
+
+    /// Kill the process after exactly `at_byte` bytes of append `index`'s
+    /// frame were written (`at_byte` past the frame length behaves like a
+    /// completed write that died before acknowledging).
+    pub fn torn_write(mut self, index: u64, at_byte: u64) -> CrashPlan {
+        self.torn_writes.insert(index, at_byte);
+        self
+    }
+
+    /// Kill the process before atomic rename `index`: the temp file is
+    /// orphaned, the destination untouched.
+    pub fn kill_rename(mut self, index: u64) -> CrashPlan {
+        self.kill_renames.insert(index);
+        self
+    }
+
+    /// The crash scheduled for append `index`, if any. When several kinds
+    /// stack on one index the most destructive wins:
+    /// before-fsync > mid-append > torn-at-byte.
+    pub fn append_crash(&self, index: u64) -> Option<AppendCrash> {
+        if self.kill_before_fsync.contains(&index) {
+            Some(AppendCrash::BeforeFsync)
+        } else if self.kill_mid_append.contains(&index) {
+            Some(AppendCrash::MidAppend)
+        } else {
+            self.torn_writes.get(&index).map(|&n| AppendCrash::TornAt(n))
+        }
+    }
+
+    /// True when atomic rename `index` is scheduled to die.
+    pub fn rename_crash(&self, index: u64) -> bool {
+        self.kill_renames.contains(&index)
+    }
+
+    /// Parse a comma-separated crash spec, the CLI surface of the harness:
+    ///
+    /// * `pre-fsync@I` — kill before append I's fsync;
+    /// * `mid-append@I` — kill halfway through append I's write;
+    /// * `torn@I:N` — kill after N bytes of append I's frame;
+    /// * `rename@I` — kill before atomic rename I.
+    pub fn parse(spec: &str) -> Result<CrashPlan, String> {
+        let mut plan = CrashPlan::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, rest) = part
+                .split_once('@')
+                .ok_or_else(|| format!("crash spec `{part}` is missing `@index`"))?;
+            let index = |s: &str| {
+                s.parse::<u64>().map_err(|_| format!("crash spec `{part}`: bad index `{s}`"))
+            };
+            plan = match kind {
+                "pre-fsync" => plan.kill_before_fsync(index(rest)?),
+                "mid-append" => plan.kill_mid_append(index(rest)?),
+                "torn" => {
+                    let (i, n) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("crash spec `{part}` needs `torn@index:byte`"))?;
+                    plan.torn_write(index(i)?, index(n)?)
+                }
+                "rename" => plan.kill_rename(index(rest)?),
+                other => return Err(format!("unknown crash kind `{other}` in `{part}`")),
+            };
+        }
+        Ok(plan)
+    }
+}
+
+/// Per-thread injection state: the plan plus the operation counters the
+/// schedules are addressed by.
+struct CrashState {
+    plan: CrashPlan,
+    next_append: u64,
+    next_rename: u64,
+    fired: Vec<String>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<CrashState>> = const { RefCell::new(None) };
+}
+
+/// RAII installation of a [`CrashPlan`] on the current thread. While the
+/// scope lives, every [`crate::wal::WalWriter::append`] and
+/// [`crate::io::atomic_write`] on this thread consults the plan. Scopes do
+/// not nest, and the guard is `!Send` (the state is thread-local).
+pub struct CrashScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl CrashScope {
+    /// Install `plan` for the current thread. Panics if a scope is already
+    /// installed (crash plans do not nest).
+    pub fn install(plan: CrashPlan) -> CrashScope {
+        ACTIVE.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            assert!(slot.is_none(), "a CrashScope is already installed on this thread");
+            *slot = Some(CrashState { plan, next_append: 0, next_rename: 0, fired: Vec::new() });
+        });
+        CrashScope { _not_send: PhantomData }
+    }
+
+    /// Descriptions of every crash the scope has injected so far.
+    pub fn fired(&self) -> Vec<String> {
+        ACTIVE.with(|slot| slot.borrow().as_ref().map(|s| s.fired.clone()).unwrap_or_default())
+    }
+}
+
+impl Drop for CrashScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|slot| slot.borrow_mut().take());
+    }
+}
+
+/// Consume one append index; the writer calls this once per append.
+pub(crate) fn next_append_crash() -> Option<AppendCrash> {
+    ACTIVE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let state = slot.as_mut()?;
+        let idx = state.next_append;
+        state.next_append += 1;
+        let crash = state.plan.append_crash(idx);
+        if let Some(c) = crash {
+            state.fired.push(format!("append {idx}: {c:?}"));
+        }
+        crash
+    })
+}
+
+/// Consume one rename index; [`crate::io::atomic_write`] calls this once
+/// per replacement, *after* the temp file is durable but *before* the
+/// rename. An `Err` models the process dying at that instant.
+pub(crate) fn next_rename_crash(target: &std::path::Path) -> Result<(), DataError> {
+    ACTIVE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let Some(state) = slot.as_mut() else {
+            return Ok(());
+        };
+        let idx = state.next_rename;
+        state.next_rename += 1;
+        if state.plan.rename_crash(idx) {
+            state.fired.push(format!("rename {idx}: {}", target.display()));
+            return Err(DataError::Crash(format!(
+                "killed before rename {idx} ({})",
+                target.display()
+            )));
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = CrashPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.append_crash(0), None);
+        assert!(!plan.rename_crash(0));
+        // No scope installed: hooks are inert too.
+        assert_eq!(next_append_crash(), None);
+        assert!(next_rename_crash(std::path::Path::new("/nope")).is_ok());
+    }
+
+    #[test]
+    fn schedules_address_operation_indices() {
+        let plan = CrashPlan::new()
+            .kill_before_fsync(0)
+            .kill_mid_append(2)
+            .torn_write(3, 7)
+            .kill_rename(1);
+        assert_eq!(plan.append_crash(0), Some(AppendCrash::BeforeFsync));
+        assert_eq!(plan.append_crash(1), None);
+        assert_eq!(plan.append_crash(2), Some(AppendCrash::MidAppend));
+        assert_eq!(plan.append_crash(3), Some(AppendCrash::TornAt(7)));
+        assert!(!plan.rename_crash(0));
+        assert!(plan.rename_crash(1));
+    }
+
+    #[test]
+    fn stacked_kinds_rank_most_destructive_first() {
+        let plan = CrashPlan::new().torn_write(5, 3).kill_mid_append(5).kill_before_fsync(5);
+        assert_eq!(plan.append_crash(5), Some(AppendCrash::BeforeFsync));
+        let plan = CrashPlan::new().torn_write(5, 3).kill_mid_append(5);
+        assert_eq!(plan.append_crash(5), Some(AppendCrash::MidAppend));
+    }
+
+    #[test]
+    fn scope_counts_operations_and_records_fires() {
+        let scope = CrashScope::install(CrashPlan::new().kill_before_fsync(1).kill_rename(0));
+        assert_eq!(next_append_crash(), None); // append 0
+        assert_eq!(next_append_crash(), Some(AppendCrash::BeforeFsync)); // append 1
+        assert!(next_rename_crash(std::path::Path::new("x")).is_err()); // rename 0
+        assert!(next_rename_crash(std::path::Path::new("x")).is_ok()); // rename 1
+        let fired = scope.fired();
+        assert_eq!(fired.len(), 2, "{fired:?}");
+        assert!(fired[0].contains("append 1"), "{fired:?}");
+        assert!(fired[1].contains("rename 0"), "{fired:?}");
+    }
+
+    #[test]
+    fn scopes_do_not_nest() {
+        let _outer = CrashScope::install(CrashPlan::new());
+        let err = std::panic::catch_unwind(|| CrashScope::install(CrashPlan::new()));
+        assert!(err.is_err(), "nested install must panic");
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan = CrashPlan::parse("pre-fsync@2, mid-append@0,torn@1:17,rename@3").unwrap();
+        assert_eq!(plan.append_crash(2), Some(AppendCrash::BeforeFsync));
+        assert_eq!(plan.append_crash(0), Some(AppendCrash::MidAppend));
+        assert_eq!(plan.append_crash(1), Some(AppendCrash::TornAt(17)));
+        assert!(plan.rename_crash(3));
+        assert!(CrashPlan::parse("").unwrap().is_empty());
+        assert!(CrashPlan::parse("  ,  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in ["pre-fsync", "pre-fsync@x", "torn@1", "torn@1:", "torn@:3", "explode@1"] {
+            assert!(CrashPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

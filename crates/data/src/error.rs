@@ -49,6 +49,10 @@ pub enum DataError {
         /// Checksum of the bytes actually read.
         actual: u64,
     },
+    /// A deterministic crash point injected by [`crate::crash::CrashPlan`]
+    /// fired: the writer stopped exactly where a killed process would,
+    /// leaving the on-disk state for recovery to repair.
+    Crash(String),
 }
 
 impl fmt::Display for DataError {
@@ -76,6 +80,7 @@ impl fmt::Display for DataError {
                 f,
                 "checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
             ),
+            DataError::Crash(m) => write!(f, "injected crash: {m}"),
         }
     }
 }
@@ -106,6 +111,9 @@ mod tests {
         assert!(t.to_string().contains("got 40"));
         let c = DataError::ChecksumMismatch { expected: 1, actual: 2 };
         assert!(c.to_string().contains("checksum mismatch"));
+        let k = DataError::Crash("killed before rename 0".into());
+        assert!(k.to_string().contains("injected crash"));
+        assert!(k.to_string().contains("rename 0"));
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //! any other byte corruption a typed [`DataError::ChecksumMismatch`].
 //! Readers still accept the legacy v1 headerless layout (`magic, shape,
 //! payload`), so files written before the header existed keep loading.
+//!
+//! All writers go through [`atomic_write`]: the bytes land in `<path>.tmp`,
+//! are fsynced, and only then renamed over the destination (with a parent
+//! directory fsync so the rename itself is durable). A crash mid-write can
+//! orphan a temp file but can never destroy the previous good file.
 
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 
 use crate::error::DataError;
 use crate::neighbor::Neighbor;
@@ -23,34 +28,34 @@ const KNN_MAGIC_V1: u32 = 0x574B_4B31; // "WKK1"
 const VEC_MAGIC_V2: u32 = 0x574B_5632; // "WKV2"
 const KNN_MAGIC_V2: u32 = 0x574B_4B32; // "WKK2"
 
-fn write_u32(w: &mut impl Write, v: u32) -> Result<(), DataError> {
+pub(crate) fn write_u32(w: &mut impl Write, v: u32) -> Result<(), DataError> {
     w.write_all(&v.to_le_bytes())?;
     Ok(())
 }
 
-fn read_u32(r: &mut impl Read) -> Result<u32, DataError> {
+pub(crate) fn read_u32(r: &mut impl Read) -> Result<u32, DataError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn write_u64(w: &mut impl Write, v: u64) -> Result<(), DataError> {
+pub(crate) fn write_u64(w: &mut impl Write, v: u64) -> Result<(), DataError> {
     w.write_all(&v.to_le_bytes())?;
     Ok(())
 }
 
-fn read_u64(r: &mut impl Read) -> Result<u64, DataError> {
+pub(crate) fn read_u64(r: &mut impl Read) -> Result<u64, DataError> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn write_f32(w: &mut impl Write, v: f32) -> Result<(), DataError> {
+pub(crate) fn write_f32(w: &mut impl Write, v: f32) -> Result<(), DataError> {
     w.write_all(&v.to_le_bytes())?;
     Ok(())
 }
 
-fn read_f32(r: &mut impl Read) -> Result<f32, DataError> {
+pub(crate) fn read_f32(r: &mut impl Read) -> Result<f32, DataError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(f32::from_le_bytes(b))
@@ -58,13 +63,48 @@ fn read_f32(r: &mut impl Read) -> Result<f32, DataError> {
 
 /// FNV-1a 64 over a byte slice — small, allocation-free, and plenty to catch
 /// file corruption (this is an integrity check, not a cryptographic one).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// The same hash guards the v2 snapshot payloads, every WAL record, and the
+/// checkpoint manifests.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+/// The sibling temp path used by [`atomic_write`] (`<path>.tmp`).
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+fn sync_parent_dir(path: &Path) -> Result<(), DataError> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Atomically replace `path` with `bytes`: write `<path>.tmp`, fsync it,
+/// rename over the destination, then fsync the parent directory. The
+/// destination either keeps its old contents or holds the new bytes in
+/// full — never a torn mix. Consumes one rename crash point when a
+/// [`crate::crash::CrashScope`] is installed (the injected death lands
+/// between the temp-file fsync and the rename, orphaning the temp file).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), DataError> {
+    let tmp = tmp_sibling(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    crate::crash::next_rename_crash(path)?;
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
+    Ok(())
 }
 
 /// Read the `payload_len`/`checksum` pair, then the payload itself,
@@ -92,21 +132,21 @@ fn read_checked_payload(r: &mut impl Read, path: &Path) -> Result<Vec<u8>, DataE
     Ok(payload)
 }
 
-/// Save a [`VectorSet`] to `path` (v2 layout: length + checksum header).
+/// Save a [`VectorSet`] to `path` (v2 layout: length + checksum header),
+/// atomically via [`atomic_write`].
 pub fn save_vectors(vs: &VectorSet, path: &Path) -> Result<(), DataError> {
     let mut payload = Vec::with_capacity(vs.len() * vs.dim() * 4);
     for &v in vs.as_flat() {
         write_f32(&mut payload, v)?;
     }
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
-    write_u32(&mut w, VEC_MAGIC_V2)?;
-    write_u32(&mut w, vs.len() as u32)?;
-    write_u32(&mut w, vs.dim() as u32)?;
-    write_u64(&mut w, payload.len() as u64)?;
-    write_u64(&mut w, fnv1a64(&payload))?;
-    w.write_all(&payload)?;
-    w.flush()?;
-    Ok(())
+    let mut file = Vec::with_capacity(28 + payload.len());
+    write_u32(&mut file, VEC_MAGIC_V2)?;
+    write_u32(&mut file, vs.len() as u32)?;
+    write_u32(&mut file, vs.dim() as u32)?;
+    write_u64(&mut file, payload.len() as u64)?;
+    write_u64(&mut file, fnv1a64(&payload))?;
+    file.extend_from_slice(&payload);
+    atomic_write(path, &file)
 }
 
 /// Load a [`VectorSet`] from `path` (v2 with integrity checks, or legacy
@@ -146,7 +186,7 @@ pub fn load_vectors(path: &Path) -> Result<VectorSet, DataError> {
 }
 
 /// Save per-point neighbor lists (e.g. ground truth) to `path` (v2 layout:
-/// length + checksum header).
+/// length + checksum header), atomically via [`atomic_write`].
 pub fn save_knn(lists: &[Vec<Neighbor>], path: &Path) -> Result<(), DataError> {
     let mut payload = Vec::new();
     for list in lists {
@@ -156,14 +196,13 @@ pub fn save_knn(lists: &[Vec<Neighbor>], path: &Path) -> Result<(), DataError> {
             write_f32(&mut payload, nb.dist)?;
         }
     }
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
-    write_u32(&mut w, KNN_MAGIC_V2)?;
-    write_u32(&mut w, lists.len() as u32)?;
-    write_u64(&mut w, payload.len() as u64)?;
-    write_u64(&mut w, fnv1a64(&payload))?;
-    w.write_all(&payload)?;
-    w.flush()?;
-    Ok(())
+    let mut file = Vec::with_capacity(24 + payload.len());
+    write_u32(&mut file, KNN_MAGIC_V2)?;
+    write_u32(&mut file, lists.len() as u32)?;
+    write_u64(&mut file, payload.len() as u64)?;
+    write_u64(&mut file, fnv1a64(&payload))?;
+    file.extend_from_slice(&payload);
+    atomic_write(path, &file)
 }
 
 fn read_knn_lists(r: &mut impl Read, n: usize) -> Result<Vec<Vec<Neighbor>>, DataError> {
@@ -297,6 +336,35 @@ mod tests {
         std::fs::write(&p, &bytes).unwrap();
         assert!(matches!(load_vectors(&p), Err(DataError::Format(_))));
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn crash_before_rename_leaves_the_old_file_intact() {
+        // A simulated partial write (process dies after the temp file is
+        // written but before the atomic rename) must not touch the old file.
+        let old = DatasetSpec::UniformCube { n: 9, dim: 4 }.generate(5).vectors;
+        let new = DatasetSpec::UniformCube { n: 9, dim: 4 }.generate(6).vectors;
+        assert_ne!(old, new);
+        let p = tmp("atomic");
+        save_vectors(&old, &p).unwrap();
+        {
+            let _scope =
+                crate::crash::CrashScope::install(crate::crash::CrashPlan::new().kill_rename(0));
+            match save_vectors(&new, &p) {
+                Err(DataError::Crash(_)) => {}
+                other => panic!("want injected crash, got {other:?}"),
+            }
+        }
+        // Old contents survive; the orphaned temp file holds the new bytes.
+        assert_eq!(load_vectors(&p).unwrap(), old);
+        let orphan = tmp_sibling(&p);
+        assert!(orphan.exists(), "temp file should be orphaned by the crash");
+        assert_eq!(load_vectors(&orphan).unwrap(), new);
+        // Without injection the replacement goes through.
+        save_vectors(&new, &p).unwrap();
+        assert_eq!(load_vectors(&p).unwrap(), new);
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&orphan).ok();
     }
 
     #[test]

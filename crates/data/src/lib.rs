@@ -10,7 +10,11 @@
 //! * [`Neighbor`] — the shared K-NNG edge record with its packed `u64`
 //!   representation used by the GPU kernels;
 //! * [`exact_knn`] — the brute-force oracle that recall is measured against;
-//! * binary persistence ([`io`]) for caching ground truth between runs.
+//! * binary persistence ([`io`]) for caching ground truth between runs;
+//! * durability primitives ([`wal`]) — the mutation write-ahead log and
+//!   checkpoint manifest behind crash-consistent serving — and the
+//!   deterministic crash-point injection harness ([`crash`]) that proves
+//!   them.
 //!
 //! ```
 //! use wknng_data::{exact_knn, DatasetSpec, Metric};
@@ -21,6 +25,7 @@
 //! assert_eq!(truth[0].len(), 10);
 //! ```
 
+pub mod crash;
 pub mod dist;
 pub mod error;
 pub mod groundtruth;
@@ -34,7 +39,9 @@ pub mod stats;
 pub mod synth;
 pub mod texmex;
 pub mod vecs;
+pub mod wal;
 
+pub use crash::{AppendCrash, CrashPlan, CrashScope};
 pub use dist::{cosine_distance, dot, norm, sq_l2, Metric};
 pub use error::DataError;
 pub use groundtruth::exact_knn;
@@ -49,3 +56,7 @@ pub use simd::{
 pub use stats::{intrinsic_dim_mle, mean_nn_distance};
 pub use synth::{normal, Dataset, DatasetSpec};
 pub use vecs::VectorSet;
+pub use wal::{
+    read_wal, CheckpointManifest, FsyncPolicy, WalOp, WalRecord, WalScan, WalWriter,
+    WAL_FRAME_OVERHEAD, WAL_HEADER_LEN,
+};

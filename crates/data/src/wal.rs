@@ -1,0 +1,767 @@
+//! Write-ahead log and checkpoint manifest for durable index mutation.
+//!
+//! The serve layer applies mutations in memory and publishes them through
+//! epoch swaps; this module is what makes an acknowledged mutation survive
+//! the process. The contract has three parts:
+//!
+//! * **WAL** — an append-only log of mutation batches. Each record is
+//!   length-prefixed, carries a monotonically increasing sequence number,
+//!   and is covered by an FNV-1a 64 checksum over `seq || payload`. A
+//!   record is only acknowledged after it is appended (and fsynced, per
+//!   [`FsyncPolicy`]).
+//! * **Torn-tail tolerance** — a crash mid-append leaves a prefix of the
+//!   final frame. [`read_wal`] accepts every complete, checksum-valid
+//!   record and truncates at the first bad byte; only an unacknowledged
+//!   record can live in the torn tail, so truncation never loses an ack.
+//!   Anything *behind* a valid record that fails to parse (duplicate or
+//!   non-contiguous sequence, undecodable payload with a valid checksum)
+//!   is real corruption and a hard error, not a torn tail.
+//! * **Checkpoint manifest** — a tiny checksummed file written *last*
+//!   (atomically) when an epoch is checkpointed. It records which WAL
+//!   sequence the checkpoint absorbed (`wal_next_seq`) plus the tombstone
+//!   bitmap, so recovery = load checkpoint, replay records with
+//!   `seq >= wal_next_seq`, publish.
+//!
+//! On-disk WAL layout (all little-endian):
+//!
+//! ```text
+//! "WKWL" u32 | version u32                          -- file header
+//! [ payload_len u32 | seq u64 | fnv1a64(seq||payload) u64 | payload ]*
+//! ```
+//!
+//! Crash points from an installed [`crate::crash::CrashScope`] are
+//! consumed inside [`WalWriter::append`] (one index per append) and inside
+//! every [`crate::io::atomic_write`] the checkpoint path performs.
+
+use std::io::{Seek, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crash::{self, AppendCrash};
+use crate::error::DataError;
+use crate::io::{atomic_write, fnv1a64, read_u32, read_u64, write_u32, write_u64};
+use crate::vecs::VectorSet;
+
+const WAL_MAGIC: u32 = 0x574B_574C; // "WKWL"
+const WAL_VERSION: u32 = 1;
+/// Bytes of file header before the first record.
+pub const WAL_HEADER_LEN: u64 = 8;
+/// Frame bytes before the payload: len u32 + seq u64 + checksum u64.
+pub const WAL_FRAME_OVERHEAD: u64 = 20;
+
+const MANIFEST_MAGIC: u32 = 0x574B_4D46; // "WKMF"
+const MANIFEST_VERSION: u32 = 1;
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// Fsync-on-commit policy for the WAL.
+///
+/// `Always` fsyncs after every appended record before the mutation is
+/// acknowledged — an acked mutation survives power loss. `Never` leaves
+/// flushing to the OS: cheaper, survives process crashes (the page cache
+/// persists) but not power loss. The crash harness's kill-before-fsync
+/// point models exactly the window `Never` leaves open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Fsync every record before acknowledging it.
+    #[default]
+    Always,
+    /// Let the OS flush when it pleases.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse `always` / `never` (the CLI surface).
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(format!("unknown fsync policy `{other}` (want always|never)")),
+        }
+    }
+}
+
+/// One logged mutation batch. Mirrors the serve layer's `MutationOp`;
+/// it lives here so the log format has no dependency on serve types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Append these vectors to the index.
+    Insert(VectorSet),
+    /// Tombstone these point ids.
+    Delete(Vec<u32>),
+}
+
+impl WalOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalOp::Insert(vs) => {
+                out.push(OP_INSERT);
+                out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+                out.extend_from_slice(&(vs.dim() as u32).to_le_bytes());
+                for &v in vs.as_flat() {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            WalOp::Delete(ids) => {
+                out.push(OP_DELETE);
+                out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+                for &id in ids {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    fn decode(payload: &[u8]) -> Result<WalOp, DataError> {
+        let bad = |m: &str| DataError::Format(format!("wal record payload: {m}"));
+        let (&tag, mut rest) = payload.split_first().ok_or_else(|| bad("empty"))?;
+        let take_u32 = |rest: &mut &[u8]| -> Result<u32, DataError> {
+            if rest.len() < 4 {
+                return Err(bad("short field"));
+            }
+            let (head, tail) = rest.split_at(4);
+            *rest = tail;
+            Ok(u32::from_le_bytes(head.try_into().unwrap()))
+        };
+        match tag {
+            OP_INSERT => {
+                let n = take_u32(&mut rest)? as usize;
+                let dim = take_u32(&mut rest)? as usize;
+                if rest.len() != n * dim * 4 {
+                    return Err(bad("insert body length disagrees with its shape"));
+                }
+                let mut data = Vec::with_capacity(n * dim);
+                for chunk in rest.chunks_exact(4) {
+                    data.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+                }
+                Ok(WalOp::Insert(VectorSet::new(data, dim)?))
+            }
+            OP_DELETE => {
+                let count = take_u32(&mut rest)? as usize;
+                if rest.len() != count * 4 {
+                    return Err(bad("delete body length disagrees with its count"));
+                }
+                let ids = rest
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Ok(WalOp::Delete(ids))
+            }
+            _ => Err(bad("unknown op tag")),
+        }
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// The logged mutation batch.
+    pub op: WalOp,
+}
+
+/// The result of scanning a WAL file tolerantly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// Every complete, checksum-valid record, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of the end of the last valid record (the length the
+    /// file should be truncated to).
+    pub valid_len: u64,
+    /// Bytes of torn tail discarded after `valid_len`.
+    pub torn_bytes: u64,
+}
+
+fn frame_bytes(seq: u64, op: &WalOp) -> Vec<u8> {
+    let mut payload = Vec::new();
+    op.encode(&mut payload);
+    let mut sum_input = Vec::with_capacity(8 + payload.len());
+    sum_input.extend_from_slice(&seq.to_le_bytes());
+    sum_input.extend_from_slice(&payload);
+    let mut frame = Vec::with_capacity(WAL_FRAME_OVERHEAD as usize + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&fnv1a64(&sum_input).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Scan a WAL file, tolerating a torn tail.
+///
+/// Returns every complete, checksum-valid record and the byte offset the
+/// file should be truncated to. A corrupt *interior* (duplicate or
+/// non-contiguous sequence numbers behind a valid checksum, undecodable
+/// payload) is a hard [`DataError::Format`] — that is not what a crash
+/// leaves behind. A missing or mangled file header is likewise hard.
+pub fn read_wal(path: &Path) -> Result<WalScan, DataError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        return Err(DataError::Format(format!("{} is shorter than a wal header", path.display())));
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if magic != WAL_MAGIC {
+        return Err(DataError::Format(format!("{} is not a WKWL wal file", path.display())));
+    }
+    if version != WAL_VERSION {
+        return Err(DataError::Format(format!(
+            "{}: unsupported wal version {version}",
+            path.display()
+        )));
+    }
+
+    let mut records = Vec::new();
+    let mut off = WAL_HEADER_LEN as usize;
+    // A frame cut off anywhere — header or payload — is a torn tail, not an
+    // error; the loop simply stops at the last whole valid frame.
+    while let Some(head) = bytes.get(off..off + WAL_FRAME_OVERHEAD as usize) {
+        let payload_len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
+        let seq = u64::from_le_bytes(head[4..12].try_into().unwrap());
+        let expected_sum = u64::from_le_bytes(head[12..20].try_into().unwrap());
+        let body_start = off + WAL_FRAME_OVERHEAD as usize;
+        let Some(payload) = bytes.get(body_start..body_start + payload_len) else {
+            break; // torn payload
+        };
+        let mut sum_input = Vec::with_capacity(8 + payload_len);
+        sum_input.extend_from_slice(&seq.to_le_bytes());
+        sum_input.extend_from_slice(payload);
+        if fnv1a64(&sum_input) != expected_sum {
+            break; // torn or bit-flipped tail record
+        }
+        // Past the checksum the record is authoritative: structural problems
+        // here are corruption, not a crash artifact.
+        if let Some(last) = records.last() {
+            let last: &WalRecord = last;
+            if seq != last.seq + 1 {
+                return Err(DataError::Format(format!(
+                    "{}: record sequence jumps from {} to {seq} (duplicate or gap)",
+                    path.display(),
+                    last.seq
+                )));
+            }
+        }
+        let op = WalOp::decode(payload)?;
+        records.push(WalRecord { seq, op });
+        off = body_start + payload_len;
+    }
+    Ok(WalScan { records, valid_len: off as u64, torn_bytes: (bytes.len() - off) as u64 })
+}
+
+/// Append handle for a WAL file.
+///
+/// The writer assigns sequence numbers itself (monotonic, starting where
+/// the existing log left off) and honours the [`FsyncPolicy`] on every
+/// append. When a [`crate::crash::CrashScope`] is armed on the calling
+/// thread, each append consumes one crash index and an injected crash
+/// leaves the file exactly as a killed process would.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: std::fs::File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    next_seq: u64,
+    appends: u64,
+    bytes_appended: u64,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL at `path` (truncating any existing file), write
+    /// and fsync its header.
+    pub fn create(path: &Path, policy: FsyncPolicy) -> Result<WalWriter, DataError> {
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&header)?;
+        file.sync_all()?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            next_seq: 0,
+            appends: 0,
+            bytes_appended: 0,
+        })
+    }
+
+    /// Open an existing WAL, repairing a torn tail: the file is physically
+    /// truncated to the last valid record and the writer positioned after
+    /// it. Returns the scan so the caller can replay the surviving records.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<(WalWriter, WalScan), DataError> {
+        let scan = read_wal(path)?;
+        let mut file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+        if scan.torn_bytes > 0 {
+            file.set_len(scan.valid_len)?;
+            file.sync_all()?;
+        }
+        file.seek(std::io::SeekFrom::End(0))?;
+        let next_seq = scan.records.last().map(|r| r.seq + 1).unwrap_or(0);
+        Ok((
+            WalWriter {
+                file,
+                path: path.to_path_buf(),
+                policy,
+                next_seq,
+                appends: 0,
+                bytes_appended: 0,
+            },
+            scan,
+        ))
+    }
+
+    /// Append one mutation batch; returns its sequence number once the
+    /// record is durable per the fsync policy. An injected crash writes
+    /// the same bytes a dying process would (nothing, half a frame, or a
+    /// torn prefix) and surfaces [`DataError::Crash`] — the writer must
+    /// then be abandoned, exactly like a dead process.
+    pub fn append(&mut self, op: &WalOp) -> Result<u64, DataError> {
+        let seq = self.next_seq;
+        let frame = frame_bytes(seq, op);
+        match crash::next_append_crash() {
+            Some(AppendCrash::BeforeFsync) => {
+                // The write sat in the page cache and the machine died
+                // before the fsync: nothing reaches the file.
+                return Err(DataError::Crash(format!("killed before fsync of wal seq {seq}")));
+            }
+            Some(AppendCrash::MidAppend) => {
+                self.file.write_all(&frame[..frame.len() / 2])?;
+                self.file.sync_all()?;
+                return Err(DataError::Crash(format!("killed mid-append of wal seq {seq}")));
+            }
+            Some(AppendCrash::TornAt(n)) => {
+                let n = (n as usize).min(frame.len());
+                self.file.write_all(&frame[..n])?;
+                self.file.sync_all()?;
+                return Err(DataError::Crash(format!("killed after {n} bytes of wal seq {seq}")));
+            }
+            None => {}
+        }
+        self.file.write_all(&frame)?;
+        if self.policy == FsyncPolicy::Always {
+            self.file.sync_data()?;
+        }
+        self.next_seq += 1;
+        self.appends += 1;
+        self.bytes_appended += frame.len() as u64;
+        Ok(seq)
+    }
+
+    /// Explicitly fsync the log (a no-op risk-wise under `Always`).
+    pub fn sync(&mut self) -> Result<(), DataError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Drop every record with `seq < keep_from` by atomically rewriting
+    /// the log with the surviving tail. Called after a checkpoint absorbs
+    /// the prefix; consumes one rename crash index. Sequence numbering
+    /// continues unchanged.
+    pub fn prune(&mut self, keep_from: u64) -> Result<(), DataError> {
+        let scan = read_wal(&self.path)?;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        for rec in scan.records.iter().filter(|r| r.seq >= keep_from) {
+            bytes.extend_from_slice(&frame_bytes(rec.seq, &rec.op));
+        }
+        atomic_write(&self.path, &bytes)?;
+        let mut file = std::fs::OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        self.file = file;
+        Ok(())
+    }
+
+    /// Raise the next sequence number to at least `seq`. Recovery calls
+    /// this with the checkpoint manifest's WAL position: a fully pruned log
+    /// reopens with no records to infer numbering from, and fresh appends
+    /// must never reuse sequence numbers a sealed manifest already covers
+    /// (replay would silently skip them).
+    pub fn resume_from(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Successful appends through this writer.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Frame bytes successfully appended through this writer.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The checkpoint manifest: written last (atomically) when an epoch is
+/// checkpointed, it is what makes a checkpoint generation *valid*.
+///
+/// Layout: `"WKMF" u32 | version u32 | payload_len u64 | fnv1a64 u64 |
+/// payload`, where the payload is `generation u64 | epoch_id u64 |
+/// wal_next_seq u64 | slots u64 | tombstone bitmap (1 byte per slot)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointManifest {
+    /// The checkpoint generation this manifest seals.
+    pub generation: u64,
+    /// The epoch id that was checkpointed (informational).
+    pub epoch_id: u64,
+    /// First WAL sequence NOT absorbed by this checkpoint: recovery
+    /// replays records with `seq >= wal_next_seq`.
+    pub wal_next_seq: u64,
+    /// Per-slot tombstone flags for the (uncompacted) checkpointed epoch.
+    pub deleted: Vec<bool>,
+}
+
+impl CheckpointManifest {
+    /// Atomically write the manifest to `path` (consumes one rename crash
+    /// index).
+    pub fn save(&self, path: &Path) -> Result<(), DataError> {
+        let mut payload = Vec::with_capacity(32 + self.deleted.len());
+        write_u64(&mut payload, self.generation)?;
+        write_u64(&mut payload, self.epoch_id)?;
+        write_u64(&mut payload, self.wal_next_seq)?;
+        write_u64(&mut payload, self.deleted.len() as u64)?;
+        payload.extend(self.deleted.iter().map(|&d| d as u8));
+        let mut file = Vec::with_capacity(24 + payload.len());
+        write_u32(&mut file, MANIFEST_MAGIC)?;
+        write_u32(&mut file, MANIFEST_VERSION)?;
+        write_u64(&mut file, payload.len() as u64)?;
+        write_u64(&mut file, fnv1a64(&payload))?;
+        file.extend_from_slice(&payload);
+        atomic_write(path, &file)
+    }
+
+    /// Load and verify a manifest.
+    pub fn load(path: &Path) -> Result<CheckpointManifest, DataError> {
+        let bytes = std::fs::read(path)?;
+        let mut r = bytes.as_slice();
+        let magic = read_u32(&mut r)?;
+        if magic != MANIFEST_MAGIC {
+            return Err(DataError::Format(format!("{} is not a WKMF manifest", path.display())));
+        }
+        let version = read_u32(&mut r)?;
+        if version != MANIFEST_VERSION {
+            return Err(DataError::Format(format!(
+                "{}: unsupported manifest version {version}",
+                path.display()
+            )));
+        }
+        let expected_len = read_u64(&mut r)?;
+        let expected_sum = read_u64(&mut r)?;
+        if (r.len() as u64) < expected_len {
+            return Err(DataError::Truncated { expected: expected_len, got: r.len() as u64 });
+        }
+        if r.len() as u64 > expected_len {
+            return Err(DataError::Format(format!(
+                "{} has trailing bytes after its payload",
+                path.display()
+            )));
+        }
+        let actual_sum = fnv1a64(r);
+        if actual_sum != expected_sum {
+            return Err(DataError::ChecksumMismatch { expected: expected_sum, actual: actual_sum });
+        }
+        let generation = read_u64(&mut r)?;
+        let epoch_id = read_u64(&mut r)?;
+        let wal_next_seq = read_u64(&mut r)?;
+        let slots = read_u64(&mut r)? as usize;
+        if r.len() != slots {
+            return Err(DataError::Format(format!(
+                "{}: bitmap holds {} slots, header says {slots}",
+                path.display(),
+                r.len()
+            )));
+        }
+        let deleted = r.iter().map(|&b| b != 0).collect();
+        Ok(CheckpointManifest { generation, epoch_id, wal_next_seq, deleted })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::{CrashPlan, CrashScope};
+    use crate::synth::DatasetSpec;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wknng-wal-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn sample_ops() -> Vec<WalOp> {
+        let vs = DatasetSpec::UniformCube { n: 3, dim: 4 }.generate(11).vectors;
+        vec![WalOp::Insert(vs), WalOp::Delete(vec![0, 2]), WalOp::Delete(vec![])]
+    }
+
+    #[test]
+    fn empty_log_scans_to_zero_records() {
+        let p = tmp("empty");
+        WalWriter::create(&p, FsyncPolicy::Always).unwrap();
+        let scan = read_wal(&p).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, WAL_HEADER_LEN);
+        assert_eq!(scan.torn_bytes, 0);
+        let (w, scan) = WalWriter::open(&p, FsyncPolicy::Always).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(w.next_seq(), 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn append_and_scan_roundtrip_with_sequence_numbers() {
+        let p = tmp("roundtrip");
+        let ops = sample_ops();
+        let mut w = WalWriter::create(&p, FsyncPolicy::Always).unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(w.append(op).unwrap(), i as u64);
+        }
+        assert_eq!(w.appends(), 3);
+        assert!(w.bytes_appended() > 0);
+        let scan = read_wal(&p).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        for (i, rec) in scan.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64);
+            assert_eq!(rec.op, ops[i]);
+        }
+        assert_eq!(scan.torn_bytes, 0);
+        // Reopening continues the sequence.
+        let (mut w, _) = WalWriter::open(&p, FsyncPolicy::Never).unwrap();
+        assert_eq!(w.next_seq(), 3);
+        assert_eq!(w.append(&ops[1]).unwrap(), 3);
+        assert_eq!(read_wal(&p).unwrap().records.len(), 4);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn torn_tail_at_every_byte_offset_recovers_the_prefix() {
+        // Write 3 records, then truncate the file at every byte offset
+        // inside the final frame: the scan must always return the first 2
+        // records and report the remainder as torn.
+        let p = tmp("torn");
+        let ops = sample_ops();
+        let mut w = WalWriter::create(&p, FsyncPolicy::Always).unwrap();
+        for op in &ops {
+            w.append(op).unwrap();
+        }
+        drop(w);
+        let full = std::fs::read(&p).unwrap();
+        let scan = read_wal(&p).unwrap();
+        assert_eq!(scan.valid_len as usize, full.len());
+        // Find where record 2's frame starts by scanning a 2-record log.
+        let p2 = tmp("torn-prefix");
+        let mut w2 = WalWriter::create(&p2, FsyncPolicy::Always).unwrap();
+        w2.append(&ops[0]).unwrap();
+        w2.append(&ops[1]).unwrap();
+        drop(w2);
+        let two_len = std::fs::read(&p2).unwrap().len();
+        std::fs::remove_file(&p2).ok();
+
+        for cut in two_len..full.len() {
+            std::fs::write(&p, &full[..cut]).unwrap();
+            let scan = read_wal(&p).unwrap();
+            assert_eq!(scan.records.len(), 2, "cut at {cut}");
+            assert_eq!(scan.valid_len as usize, two_len, "cut at {cut}");
+            assert_eq!(scan.torn_bytes as usize, cut - two_len, "cut at {cut}");
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn opening_a_torn_log_physically_repairs_it() {
+        let p = tmp("repair");
+        let ops = sample_ops();
+        let mut w = WalWriter::create(&p, FsyncPolicy::Always).unwrap();
+        w.append(&ops[0]).unwrap();
+        w.append(&ops[1]).unwrap();
+        drop(w);
+        let full = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &full[..full.len() - 5]).unwrap();
+        let (mut w, scan) = WalWriter::open(&p, FsyncPolicy::Always).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.torn_bytes, full.len() as u64 - 5 - scan.valid_len);
+        assert_eq!(w.next_seq(), 1);
+        // The torn bytes are gone from disk and appends continue cleanly.
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), scan.valid_len);
+        w.append(&ops[1]).unwrap();
+        let scan = read_wal(&p).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].seq, 1);
+        assert_eq!(scan.torn_bytes, 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn duplicate_or_gapped_sequences_are_hard_errors() {
+        let p = tmp("dup");
+        let ops = sample_ops();
+        // Hand-craft: header + seq 0 + seq 0 again (duplicate).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&frame_bytes(0, &ops[1]));
+        bytes.extend_from_slice(&frame_bytes(0, &ops[2]));
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(read_wal(&p), Err(DataError::Format(_))));
+        // Gap: seq 0 then seq 2.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&frame_bytes(0, &ops[1]));
+        bytes.extend_from_slice(&frame_bytes(2, &ops[2]));
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(read_wal(&p), Err(DataError::Format(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn mangled_headers_are_hard_errors() {
+        let p = tmp("header");
+        std::fs::write(&p, [0u8; 4]).unwrap();
+        assert!(matches!(read_wal(&p), Err(DataError::Format(_))));
+        std::fs::write(&p, [0u8; 16]).unwrap();
+        assert!(matches!(read_wal(&p), Err(DataError::Format(_))));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&99u32.to_le_bytes()); // bad version
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(read_wal(&p), Err(DataError::Format(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn prune_keeps_the_tail_and_the_numbering() {
+        let p = tmp("prune");
+        let ops = sample_ops();
+        let mut w = WalWriter::create(&p, FsyncPolicy::Always).unwrap();
+        for op in &ops {
+            w.append(op).unwrap();
+        }
+        w.prune(2).unwrap();
+        let scan = read_wal(&p).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].seq, 2);
+        // Appends continue at seq 3 and the log stays contiguous.
+        assert_eq!(w.append(&ops[0]).unwrap(), 3);
+        let scan = read_wal(&p).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].seq, 3);
+        // Prune past everything leaves an empty-but-valid log.
+        w.prune(100).unwrap();
+        assert!(read_wal(&p).unwrap().records.is_empty());
+        assert_eq!(w.append(&ops[0]).unwrap(), 4);
+        assert_eq!(read_wal(&p).unwrap().records[0].seq, 4);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn reopening_a_fully_pruned_log_resumes_from_the_manifest_position() {
+        let p = tmp("resume");
+        let ops = sample_ops();
+        let mut w = WalWriter::create(&p, FsyncPolicy::Always).unwrap();
+        for op in &ops {
+            w.append(op).unwrap();
+        }
+        // A checkpoint at seq 3 prunes everything; a later reopen has no
+        // records to infer the numbering from...
+        w.prune(3).unwrap();
+        drop(w);
+        let (mut w, scan) = WalWriter::open(&p, FsyncPolicy::Always).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(w.next_seq(), 0, "a bare reopen cannot know the position");
+        // ...so recovery resumes it from the manifest. Appends then continue
+        // past every sequence a sealed checkpoint covers.
+        w.resume_from(3);
+        assert_eq!(w.append(&ops[0]).unwrap(), 3);
+        // resume_from never lowers the numbering.
+        w.resume_from(1);
+        assert_eq!(w.next_seq(), 4);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn injected_append_crashes_leave_a_recoverable_file() {
+        let ops = sample_ops();
+        // Kill before fsync: the record vanishes entirely.
+        let p = tmp("crash-prefsync");
+        {
+            let _scope = CrashScope::install(CrashPlan::new().kill_before_fsync(1));
+            let mut w = WalWriter::create(&p, FsyncPolicy::Always).unwrap();
+            w.append(&ops[0]).unwrap();
+            assert!(matches!(w.append(&ops[1]), Err(DataError::Crash(_))));
+            assert_eq!(w.appends(), 1);
+        }
+        let scan = read_wal(&p).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.torn_bytes, 0);
+        std::fs::remove_file(&p).ok();
+
+        // Kill mid-append: half a frame survives as a torn tail.
+        let p = tmp("crash-midappend");
+        {
+            let _scope = CrashScope::install(CrashPlan::new().kill_mid_append(1));
+            let mut w = WalWriter::create(&p, FsyncPolicy::Always).unwrap();
+            w.append(&ops[0]).unwrap();
+            assert!(matches!(w.append(&ops[1]), Err(DataError::Crash(_))));
+        }
+        let scan = read_wal(&p).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn_bytes > 0);
+        std::fs::remove_file(&p).ok();
+
+        // Torn at an exact byte count.
+        let p = tmp("crash-torn");
+        {
+            let _scope = CrashScope::install(CrashPlan::new().torn_write(0, 7));
+            let mut w = WalWriter::create(&p, FsyncPolicy::Always).unwrap();
+            assert!(matches!(w.append(&ops[0]), Err(DataError::Crash(_))));
+        }
+        let scan = read_wal(&p).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.torn_bytes, 7);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_never_still_persists_in_process() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        let p = tmp("nofsync");
+        let mut w = WalWriter::create(&p, FsyncPolicy::Never).unwrap();
+        w.append(&WalOp::Delete(vec![1, 2, 3])).unwrap();
+        drop(w);
+        assert_eq!(read_wal(&p).unwrap().records.len(), 1);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_detects_corruption() {
+        let p = tmp("manifest");
+        let m = CheckpointManifest {
+            generation: 3,
+            epoch_id: 17,
+            wal_next_seq: 42,
+            deleted: vec![false, true, false, false, true],
+        };
+        m.save(&p).unwrap();
+        assert_eq!(CheckpointManifest::load(&p).unwrap(), m);
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(CheckpointManifest::load(&p), Err(DataError::ChecksumMismatch { .. })));
+        std::fs::write(&p, [0u8; 40]).unwrap();
+        assert!(matches!(CheckpointManifest::load(&p), Err(DataError::Format(_))));
+        std::fs::remove_file(&p).ok();
+    }
+}

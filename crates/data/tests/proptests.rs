@@ -1,7 +1,11 @@
-//! Property tests for distances, packing and the exact-KNN oracle.
+//! Property tests for distances, packing, the exact-KNN oracle, and the
+//! mutation WAL's torn-tail recovery contract.
 
 use proptest::prelude::*;
-use wknng_data::{exact_knn, sort_neighbors, sq_l2, Metric, Neighbor, VectorSet};
+use wknng_data::{
+    exact_knn, read_wal, sort_neighbors, sq_l2, FsyncPolicy, Metric, Neighbor, VectorSet, WalOp,
+    WalWriter, WAL_FRAME_OVERHEAD, WAL_HEADER_LEN,
+};
 
 fn naive_sq_l2(a: &[f32], b: &[f32]) -> f64 {
     a.iter()
@@ -55,6 +59,88 @@ proptest! {
             all.truncate(k.min(n - 1));
             prop_assert_eq!(row, &all, "point {}", i);
         }
+    }
+
+    /// Truncating a WAL at *any* byte — a torn write, mid-frame, mid-header,
+    /// even inside the file header's tail — recovers exactly the longest
+    /// prefix of whole valid frames, reports the torn remainder's size, and
+    /// reopening for append resumes at the right sequence number. This is
+    /// the crash-consistency contract the serve layer's recovery builds on.
+    #[test]
+    fn wal_truncated_at_any_byte_recovers_the_valid_prefix(
+        shapes in prop::collection::vec((0u8..2, 0usize..5, 1usize..4), 1..6),
+        cut_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let ops: Vec<WalOp> = shapes
+            .iter()
+            .map(|&(tag, n, dim)| {
+                if tag == 0 {
+                    let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                    WalOp::Insert(VectorSet::new(data, dim).unwrap())
+                } else {
+                    WalOp::Delete((0..n as u32).collect())
+                }
+            })
+            .collect();
+        let payload_len = |op: &WalOp| -> u64 {
+            match op {
+                WalOp::Insert(vs) => 1 + 4 + 4 + (vs.len() * vs.dim() * 4) as u64,
+                WalOp::Delete(ids) => 1 + 4 + ids.len() as u64 * 4,
+            }
+        };
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("wknng-proptest-torn-{}-{seed:016x}.log", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let mut wal = WalWriter::create(&path, FsyncPolicy::Never).unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            prop_assert_eq!(wal.append(op).unwrap(), i as u64);
+        }
+        drop(wal);
+
+        // Cut the file at an arbitrary byte at or past the header.
+        let full = std::fs::read(&path).unwrap();
+        let cut = WAL_HEADER_LEN as usize
+            + ((full.len() - WAL_HEADER_LEN as usize) as f64 * cut_frac) as usize;
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        // Expected: the longest whole-frame prefix fitting in `cut` bytes.
+        let mut end = WAL_HEADER_LEN;
+        let mut survivors = 0usize;
+        for op in &ops {
+            let next = end + WAL_FRAME_OVERHEAD + payload_len(op);
+            if next <= cut as u64 {
+                end = next;
+                survivors += 1;
+            } else {
+                break;
+            }
+        }
+
+        let scan = read_wal(&path).unwrap();
+        prop_assert_eq!(scan.records.len(), survivors);
+        prop_assert_eq!(scan.valid_len, end);
+        prop_assert_eq!(scan.torn_bytes, cut as u64 - end);
+        for (i, rec) in scan.records.iter().enumerate() {
+            prop_assert_eq!(rec.seq, i as u64);
+            prop_assert_eq!(&rec.op, &ops[i]);
+        }
+
+        // Reopening repairs the tail and resumes the sequence correctly.
+        let (mut wal, reopened) = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        prop_assert_eq!(reopened.records.len(), survivors);
+        prop_assert_eq!(wal.next_seq(), survivors as u64);
+        let extra = WalOp::Delete(vec![7]);
+        prop_assert_eq!(wal.append(&extra).unwrap(), survivors as u64);
+        drop(wal);
+        let after = read_wal(&path).unwrap();
+        prop_assert_eq!(after.records.len(), survivors + 1);
+        prop_assert_eq!(after.torn_bytes, 0);
+        prop_assert_eq!(&after.records.last().unwrap().op, &extra);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::time::Duration;
 use wknng_core::SearchParams;
 use wknng_simt::{DeviceConfig, FaultPlan};
 
+use crate::durability::DurabilityPolicy;
 use crate::error::ServeError;
 use crate::mutate::MutatePolicy;
 use crate::shed::ShedPolicy;
@@ -82,6 +83,13 @@ pub struct ServeConfig {
     /// single immutable epoch forever. Requires [`Augment::Off`] (the
     /// mutator owns the raw graph) and [`Backend::Native`].
     pub mutate: Option<MutatePolicy>,
+    /// Crash-consistent durability: `Some` journals every acknowledged
+    /// mutation to a write-ahead log under [`DurabilityPolicy::dir`] and
+    /// checkpoints published epochs on a cadence, so
+    /// [`crate::ServeEngine::recover`] can warm-start after a crash.
+    /// Requires [`ServeConfig::mutate`] (the mutator thread owns the log).
+    /// `None` — the default — keeps the engine purely in-memory.
+    pub durability: Option<DurabilityPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +107,7 @@ impl Default for ServeConfig {
             supervisor: SupervisorPolicy::default(),
             chaos: None,
             mutate: None,
+            durability: None,
         }
     }
 }
@@ -129,6 +138,14 @@ impl ServeConfig {
             if matches!(self.backend, Backend::Device(_)) {
                 return Err(ServeError::Config(
                     "mutation requires Backend::Native (device uploads are per-epoch immutable)",
+                ));
+            }
+        }
+        if let Some(durability) = &self.durability {
+            durability.check()?;
+            if self.mutate.is_none() {
+                return Err(ServeError::Config(
+                    "durability requires a MutatePolicy (the mutator thread owns the WAL)",
                 ));
             }
         }
@@ -196,6 +213,29 @@ mod tests {
         let c = ServeConfig {
             mutate: Some(MutatePolicy::default()),
             backend: Backend::Device(wknng_simt::DeviceConfig::test_tiny()),
+            ..ServeConfig::default()
+        };
+        assert!(matches!(c.check(), Err(ServeError::Config(_))));
+    }
+
+    #[test]
+    fn durability_fields_are_validated() {
+        let dir = std::path::PathBuf::from("/tmp/wknng-cfg-test");
+        // Durability without mutation is rejected: there is no mutator
+        // thread to own the WAL.
+        let c =
+            ServeConfig { durability: Some(DurabilityPolicy::at(&dir)), ..ServeConfig::default() };
+        assert!(matches!(c.check(), Err(ServeError::Config(_))));
+        let c = ServeConfig {
+            durability: Some(DurabilityPolicy::at(&dir)),
+            mutate: Some(MutatePolicy::default()),
+            ..ServeConfig::default()
+        };
+        assert!(c.check().is_ok());
+        let bad = DurabilityPolicy { keep_generations: 0, ..DurabilityPolicy::at(&dir) };
+        let c = ServeConfig {
+            durability: Some(bad),
+            mutate: Some(MutatePolicy::default()),
             ..ServeConfig::default()
         };
         assert!(matches!(c.check(), Err(ServeError::Config(_))));

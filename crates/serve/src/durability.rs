@@ -1,0 +1,462 @@
+//! Crash-consistent durability: checkpoint generations, WAL-tail replay,
+//! warm-start recovery, and the `fsck` deep verifier.
+//!
+//! Layout of a data directory (see DESIGN.md "Durability & recovery"):
+//!
+//! ```text
+//! <dir>/wal.log            -- the mutation write-ahead log
+//! <dir>/ckpt-00000000/     -- checkpoint generation 0 (cold start)
+//!     vectors.wkv          -- the epoch's vectors, v2 snapshot format
+//!     graph.wkk            -- the epoch's neighbor lists
+//!     MANIFEST             -- wal position + tombstone bitmap; written LAST
+//! <dir>/ckpt-00000001/     -- generation 1, ...
+//! ```
+//!
+//! A generation is *valid* iff its manifest loads (checksummed) and agrees
+//! with its snapshot files. Because the manifest is written last and
+//! atomically, a crash anywhere inside a checkpoint leaves the generation
+//! invalid and recovery falls back to the previous one — whose WAL tail is
+//! still intact, because the log is pruned only *after* the manifest
+//! rename completes.
+//!
+//! Checkpoints store the epoch **uncompacted** (tombstoned rows keep their
+//! stale coordinates and empty lists), preserving the id space so replayed
+//! `Delete` batches keep meaning the same slots.
+//!
+//! Recovery = newest valid generation + replay of every WAL record with
+//! `seq >= manifest.wal_next_seq` through the same `mutate::apply_op` the
+//! live mutator uses — one code path, so a recovered index is bit-identical
+//! to replay-from-scratch.
+
+use std::path::{Path, PathBuf};
+
+use wknng_core::{audit_graph, GraphExtender, Knng, WknngParams};
+use wknng_data::io::{load_knn, load_vectors, save_knn, save_vectors};
+use wknng_data::{
+    read_wal, CheckpointManifest, CrashPlan, FsyncPolicy, Metric, Neighbor, VectorSet, WalOp,
+    WalWriter,
+};
+
+use crate::epoch::Epoch;
+use crate::error::ServeError;
+use crate::mutate::{apply_op, MutatePolicy, MutationOp};
+
+/// Durability policy of a [`crate::ServeEngine`]: where state lives and how
+/// eagerly it is persisted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityPolicy {
+    /// The data directory (created on cold start).
+    pub dir: PathBuf,
+    /// Fsync-on-commit policy for the WAL.
+    pub fsync: FsyncPolicy,
+    /// Checkpoint after this many published mutation batches; `0` never
+    /// checkpoints automatically (the WAL grows until shutdown).
+    pub checkpoint_every: u64,
+    /// Checkpoint generations to keep (≥ 1). Older generations are removed
+    /// after each successful checkpoint.
+    pub keep_generations: usize,
+    /// Deterministic crash plan, installed on the mutator thread so every
+    /// WAL append and checkpoint write consumes injection points.
+    pub crash: Option<CrashPlan>,
+}
+
+impl DurabilityPolicy {
+    /// A policy rooted at `dir` with the defaults: fsync always, checkpoint
+    /// every 64 batches, keep 2 generations, no crash injection.
+    pub fn at(dir: impl Into<PathBuf>) -> DurabilityPolicy {
+        DurabilityPolicy {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 64,
+            keep_generations: 2,
+            crash: None,
+        }
+    }
+
+    /// Validate the policy fields.
+    pub fn check(&self) -> Result<(), ServeError> {
+        if self.keep_generations == 0 {
+            return Err(ServeError::Config("keep_generations must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// What recovery did, folded into the engine's report and the CLI output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryInfo {
+    /// The checkpoint generation recovery restored from.
+    pub generation: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_ops: u64,
+    /// WAL records skipped because the checkpoint already absorbed them
+    /// (a crash between manifest rename and log prune leaves these behind).
+    pub skipped_ops: u64,
+    /// Torn-tail bytes truncated from the log on open.
+    pub torn_bytes: u64,
+    /// True when the newest generation was corrupt and recovery fell back
+    /// to an older one.
+    pub fell_back: bool,
+    /// Wall-clock milliseconds from recovery start to the recovered epoch
+    /// being ready to publish.
+    pub recovery_ms: u64,
+}
+
+impl std::fmt::Display for RecoveryInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovered generation {}{}: replayed {} ops (skipped {}), torn tail {} bytes, {} ms",
+            self.generation,
+            if self.fell_back { " (fell back)" } else { "" },
+            self.replayed_ops,
+            self.skipped_ops,
+            self.torn_bytes,
+            self.recovery_ms
+        )
+    }
+}
+
+/// Mutator-side durable state, built by cold init or recovery and handed to
+/// the mutator thread.
+pub(crate) struct DurableSeed {
+    pub(crate) wal: WalWriter,
+    pub(crate) dir: PathBuf,
+    pub(crate) checkpoint_every: u64,
+    pub(crate) keep_generations: usize,
+    pub(crate) next_generation: u64,
+    pub(crate) crash: Option<CrashPlan>,
+}
+
+/// The WAL's path inside a data directory.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+fn gen_dir(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("ckpt-{generation:08}"))
+}
+
+/// Checkpoint generations present under `dir`, ascending (valid or not).
+pub fn list_generations(dir: &Path) -> Vec<u64> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut gens: Vec<u64> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().to_str().and_then(|n| n.strip_prefix("ckpt-")?.parse().ok()))
+        .collect();
+    gens.sort_unstable();
+    gens
+}
+
+/// Write one checkpoint generation: vectors, lists, then the manifest —
+/// each atomically, the manifest last so a crash anywhere leaves the
+/// generation invalid rather than half-trusted. Consumes three rename
+/// crash indices (vectors, lists, manifest — in that order).
+pub(crate) fn write_checkpoint(
+    dir: &Path,
+    epoch: &Epoch,
+    generation: u64,
+    wal_next_seq: u64,
+) -> Result<(), ServeError> {
+    let gdir = gen_dir(dir, generation);
+    std::fs::create_dir_all(&gdir).map_err(wknng_data::DataError::from)?;
+    save_vectors(&epoch.vectors, &gdir.join("vectors.wkv"))?;
+    save_knn(&epoch.lists, &gdir.join("graph.wkk"))?;
+    let manifest = CheckpointManifest {
+        generation,
+        epoch_id: epoch.id,
+        wal_next_seq,
+        deleted: epoch.deleted.clone(),
+    };
+    manifest.save(&gdir.join("MANIFEST"))?;
+    Ok(())
+}
+
+/// Load and cross-validate one generation.
+fn load_generation(
+    dir: &Path,
+    generation: u64,
+) -> Result<(CheckpointManifest, VectorSet, Vec<Vec<Neighbor>>), ServeError> {
+    let gdir = gen_dir(dir, generation);
+    let manifest = CheckpointManifest::load(&gdir.join("MANIFEST"))?;
+    let vectors = load_vectors(&gdir.join("vectors.wkv"))?;
+    let lists = load_knn(&gdir.join("graph.wkk"))?;
+    if manifest.generation != generation {
+        return Err(ServeError::Config("checkpoint manifest names a different generation"));
+    }
+    if lists.len() != vectors.len() || manifest.deleted.len() != vectors.len() {
+        return Err(ServeError::ListCountMismatch { lists: lists.len(), points: vectors.len() });
+    }
+    Ok((manifest, vectors, lists))
+}
+
+/// Remove all but the newest `keep` generations.
+pub(crate) fn prune_generations(dir: &Path, keep: usize) -> Result<(), ServeError> {
+    let gens = list_generations(dir);
+    for &g in gens.iter().rev().skip(keep) {
+        std::fs::remove_dir_all(gen_dir(dir, g)).map_err(wknng_data::DataError::from)?;
+    }
+    Ok(())
+}
+
+/// Cold-start a data directory: write generation 0 from the initial epoch
+/// and create a fresh WAL. Refuses a directory that already holds durable
+/// state (warm-start with [`crate::ServeEngine::recover`] instead — cold
+/// init must never silently discard a recoverable index).
+pub(crate) fn cold_init(
+    policy: &DurabilityPolicy,
+    epoch0: &Epoch,
+) -> Result<DurableSeed, ServeError> {
+    std::fs::create_dir_all(&policy.dir).map_err(wknng_data::DataError::from)?;
+    if !list_generations(&policy.dir).is_empty() || wal_path(&policy.dir).exists() {
+        return Err(ServeError::Config(
+            "data dir already holds durable state — warm-start with ServeEngine::recover",
+        ));
+    }
+    write_checkpoint(&policy.dir, epoch0, 0, 0)?;
+    let wal = WalWriter::create(&wal_path(&policy.dir), policy.fsync)?;
+    Ok(DurableSeed {
+        wal,
+        dir: policy.dir.clone(),
+        checkpoint_every: policy.checkpoint_every,
+        keep_generations: policy.keep_generations,
+        next_generation: 1,
+        crash: policy.crash.clone(),
+    })
+}
+
+/// Rebuild a [`GraphExtender`] from checkpoint parts, re-marking the
+/// manifest's tombstones (the mirror of `mutate::restore`, from disk
+/// instead of a published epoch).
+fn extender_from(
+    vectors: VectorSet,
+    lists: Vec<Vec<Neighbor>>,
+    deleted: &[bool],
+    metric: Metric,
+    beam: usize,
+    fallback_k: usize,
+) -> Result<GraphExtender, ServeError> {
+    let graph_k = lists.iter().map(Vec::len).max().filter(|&k| k > 0).unwrap_or(fallback_k);
+    let graph =
+        Knng { lists, params: WknngParams { k: graph_k, metric, ..WknngParams::default() } };
+    let mut ext = GraphExtender::from_parts(vectors, graph, beam)?;
+    let tombstones: Vec<u32> =
+        deleted.iter().enumerate().filter_map(|(i, &d)| d.then_some(i as u32)).collect();
+    if !tombstones.is_empty() {
+        ext.delete_batch(&tombstones)?;
+    }
+    Ok(ext)
+}
+
+/// Everything [`recover`] produces: the epoch to publish, the reopened WAL
+/// (torn tail repaired, positioned to append), and the recovery counters.
+pub(crate) struct Recovered {
+    pub(crate) epoch: Epoch,
+    pub(crate) wal: WalWriter,
+    pub(crate) generation: u64,
+    pub(crate) info: RecoveryInfo,
+}
+
+/// Warm-start from a data directory: load the newest valid checkpoint
+/// (falling back generation by generation past corrupt ones), replay the
+/// surviving WAL tail through the live mutator's own `apply_op`, and hand
+/// back the recovered epoch. `recovery_ms` is left 0 for the caller to
+/// stamp (it owns the clock that includes engine spawn).
+pub(crate) fn recover(
+    policy: &DurabilityPolicy,
+    mutate: &MutatePolicy,
+    metric: Metric,
+    fallback_k: usize,
+) -> Result<Recovered, ServeError> {
+    let gens = list_generations(&policy.dir);
+    if gens.is_empty() {
+        return Err(ServeError::Config("data dir holds no checkpoint generation"));
+    }
+    let mut loaded = None;
+    let mut fell_back = false;
+    let mut last_err = ServeError::Config("data dir holds no checkpoint generation");
+    for (i, &g) in gens.iter().rev().enumerate() {
+        match load_generation(&policy.dir, g) {
+            Ok(parts) => {
+                fell_back = i > 0;
+                loaded = Some((g, parts));
+                break;
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    let Some((generation, (manifest, vectors, lists))) = loaded else {
+        return Err(last_err);
+    };
+    // Open (and physically repair) the WAL before replay; a missing log
+    // with a valid checkpoint is unrecoverable ambiguity, not a torn tail.
+    let (mut wal, scan) = WalWriter::open(&wal_path(&policy.dir), policy.fsync)?;
+    // A fully pruned log carries no numbering of its own: resume from the
+    // manifest's position so fresh appends never reuse a covered sequence.
+    wal.resume_from(manifest.wal_next_seq);
+    let mut ext =
+        extender_from(vectors, lists, &manifest.deleted, metric, mutate.beam, fallback_k)?;
+    let mut replayed = 0u64;
+    let mut skipped = 0u64;
+    for rec in &scan.records {
+        if rec.seq < manifest.wal_next_seq {
+            skipped += 1; // already absorbed by the checkpoint
+            continue;
+        }
+        let op = match &rec.op {
+            WalOp::Insert(vs) => MutationOp::Insert(vs.clone()),
+            WalOp::Delete(ids) => MutationOp::Delete(ids.clone()),
+        };
+        apply_op(&mut ext, &op, mutate)?;
+        replayed += 1;
+    }
+    let epoch = Epoch {
+        id: 0,
+        vectors: ext.vectors().clone(),
+        lists: ext.graph().lists,
+        deleted: ext.deleted_flags().to_vec(),
+        deleted_count: ext.deleted_count(),
+    };
+    Ok(Recovered {
+        epoch,
+        wal,
+        generation,
+        info: RecoveryInfo {
+            generation,
+            replayed_ops: replayed,
+            skipped_ops: skipped,
+            torn_bytes: scan.torn_bytes,
+            fell_back,
+            recovery_ms: 0,
+        },
+    })
+}
+
+/// Checkpoint the just-published epoch from the mutator thread: write the
+/// next generation, then prune the WAL prefix it absorbed and any excess
+/// old generations. Crash-ordering: the generation is sealed by its
+/// manifest rename; the WAL is pruned only after, so a crash between the
+/// two merely leaves covered records that replay skips.
+pub(crate) fn checkpoint(seed: &mut DurableSeed, epoch: &Epoch) -> Result<(), ServeError> {
+    let generation = seed.next_generation;
+    let wal_next_seq = seed.wal.next_seq();
+    write_checkpoint(&seed.dir, epoch, generation, wal_next_seq)?;
+    seed.next_generation += 1;
+    seed.wal.prune(wal_next_seq)?;
+    prune_generations(&seed.dir, seed.keep_generations)?;
+    Ok(())
+}
+
+/// What `wknng fsck` found.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Every problem found; empty means the directory is consistent.
+    pub findings: Vec<String>,
+    /// Checkpoint generations present.
+    pub generations: Vec<u64>,
+    /// The newest generation whose manifest + snapshots verified.
+    pub valid_generation: Option<u64>,
+    /// Valid records in the WAL.
+    pub wal_records: usize,
+}
+
+impl FsckReport {
+    /// True when no finding was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl std::fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fsck: {} generation(s), newest valid {}, {} wal record(s): {}",
+            self.generations.len(),
+            self.valid_generation.map_or("none".to_string(), |g| g.to_string()),
+            self.wal_records,
+            if self.is_clean() { "clean" } else { "CORRUPT" }
+        )?;
+        for finding in &self.findings {
+            write!(f, "\n  - {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Deep-verify a data directory: every generation's manifest checksum,
+/// snapshot integrity, shape agreement, tombstone discipline, and graph
+/// slot audit; then the WAL's record checksums, sequence continuity, and
+/// its continuity with the newest valid manifest. Never panics, never
+/// errors on corruption — everything wrong becomes a finding.
+pub fn fsck(dir: &Path) -> FsckReport {
+    let mut report = FsckReport::default();
+    if !dir.is_dir() {
+        report.findings.push(format!("data dir {} does not exist", dir.display()));
+        return report;
+    }
+    report.generations = list_generations(dir);
+    if report.generations.is_empty() {
+        report.findings.push("no checkpoint generation present".into());
+    }
+    let mut newest_manifest: Option<CheckpointManifest> = None;
+    for &g in report.generations.iter().rev() {
+        match load_generation(dir, g) {
+            Err(e) => report.findings.push(format!("generation {g}: {e}")),
+            Ok((manifest, vectors, lists)) => {
+                let mut ok = true;
+                let deleted_count = manifest.deleted.iter().filter(|&&d| d).count();
+                for (i, list) in lists.iter().enumerate() {
+                    if manifest.deleted[i] && !list.is_empty() {
+                        report
+                            .findings
+                            .push(format!("generation {g}: tombstoned slot {i} has edges"));
+                        ok = false;
+                        break;
+                    }
+                }
+                let graph_k = lists.iter().map(Vec::len).max().unwrap_or(0).max(1);
+                let audit = audit_graph(&lists, vectors.len(), graph_k);
+                if audit.corruption_count() > 0 {
+                    report.findings.push(format!(
+                        "generation {g}: graph slot audit found {} corruption(s)",
+                        audit.corruption_count()
+                    ));
+                    ok = false;
+                }
+                if deleted_count == vectors.len() && !lists.is_empty() {
+                    report.findings.push(format!("generation {g}: every slot is tombstoned"));
+                    ok = false;
+                }
+                if ok && newest_manifest.is_none() {
+                    report.valid_generation = Some(g);
+                    newest_manifest = Some(manifest);
+                }
+            }
+        }
+    }
+    let wal = wal_path(dir);
+    match read_wal(&wal) {
+        Err(e) => report.findings.push(format!("wal: {e}")),
+        Ok(scan) => {
+            report.wal_records = scan.records.len();
+            if scan.torn_bytes > 0 {
+                report
+                    .findings
+                    .push(format!("wal: torn tail of {} byte(s) past seq", scan.torn_bytes));
+            }
+            if let (Some(manifest), Some(first)) = (&newest_manifest, scan.records.first()) {
+                if first.seq > manifest.wal_next_seq {
+                    report.findings.push(format!(
+                        "wal: starts at seq {} but the newest checkpoint only covers \
+                         through seq {} — records were lost",
+                        first.seq, manifest.wal_next_seq
+                    ));
+                }
+            }
+        }
+    }
+    report
+}

@@ -45,6 +45,7 @@ use wknng_data::{Metric, Neighbor, VectorSet};
 use wknng_simt::{FaultPlan, ServeFault};
 
 use crate::config::{Augment, Backend, ServeConfig};
+use crate::durability::{self, DurableSeed, RecoveryInfo};
 use crate::epoch::{Epoch, EpochHandle};
 use crate::error::ServeError;
 use crate::histogram::LatencyHistogram;
@@ -234,28 +235,80 @@ pub struct ServeEngine {
     workers: Vec<JoinHandle<ShardStats>>,
     mutator: Option<(mpsc::Sender<MutationJob>, JoinHandle<MutatorStats>)>,
     started: Instant,
+    recovery: Option<RecoveryInfo>,
 }
 
 impl ServeEngine {
     /// Validate the configuration against the index, apply the augmentation
     /// policy, publish epoch 0, and spawn the shard workers (plus the
     /// mutator thread when mutation is enabled).
+    ///
+    /// With a [`crate::DurabilityPolicy`] configured, this is the *cold*
+    /// start: the data directory is initialized with checkpoint generation
+    /// 0 and a fresh WAL, and refuses a directory that already holds
+    /// durable state — warm-start that with [`ServeEngine::recover`].
     pub fn start(index: ServeIndex, cfg: ServeConfig) -> Result<ServeEngine, ServeError> {
         cfg.check()?;
-        let params = cfg.params.validated(index.vectors.len())?;
-        if matches!(cfg.backend, Backend::Device(_)) && params.metric != Metric::SquaredL2 {
-            return Err(ServeError::Search(KnngError::UnsupportedDeviceMetric(params.metric)));
-        }
         let lists = match cfg.augment {
             Augment::Off => index.lists,
             Augment::On { max_degree } => augment_reverse(&index.lists, max_degree),
         };
+        let epoch0 = Epoch::initial(index.vectors, lists);
+        let durable = match &cfg.durability {
+            None => None,
+            Some(policy) => Some(durability::cold_init(policy, &epoch0)?),
+        };
+        ServeEngine::boot(epoch0, cfg, durable, None)
+    }
+
+    /// Warm-start from [`crate::DurabilityPolicy::dir`]: load the newest
+    /// valid checkpoint generation (falling back past corrupt ones),
+    /// replay the surviving WAL tail through the mutator's own apply path,
+    /// publish the recovered index as epoch 0, and start serving. Returns
+    /// the engine and what recovery did.
+    pub fn recover(cfg: ServeConfig) -> Result<(ServeEngine, RecoveryInfo), ServeError> {
+        cfg.check()?;
+        let Some(policy) = cfg.durability.clone() else {
+            return Err(ServeError::Config("recover requires a durability policy (data dir)"));
+        };
+        let mutate =
+            cfg.mutate.clone().ok_or(ServeError::Config("durability requires a mutate policy"))?;
+        let t0 = Instant::now();
+        let rec = durability::recover(&policy, &mutate, cfg.params.metric, cfg.params.k)?;
+        let durable = DurableSeed {
+            wal: rec.wal,
+            dir: policy.dir.clone(),
+            checkpoint_every: policy.checkpoint_every,
+            keep_generations: policy.keep_generations,
+            next_generation: rec.generation + 1,
+            crash: policy.crash.clone(),
+        };
+        let mut info = rec.info;
+        info.recovery_ms = t0.elapsed().as_millis() as u64;
+        let engine = ServeEngine::boot(rec.epoch, cfg, Some(durable), Some(info.clone()))?;
+        Ok((engine, info))
+    }
+
+    /// Common spawn path behind [`ServeEngine::start`] and
+    /// [`ServeEngine::recover`]: validate params against the epoch, publish
+    /// it, and bring up workers and (optionally durable) mutator.
+    fn boot(
+        epoch0: Epoch,
+        cfg: ServeConfig,
+        durable: Option<DurableSeed>,
+        recovery: Option<RecoveryInfo>,
+    ) -> Result<ServeEngine, ServeError> {
+        let params = cfg.params.validated(epoch0.vectors.len())?;
+        if matches!(cfg.backend, Backend::Device(_)) && params.metric != Metric::SquaredL2 {
+            return Err(ServeError::Search(KnngError::UnsupportedDeviceMetric(params.metric)));
+        }
         // The graph's own k (bounded-list capacity) for the mutator, taken
         // from the widest list actually built; empty indexes fall back to
         // the query k.
-        let graph_k = lists.iter().map(Vec::len).max().filter(|&k| k > 0).unwrap_or(params.k);
-        let dim = index.vectors.dim();
-        let epochs = Arc::new(EpochHandle::new(Epoch::initial(index.vectors, lists)));
+        let graph_k =
+            epoch0.lists.iter().map(Vec::len).max().filter(|&k| k > 0).unwrap_or(params.k);
+        let dim = epoch0.vectors.dim();
+        let epochs = Arc::new(EpochHandle::new(epoch0));
         let chaos = cfg
             .chaos
             .filter(|p| p.has_serve_faults() || p.has_swap_faults())
@@ -287,6 +340,7 @@ impl ServeEngine {
                         ..WknngParams::default()
                     },
                     chaos,
+                    durable,
                 };
                 let (tx, rx) = channel_labeled("mutator-jobs");
                 let handle = thread::Builder::new()
@@ -305,7 +359,13 @@ impl ServeEngine {
                     .expect("spawn shard")
             })
             .collect();
-        Ok(ServeEngine { shared, workers, mutator: mutator_handle, started: Instant::now() })
+        Ok(ServeEngine {
+            shared,
+            workers,
+            mutator: mutator_handle,
+            started: Instant::now(),
+            recovery,
+        })
     }
 
     /// Dimensionality queries must have.
@@ -485,6 +545,11 @@ impl ServeEngine {
                 .as_ref()
                 .and_then(|m| m.pause.percentile(99.0))
                 .map_or(0, |ns| ns / 1_000),
+            wal_appends: mstats.as_ref().map_or(0, |m| m.wal_appends),
+            wal_bytes: mstats.as_ref().map_or(0, |m| m.wal_bytes),
+            checkpoints: mstats.as_ref().map_or(0, |m| m.checkpoints),
+            recovery_replayed_ops: self.recovery.as_ref().map_or(0, |r| r.replayed_ops),
+            recovery_ms: self.recovery.as_ref().map_or(0, |r| r.recovery_ms),
         }
     }
 }

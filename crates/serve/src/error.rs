@@ -60,6 +60,11 @@ pub enum ServeError {
     /// publish validation rejected the candidate index, or the mutator
     /// thread was lost. The live epoch is untouched; the caller may retry.
     MutationFailed(&'static str),
+    /// Writing a mutation's write-ahead-log record failed. The mutation was
+    /// **not** applied (never acknowledged, never published) and the mutator
+    /// halts rather than continue un-journaled — the durable state on disk
+    /// stays a true prefix of the acknowledged history.
+    WalFailed(DataError),
     /// A malformed [`crate::ServeConfig`] field.
     Config(&'static str),
     /// Invalid search parameters, metric, or query shape (typed, from the
@@ -94,6 +99,9 @@ impl fmt::Display for ServeError {
                 write!(f, "mutations are disabled: the engine was started without a MutatePolicy")
             }
             ServeError::MutationFailed(why) => write!(f, "mutation failed: {why}"),
+            ServeError::WalFailed(e) => {
+                write!(f, "write-ahead log failure (mutation not applied, mutator halted): {e}")
+            }
             ServeError::Config(what) => write!(f, "invalid serve config: {what}"),
             ServeError::Search(e) => write!(f, "search error: {e}"),
             ServeError::Io(e) => write!(f, "index load error: {e}"),
@@ -137,6 +145,9 @@ mod tests {
         assert!(ServeError::MutationsDisabled.to_string().contains("MutatePolicy"));
         let e = ServeError::MutationFailed("mutator panicked during rebuild");
         assert!(e.to_string().contains("panicked"), "{e}");
+        let e = ServeError::WalFailed(DataError::ZeroDimension);
+        assert!(e.to_string().contains("write-ahead log"), "{e}");
+        assert!(e.to_string().contains("not applied"), "{e}");
         let e: ServeError = KnngError::ZeroK.into();
         assert!(matches!(e, ServeError::Search(_)));
         let e: ServeError = DataError::ZeroDimension.into();

@@ -28,9 +28,10 @@ use wknng_sync::mpsc::{self, RecvTimeoutError};
 use wknng_sync::{thread, Arc};
 
 use wknng_core::{audit_graph, GraphExtender, Knng, WknngParams};
-use wknng_data::{Neighbor, VectorSet};
+use wknng_data::{CrashScope, Neighbor, VectorSet, WalOp};
 use wknng_simt::SwapFault;
 
+use crate::durability::{checkpoint, DurableSeed};
 use crate::engine::DEADLINE_GRACE;
 use crate::epoch::{Epoch, EpochHandle};
 use crate::error::ServeError;
@@ -149,6 +150,12 @@ pub(crate) struct MutatorStats {
     pub(crate) swaps_refused: u64,
     /// Publish critical-section durations, recorded in nanoseconds.
     pub(crate) pause: LatencyHistogram,
+    /// WAL records appended (acknowledged batches on a durable engine).
+    pub(crate) wal_appends: u64,
+    /// WAL frame bytes appended.
+    pub(crate) wal_bytes: u64,
+    /// Checkpoint generations written by this mutator.
+    pub(crate) checkpoints: u64,
 }
 
 /// Everything the mutator thread needs, threaded through one struct so the
@@ -158,6 +165,7 @@ pub(crate) struct MutatorSeed {
     pub(crate) policy: MutatePolicy,
     pub(crate) params: WknngParams,
     pub(crate) chaos: Option<Arc<crate::engine::Chaos>>,
+    pub(crate) durable: Option<DurableSeed>,
 }
 
 /// Rebuild a [`GraphExtender`] from a published epoch — the recovery path
@@ -176,6 +184,42 @@ fn restore(epoch: &Epoch, params: WknngParams, beam: usize) -> GraphExtender {
     ext
 }
 
+/// Apply one mutation batch to an extender under a policy — THE definition
+/// of what a batch does, shared verbatim by the live mutator's rebuild
+/// phase and by WAL replay during recovery, so a recovered index is
+/// bit-identical to the one the mutator had (the extender itself is fully
+/// deterministic — no RNG anywhere in insert/refine/delete/compact).
+/// Returns `(applied, compacted)`.
+pub(crate) fn apply_op(
+    ext: &mut GraphExtender,
+    op: &MutationOp,
+    policy: &MutatePolicy,
+) -> Result<(usize, bool), ServeError> {
+    let applied = match op {
+        MutationOp::Insert(points) => {
+            let ids = ext.insert_batch(points)?;
+            if policy.refine_rounds > 0 {
+                ext.refine(policy.refine_rounds);
+            }
+            ids.len()
+        }
+        MutationOp::Delete(ids) => ext.delete_batch(ids)?,
+    };
+    let compacted = ext.tombstone_fraction() > policy.compact_threshold;
+    if compacted {
+        ext.compact();
+    }
+    Ok((applied, compacted))
+}
+
+/// The WAL image of a mutation batch.
+pub(crate) fn to_wal_op(op: &MutationOp) -> WalOp {
+    match op {
+        MutationOp::Insert(points) => WalOp::Insert(points.clone()),
+        MutationOp::Delete(ids) => WalOp::Delete(ids.clone()),
+    }
+}
+
 /// Corrupt a candidate snapshot the way [`SwapFault::PoisonPublish`] models
 /// — a torn write between rebuild and publish. Points the first non-empty
 /// list at an out-of-range id, which the validation audit classifies as
@@ -188,12 +232,28 @@ fn poison(lists: &mut [Vec<Neighbor>]) {
 
 /// The mutator thread body: drain mutation jobs until the engine drops the
 /// sender, publishing one epoch per successful batch.
-pub(crate) fn mutator(seed: MutatorSeed, rx: mpsc::Receiver<MutationJob>) -> MutatorStats {
+///
+/// On a durable engine the batch is journaled *between* validation and
+/// publish: rebuild → audit → WAL append (fsynced per policy) → publish →
+/// acknowledge → maybe checkpoint. An acknowledgement therefore implies
+/// the record is durable; a WAL failure refuses the batch with a typed
+/// [`ServeError::WalFailed`] and halts the mutator the way a dead process
+/// halts (remaining queued jobs are answered by their drop guards).
+pub(crate) fn mutator(mut seed: MutatorSeed, rx: mpsc::Receiver<MutationJob>) -> MutatorStats {
     let mut stats = MutatorStats::default();
+    // The crash plan arms on this thread: every WAL append and checkpoint
+    // write below consumes injection points from the one shared schedule.
+    let _crash_scope = seed
+        .durable
+        .as_mut()
+        .and_then(|d| d.crash.take())
+        .filter(|plan| !plan.is_empty())
+        .map(CrashScope::install);
     let first = seed.epochs.pin();
     let mut ext = restore(&first, seed.params, seed.policy.beam);
     drop(first);
     let mut next_swap: u64 = 0;
+    let mut since_checkpoint: u64 = 0;
     while let Ok(job) = rx.recv() {
         // Under the model checker an aborting run must be able to unwind
         // through this loop even though the rebuild phase catches panics.
@@ -214,21 +274,7 @@ pub(crate) fn mutator(seed: MutatorSeed, rx: mpsc::Receiver<MutationJob>) -> Mut
                 Some(SwapFault::StallRebuild(d)) => thread::sleep(d),
                 _ => {}
             }
-            let applied = match &job.op {
-                MutationOp::Insert(points) => {
-                    let ids = ext.insert_batch(points)?;
-                    if seed.policy.refine_rounds > 0 {
-                        ext.refine(seed.policy.refine_rounds);
-                    }
-                    ids.len()
-                }
-                MutationOp::Delete(ids) => ext.delete_batch(ids)?,
-            };
-            let compacted = ext.tombstone_fraction() > seed.policy.compact_threshold;
-            if compacted {
-                ext.compact();
-            }
-            Ok::<(usize, bool), ServeError>((applied, compacted))
+            apply_op(&mut ext, &job.op, &seed.policy)
         }));
         let (applied, compacted) = match rebuilt {
             Ok(Ok(ok)) => ok,
@@ -266,7 +312,21 @@ pub(crate) fn mutator(seed: MutatorSeed, rx: mpsc::Receiver<MutationJob>) -> Mut
             )));
             continue;
         }
-        // Phase 3: publish atomically.
+        // Phase 3: journal. The batch is validated but not yet visible;
+        // once the WAL append returns, the mutation is durable and the
+        // acknowledgement below is honest. A failed append (injected crash
+        // or real I/O death) refuses the batch and halts — the in-memory
+        // apply is discarded with the thread, never silently kept.
+        if let Some(durable) = seed.durable.as_mut() {
+            if let Err(e) = durable.wal.append(&to_wal_op(&job.op)) {
+                stats.swaps_refused += 1;
+                job.respond(Err(ServeError::WalFailed(e)));
+                break;
+            }
+            stats.wal_appends = durable.wal.appends();
+            stats.wal_bytes = durable.wal.bytes_appended();
+        }
+        // Phase 4: publish atomically, then acknowledge.
         let epoch = Epoch {
             id: seed.epochs.next_id(),
             vectors: ext.vectors().clone(),
@@ -275,11 +335,27 @@ pub(crate) fn mutator(seed: MutatorSeed, rx: mpsc::Receiver<MutationJob>) -> Mut
             deleted_count: ext.deleted_count(),
         };
         let id = epoch.id;
-        let (_arc, pause) = seed.epochs.publish(epoch);
+        let (published, pause) = seed.epochs.publish(epoch);
         stats.pause.record(pause.as_nanos() as u64);
         stats.swaps += 1;
         stats.mutations_applied += applied as u64;
         job.respond(Ok(MutationOutcome { epoch: id, applied, compacted }));
+        // Phase 5: checkpoint on cadence. The ack already happened — the
+        // op is safe in the WAL whatever the checkpoint does. A crash here
+        // halts the mutator; recovery falls back to the last sealed
+        // generation plus the intact log.
+        if let Some(durable) = seed.durable.as_mut() {
+            since_checkpoint += 1;
+            if durable.checkpoint_every > 0 && since_checkpoint >= durable.checkpoint_every {
+                match checkpoint(durable, &published) {
+                    Ok(()) => {
+                        stats.checkpoints += 1;
+                        since_checkpoint = 0;
+                    }
+                    Err(_dead) => break,
+                }
+            }
+        }
     }
     stats
 }

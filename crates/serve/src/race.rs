@@ -97,6 +97,7 @@ pub fn mutator_protocol() -> ExploreReport {
             policy: MutatePolicy { refine_rounds: 0, beam: 0, compact_threshold: 0.9 },
             params: WknngParams { k: 2, ..WknngParams::default() },
             chaos: None,
+            durable: None,
         };
         let (jobs, jobs_rx) = channel_labeled::<MutationJob>("mutator-jobs");
         let worker = thread::Builder::new()

@@ -57,6 +57,17 @@ pub struct ServeReport {
     /// p99 of the publish critical-section pause, in microseconds — the
     /// only instant a swap can hold readers behind the epoch lock.
     pub swap_p99_pause_us: u64,
+    /// Mutation records appended to the write-ahead log (0 without a
+    /// [`crate::DurabilityPolicy`]).
+    pub wal_appends: u64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Checkpoints written by the mutator's cadence during this run.
+    pub checkpoints: u64,
+    /// WAL records replayed by warm-start recovery (0 on a cold start).
+    pub recovery_replayed_ops: u64,
+    /// Wall time warm-start recovery took, in milliseconds.
+    pub recovery_ms: u64,
 }
 
 impl ServeReport {
@@ -98,10 +109,19 @@ impl fmt::Display for ServeReport {
             "resilience: shed {} / deadline expired {} / worker restarts {} / brownout batches {}",
             self.shed, self.deadline_expired, self.worker_restarts, self.brownout_batches
         )?;
-        write!(
+        writeln!(
             f,
             "mutation: epoch {} / applied {} / swaps {} / swap p99 pause {} us",
             self.epoch, self.mutations_applied, self.swaps, self.swap_p99_pause_us
+        )?;
+        write!(
+            f,
+            "durability: wal appends {} / wal bytes {} / checkpoints {} / recovered {} ops in {} ms",
+            self.wal_appends,
+            self.wal_bytes,
+            self.checkpoints,
+            self.recovery_replayed_ops,
+            self.recovery_ms
         )
     }
 }
@@ -138,6 +158,11 @@ mod tests {
             mutations_applied: 120,
             swaps: 3,
             swap_p99_pause_us: 42,
+            wal_appends: 7,
+            wal_bytes: 9001,
+            checkpoints: 2,
+            recovery_replayed_ops: 6,
+            recovery_ms: 11,
         };
         let s = r.to_string();
         assert!(s.contains("served 3"), "{s}");
@@ -152,6 +177,10 @@ mod tests {
         assert!(s.contains("applied 120"), "{s}");
         assert!(s.contains("swaps 3"), "{s}");
         assert!(s.contains("swap p99 pause 42 us"), "{s}");
+        assert!(s.contains("wal appends 7"), "{s}");
+        assert!(s.contains("wal bytes 9001"), "{s}");
+        assert!(s.contains("checkpoints 2"), "{s}");
+        assert!(s.contains("recovered 6 ops in 11 ms"), "{s}");
         assert!(r.latency_p(50.0) >= Duration::from_micros(900));
     }
 }

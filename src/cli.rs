@@ -327,19 +327,38 @@ pub fn cmd_audit(args: &Args) -> Result<String, String> {
 /// to its live points — through the checksummed v2 writers as `<base>.wkv`
 /// and `<base>.wkk`, so a post-mutation index can be served again or fed
 /// to `recall`/`audit`.
+///
+/// `--data-dir <dir>` makes the engine durable (implies `--mutate`): every
+/// acknowledged mutation is journaled to a write-ahead log before its
+/// ticket resolves, and published epochs are checkpointed every
+/// `--checkpoint-every` batches (`--fsync always|never`,
+/// `--keep-checkpoints N`). A directory that already holds durable state
+/// *warm-starts* — `--input`/`--graph` are then optional, the index comes
+/// from the newest valid checkpoint plus WAL replay. `--crash <spec>`
+/// (e.g. `pre-fsync@2,torn@5:9,rename@0`) arms deterministic crash
+/// injection on the mutator thread for recovery drills.
 pub fn cmd_serve(args: &Args) -> Result<String, String> {
-    let input = args.require("input")?;
-    let graph_path = args.require("graph")?;
     let queries_path = args.require("queries")?;
-    let index =
-        ServeIndex::load(Path::new(input), Path::new(graph_path)).map_err(|e| e.to_string())?;
+    let data_dir = args.get_opt::<String>("data-dir")?;
+    // A data dir that already holds checkpoints warm-starts; a fresh (or
+    // absent) one is a cold start and needs the index files.
+    let warm = data_dir.as_deref().is_some_and(|d| !list_generations(Path::new(d)).is_empty());
+    let index = if warm {
+        None
+    } else {
+        let input = args.require("input")?;
+        let graph_path = args.require("graph")?;
+        Some(ServeIndex::load(Path::new(input), Path::new(graph_path)).map_err(|e| e.to_string())?)
+    };
     let queries = io::load_vectors(Path::new(queries_path)).map_err(|e| e.to_string())?;
-    if queries.dim() != index.vectors.dim() {
-        return Err(format!(
-            "queries are {}-dimensional, index is {}-dimensional",
-            queries.dim(),
-            index.vectors.dim()
-        ));
+    if let Some(index) = &index {
+        if queries.dim() != index.vectors.dim() {
+            return Err(format!(
+                "queries are {}-dimensional, index is {}-dimensional",
+                queries.dim(),
+                index.vectors.dim()
+            ));
+        }
     }
     let device: String = args.get("device", "native".to_string())?;
     let backend = match device.as_str() {
@@ -352,7 +371,28 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         Some(spec) => Some(FaultPlan::parse_serve(&spec).map_err(|e| format!("--chaos: {e}"))?),
     };
     let chaos_armed = chaos.is_some();
-    let mutate_on = args.get("mutate", false)?;
+    let durability = match &data_dir {
+        None => None,
+        Some(d) => {
+            let fsync_name: String = args.get("fsync", "always".to_string())?;
+            let fsync = FsyncPolicy::parse(&fsync_name).map_err(|e| format!("--fsync: {e}"))?;
+            let crash = match args.get_opt::<String>("crash")? {
+                None => None,
+                Some(spec) => Some(CrashPlan::parse(&spec).map_err(|e| format!("--crash: {e}"))?),
+            };
+            Some(DurabilityPolicy {
+                fsync,
+                checkpoint_every: args.get("checkpoint-every", 64u64)?,
+                keep_generations: args.get("keep-checkpoints", 2usize)?,
+                crash,
+                ..DurabilityPolicy::at(Path::new(d))
+            })
+        }
+    };
+    let crash_armed = durability.as_ref().is_some_and(|d| d.crash.is_some());
+    // A durable engine needs the mutator thread (it owns the WAL), so
+    // --data-dir implies --mutate.
+    let mutate_on = args.get("mutate", false)? || durability.is_some();
     let inserts = match args.get_opt::<String>("insert")? {
         None => None,
         Some(p) => {
@@ -394,8 +434,22 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         supervisor: SupervisorPolicy::default(),
         chaos,
         mutate: mutate_on.then(|| MutatePolicy { refine_rounds, ..MutatePolicy::default() }),
+        durability,
     };
-    let engine = ServeEngine::start(index, cfg).map_err(|e| e.to_string())?;
+    let (engine, recovery) = match index {
+        Some(index) => (ServeEngine::start(index, cfg).map_err(|e| e.to_string())?, None),
+        None => {
+            let (engine, info) = ServeEngine::recover(cfg).map_err(|e| e.to_string())?;
+            (engine, Some(info))
+        }
+    };
+    if queries.dim() != engine.dim() {
+        return Err(format!(
+            "queries are {}-dimensional, index is {}-dimensional",
+            queries.dim(),
+            engine.dim()
+        ));
+    }
     let submit = |q: usize, tickets: &mut Vec<Ticket>| -> Result<(), String> {
         loop {
             match engine.submit(queries.row(q).to_vec()) {
@@ -427,8 +481,8 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         for chunk in (0..more.len()).collect::<Vec<_>>().chunks(per.max(1)) {
             let rows: Vec<Vec<f32>> = chunk.iter().map(|&i| more.row(i).to_vec()).collect();
             let batch = VectorSet::from_rows(&rows).map_err(|e| e.to_string())?;
-            inserted += batch.len();
-            mutation_tickets.push(engine.insert(batch).map_err(|e| e.to_string())?);
+            let len = batch.len();
+            mutation_tickets.push((engine.insert(batch).map_err(|e| e.to_string())?, len));
         }
     }
     for q in split..queries.len() {
@@ -445,10 +499,16 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         }
     }
     let mut refused = 0usize;
-    for t in mutation_tickets {
+    for (t, len) in mutation_tickets {
         match t.wait() {
-            Ok(_) => {}
-            Err(ServeError::MutationFailed(_)) if chaos_armed => refused += 1,
+            // Only acknowledged batches count as inserted: under an injected
+            // crash the refused tail was never applied, and the printed count
+            // must match what recovery will serve.
+            Ok(_) => inserted += len,
+            Err(ServeError::MutationFailed(_)) if chaos_armed || crash_armed => refused += 1,
+            // An injected crash kills the mutator mid-journal: the un-acked
+            // batches come back typed, never silently applied.
+            Err(ServeError::WalFailed(_)) if crash_armed => refused += 1,
             Err(e) => return Err(format!("mutation batch failed: {e}")),
         }
     }
@@ -456,7 +516,11 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     // after the engine is gone.
     let last = engine.pin_epoch();
     let report = engine.shutdown();
-    let mut out = format!("replayed {answered} queries ({degraded} degraded)");
+    let mut out = String::new();
+    if let Some(info) = &recovery {
+        out.push_str(&format!("{info}\n"));
+    }
+    out.push_str(&format!("replayed {answered} queries ({degraded} degraded)"));
     if mutate_on {
         out.push_str(&format!(", inserted {inserted} points ({refused} batches refused)"));
     }
@@ -514,6 +578,22 @@ fn epoch_recall(epoch: &crate::serve::Epoch, queries: &VectorSet, params: &Searc
         return 1.0;
     }
     hits as f64 / total as f64
+}
+
+/// `fsck`: deep-verify a durable data directory — every checkpoint
+/// generation's checksums, shapes, and graph-slot invariants, plus the
+/// WAL's torn-tail state and its sequence continuity against the newest
+/// valid manifest. A clean directory prints the report and exits zero; any
+/// finding is an error (nonzero exit), with every finding listed.
+pub fn cmd_fsck(args: &Args) -> Result<String, String> {
+    let dir = args.require("dir")?;
+    let report = fsck(Path::new(dir));
+    let rendered = report.to_string();
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(rendered)
+    }
 }
 
 /// `sanitize`: sweep the four device kernels (basic / atomic / tiled / beam)
@@ -681,7 +761,7 @@ pub fn cmd_race(_args: &Args) -> Result<String, String> {
 ///
 /// Four modes, checked in order:
 ///
-/// * `--list` — print the experiment registry (e1–e20) and the pinned
+/// * `--list` — print the experiment registry (e1–e21) and the pinned
 ///   suite jobs.
 /// * `--only e3,e17 [--quick]` — run registry experiments and print their
 ///   reports (the `reproduce` binary behind one CLI).
@@ -846,6 +926,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         "info" => cmd_info(args),
         "search" => cmd_search(args),
         "serve" => cmd_serve(args),
+        "fsck" => cmd_fsck(args),
         "extend" => cmd_extend(args),
         "audit" => cmd_audit(args),
         "bench" => cmd_bench(args),
@@ -880,6 +961,11 @@ wknng-cli — approximate K-NN graphs from the command line
            [--chaos rebuild-panic@0,rebuild-stall@1:20ms,publish-poison@2]
            [--mutate [--refine 2] [--insert more.wkv] [--assert-recall 0.9]]
            [--snapshot-out base]   (writes base.wkv + base.wkk)
+           [--data-dir dir [--fsync always|never] [--checkpoint-every 64]
+            [--keep-checkpoints 2] [--crash pre-fsync@2,torn@5:9,rename@0]]
+           (--data-dir implies --mutate; a dir with checkpoints warm-starts
+            and makes --input/--graph optional)
+  fsck     --dir dir   (deep-verify a durable data dir; nonzero on findings)
   extend   --input d.wkv --graph g.wkk --new more.wkv
            --out-vectors d2.wkv --out-graph g2.wkk [--beam 0]
   bench    [--profile ci|full|smoke] [--repeats N] [--jobs a,b] [--out p.json]
@@ -1312,12 +1398,13 @@ mod extended_cli_tests {
         let out = dispatch(&args("bench --list")).unwrap();
         for id in [
             "e1",
-            "e20",
+            "e21",
             "build-native",
             "build-native-simd",
             "serve-load",
             "recall-frontier",
             "device-cycles",
+            "recovery-time",
         ] {
             assert!(out.contains(id), "missing {id}: {out}");
         }
@@ -1326,7 +1413,7 @@ mod extended_cli_tests {
         assert!(out.contains("E1"), "{out}");
         let err = dispatch(&args("bench --only e99 --quick")).unwrap_err();
         assert!(err.contains("unknown experiment id 'e99'"), "{err}");
-        assert!(err.contains("e20"), "error must list known ids: {err}");
+        assert!(err.contains("e21"), "error must list known ids: {err}");
     }
 
     #[test]
@@ -1368,6 +1455,64 @@ mod extended_cli_tests {
         for f in [&snap, &bad] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn serve_data_dir_cold_warm_round_trip_and_fsck() {
+        let vecs = tmp("dur.wkv");
+        let graph = tmp("dur.wkk");
+        let queries = tmp("dur-q.wkv");
+        let more = tmp("dur-new.wkv");
+        let dir = tmp("dur-data");
+        std::fs::remove_dir_all(&dir).ok();
+        dispatch(&args(&format!(
+            "generate --out {vecs} --kind manifold --n 250 --dim 16 --intrinsic 3 --seed 48"
+        )))
+        .unwrap();
+        dispatch(&args(&format!("build --input {vecs} --out {graph} --k 8 --trees 6 --leaf 32")))
+            .unwrap();
+        dispatch(&args(&format!(
+            "generate --out {queries} --kind manifold --n 30 --dim 16 --intrinsic 3 --seed 49"
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "generate --out {more} --kind manifold --n 20 --dim 16 --intrinsic 3 --seed 50"
+        )))
+        .unwrap();
+        // Cold start: --data-dir implies --mutate; a cadence of 3 leaves the
+        // 4th insert batch in the WAL tail for the warm start to replay.
+        let out = dispatch(&args(&format!(
+            "serve --input {vecs} --graph {graph} --queries {queries} --k 5 --batch 8 \
+             --insert {more} --data-dir {dir} --checkpoint-every 3"
+        )))
+        .unwrap();
+        assert!(out.contains("inserted 20 points (0 batches refused)"), "{out}");
+        assert!(out.contains("wal appends 4"), "{out}");
+        assert!(out.contains("checkpoints 1"), "{out}");
+        // Warm start: no --input/--graph, the index comes from the data dir.
+        let out =
+            dispatch(&args(&format!("serve --queries {queries} --k 5 --batch 8 --data-dir {dir}")))
+                .unwrap();
+        assert!(out.contains("recovered generation 1"), "{out}");
+        assert!(out.contains("replayed 1 ops"), "{out}");
+        assert!(out.contains("replayed 30 queries"), "{out}");
+        // The post-recovery directory deep-verifies clean.
+        let out = dispatch(&args(&format!("fsck --dir {dir}"))).unwrap();
+        assert!(out.contains("fsck:"), "{out}");
+        // Seeded corruption must be flagged with a nonzero exit: flip one
+        // payload byte in the newest generation's graph snapshot.
+        let gens = crate::serve::list_generations(Path::new(&dir));
+        let victim = format!("{dir}/ckpt-{:08}/graph.wkk", gens.last().unwrap());
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&victim, bytes).unwrap();
+        let err = dispatch(&args(&format!("fsck --dir {dir}"))).unwrap_err();
+        assert!(err.contains("CORRUPT"), "{err}");
+        for f in [&vecs, &graph, &queries, &more] {
+            std::fs::remove_file(f).ok();
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

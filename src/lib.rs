@@ -17,7 +17,7 @@
 //! | [`baseline`] | brute force (+WarpSelect), k-means, IVF-Flat (FAISS stand-in), NN-descent, HNSW |
 //! | [`serve`] | batched query-serving engine: sharding, admission control, latency metrics |
 //! | [`tsne`] | the motivating application: t-SNE over K-NNG affinities |
-//! | [`bench`](mod@bench) | experiment registry (e1–e20) + perf-trajectory orchestrator (`wknng bench`) |
+//! | [`bench`](mod@bench) | experiment registry (e1–e21) + perf-trajectory orchestrator (`wknng bench`) |
 //!
 //! ## Quickstart
 //!
@@ -86,14 +86,16 @@ pub mod prelude {
         SearchParams, SearchStats, ViolationKind, WknngBuilder, WknngParams,
     };
     pub use wknng_data::{
-        exact_knn, kernel, set_kernel_mode, sq_l2, DataError, Dataset, DatasetSpec, DistanceKernel,
-        KernelMode, KernelModeGuard, Metric, Neighbor, PqCodebook, PqParams, VectorSet,
+        exact_knn, kernel, read_wal, set_kernel_mode, sq_l2, CrashPlan, CrashScope, DataError,
+        Dataset, DatasetSpec, DistanceKernel, FsyncPolicy, KernelMode, KernelModeGuard, Metric,
+        Neighbor, PqCodebook, PqParams, VectorSet, WalOp, WalWriter,
     };
     pub use wknng_forest::{build_forest, ForestParams, ProjectionKind, RpForest, TreeParams};
     pub use wknng_serve::{
-        Augment, Backend, Epoch, EpochHandle, MutatePolicy, MutationOp, MutationOutcome,
-        MutationTicket, QueryResult, ServeConfig, ServeEngine, ServeError, ServeIndex, ServeReport,
-        ShedPolicy, SupervisorPolicy, Ticket, DEADLINE_GRACE,
+        fsck, list_generations, wal_path, Augment, Backend, DurabilityPolicy, Epoch, EpochHandle,
+        FsckReport, MutatePolicy, MutationOp, MutationOutcome, MutationTicket, QueryResult,
+        RecoveryInfo, ServeConfig, ServeEngine, ServeError, ServeIndex, ServeReport, ShedPolicy,
+        SupervisorPolicy, Ticket, DEADLINE_GRACE,
     };
     #[cfg(feature = "sanitize")]
     pub use wknng_simt::{launch_sanitized, SanitizerScope};

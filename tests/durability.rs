@@ -1,0 +1,403 @@
+//! Crash-matrix acceptance suite for the durability layer (see DESIGN.md
+//! "Durability & recovery"):
+//!
+//! * after a crash at **every** injected point — kill-before-fsync,
+//!   kill-mid-append, torn-write-at-byte-N, killed checkpoint rename —
+//!   warm-start recovery serves an index **bit-identical** to replaying
+//!   the acknowledged mutation prefix from scratch through the public
+//!   [`GraphExtender`] API (an independent reference, not the recovery
+//!   code path's own output);
+//! * no acknowledged mutation is ever lost, and no unacknowledged mutation
+//!   is ever resurrected;
+//! * nothing hangs: every mutation ticket and recovery call resolves
+//!   within a bounded wait;
+//! * a corrupt newest checkpoint falls back to the previous generation;
+//! * recovery is idempotent (recover twice == recover once) and the
+//!   recovered engine keeps journaling correctly (warm → mutate → warm
+//!   loses nothing);
+//! * `fsck` is clean on every post-recovery directory and flags every
+//!   seeded corruption class.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use wknng::prelude::*;
+
+const DIM: usize = 16;
+const K: usize = 8;
+
+/// Base corpus: 260 points on a 3-manifold plus a deterministically built
+/// 8-NN graph — the cold-start index every scenario begins from.
+fn corpus() -> (VectorSet, Vec<Vec<Neighbor>>) {
+    let vs =
+        DatasetSpec::Manifold { n: 260, ambient_dim: DIM, intrinsic_dim: 3 }.generate(401).vectors;
+    let (g, _) = WknngBuilder::new(K)
+        .trees(4)
+        .leaf_size(24)
+        .exploration(2)
+        .seed(402)
+        .build_native(&vs)
+        .expect("valid build");
+    (vs, g.lists)
+}
+
+/// The deterministic six-batch mutation workload (4 inserts, 2 deletes)
+/// submitted in every scenario. Each WAL append index 0..=5 addresses one
+/// of these.
+fn workload() -> Vec<MutationOp> {
+    let extra =
+        DatasetSpec::Manifold { n: 40, ambient_dim: DIM, intrinsic_dim: 3 }.generate(403).vectors;
+    let chunk = |r: std::ops::Range<usize>| {
+        let rows: Vec<Vec<f32>> = r.map(|i| extra.row(i).to_vec()).collect();
+        VectorSet::from_rows(&rows).unwrap()
+    };
+    vec![
+        MutationOp::Insert(chunk(0..10)),
+        MutationOp::Insert(chunk(10..20)),
+        MutationOp::Delete(vec![3, 7, 11]),
+        MutationOp::Insert(chunk(20..30)),
+        MutationOp::Delete(vec![20, 21, 261]),
+        MutationOp::Insert(chunk(30..40)),
+    ]
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("wknng-durability-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn durable_cfg(dir: &Path, crash: Option<CrashPlan>, checkpoint_every: u64) -> ServeConfig {
+    ServeConfig {
+        mutate: Some(MutatePolicy::default()),
+        durability: Some(DurabilityPolicy { checkpoint_every, crash, ..DurabilityPolicy::at(dir) }),
+        ..ServeConfig::default()
+    }
+}
+
+/// Submit the workload one batch at a time with bounded waits. Returns how
+/// many batches were *acknowledged* (ticket resolved `Ok`) before the
+/// injected crash killed the mutator. A timed-out ticket is a hang — the
+/// one outcome the suite forbids outright.
+fn run_workload(engine: &ServeEngine, ops: &[MutationOp]) -> (usize, bool) {
+    let mut acked = 0;
+    for (i, op) in ops.iter().enumerate() {
+        let ticket = match engine.mutate(op.clone()) {
+            Ok(t) => t,
+            Err(ServeError::MutationFailed(_)) => return (acked, true),
+            Err(e) => panic!("batch {i}: unexpected submit error {e}"),
+        };
+        match ticket.wait_timeout(Duration::from_secs(30)) {
+            Ok(_) => acked += 1,
+            Err(ServeError::DeadlineExceeded) => panic!("batch {i}: mutation ticket hung"),
+            Err(_) => return (acked, true),
+        }
+    }
+    (acked, false)
+}
+
+/// Independent replay-from-scratch reference: apply the acknowledged
+/// prefix through the public extender API with the live mutator's own
+/// policy semantics (refine after insert, compact past the tombstone
+/// threshold). Recovery must reproduce this bit-for-bit.
+fn reference_state(
+    vs: &VectorSet,
+    lists: &[Vec<Neighbor>],
+    ops: &[MutationOp],
+    policy: &MutatePolicy,
+) -> (VectorSet, Vec<Vec<Neighbor>>, Vec<bool>) {
+    let graph_k = lists.iter().map(Vec::len).max().filter(|&k| k > 0).unwrap_or(K);
+    let graph = Knng {
+        lists: lists.to_vec(),
+        params: WknngParams { k: graph_k, metric: Metric::SquaredL2, ..WknngParams::default() },
+    };
+    let mut ext = GraphExtender::from_parts(vs.clone(), graph, policy.beam).unwrap();
+    for op in ops {
+        match op {
+            MutationOp::Insert(points) => {
+                ext.insert_batch(points).unwrap();
+                if policy.refine_rounds > 0 {
+                    ext.refine(policy.refine_rounds);
+                }
+            }
+            MutationOp::Delete(ids) => {
+                ext.delete_batch(ids).unwrap();
+            }
+        }
+        if ext.tombstone_fraction() > policy.compact_threshold {
+            ext.compact();
+        }
+    }
+    (ext.vectors().clone(), ext.graph().lists, ext.deleted_flags().to_vec())
+}
+
+/// Assert the recovered engine's published epoch equals the reference
+/// replay of exactly the acknowledged prefix, and that it actually serves.
+fn assert_recovered_matches(engine: &ServeEngine, acked: usize, label: &str) {
+    let (vs, lists) = corpus();
+    let ops = workload();
+    let (rvs, rlists, rdeleted) =
+        reference_state(&vs, &lists, &ops[..acked], &MutatePolicy::default());
+    let epoch = engine.pin_epoch();
+    assert_eq!(epoch.vectors, rvs, "{label}: recovered vectors differ from replay-from-scratch");
+    assert_eq!(epoch.lists, rlists, "{label}: recovered lists differ from replay-from-scratch");
+    assert_eq!(epoch.deleted, rdeleted, "{label}: recovered tombstones differ");
+    drop(epoch);
+    let res = engine.query(vs.row(5).to_vec()).expect("recovered engine serves");
+    assert_eq!(res.neighbors[0].index, 5, "{label}: self-query must find itself");
+}
+
+/// The tentpole matrix: one scenario per injected crash point, spanning
+/// every `CrashPlan` kind, early and late in the workload, with checkpoint
+/// cadences that put crashes both before and after sealed generations.
+///
+/// Append indices address WAL appends (one per batch); rename indices
+/// address atomic renames on the mutator thread — with `checkpoint_every =
+/// 2`, renames 0..=3 are checkpoint 1 (vectors, graph, manifest, WAL
+/// prune), 4..=7 are checkpoint 2, and so on.
+#[test]
+fn crash_at_every_injected_point_recovers_exactly_the_acked_prefix() {
+    let specs: &[(&str, u64)] = &[
+        // Append crashes: nothing of the dying record survives...
+        ("pre-fsync@0", 2),
+        ("pre-fsync@3", 2),
+        // ...half a frame survives...
+        ("mid-append@1", 2),
+        ("mid-append@5", 2),
+        // ...or an exact byte prefix survives (1 byte, mid-header, and deep
+        // into the payload).
+        ("torn@0:1", 2),
+        ("torn@2:9", 2),
+        ("torn@4:33", 2),
+        // Checkpoint rename crashes: the vectors snapshot, the graph
+        // snapshot, the sealing manifest, and the WAL prune, in both the
+        // first and a later generation.
+        ("rename@0", 2),
+        ("rename@1", 2),
+        ("rename@2", 2),
+        ("rename@3", 2),
+        ("rename@6", 2),
+        // A mid-append crash when no checkpoint ever sealed: recovery is
+        // pure generation-0 + full WAL replay.
+        ("mid-append@4", 0),
+    ];
+    let (vs, lists) = corpus();
+    let ops = workload();
+    for &(spec, cadence) in specs {
+        let label = format!("crash {spec} (checkpoint_every {cadence})");
+        let dir = scratch_dir(&spec.replace(['@', ':'], "-"));
+        let plan = CrashPlan::parse(spec).unwrap();
+        let index = ServeIndex::from_parts(vs.clone(), lists.clone()).unwrap();
+        let engine = ServeEngine::start(index, durable_cfg(&dir, Some(plan), cadence)).unwrap();
+        let (acked, crashed) = run_workload(&engine, &ops);
+        assert!(crashed, "{label}: the injected crash must fire within the workload");
+        assert!(acked < ops.len(), "{label}: a crash must cost at least the dying batch");
+        engine.shutdown();
+
+        // Recovery: bounded, lossless, bit-identical to replay-from-scratch.
+        let (engine, info) = ServeEngine::recover(durable_cfg(&dir, None, cadence)).unwrap();
+        assert_recovered_matches(&engine, acked, &label);
+        // The recovered generation g sealed exactly g * cadence ops; every
+        // acked op past that point must come back through WAL replay (pruned
+        // ops are neither "replayed" nor "skipped" — they live in the
+        // checkpoint itself).
+        let covered = info.generation * cadence;
+        assert_eq!(
+            info.replayed_ops,
+            acked as u64 - covered,
+            "{label}: every acked op past the checkpoint is replayed (generation {})",
+            info.generation
+        );
+        engine.shutdown();
+
+        // The post-recovery directory deep-verifies clean: recovery already
+        // repaired the torn tail and fell back past any dead generation...
+        // except when the crash orphaned a *partial* generation directory,
+        // which fsck rightly reports (recovery ignores it; the next
+        // checkpoint overwrites it).
+        let report = fsck(&dir);
+        let partial_gen_only =
+            report.findings.iter().all(|f| f.contains("generation") && !f.contains("wal"));
+        assert!(
+            report.is_clean() || partial_gen_only,
+            "{label}: unexpected fsck findings: {report}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Recovery is idempotent and a recovered engine keeps journaling: cold →
+/// crash-free run → warm (replay) → more mutations → warm again. The
+/// second recovery must see both the original and the post-recovery
+/// batches — the sequence-numbering handoff across a fully pruned WAL is
+/// exactly what this guards.
+#[test]
+fn recover_twice_equals_recover_once_and_keeps_accepting_mutations() {
+    let (vs, lists) = corpus();
+    let ops = workload();
+    let dir = scratch_dir("idempotent");
+    // Cadence 3: one sealed checkpoint, three ops live only in the WAL.
+    let index = ServeIndex::from_parts(vs.clone(), lists.clone()).unwrap();
+    let engine = ServeEngine::start(index, durable_cfg(&dir, None, 3)).unwrap();
+    let (acked, crashed) = run_workload(&engine, &ops);
+    assert!(!crashed);
+    assert_eq!(acked, ops.len());
+    engine.shutdown();
+
+    // First recovery.
+    let (engine, info1) = ServeEngine::recover(durable_cfg(&dir, None, 3)).unwrap();
+    assert_recovered_matches(&engine, ops.len(), "first recovery");
+    engine.shutdown();
+    // Second recovery from the untouched directory: identical outcome.
+    let (engine, info2) = ServeEngine::recover(durable_cfg(&dir, None, 3)).unwrap();
+    assert_recovered_matches(&engine, ops.len(), "second recovery");
+    assert_eq!(info1.generation, info2.generation);
+    assert_eq!(info1.replayed_ops, info2.replayed_ops);
+    assert_eq!(info1.skipped_ops, info2.skipped_ops);
+
+    // The recovered engine journals further mutations correctly: insert one
+    // more batch, then recover yet again and expect workload + extra.
+    let extra =
+        DatasetSpec::Manifold { n: 6, ambient_dim: DIM, intrinsic_dim: 3 }.generate(404).vectors;
+    engine
+        .insert(extra.clone())
+        .unwrap()
+        .wait_timeout(Duration::from_secs(30))
+        .expect("post-recovery mutation is accepted");
+    engine.shutdown();
+    let (engine, _) = ServeEngine::recover(durable_cfg(&dir, None, 3)).unwrap();
+    let mut all = ops.clone();
+    all.push(MutationOp::Insert(extra));
+    let (rvs, rlists, rdeleted) = reference_state(&vs, &lists, &all, &MutatePolicy::default());
+    let epoch = engine.pin_epoch();
+    assert_eq!(epoch.vectors, rvs, "post-recovery batch survived the third recovery");
+    assert_eq!(epoch.lists, rlists);
+    assert_eq!(epoch.deleted, rdeleted);
+    drop(epoch);
+    engine.shutdown();
+    assert!(fsck(&dir).is_clean(), "{}", fsck(&dir));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A newest generation corrupted on disk (bit rot, not a crash) makes
+/// recovery fall back to the previous sealed generation, flagged in the
+/// `RecoveryInfo` — and `fsck` reports both the dead generation and any
+/// WAL coverage gap instead of calling the directory clean.
+#[test]
+fn corrupt_newest_generation_falls_back_and_fsck_flags_it() {
+    let (vs, lists) = corpus();
+    let ops = workload();
+    let dir = scratch_dir("fallback");
+    let index = ServeIndex::from_parts(vs.clone(), lists.clone()).unwrap();
+    let engine = ServeEngine::start(index, durable_cfg(&dir, None, 2)).unwrap();
+    let (acked, crashed) = run_workload(&engine, &ops);
+    assert!(!crashed);
+    assert_eq!(acked, ops.len());
+    engine.shutdown();
+
+    let gens = list_generations(&dir);
+    assert!(gens.len() >= 2, "want at least two generations, got {gens:?}");
+    let newest = *gens.last().unwrap();
+    let manifest = dir.join(format!("ckpt-{newest:08}/MANIFEST"));
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xA5;
+    std::fs::write(&manifest, &bytes).unwrap();
+
+    // fsck flags the corruption — this directory is NOT clean.
+    let report = fsck(&dir);
+    assert!(!report.is_clean(), "seeded manifest corruption must be flagged");
+    assert!(
+        report.findings.iter().any(|f| f.contains(&format!("{newest}"))),
+        "finding names the dead generation: {report}"
+    );
+
+    // Recovery still comes up, on the previous generation. The newest
+    // checkpoint's prune already dropped the WAL prefix it covered, so the
+    // fallback serves that generation's state (bit rot after a sealed
+    // checkpoint is beyond the crash-consistency contract — the point is
+    // typed fallback + fsck detection, not silence).
+    let (engine, info) = ServeEngine::recover(durable_cfg(&dir, None, 2)).unwrap();
+    assert!(info.fell_back, "recovery must report the fallback");
+    assert_eq!(info.generation, gens[gens.len() - 2]);
+    let covered = 2 * info.generation as usize; // cadence 2: gen g seals 2g ops
+    let (rvs, rlists, rdeleted) =
+        reference_state(&vs, &lists, &ops[..covered], &MutatePolicy::default());
+    let epoch = engine.pin_epoch();
+    assert_eq!(epoch.vectors, rvs, "fallback serves the previous sealed generation");
+    assert_eq!(epoch.lists, rlists);
+    assert_eq!(epoch.deleted, rdeleted);
+    drop(epoch);
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `fsck` flags each seeded corruption class: a mangled snapshot payload,
+/// a truncated manifest, a torn WAL tail, and a WAL whose covered prefix
+/// was pruned but whose manifest was rolled back (lost records).
+#[test]
+fn fsck_flags_each_seeded_corruption_class() {
+    let (vs, lists) = corpus();
+    let ops = workload();
+    let seed_dir = |name: &str| -> PathBuf {
+        let dir = scratch_dir(name);
+        let index = ServeIndex::from_parts(vs.clone(), lists.clone()).unwrap();
+        let engine = ServeEngine::start(index, durable_cfg(&dir, None, 3)).unwrap();
+        let (acked, crashed) = run_workload(&engine, &ops);
+        assert!(!crashed);
+        assert_eq!(acked, ops.len());
+        engine.shutdown();
+        assert!(fsck(&dir).is_clean(), "baseline must be clean: {}", fsck(&dir));
+        dir
+    };
+    let newest_file = |dir: &Path, file: &str| -> PathBuf {
+        let g = *list_generations(dir).last().unwrap();
+        dir.join(format!("ckpt-{g:08}/{file}"))
+    };
+    let flip_last = |p: &Path| {
+        let mut b = std::fs::read(p).unwrap();
+        let last = b.len() - 1;
+        b[last] ^= 0xFF;
+        std::fs::write(p, b).unwrap();
+    };
+
+    // Class 1: snapshot payload corruption (graph checksum mismatch).
+    let dir = seed_dir("fsck-graph");
+    flip_last(&newest_file(&dir, "graph.wkk"));
+    assert!(!fsck(&dir).is_clean(), "graph corruption missed");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Class 2: truncated manifest.
+    let dir = seed_dir("fsck-manifest");
+    let manifest = newest_file(&dir, "MANIFEST");
+    let bytes = std::fs::read(&manifest).unwrap();
+    std::fs::write(&manifest, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(!fsck(&dir).is_clean(), "manifest truncation missed");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Class 3: torn WAL tail (reported, though recovery tolerates it).
+    let dir = seed_dir("fsck-torn");
+    let wal = wal_path(&dir);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&[0x2A; 7]); // 7 junk bytes: an unfinishable frame
+    std::fs::write(&wal, &bytes).unwrap();
+    let report = fsck(&dir);
+    assert!(!report.is_clean(), "torn WAL tail missed");
+    assert!(report.findings.iter().any(|f| f.contains("torn")), "{report}");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Class 4: WAL/manifest continuity gap — roll the manifest back to an
+    // older generation's (whose WAL prefix the newer checkpoint pruned):
+    // the log now starts past the manifest's position, i.e. records the
+    // manifest needs are gone.
+    let dir = seed_dir("fsck-gap");
+    let gens = list_generations(&dir);
+    let (old, newest) = (gens[gens.len() - 2], *gens.last().unwrap());
+    let old_manifest = dir.join(format!("ckpt-{old:08}/MANIFEST"));
+    let new_manifest = dir.join(format!("ckpt-{newest:08}/MANIFEST"));
+    std::fs::copy(&old_manifest, &new_manifest).unwrap();
+    let report = fsck(&dir);
+    assert!(!report.is_clean(), "continuity gap missed: {report}");
+    std::fs::remove_dir_all(&dir).ok();
+}
